@@ -1,0 +1,334 @@
+//! The fixpoint engine: configuration scheduling, forking on unknown
+//! branch flags, joins at merge points, and the per-observer trace DAGs.
+//!
+//! # Scheduling discipline
+//!
+//! Live configurations (pc + abstract state + one trace-DAG cursor per
+//! observer) are stepped **lowest-pc-first**. For the structured code of
+//! the case study this makes forked diamonds re-join exactly at their
+//! post-dominator: the fall-through path (lower addresses) catches up with
+//! the taken path, the two configurations meet at the join point, and
+//! their states and trace cursors merge (the paper's §6.4 join). Loop
+//! iterations never merge with each other because a back edge keeps the
+//! looping configuration at lower addresses than any configuration past
+//! the loop; loops terminate abstractly because guards resolve through
+//! concrete counters or the origin/offset rules of §5.4.2 (Ex. 7/8).
+
+use leakaudit_core::{Cursor, TraceDag, ValueSet};
+use leakaudit_x86::Program;
+
+use crate::exec::{execute, Next};
+use crate::report::{Channel, LeakReport, LeakRow};
+use crate::state::InitState;
+use crate::{AnalysisConfig, AnalysisError};
+
+struct Config {
+    pc: u32,
+    state: crate::state::AbsState,
+    /// One trace-DAG cursor per observer; `Option` only so ownership can
+    /// be threaded through the DAG's update/merge API.
+    cursors: Vec<Option<Cursor>>,
+}
+
+/// Runs the abstract interpretation of `program` from its entry to `hlt`,
+/// bounding the leakage for every observer in the suite.
+pub(crate) fn run(
+    config: &AnalysisConfig,
+    program: &Program,
+    init: &InitState,
+) -> Result<LeakReport, AnalysisError> {
+    let specs = config.observer_suite();
+    let mut table = init.table.clone();
+    let mut dags: Vec<TraceDag> = Vec::with_capacity(specs.len());
+    let mut first_cursors = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let (dag, cursor) = TraceDag::new(spec.observer);
+        dags.push(dag);
+        first_cursors.push(Some(cursor));
+    }
+
+    let mut configs = vec![Config {
+        pc: program.entry(),
+        state: init.state.clone(),
+        cursors: first_cursors,
+    }];
+    let mut finals: Vec<Option<Cursor>> = specs.iter().map(|_| None).collect();
+    let mut fuel = config.fuel;
+
+    while !configs.is_empty() {
+        // Pick the configuration with the minimal pc; join any others that
+        // share it.
+        let min_pc = configs.iter().map(|c| c.pc).min().unwrap();
+        let mut group: Vec<Config> = Vec::new();
+        let mut rest: Vec<Config> = Vec::new();
+        for c in configs.drain(..) {
+            if c.pc == min_pc {
+                group.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        configs = rest;
+        let mut current = group.pop().unwrap();
+        for other in group {
+            current.state = current.state.join(&other.state);
+            for (i, cur) in other.cursors.into_iter().enumerate() {
+                let mine = current.cursors[i].take().expect("cursor present");
+                let theirs = cur.expect("cursor present");
+                current.cursors[i] = Some(dags[i].merge_cursors(mine, theirs));
+            }
+        }
+
+        if fuel == 0 {
+            return Err(AnalysisError::OutOfFuel { fuel: config.fuel });
+        }
+        fuel -= 1;
+
+        // Instruction fetch: visible to I-cache and shared observers.
+        let pc_value = ValueSet::constant(u64::from(current.pc), 32);
+        for (i, spec) in specs.iter().enumerate() {
+            if matches!(spec.channel, Channel::Instruction | Channel::Shared) {
+                take_update(&mut dags[i], &mut current.cursors[i], &pc_value);
+            }
+        }
+
+        let effect = execute(&mut table, &mut current.state, program, current.pc)?;
+
+        // Data accesses: visible to D-cache and shared observers.
+        for addr in &effect.data_accesses {
+            for (i, spec) in specs.iter().enumerate() {
+                if matches!(spec.channel, Channel::Data | Channel::Shared) {
+                    take_update(&mut dags[i], &mut current.cursors[i], addr);
+                }
+            }
+        }
+
+        match effect.next {
+            Next::Fall => {
+                current.pc = current.pc.wrapping_add(effect.len);
+                configs.push(current);
+            }
+            Next::Jump(t) => {
+                current.pc = t;
+                configs.push(current);
+            }
+            Next::Fork {
+                taken,
+                refine_taken,
+                refine_fall,
+            } => {
+                let mut forked_cursors = Vec::with_capacity(dags.len());
+                for (i, cur) in current.cursors.iter().enumerate() {
+                    let cur = cur.as_ref().expect("cursor present");
+                    forked_cursors.push(Some(dags[i].clone_cursor(cur)));
+                }
+                let mut forked = Config {
+                    pc: taken,
+                    state: current.state.clone(),
+                    cursors: forked_cursors,
+                };
+                if let Some((r, v)) = refine_taken {
+                    forked.state.refine_reg(r, v);
+                }
+                if let Some((r, v)) = refine_fall {
+                    current.state.refine_reg(r, v);
+                }
+                current.pc = current.pc.wrapping_add(effect.len);
+                configs.push(current);
+                configs.push(forked);
+                if configs.len() > config.max_configs {
+                    return Err(AnalysisError::TooManyConfigs {
+                        limit: config.max_configs,
+                    });
+                }
+            }
+            Next::Halt => {
+                for (i, cur) in current.cursors.into_iter().enumerate() {
+                    let cur = cur.expect("cursor present");
+                    finals[i] = Some(match finals[i].take() {
+                        None => cur,
+                        Some(acc) => dags[i].merge_cursors(acc, cur),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let (count, bits) = match &finals[i] {
+            Some(cur) => (dags[i].count(cur), dags[i].leakage_bits(cur)),
+            // No path reached hlt: zero traces.
+            None => (leakaudit_mpi::Natural::zero(), 0.0),
+        };
+        rows.push(LeakRow {
+            spec: *spec,
+            count,
+            bits,
+        });
+    }
+    Ok(LeakReport::new(rows))
+}
+
+fn take_update(dag: &mut TraceDag, slot: &mut Option<Cursor>, addr: &ValueSet) {
+    let owned = slot.take().expect("cursor present");
+    *slot = Some(dag.access(owned, addr));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::InitState;
+    use crate::{Analysis, AnalysisConfig, AnalysisInput};
+    use leakaudit_core::Observer;
+    use leakaudit_x86::{Asm, Mem, Reg};
+
+    fn analyze(setup: impl FnOnce(&mut Asm), init: InitState) -> LeakReport {
+        let mut a = Asm::new(0x41a90);
+        setup(&mut a);
+        let program = a.assemble().unwrap();
+        Analysis::new(AnalysisConfig::default())
+            .run(&AnalysisInput { program, init })
+            .unwrap()
+    }
+
+    #[test]
+    fn straight_line_code_leaks_nothing() {
+        let report = analyze(
+            |a| {
+                a.mov(Reg::Eax, 5u32);
+                a.add(Reg::Eax, 3u32);
+                a.hlt();
+            },
+            InitState::new(),
+        );
+        assert_eq!(report.icache_bits(Observer::address()), 0.0);
+        assert_eq!(report.dcache_bits(Observer::address()), 0.0);
+    }
+
+    #[test]
+    fn example_9_full_pipeline() {
+        // The complete Ex. 9 snippet, at its published addresses, with a
+        // secret-dependent flag from a stack slot of {0, 1}.
+        let mut init = InitState::new();
+        init.write_mem(
+            leakaudit_core::MaskedSymbol::constant(0x00f0_0080, 32),
+            ValueSet::from_constants([0, 1], 32),
+        );
+        let report = analyze(
+            |a| {
+                a.mov(Reg::Eax, Mem::base_disp(Reg::Esp, 0x80));
+                a.test(Reg::Eax, Reg::Eax);
+                a.jne("merge");
+                a.mov(Reg::Eax, Reg::Ebp);
+                a.mov(Reg::Ebp, Reg::Edi);
+                a.mov(Reg::Edi, Reg::Eax);
+                a.label("merge");
+                a.sub(Reg::Edx, 1u32);
+                a.hlt();
+            },
+            init,
+        );
+        // Paper Fig. 4: 2 traces for address/block observers (1 bit), 1
+        // for the stuttering block observer (0 bits).
+        assert_eq!(report.icache_bits(Observer::address()), 1.0);
+        assert_eq!(report.icache_bits(Observer::block(6)), 1.0);
+        assert_eq!(report.icache_bits(Observer::block(6).stuttering()), 0.0);
+        // The D-cache sees only the initial stack load on both paths.
+        assert_eq!(report.dcache_bits(Observer::address()), 0.0);
+    }
+
+    #[test]
+    fn counted_loop_unrolls_to_zero_leak() {
+        let report = analyze(
+            |a| {
+                a.mov(Reg::Ecx, 5u32);
+                a.label("loop");
+                a.dec(Reg::Ecx);
+                a.jne("loop");
+                a.hlt();
+            },
+            InitState::new(),
+        );
+        assert_eq!(report.icache_bits(Observer::address()), 0.0);
+    }
+
+    #[test]
+    fn pointer_loop_terminates_via_offsets() {
+        // for (x = r; x != y; x += 4) *x = 0  with y = r + 16 (Ex. 7/8).
+        let mut init = InitState::new();
+        let r = init.fresh_heap_pointer("r");
+        init.set_reg(Reg::Eax, ValueSet::singleton(r));
+        init.set_reg(Reg::Ebx, ValueSet::singleton(r));
+        let report = analyze(
+            |a| {
+                a.add(Reg::Ebx, 16u32); // y = r + 16
+                a.label("loop");
+                a.mov(Mem::reg(Reg::Eax), 0u32);
+                a.add(Reg::Eax, 4u32);
+                a.cmp(Reg::Eax, Reg::Ebx);
+                a.jne("loop");
+                a.hlt();
+            },
+            init,
+        );
+        // Four deterministic iterations: no leakage anywhere.
+        assert_eq!(report.icache_bits(Observer::address()), 0.0);
+        assert_eq!(report.dcache_bits(Observer::address()), 0.0);
+    }
+
+    #[test]
+    fn secret_indexed_load_leaks_at_address_not_block() {
+        // One load from table[k*8], k in {0..7}, table 64-byte aligned:
+        // 8 addresses -> 3 bits; a single cache line -> 0 bits.
+        let mut init = InitState::new();
+        init.set_reg(Reg::Ecx, ValueSet::from_constants(0..8, 32));
+        let report = analyze(
+            |a| {
+                a.mov(Reg::Eax, Mem::sib(Reg::Ebx, Reg::Ecx, 8, 0));
+                a.hlt();
+            },
+            {
+                init.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+                init
+            },
+        );
+        assert_eq!(report.dcache_bits(Observer::address()), 3.0);
+        assert_eq!(report.dcache_bits(Observer::block(6)), 0.0);
+        assert_eq!(report.dcache_bits(Observer::bank()), 3.0, "8 banks hit");
+        assert_eq!(report.icache_bits(Observer::address()), 0.0);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let mut a = Asm::new(0x1000);
+        a.label("spin");
+        a.jmp("spin");
+        let program = a.assemble().unwrap();
+        let err = Analysis::new(AnalysisConfig {
+            fuel: 100,
+            ..AnalysisConfig::default()
+        })
+        .run(&AnalysisInput {
+            program,
+            init: InitState::new(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn shared_channel_bounds_cover_both() {
+        let mut init = InitState::new();
+        init.set_reg(Reg::Ecx, ValueSet::from_constants(0..4, 32));
+        init.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+        let report = analyze(
+            |a| {
+                a.mov(Reg::Eax, Mem::sib(Reg::Ebx, Reg::Ecx, 4, 0));
+                a.hlt();
+            },
+            init,
+        );
+        assert_eq!(report.shared_bits(Observer::address()), 2.0);
+    }
+}

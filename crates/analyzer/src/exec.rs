@@ -1,0 +1,674 @@
+//! The abstract transfer function: one decoded instruction applied to an
+//! abstract state, yielding data-access address sets and control flow.
+
+use leakaudit_core::{
+    apply_set, map_set, mul, neg, not, shl, shr, AbstractBool, AbstractFlags, BinOp, OpResult,
+    SymbolTable, ValueSet,
+};
+use leakaudit_x86::{AluOp, Cond, Inst, Mem, Operand, Program, Reg, ShiftOp};
+
+use crate::state::AbsState;
+use crate::AnalysisError;
+
+/// Where control flows after one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Next {
+    /// Fall through to the next instruction.
+    Fall,
+    /// Unconditional transfer.
+    Jump(u32),
+    /// Branch whose flag could not be decided: fork into the taken target
+    /// and the fall-through, optionally refining a register's value set on
+    /// each path (see [`crate::FlagsState`]'s provenance).
+    Fork {
+        /// The taken target.
+        taken: u32,
+        /// Refinement to install on the taken path.
+        refine_taken: Option<(Reg, ValueSet)>,
+        /// Refinement to install on the fall-through path.
+        refine_fall: Option<(Reg, ValueSet)>,
+    },
+    /// End of the analyzed region (`hlt`).
+    Halt,
+}
+
+/// The effect of one abstractly executed instruction.
+#[derive(Debug)]
+pub struct StepEffect {
+    /// Address sets of the data accesses performed, in program order —
+    /// these feed the memory-trace domains.
+    pub data_accesses: Vec<ValueSet>,
+    /// Control flow.
+    pub next: Next,
+    /// Encoded instruction length.
+    pub len: u32,
+}
+
+/// Computes the address set of a memory operand:
+/// `base + index·scale + disp`, all in the masked-symbol domain.
+pub fn address_of(table: &mut SymbolTable, state: &AbsState, m: &Mem) -> ValueSet {
+    let mut addr = match m.base {
+        Some(b) => state.reg(b).clone(),
+        None => ValueSet::constant(0, 32),
+    };
+    if let Some((idx, scale)) = m.index {
+        let scaled = {
+            let idx_v = state.reg(idx).clone();
+            if scale == 1 {
+                idx_v
+            } else {
+                let (v, _) = lift_mul(table, &idx_v, &ValueSet::constant(u64::from(scale), 32));
+                v
+            }
+        };
+        let (sum, _) = apply_set(table, BinOp::Add, &addr, &scaled);
+        addr = sum;
+    }
+    if m.disp != 0 {
+        let (sum, _) = apply_set(
+            table,
+            BinOp::Add,
+            &addr,
+            &ValueSet::constant(m.disp as u32 as u64, 32),
+        );
+        addr = sum;
+    }
+    addr
+}
+
+/// Pairwise lifting of the abstract multiplication.
+fn lift_mul(table: &mut SymbolTable, x: &ValueSet, y: &ValueSet) -> (ValueSet, AbstractFlags) {
+    if x.is_top() || y.is_top() {
+        return (ValueSet::top(32), AbstractFlags::top());
+    }
+    let mut out = Vec::new();
+    let mut flags: Option<AbstractFlags> = None;
+    for a in x.iter() {
+        for b in y.iter() {
+            let OpResult { value, flags: f } = mul(table, a, b);
+            out.push(value);
+            flags = Some(match flags {
+                None => f,
+                Some(acc) => acc.join(f),
+            });
+        }
+    }
+    (
+        ValueSet::from_masked_symbols(out),
+        flags.unwrap_or_else(AbstractFlags::top),
+    )
+}
+
+/// Three-valued condition evaluation against abstract flags (§5.4.3: any
+/// combination is considered possible unless the flags are determined).
+pub fn eval_cond(cond: Cond, state: &AbsState) -> AbstractBool {
+    use AbstractBool as B;
+    let f = &state.flags;
+    let not = B::not;
+    let or = |a: B, b: B| match (a, b) {
+        (B::True, _) | (_, B::True) => B::True,
+        (B::False, B::False) => B::False,
+        _ => B::Top,
+    };
+    let and = |a: B, b: B| not(or(not(a), not(b)));
+    let xor = |a: B, b: B| match (a, b) {
+        (B::Top, _) | (_, B::Top) => B::Top,
+        (x, y) if x == y => B::False,
+        _ => B::True,
+    };
+    match cond {
+        Cond::O => f.of,
+        Cond::No => not(f.of),
+        Cond::B => f.cf,
+        Cond::Ae => not(f.cf),
+        Cond::E => f.zf,
+        Cond::Ne => not(f.zf),
+        Cond::Be => or(f.cf, f.zf),
+        Cond::A => and(not(f.cf), not(f.zf)),
+        Cond::S => f.sf,
+        Cond::Ns => not(f.sf),
+        // Parity is not tracked abstractly.
+        Cond::P | Cond::Np => B::Top,
+        Cond::L => xor(f.sf, f.of),
+        Cond::Ge => not(xor(f.sf, f.of)),
+        Cond::Le => or(f.zf, xor(f.sf, f.of)),
+        Cond::G => and(not(f.zf), not(xor(f.sf, f.of))),
+    }
+}
+
+/// After `cmp reg, c` (or `test reg, reg` with `c = 0`): partition the
+/// register's elements into ZF=1 and ZF=0 classes and remember them.
+fn install_flag_source(table: &mut SymbolTable, state: &mut AbsState, reg: Reg, c: u64) {
+    let set = state.reg(reg).clone();
+    if set.is_top() {
+        return;
+    }
+    let constant = leakaudit_core::MaskedSymbol::constant(c, 32);
+    let mut eq = Vec::new();
+    let mut ne = Vec::new();
+    for m in set.iter() {
+        match table.compare_values(m, &constant) {
+            Some(true) => eq.push(*m),
+            Some(false) => ne.push(*m),
+            None => {
+                eq.push(*m);
+                ne.push(*m);
+            }
+        }
+    }
+    state.flags.source = Some(crate::state::FlagSource {
+        reg,
+        eq: ValueSet::from_masked_symbols(eq),
+        ne: ValueSet::from_masked_symbols(ne),
+    });
+}
+
+/// Decides how to fork on an undecided `je`/`jne`, pruning paths whose
+/// refined value set would be empty.
+fn plan_fork(state: &AbsState, cond: Cond, target: u32) -> Next {
+    let Some(source) = &state.flags.source else {
+        return Next::Fork {
+            taken: target,
+            refine_taken: None,
+            refine_fall: None,
+        };
+    };
+    let (on_zf1, on_zf0) = (source.eq.clone(), source.ne.clone());
+    let (taken_set, fall_set) = match cond {
+        Cond::E => (on_zf1, on_zf0),
+        Cond::Ne => (on_zf0, on_zf1),
+        _ => {
+            return Next::Fork {
+                taken: target,
+                refine_taken: None,
+                refine_fall: None,
+            }
+        }
+    };
+    match (taken_set.is_empty(), fall_set.is_empty()) {
+        (true, _) => Next::Fall,
+        (_, true) => Next::Jump(target),
+        _ => Next::Fork {
+            taken: target,
+            refine_taken: Some((source.reg, taken_set)),
+            refine_fall: Some((source.reg, fall_set)),
+        },
+    }
+}
+
+struct Ctx<'a> {
+    table: &'a mut SymbolTable,
+    state: &'a mut AbsState,
+    program: &'a Program,
+    accesses: Vec<ValueSet>,
+}
+
+impl Ctx<'_> {
+    fn read_operand(&mut self, op: &Operand, size: u8) -> ValueSet {
+        match op {
+            Operand::Reg(r) => self.state.reg(*r).clone(),
+            Operand::Imm(v) => ValueSet::constant(u64::from(*v), 32),
+            Operand::Mem(m) => {
+                let addr = address_of(self.table, self.state, m);
+                let v = self.state.memory.read(&addr, size, self.program);
+                self.accesses.push(addr);
+                v
+            }
+        }
+    }
+
+    fn write_operand(&mut self, op: &Operand, v: ValueSet, size: u8) {
+        match op {
+            Operand::Reg(r) => self.state.set_reg(*r, v),
+            Operand::Mem(m) => {
+                let addr = address_of(self.table, self.state, m);
+                self.state.memory.write(&addr, v, size);
+                self.accesses.push(addr);
+            }
+            Operand::Imm(_) => unreachable!("encoder rejects immediate destinations"),
+        }
+    }
+
+    fn low_byte(&mut self, v: &ValueSet) -> ValueSet {
+        let (b, _) = apply_set(self.table, BinOp::And, v, &ValueSet::constant(0xff, 32));
+        b
+    }
+}
+
+/// Abstractly executes the instruction at `pc`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] on decode failures or when a `ret` cannot be
+/// resolved to a unique concrete return address.
+pub fn execute(
+    table: &mut SymbolTable,
+    state: &mut AbsState,
+    program: &Program,
+    pc: u32,
+) -> Result<StepEffect, AnalysisError> {
+    let (inst, len) = program.decode_at(pc)?;
+    let next_pc = pc.wrapping_add(len);
+    let mut ctx = Ctx {
+        table,
+        state,
+        program,
+        accesses: Vec::new(),
+    };
+    let mut next = Next::Fall;
+    match inst {
+        Inst::Nop => {}
+        Inst::Hlt => next = Next::Halt,
+        Inst::Mov { dst, src } => {
+            let v = ctx.read_operand(&src, 4);
+            ctx.write_operand(&dst, v, 4);
+        }
+        Inst::MovStoreB { dst, src } => {
+            let parent = ctx.state.reg(src.parent()).clone();
+            let byte = ctx.low_byte(&parent);
+            ctx.write_operand(&Operand::Mem(dst), byte, 1);
+        }
+        Inst::MovLoadB { dst, src } => {
+            let byte = ctx.read_operand(&Operand::Mem(src), 1);
+            let parent = dst.parent();
+            let old = ctx.state.reg(parent).clone();
+            let (hi, _) = apply_set(
+                ctx.table,
+                BinOp::And,
+                &old,
+                &ValueSet::constant(0xffff_ff00, 32),
+            );
+            let (lo, _) = apply_set(ctx.table, BinOp::And, &byte, &ValueSet::constant(0xff, 32));
+            let (merged, _) = apply_set(ctx.table, BinOp::Or, &hi, &lo);
+            ctx.state.set_reg(parent, merged);
+        }
+        Inst::Movzx { dst, src } => {
+            let v = match src {
+                Operand::Reg(r) => {
+                    let parent = ctx.state.reg(r).clone();
+                    ctx.low_byte(&parent)
+                }
+                Operand::Mem(_) => {
+                    let byte = ctx.read_operand(&src, 1);
+                    ctx.low_byte(&byte)
+                }
+                Operand::Imm(_) => unreachable!("decoder never yields movzx imm"),
+            };
+            ctx.state.set_reg(dst, v);
+        }
+        Inst::Lea { dst, src } => {
+            let addr = address_of(ctx.table, ctx.state, &src);
+            ctx.state.set_reg(dst, addr);
+        }
+        Inst::Alu { op, dst, src } => {
+            // x86 zeroing idioms: `xor r, r` and `sub r, r` are exactly 0
+            // whatever r holds — even `Top` (the set-based lifting cannot
+            // see that both operands are the *same* unknown).
+            if matches!(op, AluOp::Xor | AluOp::Sub) && dst == src {
+                if let Operand::Reg(r) = dst {
+                    ctx.state.set_reg(r, ValueSet::constant(0, 32));
+                    ctx.state.flags.assign(AbstractFlags {
+                        zf: AbstractBool::True,
+                        cf: AbstractBool::False,
+                        sf: AbstractBool::False,
+                        of: AbstractBool::False,
+                    });
+                    return Ok(StepEffect {
+                        data_accesses: ctx.accesses,
+                        next: Next::Fall,
+                        len,
+                    });
+                }
+            }
+            let a = ctx.read_operand(&dst, 4);
+            let b = ctx.read_operand(&src, 4);
+            let bin = match op {
+                AluOp::Add => BinOp::Add,
+                AluOp::Sub | AluOp::Cmp => BinOp::Sub,
+                AluOp::And => BinOp::And,
+                AluOp::Or => BinOp::Or,
+                AluOp::Xor => BinOp::Xor,
+            };
+            let (r, flags) = apply_set(ctx.table, bin, &a, &b);
+            ctx.state.flags.assign(flags);
+            if op == AluOp::Cmp {
+                if let (Operand::Reg(reg), Some(c)) = (dst, b.as_constant()) {
+                    install_flag_source(ctx.table, ctx.state, reg, c);
+                }
+            } else {
+                ctx.write_operand(&dst, r, 4);
+            }
+        }
+        Inst::Test { a, b } => {
+            let x = ctx.read_operand(&a, 4);
+            let y = ctx.read_operand(&b, 4);
+            let (_, flags) = apply_set(ctx.table, BinOp::And, &x, &y);
+            ctx.state.flags.assign(flags);
+            // `test r, r` partitions r by zero/nonzero.
+            if let (Operand::Reg(r1), Operand::Reg(r2)) = (a, b) {
+                if r1 == r2 {
+                    install_flag_source(ctx.table, ctx.state, r1, 0);
+                }
+            }
+        }
+        Inst::Imul { dst, src, imm } => {
+            let a = ctx.read_operand(&src, 4);
+            let b = match imm {
+                Some(i) => ValueSet::constant(i as u32 as u64, 32),
+                None => ctx.state.reg(dst).clone(),
+            };
+            let (r, flags) = lift_mul(ctx.table, &a, &b);
+            ctx.state.flags.assign(flags);
+            ctx.state.set_reg(dst, r);
+        }
+        Inst::Shift { op, dst, amount } => {
+            let v = ctx.read_operand(&dst, 4);
+            let (r, flags) = match op {
+                ShiftOp::Shl => map_set(ctx.table, &v, |t, m| shl(t, m, u32::from(amount))),
+                ShiftOp::Shr => map_set(ctx.table, &v, |t, m| shr(t, m, u32::from(amount))),
+                ShiftOp::Sar => map_set(ctx.table, &v, |t, m| {
+                    // Arithmetic shift: precise only for constants.
+                    match m.as_constant() {
+                        Some(c) => {
+                            let shifted = ((c as u32 as i32) >> (amount & 31)) as u32;
+                            OpResult {
+                                value: leakaudit_core::MaskedSymbol::constant(
+                                    u64::from(shifted),
+                                    32,
+                                ),
+                                flags: AbstractFlags::top(),
+                            }
+                        }
+                        None => OpResult {
+                            value: leakaudit_core::MaskedSymbol::symbol(t.fresh_derived("sar"), 32),
+                            flags: AbstractFlags::top(),
+                        },
+                    }
+                }),
+            };
+            ctx.state.flags.assign(flags);
+            ctx.write_operand(&dst, r, 4);
+        }
+        Inst::Not { dst } => {
+            let v = ctx.read_operand(&dst, 4);
+            let (r, _) = map_set(ctx.table, &v, |t, m| OpResult {
+                value: not(t, m),
+                flags: AbstractFlags::top(),
+            });
+            ctx.write_operand(&dst, r, 4);
+        }
+        Inst::Neg { dst } => {
+            let v = ctx.read_operand(&dst, 4);
+            let (r, flags) = map_set(ctx.table, &v, neg);
+            ctx.state.flags.assign(flags);
+            ctx.write_operand(&dst, r, 4);
+        }
+        Inst::Inc { dst } => {
+            let cf = ctx.state.flags.cf;
+            let a = ctx.state.reg(dst).clone();
+            let (r, flags) = apply_set(ctx.table, BinOp::Add, &a, &ValueSet::constant(1, 32));
+            ctx.state.flags.assign(flags);
+            ctx.state.flags.cf = cf; // INC leaves CF unchanged
+            ctx.state.set_reg(dst, r);
+        }
+        Inst::Dec { dst } => {
+            let cf = ctx.state.flags.cf;
+            let a = ctx.state.reg(dst).clone();
+            let (r, flags) = apply_set(ctx.table, BinOp::Sub, &a, &ValueSet::constant(1, 32));
+            ctx.state.flags.assign(flags);
+            ctx.state.flags.cf = cf; // DEC leaves CF unchanged
+            ctx.state.set_reg(dst, r);
+        }
+        Inst::Push { src } => {
+            let v = ctx.read_operand(&src, 4);
+            let esp = ctx.state.reg(Reg::Esp).clone();
+            let (new_esp, _) = apply_set(ctx.table, BinOp::Sub, &esp, &ValueSet::constant(4, 32));
+            ctx.state.set_reg(Reg::Esp, new_esp.clone());
+            ctx.state.memory.write(&new_esp, v, 4);
+            ctx.accesses.push(new_esp);
+        }
+        Inst::Pop { dst } => {
+            let esp = ctx.state.reg(Reg::Esp).clone();
+            let v = ctx.state.memory.read(&esp, 4, ctx.program);
+            ctx.accesses.push(esp.clone());
+            let (new_esp, _) = apply_set(ctx.table, BinOp::Add, &esp, &ValueSet::constant(4, 32));
+            ctx.state.set_reg(Reg::Esp, new_esp);
+            ctx.state.set_reg(dst, v);
+        }
+        Inst::Jmp { target, .. } => next = Next::Jump(target),
+        Inst::Jcc { cond, target, .. } => {
+            next = match eval_cond(cond, ctx.state) {
+                AbstractBool::True => Next::Jump(target),
+                AbstractBool::False => Next::Fall,
+                AbstractBool::Top => plan_fork(ctx.state, cond, target),
+            };
+        }
+        Inst::Call { target } => {
+            let esp = ctx.state.reg(Reg::Esp).clone();
+            let (new_esp, _) = apply_set(ctx.table, BinOp::Sub, &esp, &ValueSet::constant(4, 32));
+            ctx.state.set_reg(Reg::Esp, new_esp.clone());
+            ctx.state
+                .memory
+                .write(&new_esp, ValueSet::constant(u64::from(next_pc), 32), 4);
+            ctx.accesses.push(new_esp);
+            next = Next::Jump(target);
+        }
+        Inst::Ret => {
+            let esp = ctx.state.reg(Reg::Esp).clone();
+            let v = ctx.state.memory.read(&esp, 4, ctx.program);
+            ctx.accesses.push(esp.clone());
+            let (new_esp, _) = apply_set(ctx.table, BinOp::Add, &esp, &ValueSet::constant(4, 32));
+            ctx.state.set_reg(Reg::Esp, new_esp);
+            match v.as_constant() {
+                Some(ret) => next = Next::Jump(ret as u32),
+                None => return Err(AnalysisError::UnresolvedReturn { at: pc }),
+            }
+        }
+        Inst::Setcc { cond, dst } => {
+            let bit = match eval_cond(cond, ctx.state) {
+                AbstractBool::True => ValueSet::constant(1, 32),
+                AbstractBool::False => ValueSet::constant(0, 32),
+                AbstractBool::Top => ValueSet::from_constants([0, 1], 32),
+            };
+            let parent = dst.parent();
+            let old = ctx.state.reg(parent).clone();
+            let (hi, _) = apply_set(
+                ctx.table,
+                BinOp::And,
+                &old,
+                &ValueSet::constant(0xffff_ff00, 32),
+            );
+            let (merged, _) = apply_set(ctx.table, BinOp::Or, &hi, &bit);
+            ctx.state.set_reg(parent, merged);
+        }
+        Inst::Cmovcc { cond, dst, src } => {
+            // The source is read regardless of the condition (as on
+            // hardware) — crucial for the D-cache trace.
+            let v = ctx.read_operand(&src, 4);
+            let old = ctx.state.reg(dst).clone();
+            let merged = match eval_cond(cond, ctx.state) {
+                AbstractBool::True => v,
+                AbstractBool::False => old,
+                AbstractBool::Top => v.join(&old),
+            };
+            ctx.state.set_reg(dst, merged);
+        }
+    }
+    let accesses = ctx.accesses;
+    Ok(StepEffect {
+        data_accesses: accesses,
+        next,
+        len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::InitState;
+    use leakaudit_x86::Asm;
+
+    fn exec_one(setup: impl FnOnce(&mut Asm), init: &mut InitState) -> (StepEffect, InitState) {
+        let mut a = Asm::new(0x1000);
+        setup(&mut a);
+        a.hlt();
+        let p = a.assemble().unwrap();
+        let mut st = init.clone();
+        let eff = execute(&mut st.table, &mut st.state, &p, 0x1000).unwrap();
+        (eff, st)
+    }
+
+    #[test]
+    fn align_idiom_from_example_5() {
+        let mut init = InitState::new();
+        let buf = init.fresh_heap_pointer("buf");
+        init.set_reg(Reg::Eax, ValueSet::singleton(buf));
+        // AND 0xFFFFFFC0, EAX
+        let (_, mut st) = exec_one(|a| {
+            a.and(Reg::Eax, 0xffff_ffc0u32);
+        }, &mut init);
+        let v = st.state.reg(Reg::Eax).as_singleton().unwrap();
+        assert_eq!(v.sym(), buf.sym(), "AND keeps the symbol");
+        assert_eq!(v.mask().to_string(), "⊤{26}000000");
+        let _ = &mut st;
+    }
+
+    #[test]
+    fn secret_indexed_address_set() {
+        // mov eax, [ebx + ecx*4] with ecx = {0..6}: 7 addresses.
+        let mut init = InitState::new();
+        init.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+        init.set_reg(Reg::Ecx, ValueSet::from_constants(0..7, 32));
+        let (eff, _) = exec_one(
+            |a| {
+                a.mov(Reg::Eax, leakaudit_x86::Mem::sib(Reg::Ebx, Reg::Ecx, 4, 0));
+            },
+            &mut init,
+        );
+        assert_eq!(eff.data_accesses.len(), 1);
+        assert_eq!(
+            eff.data_accesses[0],
+            ValueSet::from_constants((0..7).map(|k| 0x8000 + 4 * k), 32)
+        );
+    }
+
+    #[test]
+    fn branch_on_unknown_flag_forks() {
+        let mut init = InitState::new();
+        init.set_reg(Reg::Eax, ValueSet::from_constants([0, 1], 32));
+        let (eff, _) = exec_one(
+            |a| {
+                a.test(Reg::Eax, Reg::Eax);
+            },
+            &mut init,
+        );
+        assert_eq!(eff.next, Next::Fall);
+        // Now the branch itself.
+        let mut a = Asm::new(0x1000);
+        a.test(Reg::Eax, Reg::Eax);
+        a.jne("x");
+        a.label("x");
+        a.hlt();
+        let p = a.assemble().unwrap();
+        let mut st = init.clone();
+        execute(&mut st.table, &mut st.state, &p, 0x1000).unwrap();
+        let eff = execute(&mut st.table, &mut st.state, &p, 0x1002).unwrap();
+        assert!(matches!(eff.next, Next::Fork { .. }));
+    }
+
+    #[test]
+    fn branch_on_known_flag_is_deterministic() {
+        let mut init = InitState::new();
+        init.set_reg(Reg::Eax, ValueSet::constant(0, 32));
+        let mut a = Asm::new(0x1000);
+        a.test(Reg::Eax, Reg::Eax);
+        a.je("x");
+        a.nop();
+        a.label("x");
+        a.hlt();
+        let p = a.assemble().unwrap();
+        let mut st = init.clone();
+        execute(&mut st.table, &mut st.state, &p, 0x1000).unwrap();
+        let eff = execute(&mut st.table, &mut st.state, &p, 0x1002).unwrap();
+        assert_eq!(eff.next, Next::Jump(p.label("x").unwrap()));
+    }
+
+    #[test]
+    fn pointer_loop_guard_resolves_by_offsets() {
+        // Ex. 7/8: x = r; y = r + 8; x != y decided via offsets.
+        let mut init = InitState::new();
+        let r = init.fresh_heap_pointer("r");
+        init.set_reg(Reg::Eax, ValueSet::singleton(r)); // x
+        init.set_reg(Reg::Ebx, ValueSet::singleton(r)); // will become y
+        let mut a = Asm::new(0x1000);
+        a.add(Reg::Ebx, 8u32); // y = r + 8
+        a.cmp(Reg::Eax, Reg::Ebx);
+        a.hlt();
+        let p = a.assemble().unwrap();
+        let mut st = init.clone();
+        execute(&mut st.table, &mut st.state, &p, 0x1000).unwrap();
+        execute(&mut st.table, &mut st.state, &p, 0x1003).unwrap();
+        assert_eq!(st.state.flags.zf, AbstractBool::False, "x != y known");
+        // Advance x by 8: now equal.
+        let mut a2 = Asm::new(0x2000);
+        a2.add(Reg::Eax, 8u32);
+        a2.cmp(Reg::Eax, Reg::Ebx);
+        a2.hlt();
+        let p2 = a2.assemble().unwrap();
+        execute(&mut st.table, &mut st.state, &p2, 0x2000).unwrap();
+        execute(&mut st.table, &mut st.state, &p2, 0x2003).unwrap();
+        assert_eq!(st.state.flags.zf, AbstractBool::True, "x == y known");
+    }
+
+    #[test]
+    fn call_and_ret_round_trip() {
+        let mut a = Asm::new(0x1000);
+        a.call("f");
+        a.hlt();
+        a.label("f");
+        a.ret();
+        let p = a.assemble().unwrap();
+        let mut st = InitState::new();
+        let eff = execute(&mut st.table, &mut st.state, &p, 0x1000).unwrap();
+        let Next::Jump(f) = eff.next else { panic!() };
+        let eff = execute(&mut st.table, &mut st.state, &p, f).unwrap();
+        assert_eq!(eff.next, Next::Jump(0x1005), "returns after the call");
+    }
+
+    #[test]
+    fn setcc_on_unknown_condition_yields_both() {
+        let mut init = InitState::new();
+        init.set_reg(Reg::Eax, ValueSet::from_constants([3, 5], 32));
+        init.set_reg(Reg::Ecx, ValueSet::constant(0, 32));
+        let (_, st) = exec_one(
+            |a| {
+                a.cmp(Reg::Eax, 5u32);
+            },
+            &mut init,
+        );
+        let mut st = st;
+        let mut a = Asm::new(0x2000);
+        a.setcc(Cond::E, leakaudit_x86::Reg8::Cl);
+        a.hlt();
+        let p = a.assemble().unwrap();
+        execute(&mut st.table, &mut st.state, &p, 0x2000).unwrap();
+        assert_eq!(
+            *st.state.reg(Reg::Ecx),
+            ValueSet::from_constants([0, 1], 32)
+        );
+    }
+
+    #[test]
+    fn lea_performs_no_data_access() {
+        let mut init = InitState::new();
+        init.set_reg(Reg::Ebx, ValueSet::constant(0x4000, 32));
+        let (eff, st) = exec_one(
+            |a| {
+                a.lea(Reg::Eax, leakaudit_x86::Mem::base_disp(Reg::Ebx, 0x20));
+            },
+            &mut init,
+        );
+        assert!(eff.data_accesses.is_empty());
+        assert_eq!(st.state.reg(Reg::Eax).as_constant(), Some(0x4020));
+    }
+}

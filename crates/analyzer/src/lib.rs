@@ -1,0 +1,225 @@
+//! The `leakaudit` static analyzer: abstract interpretation of x86-32
+//! binaries that bounds memory-trace leakage for a hierarchy of
+//! side-channel observers.
+//!
+//! This crate glues the paper's abstract domains (`leakaudit-core`) to
+//! decoded binaries (`leakaudit-x86`), mirroring the role CacheAudit plays
+//! in the paper's §8.1: it walks the executable instruction by
+//! instruction, maintains an abstract machine state over the masked-symbol
+//! domain, forks on branch flags it cannot decide, rejoins at merge
+//! points, and feeds every instruction fetch and data access into one
+//! memory-trace DAG per observer. The final counts are the leakage bounds
+//! of Theorem 1.
+//!
+//! # Usage
+//!
+//! ```
+//! use leakaudit_analyzer::{Analysis, AnalysisConfig, AnalysisInput, InitState};
+//! use leakaudit_core::{Observer, ValueSet};
+//! use leakaudit_x86::{Asm, Mem, Reg};
+//!
+//! // A secret-indexed table load: mov eax, [0x8000 + k*8], k ∈ {0..7}.
+//! let mut a = Asm::new(0x1000);
+//! a.mov(Reg::Eax, Mem::sib(Reg::Ebx, Reg::Ecx, 8, 0));
+//! a.hlt();
+//!
+//! let mut init = InitState::new();
+//! init.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+//! init.set_reg(Reg::Ecx, ValueSet::from_constants(0..8, 32)); // secret
+//!
+//! let report = Analysis::new(AnalysisConfig::default()).run(&AnalysisInput {
+//!     program: a.assemble()?,
+//!     init,
+//! })?;
+//! assert_eq!(report.dcache_bits(Observer::address()), 3.0);
+//! assert_eq!(report.dcache_bits(Observer::block(6)), 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod exec;
+mod report;
+mod state;
+
+use std::fmt;
+
+use leakaudit_core::Observer;
+use leakaudit_x86::{DecodeError, Program};
+
+pub use exec::{address_of, eval_cond, execute, Next, StepEffect};
+pub use report::{format_bits, Channel, LeakReport, LeakRow, ObserverSpec};
+pub use state::{AbsState, AbstractMemory, FlagsState, InitState};
+
+/// Error produced by the analyzer.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// The analyzed region contains undecodable bytes.
+    Decode(DecodeError),
+    /// The step budget was exhausted (diverging abstract loop).
+    OutOfFuel {
+        /// The exhausted budget.
+        fuel: u64,
+    },
+    /// A `ret` whose return address is not a unique concrete value.
+    UnresolvedReturn {
+        /// Address of the `ret`.
+        at: u32,
+    },
+    /// Forking exceeded the configuration limit.
+    TooManyConfigs {
+        /// The limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Decode(e) => write!(f, "decoding failed: {e}"),
+            AnalysisError::OutOfFuel { fuel } => {
+                write!(f, "analysis exceeded {fuel} abstract steps")
+            }
+            AnalysisError::UnresolvedReturn { at } => {
+                write!(f, "unresolved return address at 0x{at:x}")
+            }
+            AnalysisError::TooManyConfigs { limit } => {
+                write!(f, "more than {limit} live configurations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for AnalysisError {
+    fn from(e: DecodeError) -> Self {
+        AnalysisError::Decode(e)
+    }
+}
+
+/// Analyzer configuration: architecture parameters and resource limits.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// `b` for the block observer (cache-line bits; 6 = 64-byte lines).
+    pub block_bits: u8,
+    /// `b` for the bank observer (2 = 4-byte banks, the CacheBleed
+    /// platform).
+    pub bank_bits: u8,
+    /// `b` for the page observer (12 = 4-KiB pages).
+    pub page_bits: u8,
+    /// Maximum number of abstractly executed instructions.
+    pub fuel: u64,
+    /// Maximum number of simultaneously live configurations.
+    pub max_configs: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            block_bits: 6,
+            bank_bits: 2,
+            page_bits: 12,
+            fuel: 5_000_000,
+            max_configs: 4096,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A configuration with 32-byte cache lines (the paper's Fig. 8).
+    pub fn with_block_bits(block_bits: u8) -> Self {
+        AnalysisConfig {
+            block_bits,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// The observers analyzed for each channel: address, block, b-block,
+    /// bank, b-bank, and page (paper §3.2's hierarchy).
+    pub fn observer_suite(&self) -> Vec<ObserverSpec> {
+        let observers = [
+            Observer::address(),
+            Observer::block(self.block_bits),
+            Observer::block(self.block_bits).stuttering(),
+            Observer::block(self.bank_bits),
+            Observer::block(self.bank_bits).stuttering(),
+            Observer::block(self.page_bits),
+        ];
+        let mut specs = Vec::new();
+        for channel in [Channel::Instruction, Channel::Data, Channel::Shared] {
+            for observer in observers {
+                specs.push(ObserverSpec { channel, observer });
+            }
+        }
+        specs
+    }
+}
+
+/// A binary plus its initial abstract state — everything the analyzer
+/// needs about one case-study instance.
+#[derive(Debug, Clone)]
+pub struct AnalysisInput {
+    /// The program image.
+    pub program: Program,
+    /// Initial registers, memory, and the low-input symbol table.
+    pub init: InitState,
+}
+
+/// A target the analyzer can run on (implemented by [`AnalysisInput`] and
+/// by the scenario types of `leakaudit-scenarios`).
+pub trait AnalysisTarget {
+    /// The program image.
+    fn program(&self) -> &Program;
+    /// The initial abstract state.
+    fn init_state(&self) -> InitState;
+}
+
+impl AnalysisTarget for AnalysisInput {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init_state(&self) -> InitState {
+        self.init.clone()
+    }
+}
+
+/// The analyzer entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    config: AnalysisConfig,
+}
+
+impl Analysis {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Self {
+        Analysis { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Analyzes a target from its entry point to `hlt`, returning leakage
+    /// bounds for the full observer suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] on undecodable code, exhausted fuel, or
+    /// unresolvable control flow.
+    pub fn run(&self, target: &impl AnalysisTarget) -> Result<LeakReport, AnalysisError> {
+        let init = target.init_state();
+        engine::run(&self.config, target.program(), &init)
+    }
+}

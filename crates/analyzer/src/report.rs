@@ -1,0 +1,195 @@
+//! Leakage reports: per-observer, per-channel bounds in the format of the
+//! paper's result tables (Figs. 7, 8, 14).
+
+use std::fmt;
+
+use leakaudit_core::Observer;
+use leakaudit_mpi::Natural;
+
+/// Which cache an observer watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Channel {
+    /// Instruction fetches only (I-cache).
+    Instruction,
+    /// Data accesses only (D-cache).
+    Data,
+    /// All memory accesses, interleaved (shared cache).
+    Shared,
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Channel::Instruction => write!(f, "I-Cache"),
+            Channel::Data => write!(f, "D-Cache"),
+            Channel::Shared => write!(f, "Shared"),
+        }
+    }
+}
+
+/// One observer attached to one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserverSpec {
+    /// The channel.
+    pub channel: Channel,
+    /// The observer.
+    pub observer: Observer,
+}
+
+/// One row of a leakage report.
+#[derive(Debug, Clone)]
+pub struct LeakRow {
+    /// The channel/observer this row bounds.
+    pub spec: ObserverSpec,
+    /// Upper bound on the number of distinguishable observation sequences.
+    pub count: Natural,
+    /// `log2(count)` — bits of leakage (paper §4).
+    pub bits: f64,
+}
+
+/// The complete result of one analysis: leakage bounds for every observer
+/// in the suite.
+#[derive(Debug, Clone, Default)]
+pub struct LeakReport {
+    rows: Vec<LeakRow>,
+}
+
+impl LeakReport {
+    pub(crate) fn new(rows: Vec<LeakRow>) -> Self {
+        LeakReport { rows }
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[LeakRow] {
+        &self.rows
+    }
+
+    /// The leakage bound in bits for a channel/observer pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not part of the analyzed suite.
+    pub fn bits(&self, channel: Channel, observer: Observer) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.spec.channel == channel && r.spec.observer == observer)
+            .unwrap_or_else(|| panic!("no row for {channel}/{observer}"))
+            .bits
+    }
+
+    /// I-cache leakage in bits.
+    pub fn icache_bits(&self, observer: Observer) -> f64 {
+        self.bits(Channel::Instruction, observer)
+    }
+
+    /// D-cache leakage in bits.
+    pub fn dcache_bits(&self, observer: Observer) -> f64 {
+        self.bits(Channel::Data, observer)
+    }
+
+    /// Shared-cache leakage in bits.
+    pub fn shared_bits(&self, observer: Observer) -> f64 {
+        self.bits(Channel::Shared, observer)
+    }
+
+    /// Renders the paper-style table (rows: I/D-cache; columns: observers).
+    pub fn to_table(&self, observers: &[Observer]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<10}", "Observer"));
+        for o in observers {
+            out.push_str(&format!(" {:>12}", o.to_string()));
+        }
+        out.push('\n');
+        for channel in [Channel::Instruction, Channel::Data] {
+            out.push_str(&format!("{:<10}", channel.to_string()));
+            for o in observers {
+                let bits = self.bits(channel, *o);
+                out.push_str(&format!(" {:>8} bit", format_bits(bits)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a bit count the way the paper does (integers plain, fractions
+/// with one decimal: "5.6 bit").
+pub fn format_bits(bits: f64) -> String {
+    if (bits - bits.round()).abs() < 0.05 {
+        format!("{}", bits.round() as i64)
+    } else {
+        format!("{bits:.1}")
+    }
+}
+
+impl fmt::Display for LeakReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:<12} {} bits (count {})",
+                row.spec.channel.to_string(),
+                row.spec.observer.to_string(),
+                format_bits(row.bits),
+                row.count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LeakReport {
+        LeakReport::new(vec![
+            LeakRow {
+                spec: ObserverSpec {
+                    channel: Channel::Instruction,
+                    observer: Observer::address(),
+                },
+                count: Natural::from(2u32),
+                bits: 1.0,
+            },
+            LeakRow {
+                spec: ObserverSpec {
+                    channel: Channel::Data,
+                    observer: Observer::address(),
+                },
+                count: Natural::from(50u32),
+                bits: 50f64.log2(),
+            },
+        ])
+    }
+
+    #[test]
+    fn lookup_by_spec() {
+        let r = report();
+        assert_eq!(r.icache_bits(Observer::address()), 1.0);
+        assert!((r.dcache_bits(Observer::address()) - 5.64).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "no row")]
+    fn missing_spec_panics() {
+        report().bits(Channel::Shared, Observer::page());
+    }
+
+    #[test]
+    fn bits_formatting_matches_paper_style() {
+        assert_eq!(format_bits(0.0), "0");
+        assert_eq!(format_bits(1.0), "1");
+        assert_eq!(format_bits(1152.0), "1152");
+        assert_eq!(format_bits(5.643), "5.6");
+        assert_eq!(format_bits(2.3219), "2.3");
+    }
+
+    #[test]
+    fn table_rendering() {
+        let t = report().to_table(&[Observer::address()]);
+        assert!(t.contains("I-Cache"));
+        assert!(t.contains("D-Cache"));
+        assert!(t.contains("5.6 bit"));
+    }
+}

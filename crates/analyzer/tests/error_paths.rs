@@ -1,0 +1,148 @@
+//! Failure-injection tests for the analyzer: every resource limit and
+//! unresolvable construct must produce a diagnosable error, never a hang
+//! or a silent wrong answer.
+
+use leakaudit_analyzer::{Analysis, AnalysisConfig, AnalysisError, AnalysisInput, InitState};
+use leakaudit_core::ValueSet;
+use leakaudit_x86::{Asm, Mem, Reg};
+
+fn analyze_with(
+    config: AnalysisConfig,
+    build: impl FnOnce(&mut Asm),
+    init: InitState,
+) -> Result<leakaudit_analyzer::LeakReport, AnalysisError> {
+    let mut a = Asm::new(0x1000);
+    build(&mut a);
+    let program = a.assemble().unwrap();
+    Analysis::new(config).run(&AnalysisInput { program, init })
+}
+
+#[test]
+fn unresolved_return_is_reported() {
+    // ret with a secret-dependent return address on the stack.
+    let mut init = InitState::new();
+    init.set_reg(Reg::Eax, ValueSet::from_constants([0x2000, 0x3000], 32));
+    let err = analyze_with(
+        AnalysisConfig::default(),
+        |a| {
+            a.push_op(Reg::Eax);
+            a.ret();
+        },
+        init,
+    )
+    .unwrap_err();
+    assert!(matches!(err, AnalysisError::UnresolvedReturn { at: 0x1001 }));
+    assert!(err.to_string().contains("0x1001"));
+}
+
+#[test]
+fn secret_bounded_loop_forks_are_capped() {
+    // A loop whose guard depends on a secret every iteration: the config
+    // population grows until the cap trips (instead of diverging).
+    let mut init = InitState::new();
+    init.set_reg(Reg::Ecx, ValueSet::top(32));
+    let err = analyze_with(
+        AnalysisConfig {
+            fuel: 100_000,
+            max_configs: 64,
+            ..AnalysisConfig::default()
+        },
+        |a| {
+            a.label("spin");
+            a.mov(Reg::Eax, Mem::reg(Reg::Esp)); // untracked: Top
+            a.test(Reg::Eax, Reg::Eax);
+            a.jne("spin");
+            a.hlt();
+        },
+        init,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            AnalysisError::TooManyConfigs { .. } | AnalysisError::OutOfFuel { .. }
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn fuel_exhaustion_on_infinite_loop() {
+    let err = analyze_with(
+        AnalysisConfig {
+            fuel: 50,
+            ..AnalysisConfig::default()
+        },
+        |a| {
+            a.label("spin");
+            a.jmp("spin");
+        },
+        InitState::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, AnalysisError::OutOfFuel { fuel: 50 }));
+}
+
+#[test]
+fn undecodable_region_is_reported() {
+    let err = analyze_with(
+        AnalysisConfig::default(),
+        |a| {
+            a.db(&[0xcc]); // int3: outside the supported subset
+        },
+        InitState::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, AnalysisError::Decode(_)));
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn dead_branches_are_pruned_not_counted() {
+    // cmp on a refined singleton: the impossible branch must not add
+    // spurious traces. eax = {5}; je taken always.
+    let mut init = InitState::new();
+    init.set_reg(Reg::Eax, ValueSet::constant(5, 32));
+    let report = analyze_with(
+        AnalysisConfig::default(),
+        |a| {
+            a.cmp(Reg::Eax, 5u32);
+            a.je("yes");
+            a.mov(Reg::Ebx, Mem::abs(0x8000)); // never executed
+            a.label("yes");
+            a.hlt();
+        },
+        init,
+    )
+    .unwrap();
+    assert_eq!(
+        report.dcache_bits(leakaudit_core::Observer::address()),
+        0.0,
+        "the dead path's load must not appear in any trace"
+    );
+}
+
+#[test]
+fn refinement_prunes_impossible_fork_arms() {
+    // eax ∈ {1, 2}: `test eax, eax; je` can never take the zero branch.
+    let mut init = InitState::new();
+    init.set_reg(Reg::Eax, ValueSet::from_constants([1, 2], 32));
+    let report = analyze_with(
+        AnalysisConfig::default(),
+        |a| {
+            a.test(Reg::Eax, Reg::Eax);
+            a.je("zero");
+            a.hlt();
+            a.label("zero");
+            a.mov(Reg::Ebx, Mem::abs(0x8000)); // unreachable
+            a.hlt();
+        },
+        init,
+    )
+    .unwrap();
+    assert_eq!(
+        report.icache_bits(leakaudit_core::Observer::address()),
+        0.0,
+        "no fork: the ZF=1 class is empty"
+    );
+}

@@ -1,0 +1,21 @@
+//! §8.1: "our analysis takes between 0 and 4 seconds" per instance — this
+//! bench measures the end-to-end static analysis of each case-study
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_runtime");
+    group.sample_size(10);
+    for scenario in leakaudit_scenarios::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.name),
+            &scenario,
+            |b, s| b.iter(|| s.analyze().expect("analysis converges")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the abstract domains — ablation data for the
+//! design decisions called out in DESIGN.md (bit-level op sweep, the
+//! set-uniform addition rule, trace-DAG updates, exact big-number
+//! counting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leakaudit_core::{
+    apply, apply_set, BinOp, Mask, MaskedSymbol, Observer, SymbolTable, TraceDag, ValueSet,
+};
+
+fn bench_masked_symbol_ops(c: &mut Criterion) {
+    c.bench_function("masked_symbol/align_idiom", |b| {
+        b.iter(|| {
+            let mut t = SymbolTable::new();
+            let buf = MaskedSymbol::symbol(t.fresh("buf"), 32);
+            let low = apply(&mut t, BinOp::And, &buf, &MaskedSymbol::constant(63, 32)).value;
+            let cleared = apply(&mut t, BinOp::Sub, &buf, &low).value;
+            apply(&mut t, BinOp::Add, &cleared, &MaskedSymbol::constant(64, 32)).value
+        })
+    });
+
+    c.bench_function("masked_symbol/add_const_chain", |b| {
+        b.iter(|| {
+            let mut t = SymbolTable::new();
+            let mut x = MaskedSymbol::symbol(t.fresh("p"), 32);
+            for _ in 0..64 {
+                x = apply(&mut t, BinOp::Add, &x, &MaskedSymbol::constant(8, 32)).value;
+            }
+            x
+        })
+    });
+}
+
+fn bench_set_uniform_rule(c: &mut Criterion) {
+    // The gather inner loop: {aligned + k} + 8, crossing line boundaries.
+    c.bench_function("value_set/uniform_add_8x384", |b| {
+        b.iter(|| {
+            let mut t = SymbolTable::new();
+            let s = t.fresh("buf");
+            let aligned = MaskedSymbol::new(s, Mask::top(32).with_low_bits_known(6, 0));
+            let k = ValueSet::from_constants(0..8, 32);
+            let (mut ptr, _) =
+                apply_set(&mut t, BinOp::Add, &ValueSet::singleton(aligned), &k);
+            for _ in 0..384 {
+                let (next, _) =
+                    apply_set(&mut t, BinOp::Add, &ptr, &ValueSet::constant(8, 32));
+                ptr = next;
+            }
+            ptr
+        })
+    });
+}
+
+fn bench_trace_dag(c: &mut Criterion) {
+    c.bench_function("trace_dag/gather_384_accesses_and_count", |b| {
+        b.iter(|| {
+            let mut t = SymbolTable::new();
+            let s = t.fresh("buf");
+            let aligned = MaskedSymbol::new(s, Mask::top(32).with_low_bits_known(6, 0));
+            let k = ValueSet::from_constants(0..8, 32);
+            let (mut ptr, _) =
+                apply_set(&mut t, BinOp::Add, &ValueSet::singleton(aligned), &k);
+            let (mut dag, mut cur) = TraceDag::new(Observer::address());
+            for _ in 0..384 {
+                cur = dag.access(cur, &ptr);
+                let (next, _) =
+                    apply_set(&mut t, BinOp::Add, &ptr, &ValueSet::constant(8, 32));
+                ptr = next;
+            }
+            dag.count(&cur) // 8^384: exercises exact big-number counting
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_masked_symbol_ops,
+    bench_set_uniform_rule,
+    bench_trace_dag
+);
+criterion_main!(benches);

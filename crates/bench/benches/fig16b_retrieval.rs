@@ -1,0 +1,44 @@
+//! Fig. 16b: cost of the multi-precision-integer retrieval step alone
+//! (paper: 2991 / 8618 / 13040 instructions, 859 / 3073 / 5579 cycles for
+//! scatter-gather / access-all / defensive-gather).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leakaudit_crypto::modexp::TableStrategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xf16b);
+    let value_bytes = 384; // 3072-bit values, as in the paper
+    let entries = 8;
+
+    let mut group = c.benchmark_group("fig16b_retrieval_384B");
+    for strategy in [
+        TableStrategy::ScatterGather,
+        TableStrategy::AccessAll,
+        TableStrategy::DefensiveGather,
+    ] {
+        let mut table = strategy.build(entries, value_bytes);
+        for k in 0..entries {
+            let v: Vec<u8> = (0..value_bytes).map(|_| rng.gen()).collect();
+            table.store(k, &v);
+        }
+        let mut out = vec![0u8; value_bytes];
+        let mut k = 0usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, _| {
+                b.iter(|| {
+                    k = (k + 3) % entries;
+                    table.retrieve(k, &mut out);
+                    std::hint::black_box(&out);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all            # everything (Fig. 16 at full 3072-bit size)
+//! repro quick          # everything, Fig. 16 at 512 bits (fast)
+//! repro fig1|fig2|fig7|fig8|fig9|fig13|fig14|fig15|fig16|runtimes
+//! ```
+
+use leakaudit_bench as bench;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <all|quick|fig1|fig2|fig4|fig7|fig8|fig9|fig13|fig14|fig15|fig16|runtimes>"
+    );
+    std::process::exit(2);
+}
+
+fn leakage_subset(filter: &[&str]) -> String {
+    let mut out = String::new();
+    for s in leakaudit_scenarios::all() {
+        if filter.iter().any(|f| s.paper_ref.contains(f)) {
+            out.push_str(&bench::render_scenario_table(&s));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| usage());
+    let out = match arg.as_str() {
+        "all" => bench::render_all(3072, 2),
+        "quick" => bench::render_all(512, 2),
+        "fig1" => bench::render_fig1(),
+        "fig2" => bench::render_fig2(),
+        "fig4" => bench::render_fig4(),
+        "fig7" => leakage_subset(&["Fig. 7a", "Fig. 7b"]),
+        "fig8" => leakage_subset(&["Fig. 8"]),
+        "fig9" => bench::render_fig9(),
+        "fig13" => bench::render_fig13(),
+        "fig14" => leakage_subset(&["Fig. 14"]),
+        "fig15" => bench::render_fig15(),
+        "fig16" => bench::render_fig16(3072, 2),
+        "fig16-quick" => bench::render_fig16(512, 2),
+        "runtimes" => bench::render_runtimes(),
+        _ => usage(),
+    };
+    println!("{out}");
+}

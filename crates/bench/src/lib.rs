@@ -1,0 +1,296 @@
+//! Figure/table regeneration for every experiment in the paper's
+//! evaluation (§8), shared between the `repro` binary and the Criterion
+//! benches.
+//!
+//! | paper artifact | function |
+//! |---|---|
+//! | Fig. 1 (unprotected value layout) | [`render_fig1`] |
+//! | Fig. 2 (scatter/gather layout) | [`render_fig2`] |
+//! | Figs. 7a/7b/8 (square-and-multiply leakage) | [`render_leakage_tables`] |
+//! | Figs. 9a/9b (1.5.3 code layouts) | [`render_fig9`] |
+//! | Fig. 13 (cache-bank layout) | [`render_fig13`] |
+//! | Figs. 14a–d (lookup leakage) | [`render_leakage_tables`] |
+//! | Figs. 15a/15b (1.6.1 code layouts) | [`render_fig15`] |
+//! | Fig. 16a/16b (performance) | [`render_fig16`] |
+//! | §8.1 (analysis runtime 0–4 s) | [`render_runtimes`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use leakaudit_analyzer::format_bits;
+use leakaudit_core::Observer;
+use leakaudit_crypto::perf::{measure_modexp, measure_retrieval};
+use leakaudit_scenarios::{scatter_gather, Scenario};
+use leakaudit_x86::{render_byte_layout, render_code_layout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Renders Fig. 1: two 3072-bit pre-computed values stored contiguously
+/// (libgcrypt 1.6.1) — each value covers six 64-byte blocks of its own,
+/// so accessing it identifies it.
+pub fn render_fig1() -> String {
+    let mut out = String::from(
+        "Fig. 1 — layout of pre-computed values p2, p3 (libgcrypt 1.6.1)\n\
+         contiguous storage: every row (64-byte block) belongs to ONE value\n\n",
+    );
+    out.push_str(&render_byte_layout(0x80e_b140, 2 * 384, 64, |off| {
+        Some(if off < 384 { '2' } else { '3' })
+    }));
+    out
+}
+
+/// Renders Fig. 2: the scatter/gather layout — byte `i` of every value in
+/// the same block, so every retrieval touches every block.
+pub fn render_fig2() -> String {
+    let mut out = String::from(
+        "Fig. 2 — scatter/gather layout (OpenSSL 1.0.2f), 8 values p0..p7\n\
+         interleaved storage: every 64-byte block holds bytes of ALL values\n\n",
+    );
+    out.push_str(&render_byte_layout(0x80e_b140, 4 * 64, 64, |off| {
+        char::from_digit(off % 8, 10)
+    }));
+    out.push_str("(showing the first 4 of 48 blocks)\n");
+    out
+}
+
+/// Renders Fig. 13: the cache-bank view of one scattered block (16 banks
+/// of 4 bytes) — each bank holds bytes of only half the values, so a
+/// bank-trace observer distinguishes them (CacheBleed).
+pub fn render_fig13() -> String {
+    let mut out = String::from(
+        "Fig. 13 — one scattered 64-byte block split into 16 banks of 4 bytes\n\
+         cells show which value owns each byte; columns are banks\n\n bank:  ",
+    );
+    for b in 0..16 {
+        let _ = write!(out, "{b:>4}");
+    }
+    out.push('\n');
+    for row in 0..4 {
+        let _ = write!(out, " row {row}: ");
+        for bank in 0..16 {
+            let offset = bank * 4 + row;
+            let _ = write!(out, "  p{}", offset % 8);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Fig. 4: the memory-trace DAGs for the Ex. 9 snippet, for the
+/// address-trace and block-trace observers of the instruction cache, in
+/// Graphviz DOT form. Drives exactly the update/fork/merge protocol the
+/// analyzer uses.
+pub fn render_fig4() -> String {
+    use leakaudit_core::{TraceDag, ValueSet};
+    let mut out = String::from(
+        "Fig. 4 — trace DAGs for the libgcrypt 1.5.3 branch (Ex. 9), DOT format\n\n",
+    );
+    for (title, observer) in [
+        ("(a) address-trace observer", Observer::address()),
+        ("(b) block-trace observer (64B)", Observer::block(6)),
+    ] {
+        let (mut dag, mut cur) = TraceDag::new(observer);
+        for pc in [0x41a90u64, 0x41a97, 0x41a99] {
+            cur = dag.access(cur, &ValueSet::constant(pc, 32));
+        }
+        let taken = dag.clone_cursor(&cur);
+        for pc in [0x41a9bu64, 0x41a9d, 0x41a9f] {
+            cur = dag.access(cur, &ValueSet::constant(pc, 32));
+        }
+        let mut cur = dag.merge_cursors(cur, taken);
+        cur = dag.access(cur, &ValueSet::constant(0x41aa1, 32));
+        let _ = writeln!(
+            out,
+            "{title}: {} traces counted\n{}",
+            dag.count(&cur),
+            dag.to_dot()
+        );
+    }
+    out
+}
+
+/// Renders the Fig. 9 code layouts (libgcrypt 1.5.3 at -O2 and -O0,
+/// 32-byte blocks, as in the paper's figure).
+pub fn render_fig9() -> String {
+    let o2 = leakaudit_scenarios::square_always::libgcrypt_153_o2();
+    let o0 = leakaudit_scenarios::square_always::libgcrypt_153_o0();
+    let mut out = String::from("Fig. 9a — libgcrypt 1.5.3 conditional copy, gcc -O2:\n");
+    out.push_str(&render_code_layout(&o2.program, 0x41a90, 0x41aa5, 32));
+    out.push_str("\nFig. 9b — gcc -O0 (the copy spills across block 0x5d060):\n");
+    out.push_str(&render_code_layout(&o0.program, 0x5d040, 0x5d084, 32));
+    out
+}
+
+/// Renders the Fig. 15 code layouts (libgcrypt 1.6.1 lookup branch at -O2
+/// and -O1, 64-byte blocks).
+pub fn render_fig15() -> String {
+    let o2 = leakaudit_scenarios::lookup_unprotected::libgcrypt_161_o2();
+    let o1 = leakaudit_scenarios::lookup_unprotected::libgcrypt_161_o1();
+    let mut out =
+        String::from("Fig. 15a — libgcrypt 1.6.1 lookup, gcc -O2 (branch in far block):\n");
+    out.push_str(&render_code_layout(&o2.program, 0x4b980, 0x4b9a0, 64));
+    out.push_str("   ...\n");
+    out.push_str(&render_code_layout(&o2.program, 0x4ba40, 0x4ba58, 64));
+    out.push_str("\nFig. 15b — gcc -O1 (both paths cover the same blocks):\n");
+    out.push_str(&render_code_layout(&o1.program, 0x47dc0, 0x47e12, 64));
+    out
+}
+
+/// Runs the static analysis of one scenario and renders its paper-style
+/// leakage table plus the paper's expected row for comparison.
+pub fn render_scenario_table(s: &Scenario) -> String {
+    let started = Instant::now();
+    let report = s.analyze().expect("analysis converges");
+    let elapsed = started.elapsed();
+    let b = s.block_bits;
+    let observers = [
+        Observer::address(),
+        Observer::block(b),
+        Observer::block(b).stuttering(),
+    ];
+    let mut out = format!(
+        "── {} ({})\n   analysis took {:.2?}\n",
+        s.name, s.paper_ref, elapsed
+    );
+    out.push_str(&report.to_table(&observers));
+    let fmt_row = |row: &[f64; 3]| -> String {
+        row.iter()
+            .map(|b| format!("{} bit", format_bits(*b)))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    };
+    let _ = writeln!(
+        out,
+        "paper:  I-Cache {} | D-Cache {}",
+        fmt_row(&s.expected.icache),
+        fmt_row(&s.expected.dcache)
+    );
+    if let Some(bank) = s.expected.dcache_bank {
+        let got = report.dcache_bits(Observer::bank());
+        let _ = writeln!(
+            out,
+            "bank-trace observer (CacheBleed): measured {} bit, paper {} bit",
+            format_bits(got),
+            format_bits(bank)
+        );
+    }
+    out
+}
+
+/// Renders the leakage tables of Figs. 7, 8 and 14 for all eight
+/// case-study instances.
+pub fn render_leakage_tables() -> String {
+    let mut out = String::from(
+        "Leakage bounds (bits) — reproduction of Figs. 7, 8, 14\n\
+         ======================================================\n\n",
+    );
+    for s in leakaudit_scenarios::all() {
+        out.push_str(&render_scenario_table(&s));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders §8.1's runtime claim: per-instance analysis time (paper: 0–4 s
+/// on a t1.micro).
+pub fn render_runtimes() -> String {
+    let mut out = String::from("Analysis runtime per instance (paper §8.1: 0–4 s)\n");
+    for s in leakaudit_scenarios::all() {
+        let started = Instant::now();
+        let _ = s.analyze().expect("analysis converges");
+        let _ = writeln!(out, "  {:<42} {:>8.2?}", s.name, started.elapsed());
+    }
+    out
+}
+
+/// Renders the Fig. 16 performance tables. `bits` is the key size (the
+/// paper uses 3072); `samples` the number of random inputs per variant.
+pub fn render_fig16(bits: usize, samples: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(0x1616);
+    let mut out = format!(
+        "Fig. 16a — modular exponentiation, {bits}-bit operands\n\
+         (instruction proxy: exact limb operations; paper measured PAPI\n\
+         instructions on an Intel Q9550 — compare ratios, not magnitudes)\n\n\
+         {:<18} {:<18} {:>14} {:>12}\n",
+        "implementation", "countermeasure", "limb ops", "time"
+    );
+    let rows = measure_modexp(&mut rng, bits, samples);
+    let baseline = rows[0].limb_ops as f64;
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:<18} {:>14} {:>9.2?}  ({:.2}x)",
+            r.algorithm.implementation(),
+            r.algorithm.countermeasure(),
+            r.limb_ops,
+            std::time::Duration::from_nanos(r.nanos),
+            r.limb_ops as f64 / baseline,
+        );
+    }
+    out.push_str(
+        "\nFig. 16b — multi-precision-integer retrieval step only\n\
+         (384-byte values, 8 entries; paper: 2991 / 8618 / 13040 instructions)\n\n",
+    );
+    let rows = measure_retrieval(&mut rng, 384, 1024);
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>7} bytes touched {:>9.2?}",
+            format!("{:?}", r.strategy),
+            r.bytes_touched,
+            std::time::Duration::from_nanos(r.nanos),
+        );
+    }
+    out
+}
+
+/// Everything, in paper order — the full reproduction protocol.
+pub fn render_all(fig16_bits: usize, fig16_samples: usize) -> String {
+    let mut out = String::new();
+    for part in [
+        render_fig1(),
+        render_fig2(),
+        render_fig4(),
+        render_fig13(),
+        render_fig9(),
+        render_fig15(),
+        render_leakage_tables(),
+        render_runtimes(),
+        render_fig16(fig16_bits, fig16_samples),
+    ] {
+        out.push_str(&part);
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Convenience used by benches: the scatter/gather scenario.
+pub fn scatter_gather_scenario() -> Scenario {
+    scatter_gather::openssl_102f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_renderings_contain_key_features() {
+        assert!(render_fig1().contains("0x080eb140"));
+        assert!(render_fig2().contains("01234567"));
+        assert!(render_fig13().contains("p7"));
+        assert!(render_fig9().contains("jne 0x41aa1"));
+        assert!(render_fig9().contains("block 0x5d060"));
+        assert!(render_fig15().contains("block 0x4ba40"));
+    }
+
+    #[test]
+    fn fig16_renders_with_small_operands() {
+        let table = render_fig16(128, 1);
+        assert!(table.contains("libgcrypt 1.5.2"));
+        assert!(table.contains("openssl 1.0.2g"));
+        assert!(table.contains("384 bytes touched"));
+    }
+}

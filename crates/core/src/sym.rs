@@ -1,0 +1,309 @@
+//! Symbols, provenance, and the origin/offset mechanism of paper §5.4.2.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::msym::MaskedSymbol;
+
+/// Identifier of a symbol (`s ∈ Sym` in the paper).
+///
+/// Symbols stand for values that are unknown at analysis time — typically
+/// base addresses of dynamically allocated memory (*low but unknown* inputs,
+/// paper §4). Fresh symbols are also introduced by abstract operations whose
+/// result bits cannot be tied to an operand (paper §5.4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub(crate) u32);
+
+impl SymId {
+    /// The distinguished symbol carried by fully-known masked symbols.
+    ///
+    /// Its valuation is irrelevant: every bit is determined by the mask.
+    pub const CONST: SymId = SymId(0);
+
+    /// The raw index (useful for dense side tables).
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SymId::CONST {
+            write!(f, "·")
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// How a symbol came to exist — for diagnostics and for distinguishing the
+/// *low input* symbols of `Sym_lo` from analysis-introduced ones (§7.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// Part of the low initial state (e.g. a `malloc` result).
+    Input,
+    /// Introduced by an abstract operation during analysis.
+    Derived {
+        /// Short description of the producing operation, e.g. `"add"`.
+        op: &'static str,
+    },
+}
+
+/// Allocator and metadata store for symbols.
+///
+/// Beyond allocation, the table implements the offset-tracking mechanism of
+/// paper §5.4.2: every masked symbol has an *origin* and an *offset* from
+/// that origin (`orig`/`off`), with a `succ` memo so that adding the same
+/// constant to the same pointer twice yields the *same* masked symbol. This
+/// is what lets the analysis decide pointer equalities like the loop guard
+/// `x ≠ y` of paper Ex. 7/8.
+///
+/// ```
+/// use leakaudit_core::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let buf = table.fresh("buf");
+/// assert_eq!(table.name(buf), "buf");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    provenance: Vec<Provenance>,
+    /// `orig`/`off` of §5.4.2, keyed by derived masked symbol.
+    origin: HashMap<MaskedSymbol, (MaskedSymbol, u64)>,
+    /// `succ(origin, offset)` memo of §5.4.2.
+    succ: HashMap<(MaskedSymbol, u64), MaskedSymbol>,
+}
+
+impl SymbolTable {
+    /// Creates a table containing only [`SymId::CONST`].
+    pub fn new() -> Self {
+        SymbolTable {
+            names: vec!["·".to_string()],
+            provenance: vec![Provenance::Input],
+            origin: HashMap::new(),
+            succ: HashMap::new(),
+        }
+    }
+
+    /// Allocates a fresh *input* symbol (an element of `Sym_lo`).
+    pub fn fresh(&mut self, name: &str) -> SymId {
+        self.alloc(name.to_string(), Provenance::Input)
+    }
+
+    /// Allocates a fresh symbol introduced by abstract operation `op`.
+    pub fn fresh_derived(&mut self, op: &'static str) -> SymId {
+        let name = format!("{}#{}", op, self.names.len());
+        self.alloc(name, Provenance::Derived { op })
+    }
+
+    fn alloc(&mut self, name: String, provenance: Provenance) -> SymId {
+        let id = SymId(self.names.len() as u32);
+        self.names.push(name);
+        self.provenance.push(provenance);
+        id
+    }
+
+    /// The display name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was not allocated by this table.
+    pub fn name(&self, sym: SymId) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// The provenance of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was not allocated by this table.
+    pub fn provenance(&self, sym: SymId) -> &Provenance {
+        &self.provenance[sym.index()]
+    }
+
+    /// Number of allocated symbols (including [`SymId::CONST`]).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff only [`SymId::CONST`] exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// The origin and offset of a masked symbol (§5.4.2).
+    ///
+    /// Defaults to `(x, 0)` for symbols with no recorded derivation, matching
+    /// the paper's initialization `orig(x) = x`, `off(x) = 0`.
+    pub fn origin_of(&self, x: &MaskedSymbol) -> (MaskedSymbol, u64) {
+        self.origin.get(x).copied().unwrap_or((*x, 0))
+    }
+
+    /// Looks up `succ(origin, offset)`.
+    pub fn successor(&self, origin: &MaskedSymbol, offset: u64) -> Option<MaskedSymbol> {
+        if offset == 0 {
+            return Some(*origin);
+        }
+        self.succ.get(&(*origin, offset)).copied()
+    }
+
+    /// Records that `derived = origin + offset` (wrapping at the width).
+    ///
+    /// Called by the abstract `ADD`/`SUB` with a constant operand.
+    pub fn record_offset(&mut self, derived: MaskedSymbol, origin: MaskedSymbol, offset: u64) {
+        if derived == origin || offset == 0 {
+            return;
+        }
+        self.origin.insert(derived, (origin, offset));
+        self.succ.entry((origin, offset)).or_insert(derived);
+    }
+
+    /// Decides definite equality/disequality of the *values* of two masked
+    /// symbols, if possible (used for the ZF rules of §5.4.3):
+    ///
+    /// * `Some(true)` — values are equal under every valuation;
+    /// * `Some(false)` — values differ under every valuation;
+    /// * `None` — undetermined.
+    pub fn compare_values(&self, x: &MaskedSymbol, y: &MaskedSymbol) -> Option<bool> {
+        if x == y {
+            return Some(true);
+        }
+        if let (Some(a), Some(b)) = (x.as_constant(), y.as_constant()) {
+            return Some(a == b);
+        }
+        // Same origin, different offset ⇒ values differ (mod 2^width they
+        // are origin + off_x vs origin + off_y).
+        let (ox, dx) = self.origin_of(x);
+        let (oy, dy) = self.origin_of(y);
+        if ox == oy && dx != dy {
+            return Some(false);
+        }
+        // Identical symbols with incompatible known bits ⇒ differ.
+        if x.sym() == y.sym() && x.sym() != SymId::CONST {
+            let both_known = x.mask().known_bits() & y.mask().known_bits();
+            if (x.mask().known_values() ^ y.mask().known_values()) & both_known != 0 {
+                return Some(false);
+            }
+        }
+        None
+    }
+
+    /// The distance `off(x) - off(y)` if both masked symbols share an
+    /// origin, wrapped at `width` bits.
+    pub fn offset_between(&self, x: &MaskedSymbol, y: &MaskedSymbol, width: u8) -> Option<u64> {
+        let (ox, dx) = self.origin_of(x);
+        let (oy, dy) = self.origin_of(y);
+        (ox == oy).then(|| {
+            let wrap = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            dx.wrapping_sub(dy) & wrap
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::Mask;
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh("a");
+        let b = t.fresh("b");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn provenance_distinguishes_inputs_from_derived() {
+        let mut t = SymbolTable::new();
+        let i = t.fresh("heap");
+        let d = t.fresh_derived("add");
+        assert_eq!(*t.provenance(i), Provenance::Input);
+        assert_eq!(*t.provenance(d), Provenance::Derived { op: "add" });
+    }
+
+    #[test]
+    fn origin_defaults_to_self() {
+        let mut t = SymbolTable::new();
+        let s = t.fresh("p");
+        let m = MaskedSymbol::symbol(s, 32);
+        assert_eq!(t.origin_of(&m), (m, 0));
+        assert_eq!(t.successor(&m, 0), Some(m));
+        assert_eq!(t.successor(&m, 4), None);
+    }
+
+    #[test]
+    fn record_offset_enables_succ_reuse() {
+        let mut t = SymbolTable::new();
+        let s = t.fresh("p");
+        let d = t.fresh_derived("add");
+        let base = MaskedSymbol::symbol(s, 32);
+        let plus4 = MaskedSymbol::symbol(d, 32);
+        t.record_offset(plus4, base, 4);
+        assert_eq!(t.successor(&base, 4), Some(plus4));
+        assert_eq!(t.origin_of(&plus4), (base, 4));
+    }
+
+    #[test]
+    fn compare_values_by_offset() {
+        let mut t = SymbolTable::new();
+        let s = t.fresh("r");
+        let d1 = t.fresh_derived("add");
+        let d2 = t.fresh_derived("add");
+        let r = MaskedSymbol::symbol(s, 32);
+        let x = MaskedSymbol::symbol(d1, 32);
+        let y = MaskedSymbol::symbol(d2, 32);
+        t.record_offset(x, r, 8);
+        t.record_offset(y, r, 12);
+        // Ex. 8: x and y derived from common origin r at different offsets.
+        assert_eq!(t.compare_values(&x, &y), Some(false));
+        assert_eq!(t.compare_values(&x, &x), Some(true));
+        assert_eq!(t.compare_values(&x, &r), Some(false));
+        assert_eq!(t.offset_between(&x, &y, 32), Some((8u64.wrapping_sub(12)) & 0xffff_ffff));
+        assert_eq!(t.offset_between(&y, &x, 32), Some(4));
+    }
+
+    #[test]
+    fn compare_values_constants_and_unknowns() {
+        let mut t = SymbolTable::new();
+        let s = t.fresh("s");
+        let u = t.fresh("u");
+        let c1 = MaskedSymbol::constant(5, 32);
+        let c2 = MaskedSymbol::constant(6, 32);
+        assert_eq!(t.compare_values(&c1, &c2), Some(false));
+        assert_eq!(t.compare_values(&c1, &c1), Some(true));
+        // Unrelated symbols: cannot decide.
+        let ms = MaskedSymbol::symbol(s, 32);
+        let mu = MaskedSymbol::symbol(u, 32);
+        assert_eq!(t.compare_values(&ms, &mu), None);
+        assert_eq!(t.compare_values(&ms, &c1), None);
+    }
+
+    #[test]
+    fn compare_values_same_symbol_conflicting_known_bits() {
+        let mut t = SymbolTable::new();
+        let s = t.fresh("s");
+        let a = MaskedSymbol::new(s, Mask::top(32).with_low_bits_known(1, 0));
+        let b = MaskedSymbol::new(s, Mask::top(32).with_low_bits_known(1, 1));
+        // Same base value, but bit 0 is known 0 in one and 1 in the other:
+        // these denote different concrete values under every valuation.
+        assert_eq!(t.compare_values(&a, &b), Some(false));
+        // Same known bits at disjoint positions: undetermined.
+        let c = MaskedSymbol::new(s, Mask::top(32).with_bit(5, crate::MaskBit::One));
+        assert_eq!(t.compare_values(&a, &c), None);
+    }
+}

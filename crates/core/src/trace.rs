@@ -1,0 +1,548 @@
+//! The memory-trace abstract domain (paper §6): a DAG whose vertices carry
+//! projected observation sets plus repetition counts, with the counting
+//! procedure of Proposition 2.
+//!
+//! Following the implementation notes of §6.4, the projection is applied at
+//! update time (each [`TraceDag`] serves a single [`Observer`]) and joins
+//! are *delayed*: when several control-flow paths are live, the cursor
+//! simply holds several frontier vertices, and the ε-join vertex is
+//! materialized only by the next update. This delay is what lets repeated
+//! accesses to the same unit merge into a repetition set across a branch
+//! re-convergence (paper Ex. 9 / Fig. 4) so that stuttering observers count
+//! them as a single observation.
+//!
+//! # Cursor discipline
+//!
+//! A [`Cursor`] is the frontier of one abstract execution path. Cursors are
+//! deliberately **not** `Clone`: duplicating one (when the analysis forks on
+//! an unknown branch flag) must go through [`TraceDag::clone_cursor`] so the
+//! DAG can track how many paths share each frontier vertex — in-place
+//! repetition bumps are only sound for exclusively-owned vertices.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use leakaudit_mpi::Natural;
+
+use crate::observer::{ObsSet, Observer};
+use crate::value::ValueSet;
+
+/// Identifier of a vertex in a [`TraceDag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Raw index into the DAG's vertex table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A vertex label: the root/join marker ε, or a set of projected
+/// observations (paper §6.1's `L(v)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Label {
+    /// No observation (root and join vertices).
+    Epsilon,
+    /// The observations one access at this program point may produce.
+    Obs(ObsSet),
+}
+
+impl Label {
+    /// The factor `|π(L(v))|` of the counting formula.
+    fn count(&self) -> Natural {
+        match self {
+            Label::Epsilon => Natural::one(),
+            Label::Obs(o) => o.count(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Vertex {
+    label: Label,
+    /// Possible repetition counts `R(v)` (paper §6.1).
+    reps: BTreeSet<u64>,
+    preds: Vec<VertexId>,
+    /// Number of child edges (vertices listing this one as a pred).
+    children: u32,
+    /// Number of live cursors whose frontier includes this vertex.
+    cursor_refs: u32,
+    dead: bool,
+}
+
+/// The frontier of one abstract execution path in a [`TraceDag`].
+///
+/// Holds one or more vertices when joins are pending (delayed-join
+/// discipline of §6.4).
+#[derive(Debug)]
+pub struct Cursor {
+    verts: Vec<VertexId>,
+}
+
+impl Cursor {
+    /// The frontier vertices.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.verts
+    }
+}
+
+/// A memory-trace DAG specialized to one observer (paper §6).
+///
+/// ```
+/// use leakaudit_core::{Observer, TraceDag, ValueSet};
+///
+/// let (mut dag, cur) = TraceDag::new(Observer::block(6));
+/// // One access to a known address: one possible observation.
+/// let cur = dag.access(cur, &ValueSet::constant(0x41a90, 32));
+/// assert_eq!(dag.count(&cur).to_u64(), Some(1));
+/// // An access to one of two far-apart addresses: two observations.
+/// let cur = dag.access(cur, &ValueSet::from_constants([0x0, 0x1000], 32));
+/// assert_eq!(dag.count(&cur).to_u64(), Some(2));
+/// ```
+#[derive(Debug)]
+pub struct TraceDag {
+    observer: Observer,
+    vertices: Vec<Vertex>,
+    root: VertexId,
+}
+
+impl TraceDag {
+    /// Creates an empty DAG (a single ε root) and its initial cursor.
+    pub fn new(observer: Observer) -> (Self, Cursor) {
+        let root = Vertex {
+            label: Label::Epsilon,
+            reps: BTreeSet::from([1]),
+            preds: Vec::new(),
+            children: 0,
+            cursor_refs: 1,
+            dead: false,
+        };
+        let dag = TraceDag {
+            observer,
+            vertices: vec![root],
+            root: VertexId(0),
+        };
+        let cursor = Cursor {
+            verts: vec![VertexId(0)],
+        };
+        (dag, cursor)
+    }
+
+    /// The observer this DAG projects through.
+    pub fn observer(&self) -> Observer {
+        self.observer
+    }
+
+    /// Number of vertices ever allocated (including dead ones).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Duplicates a cursor when the analysis forks on an unknown branch.
+    pub fn clone_cursor(&mut self, c: &Cursor) -> Cursor {
+        for &v in &c.verts {
+            self.vertices[v.index()].cursor_refs += 1;
+        }
+        Cursor {
+            verts: c.verts.clone(),
+        }
+    }
+
+    /// Releases a cursor whose path died (e.g. fell out of the analyzed
+    /// region without rejoining).
+    pub fn drop_cursor(&mut self, c: Cursor) {
+        for &v in &c.verts {
+            self.vertices[v.index()].cursor_refs -= 1;
+        }
+    }
+
+    /// Joins two paths that reached the same program point (paper §6.4
+    /// join). The join is *delayed*: the union frontier is kept and the ε
+    /// vertex is materialized by the next [`TraceDag::update`].
+    pub fn merge_cursors(&mut self, a: Cursor, b: Cursor) -> Cursor {
+        let mut verts = a.verts;
+        for v in b.verts {
+            if verts.contains(&v) {
+                // Referenced once by the merged cursor, not twice.
+                self.vertices[v.index()].cursor_refs -= 1;
+            } else {
+                verts.push(v);
+            }
+        }
+        // Paper §6.4 join: frontier vertices with the same parents and the
+        // same label merge, unioning their repetition sets.
+        self.merge_equal_siblings(&mut verts);
+        verts.sort();
+        Cursor { verts }
+    }
+
+    /// Records one memory access with the given set of possible addresses.
+    pub fn access(&mut self, c: Cursor, addresses: &ValueSet) -> Cursor {
+        let obs = self.observer.project_set(addresses);
+        self.update(c, obs)
+    }
+
+    /// Records one access with an already-projected observation set
+    /// (paper §6.4 update).
+    pub fn update(&mut self, c: Cursor, obs: ObsSet) -> Cursor {
+        let label = Label::Obs(obs.clone());
+        let mut stuttered: Vec<VertexId> = Vec::new();
+        let mut pending: Vec<VertexId> = Vec::new();
+
+        for v in c.verts {
+            let vert = &self.vertices[v.index()];
+            let same_unit = vert.label == label && obs.is_singleton();
+            if same_unit && self.observer.is_stuttering() {
+                // A stuttering observer cannot see the repetition at all:
+                // the set of (collapsed) views is unchanged, so the cursor
+                // simply stays put. This needs no exclusivity condition —
+                // nothing is mutated — and it is what lets re-converging
+                // paths with equal collapsed views merge at the join
+                // (paper Fig. 15b: the -O1 layout's b-block leak is zero).
+                stuttered.push(v);
+                continue;
+            }
+            // In-place repetition bump is sound only when the label denotes
+            // a *single* masked observation (a true repetition of the same
+            // address unit) and no other path shares or extends this vertex.
+            if same_unit && vert.cursor_refs == 1 && vert.children == 0 {
+                let vert = &mut self.vertices[v.index()];
+                vert.reps = vert.reps.iter().map(|r| r + 1).collect();
+                stuttered.push(v);
+            } else {
+                pending.push(v);
+            }
+        }
+
+        let mut new_verts = stuttered;
+        if !pending.is_empty() {
+            // Materialize the delayed join if several paths remain.
+            let parent = if pending.len() == 1 {
+                let p = pending[0];
+                self.vertices[p.index()].cursor_refs -= 1;
+                self.vertices[p.index()].children += 1;
+                p
+            } else {
+                for &p in &pending {
+                    self.vertices[p.index()].cursor_refs -= 1;
+                    self.vertices[p.index()].children += 1;
+                }
+                self.push_vertex(Label::Epsilon, pending, 0)
+            };
+            let child = self.push_vertex(label, vec![parent], 1);
+            self.vertices[parent.index()].children += 1;
+            new_verts.push(child);
+        }
+
+        // Merge frontier vertices with identical parents and labels,
+        // unioning their repetition sets (paper §6.4 join rule).
+        self.merge_equal_siblings(&mut new_verts);
+        new_verts.sort();
+        Cursor { verts: new_verts }
+    }
+
+    fn push_vertex(&mut self, label: Label, preds: Vec<VertexId>, cursor_refs: u32) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex {
+            label,
+            reps: BTreeSet::from([1]),
+            preds,
+            children: 0,
+            cursor_refs,
+            dead: false,
+        });
+        id
+    }
+
+    fn merge_equal_siblings(&mut self, verts: &mut Vec<VertexId>) {
+        let mut i = 0;
+        while i < verts.len() {
+            let mut j = i + 1;
+            while j < verts.len() {
+                let (a, b) = (verts[i], verts[j]);
+                // Only a vertex that is exclusively owned by this cursor and
+                // has no descendants may be dissolved into its sibling.
+                let disposable = |v: &Vertex| v.children == 0 && v.cursor_refs == 1;
+                let (keep, drop) = {
+                    let va = &self.vertices[a.index()];
+                    let vb = &self.vertices[b.index()];
+                    if !(va.label == vb.label && va.preds == vb.preds) {
+                        j += 1;
+                        continue;
+                    }
+                    if disposable(vb) {
+                        (a, b)
+                    } else if disposable(va) {
+                        (b, a)
+                    } else {
+                        j += 1;
+                        continue;
+                    }
+                };
+                let reps: Vec<u64> = self.vertices[drop.index()].reps.iter().copied().collect();
+                self.vertices[keep.index()].reps.extend(reps);
+                for p in self.vertices[drop.index()].preds.clone() {
+                    self.vertices[p.index()].children -= 1;
+                }
+                self.vertices[drop.index()].dead = true;
+                verts[i] = keep;
+                verts.remove(j);
+            }
+            i += 1;
+        }
+    }
+
+    /// Upper-bounds the number of distinguishable observation sequences for
+    /// the traces ending at this cursor — `cnt^π` of paper Eq. 3 /
+    /// Proposition 2. For stuttering observers the repetition factor
+    /// `|R(v)|` is replaced by 1.
+    pub fn count(&self, c: &Cursor) -> Natural {
+        let mut cnt: Vec<Option<Natural>> = vec![None; self.vertices.len()];
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.dead {
+                continue;
+            }
+            let preds_sum = if v.preds.is_empty() {
+                Natural::one()
+            } else {
+                let mut s = Natural::zero();
+                for p in &v.preds {
+                    s += cnt[p.index()]
+                        .as_ref()
+                        .expect("preds precede children in id order");
+                }
+                s
+            };
+            let rep_factor = if self.observer.is_stuttering() {
+                Natural::one()
+            } else {
+                Natural::from(v.reps.len() as u64)
+            };
+            cnt[i] = Some(&(&rep_factor * &v.label.count()) * &preds_sum);
+        }
+        let mut total = Natural::zero();
+        for &v in &c.verts {
+            total += cnt[v.index()].as_ref().expect("cursor vertex is alive");
+        }
+        total
+    }
+
+    /// Leakage bound in bits: `log2(count)` (paper §4). Zero observations
+    /// (dead path) and a single observation both mean 0 bits.
+    pub fn leakage_bits(&self, c: &Cursor) -> f64 {
+        let n = self.count(c);
+        if n.is_zero() {
+            0.0
+        } else {
+            n.log2()
+        }
+    }
+
+    /// Renders the DAG in Graphviz DOT format (Fig. 4-style pictures).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph trace {\n  rankdir=TB;\n");
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.dead {
+                continue;
+            }
+            let label = match &v.label {
+                Label::Epsilon if VertexId(i as u32) == self.root => "r".to_string(),
+                Label::Epsilon => "ε".to_string(),
+                Label::Obs(o) => format!("{o}"),
+            };
+            let reps: Vec<String> = v.reps.iter().map(u64::to_string).collect();
+            s.push_str(&format!(
+                "  v{} [label=\"{} ×{{{}}}\"];\n",
+                i,
+                label.replace('"', "'"),
+                reps.join(",")
+            ));
+        }
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.dead {
+                continue;
+            }
+            for p in &v.preds {
+                s.push_str(&format!("  v{} -> v{};\n", p.index(), i));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Display for TraceDag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TraceDag[{}] with {} vertices",
+            self.observer,
+            self.vertices.iter().filter(|v| !v.dead).count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts(vals: &[u64]) -> ValueSet {
+        ValueSet::from_constants(vals.iter().copied(), 32)
+    }
+
+    /// Drives the update/fork/merge protocol exactly as the analysis engine
+    /// does for the libgcrypt 1.5.3 branch of paper Ex. 9 / Fig. 4, and
+    /// checks the three counts the paper reports: 2 traces for the
+    /// address- and block-trace observers (1 bit), 1 for the stuttering
+    /// block-trace observer (0 bits).
+    fn example9(observer: Observer) -> Natural {
+        let (mut dag, mut cur) = TraceDag::new(observer);
+        // Common prefix: mov, test, jne at 41a90/41a97/41a99.
+        for pc in [0x41a90u64, 0x41a97, 0x41a99] {
+            cur = dag.access(cur, &consts(&[pc]));
+        }
+        // Fork on the secret-dependent jump.
+        let taken = dag.clone_cursor(&cur);
+        // Fall-through path executes 41a9b/41a9d/41a9f.
+        for pc in [0x41a9bu64, 0x41a9d, 0x41a9f] {
+            cur = dag.access(cur, &consts(&[pc]));
+        }
+        // Join at 41aa1 and execute it.
+        let mut cur = dag.merge_cursors(cur, taken);
+        cur = dag.access(cur, &consts(&[0x41aa1]));
+        dag.count(&cur)
+    }
+
+    #[test]
+    fn example_9_address_observer_leaks_one_bit() {
+        assert_eq!(example9(Observer::address()).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn example_9_block_observer_leaks_one_bit() {
+        // All code lies in the 64-byte block 0x41a80: the two paths differ
+        // only in how often the block repeats.
+        assert_eq!(example9(Observer::block(6)).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn example_9_stuttering_block_observer_leaks_nothing() {
+        assert_eq!(example9(Observer::block(6).stuttering()).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn example_9_32byte_blocks_stuttering_is_tight() {
+        // With 32-byte blocks both paths produce the stuttering view
+        // (0x20d4, 0x20d5) — truly indistinguishable. Because stuttering
+        // cursors do not move on same-unit accesses, the two frontiers
+        // coincide and merge at the join: the bound is tight.
+        let n = example9(Observer::block(5).stuttering());
+        assert_eq!(n.to_u64(), Some(1));
+    }
+
+    #[test]
+    fn repetition_counts_distinguish_exact_observers() {
+        // Loop accessing the same block 3 vs 5 times, merged: the exact
+        // block observer sees the count, the stuttering one does not.
+        for (observer, expected) in [
+            (Observer::block(6), 2),
+            (Observer::block(6).stuttering(), 1),
+        ] {
+            let (mut dag, cur) = TraceDag::new(observer);
+            let mut a = dag.access(cur, &consts(&[0x100]));
+            let b = dag.clone_cursor(&a);
+            for _ in 0..2 {
+                a = dag.access(a, &consts(&[0x104]));
+            }
+            let mut b = b;
+            for _ in 0..4 {
+                b = dag.access(b, &consts(&[0x108]));
+            }
+            // Paths: block(0x100) then 2× vs 4× block(0x104/0x108 — same
+            // 64-byte block 0x100..0x13f).
+            let merged = dag.merge_cursors(a, b);
+            let cur = dag.access(merged, &consts(&[0x200]));
+            assert_eq!(dag.count(&cur).to_u64(), Some(expected), "{observer}");
+        }
+    }
+
+    #[test]
+    fn secret_indexed_access_counts_units() {
+        // One access to {base + 64k | k in 0..8}: 8 blocks → 3 bits.
+        let (mut dag, cur) = TraceDag::new(Observer::block(6));
+        let addrs: Vec<u64> = (0..8).map(|k| 0x8000 + 64 * k).collect();
+        let cur = dag.access(cur, &consts(&addrs));
+        assert_eq!(dag.count(&cur).to_u64(), Some(8));
+        assert_eq!(dag.leakage_bits(&cur), 3.0);
+    }
+
+    #[test]
+    fn per_access_counts_multiply_along_a_path() {
+        // 384 accesses, each to one of 8 addresses: 8^384 = 2^1152 — the
+        // Fig. 14c D-cache address-trace bound.
+        let (mut dag, mut cur) = TraceDag::new(Observer::address());
+        for i in 0..384u64 {
+            let addrs: Vec<u64> = (0..8).map(|k| 0x8000 + k + 8 * i).collect();
+            cur = dag.access(cur, &consts(&addrs));
+        }
+        assert_eq!(dag.leakage_bits(&cur), 1152.0);
+    }
+
+    #[test]
+    fn forked_paths_sum() {
+        let (mut dag, cur) = TraceDag::new(Observer::address());
+        let mut a = dag.access(cur, &consts(&[0x10]));
+        let b = dag.clone_cursor(&a);
+        a = dag.access(a, &consts(&[0x20]));
+        let mut b = b;
+        b = dag.access(b, &consts(&[0x30]));
+        b = dag.access(b, &consts(&[0x40]));
+        let merged = dag.merge_cursors(a, b);
+        // Two distinct continuations: 0x10·0x20 and 0x10·0x30·0x40.
+        assert_eq!(dag.count(&merged).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn dropping_a_dead_path_removes_its_traces() {
+        let (mut dag, cur) = TraceDag::new(Observer::address());
+        let a = dag.access(cur, &consts(&[0x10]));
+        let b = dag.clone_cursor(&a);
+        let b = dag.access(b, &consts(&[0x20]));
+        dag.drop_cursor(b);
+        assert_eq!(dag.count(&a).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn epsilon_join_caps_frontier_growth() {
+        // Repeated fork/join with distinct labels must not blow up the
+        // cursor: the ε join collapses the frontier at the next update.
+        let (mut dag, mut cur) = TraceDag::new(Observer::address());
+        for round in 0..10u64 {
+            let other = dag.clone_cursor(&cur);
+            cur = dag.access(cur, &consts(&[0x1000 + round]));
+            let other = dag.access(other, &consts(&[0x2000 + round]));
+            cur = dag.merge_cursors(cur, other);
+            cur = dag.access(cur, &consts(&[0x3000]));
+            assert!(cur.vertices().len() <= 2, "frontier stays bounded");
+        }
+        // 2 choices per round over 10 rounds.
+        assert_eq!(dag.leakage_bits(&cur), 10.0);
+    }
+
+    #[test]
+    fn top_address_charges_projection_width() {
+        let (mut dag, cur) = TraceDag::new(Observer::block(6));
+        let cur = dag.access(cur, &ValueSet::top(32));
+        assert_eq!(dag.leakage_bits(&cur), 26.0);
+    }
+
+    #[test]
+    fn dot_output_mentions_vertices() {
+        let (mut dag, cur) = TraceDag::new(Observer::address());
+        let _cur = dag.access(cur, &consts(&[0x41a90]));
+        let dot = dag.to_dot();
+        assert!(dot.contains("digraph trace"));
+        assert!(dot.contains("0x41a90"));
+    }
+}

@@ -1,0 +1,499 @@
+//! The set-based value domain `M♯ = P(Sym × {0,1,⊤}^n)` (paper §5.1),
+//! extended with a `Top` element for *unknown-high* data.
+//!
+//! Elements are finite sets of masked symbols. High (secret-dependent)
+//! variables are represented by sets with several elements (paper Ex. 2);
+//! low-but-unknown values by singleton symbol sets; known values by
+//! singleton constants. `Top` represents data about which nothing is known
+//! *and* which may depend on secrets — e.g. the bytes loaded from a
+//! pre-computed table. Using `Top` as an address charges the adversary with
+//! every observation the projection allows, keeping the analysis sound.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::msym::MaskedSymbol;
+use crate::ops::{self, AbstractFlags, BinOp, OpResult};
+use crate::sym::{SymId, SymbolTable};
+
+/// Maximum cardinality a value set may reach before widening to `Top`.
+pub const MAX_CARDINALITY: usize = 4096;
+
+/// An element of the masked-symbol value domain: a finite set of masked
+/// symbols, or `Top`.
+///
+/// ```
+/// use leakaudit_core::{MaskedSymbol, ValueSet};
+///
+/// // Paper Ex. 2: {1, 2} is a high variable with two known values.
+/// let h = ValueSet::from_constants([1, 2], 32);
+/// assert_eq!(h.len(), Some(2));
+/// assert_eq!(h.as_constant(), None);
+/// assert_eq!(ValueSet::constant(1, 32).as_constant(), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub enum ValueSet {
+    /// A finite set of possible values.
+    Set(BTreeSet<MaskedSymbol>),
+    /// Any value of the given width (possibly secret-dependent).
+    Top {
+        /// Bit width of the unknown word.
+        width: u8,
+    },
+}
+
+impl ValueSet {
+    /// The singleton set of a known constant.
+    pub fn constant(value: u64, width: u8) -> Self {
+        ValueSet::singleton(MaskedSymbol::constant(value, width))
+    }
+
+    /// The singleton set of a fully-unknown (low) symbol.
+    pub fn symbol(sym: SymId, width: u8) -> Self {
+        ValueSet::singleton(MaskedSymbol::symbol(sym, width))
+    }
+
+    /// A singleton set.
+    pub fn singleton(m: MaskedSymbol) -> Self {
+        ValueSet::Set(BTreeSet::from([m]))
+    }
+
+    /// A set of known constants (a *high* variable in the sense of §4 when
+    /// it has more than one element).
+    pub fn from_constants(values: impl IntoIterator<Item = u64>, width: u8) -> Self {
+        ValueSet::from_masked_symbols(
+            values.into_iter().map(|v| MaskedSymbol::constant(v, width)),
+        )
+    }
+
+    /// Builds a set from masked symbols, widening to `Top` past
+    /// [`MAX_CARDINALITY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if members have inconsistent widths.
+    pub fn from_masked_symbols(items: impl IntoIterator<Item = MaskedSymbol>) -> Self {
+        let set: BTreeSet<MaskedSymbol> = items.into_iter().collect();
+        let mut widths = set.iter().map(MaskedSymbol::width);
+        if let Some(w) = widths.next() {
+            assert!(widths.all(|x| x == w), "mixed widths in value set");
+            if set.len() > MAX_CARDINALITY {
+                return ValueSet::Top { width: w };
+            }
+        }
+        ValueSet::Set(set)
+    }
+
+    /// The unknown-high element.
+    pub fn top(width: u8) -> Self {
+        ValueSet::Top { width }
+    }
+
+    /// `true` iff this is `Top`.
+    pub fn is_top(&self) -> bool {
+        matches!(self, ValueSet::Top { .. })
+    }
+
+    /// Number of elements (`None` for `Top`).
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            ValueSet::Set(s) => Some(s.len()),
+            ValueSet::Top { .. } => None,
+        }
+    }
+
+    /// `true` iff this is the empty set (unreachable code's value).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ValueSet::Set(s) if s.is_empty())
+    }
+
+    /// The bit width of the members.
+    ///
+    /// Empty sets report width 32 (the domain's default word size).
+    pub fn width(&self) -> u8 {
+        match self {
+            ValueSet::Set(s) => s.iter().next().map_or(32, MaskedSymbol::width),
+            ValueSet::Top { width } => *width,
+        }
+    }
+
+    /// The concrete value if this is a singleton constant.
+    pub fn as_constant(&self) -> Option<u64> {
+        match self {
+            ValueSet::Set(s) if s.len() == 1 => s.iter().next().unwrap().as_constant(),
+            _ => None,
+        }
+    }
+
+    /// The sole element if this is a singleton.
+    pub fn as_singleton(&self) -> Option<MaskedSymbol> {
+        match self {
+            ValueSet::Set(s) if s.len() == 1 => s.iter().next().copied(),
+            _ => None,
+        }
+    }
+
+    /// Iterates the members (empty for `Top`; check [`ValueSet::is_top`]).
+    pub fn iter(&self) -> impl Iterator<Item = &MaskedSymbol> + '_ {
+        match self {
+            ValueSet::Set(s) => itertools_either::Either::Left(s.iter()),
+            ValueSet::Top { .. } => itertools_either::Either::Right(std::iter::empty()),
+        }
+    }
+
+    /// Least upper bound (set union, widening past the cardinality cap).
+    pub fn join(&self, other: &ValueSet) -> ValueSet {
+        match (self, other) {
+            (ValueSet::Top { width }, _) | (_, ValueSet::Top { width }) => {
+                ValueSet::Top { width: *width }
+            }
+            (ValueSet::Set(a), ValueSet::Set(b)) => {
+                ValueSet::from_masked_symbols(a.iter().chain(b.iter()).copied())
+            }
+        }
+    }
+
+    /// `true` if every concretization of `self` is one of `other` (set
+    /// inclusion; `Top` includes everything).
+    pub fn subsumed_by(&self, other: &ValueSet) -> bool {
+        match (self, other) {
+            (_, ValueSet::Top { .. }) => true,
+            (ValueSet::Top { .. }, _) => false,
+            (ValueSet::Set(a), ValueSet::Set(b)) => a.is_subset(b),
+        }
+    }
+}
+
+/// Applies a binary operation pairwise over two value sets (the lifting of
+/// §5.4: "performing the operations on all pairs of elements in their
+/// product"), joining the flag outcomes.
+///
+/// # The set-uniform constant-addition rule
+///
+/// For `ADD`/`SUB` with a constant operand there is one refinement over the
+/// plain pairwise lifting. When all elements share one symbol `s` and one
+/// contiguous low known-bit region — the shape of a secret-indexed pointer
+/// `aligned + k`, `k ∈ {0..7}` — and the carry into the symbolic region is
+/// the *same* for every element, the symbolic high part is updated by the
+/// same function of `s` for every element. One shared fresh symbol is then
+/// allocated for the whole set instead of one per element.
+///
+/// This is sound: a single valuation of the shared symbol (the common high
+/// part plus the common carry) reproduces every element's concretization,
+/// which is exactly the witness Lemma 1 requires. It is also *necessary*
+/// for the paper's headline result: when the `gather` loop's pointer set
+/// `{buf+k+8i}` crosses a cache-line boundary, per-element fresh symbols
+/// would make the block observations spuriously distinct and report a leak
+/// where the paper proves none (Fig. 14c block column).
+pub fn apply_set(
+    table: &mut SymbolTable,
+    op: BinOp,
+    x: &ValueSet,
+    y: &ValueSet,
+) -> (ValueSet, AbstractFlags) {
+    let width = x.width();
+    match (x, y) {
+        (ValueSet::Top { .. }, _) | (_, ValueSet::Top { .. }) => {
+            (ValueSet::top(width), AbstractFlags::top())
+        }
+        (ValueSet::Set(a), ValueSet::Set(b)) => {
+            if let Some(result) = uniform_const_add(table, op, a, b) {
+                return result;
+            }
+            let mut out = BTreeSet::new();
+            let mut flags: Option<AbstractFlags> = None;
+            for ma in a {
+                for mb in b {
+                    let OpResult { value, flags: f } = ops::apply(table, op, ma, mb);
+                    out.insert(value);
+                    flags = Some(match flags {
+                        None => f,
+                        Some(acc) => acc.join(f),
+                    });
+                }
+            }
+            (
+                ValueSet::from_masked_symbols(out),
+                flags.unwrap_or_else(AbstractFlags::top),
+            )
+        }
+    }
+}
+
+/// The set-uniform constant-addition rule (see [`apply_set`]): returns
+/// `Some` when it applies, `None` to fall back to the pairwise lifting.
+fn uniform_const_add(
+    table: &mut SymbolTable,
+    op: BinOp,
+    a: &BTreeSet<MaskedSymbol>,
+    b: &BTreeSet<MaskedSymbol>,
+) -> Option<(ValueSet, AbstractFlags)> {
+    if a.len() < 2 || b.len() != 1 {
+        return None;
+    }
+    let c_raw = b.iter().next().unwrap().as_constant()?;
+    let width = a.iter().next().unwrap().width();
+    let wrap = crate::mask::Mask::top(width).width_mask();
+    let c = match op {
+        BinOp::Add => c_raw,
+        BinOp::Sub => c_raw.wrapping_neg() & wrap,
+        _ => return None,
+    };
+    if c == 0 {
+        return Some((ValueSet::Set(a.clone()), AbstractFlags {
+            zf: crate::ops::AbstractBool::Top,
+            cf: crate::ops::AbstractBool::Top,
+            sf: crate::ops::AbstractBool::Top,
+            of: crate::ops::AbstractBool::Top,
+        }));
+    }
+
+    // All elements must share one non-constant symbol and one contiguous
+    // low known-bit region [0, t).
+    let sym = a.iter().next().unwrap().sym();
+    if sym == SymId::CONST {
+        return None;
+    }
+    let known = a.iter().next().unwrap().mask().known_bits();
+    let t = known.trailing_ones() as u8;
+    if known != (if t == 0 { 0 } else { (1u64 << t) - 1 }) || t >= width {
+        return None;
+    }
+    for m in a {
+        if m.sym() != sym || m.width() != width || m.mask().known_bits() != known {
+            return None;
+        }
+    }
+
+    // Per-element low-region sums; the carry into the symbolic region must
+    // agree across elements for the high-part update to be uniform.
+    let low_mask = known;
+    let c_low = c & low_mask;
+    let mut sums = Vec::with_capacity(a.len());
+    let mut carry: Option<bool> = None;
+    for m in a {
+        let s = m.mask().known_values() + c_low;
+        let this_carry = t < 64 && s >> t & 1 == 1;
+        match carry {
+            None => carry = Some(this_carry),
+            Some(prev) if prev != this_carry => return None,
+            _ => {}
+        }
+        sums.push(s & low_mask);
+    }
+    let carry = carry.unwrap_or(false);
+    let c_high = c >> t;
+
+    // Neutral high part and no carry: every element keeps the symbol (same
+    // outcome as the per-element rule). Otherwise: one shared fresh symbol.
+    let result_sym = if c_high == 0 && !carry {
+        sym
+    } else {
+        table.fresh_derived(op.name())
+    };
+    let mut out = BTreeSet::new();
+    let mut zf = None;
+    for (m, low) in a.iter().zip(&sums) {
+        let mask = crate::mask::Mask::top(width).with_low_bits_known(t, *low);
+        let r = MaskedSymbol::new(result_sym, mask);
+        // Keep §5.4.2 offset bookkeeping per element so pointer-equality
+        // reasoning (loop guards) still works across the shared symbol.
+        let (origin, off) = table.origin_of(m);
+        table.record_offset(r, origin, off.wrapping_add(c) & wrap);
+        let this_zf = if *low != 0 {
+            crate::ops::AbstractBool::False
+        } else {
+            crate::ops::AbstractBool::Top
+        };
+        zf = Some(match zf {
+            None => this_zf,
+            Some(prev) => crate::ops::AbstractBool::join(prev, this_zf),
+        });
+        out.insert(r);
+    }
+    let flags = AbstractFlags {
+        zf: zf.unwrap_or(crate::ops::AbstractBool::Top),
+        cf: crate::ops::AbstractBool::Top,
+        sf: crate::ops::AbstractBool::Top,
+        of: crate::ops::AbstractBool::Top,
+    };
+    Some((ValueSet::from_masked_symbols(out), flags))
+}
+
+/// Lifts a unary masked-symbol operation over a value set.
+pub fn map_set(
+    table: &mut SymbolTable,
+    x: &ValueSet,
+    mut f: impl FnMut(&mut SymbolTable, &MaskedSymbol) -> OpResult,
+) -> (ValueSet, AbstractFlags) {
+    match x {
+        ValueSet::Top { width } => (ValueSet::top(*width), AbstractFlags::top()),
+        ValueSet::Set(s) => {
+            let mut out = BTreeSet::new();
+            let mut flags: Option<AbstractFlags> = None;
+            for m in s {
+                let OpResult { value, flags: g } = f(table, m);
+                out.insert(value);
+                flags = Some(match flags {
+                    None => g,
+                    Some(acc) => acc.join(g),
+                });
+            }
+            (
+                ValueSet::from_masked_symbols(out),
+                flags.unwrap_or_else(AbstractFlags::top),
+            )
+        }
+    }
+}
+
+impl fmt::Display for ValueSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueSet::Top { width } => write!(f, "⊤{width}"),
+            ValueSet::Set(s) => {
+                write!(f, "{{")?;
+                for (i, m) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ValueSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Tiny private stand-in for `itertools::Either` so the crate stays
+/// dependency-free.
+mod itertools_either {
+    pub enum Either<L, R> {
+        Left(L),
+        Right(R),
+    }
+
+    impl<L, R, T> Iterator for Either<L, R>
+    where
+        L: Iterator<Item = T>,
+        R: Iterator<Item = T>,
+    {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            match self {
+                Either::Left(l) => l.next(),
+                Either::Right(r) => r.next(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::AbstractBool;
+
+    #[test]
+    fn constructors_and_queries() {
+        let c = ValueSet::constant(5, 32);
+        assert_eq!(c.as_constant(), Some(5));
+        assert_eq!(c.len(), Some(1));
+        assert!(!c.is_top());
+        assert!(!c.is_empty());
+        let t = ValueSet::top(32);
+        assert!(t.is_top());
+        assert_eq!(t.len(), None);
+        assert_eq!(t.width(), 32);
+    }
+
+    #[test]
+    fn example_2_combined_high_variable() {
+        // {1, s}: a high variable, one possible value unknown.
+        let mut tab = SymbolTable::new();
+        let s = tab.fresh("s");
+        let v = ValueSet::from_masked_symbols([
+            MaskedSymbol::constant(1, 32),
+            MaskedSymbol::symbol(s, 32),
+        ]);
+        assert_eq!(v.len(), Some(2));
+        assert_eq!(v.as_constant(), None);
+    }
+
+    #[test]
+    fn example_3_secret_dependent_pointer_increment() {
+        // x = {s}; if h then x += 64. Joined: {s, s+64}, |·| = 2 → 1 bit.
+        let mut tab = SymbolTable::new();
+        let s = tab.fresh("malloc");
+        let x = ValueSet::symbol(s, 32);
+        let (x_inc, _) = apply_set(&mut tab, BinOp::Add, &x, &ValueSet::constant(64, 32));
+        let joined = x.join(&x_inc);
+        assert_eq!(joined.len(), Some(2), "L ≤ |{{s, s+64}}| = 2");
+    }
+
+    #[test]
+    fn join_is_union_and_dedups() {
+        let a = ValueSet::from_constants([1, 2], 32);
+        let b = ValueSet::from_constants([2, 3], 32);
+        assert_eq!(a.join(&b).len(), Some(3));
+        assert!(a.subsumed_by(&a.join(&b)));
+        assert!(a.subsumed_by(&ValueSet::top(32)));
+        assert!(!ValueSet::top(32).subsumed_by(&a));
+    }
+
+    #[test]
+    fn top_absorbs_operations() {
+        let mut tab = SymbolTable::new();
+        let (r, f) = apply_set(
+            &mut tab,
+            BinOp::Add,
+            &ValueSet::top(32),
+            &ValueSet::constant(4, 32),
+        );
+        assert!(r.is_top());
+        assert_eq!(f.zf, AbstractBool::Top);
+    }
+
+    #[test]
+    fn pairwise_product_semantics() {
+        // {0, 8} + {0, 64} = {0, 8, 64, 72}.
+        let mut tab = SymbolTable::new();
+        let a = ValueSet::from_constants([0, 8], 32);
+        let b = ValueSet::from_constants([0, 64], 32);
+        let (r, _) = apply_set(&mut tab, BinOp::Add, &a, &b);
+        assert_eq!(r, ValueSet::from_constants([0, 8, 64, 72], 32));
+    }
+
+    #[test]
+    fn flags_join_across_pairs() {
+        // CMP over {0, 1} vs {0}: ZF true for (0,0), false for (1,0) → Top.
+        let mut tab = SymbolTable::new();
+        let a = ValueSet::from_constants([0, 1], 32);
+        let b = ValueSet::constant(0, 32);
+        let (_, f) = apply_set(&mut tab, BinOp::Sub, &a, &b);
+        assert_eq!(f.zf, AbstractBool::Top);
+        // Both nonzero and distinct from b=5: ZF definitely false.
+        let a = ValueSet::from_constants([1, 2], 32);
+        let b = ValueSet::constant(5, 32);
+        let (_, f) = apply_set(&mut tab, BinOp::Sub, &a, &b);
+        assert_eq!(f.zf, AbstractBool::False);
+    }
+
+    #[test]
+    fn widening_past_cap() {
+        let huge = ValueSet::from_constants(0..=(MAX_CARDINALITY as u64), 32);
+        assert!(huge.is_top());
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = ValueSet::from_constants([1, 2], 32);
+        assert_eq!(v.to_string(), "{0x1, 0x2}");
+        assert_eq!(ValueSet::top(32).to_string(), "⊤32");
+    }
+}

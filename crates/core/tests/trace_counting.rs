@@ -1,0 +1,194 @@
+//! Brute-force validation of the trace-domain counting (Proposition 2 /
+//! Theorem 1 at the domain level): for randomly generated fork/access
+//! structures, enumerate *all* concrete observation sequences permitted by
+//! the concretization and check the DAG's count dominates their number —
+//! for exact and stuttering observers alike.
+
+use std::collections::BTreeSet;
+
+use leakaudit_core::{MaskedSymbol, Observer, SymbolTable, TraceDag, ValueSet, Valuation};
+use proptest::prelude::*;
+
+/// A tiny trace program: a straight-line prefix, an optional two-way
+/// fork (each arm a straight line), and a straight-line suffix after the
+/// join.
+#[derive(Debug, Clone)]
+struct TraceProgram {
+    prefix: Vec<ValueSet>,
+    fork: Option<(Vec<ValueSet>, Vec<ValueSet>)>,
+    suffix: Vec<ValueSet>,
+}
+
+/// Small address sets over two symbols and clustered constants, so that
+/// projections actually collide at coarse granularities.
+fn value_set(table: &SymbolTable) -> impl Strategy<Value = ValueSet> + use<> {
+    let _ = table;
+    proptest::collection::btree_set(
+        prop_oneof![
+            (0u64..4).prop_map(|k| 0x100 + k),       // same 64-byte block
+            (0u64..4).prop_map(|k| 0x100 + 64 * k),  // distinct blocks
+            Just(0x2000u64),
+        ],
+        1..4,
+    )
+    .prop_map(|consts| ValueSet::from_constants(consts, 32))
+}
+
+fn accesses(table: &SymbolTable) -> impl Strategy<Value = Vec<ValueSet>> + use<> {
+    proptest::collection::vec(value_set(table), 0..4)
+}
+
+fn trace_program() -> impl Strategy<Value = TraceProgram> {
+    let table = SymbolTable::new();
+    (
+        accesses(&table),
+        proptest::option::of((accesses(&table), accesses(&table))),
+        accesses(&table),
+    )
+        .prop_map(|(prefix, fork, suffix)| TraceProgram { prefix, fork, suffix })
+}
+
+/// Builds the DAG exactly as the analysis engine would.
+fn run_dag(p: &TraceProgram, observer: Observer) -> leakaudit_mpi::Natural {
+    let (mut dag, mut cur) = TraceDag::new(observer);
+    for v in &p.prefix {
+        cur = dag.access(cur, v);
+    }
+    if let Some((left, right)) = &p.fork {
+        let mut other = dag.clone_cursor(&cur);
+        for v in left {
+            cur = dag.access(cur, v);
+        }
+        for v in right {
+            other = dag.access(other, v);
+        }
+        cur = dag.merge_cursors(cur, other);
+    }
+    for v in &p.suffix {
+        cur = dag.access(cur, v);
+    }
+    dag.count(&cur)
+}
+
+/// Enumerates every concrete observation sequence in the concretization:
+/// one path choice (if forked) × one address choice per access.
+fn enumerate_views(p: &TraceProgram, observer: Observer, lambda: &Valuation) -> BTreeSet<Vec<u64>> {
+    let concretize = |sets: &[ValueSet]| -> Vec<Vec<u64>> {
+        // All per-access choices, as a growing cross product.
+        let mut seqs: Vec<Vec<u64>> = vec![Vec::new()];
+        for set in sets {
+            let choices: Vec<u64> = match lambda.concretize_set(set) {
+                Some(c) => c.into_iter().collect(),
+                None => vec![0],
+            };
+            let mut next = Vec::with_capacity(seqs.len() * choices.len());
+            for s in &seqs {
+                for &c in &choices {
+                    let mut s2 = s.clone();
+                    s2.push(c);
+                    next.push(s2);
+                }
+            }
+            seqs = next;
+        }
+        seqs
+    };
+
+    let mut paths: Vec<Vec<ValueSet>> = Vec::new();
+    match &p.fork {
+        None => {
+            let mut line = p.prefix.clone();
+            line.extend(p.suffix.iter().cloned());
+            paths.push(line);
+        }
+        Some((left, right)) => {
+            for arm in [left, right] {
+                let mut line = p.prefix.clone();
+                line.extend(arm.iter().cloned());
+                line.extend(p.suffix.iter().cloned());
+                paths.push(line);
+            }
+        }
+    }
+
+    let mut views = BTreeSet::new();
+    for path in paths {
+        for seq in concretize(&path) {
+            views.insert(observer.view_concrete(&seq));
+        }
+    }
+    views
+}
+
+fn masked(sym: MaskedSymbol) -> ValueSet {
+    ValueSet::singleton(sym)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn proposition_2_counts_dominate_enumeration(
+        program in trace_program(),
+        b in prop_oneof![Just(0u8), Just(2), Just(6)],
+        stuttering in any::<bool>(),
+    ) {
+        let observer = if stuttering {
+            Observer::block(b).stuttering()
+        } else {
+            Observer::block(b)
+        };
+        let count = run_dag(&program, observer);
+        let views = enumerate_views(&program, observer, &Valuation::new());
+        prop_assert!(
+            leakaudit_mpi::Natural::from(views.len() as u64) <= count,
+            "{observer}: {} concrete views, DAG count {count}\n{program:?}",
+            views.len()
+        );
+    }
+
+    #[test]
+    fn counts_shrink_along_the_observer_hierarchy(program in trace_program()) {
+        let fine = run_dag(&program, Observer::address());
+        let coarse = run_dag(&program, Observer::block(6));
+        prop_assert!(coarse <= fine);
+        let exact = run_dag(&program, Observer::block(6));
+        let stut = run_dag(&program, Observer::block(6).stuttering());
+        prop_assert!(stut <= exact);
+    }
+}
+
+#[test]
+fn symbolic_labels_count_independently_of_valuation() {
+    // Prop. 2's "independent of the instantiation of the symbols": a DAG
+    // over symbolic addresses yields one bound; any valuation's concrete
+    // view count stays below it.
+    let mut table = SymbolTable::new();
+    let s = table.fresh("buf");
+    let base = MaskedSymbol::symbol(s, 32);
+    let plus64 = leakaudit_core::apply(
+        &mut table,
+        leakaudit_core::BinOp::Add,
+        &base,
+        &MaskedSymbol::constant(64, 32),
+    )
+    .value;
+
+    let (mut dag, cur) = TraceDag::new(Observer::block(6));
+    let secret_ptr = masked(base).join(&masked(plus64));
+    let cur = dag.access(cur, &secret_ptr);
+    let bound = dag.count(&cur);
+    assert_eq!(bound.to_u64(), Some(2));
+
+    for bits in [0u64, 0x1234_5640, 0xffff_ffc0] {
+        let mut lambda = Valuation::new();
+        lambda.assign(s, bits);
+        let concrete: BTreeSet<u64> = lambda
+            .concretize_set(&secret_ptr)
+            .unwrap()
+            .iter()
+            .map(|a| a >> 6)
+            .collect();
+        assert!(concrete.len() as u64 <= 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Runnable modular-exponentiation countermeasures for the paper's
+//! performance case study (§8.6, Fig. 16).
+//!
+//! The paper measures six implementations of modular exponentiation inside
+//! ElGamal decryption with 3072-bit keys — two square-and-multiply
+//! variants (libgcrypt 1.5.2/1.5.3) and four windowed variants differing
+//! in how the table of pre-computed powers is stored and retrieved
+//! (libgcrypt 1.6.1/1.6.3, OpenSSL 1.0.2f/1.0.2g). This crate implements
+//! all six over [`leakaudit_mpi`]:
+//!
+//! * [`mod@modexp`] — the six exponentiation routines, all validated
+//!   against [`leakaudit_mpi::Natural::pow_mod`];
+//! * [`table`] — the four table-lookup strategies (direct pointer, copy-all
+//!   à la Fig. 11, scatter/gather à la Fig. 3, defensive gather à la
+//!   Fig. 12) with optional byte-level access logging, so the *dynamic*
+//!   access traces can be inspected against the static analysis;
+//! * [`elgamal`] — textbook ElGamal over a generated prime, exercising the
+//!   exponentiation variants end-to-end;
+//! * [`prime`] — Miller–Rabin primality testing and prime generation;
+//! * [`perf`] — the Fig. 16 measurement harness (limb-operation counts as
+//!   the instruction proxy; wall-clock timings live in `leakaudit-bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elgamal;
+pub mod modexp;
+pub mod perf;
+pub mod prime;
+pub mod table;
+
+pub use modexp::{modexp, Algorithm};
+pub use table::{AccessLog, DefensiveGather, DirectTable, ScatterGather, SecureTable, Table};

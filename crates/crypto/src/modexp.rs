@@ -1,0 +1,397 @@
+//! The six modular-exponentiation implementations of the paper's
+//! performance study (Fig. 16a).
+//!
+//! All variants compute `base^exp mod modulus` in the Montgomery domain
+//! (as libgcrypt and OpenSSL do) and are validated against
+//! [`Natural::pow_mod`]. They differ exactly where the paper's
+//! countermeasures differ:
+//!
+//! * [`Algorithm::SquareAndMultiply`] — libgcrypt 1.5.2 (paper Fig. 5):
+//!   multiply only when the exponent bit is 1.
+//! * [`Algorithm::SquareAndAlwaysMultiply`] — libgcrypt 1.5.3 (Fig. 6):
+//!   multiply always, select the result.
+//! * [`Algorithm::Windowed`] — 3-bit fixed windows over a table of 8
+//!   pre-computed powers, with the table strategy chosen per variant:
+//!   direct lookup (libgcrypt 1.6.1), access-all (1.6.3), scatter/gather
+//!   (OpenSSL 1.0.2f), or defensive gather (1.0.2g).
+
+use leakaudit_mpi::{Montgomery, Natural};
+
+use crate::table::{DefensiveGather, DirectTable, ScatterGather, SecureTable, Table};
+
+/// Window size in bits for the windowed variants (8 = 2³ table entries,
+/// matching the paper's §2 example layout).
+pub const WINDOW_BITS: usize = 3;
+
+/// Which table strategy a windowed exponentiation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableStrategy {
+    /// Direct secret-indexed lookup (libgcrypt 1.6.1, paper Fig. 10).
+    Direct,
+    /// Copy every entry with a mask (libgcrypt 1.6.3, Fig. 11).
+    AccessAll,
+    /// Scatter/gather interleaving (OpenSSL 1.0.2f, Fig. 3).
+    ScatterGather,
+    /// Defensive gather (OpenSSL 1.0.2g, Fig. 12).
+    DefensiveGather,
+}
+
+impl TableStrategy {
+    /// Instantiates the strategy for values of `value_bytes` bytes.
+    pub fn build(self, entries: usize, value_bytes: usize) -> Box<dyn Table> {
+        match self {
+            TableStrategy::Direct => Box::new(DirectTable::new(entries, value_bytes)),
+            TableStrategy::AccessAll => Box::new(SecureTable::new(entries, value_bytes)),
+            TableStrategy::ScatterGather => Box::new(ScatterGather::new(entries, value_bytes)),
+            TableStrategy::DefensiveGather => {
+                Box::new(DefensiveGather::new(entries, value_bytes))
+            }
+        }
+    }
+}
+
+/// One of the six benchmarked exponentiation algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// libgcrypt 1.5.2 (no countermeasure).
+    SquareAndMultiply,
+    /// libgcrypt 1.5.3 (always multiply).
+    SquareAndAlwaysMultiply,
+    /// Windowed with the given table strategy.
+    Windowed(TableStrategy),
+}
+
+impl Algorithm {
+    /// All six paper variants, in Fig. 16a column order.
+    pub fn all() -> [Algorithm; 6] {
+        [
+            Algorithm::SquareAndMultiply,
+            Algorithm::SquareAndAlwaysMultiply,
+            Algorithm::Windowed(TableStrategy::Direct),
+            Algorithm::Windowed(TableStrategy::ScatterGather),
+            Algorithm::Windowed(TableStrategy::AccessAll),
+            Algorithm::Windowed(TableStrategy::DefensiveGather),
+        ]
+    }
+
+    /// The implementation the paper attributes this variant to.
+    pub fn implementation(&self) -> &'static str {
+        match self {
+            Algorithm::SquareAndMultiply => "libgcrypt 1.5.2",
+            Algorithm::SquareAndAlwaysMultiply => "libgcrypt 1.5.3",
+            Algorithm::Windowed(TableStrategy::Direct) => "libgcrypt 1.6.1",
+            Algorithm::Windowed(TableStrategy::ScatterGather) => "openssl 1.0.2f",
+            Algorithm::Windowed(TableStrategy::AccessAll) => "libgcrypt 1.6.3",
+            Algorithm::Windowed(TableStrategy::DefensiveGather) => "openssl 1.0.2g",
+        }
+    }
+
+    /// The countermeasure name used in Fig. 16a's header row.
+    pub fn countermeasure(&self) -> &'static str {
+        match self {
+            Algorithm::SquareAndMultiply => "no CM",
+            Algorithm::SquareAndAlwaysMultiply => "always multiply",
+            Algorithm::Windowed(TableStrategy::Direct) => "no CM",
+            Algorithm::Windowed(TableStrategy::ScatterGather) => "scatter/gather",
+            Algorithm::Windowed(TableStrategy::AccessAll) => "access all bytes",
+            Algorithm::Windowed(TableStrategy::DefensiveGather) => "defensive gather",
+        }
+    }
+}
+
+/// Computes `base^exp mod modulus` with the chosen algorithm.
+///
+/// # Panics
+///
+/// Panics if the modulus is even or zero (Montgomery arithmetic).
+///
+/// ```
+/// use leakaudit_crypto::{modexp, Algorithm};
+/// use leakaudit_mpi::Natural;
+///
+/// let m = Natural::from(1000003u32); // odd modulus
+/// let b = Natural::from(2u32);
+/// let e = Natural::from(77u32);
+/// for alg in Algorithm::all() {
+///     assert_eq!(modexp(&b, &e, &m, alg), b.pow_mod(&e, &m));
+/// }
+/// ```
+pub fn modexp(base: &Natural, exp: &Natural, modulus: &Natural, alg: Algorithm) -> Natural {
+    let ctx = Montgomery::new(modulus.clone()).expect("modulus must be odd");
+    match alg {
+        Algorithm::SquareAndMultiply => square_and_multiply(&ctx, base, exp),
+        Algorithm::SquareAndAlwaysMultiply => square_and_always_multiply(&ctx, base, exp),
+        Algorithm::Windowed(strategy) => windowed(&ctx, base, exp, strategy),
+    }
+}
+
+/// Paper Fig. 5: the branch on the secret bit is the vulnerability of
+/// libgcrypt 1.5.2.
+fn square_and_multiply(ctx: &Montgomery, base: &Natural, exp: &Natural) -> Natural {
+    let base_m = ctx.to_mont(base);
+    let mut r = ctx.one();
+    for i in (0..exp.bit_len()).rev() {
+        r = ctx.sqr(&r);
+        if exp.bit(i) {
+            r = ctx.mul(&base_m, &r);
+        }
+    }
+    ctx.from_mont(&r)
+}
+
+/// Paper Fig. 6: the multiplication always executes; a conditional copy
+/// selects the outcome (libgcrypt 1.5.3). The extra multiplications are
+/// the slowdown visible in Fig. 16a.
+fn square_and_always_multiply(ctx: &Montgomery, base: &Natural, exp: &Natural) -> Natural {
+    let base_m = ctx.to_mont(base);
+    let mut r = ctx.one();
+    for i in (0..exp.bit_len()).rev() {
+        r = ctx.sqr(&r);
+        let tmp = ctx.mul(&base_m, &r);
+        if exp.bit(i) {
+            r = tmp;
+        }
+    }
+    ctx.from_mont(&r)
+}
+
+/// Fixed 3-bit windows over a pre-computed table `base^0..base^7`, stored
+/// and retrieved with the given strategy — the structure shared by
+/// libgcrypt 1.6.x and OpenSSL 1.0.2x, with the countermeasure isolated in
+/// the table.
+fn windowed(ctx: &Montgomery, base: &Natural, exp: &Natural, strategy: TableStrategy) -> Natural {
+    let entries = 1 << WINDOW_BITS;
+    let value_bytes = ctx.modulus().bit_len().div_ceil(8) + 4;
+    let mut table = strategy.build(entries, value_bytes);
+
+    // Pre-compute base^0 .. base^(2^w - 1) in the Montgomery domain and
+    // scatter them into the table.
+    let base_m = ctx.to_mont(base);
+    let mut power = ctx.one();
+    for k in 0..entries {
+        table.store(k, &to_fixed_bytes(&power, value_bytes));
+        power = ctx.mul(&power, &base_m);
+    }
+
+    // Left-to-right fixed windows.
+    let windows = exp.bit_len().div_ceil(WINDOW_BITS);
+    let mut r = ctx.one();
+    let mut scratch = vec![0u8; value_bytes];
+    for w in (0..windows).rev() {
+        for _ in 0..WINDOW_BITS {
+            r = ctx.sqr(&r);
+        }
+        let k = exp.bits_range(w * WINDOW_BITS, WINDOW_BITS) as usize;
+        // Retrieve base^k through the countermeasure under study. Real
+        // implementations skip the multiply for k = 0; retrieving (and
+        // multiplying by) table[0] = 1 keeps the access pattern regular.
+        table.retrieve(k, &mut scratch);
+        let entry = Natural::from_le_bytes(&scratch);
+        r = ctx.mul(&r, &entry);
+    }
+    ctx.from_mont(&r)
+}
+
+fn to_fixed_bytes(v: &Natural, len: usize) -> Vec<u8> {
+    let mut bytes = v.to_le_bytes();
+    assert!(bytes.len() <= len, "value exceeds table slot");
+    bytes.resize(len, 0);
+    bytes
+}
+
+/// Sliding-window modular exponentiation — the algorithm libgcrypt 1.6.x
+/// actually uses (paper §8.4 footnote 8 notes its additional control-flow
+/// vulnerabilities, which is why the fixed-window form above isolates the
+/// table countermeasure). Provided as an extension: it pre-computes only
+/// the *odd* powers `base^1, base^3, …, base^(2^w − 1)` and skips runs of
+/// zero bits with bare squarings.
+///
+/// # Panics
+///
+/// Panics if `modulus` is even or zero, or `window_bits` is 0 or > 8.
+///
+/// ```
+/// use leakaudit_crypto::modexp::{sliding_window, TableStrategy};
+/// use leakaudit_mpi::Natural;
+///
+/// let m = Natural::from(1000003u32);
+/// let b = Natural::from(2u32);
+/// let e = Natural::from(1234567u32);
+/// let r = sliding_window(&b, &e, &m, TableStrategy::ScatterGather, 4);
+/// assert_eq!(r, b.pow_mod(&e, &m));
+/// ```
+pub fn sliding_window(
+    base: &Natural,
+    exp: &Natural,
+    modulus: &Natural,
+    strategy: TableStrategy,
+    window_bits: usize,
+) -> Natural {
+    assert!((1..=8).contains(&window_bits), "window must be 1..=8 bits");
+    let ctx = Montgomery::new(modulus.clone()).expect("modulus must be odd");
+    let entries = 1usize << (window_bits - 1); // odd powers only
+    let value_bytes = ctx.modulus().bit_len().div_ceil(8) + 4;
+    let mut table = strategy.build(entries, value_bytes);
+
+    // table[j] = base^(2j+1) in the Montgomery domain.
+    let base_m = ctx.to_mont(base);
+    let base_sq = ctx.sqr(&base_m);
+    let mut power = base_m.clone();
+    for j in 0..entries {
+        table.store(j, &to_fixed_bytes(&power, value_bytes));
+        power = ctx.mul(&power, &base_sq);
+    }
+
+    let mut r = ctx.one();
+    let mut scratch = vec![0u8; value_bytes];
+    let mut i = exp.bit_len() as isize - 1;
+    while i >= 0 {
+        if !exp.bit(i as usize) {
+            r = ctx.sqr(&r);
+            i -= 1;
+            continue;
+        }
+        // Longest window ending in a set bit, at most `window_bits` long.
+        let lo = (i - window_bits as isize + 1).max(0);
+        let mut l = lo;
+        while !exp.bit(l as usize) {
+            l += 1;
+        }
+        let width = (i - l + 1) as usize;
+        let u = exp.bits_range(l as usize, width) as usize; // odd
+        for _ in 0..width {
+            r = ctx.sqr(&r);
+        }
+        table.retrieve((u - 1) / 2, &mut scratch);
+        let entry = Natural::from_le_bytes(&scratch);
+        r = ctx.mul(&r, &entry);
+        i = l - 1;
+    }
+    ctx.from_mont(&r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(hex: &str) -> Natural {
+        Natural::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn all_variants_agree_with_reference() {
+        let modulus = nat("f123456789abcdef123456789abcdef1");
+        let base = nat("0123456789abcdef");
+        let exp = nat("fedcba9876543210f");
+        let expected = base.pow_mod(&exp, &modulus);
+        for alg in Algorithm::all() {
+            assert_eq!(
+                modexp(&base, &exp, &modulus, alg),
+                expected,
+                "{}",
+                alg.implementation()
+            );
+        }
+    }
+
+    #[test]
+    fn edge_exponents() {
+        let modulus = nat("10000000000000000000000000000061");
+        let base = nat("abcdef");
+        for (e, expect_hex) in [(0u32, "1"), (1, "abcdef")] {
+            for alg in Algorithm::all() {
+                assert_eq!(
+                    modexp(&base, &Natural::from(e), &modulus, alg),
+                    nat(expect_hex),
+                    "{alg:?} with exp {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_operands_512_bits() {
+        let mut limbs: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(0x9e37_79b9) | 1).collect();
+        limbs[15] |= 0x8000_0000;
+        let modulus = Natural::from_limbs(limbs);
+        let base = nat("123456789abcdef0fedcba9876543210");
+        let exp = nat("10001");
+        let expected = base.pow_mod(&exp, &modulus);
+        for alg in Algorithm::all() {
+            assert_eq!(modexp(&base, &exp, &modulus, alg), expected);
+        }
+    }
+
+    #[test]
+    fn sliding_window_agrees_with_reference() {
+        let modulus = nat("f123456789abcdef123456789abcdef1");
+        let base = nat("0123456789abcdef");
+        let exp = nat("fedcba9876543210fedcba987654321");
+        let expected = base.pow_mod(&exp, &modulus);
+        for w in 1..=6 {
+            for strategy in [
+                TableStrategy::Direct,
+                TableStrategy::ScatterGather,
+                TableStrategy::AccessAll,
+                TableStrategy::DefensiveGather,
+            ] {
+                assert_eq!(
+                    sliding_window(&base, &exp, &modulus, strategy, w),
+                    expected,
+                    "w={w}, {strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_edge_exponents() {
+        let modulus = nat("10000000000000000000000000000061");
+        let base = nat("abcdef");
+        assert_eq!(
+            sliding_window(&base, &Natural::zero(), &modulus, TableStrategy::Direct, 4),
+            Natural::one()
+        );
+        assert_eq!(
+            sliding_window(&base, &Natural::one(), &modulus, TableStrategy::Direct, 4),
+            base
+        );
+        // All-ones exponent exercises maximal windows.
+        let ones = nat("ffffffff");
+        assert_eq!(
+            sliding_window(&base, &ones, &modulus, TableStrategy::AccessAll, 5),
+            base.pow_mod(&ones, &modulus)
+        );
+    }
+
+    #[test]
+    fn sliding_window_beats_fixed_window_on_multiplications() {
+        // The point of sliding windows: fewer table multiplications.
+        use leakaudit_mpi::counters;
+        let modulus = nat("f0000000000000000000000000000001");
+        let base = nat("12345");
+        let exp = nat("ffffffffffffffffffffffffffffff");
+        let (_, fixed) = counters::measure(|| {
+            modexp(&base, &exp, &modulus, Algorithm::Windowed(TableStrategy::Direct))
+        });
+        let (_, sliding) = counters::measure(|| {
+            sliding_window(&base, &exp, &modulus, TableStrategy::Direct, WINDOW_BITS)
+        });
+        assert!(
+            sliding.limb_muls < fixed.limb_muls,
+            "sliding {} >= fixed {}",
+            sliding.limb_muls,
+            fixed.limb_muls
+        );
+    }
+
+    #[test]
+    fn metadata_tables() {
+        assert_eq!(Algorithm::all().len(), 6);
+        assert_eq!(Algorithm::SquareAndMultiply.countermeasure(), "no CM");
+        assert_eq!(
+            Algorithm::Windowed(TableStrategy::ScatterGather).implementation(),
+            "openssl 1.0.2f"
+        );
+    }
+}

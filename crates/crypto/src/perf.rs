@@ -1,0 +1,164 @@
+//! The Fig. 16 measurement harness.
+//!
+//! The paper measured executed instructions (PAPI) and cycles (`rdtsc`) on
+//! an Intel Q9550. This harness reports the hardware-independent analogue:
+//! exact limb-operation counts ([`leakaudit_mpi::counters`]) and byte-touch
+//! counts for the retrieval step; wall-clock benchmarks live in
+//! `leakaudit-bench` (Criterion). Absolute values differ from the paper's
+//! testbed; the *ratios between variants* are the reproduced result.
+
+use std::time::Instant;
+
+use leakaudit_mpi::{counters, Natural};
+use rand::Rng;
+
+use crate::modexp::{modexp, Algorithm, TableStrategy, WINDOW_BITS};
+use crate::prime::random_bits;
+
+/// One row of the Fig. 16a reproduction.
+#[derive(Debug, Clone)]
+pub struct ModexpMeasurement {
+    /// The algorithm variant.
+    pub algorithm: Algorithm,
+    /// Limb operations (the instruction proxy), averaged over samples.
+    pub limb_ops: u64,
+    /// Wall-clock nanoseconds, averaged over samples.
+    pub nanos: u64,
+}
+
+/// Measures all six variants on `samples` random `bits`-bit inputs
+/// (paper: "a sample of random bases and exponents", 3072-bit keys).
+pub fn measure_modexp(rng: &mut impl Rng, bits: usize, samples: usize) -> Vec<ModexpMeasurement> {
+    let mut modulus = random_bits(rng, bits);
+    modulus.set_bit(0, true); // Montgomery needs an odd modulus
+    let cases: Vec<(Natural, Natural)> = (0..samples)
+        .map(|_| (random_bits(rng, bits - 1), random_bits(rng, bits)))
+        .collect();
+
+    Algorithm::all()
+        .into_iter()
+        .map(|algorithm| {
+            let mut total_ops = 0u64;
+            let start = Instant::now();
+            for (base, exp) in &cases {
+                let (_, ops) = counters::measure(|| modexp(base, exp, &modulus, algorithm));
+                total_ops += ops.total();
+            }
+            let nanos = start.elapsed().as_nanos() as u64 / samples as u64;
+            ModexpMeasurement {
+                algorithm,
+                limb_ops: total_ops / samples as u64,
+                nanos,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Fig. 16b reproduction (retrieval step only).
+#[derive(Debug, Clone)]
+pub struct RetrievalMeasurement {
+    /// The strategy.
+    pub strategy: TableStrategy,
+    /// Bytes touched per retrieval (deterministic).
+    pub bytes_touched: u64,
+    /// Wall-clock nanoseconds per retrieval, averaged.
+    pub nanos: u64,
+}
+
+/// Measures the multi-precision-integer retrieval step alone (paper
+/// Fig. 16b compares scatter/gather vs access-all vs defensive gather).
+pub fn measure_retrieval(rng: &mut impl Rng, value_bytes: usize, samples: usize) -> Vec<RetrievalMeasurement> {
+    let entries = 1 << WINDOW_BITS;
+    [
+        TableStrategy::ScatterGather,
+        TableStrategy::AccessAll,
+        TableStrategy::DefensiveGather,
+    ]
+    .into_iter()
+    .map(|strategy| {
+        let mut table = strategy.build(entries, value_bytes);
+        for k in 0..entries {
+            let value: Vec<u8> = (0..value_bytes).map(|_| rng.gen()).collect();
+            table.store(k, &value);
+        }
+        // Count touched bytes once via the access log.
+        table.set_recording(true);
+        let mut out = vec![0u8; value_bytes];
+        table.retrieve(0, &mut out);
+        let bytes_touched = table.take_log().offsets().len() as u64;
+        table.set_recording(false);
+
+        let ks: Vec<usize> = (0..samples).map(|_| rng.gen_range(0..entries)).collect();
+        let start = Instant::now();
+        for &k in &ks {
+            table.retrieve(k, &mut out);
+            std::hint::black_box(&out);
+        }
+        let nanos = start.elapsed().as_nanos() as u64 / samples as u64;
+        RetrievalMeasurement {
+            strategy,
+            bytes_touched,
+            nanos,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig16a_shape_always_multiply_costs_more() {
+        // Small operands keep the test fast; the shape is size-independent.
+        let mut rng = StdRng::seed_from_u64(16);
+        let rows = measure_modexp(&mut rng, 256, 2);
+        assert_eq!(rows.len(), 6);
+        let ops = |alg: Algorithm| {
+            rows.iter()
+                .find(|r| r.algorithm == alg)
+                .unwrap()
+                .limb_ops
+        };
+        let sm = ops(Algorithm::SquareAndMultiply);
+        let always = ops(Algorithm::SquareAndAlwaysMultiply);
+        // Paper Fig. 16a: 90.3M vs 120.6M instructions ≈ 1.33×.
+        assert!(
+            always as f64 > sm as f64 * 1.15,
+            "always-multiply must cost visibly more ({always} vs {sm})"
+        );
+        assert!((always as f64) < sm as f64 * 1.6);
+        // The windowed variants beat square-and-multiply (fewer mults).
+        for strat in [
+            TableStrategy::Direct,
+            TableStrategy::ScatterGather,
+            TableStrategy::AccessAll,
+            TableStrategy::DefensiveGather,
+        ] {
+            assert!(
+                ops(Algorithm::Windowed(strat)) < sm,
+                "windowed {strat:?} should need fewer limb ops than binary"
+            );
+        }
+    }
+
+    #[test]
+    fn fig16b_shape_retrieval_cost_ordering() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let rows = measure_retrieval(&mut rng, 384, 64);
+        let touched = |s: TableStrategy| {
+            rows.iter().find(|r| r.strategy == s).unwrap().bytes_touched
+        };
+        // Paper Fig. 16b: 2991 < 8618 < 13040 instructions. Byte touches:
+        // 384 < 3072 (with one mask op each) < 3072 (with mask per byte).
+        assert_eq!(touched(TableStrategy::ScatterGather), 384);
+        assert_eq!(touched(TableStrategy::AccessAll), 8 * 384);
+        assert_eq!(touched(TableStrategy::DefensiveGather), 8 * 384);
+        assert!(
+            touched(TableStrategy::ScatterGather) < touched(TableStrategy::AccessAll),
+            "scatter/gather touches 8x fewer bytes"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Miller–Rabin primality testing and prime generation — the substrate
+//! the ElGamal testbed (paper §8.2) needs for key generation.
+
+use leakaudit_mpi::Natural;
+use rand::Rng;
+
+/// Generates a uniformly random natural below `bound` (rejection
+/// sampling).
+pub fn random_below(rng: &mut impl Rng, bound: &Natural) -> Natural {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bytes = bound.bit_len().div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf[..]);
+        let candidate = Natural::from_le_bytes(&buf).shr_bits(8 * bytes - bound.bit_len());
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random natural with exactly `bits` significant bits.
+pub fn random_bits(rng: &mut impl Rng, bits: usize) -> Natural {
+    assert!(bits > 0, "bit count must be positive");
+    let bytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; bytes];
+    rng.fill(&mut buf[..]);
+    let mut n = Natural::from_le_bytes(&buf).shr_bits(8 * bytes - bits);
+    n.set_bit(bits - 1, true);
+    n
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Composite inputs pass with probability at most `4^-rounds`.
+pub fn is_probable_prime(n: &Natural, rounds: u32, rng: &mut impl Rng) -> bool {
+    if n < &Natural::from(2u32) {
+        return false;
+    }
+    for small in [2u32, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let p = Natural::from(small);
+        if *n == p {
+            return true;
+        }
+        if n.rem_ref(&p).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d · 2^s with d odd.
+    let one = Natural::one();
+    let n_minus_1 = n.checked_sub(&one).unwrap();
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr_bits(s);
+
+    let two = Natural::from(2u32);
+    let n_minus_3 = n.checked_sub(&Natural::from(3u32)).unwrap();
+    'witness: for _ in 0..rounds {
+        // a ∈ [2, n-2]
+        let a = &random_below(rng, &n_minus_3) + &two;
+        let mut x = a.pow_mod(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.pow_mod(&two, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn trailing_zeros(n: &Natural) -> usize {
+    let mut i = 0;
+    while !n.bit(i) {
+        i += 1;
+    }
+    i
+}
+
+/// Generates a random prime with exactly `bits` bits.
+pub fn gen_prime(rng: &mut impl Rng, bits: usize, rounds: u32) -> Natural {
+    loop {
+        let mut candidate = random_bits(rng, bits);
+        candidate.set_bit(0, true); // odd
+        if is_probable_prime(&candidate, rounds, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xda7a_5eed)
+    }
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut r = rng();
+        for p in [2u32, 3, 5, 7, 11, 101, 65537, 104729] {
+            assert!(is_probable_prime(&Natural::from(p), 16, &mut r), "{p}");
+        }
+        for c in [0u32, 1, 4, 9, 91, 561, 65535, 104730] {
+            assert!(!is_probable_prime(&Natural::from(c), 16, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        for c in [561u32, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_probable_prime(&Natural::from(c), 16, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_127() {
+        let mut r = rng();
+        let m127 = Natural::one().shl_bits(127).checked_sub(&Natural::one()).unwrap();
+        assert!(is_probable_prime(&m127, 12, &mut r));
+        let m128 = Natural::one().shl_bits(128).checked_sub(&Natural::one()).unwrap();
+        assert!(!is_probable_prime(&m128, 12, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut r = rng();
+        for bits in [32, 64, 128] {
+            let p = gen_prime(&mut r, bits, 12);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut r = rng();
+        let bound = Natural::from(1000u32);
+        for _ in 0..100 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_exact_width() {
+        let mut r = rng();
+        for bits in [1usize, 7, 8, 31, 33, 100] {
+            assert_eq!(random_bits(&mut r, bits).bit_len(), bits);
+        }
+    }
+}

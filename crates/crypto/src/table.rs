@@ -1,0 +1,476 @@
+//! Table-lookup strategies for pre-computed powers (paper §8.4).
+//!
+//! All four strategies implement [`Table`]: store `n` values of `N` bytes,
+//! retrieve the `k`-th. They differ in *which memory locations the
+//! retrieval touches* — exactly the property the static analysis bounds:
+//!
+//! | strategy | paper | retrieval touches |
+//! |---|---|---|
+//! | [`DirectTable`] | Fig. 10 (libgcrypt 1.6.1) | only entry `k` (leaks `k`) |
+//! | [`SecureTable`] | Fig. 11 (libgcrypt 1.6.3) | every byte of every entry |
+//! | [`ScatterGather`] | Fig. 3 (OpenSSL 1.0.2f) | one byte per `spacing` — constant cache lines, secret banks |
+//! | [`DefensiveGather`] | Fig. 12 (OpenSSL 1.0.2g) | every byte, constant order |
+//!
+//! Each table optionally records the byte offsets its retrieval touches
+//! ([`AccessLog`]), so examples and tests can compare the dynamic traces
+//! with the paper's observer model.
+
+use std::cell::RefCell;
+
+/// A recording of the byte offsets (relative to the table buffer) touched
+/// by retrieval operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessLog {
+    offsets: Vec<u32>,
+    enabled: bool,
+}
+
+impl AccessLog {
+    /// The recorded offsets, in access order.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Projects the recorded offsets to units of `2^b` bytes, collapsing
+    /// stutters — the observer view of paper §3.2 applied to the dynamic
+    /// trace.
+    pub fn view(&self, offset_bits: u8, stuttering: bool) -> Vec<u32> {
+        let mut out = Vec::new();
+        for &o in &self.offsets {
+            let unit = o >> offset_bits;
+            if stuttering && out.last() == Some(&unit) {
+                continue;
+            }
+            out.push(unit);
+        }
+        out
+    }
+
+    fn record(&mut self, offset: u32) {
+        if self.enabled {
+            self.offsets.push(offset);
+        }
+    }
+}
+
+/// Takes the log's contents while keeping recording enabled/disabled as it
+/// was.
+fn take_preserving(cell: &RefCell<AccessLog>) -> AccessLog {
+    let mut log = cell.borrow_mut();
+    let enabled = log.enabled;
+    let taken = std::mem::take(&mut *log);
+    log.enabled = enabled;
+    taken
+}
+
+/// A table of `n` pre-computed values of `value_bytes` bytes each.
+///
+/// The trait is object-safe so benchmarks can iterate over strategies.
+pub trait Table {
+    /// Strategy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Stores entry `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or `value` has the wrong length.
+    fn store(&mut self, k: usize, value: &[u8]);
+
+    /// Retrieves entry `k` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or `out` has the wrong length.
+    fn retrieve(&self, k: usize, out: &mut [u8]);
+
+    /// Enables or disables access logging.
+    fn set_recording(&self, on: bool);
+
+    /// Takes and clears the access log.
+    fn take_log(&self) -> AccessLog;
+
+    /// Number of entries.
+    fn entries(&self) -> usize;
+
+    /// Bytes per entry.
+    fn value_bytes(&self) -> usize;
+}
+
+fn check_args(entries: usize, value_bytes: usize, k: usize, len: usize) {
+    assert!(k < entries, "entry index {k} out of range (n = {entries})");
+    assert_eq!(len, value_bytes, "value length mismatch");
+}
+
+/// The unprotected layout of libgcrypt 1.6.1 (paper Figs. 1/10): values
+/// stored contiguously, retrieval reads exactly the requested entry.
+#[derive(Debug)]
+pub struct DirectTable {
+    entries: usize,
+    value_bytes: usize,
+    buf: Vec<u8>,
+    log: RefCell<AccessLog>,
+}
+
+impl DirectTable {
+    /// Creates a zeroed table.
+    pub fn new(entries: usize, value_bytes: usize) -> Self {
+        DirectTable {
+            entries,
+            value_bytes,
+            buf: vec![0; entries * value_bytes],
+            log: RefCell::new(AccessLog::default()),
+        }
+    }
+}
+
+impl Table for DirectTable {
+    fn name(&self) -> &'static str {
+        "direct (libgcrypt 1.6.1)"
+    }
+
+    fn store(&mut self, k: usize, value: &[u8]) {
+        check_args(self.entries, self.value_bytes, k, value.len());
+        self.buf[k * self.value_bytes..(k + 1) * self.value_bytes].copy_from_slice(value);
+    }
+
+    fn retrieve(&self, k: usize, out: &mut [u8]) {
+        check_args(self.entries, self.value_bytes, k, out.len());
+        let base = k * self.value_bytes;
+        let mut log = self.log.borrow_mut();
+        for (i, byte) in out.iter_mut().enumerate() {
+            log.record((base + i) as u32);
+            *byte = self.buf[base + i];
+        }
+    }
+
+    fn set_recording(&self, on: bool) {
+        self.log.borrow_mut().enabled = on;
+    }
+
+    fn take_log(&self) -> AccessLog {
+        take_preserving(&self.log)
+    }
+
+    fn entries(&self) -> usize {
+        self.entries
+    }
+
+    fn value_bytes(&self) -> usize {
+        self.value_bytes
+    }
+}
+
+/// The copy-all strategy of libgcrypt 1.6.3 / NaCl (paper Fig. 11):
+/// retrieval reads every byte of every entry and masks the wanted one.
+#[derive(Debug)]
+pub struct SecureTable {
+    entries: usize,
+    value_bytes: usize,
+    buf: Vec<u8>,
+    log: RefCell<AccessLog>,
+}
+
+impl SecureTable {
+    /// Creates a zeroed table.
+    pub fn new(entries: usize, value_bytes: usize) -> Self {
+        SecureTable {
+            entries,
+            value_bytes,
+            buf: vec![0; entries * value_bytes],
+            log: RefCell::new(AccessLog::default()),
+        }
+    }
+}
+
+impl Table for SecureTable {
+    fn name(&self) -> &'static str {
+        "access-all (libgcrypt 1.6.3)"
+    }
+
+    fn store(&mut self, k: usize, value: &[u8]) {
+        check_args(self.entries, self.value_bytes, k, value.len());
+        self.buf[k * self.value_bytes..(k + 1) * self.value_bytes].copy_from_slice(value);
+    }
+
+    fn retrieve(&self, k: usize, out: &mut [u8]) {
+        check_args(self.entries, self.value_bytes, k, out.len());
+        out.fill(0);
+        let mut log = self.log.borrow_mut();
+        for i in 0..self.entries {
+            // mask = 0xff iff i == k, branchlessly (paper Fig. 11 line 7).
+            let s = u8::from(i == k);
+            let mask = 0u8.wrapping_sub(s);
+            let base = i * self.value_bytes;
+            for (j, byte) in out.iter_mut().enumerate() {
+                log.record((base + j) as u32);
+                *byte ^= mask & (*byte ^ self.buf[base + j]);
+            }
+        }
+    }
+
+    fn set_recording(&self, on: bool) {
+        self.log.borrow_mut().enabled = on;
+    }
+
+    fn take_log(&self) -> AccessLog {
+        take_preserving(&self.log)
+    }
+
+    fn entries(&self) -> usize {
+        self.entries
+    }
+
+    fn value_bytes(&self) -> usize {
+        self.value_bytes
+    }
+}
+
+/// The scatter/gather layout of OpenSSL 1.0.2f (paper Figs. 2/3): byte `i`
+/// of every entry shares one cache line; gather reads one byte per
+/// `spacing`.
+#[derive(Debug)]
+pub struct ScatterGather {
+    entries: usize,
+    value_bytes: usize,
+    /// Interleaved buffer: byte `i` of entry `k` lives at `k + i·spacing`.
+    buf: Vec<u8>,
+    log: RefCell<AccessLog>,
+}
+
+impl ScatterGather {
+    /// Creates a zeroed interleaved table (`spacing = entries`).
+    pub fn new(entries: usize, value_bytes: usize) -> Self {
+        ScatterGather {
+            entries,
+            value_bytes,
+            buf: vec![0; entries * value_bytes],
+            log: RefCell::new(AccessLog::default()),
+        }
+    }
+
+    /// The spacing between consecutive bytes of one value (paper Fig. 3).
+    pub fn spacing(&self) -> usize {
+        self.entries
+    }
+}
+
+impl Table for ScatterGather {
+    fn name(&self) -> &'static str {
+        "scatter/gather (OpenSSL 1.0.2f)"
+    }
+
+    fn store(&mut self, k: usize, value: &[u8]) {
+        check_args(self.entries, self.value_bytes, k, value.len());
+        // scatter (Fig. 3): buf[k + i*spacing] = p[k][i].
+        for (i, &b) in value.iter().enumerate() {
+            self.buf[k + i * self.entries] = b;
+        }
+    }
+
+    fn retrieve(&self, k: usize, out: &mut [u8]) {
+        check_args(self.entries, self.value_bytes, k, out.len());
+        // gather (Fig. 3): r[i] = buf[k + i*spacing].
+        let mut log = self.log.borrow_mut();
+        for (i, byte) in out.iter_mut().enumerate() {
+            let off = k + i * self.entries;
+            log.record(off as u32);
+            *byte = self.buf[off];
+        }
+    }
+
+    fn set_recording(&self, on: bool) {
+        self.log.borrow_mut().enabled = on;
+    }
+
+    fn take_log(&self) -> AccessLog {
+        take_preserving(&self.log)
+    }
+
+    fn entries(&self) -> usize {
+        self.entries
+    }
+
+    fn value_bytes(&self) -> usize {
+        self.value_bytes
+    }
+}
+
+/// The defensive gather of OpenSSL 1.0.2g (paper Fig. 12): interleaved
+/// like [`ScatterGather`], but retrieval reads *every* byte in a constant
+/// order and selects with a branchless mask.
+#[derive(Debug)]
+pub struct DefensiveGather {
+    inner: ScatterGather,
+}
+
+impl DefensiveGather {
+    /// Creates a zeroed interleaved table.
+    pub fn new(entries: usize, value_bytes: usize) -> Self {
+        DefensiveGather {
+            inner: ScatterGather::new(entries, value_bytes),
+        }
+    }
+}
+
+impl Table for DefensiveGather {
+    fn name(&self) -> &'static str {
+        "defensive gather (OpenSSL 1.0.2g)"
+    }
+
+    fn store(&mut self, k: usize, value: &[u8]) {
+        self.inner.store(k, value);
+    }
+
+    fn retrieve(&self, k: usize, out: &mut [u8]) {
+        check_args(self.inner.entries, self.inner.value_bytes, k, out.len());
+        let spacing = self.inner.entries;
+        let mut log = self.inner.log.borrow_mut();
+        for (i, byte) in out.iter_mut().enumerate() {
+            let mut acc = 0u8;
+            for j in 0..spacing {
+                let off = j + i * spacing;
+                log.record(off as u32);
+                let v = self.inner.buf[off];
+                let mask = 0u8.wrapping_sub(u8::from(j == k));
+                acc |= v & mask;
+            }
+            *byte = acc;
+        }
+    }
+
+    fn set_recording(&self, on: bool) {
+        self.inner.set_recording(on);
+    }
+
+    fn take_log(&self) -> AccessLog {
+        self.inner.take_log()
+    }
+
+    fn entries(&self) -> usize {
+        self.inner.entries
+    }
+
+    fn value_bytes(&self) -> usize {
+        self.inner.value_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(k: usize, n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((k * 37) ^ (i * 11) ^ 0x5a) as u8).collect()
+    }
+
+    fn strategies(entries: usize, bytes: usize) -> Vec<Box<dyn Table>> {
+        vec![
+            Box::new(DirectTable::new(entries, bytes)),
+            Box::new(SecureTable::new(entries, bytes)),
+            Box::new(ScatterGather::new(entries, bytes)),
+            Box::new(DefensiveGather::new(entries, bytes)),
+        ]
+    }
+
+    #[test]
+    fn all_strategies_round_trip() {
+        for mut t in strategies(8, 384) {
+            for k in 0..8 {
+                t.store(k, &pattern(k, 384));
+            }
+            let mut out = vec![0u8; 384];
+            for k in 0..8 {
+                t.retrieve(k, &mut out);
+                assert_eq!(out, pattern(k, 384), "{} entry {k}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn direct_table_trace_depends_on_secret() {
+        let mut t = DirectTable::new(8, 64);
+        for k in 0..8 {
+            t.store(k, &pattern(k, 64));
+        }
+        t.set_recording(true);
+        let mut out = vec![0u8; 64];
+        t.retrieve(2, &mut out);
+        let l2 = t.take_log();
+        t.retrieve(5, &mut out);
+        let l5 = t.take_log();
+        assert_ne!(l2.offsets(), l5.offsets());
+        // Even at cache-line granularity (64-byte entries = own lines).
+        assert_ne!(l2.view(6, true), l5.view(6, true));
+    }
+
+    #[test]
+    fn scatter_gather_lines_constant_banks_not() {
+        let mut t = ScatterGather::new(8, 384);
+        for k in 0..8 {
+            t.store(k, &pattern(k, 384));
+        }
+        t.set_recording(true);
+        let mut out = vec![0u8; 384];
+        let mut line_views = Vec::new();
+        let mut bank_views = Vec::new();
+        for k in 0..8 {
+            t.retrieve(k, &mut out);
+            let log = t.take_log();
+            line_views.push(log.view(6, false));
+            bank_views.push(log.view(2, false));
+        }
+        assert!(
+            line_views.windows(2).all(|w| w[0] == w[1]),
+            "cache-line trace is secret-independent (the paper's proof)"
+        );
+        assert!(
+            bank_views.windows(2).any(|w| w[0] != w[1]),
+            "bank trace differs (CacheBleed)"
+        );
+    }
+
+    #[test]
+    fn exhaustive_strategies_have_constant_traces() {
+        for make in [
+            || Box::new(SecureTable::new(8, 96)) as Box<dyn Table>,
+            || Box::new(DefensiveGather::new(8, 96)) as Box<dyn Table>,
+        ] {
+            let mut t = make();
+            for k in 0..8 {
+                t.store(k, &pattern(k, 96));
+            }
+            t.set_recording(true);
+            let mut out = vec![0u8; 96];
+            t.retrieve(0, &mut out);
+            let base = t.take_log();
+            for k in 1..8 {
+                t.retrieve(k, &mut out);
+                assert_eq!(
+                    t.take_log().offsets(),
+                    base.offsets(),
+                    "{}: full address trace must be constant",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn access_log_views_collapse_stutters() {
+        let mut log = AccessLog {
+            offsets: vec![0, 1, 2, 64, 65, 128],
+            enabled: true,
+        };
+        log.record(129);
+        assert_eq!(log.view(6, false), vec![0, 0, 0, 1, 1, 2, 2]);
+        assert_eq!(log.view(6, true), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_store_panics() {
+        let mut t = DirectTable::new(4, 8);
+        t.store(4, &[0; 8]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Thread-local limb-operation counters.
+//!
+//! The paper's Fig. 16 reports executed-instruction counts (measured with
+//! PAPI on an Intel Q9550) for six modular-exponentiation implementations.
+//! We cannot reproduce the exact testbed, so `leakaudit` reports a
+//! deterministic, hardware-independent proxy instead: the number of
+//! single-precision (limb) operations each implementation performs. The
+//! *ratios* between implementations — the quantity the paper's conclusions
+//! rest on — are preserved by this proxy.
+//!
+//! Counting is thread-local, so concurrent benchmarks do not interfere.
+//!
+//! # Example
+//!
+//! ```
+//! use leakaudit_mpi::{counters, Natural};
+//!
+//! counters::reset();
+//! let a = Natural::from(u64::MAX);
+//! let _ = &a * &a;
+//! let counts = counters::snapshot();
+//! assert!(counts.limb_muls > 0);
+//! ```
+
+use std::cell::Cell;
+
+thread_local! {
+    static MULS: Cell<u64> = const { Cell::new(0) };
+    static ADDS: Cell<u64> = const { Cell::new(0) };
+    static DIVS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of the thread-local operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Single-precision multiplications (32×32→64).
+    pub limb_muls: u64,
+    /// Single-precision additions/subtractions.
+    pub limb_adds: u64,
+    /// Single-precision divisions (64/32→32).
+    pub limb_divs: u64,
+}
+
+impl OpCounts {
+    /// Total limb operations of all kinds.
+    pub fn total(&self) -> u64 {
+        self.limb_muls + self.limb_adds + self.limb_divs
+    }
+}
+
+impl std::fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} muls, {} adds, {} divs",
+            self.limb_muls, self.limb_adds, self.limb_divs
+        )
+    }
+}
+
+/// Resets all counters of the current thread to zero.
+pub fn reset() {
+    MULS.with(|c| c.set(0));
+    ADDS.with(|c| c.set(0));
+    DIVS.with(|c| c.set(0));
+}
+
+/// Reads the current thread's counters.
+pub fn snapshot() -> OpCounts {
+    OpCounts {
+        limb_muls: MULS.with(Cell::get),
+        limb_adds: ADDS.with(Cell::get),
+        limb_divs: DIVS.with(Cell::get),
+    }
+}
+
+/// Runs `f` with fresh counters and returns its result with the counts it
+/// accumulated.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, OpCounts) {
+    let before = snapshot();
+    reset();
+    let out = f();
+    let counts = snapshot();
+    // Restore the caller's view (counters continue from where they were).
+    MULS.with(|c| c.set(before.limb_muls + counts.limb_muls));
+    ADDS.with(|c| c.set(before.limb_adds + counts.limb_adds));
+    DIVS.with(|c| c.set(before.limb_divs + counts.limb_divs));
+    (out, counts)
+}
+
+pub(crate) fn record_muls(n: u64) {
+    MULS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+pub(crate) fn record_adds(n: u64) {
+    ADDS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+pub(crate) fn record_divs(n: u64) {
+    DIVS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Natural;
+
+    #[test]
+    fn multiplication_is_counted() {
+        reset();
+        let a = Natural::from_hex("ffffffffffffffffffffffff").unwrap();
+        let _ = &a * &a;
+        assert!(snapshot().limb_muls >= 9, "3x3 limbs should record >= 9 muls");
+    }
+
+    #[test]
+    fn measure_is_isolated_and_additive() {
+        reset();
+        let a = Natural::from(u64::MAX);
+        let _ = &a + &a;
+        let outer_before = snapshot();
+        let ((), inner) = measure(|| {
+            let _ = &a * &a;
+        });
+        assert!(inner.limb_muls > 0);
+        assert_eq!(inner.limb_adds, 0);
+        let outer_after = snapshot();
+        assert_eq!(
+            outer_after.limb_adds, outer_before.limb_adds,
+            "measure must not lose the caller's counts"
+        );
+        assert!(outer_after.limb_muls >= inner.limb_muls);
+    }
+
+    #[test]
+    fn division_is_counted() {
+        reset();
+        let a = Natural::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        let b = Natural::from_hex("fffffffffffffffff").unwrap();
+        let _ = a.div_rem(&b);
+        assert!(snapshot().limb_divs > 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let c = OpCounts {
+            limb_muls: 1,
+            limb_adds: 2,
+            limb_divs: 3,
+        };
+        assert_eq!(c.to_string(), "1 muls, 2 adds, 3 divs");
+        assert_eq!(c.total(), 6);
+    }
+}

@@ -1,0 +1,205 @@
+//! Division: Knuth's Algorithm D (TAOCP Vol. 2, §4.3.1) on 32-bit limbs.
+
+use crate::counters;
+use crate::natural::Natural;
+
+impl Natural {
+    /// Computes the quotient and remainder of `self / divisor`.
+    ///
+    /// Satisfies `self == q * divisor + r` with `r < divisor`.
+    ///
+    /// ```
+    /// # use leakaudit_mpi::Natural;
+    /// let (q, r) = Natural::from(100u32).div_rem(&Natural::from(7u32));
+    /// assert_eq!((q, r), (Natural::from(14u32), Natural::from(2u32)));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Natural) -> (Natural, Natural) {
+        assert!(!divisor.is_zero(), "division by zero Natural");
+        if self < divisor {
+            return (Natural::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = div_rem_small(&self.limbs, divisor.limbs[0]);
+            return (Natural::from_limbs(q), Natural::from(r));
+        }
+        let (q, r) = knuth_d(&self.limbs, &divisor.limbs);
+        (Natural::from_limbs(q), Natural::from_limbs(r))
+    }
+
+    /// Remainder of `self / divisor` (convenience wrapper over
+    /// [`Natural::div_rem`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn rem_ref(&self, divisor: &Natural) -> Natural {
+        self.div_rem(divisor).1
+    }
+}
+
+/// Division by a single limb.
+fn div_rem_small(n: &[u32], d: u32) -> (Vec<u32>, u32) {
+    counters::record_divs(n.len() as u64);
+    let mut q = vec![0u32; n.len()];
+    let mut rem = 0u64;
+    for i in (0..n.len()).rev() {
+        let cur = (rem << 32) | u64::from(n[i]);
+        q[i] = (cur / u64::from(d)) as u32;
+        rem = cur % u64::from(d);
+    }
+    (q, rem as u32)
+}
+
+/// Knuth Algorithm D. Requires `d.len() >= 2` and `n >= d`.
+fn knuth_d(n: &[u32], d: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    // D1: normalize so the divisor's top bit is set.
+    let shift = d.last().unwrap().leading_zeros() as usize;
+    let dn = shl_limbs(d, shift);
+    let mut un = shl_limbs(n, shift);
+    un.resize(n.len() + 1, 0); // extra high limb u_{m+n}
+    let m = n.len() - d.len();
+    let dlen = dn.len();
+    debug_assert_eq!(dlen, d.len(), "normalizing shift must not grow divisor");
+    let d_top = u64::from(dn[dlen - 1]);
+    let d_second = u64::from(dn[dlen - 2]);
+
+    let mut q = vec![0u32; m + 1];
+    counters::record_divs(((m + 1) * dlen) as u64);
+
+    // D2..D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two dividend limbs.
+        let numerator = (u64::from(un[j + dlen]) << 32) | u64::from(un[j + dlen - 1]);
+        let mut qhat = numerator / d_top;
+        let mut rhat = numerator % d_top;
+        while qhat >= 1u64 << 32
+            || qhat * d_second > ((rhat << 32) | u64::from(un[j + dlen - 2]))
+        {
+            qhat -= 1;
+            rhat += d_top;
+            if rhat >= 1u64 << 32 {
+                break;
+            }
+        }
+
+        // D4: multiply-and-subtract un[j..j+dlen] -= qhat * dn.
+        let mut borrow = 0i64;
+        let mut carry = 0u64;
+        for i in 0..dlen {
+            let p = qhat * u64::from(dn[i]) + carry;
+            carry = p >> 32;
+            let t = i64::from(un[i + j]) - i64::from(p as u32) - borrow;
+            un[i + j] = t as u32; // two's complement wrap is intended
+            borrow = i64::from(t < 0);
+        }
+        let t = i64::from(un[j + dlen]) - i64::from(carry as u32) - borrow;
+        un[j + dlen] = t as u32;
+
+        // D5/D6: if we subtracted too much, add back one divisor.
+        if t < 0 {
+            qhat -= 1;
+            let mut c = 0u64;
+            for i in 0..dlen {
+                let s = u64::from(un[i + j]) + u64::from(dn[i]) + c;
+                un[i + j] = s as u32;
+                c = s >> 32;
+            }
+            un[j + dlen] = un[j + dlen].wrapping_add(c as u32);
+        }
+        q[j] = qhat as u32;
+    }
+
+    // D8: denormalize the remainder.
+    let r = shr_limbs(&un[..dlen], shift);
+    (q, r)
+}
+
+fn shl_limbs(v: &[u32], shift: usize) -> Vec<u32> {
+    if shift == 0 {
+        return v.to_vec();
+    }
+    let mut out = Vec::with_capacity(v.len() + 1);
+    let mut carry = 0u32;
+    for &l in v {
+        out.push((l << shift) | carry);
+        carry = l >> (32 - shift);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_limbs(v: &[u32], shift: usize) -> Vec<u32> {
+    if shift == 0 {
+        return v.to_vec();
+    }
+    let mut out = Vec::with_capacity(v.len());
+    for i in 0..v.len() {
+        let hi = v.get(i + 1).copied().unwrap_or(0);
+        out.push((v[i] >> shift) | (hi << (32 - shift)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    fn check(a: &Natural, b: &Natural) {
+        let (q, r) = a.div_rem(b);
+        assert!(r < *b, "remainder {r:?} >= divisor {b:?}");
+        assert_eq!(&(&q * b) + &r, *a, "reconstruction failed");
+    }
+
+    #[test]
+    fn small_division_matches_u128() {
+        for a in [0u128, 1, 99, 100, 101, u64::MAX as u128, 1 << 100] {
+            for b in [1u128, 2, 7, 0xffff_ffff, 1 << 33] {
+                let (q, r) = n(a).div_rem(&n(b));
+                assert_eq!(q, n(a / b));
+                assert_eq!(r, n(a % b));
+            }
+        }
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = n(5).div_rem(&n(1 << 90));
+        assert!(q.is_zero());
+        assert_eq!(r, n(5));
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // Classic add-back trigger: dividend crafted so qhat is one too big.
+        let a = Natural::from_hex("80000000000000000000000000000000").unwrap();
+        let b = Natural::from_hex("800000000000000000000001").unwrap();
+        check(&a, &b);
+    }
+
+    #[test]
+    fn large_structured_operands() {
+        let a = Natural::from_limbs((0..97u32).map(|i| i.wrapping_mul(0x1234_5677) | 1).collect());
+        let b = Natural::from_limbs((0..13u32).map(|i| i.wrapping_mul(0x0bad_f00d) | 1).collect());
+        check(&a, &b);
+        check(&(&a * &b), &b);
+        let (q, r) = (&a * &b).div_rem(&b);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = n(1).div_rem(&Natural::zero());
+    }
+}

@@ -1,0 +1,176 @@
+//! Parsing and formatting for [`Natural`]: hexadecimal and decimal.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::natural::Natural;
+use crate::ParseNaturalError;
+
+impl Natural {
+    /// Parses a natural from a hexadecimal string (no `0x` prefix,
+    /// case-insensitive, underscores allowed as separators).
+    ///
+    /// ```
+    /// # use leakaudit_mpi::Natural;
+    /// let v = Natural::from_hex("dead_beef").unwrap();
+    /// assert_eq!(v, Natural::from(0xdead_beefu32));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNaturalError`] if the string is empty or contains a
+    /// non-hex character.
+    pub fn from_hex(s: &str) -> Result<Self, ParseNaturalError> {
+        let digits: Vec<char> = s.chars().filter(|&c| c != '_').collect();
+        if digits.is_empty() {
+            return Err(ParseNaturalError::empty());
+        }
+        let mut out = Natural::zero();
+        for &c in &digits {
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| ParseNaturalError::invalid_digit(c))?;
+            out = out.shl_bits(4).add_ref(&Natural::from(d));
+        }
+        Ok(out)
+    }
+
+    /// Formats the value as lowercase hexadecimal without a prefix.
+    ///
+    /// ```
+    /// # use leakaudit_mpi::Natural;
+    /// assert_eq!(Natural::from(255u32).to_hex(), "ff");
+    /// assert_eq!(Natural::zero().to_hex(), "0");
+    /// ```
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:08x}"));
+            }
+        }
+        s
+    }
+
+    /// Formats the value in decimal.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let chunk = Natural::from(1_000_000_000u32);
+        let mut v = self.clone();
+        let mut groups: Vec<u32> = Vec::new();
+        while !v.is_zero() {
+            let (q, r) = v.div_rem(&chunk);
+            groups.push(r.to_u64().unwrap_or(0) as u32);
+            v = q;
+        }
+        let mut s = groups.last().unwrap().to_string();
+        for g in groups.iter().rev().skip(1) {
+            s.push_str(&format!("{g:09}"));
+        }
+        s
+    }
+}
+
+impl FromStr for Natural {
+    type Err = ParseNaturalError;
+
+    /// Parses a decimal string (underscores allowed).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits: Vec<char> = s.chars().filter(|&c| c != '_').collect();
+        if digits.is_empty() {
+            return Err(ParseNaturalError::empty());
+        }
+        let ten = Natural::from(10u32);
+        let mut out = Natural::zero();
+        for &c in &digits {
+            let d = c
+                .to_digit(10)
+                .ok_or_else(|| ParseNaturalError::invalid_digit(c))?;
+            out = (&out * &ten).add_ref(&Natural::from(d));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal())
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Natural({})", self.to_decimal())
+    }
+}
+
+impl fmt::LowerHex for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex())
+    }
+}
+
+impl fmt::Binary for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0b", "0");
+        }
+        let mut s = String::with_capacity(self.bit_len());
+        for i in (0..self.bit_len()).rev() {
+            s.push(if self.bit(i) { '1' } else { '0' });
+        }
+        f.pad_integral(true, "0b", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            assert_eq!(Natural::from_hex(s).unwrap().to_hex(), s);
+        }
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        for s in ["0", "7", "4294967296", "340282366920938463463374607431768211456"] {
+            assert_eq!(s.parse::<Natural>().unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn decimal_matches_hex() {
+        let v: Natural = "1000000007".parse().unwrap();
+        assert_eq!(v, Natural::from_hex("3b9aca07").unwrap());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Natural::from_hex("").is_err());
+        assert!(Natural::from_hex("xyz").is_err());
+        assert!("12a".parse::<Natural>().is_err());
+        assert!("".parse::<Natural>().is_err());
+        let err = Natural::from_hex("g").unwrap_err();
+        assert_eq!(err.to_string(), "invalid digit 'g'");
+    }
+
+    #[test]
+    fn formatting_traits() {
+        let v = Natural::from(0b1010u32);
+        assert_eq!(format!("{v}"), "10");
+        assert_eq!(format!("{v:x}"), "a");
+        assert_eq!(format!("{v:#x}"), "0xa");
+        assert_eq!(format!("{v:b}"), "1010");
+        assert_eq!(format!("{v:?}"), "Natural(10)");
+    }
+}

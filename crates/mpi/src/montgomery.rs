@@ -1,0 +1,202 @@
+//! Montgomery multiplication context.
+//!
+//! Modular exponentiation in libgcrypt and OpenSSL (the systems whose
+//! countermeasures the paper analyzes) runs in the Montgomery domain. The
+//! benchmark implementations in `leakaudit-crypto` use this context so that
+//! the Fig. 16 cost ratios come from realistic inner loops rather than
+//! repeated long division.
+
+use crate::counters;
+use crate::natural::Natural;
+
+/// Precomputed context for Montgomery arithmetic modulo an odd modulus.
+///
+/// ```
+/// use leakaudit_mpi::{Montgomery, Natural};
+///
+/// let m = Montgomery::new(Natural::from(101u32)).unwrap();
+/// let a = m.to_mont(&Natural::from(7u32));
+/// let b = m.to_mont(&Natural::from(13u32));
+/// let prod = m.from_mont(&m.mul(&a, &b));
+/// assert_eq!(prod, Natural::from(7u32 * 13 % 101));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    modulus: Natural,
+    /// `-modulus^{-1} mod 2^32`.
+    n0_inv: u32,
+    /// `R^2 mod modulus` with `R = 2^(32·len)`.
+    rr: Natural,
+    /// Limb count of the modulus.
+    len: usize,
+}
+
+impl Montgomery {
+    /// Builds a context for the given modulus.
+    ///
+    /// Returns `None` if the modulus is even or zero (Montgomery reduction
+    /// requires `gcd(modulus, 2^32) = 1`).
+    pub fn new(modulus: Natural) -> Option<Self> {
+        if modulus.is_zero() || !modulus.is_odd() {
+            return None;
+        }
+        let len = modulus.limbs().len();
+        let n0 = modulus.limbs()[0];
+        // Newton iteration for the inverse of n0 modulo 2^32.
+        let mut inv = 1u32;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+        let r = Natural::one().shl_bits(32 * len);
+        let rr = (&r * &r).rem_ref(&modulus);
+        Some(Montgomery {
+            modulus,
+            n0_inv,
+            rr,
+            len,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Natural {
+        &self.modulus
+    }
+
+    /// Converts `x` into the Montgomery domain (`x·R mod m`).
+    pub fn to_mont(&self, x: &Natural) -> Natural {
+        self.mul(&x.rem_ref(&self.modulus), &self.rr)
+    }
+
+    /// Converts `x` out of the Montgomery domain (`x·R^{-1} mod m`).
+    pub fn from_mont(&self, x: &Natural) -> Natural {
+        self.mul(x, &Natural::one())
+    }
+
+    /// The Montgomery representation of `1` (the neutral element).
+    pub fn one(&self) -> Natural {
+        self.to_mont(&Natural::one())
+    }
+
+    /// Montgomery product `a·b·R^{-1} mod m` (CIOS method).
+    ///
+    /// Inputs must already be reduced below the modulus.
+    pub fn mul(&self, a: &Natural, b: &Natural) -> Natural {
+        let n = self.len;
+        counters::record_muls((2 * n * n) as u64);
+        let a_limbs = a.limbs();
+        let b_limbs = b.limbs();
+        let m_limbs = self.modulus.limbs();
+        // One extra limb for overflow, per CIOS.
+        let mut t = vec![0u32; n + 2];
+        for i in 0..n {
+            let ai = u64::from(a_limbs.get(i).copied().unwrap_or(0));
+            // t += ai * b
+            let mut carry = 0u64;
+            for j in 0..n {
+                let s = u64::from(t[j])
+                    + ai * u64::from(b_limbs.get(j).copied().unwrap_or(0))
+                    + carry;
+                t[j] = s as u32;
+                carry = s >> 32;
+            }
+            let s = u64::from(t[n]) + carry;
+            t[n] = s as u32;
+            t[n + 1] = (s >> 32) as u32;
+
+            // m = t[0] * n0_inv mod 2^32; t += m * modulus; t >>= 32
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry = (u64::from(t[0]) + u64::from(m) * u64::from(m_limbs[0])) >> 32;
+            for j in 1..n {
+                let s = u64::from(t[j]) + u64::from(m) * u64::from(m_limbs[j]) + carry;
+                t[j - 1] = s as u32;
+                carry = s >> 32;
+            }
+            let s = u64::from(t[n]) + carry;
+            t[n - 1] = s as u32;
+            t[n] = t[n + 1] + ((s >> 32) as u32);
+            t[n + 1] = 0;
+        }
+        let mut result = Natural::from_limbs(t[..=n].to_vec());
+        if result >= self.modulus {
+            result = result.checked_sub(&self.modulus).unwrap();
+        }
+        result
+    }
+
+    /// Montgomery square (`a²·R^{-1} mod m`).
+    pub fn sqr(&self, a: &Natural) -> Natural {
+        self.mul(a, a)
+    }
+
+    /// Reference modular exponentiation in the Montgomery domain
+    /// (left-to-right square-and-multiply on plain-domain inputs).
+    ///
+    /// Used to cross-check the six countermeasure implementations in
+    /// `leakaudit-crypto` against [`Natural::pow_mod`].
+    pub fn pow(&self, base: &Natural, exp: &Natural) -> Natural {
+        let base_m = self.to_mont(base);
+        let mut acc = self.one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.sqr(&acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_even_and_zero_moduli() {
+        assert!(Montgomery::new(Natural::zero()).is_none());
+        assert!(Montgomery::new(Natural::from(100u32)).is_none());
+        assert!(Montgomery::new(Natural::from(101u32)).is_some());
+    }
+
+    #[test]
+    fn round_trip_through_domain() {
+        let m = Montgomery::new(Natural::from(0xffff_fff1u32)).unwrap();
+        for v in [0u32, 1, 2, 12345, 0xffff_fff0] {
+            let x = Natural::from(v);
+            assert_eq!(m.from_mont(&m.to_mont(&x)), x, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_div_based() {
+        let modulus = Natural::from_hex("f000000000000000000000000000000d").unwrap();
+        let m = Montgomery::new(modulus.clone()).unwrap();
+        let a = Natural::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        let b = Natural::from_hex("0fedcba987654321123456789abcdef0").unwrap();
+        let expected = (&a * &b).rem_ref(&modulus);
+        let got = m.from_mont(&m.mul(&m.to_mont(&a), &m.to_mont(&b)));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pow_matches_reference_pow_mod() {
+        let modulus = Natural::from_hex("c000000000000000000000000000008f").unwrap();
+        let m = Montgomery::new(modulus.clone()).unwrap();
+        let base = Natural::from_hex("3141592653589793238462643383279").unwrap();
+        let exp = Natural::from_hex("deadbeef0badf00d").unwrap();
+        assert_eq!(m.pow(&base, &exp), base.pow_mod(&exp, &modulus));
+    }
+
+    #[test]
+    fn pow_large_modulus() {
+        // 512-bit odd modulus.
+        let mut limbs: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(0x0f1e_2d3c) | 1).collect();
+        limbs[15] |= 0x8000_0000;
+        let modulus = Natural::from_limbs(limbs);
+        let m = Montgomery::new(modulus.clone()).unwrap();
+        let base = Natural::from(0x1234_5678u32);
+        let exp = Natural::from(65537u32);
+        assert_eq!(m.pow(&base, &exp), base.pow_mod(&exp, &modulus));
+    }
+}

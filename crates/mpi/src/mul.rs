@@ -1,0 +1,171 @@
+//! Multiplication: schoolbook for short operands, Karatsuba above a
+//! threshold.
+//!
+//! The threshold matters for the performance experiment (Fig. 16): 3072-bit
+//! operands are 96 limbs, comfortably above [`KARATSUBA_THRESHOLD`], so the
+//! benchmarked exponentiations exercise the same asymptotic regime as
+//! libgcrypt's `mpihelp` routines.
+
+use crate::counters;
+use crate::natural::Natural;
+
+/// Operand size (in limbs) above which Karatsuba multiplication is used.
+pub const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Multiplies two naturals.
+pub(crate) fn mul(a: &Natural, b: &Natural) -> Natural {
+    if a.is_zero() || b.is_zero() {
+        return Natural::zero();
+    }
+    let out = mul_slices(&a.limbs, &b.limbs);
+    Natural::from_limbs(out)
+}
+
+fn mul_slices(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.len().min(b.len()) <= KARATSUBA_THRESHOLD {
+        schoolbook(a, b)
+    } else {
+        karatsuba(a, b)
+    }
+}
+
+/// O(n·m) schoolbook multiplication with 64-bit accumulation.
+fn schoolbook(a: &[u32], b: &[u32]) -> Vec<u32> {
+    counters::record_muls((a.len() * b.len()) as u64);
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = u64::from(ai) * u64::from(bj) + u64::from(out[i + j]) + carry;
+            out[i + j] = t as u32;
+            carry = t >> 32;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = u64::from(out[k]) + carry;
+            out[k] = t as u32;
+            carry = t >> 32;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba multiplication: splits at half the shorter length.
+///
+/// `a*b = hi_a*hi_b·B² + ((hi_a+lo_a)(hi_b+lo_b) - hi_a*hi_b - lo_a*lo_b)·B
+///        + lo_a*lo_b` with `B = 2^(32·split)`.
+fn karatsuba(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let split = a.len().min(b.len()) / 2;
+    let (a_lo, a_hi) = a.split_at(split);
+    let (b_lo, b_hi) = b.split_at(split);
+
+    let lo = mul_slices(a_lo, b_lo);
+    let hi = mul_slices(a_hi, b_hi);
+    let a_sum = add_slices(a_lo, a_hi);
+    let b_sum = add_slices(b_lo, b_hi);
+    let mid_full = mul_slices(&a_sum, &b_sum);
+
+    // mid = mid_full - lo - hi (never underflows).
+    let mid = sub_slices(&sub_slices(&mid_full, &lo), &hi);
+
+    let mut out = vec![0u32; a.len() + b.len()];
+    add_into(&mut out, &lo, 0);
+    add_into(&mut out, &mid, split);
+    add_into(&mut out, &hi, 2 * split);
+    out
+}
+
+fn add_slices(a: &[u32], b: &[u32]) -> Vec<u32> {
+    counters::record_adds(a.len().max(b.len()) as u64);
+    let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
+    let mut carry = 0u64;
+    for i in 0..a.len().max(b.len()) {
+        let s = u64::from(*a.get(i).unwrap_or(&0)) + u64::from(*b.get(i).unwrap_or(&0)) + carry;
+        out.push(s as u32);
+        carry = s >> 32;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// `a - b`, assuming `a >= b` numerically (caller invariant in Karatsuba).
+fn sub_slices(a: &[u32], b: &[u32]) -> Vec<u32> {
+    counters::record_adds(a.len() as u64);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let d = i64::from(a[i]) - i64::from(*b.get(i).unwrap_or(&0)) - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << 32)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "Karatsuba middle term underflowed");
+    out
+}
+
+/// `out[at..] += src` in place; `out` must be long enough to absorb the carry.
+fn add_into(out: &mut [u32], src: &[u32], at: usize) {
+    counters::record_adds(src.len() as u64);
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < src.len() || carry != 0 {
+        let s = u64::from(out[at + i]) + u64::from(*src.get(i).unwrap_or(&0)) + carry;
+        out[at + i] = s as u32;
+        carry = s >> 32;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn small_products_match_u128() {
+        for a in [0u128, 1, 2, 0xffff_ffff, 0x1_0000_0000, 0xdead_beef_cafe] {
+            for b in [0u128, 1, 3, 0xffff_ffff, 0x9_8765_4321] {
+                assert_eq!(n(a) * n(b), n(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Two 80-limb operands (above threshold) with a recognizable pattern.
+        let a: Vec<u32> = (0..80u32).map(|i| i.wrapping_mul(0x9e37_79b9) | 1).collect();
+        let b: Vec<u32> = (0..80u32).map(|i| i.wrapping_mul(0x85eb_ca6b) | 1).collect();
+        let kara = Natural::from_limbs(karatsuba(&a, &b));
+        let school = Natural::from_limbs(schoolbook(&a, &b));
+        assert_eq!(kara, school);
+    }
+
+    #[test]
+    fn karatsuba_asymmetric_lengths() {
+        let a: Vec<u32> = (0..100u32).map(|i| i ^ 0x5555_5555).collect();
+        let b: Vec<u32> = (0..40u32).map(|i| i | 0x8000_0001).collect();
+        assert_eq!(
+            Natural::from_limbs(mul_slices(&a, &b)),
+            Natural::from_limbs(schoolbook(&a, &b))
+        );
+    }
+
+    #[test]
+    fn multiplication_by_powers_of_two_is_shift() {
+        let v = Natural::from_hex("123456789abcdef0123456789abcdef").unwrap();
+        assert_eq!(&v * &Natural::one().shl_bits(77), v.shl_bits(77));
+    }
+}

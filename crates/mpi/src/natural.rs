@@ -1,0 +1,568 @@
+//! The [`Natural`] type: an arbitrary-precision unsigned integer.
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, Rem, Shl, Shr, Sub, SubAssign};
+
+use crate::counters;
+
+/// Number of bits in one limb.
+pub(crate) const LIMB_BITS: usize = 32;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian `u32` limbs with no trailing zero limbs
+/// (the canonical representation of zero is an empty limb vector).
+///
+/// Arithmetic is provided through the standard operator traits for both
+/// owned values and references; reference forms avoid cloning:
+///
+/// ```
+/// use leakaudit_mpi::Natural;
+/// let a = Natural::from(7u32);
+/// let b = Natural::from(5u32);
+/// assert_eq!(&a * &b, Natural::from(35u32));
+/// assert_eq!(&a - &b, Natural::from(2u32));
+/// ```
+///
+/// # Panics
+///
+/// Subtraction panics on underflow (use [`Natural::checked_sub`]), and
+/// division/remainder panic on a zero divisor (use [`Natural::div_rem`]
+/// guarded by [`Natural::is_zero`]).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Natural {
+    /// Little-endian limbs; invariant: no trailing zeros.
+    pub(crate) limbs: Vec<u32>,
+}
+
+impl Natural {
+    /// The value `0`.
+    ///
+    /// ```
+    /// # use leakaudit_mpi::Natural;
+    /// assert!(Natural::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        Natural { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Natural { limbs: vec![1] }
+    }
+
+    /// Constructs a natural from little-endian limbs, normalizing trailing
+    /// zeros away.
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Natural { limbs }
+    }
+
+    /// Returns the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Constructs a natural from little-endian bytes.
+    ///
+    /// ```
+    /// # use leakaudit_mpi::Natural;
+    /// assert_eq!(Natural::from_le_bytes(&[0x34, 0x12]), Natural::from(0x1234u32));
+    /// ```
+    pub fn from_le_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(4));
+        for chunk in bytes.chunks(4) {
+            let mut limb = 0u32;
+            for (i, &b) in chunk.iter().enumerate() {
+                limb |= u32::from(b) << (8 * i);
+            }
+            limbs.push(limb);
+        }
+        Natural::from_limbs(limbs)
+    }
+
+    /// Serializes to little-endian bytes without trailing zeros
+    /// (zero serializes to an empty vector).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = self
+            .limbs
+            .iter()
+            .flat_map(|l| l.to_le_bytes())
+            .collect();
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` iff the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Number of significant bits (`0` for zero).
+    ///
+    /// ```
+    /// # use leakaudit_mpi::Natural;
+    /// assert_eq!(Natural::from(0b1011u32).bit_len(), 4);
+    /// assert_eq!(Natural::zero().bit_len(), 0);
+    /// ```
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * LIMB_BITS - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (bit 0 is least significant; out-of-range bits are 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / LIMB_BITS, i % LIMB_BITS);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`, growing the representation as needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let (limb, off) = (i / LIMB_BITS, i % LIMB_BITS);
+        if limb >= self.limbs.len() {
+            if !value {
+                return;
+            }
+            self.limbs.resize(limb + 1, 0);
+        }
+        if value {
+            self.limbs[limb] |= 1 << off;
+        } else {
+            self.limbs[limb] &= !(1 << off);
+            while self.limbs.last() == Some(&0) {
+                self.limbs.pop();
+            }
+        }
+    }
+
+    /// Extracts `count ≤ 64` bits starting at bit `lo` as a `u64`.
+    ///
+    /// Used by windowed exponentiation to peel exponent windows and by the
+    /// observation-counting code to take leading bits for [`Natural::log2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn bits_range(&self, lo: usize, count: usize) -> u64 {
+        assert!(count <= 64, "bits_range count must be <= 64");
+        let mut out = 0u64;
+        for i in 0..count {
+            if self.bit(lo + i) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// `self + other`, allocating the result.
+    pub fn add_ref(&self, other: &Natural) -> Natural {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        counters::record_adds(long.len() as u64);
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let sum = u64::from(long[i]) + u64::from(*short.get(i).unwrap_or(&0)) + carry;
+            out.push(sum as u32);
+            carry = sum >> LIMB_BITS;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// `self - other` if `self >= other`, else `None`.
+    ///
+    /// ```
+    /// # use leakaudit_mpi::Natural;
+    /// assert_eq!(Natural::from(3u32).checked_sub(&Natural::from(5u32)), None);
+    /// ```
+    pub fn checked_sub(&self, other: &Natural) -> Option<Natural> {
+        if self < other {
+            return None;
+        }
+        counters::record_adds(self.limbs.len() as u64);
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let diff =
+                i64::from(self.limbs[i]) - i64::from(*other.limbs.get(i).unwrap_or(&0)) - borrow;
+            if diff < 0 {
+                out.push((diff + (1i64 << LIMB_BITS)) as u32);
+                borrow = 1;
+            } else {
+                out.push(diff as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Natural::from_limbs(out))
+    }
+
+    /// Shifts left by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> Natural {
+        if self.is_zero() {
+            return Natural::zero();
+        }
+        let limb_shift = bits / LIMB_BITS;
+        let bit_shift = bits % LIMB_BITS;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// Shifts right by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> Natural {
+        let limb_shift = bits / LIMB_BITS;
+        if limb_shift >= self.limbs.len() {
+            return Natural::zero();
+        }
+        let bit_shift = bits % LIMB_BITS;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return Natural::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            out.push((src[i] >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// `self * 2^k mod m` is not provided; but `self % m` via
+    /// [`Natural::div_rem`] and modular helpers live in the crypto crate.
+    ///
+    /// Computes `self^exp mod modulus` by simple left-to-right
+    /// square-and-multiply with division-based reduction.
+    ///
+    /// This is the *reference* implementation the six benchmark variants in
+    /// `leakaudit-crypto` are validated against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn pow_mod(&self, exp: &Natural, modulus: &Natural) -> Natural {
+        assert!(!modulus.is_zero(), "pow_mod modulus must be nonzero");
+        if modulus.is_one() {
+            return Natural::zero();
+        }
+        let mut result = Natural::one();
+        let base = self.div_rem(modulus).1;
+        let n = exp.bit_len();
+        for i in (0..n).rev() {
+            result = (&result * &result).div_rem(modulus).1;
+            if exp.bit(i) {
+                result = (&result * &base).div_rem(modulus).1;
+            }
+        }
+        result
+    }
+
+    /// Base-2 logarithm as `f64` (`NEG_INFINITY` for zero).
+    ///
+    /// Exact for powers of two; otherwise accurate to `f64` precision using
+    /// the top 64 bits. This is how leakage counts become "bits of leakage"
+    /// (paper §4: the logarithm of the number of observations).
+    ///
+    /// ```
+    /// # use leakaudit_mpi::Natural;
+    /// let big = Natural::one().shl_bits(1152);
+    /// assert_eq!(big.log2(), 1152.0);
+    /// ```
+    pub fn log2(&self) -> f64 {
+        let n = self.bit_len();
+        if n == 0 {
+            return f64::NEG_INFINITY;
+        }
+        if n <= 64 {
+            return (self.bits_range(0, n) as f64).log2();
+        }
+        let top = self.bits_range(n - 64, 64);
+        (top as f64).log2() + (n - 64) as f64
+    }
+
+    /// Converts to `u64`, if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u64::from(self.limbs[0])),
+            2 => Some(u64::from(self.limbs[0]) | (u64::from(self.limbs[1]) << 32)),
+            _ => None,
+        }
+    }
+}
+
+impl From<u32> for Natural {
+    fn from(v: u32) -> Self {
+        Natural::from_limbs(vec![v])
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(v: u64) -> Self {
+        Natural::from_limbs(vec![v as u32, (v >> 32) as u32])
+    }
+}
+
+impl From<u128> for Natural {
+    fn from(v: u128) -> Self {
+        Natural::from_limbs(vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ])
+    }
+}
+
+impl Ord for Natural {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                Ordering::Equal
+            }
+            non_eq => non_eq,
+        }
+    }
+}
+
+impl PartialOrd for Natural {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait for &Natural {
+            type Output = Natural;
+            fn $method(self, rhs: &Natural) -> Natural {
+                let f: fn(&Natural, &Natural) -> Natural = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait for Natural {
+            type Output = Natural;
+            fn $method(self, rhs: Natural) -> Natural {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&Natural> for Natural {
+            type Output = Natural;
+            fn $method(self, rhs: &Natural) -> Natural {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<Natural> for &Natural {
+            type Output = Natural;
+            fn $method(self, rhs: Natural) -> Natural {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, |a, b| a.add_ref(b));
+forward_binop!(Sub, sub, |a, b| a
+    .checked_sub(b)
+    .expect("Natural subtraction underflow"));
+forward_binop!(Mul, mul, |a, b| crate::mul::mul(a, b));
+forward_binop!(Div, div, |a, b| a.div_rem(b).0);
+forward_binop!(Rem, rem, |a, b| a.div_rem(b).1);
+forward_binop!(BitAnd, bitand, |a: &Natural, b: &Natural| {
+    let n = a.limbs.len().min(b.limbs.len());
+    Natural::from_limbs((0..n).map(|i| a.limbs[i] & b.limbs[i]).collect())
+});
+forward_binop!(BitOr, bitor, |a: &Natural, b: &Natural| {
+    let n = a.limbs.len().max(b.limbs.len());
+    Natural::from_limbs(
+        (0..n)
+            .map(|i| a.limbs.get(i).unwrap_or(&0) | b.limbs.get(i).unwrap_or(&0))
+            .collect(),
+    )
+});
+forward_binop!(BitXor, bitxor, |a: &Natural, b: &Natural| {
+    let n = a.limbs.len().max(b.limbs.len());
+    Natural::from_limbs(
+        (0..n)
+            .map(|i| a.limbs.get(i).unwrap_or(&0) ^ b.limbs.get(i).unwrap_or(&0))
+            .collect(),
+    )
+});
+
+impl AddAssign<&Natural> for Natural {
+    fn add_assign(&mut self, rhs: &Natural) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&Natural> for Natural {
+    fn sub_assign(&mut self, rhs: &Natural) {
+        *self = self
+            .checked_sub(rhs)
+            .expect("Natural subtraction underflow");
+    }
+}
+
+impl Shl<usize> for &Natural {
+    type Output = Natural;
+    fn shl(self, bits: usize) -> Natural {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &Natural {
+    type Output = Natural;
+    fn shr(self, bits: usize) -> Natural {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Natural::zero().is_zero());
+        assert!(Natural::one().is_one());
+        assert!(Natural::one().is_odd());
+        assert!(!Natural::zero().is_odd());
+        assert_eq!(Natural::default(), Natural::zero());
+    }
+
+    #[test]
+    fn normalization_strips_trailing_zeros() {
+        assert_eq!(Natural::from_limbs(vec![5, 0, 0]), Natural::from(5u32));
+        assert_eq!(Natural::from(0u64), Natural::zero());
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = n(u64::MAX as u128);
+        assert_eq!(&a + &Natural::one(), n(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_exact_and_underflow() {
+        assert_eq!(&n(1u128 << 64) - &Natural::one(), n(u64::MAX as u128));
+        assert_eq!(n(3).checked_sub(&n(5)), None);
+        assert_eq!(n(5).checked_sub(&n(5)), Some(Natural::zero()));
+    }
+
+    #[test]
+    fn ordering_by_length_then_lexicographic() {
+        assert!(n(1u128 << 100) > n(u64::MAX as u128));
+        assert!(n(7) < n(8));
+        assert_eq!(n(42).cmp(&n(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let v = n(0b1010_0001);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(5));
+        assert!(v.bit(7));
+        assert!(!v.bit(300));
+        assert_eq!(v.bit_len(), 8);
+        assert_eq!(v.bits_range(4, 4), 0b1010);
+    }
+
+    #[test]
+    fn set_bit_grows_and_shrinks() {
+        let mut v = Natural::zero();
+        v.set_bit(100, true);
+        assert_eq!(v, Natural::one().shl_bits(100));
+        v.set_bit(100, false);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let v = n(0x1234_5678_9abc_def0);
+        assert_eq!(v.shl_bits(17).shr_bits(17), v);
+        assert_eq!(v.shl_bits(0), v);
+        assert_eq!(v.shr_bits(200), Natural::zero());
+    }
+
+    #[test]
+    fn le_bytes_round_trip() {
+        let v = n(0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10);
+        assert_eq!(Natural::from_le_bytes(&v.to_le_bytes()), v);
+        assert_eq!(Natural::zero().to_le_bytes(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(n(1).log2(), 0.0);
+        assert_eq!(n(2).log2(), 1.0);
+        assert!((n(50).log2() - 5.643856).abs() < 1e-5);
+        assert_eq!(Natural::one().shl_bits(384).log2(), 384.0);
+        assert_eq!(Natural::zero().log2(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        let (b, e, m) = (n(7), n(13), n(101));
+        assert_eq!(b.pow_mod(&e, &m).to_u64(), Some(7u64.pow(13) % 101));
+        assert_eq!(n(0).pow_mod(&n(0), &n(5)), Natural::one());
+        assert_eq!(n(9).pow_mod(&n(3), &Natural::one()), Natural::zero());
+    }
+
+    #[test]
+    fn bit_ops() {
+        assert_eq!(&n(0b1100) & &n(0b1010), n(0b1000));
+        assert_eq!(&n(0b1100) | &n(0b1010), n(0b1110));
+        assert_eq!(&n(0b1100) ^ &n(0b1010), n(0b0110));
+    }
+
+    #[test]
+    fn to_u64_bounds() {
+        assert_eq!(Natural::zero().to_u64(), Some(0));
+        assert_eq!(n(u64::MAX as u128).to_u64(), Some(u64::MAX));
+        assert_eq!(n(1u128 << 64).to_u64(), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for `leakaudit-mpi` against `u128` oracles and
+//! algebraic laws.
+
+use leakaudit_mpi::{Montgomery, Natural};
+use proptest::prelude::*;
+
+fn nat(v: u128) -> Natural {
+    Natural::from(v)
+}
+
+/// Strategy for naturals of up to ~20 limbs with interesting bit patterns.
+fn big_natural() -> impl Strategy<Value = Natural> {
+    proptest::collection::vec(
+        prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()],
+        0..20,
+    )
+    .prop_map(Natural::from_limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(nat(a as u128) + nat(b as u128), nat(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(nat(a as u128) * nat(b as u128), nat(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = nat(a).div_rem(&nat(b));
+        prop_assert_eq!(q, nat(a / b));
+        prop_assert_eq!(r, nat(a % b));
+    }
+
+    #[test]
+    fn sub_add_round_trip(a in big_natural(), b in big_natural()) {
+        let sum = &a + &b;
+        prop_assert_eq!(&sum - &a, b.clone());
+        prop_assert_eq!(&sum - &b, a);
+    }
+
+    #[test]
+    fn mul_commutative_and_distributive(a in big_natural(), b in big_natural(), c in big_natural()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn division_reconstruction(a in big_natural(), b in big_natural()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in big_natural(), s in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(s), &a * &Natural::one().shl_bits(s));
+        prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+    }
+
+    #[test]
+    fn shr_is_div_by_power_of_two(a in big_natural(), s in 0usize..200) {
+        prop_assert_eq!(a.shr_bits(s), &a / &Natural::one().shl_bits(s));
+    }
+
+    #[test]
+    fn hex_round_trip(a in big_natural()) {
+        prop_assert_eq!(Natural::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in big_natural()) {
+        prop_assert_eq!(a.to_decimal().parse::<Natural>().unwrap(), a);
+    }
+
+    #[test]
+    fn le_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = Natural::from_le_bytes(&bytes);
+        prop_assert_eq!(Natural::from_le_bytes(&v.to_le_bytes()), v);
+    }
+
+    #[test]
+    fn bit_len_bounds(a in big_natural()) {
+        let n = a.bit_len();
+        if n > 0 {
+            prop_assert!(a >= Natural::one().shl_bits(n - 1));
+            prop_assert!(a < Natural::one().shl_bits(n));
+            // log2 lies within [n-1, n] (the top end only via f64 rounding
+            // of values just below 2^n).
+            let l = a.log2();
+            prop_assert!(l >= (n - 1) as f64 && l <= n as f64);
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in big_natural(), b in big_natural()) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+
+    #[test]
+    fn montgomery_mul_matches_division(
+        a in any::<u128>(),
+        b in any::<u128>(),
+        m in (1u128..(1 << 100)).prop_map(|m| m | 1),
+    ) {
+        prop_assume!(m > 1);
+        let ctx = Montgomery::new(nat(m)).unwrap();
+        let (a, b) = (a % m, b % m);
+        let expected = (nat(a) * nat(b)).rem_ref(&nat(m));
+        let got = ctx.from_mont(&ctx.mul(&ctx.to_mont(&nat(a)), &ctx.to_mont(&nat(b))));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn montgomery_pow_matches_pow_mod(
+        base in any::<u64>(),
+        exp in any::<u32>(),
+        m in (3u128..(1 << 80)).prop_map(|m| m | 1),
+    ) {
+        let ctx = Montgomery::new(nat(m)).unwrap();
+        let (b, e) = (nat(base as u128), nat(exp as u128));
+        prop_assert_eq!(ctx.pow(&b, &e), b.pow_mod(&e, &nat(m)));
+    }
+
+    #[test]
+    fn pow_mod_laws(base in any::<u32>(), e1 in 0u32..64, e2 in 0u32..64, m in 2u64..) {
+        // b^(e1+e2) = b^e1 * b^e2 (mod m)
+        let m = nat(m as u128);
+        let b = nat(base as u128);
+        let lhs = b.pow_mod(&nat((e1 + e2) as u128), &m);
+        let rhs = (b.pow_mod(&nat(e1 as u128), &m) * b.pow_mod(&nat(e2 as u128), &m)).rem_ref(&m);
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,198 @@
+//! The PLDI'17 case-study binaries: side-channel countermeasures for
+//! modular exponentiation from libgcrypt 1.5.2/1.5.3/1.6.1/1.6.3 and
+//! OpenSSL 1.0.2f/1.0.2g (paper §8).
+//!
+//! Each scenario packages:
+//!
+//! * an **x86-32 binary** assembled at the addresses and with the code
+//!   layouts the paper documents (Figs. 9 and 15 show how countermeasure
+//!   effectiveness depends on exactly where instructions fall relative to
+//!   cache-line boundaries — we reproduce those layouts byte-exactly);
+//! * the **initial abstract state**: which registers/memory hold secrets
+//!   (value sets), which hold dynamically allocated pointers (fresh
+//!   symbols, per the paper's `malloc` model);
+//! * the **paper's expected leakage bounds** for the I-/D-cache observer
+//!   tables (Figs. 7, 8, 14), used by the regression suite and the
+//!   `repro` harness;
+//! * **concrete cases** — full register/memory initializations for every
+//!   secret value under several heap layouts, so the emulator can validate
+//!   the static bounds empirically (Theorem 1) and check functional
+//!   correctness of each countermeasure.
+//!
+//! ```
+//! use leakaudit_core::Observer;
+//! use leakaudit_scenarios::scatter_gather;
+//!
+//! let scenario = scatter_gather::openssl_102f();
+//! let report = scenario.analyze().unwrap();
+//! // The scatter/gather security proof (Fig. 14c, block column):
+//! assert_eq!(report.dcache_bits(Observer::block(6)), 0.0);
+//! // ... and the CacheBleed leak it misses (bank column, 384 bit):
+//! assert_eq!(report.dcache_bits(Observer::block(2)), 384.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defensive_gather;
+pub mod lookup_secure;
+pub mod lookup_unprotected;
+pub mod scatter_gather;
+pub mod square_always;
+pub mod square_multiply;
+
+use leakaudit_analyzer::{
+    Analysis, AnalysisConfig, AnalysisError, AnalysisTarget, InitState, LeakReport,
+};
+use leakaudit_x86::{EmuError, EmuTrace, Emulator, Program, Reg};
+
+/// The paper's expected leakage numbers for one scenario, in bits, for the
+/// `[address, block, b-block]` observer columns of Figs. 7/8/14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Expected {
+    /// I-cache row.
+    pub icache: [f64; 3],
+    /// D-cache row.
+    pub dcache: [f64; 3],
+    /// D-cache bank-trace observer (only reported for scatter/gather: the
+    /// CacheBleed leak, §8.4).
+    pub dcache_bank: Option<f64>,
+}
+
+/// A fully concrete initialization of one emulator run: one secret value
+/// under one heap layout.
+#[derive(Debug, Clone)]
+pub struct ConcreteCase {
+    /// Human-readable description (e.g. `"k=3, layout B"`).
+    pub label: String,
+    /// Index of the heap layout (the valuation λ); cases sharing a layout
+    /// differ only in the secret.
+    pub layout: usize,
+    /// Initial register values.
+    pub regs: Vec<(Reg, u32)>,
+    /// Initial memory bytes.
+    pub bytes: Vec<(u32, u8)>,
+    /// Post-condition: memory ranges that must equal the given bytes after
+    /// the run (functional correctness of the countermeasure).
+    pub expect_mem: Vec<(u32, Vec<u8>)>,
+}
+
+/// One case-study instance: binary, abstract initial state, architecture,
+/// paper expectations, and concrete validation cases.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short identifier (e.g. `"scatter-gather-1.0.2f"`).
+    pub name: &'static str,
+    /// Which paper table/figure this instance reproduces.
+    pub paper_ref: &'static str,
+    /// The binary.
+    pub program: Program,
+    /// Initial abstract state (secrets and heap symbols).
+    pub init: InitState,
+    /// Cache-line bits `b` for this instance (6 = 64-byte, 5 = 32-byte).
+    pub block_bits: u8,
+    /// The paper's reported bounds.
+    pub expected: Expected,
+    /// Concrete secret × layout sweep for emulator validation.
+    pub cases: Vec<ConcreteCase>,
+}
+
+impl Scenario {
+    /// Runs the static analysis with this scenario's architecture
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalysisError`] from the analyzer.
+    pub fn analyze(&self) -> Result<LeakReport, AnalysisError> {
+        Analysis::new(AnalysisConfig::with_block_bits(self.block_bits)).run(self)
+    }
+
+    /// Runs one concrete case in the emulator, returning its memory trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmuError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a functional post-condition fails (the countermeasure
+    /// mis-copied).
+    pub fn emulate(&self, case: &ConcreteCase) -> Result<EmuTrace, EmuError> {
+        let mut emu = Emulator::new(&self.program);
+        for &(r, v) in &case.regs {
+            emu.set_reg(r, v);
+        }
+        for &(addr, b) in &case.bytes {
+            emu.write_u8(addr, b);
+        }
+        let trace = emu.run(1_000_000)?;
+        for (addr, expected) in &case.expect_mem {
+            for (i, &b) in expected.iter().enumerate() {
+                assert_eq!(
+                    emu.read_u8(addr + i as u32),
+                    b,
+                    "{}: {} post-condition failed at {:#x}+{i}",
+                    self.name,
+                    case.label,
+                    addr
+                );
+            }
+        }
+        Ok(trace)
+    }
+
+    /// The number of distinct heap layouts covered by [`Scenario::cases`].
+    pub fn layout_count(&self) -> usize {
+        self.cases.iter().map(|c| c.layout).max().map_or(0, |m| m + 1)
+    }
+}
+
+impl AnalysisTarget for Scenario {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init_state(&self) -> InitState {
+        self.init.clone()
+    }
+}
+
+/// All eight case-study instances, in the paper's presentation order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        square_multiply::libgcrypt_152(),
+        square_always::libgcrypt_153_o2(),
+        square_always::libgcrypt_153_o0(),
+        lookup_unprotected::libgcrypt_161_o2(),
+        lookup_unprotected::libgcrypt_161_o1(),
+        lookup_secure::libgcrypt_163(),
+        scatter_gather::openssl_102f(),
+        defensive_gather::openssl_102g(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_assemble_and_have_cases() {
+        let scenarios = all();
+        assert_eq!(scenarios.len(), 8);
+        for s in &scenarios {
+            assert!(!s.cases.is_empty(), "{} has no concrete cases", s.name);
+            assert!(s.layout_count() >= 2, "{} needs >=2 heap layouts", s.name);
+            assert!(s.program.decode_at(s.program.entry()).is_ok());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let scenarios = all();
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len());
+    }
+}

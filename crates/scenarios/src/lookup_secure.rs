@@ -1,0 +1,156 @@
+//! The defensive table lookup of libgcrypt 1.6.3 / NaCl (paper Fig. 11):
+//! copy *every* table entry with a branchless mask so that the sequence of
+//! memory accesses is a constant — the paper's Fig. 14b proves 0 bits of
+//! leakage to every observer.
+
+use leakaudit_analyzer::InitState;
+use leakaudit_core::ValueSet;
+use leakaudit_x86::{Asm, Cond, Mem, Reg, Reg8};
+
+use crate::{ConcreteCase, Expected, Scenario};
+
+/// Number of pre-computed values (the window size 3 minus the `1` handled
+/// separately: 7 entries, paper §8.4).
+pub const ENTRIES: u32 = 7;
+/// Words per 3072-bit entry (384 bytes).
+pub const WORDS: u32 = 96;
+
+/// `secure_retrieve` (paper Fig. 11):
+///
+/// ```text
+/// for i in 0..n:
+///     s := (i == k)
+///     for j in 0..N: r[j] ^= (0 - s) & (r[j] ^ p[i][j])
+/// ```
+///
+/// `ecx` holds the secret index `k ∈ {0..6}`; `ebx`/`edi` hold the heap
+/// table `p` and destination `r`. Register allocation mirrors a `-O2`
+/// build: the inner loop compares pointers (paper Ex. 7) instead of
+/// keeping an index.
+pub fn libgcrypt_163() -> Scenario {
+    let mut a = Asm::new(0x4c000);
+    // ebp = r + 384: the inner loop's end pointer (compiled loop guard).
+    a.mov(Reg::Ebp, Reg::Edi);
+    a.add(Reg::Ebp, 4 * WORDS);
+    a.mov(Reg::Esi, 0u32); // i
+    a.label("outer");
+    // mask = 0 - (i == k), branchless.
+    a.xor(Reg::Eax, Reg::Eax);
+    a.cmp(Reg::Ecx, Reg::Esi);
+    a.setcc(Cond::E, Reg8::Al);
+    a.neg(Reg::Eax);
+    a.label("inner");
+    a.mov(Reg::Edx, Mem::reg(Reg::Ebx)); // p[i][j]
+    a.xor(Reg::Edx, Mem::reg(Reg::Edi)); // ^ r[j]
+    a.and(Reg::Edx, Reg::Eax); // & mask
+    a.xor(Mem::reg(Reg::Edi), Reg::Edx); // r[j] ^= ...
+    a.add(Reg::Ebx, 4u32);
+    a.add(Reg::Edi, 4u32);
+    a.cmp(Reg::Edi, Reg::Ebp);
+    a.jne("inner");
+    a.sub(Reg::Edi, 4 * WORDS); // rewind r for the next entry
+    a.inc(Reg::Esi);
+    a.cmp(Reg::Esi, ENTRIES);
+    a.jne("outer");
+    a.hlt();
+
+    let program = a.assemble().expect("scenario assembles");
+
+    let mut init = InitState::new();
+    let p = init.fresh_heap_pointer("p");
+    let r = init.fresh_heap_pointer("r");
+    init.set_reg(Reg::Ebx, ValueSet::singleton(p));
+    init.set_reg(Reg::Edi, ValueSet::singleton(r));
+    init.set_reg(Reg::Ecx, ValueSet::from_constants(0..u64::from(ENTRIES), 32));
+
+    let mut cases = Vec::new();
+    for (layout, (p_base, r_base)) in [(0x080e_c000u32, 0x080e_b000u32), (0x0920_0100, 0x0910_0040)]
+        .into_iter()
+        .enumerate()
+    {
+        for k in 0..ENTRIES {
+            // Fill the table with a recognizable per-entry pattern and
+            // zero the destination; afterwards r must equal entry k.
+            let mut bytes = Vec::new();
+            for i in 0..ENTRIES {
+                for j in 0..(4 * WORDS) {
+                    bytes.push((p_base + i * 4 * WORDS + j, entry_byte(i, j)));
+                }
+            }
+            for j in 0..(4 * WORDS) {
+                bytes.push((r_base + j, 0));
+            }
+            let expected: Vec<u8> = (0..(4 * WORDS)).map(|j| entry_byte(k, j)).collect();
+            cases.push(ConcreteCase {
+                label: format!("k={k}, layout {layout}"),
+                layout,
+                regs: vec![
+                    (Reg::Ebx, p_base),
+                    (Reg::Edi, r_base),
+                    (Reg::Ecx, k),
+                ],
+                bytes,
+                expect_mem: vec![(r_base, expected)],
+            });
+        }
+    }
+
+    Scenario {
+        name: "secure-retrieve-1.6.3",
+        paper_ref: "Fig. 14b (leakage), Fig. 11 (code)",
+        program,
+        init,
+        block_bits: 6,
+        expected: Expected {
+            icache: [0.0, 0.0, 0.0],
+            dcache: [0.0, 0.0, 0.0],
+            dcache_bank: Some(0.0),
+        },
+        cases,
+    }
+}
+
+/// Deterministic table contents for functional validation.
+pub fn entry_byte(entry: u32, offset: u32) -> u8 {
+    (entry.wrapping_mul(37) ^ offset.wrapping_mul(11) ^ 0x5a) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakaudit_core::Observer;
+
+    #[test]
+    fn reproduces_fig_14b_zero_everywhere() {
+        let report = libgcrypt_163().analyze().unwrap();
+        for obs in [
+            Observer::address(),
+            Observer::block(6),
+            Observer::block(6).stuttering(),
+            Observer::bank(),
+            Observer::page(),
+        ] {
+            assert_eq!(report.icache_bits(obs), 0.0, "I {obs}");
+            assert_eq!(report.dcache_bits(obs), 0.0, "D {obs}");
+            assert_eq!(report.shared_bits(obs), 0.0, "shared {obs}");
+        }
+    }
+
+    #[test]
+    fn copies_exactly_the_selected_entry() {
+        let s = libgcrypt_163();
+        // emulate() asserts the functional post-condition internally.
+        let t = s.emulate(&s.cases[3]).unwrap();
+        assert!(t.steps > u64::from(ENTRIES * WORDS));
+    }
+
+    #[test]
+    fn traces_are_secret_independent() {
+        let s = libgcrypt_163();
+        let base: Vec<u64> = s.emulate(&s.cases[0]).unwrap().all_addresses();
+        for case in &s.cases[1..ENTRIES as usize] {
+            let t = s.emulate(case).unwrap();
+            assert_eq!(t.all_addresses(), base, "{}", case.label);
+        }
+    }
+}

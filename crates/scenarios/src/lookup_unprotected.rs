@@ -1,0 +1,230 @@
+//! The unprotected table lookup of windowed modular exponentiation (paper
+//! Fig. 10, libgcrypt 1.6.1): `base_u := b_2i3[e0-1]` indexed directly by
+//! the secret window — the classic prime+probe target.
+//!
+//! Data layout: the 7-entry pointer and size tables are placed so each
+//! straddles a 64-byte block boundary (entries 0–3 in one block, 4–6 in
+//! the next). This reproduces the paper's Fig. 14a numbers exactly:
+//! `1 + 7·7 = 50` address observations (5.6 bit) and `1 + 2·2 = 5`
+//! block-trace observations (2.3 bit).
+
+use leakaudit_analyzer::InitState;
+use leakaudit_core::ValueSet;
+use leakaudit_x86::{Asm, Mem, Reg};
+
+use crate::{ConcreteCase, Expected, Scenario};
+
+/// Pointer table `b_2i3`: 7 entries × 4 bytes at offset 48 of its block.
+const B2I3: u32 = 0x80e_b0f0;
+/// Size table `b_2i3size`: same straddling placement one block later.
+const B2I3SIZE: u32 = 0x80e_b130;
+/// `bp` / `bsize` (the power-of-one shortcut operands), same block.
+const BP: u32 = 0x80e_b080;
+const BSIZE: u32 = 0x80e_b084;
+
+fn data_section(a: &mut Asm) {
+    // Heap addresses of the 7 pre-computed values (their contents are
+    // high; only the pointers are data here).
+    a.section_at(B2I3);
+    a.label("b_2i3");
+    a.dd(&[
+        0x80e_c000, 0x80e_c180, 0x80e_c300, 0x80e_c480, 0x80e_c600, 0x80e_c780, 0x80e_c900,
+    ]);
+    a.section_at(B2I3SIZE);
+    a.label("b_2i3size");
+    a.dd(&[96, 96, 96, 96, 96, 96, 96]);
+    a.section_at(BP);
+    a.dd(&[0x80e_d000, 96]); // bp, bsize
+}
+
+fn secret_window() -> ValueSet {
+    // e0: the 3-bit window right-shifted by 1 (paper Fig. 10), in {0..7}.
+    ValueSet::from_constants(0..8, 32)
+}
+
+fn cases() -> Vec<ConcreteCase> {
+    let mut cases = Vec::new();
+    // The tables are in the image; layouts vary the (unused) scratch regs.
+    for (layout, scratch) in [0u32, 0x1000].into_iter().enumerate() {
+        for e0 in 0..8u32 {
+            cases.push(ConcreteCase {
+                label: format!("e0={e0}, layout {layout}"),
+                layout,
+                regs: vec![(Reg::Eax, e0), (Reg::Ebp, 0x00f0_0400 + scratch)],
+                bytes: Vec::new(),
+                expect_mem: Vec::new(),
+            });
+        }
+    }
+    cases
+}
+
+/// The `-O2` build (paper Fig. 15a): the `e0 == 0` branch body lives in
+/// the far cache line `0x4ba40` and jumps back — block trace `B·C·B` when
+/// taken vs `B` when not, so every I-cache observer sees 1 bit.
+pub fn libgcrypt_161_o2() -> Scenario {
+    let mut a = Asm::new(0x4b980);
+    a.test(Reg::Eax, Reg::Eax); // e0 == 0?
+    a.jcc_near(leakaudit_x86::Cond::E, "power_of_one");
+    // e0 != 0: the secret-indexed lookups.
+    a.lea(Reg::Esi, Mem::base_disp(Reg::Eax, -1)); // esi = e0 - 1 ∈ {0..6}
+    a.mov(
+        Reg::Ecx,
+        Mem {
+            base: None,
+            index: Some((Reg::Esi, 4)),
+            disp: B2I3 as i32,
+        },
+    ); // base_u = b_2i3[e0-1]
+    a.mov(
+        Reg::Edx,
+        Mem {
+            base: None,
+            index: Some((Reg::Esi, 4)),
+            disp: B2I3SIZE as i32,
+        },
+    ); // base_u_size = b_2i3size[e0-1]
+    a.label("done");
+    a.hlt();
+
+    a.section_at(0x4ba40);
+    a.label("power_of_one");
+    a.mov(Reg::Ecx, Mem::abs(BP));
+    a.mov(Reg::Edx, Mem::abs(BSIZE));
+    a.jmp_near("done");
+
+    data_section(&mut a);
+    let program = a.assemble().expect("scenario assembles");
+
+    let mut init = InitState::new();
+    init.set_reg(Reg::Eax, secret_window());
+
+    Scenario {
+        name: "unprotected-lookup-1.6.1-O2",
+        paper_ref: "Fig. 14a (leakage), Fig. 10 (code), Fig. 15a (layout)",
+        program,
+        init,
+        block_bits: 6,
+        expected: Expected {
+            icache: [1.0, 1.0, 1.0],
+            dcache: [50f64.log2(), 5f64.log2(), 5f64.log2()],
+            dcache_bank: None,
+        },
+        cases: cases(),
+    }
+}
+
+/// The `-O1` build (paper Fig. 15b): both branch bodies fall within the
+/// same two consecutive cache lines, visited in the same order — the
+/// stuttering block-trace leak is eliminated (paper §8.4, first bullet).
+pub fn libgcrypt_161_o1() -> Scenario {
+    let mut a = Asm::new(0x47dc0);
+    a.test(Reg::Eax, Reg::Eax);
+    a.je("power_of_one");
+    a.lea(Reg::Esi, Mem::base_disp(Reg::Eax, -1));
+    a.mov(
+        Reg::Ecx,
+        Mem {
+            base: None,
+            index: Some((Reg::Esi, 4)),
+            disp: B2I3 as i32,
+        },
+    );
+    a.mov(
+        Reg::Edx,
+        Mem {
+            base: None,
+            index: Some((Reg::Esi, 4)),
+            disp: B2I3SIZE as i32,
+        },
+    );
+    a.jmp("done");
+    a.align(64);
+    a.label("power_of_one"); // 0x47e00: the next cache line
+    a.mov(Reg::Ecx, Mem::abs(BP));
+    a.mov(Reg::Edx, Mem::abs(BSIZE));
+    a.align(16);
+    a.label("done"); // 0x47e10: same cache line as power_of_one
+    a.hlt();
+
+    data_section(&mut a);
+    let program = a.assemble().expect("scenario assembles");
+    assert_eq!(program.label("power_of_one"), Some(0x47e00));
+    assert_eq!(program.label("done"), Some(0x47e10));
+
+    let mut init = InitState::new();
+    init.set_reg(Reg::Eax, secret_window());
+
+    Scenario {
+        name: "unprotected-lookup-1.6.1-O1",
+        paper_ref: "Fig. 15b (layout): I-cache b-block leak eliminated",
+        program,
+        init,
+        block_bits: 6,
+        expected: Expected {
+            icache: [1.0, 1.0, 0.0],
+            dcache: [50f64.log2(), 5f64.log2(), 5f64.log2()],
+            dcache_bank: None,
+        },
+        cases: cases(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakaudit_core::Observer;
+
+    #[test]
+    fn o2_reproduces_fig_14a() {
+        let s = libgcrypt_161_o2();
+        let report = s.analyze().unwrap();
+        assert_eq!(report.icache_bits(Observer::address()), 1.0);
+        assert_eq!(report.icache_bits(Observer::block(6)), 1.0);
+        assert_eq!(report.icache_bits(Observer::block(6).stuttering()), 1.0);
+        // 1 + 7·7 = 50 observations → 5.64 ≈ "5.6 bit".
+        assert!((report.dcache_bits(Observer::address()) - 50f64.log2()).abs() < 1e-9);
+        // 1 + 2·2 = 5 observations → 2.32 ≈ "2.3 bit".
+        assert!((report.dcache_bits(Observer::block(6)) - 5f64.log2()).abs() < 1e-9);
+        assert!(
+            (report.dcache_bits(Observer::block(6).stuttering()) - 5f64.log2()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn o1_eliminates_the_stuttering_icache_leak() {
+        let s = libgcrypt_161_o1();
+        let report = s.analyze().unwrap();
+        assert_eq!(report.icache_bits(Observer::address()), 1.0);
+        assert_eq!(report.icache_bits(Observer::block(6)), 1.0);
+        assert_eq!(report.icache_bits(Observer::block(6).stuttering()), 0.0);
+    }
+
+    #[test]
+    fn emulator_lookup_reads_the_right_entry() {
+        let s = libgcrypt_161_o2();
+        for case in &s.cases {
+            let trace = s.emulate(case).unwrap();
+            let data = trace.data_addresses();
+            let e0: u32 = case.regs[0].1;
+            if e0 == 0 {
+                assert_eq!(data, vec![u64::from(BP), u64::from(BSIZE)]);
+            } else {
+                assert_eq!(
+                    data,
+                    vec![
+                        u64::from(B2I3 + 4 * (e0 - 1)),
+                        u64::from(B2I3SIZE + 4 * (e0 - 1))
+                    ]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_table_straddles_a_block_boundary() {
+        // Entries 0..3 in block 0x80eb0c0, 4..6 in block 0x80eb100.
+        assert_eq!((B2I3 % 64), 48);
+        assert_eq!((B2I3SIZE % 64), 48);
+    }
+}

@@ -1,0 +1,240 @@
+//! Square-and-always-multiply (paper Fig. 6, libgcrypt 1.5.3): the
+//! multiplication always executes and a small conditional copy selects the
+//! result. Whether the *copy* leaks depends entirely on compilation and
+//! cache-line size — the point of the paper's Figs. 7b/8/9.
+
+use leakaudit_analyzer::InitState;
+use leakaudit_core::{MaskedSymbol, ValueSet};
+use leakaudit_x86::{Asm, Mem, Reg};
+
+use crate::{ConcreteCase, Expected, Scenario};
+
+const SQR: u32 = 0x41b00;
+const MODRED: u32 = 0x41b40;
+const MUL: u32 = 0x41b80;
+
+/// The `-O2` build at 64-byte cache lines (paper Fig. 9a, Ex. 9): the
+/// conditional copy is three register moves at `0x41a9b..0x41a9f`, entirely
+/// inside the cache line `0x41a80`. Expected bounds (Fig. 7b): the I-cache
+/// leaks 1 bit to address- and block-trace observers (different
+/// instruction counts) but **0 bits modulo stuttering**, and the D-cache
+/// leaks nothing at all — the copy touches no memory.
+pub fn libgcrypt_153_o2() -> Scenario {
+    let mut a = Asm::new(0x41a60);
+    a.call(SQR);
+    a.call(MODRED);
+    a.call(MUL); // tmp := b·r — ALWAYS executed
+    a.call(MODRED);
+    a.align(16); // pad to 0x41a80
+    a.align(64);
+    // Wait for 0x41a90 exactly: the published addresses.
+    a.db(&[0x90; 0x10]);
+    a.label("iter");
+    a.mov(Reg::Eax, Mem::base_disp(Reg::Esp, 0x80)); // 0x41a90: load e_i
+    a.test(Reg::Eax, Reg::Eax); // 0x41a97
+    a.jne("merge"); // 0x41a99
+    a.mov(Reg::Eax, Reg::Ebp); // 0x41a9b: r <-> tmp, registers only
+    a.mov(Reg::Ebp, Reg::Edi); // 0x41a9d
+    a.mov(Reg::Edi, Reg::Eax); // 0x41a9f
+    a.label("merge");
+    a.sub(Reg::Edx, 1u32); // 0x41aa1
+    a.hlt();
+
+    a.section_at(SQR);
+    a.mov(Reg::Eax, Mem::reg(Reg::Ebp));
+    a.ret();
+    a.section_at(MODRED);
+    a.mov(Reg::Eax, Mem::reg(Reg::Ebp));
+    a.ret();
+    a.section_at(MUL);
+    a.mov(Reg::Eax, Mem::reg(Reg::Esi));
+    a.mov(Reg::Ecx, Mem::reg(Reg::Ebp));
+    a.ret();
+
+    let program = a.assemble().expect("scenario assembles");
+    assert_eq!(program.label("merge"), Some(0x41aa1), "published layout");
+
+    let mut init = InitState::new();
+    let r = init.fresh_heap_pointer("r");
+    let b = init.fresh_heap_pointer("b");
+    let tmp = init.fresh_heap_pointer("tmp");
+    init.set_reg(Reg::Ebp, ValueSet::singleton(r));
+    init.set_reg(Reg::Esi, ValueSet::singleton(b));
+    init.set_reg(Reg::Edi, ValueSet::singleton(tmp));
+    init.set_reg(Reg::Edx, ValueSet::constant(5, 32));
+    // The secret exponent bit lives in the stack slot [esp+0x80].
+    init.write_mem(
+        MaskedSymbol::constant(0x00f0_0080, 32),
+        ValueSet::from_constants([0, 1], 32),
+    );
+
+    let mut cases = Vec::new();
+    for (layout, (r_base, b_base, tmp_base)) in [
+        (0x080e_b000u32, 0x080e_c000u32, 0x080e_d000u32),
+        (0x0910_0040, 0x0920_0100, 0x0930_0200),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for bit in 0..2u32 {
+            cases.push(ConcreteCase {
+                label: format!("e_i={bit}, layout {layout}"),
+                layout,
+                regs: vec![
+                    (Reg::Ebp, r_base),
+                    (Reg::Esi, b_base),
+                    (Reg::Edi, tmp_base),
+                    (Reg::Edx, 5),
+                ],
+                bytes: (0..4)
+                    .map(|i| (0x00f0_0080 + i, if i == 0 { bit as u8 } else { 0 }))
+                    .collect(),
+                expect_mem: Vec::new(),
+            });
+        }
+    }
+
+    Scenario {
+        name: "square-and-always-multiply-1.5.3-O2",
+        paper_ref: "Fig. 7b (leakage), Fig. 6 (algorithm), Fig. 9a (layout)",
+        program,
+        init,
+        block_bits: 6,
+        expected: Expected {
+            icache: [1.0, 1.0, 0.0],
+            dcache: [0.0, 0.0, 0.0],
+            dcache_bank: None,
+        },
+        cases,
+    }
+}
+
+/// The `-O0` build at 32-byte cache lines (paper Figs. 8/9b): the copy is
+/// compiled to stack loads/stores spilling across the block boundary at
+/// `0x5d060`, and the skip target lies past it — so the block `0x5d060` is
+/// accessed on exactly one path. Everything leaks 1 bit again (Fig. 8),
+/// demonstrating that countermeasure effectiveness depends on compilation
+/// strategy and line size.
+pub fn libgcrypt_153_o0() -> Scenario {
+    let mut a = Asm::new(0x5d040);
+    a.mov(Reg::Eax, Mem::base_disp(Reg::Ebp, -0x10)); // load e_i from stack
+    a.test(Reg::Eax, Reg::Eax);
+    a.je("merge"); // e_i = 0: skip the copy
+    // -O0 copy: r <-> tmp through stack slots, crossing into 0x5d060.
+    a.mov(Reg::Eax, Mem::base_disp(Reg::Ebp, -0x14));
+    a.mov(Mem::base_disp(Reg::Ebp, -0x20), Reg::Eax);
+    a.mov(Reg::Eax, Mem::base_disp(Reg::Ebp, -0x18));
+    a.mov(Mem::base_disp(Reg::Ebp, -0x14), Reg::Eax);
+    a.mov(Reg::Eax, Mem::base_disp(Reg::Ebp, -0x20));
+    a.mov(Mem::base_disp(Reg::Ebp, -0x18), Reg::Eax);
+    a.mov(Reg::Eax, Mem::base_disp(Reg::Ebp, -0x14));
+    a.mov(Mem::base_disp(Reg::Ebp, -0x1c), Reg::Eax);
+    a.align(32); // continue into block 0x5d060 and pad it
+    a.db(&[0x90; 0x20]);
+    a.label("merge"); // 0x5d080: past the 0x5d060 block
+    a.sub(Reg::Edx, 1u32);
+    a.hlt();
+
+    let program = a.assemble().expect("scenario assembles");
+    assert_eq!(program.label("merge"), Some(0x5d080), "published layout");
+
+    let mut init = InitState::new();
+    // The -O0 frame pointer is itself a low-but-unknown base: the bound
+    // holds for every frame placement (every valuation λ).
+    let frame = init.fresh_heap_pointer("frame");
+    init.set_reg(Reg::Ebp, ValueSet::singleton(frame));
+    init.set_reg(Reg::Edx, ValueSet::constant(5, 32));
+    // Secret bit in the -O0 stack frame at [ebp-0x10].
+    let slot = leakaudit_core::apply(
+        &mut init.table,
+        leakaudit_core::BinOp::Sub,
+        &frame,
+        &MaskedSymbol::constant(0x10, 32),
+    )
+    .value;
+    init.write_mem(slot, ValueSet::from_constants([0, 1], 32));
+
+    let mut cases = Vec::new();
+    for (layout, frame) in [0x00f0_0100u32, 0x00f0_0200].into_iter().enumerate() {
+        for bit in 0..2u32 {
+            cases.push(ConcreteCase {
+                label: format!("e_i={bit}, layout {layout}"),
+                layout,
+                regs: vec![(Reg::Ebp, frame), (Reg::Edx, 5)],
+                bytes: vec![(frame - 0x10, bit as u8)],
+                expect_mem: Vec::new(),
+            });
+        }
+    }
+
+    Scenario {
+        name: "square-and-always-multiply-1.5.3-O0",
+        paper_ref: "Fig. 8 (leakage), Fig. 9b (layout), 32-byte lines",
+        program,
+        init,
+        block_bits: 5,
+        expected: Expected {
+            icache: [1.0, 1.0, 1.0],
+            dcache: [1.0, 1.0, 1.0],
+            dcache_bank: None,
+        },
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakaudit_core::Observer;
+
+    #[test]
+    fn o2_reproduces_fig_7b() {
+        let s = libgcrypt_153_o2();
+        let report = s.analyze().unwrap();
+        assert_eq!(report.icache_bits(Observer::address()), 1.0);
+        assert_eq!(report.icache_bits(Observer::block(6)), 1.0);
+        assert_eq!(
+            report.icache_bits(Observer::block(6).stuttering()),
+            0.0,
+            "the copy fits in cache line 0x41a80: invisible modulo stuttering"
+        );
+        assert_eq!(report.dcache_bits(Observer::address()), 0.0);
+        assert_eq!(report.dcache_bits(Observer::block(6)), 0.0);
+    }
+
+    #[test]
+    fn o0_reproduces_fig_8() {
+        let s = libgcrypt_153_o0();
+        let report = s.analyze().unwrap();
+        assert_eq!(report.icache_bits(Observer::address()), 1.0);
+        assert_eq!(report.icache_bits(Observer::block(5)), 1.0);
+        assert_eq!(
+            report.icache_bits(Observer::block(5).stuttering()),
+            1.0,
+            "block 0x5d060 is fetched on exactly one path"
+        );
+        assert_eq!(report.dcache_bits(Observer::address()), 1.0);
+        assert_eq!(report.dcache_bits(Observer::block(5).stuttering()), 1.0);
+    }
+
+    #[test]
+    fn o2_data_traces_are_identical_across_secrets() {
+        let s = libgcrypt_153_o2();
+        let t0 = s.emulate(&s.cases[0]).unwrap();
+        let t1 = s.emulate(&s.cases[1]).unwrap();
+        assert_eq!(
+            t0.data_addresses(),
+            t1.data_addresses(),
+            "register-only copy: D-cache silent"
+        );
+        assert_ne!(t0.fetch_addresses(), t1.fetch_addresses());
+    }
+
+    #[test]
+    fn o0_stack_copy_is_visible_in_data_trace() {
+        let s = libgcrypt_153_o0();
+        let t0 = s.emulate(&s.cases[0]).unwrap();
+        let t1 = s.emulate(&s.cases[1]).unwrap();
+        assert_ne!(t0.data_addresses(), t1.data_addresses());
+    }
+}

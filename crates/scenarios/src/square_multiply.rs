@@ -1,0 +1,126 @@
+//! Square-and-multiply modular exponentiation (paper Fig. 5, libgcrypt
+//! 1.5.2) — the unprotected baseline whose conditional multiplication was
+//! exploited by prime+probe and flush+reload attacks.
+
+use leakaudit_analyzer::InitState;
+use leakaudit_core::ValueSet;
+use leakaudit_x86::{Asm, Mem, Reg};
+
+use crate::{ConcreteCase, Expected, Scenario};
+
+/// Addresses of the multi-precision stubs; each lives in its own 64-byte
+/// cache line, as the real `mpihelp` routines do.
+const SQR: u32 = 0x41b00;
+const MODRED: u32 = 0x41b40;
+const MUL: u32 = 0x41b80;
+
+/// One loop iteration of square-and-multiply (paper Fig. 5 lines 3–7):
+///
+/// ```text
+/// r := mpi_sqr(r); r := mpi_mod(r, m);
+/// if e_i = 1 then r := mpi_mul(b, r); r := mpi_mod(r, m)
+/// ```
+///
+/// The exponent bit `e_i` is the secret (`edx ∈ {0, 1}`); `ebp`/`esi` hold
+/// the dynamically allocated `r`/`b`. The multiply path fetches code from
+/// separate cache lines *and* reads `b` — exactly the instruction- and
+/// data-cache leaks of the paper's Fig. 7a (1 bit everywhere).
+pub fn libgcrypt_152() -> Scenario {
+    let mut a = Asm::new(0x41a00);
+    a.call(SQR);
+    a.call(MODRED);
+    a.test(Reg::Edx, Reg::Edx);
+    a.je("skip"); // e_i = 0: no multiplication
+    a.call(MUL);
+    a.call(MODRED);
+    a.label("skip");
+    a.hlt();
+
+    // mpi stubs: representative first access of each routine.
+    a.section_at(SQR);
+    a.mov(Reg::Eax, Mem::reg(Reg::Ebp)); // reads r
+    a.ret();
+    a.section_at(MODRED);
+    a.mov(Reg::Eax, Mem::reg(Reg::Ebp));
+    a.ret();
+    a.section_at(MUL);
+    a.mov(Reg::Eax, Mem::reg(Reg::Esi)); // reads b
+    a.mov(Reg::Ecx, Mem::reg(Reg::Ebp)); // and r
+    a.ret();
+
+    let program = a.assemble().expect("scenario assembles");
+
+    let mut init = InitState::new();
+    let r = init.fresh_heap_pointer("r");
+    let b = init.fresh_heap_pointer("b");
+    init.set_reg(Reg::Ebp, ValueSet::singleton(r));
+    init.set_reg(Reg::Esi, ValueSet::singleton(b));
+    // The secret exponent bit.
+    init.set_reg(Reg::Edx, ValueSet::from_constants([0, 1], 32));
+
+    let mut cases = Vec::new();
+    for (layout, (r_base, b_base)) in [(0x080e_b000u32, 0x080e_c000u32), (0x0910_0040, 0x0920_0100)]
+        .into_iter()
+        .enumerate()
+    {
+        for bit in 0..2u32 {
+            cases.push(ConcreteCase {
+                label: format!("e_i={bit}, layout {layout}"),
+                layout,
+                regs: vec![(Reg::Ebp, r_base), (Reg::Esi, b_base), (Reg::Edx, bit)],
+                bytes: Vec::new(),
+                expect_mem: Vec::new(),
+            });
+        }
+    }
+
+    Scenario {
+        name: "square-and-multiply-1.5.2",
+        paper_ref: "Fig. 7a (leakage), Fig. 5 (algorithm)",
+        program,
+        init,
+        block_bits: 6,
+        expected: Expected {
+            icache: [1.0, 1.0, 1.0],
+            dcache: [1.0, 1.0, 1.0],
+            dcache_bank: None,
+        },
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakaudit_core::Observer;
+
+    #[test]
+    fn reproduces_fig_7a() {
+        let s = libgcrypt_152();
+        let report = s.analyze().unwrap();
+        for (i, obs) in [
+            Observer::address(),
+            Observer::block(6),
+            Observer::block(6).stuttering(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(report.icache_bits(*obs), s.expected.icache[i], "I {obs}");
+            assert_eq!(report.dcache_bits(*obs), s.expected.dcache[i], "D {obs}");
+        }
+    }
+
+    #[test]
+    fn emulator_traces_differ_by_exponent_bit() {
+        let s = libgcrypt_152();
+        let t0 = s.emulate(&s.cases[0]).unwrap();
+        let t1 = s.emulate(&s.cases[1]).unwrap();
+        assert_ne!(
+            t0.fetch_addresses(),
+            t1.fetch_addresses(),
+            "the multiply path executes extra code"
+        );
+        assert_ne!(t0.data_addresses(), t1.data_addresses());
+    }
+}

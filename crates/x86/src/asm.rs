@@ -1,0 +1,642 @@
+//! A two-pass assembler with labels, sections and data directives.
+//!
+//! The case-study binaries (`leakaudit-scenarios`) are written against this
+//! API. Placement control matters: the paper shows that countermeasure
+//! effectiveness depends on exactly where code falls relative to cache-line
+//! boundaries (Figs. 9/15), so the assembler supports absolute section
+//! placement ([`Asm::section_at`]) and alignment padding.
+//!
+//! # Example
+//!
+//! ```
+//! use leakaudit_x86::{Asm, Mem, Reg};
+//!
+//! let mut a = Asm::new(0x41a90);
+//! a.mov(Reg::Eax, Mem::base_disp(Reg::Esp, 0x80));
+//! a.test(Reg::Eax, Reg::Eax);
+//! a.jne("skip");
+//! a.mov(Reg::Eax, Reg::Ebp);
+//! a.label("skip");
+//! a.sub(Reg::Edx, 1u32);
+//! a.hlt();
+//! let program = a.assemble()?;
+//! assert_eq!(program.label("skip"), Some(0x41a9d));
+//! # Ok::<(), leakaudit_x86::AsmError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::encode::{encode, encoded_len, EncodeError};
+use crate::isa::{AluOp, Cond, Inst, Mem, Operand, Reg, Reg8, ShiftOp};
+use crate::program::{Program, Segment};
+
+/// Error produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A jump/call referenced an undefined label.
+    UndefinedLabel {
+        /// The label name.
+        name: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The label name.
+        name: String,
+    },
+    /// Two sections overlap.
+    OverlappingSections {
+        /// Start of the second section.
+        at: u32,
+    },
+    /// Instruction encoding failed.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { name } => write!(f, "undefined label {name:?}"),
+            AsmError::DuplicateLabel { name } => write!(f, "duplicate label {name:?}"),
+            AsmError::OverlappingSections { at } => {
+                write!(f, "section at 0x{at:x} overlaps a previous section")
+            }
+            AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}
+
+/// A jump/call target: absolute or symbolic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Target {
+    Abs(u32),
+    Label(String),
+}
+
+impl From<&str> for Target {
+    fn from(s: &str) -> Self {
+        Target::Label(s.to_string())
+    }
+}
+
+impl From<u32> for Target {
+    fn from(a: u32) -> Self {
+        Target::Abs(a)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Inst(Inst),
+    Jmp { target: Target, short: bool },
+    Jcc { cond: Cond, target: Target, short: bool },
+    Call { target: Target },
+    Label(String),
+    Bytes(Vec<u8>),
+    Align { to: u32, fill: u8 },
+}
+
+/// The two-pass assembler; see the crate-level example.
+#[derive(Debug)]
+pub struct Asm {
+    sections: Vec<(u32, Vec<Item>)>,
+    entry: Option<Target>,
+}
+
+impl Asm {
+    /// Starts assembling at `base`.
+    pub fn new(base: u32) -> Self {
+        Asm {
+            sections: vec![(base, Vec::new())],
+            entry: None,
+        }
+    }
+
+    fn push(&mut self, item: Item) -> &mut Self {
+        self.sections.last_mut().expect("at least one section").1.push(item);
+        self
+    }
+
+    /// Starts a new section at an absolute address.
+    pub fn section_at(&mut self, addr: u32) -> &mut Self {
+        self.sections.push((addr, Vec::new()));
+        self
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.push(Item::Label(name.to_string()))
+    }
+
+    /// Sets the entry point to a label (defaults to the first section base).
+    pub fn entry(&mut self, name: &str) -> &mut Self {
+        self.entry = Some(Target::Label(name.to_string()));
+        self
+    }
+
+    /// Emits raw bytes.
+    pub fn db(&mut self, bytes: &[u8]) -> &mut Self {
+        self.push(Item::Bytes(bytes.to_vec()))
+    }
+
+    /// Emits little-endian 32-bit words.
+    pub fn dd(&mut self, words: &[u32]) -> &mut Self {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.push(Item::Bytes(bytes))
+    }
+
+    /// Emits `n` zero bytes.
+    pub fn zeros(&mut self, n: usize) -> &mut Self {
+        self.push(Item::Bytes(vec![0; n]))
+    }
+
+    /// Pads with `nop` (0x90) to the next multiple of `to`.
+    pub fn align(&mut self, to: u32) -> &mut Self {
+        self.push(Item::Align { to, fill: 0x90 })
+    }
+
+    /// Emits an already-built instruction.
+    pub fn inst(&mut self, i: Inst) -> &mut Self {
+        self.push(Item::Inst(i))
+    }
+
+    /// `mov dst, src` (32-bit).
+    pub fn mov(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::Mov {
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `mov byte [mem], reg8`.
+    pub fn mov_store_b(&mut self, dst: Mem, src: Reg8) -> &mut Self {
+        self.inst(Inst::MovStoreB { dst, src })
+    }
+
+    /// `mov reg8, byte [mem]`.
+    pub fn mov_load_b(&mut self, dst: Reg8, src: Mem) -> &mut Self {
+        self.inst(Inst::MovLoadB { dst, src })
+    }
+
+    /// `movzx r32, byte src`.
+    pub fn movzx(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::Movzx {
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// `lea r32, [mem]`.
+    pub fn lea(&mut self, dst: Reg, src: Mem) -> &mut Self {
+        self.inst(Inst::Lea { dst, src })
+    }
+
+    fn alu(&mut self, op: AluOp, dst: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::Alu {
+            op,
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `add dst, src`.
+    pub fn add(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Add, dst, src)
+    }
+
+    /// `sub dst, src`.
+    pub fn sub(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Sub, dst, src)
+    }
+
+    /// `and dst, src`.
+    pub fn and(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::And, dst, src)
+    }
+
+    /// `or dst, src`.
+    pub fn or(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Or, dst, src)
+    }
+
+    /// `xor dst, src`.
+    pub fn xor(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Xor, dst, src)
+    }
+
+    /// `cmp a, b`.
+    pub fn cmp(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Cmp, a, b)
+    }
+
+    /// `test a, b`.
+    pub fn test(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::Test {
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// `imul dst, src, imm`.
+    pub fn imul(&mut self, dst: Reg, src: impl Into<Operand>, imm: i32) -> &mut Self {
+        self.inst(Inst::Imul {
+            dst,
+            src: src.into(),
+            imm: Some(imm),
+        })
+    }
+
+    /// `shl dst, amount`.
+    pub fn shl(&mut self, dst: impl Into<Operand>, amount: u8) -> &mut Self {
+        self.inst(Inst::Shift {
+            op: ShiftOp::Shl,
+            dst: dst.into(),
+            amount,
+        })
+    }
+
+    /// `shr dst, amount`.
+    pub fn shr(&mut self, dst: impl Into<Operand>, amount: u8) -> &mut Self {
+        self.inst(Inst::Shift {
+            op: ShiftOp::Shr,
+            dst: dst.into(),
+            amount,
+        })
+    }
+
+    /// `neg dst`.
+    pub fn neg(&mut self, dst: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::Neg { dst: dst.into() })
+    }
+
+    /// `not dst`.
+    pub fn not(&mut self, dst: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::Not { dst: dst.into() })
+    }
+
+    /// `inc r32`.
+    pub fn inc(&mut self, dst: Reg) -> &mut Self {
+        self.inst(Inst::Inc { dst })
+    }
+
+    /// `dec r32`.
+    pub fn dec(&mut self, dst: Reg) -> &mut Self {
+        self.inst(Inst::Dec { dst })
+    }
+
+    /// `push src`.
+    pub fn push_op(&mut self, src: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::Push { src: src.into() })
+    }
+
+    /// `pop r32`.
+    pub fn pop(&mut self, dst: Reg) -> &mut Self {
+        self.inst(Inst::Pop { dst })
+    }
+
+    /// Short unconditional jump to a label or absolute address.
+    pub fn jmp<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        let target = target.into().resolve();
+        self.push(Item::Jmp { target, short: true })
+    }
+
+    /// Near (rel32) unconditional jump.
+    pub fn jmp_near<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        let target = target.into().resolve();
+        self.push(Item::Jmp { target, short: false })
+    }
+
+    /// Short conditional jump.
+    pub fn jcc<'a>(&mut self, cond: Cond, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        let target = target.into().resolve();
+        self.push(Item::Jcc { cond, target, short: true })
+    }
+
+    /// Near conditional jump.
+    pub fn jcc_near<'a>(&mut self, cond: Cond, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        let target = target.into().resolve();
+        self.push(Item::Jcc { cond, target, short: false })
+    }
+
+    /// `je target`.
+    pub fn je<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        self.jcc(Cond::E, target)
+    }
+
+    /// `jne target`.
+    pub fn jne<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        self.jcc(Cond::Ne, target)
+    }
+
+    /// `jb target`.
+    pub fn jb<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        self.jcc(Cond::B, target)
+    }
+
+    /// `jae target`.
+    pub fn jae<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        self.jcc(Cond::Ae, target)
+    }
+
+    /// `call target`.
+    pub fn call<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
+        let target = target.into().resolve();
+        self.push(Item::Call { target })
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.inst(Inst::Ret)
+    }
+
+    /// `set<cond> reg8`.
+    pub fn setcc(&mut self, cond: Cond, dst: Reg8) -> &mut Self {
+        self.inst(Inst::Setcc { cond, dst })
+    }
+
+    /// `cmov<cond> dst, src`.
+    pub fn cmovcc(&mut self, cond: Cond, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::Cmovcc {
+            cond,
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.inst(Inst::Nop)
+    }
+
+    /// `hlt` — the end-of-region marker.
+    pub fn hlt(&mut self) -> &mut Self {
+        self.inst(Inst::Hlt)
+    }
+
+    /// Assembles into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined/duplicate labels, overlapping
+    /// sections, or encoding failures (including short jumps out of range).
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        // Pass 1: lay out items, collect label addresses.
+        let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+        let mut layouts: Vec<Vec<u32>> = Vec::new(); // per section, per item address
+        for (base, items) in &self.sections {
+            let mut pc = *base;
+            let mut addrs = Vec::with_capacity(items.len());
+            for item in items {
+                addrs.push(pc);
+                pc = pc.wrapping_add(item_len(item, pc)?);
+            }
+            layouts.push(addrs);
+        }
+        for ((_, items), addrs) in self.sections.iter().zip(&layouts) {
+            for (item, &addr) in items.iter().zip(addrs) {
+                if let Item::Label(name) = item {
+                    if labels.insert(name.clone(), addr).is_some() {
+                        return Err(AsmError::DuplicateLabel { name: name.clone() });
+                    }
+                }
+            }
+        }
+
+        // Pass 2: encode with resolved targets.
+        let resolve = |t: &Target| -> Result<u32, AsmError> {
+            match t {
+                Target::Abs(a) => Ok(*a),
+                Target::Label(name) => labels
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| AsmError::UndefinedLabel { name: name.clone() }),
+            }
+        };
+        let mut segments = Vec::new();
+        for ((base, items), addrs) in self.sections.iter().zip(&layouts) {
+            let mut bytes = Vec::new();
+            for (item, &addr) in items.iter().zip(addrs) {
+                match item {
+                    Item::Label(_) => {}
+                    Item::Bytes(b) => bytes.extend_from_slice(b),
+                    Item::Align { to, fill } => {
+                        while !(*base + bytes.len() as u32).is_multiple_of(*to) {
+                            bytes.push(*fill);
+                        }
+                    }
+                    Item::Inst(i) => bytes.extend(encode(i, addr)?),
+                    Item::Jmp { target, short } => {
+                        let t = resolve(target)?;
+                        bytes.extend(encode(&Inst::Jmp { target: t, short: *short }, addr)?);
+                    }
+                    Item::Jcc { cond, target, short } => {
+                        let t = resolve(target)?;
+                        bytes.extend(encode(
+                            &Inst::Jcc {
+                                cond: *cond,
+                                target: t,
+                                short: *short,
+                            },
+                            addr,
+                        )?);
+                    }
+                    Item::Call { target } => {
+                        let t = resolve(target)?;
+                        bytes.extend(encode(&Inst::Call { target: t }, addr)?);
+                    }
+                }
+            }
+            segments.push(Segment { addr: *base, bytes });
+        }
+        segments.sort_by_key(|s| s.addr);
+        for w in segments.windows(2) {
+            if w[1].addr < w[0].end() {
+                return Err(AsmError::OverlappingSections { at: w[1].addr });
+            }
+        }
+        let entry = match &self.entry {
+            Some(t) => resolve(t)?,
+            None => self.sections[0].0,
+        };
+        Ok(Program::new(segments, entry, labels))
+    }
+}
+
+/// Either a label name or an absolute address, accepted by jump helpers.
+#[derive(Debug)]
+pub struct TargetArg<'a>(TargetArgInner<'a>);
+
+#[derive(Debug)]
+enum TargetArgInner<'a> {
+    Label(&'a str),
+    Abs(u32),
+}
+
+impl TargetArg<'_> {
+    fn resolve(self) -> Target {
+        match self.0 {
+            TargetArgInner::Label(s) => Target::Label(s.to_string()),
+            TargetArgInner::Abs(a) => Target::Abs(a),
+        }
+    }
+}
+
+impl<'a> From<&'a str> for TargetArg<'a> {
+    fn from(s: &'a str) -> Self {
+        TargetArg(TargetArgInner::Label(s))
+    }
+}
+
+impl From<u32> for TargetArg<'_> {
+    fn from(a: u32) -> Self {
+        TargetArg(TargetArgInner::Abs(a))
+    }
+}
+
+fn item_len(item: &Item, pc: u32) -> Result<u32, AsmError> {
+    Ok(match item {
+        Item::Label(_) => 0,
+        Item::Bytes(b) => b.len() as u32,
+        Item::Align { to, .. } => {
+            if pc.is_multiple_of(*to) {
+                0
+            } else {
+                to - pc % to
+            }
+        }
+        Item::Inst(i) => encoded_len(i, pc)?,
+        Item::Jmp { short, .. } => {
+            if *short {
+                2
+            } else {
+                5
+            }
+        }
+        Item::Jcc { short, .. } => {
+            if *short {
+                2
+            } else {
+                6
+            }
+        }
+        Item::Call { .. } => 5,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_9_layout_reproduced() {
+        // Reassemble the libgcrypt 1.5.3 snippet at its published addresses.
+        let mut a = Asm::new(0x41a90);
+        a.mov(Reg::Eax, Mem::base_disp(Reg::Esp, 0x80));
+        a.test(Reg::Eax, Reg::Eax);
+        a.jne("merge");
+        a.mov(Reg::Eax, Reg::Ebp);
+        a.mov(Reg::Ebp, Reg::Edi);
+        a.mov(Reg::Edi, Reg::Eax);
+        a.label("merge");
+        a.sub(Reg::Edx, 1u32);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.label("merge"), Some(0x41aa1));
+        // Byte-exact reproduction of the paper's addresses.
+        let (jne, _) = p.decode_at(0x41a99).unwrap();
+        assert_eq!(jne.to_string(), "jne 0x41aa1");
+        let (sub, _) = p.decode_at(0x41aa1).unwrap();
+        assert_eq!(sub.to_string(), "sub edx, 0x1");
+    }
+
+    #[test]
+    fn backward_jump_to_label() {
+        let mut a = Asm::new(0x1000);
+        a.label("loop");
+        a.dec(Reg::Ecx);
+        a.jne("loop");
+        a.hlt();
+        let p = a.assemble().unwrap();
+        let (jne, _) = p.decode_at(0x1001).unwrap();
+        assert_eq!(jne, Inst::Jcc { cond: Cond::Ne, target: 0x1000, short: true });
+    }
+
+    #[test]
+    fn sections_and_data() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::Eax, Mem::abs(0x8000));
+        a.hlt();
+        a.section_at(0x8000);
+        a.label("table");
+        a.dd(&[0xdead_beef, 0x1234_5678]);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.label("table"), Some(0x8000));
+        assert_eq!(p.byte_at(0x8000), Some(0xef));
+        assert_eq!(p.byte_at(0x8007), Some(0x12));
+    }
+
+    #[test]
+    fn align_pads_with_nops() {
+        let mut a = Asm::new(0x100);
+        a.nop();
+        a.align(16);
+        a.label("aligned");
+        a.hlt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.label("aligned"), Some(0x110));
+        assert_eq!(p.byte_at(0x105), Some(0x90));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Asm::new(0);
+        a.jmp("nowhere");
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel { name: "nowhere".to_string() }
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new(0);
+        a.label("x").nop().label("x");
+        assert!(matches!(a.assemble(), Err(AsmError::DuplicateLabel { .. })));
+    }
+
+    #[test]
+    fn overlapping_sections_error() {
+        let mut a = Asm::new(0x100);
+        a.zeros(0x20);
+        a.section_at(0x110);
+        a.nop();
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::OverlappingSections { at: 0x110 })
+        ));
+    }
+
+    #[test]
+    fn entry_label() {
+        let mut a = Asm::new(0x100);
+        a.nop();
+        a.label("start");
+        a.hlt();
+        a.entry("start");
+        assert_eq!(a.assemble().unwrap().entry(), 0x101);
+    }
+}

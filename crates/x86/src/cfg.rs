@@ -1,0 +1,234 @@
+//! Control-flow reconstruction from binary code.
+//!
+//! Mirrors the role of CacheAudit's control-flow-reconstruction stage
+//! (paper §8.1): from an entry point, discover all reachable instructions
+//! by recursive descent, then split them into basic blocks at jump targets.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::decode::DecodeError;
+use crate::isa::Inst;
+use crate::program::Program;
+
+/// A basic block: a maximal straight-line instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// The instructions with their addresses.
+    pub insts: Vec<(u32, Inst)>,
+    /// Successor block addresses (empty for `ret`/`hlt` blocks).
+    pub succs: Vec<u32>,
+}
+
+impl BasicBlock {
+    /// Address one past the last instruction byte.
+    pub fn end(&self) -> u32 {
+        self.insts
+            .last()
+            .map(|&(a, _)| a)
+            .unwrap_or(self.start)
+    }
+}
+
+/// A control-flow graph over basic blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u32, BasicBlock>,
+    /// Entry block address.
+    pub entry: u32,
+}
+
+impl Cfg {
+    /// Total number of instructions.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.values().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.blocks.values() {
+            writeln!(f, "block 0x{:x}:", b.start)?;
+            for (addr, inst) in &b.insts {
+                writeln!(f, "  {addr:#x}: {inst}")?;
+            }
+            if !b.succs.is_empty() {
+                let succs: Vec<String> = b.succs.iter().map(|s| format!("{s:#x}")).collect();
+                writeln!(f, "  -> {}", succs.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outgoing control flow of one instruction at `addr` with length `len`.
+///
+/// Returns `(successors, falls_through)`.
+pub fn successors(inst: &Inst, addr: u32, len: u32) -> (Vec<u32>, bool) {
+    let next = addr.wrapping_add(len);
+    match inst {
+        Inst::Jmp { target, .. } => (vec![*target], false),
+        Inst::Jcc { target, .. } => (vec![*target, next], false),
+        Inst::Call { target } => (vec![*target], false),
+        Inst::Ret | Inst::Hlt => (Vec::new(), false),
+        _ => (vec![next], true),
+    }
+}
+
+/// Reconstructs the CFG reachable from the program's entry point.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if reachable code fails to decode.
+///
+/// ```
+/// use leakaudit_x86::{build_cfg, Asm, Reg};
+///
+/// let mut a = Asm::new(0x100);
+/// a.test(Reg::Eax, Reg::Eax);
+/// a.jne("skip");
+/// a.inc(Reg::Ebx);
+/// a.label("skip");
+/// a.hlt();
+/// let cfg = build_cfg(&a.assemble().unwrap())?;
+/// assert_eq!(cfg.blocks.len(), 3);
+/// # Ok::<(), leakaudit_x86::DecodeError>(())
+/// ```
+pub fn build_cfg(program: &Program) -> Result<Cfg, DecodeError> {
+    // Phase 1: discover reachable instructions and leaders.
+    let mut insts: BTreeMap<u32, (Inst, u32)> = BTreeMap::new();
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    let mut work: VecDeque<u32> = VecDeque::from([program.entry()]);
+    leaders.insert(program.entry());
+    while let Some(mut pc) = work.pop_front() {
+        while !insts.contains_key(&pc) {
+            let (inst, len) = program.decode_at(pc)?;
+            insts.insert(pc, (inst, len));
+            let (succs, falls_through) = successors(&inst, pc, len);
+            if !falls_through {
+                for s in &succs {
+                    leaders.insert(*s);
+                    if !insts.contains_key(s) {
+                        work.push_back(*s);
+                    }
+                }
+                // A call returns: continue after it.
+                if matches!(inst, Inst::Call { .. }) {
+                    let next = pc.wrapping_add(len);
+                    leaders.insert(next);
+                    if !insts.contains_key(&next) {
+                        work.push_back(next);
+                    }
+                }
+                break;
+            }
+            pc = pc.wrapping_add(len);
+        }
+    }
+
+    // Phase 2: cut into blocks at leaders.
+    let mut blocks: BTreeMap<u32, BasicBlock> = BTreeMap::new();
+    let mut current: Option<BasicBlock> = None;
+    for (&addr, &(inst, len)) in &insts {
+        if leaders.contains(&addr) {
+            if let Some(b) = current.take() {
+                blocks.insert(b.start, b);
+            }
+        }
+        let block = current.get_or_insert_with(|| BasicBlock {
+            start: addr,
+            insts: Vec::new(),
+            succs: Vec::new(),
+        });
+        block.insts.push((addr, inst));
+        let next = addr.wrapping_add(len);
+        let (succs, falls_through) = successors(&inst, addr, len);
+        let ends_block = !falls_through || leaders.contains(&next) || !insts.contains_key(&next);
+        if ends_block {
+            let mut b = current.take().unwrap();
+            b.succs = if matches!(inst, Inst::Call { .. }) {
+                vec![succs[0], next]
+            } else {
+                succs
+            };
+            // Keep only successors that decode (call targets outside the
+            // image are modeled as stubs by the analyzer).
+            b.succs.retain(|s| insts.contains_key(s));
+            blocks.insert(b.start, b);
+        }
+    }
+    if let Some(b) = current.take() {
+        blocks.insert(b.start, b);
+    }
+    Ok(Cfg {
+        blocks,
+        entry: program.entry(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::Reg;
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let mut a = Asm::new(0x100);
+        a.test(Reg::Eax, Reg::Eax);
+        a.jne("else_");
+        a.inc(Reg::Ebx);
+        a.jmp("end");
+        a.label("else_");
+        a.dec(Reg::Ebx);
+        a.label("end");
+        a.hlt();
+        let cfg = build_cfg(&a.assemble().unwrap()).unwrap();
+        assert_eq!(cfg.blocks.len(), 4);
+        let entry = &cfg.blocks[&0x100];
+        assert_eq!(entry.succs.len(), 2);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let mut a = Asm::new(0x100);
+        a.mov(Reg::Ecx, 5u32);
+        a.label("loop");
+        a.dec(Reg::Ecx);
+        a.jne("loop");
+        a.hlt();
+        let cfg = build_cfg(&a.assemble().unwrap()).unwrap();
+        let loop_block = &cfg.blocks[&0x105];
+        assert!(loop_block.succs.contains(&0x105), "self edge");
+    }
+
+    #[test]
+    fn block_split_at_jump_target_into_middle() {
+        // Jump into the middle of a straight-line run forces a split.
+        let mut a = Asm::new(0x100);
+        a.inc(Reg::Eax);
+        a.label("mid");
+        a.inc(Reg::Ebx);
+        a.test(Reg::Eax, Reg::Eax);
+        a.jne("mid");
+        a.hlt();
+        let cfg = build_cfg(&a.assemble().unwrap()).unwrap();
+        assert!(cfg.blocks.contains_key(&0x101), "target 'mid' is a leader");
+        assert_eq!(cfg.inst_count(), 5);
+    }
+
+    #[test]
+    fn call_creates_return_continuation() {
+        let mut a = Asm::new(0x100);
+        a.call("f");
+        a.hlt();
+        a.label("f");
+        a.ret();
+        let cfg = build_cfg(&a.assemble().unwrap()).unwrap();
+        // Blocks: entry(call), hlt-continuation, f.
+        assert_eq!(cfg.blocks.len(), 3);
+    }
+}

@@ -1,0 +1,463 @@
+//! Instruction decoder: machine-code bytes → [`Inst`].
+//!
+//! Inverse of [`crate::encode`]: the analyzer and the emulator both operate
+//! on *decoded binaries*, mirroring the paper's methodology of analyzing
+//! executable code rather than source (§1: "based on executable code").
+
+use std::fmt;
+
+use crate::encode::alu_from_opcode;
+use crate::isa::{AluOp, Cond, Inst, Mem, Operand, Reg, Reg8, ShiftOp};
+
+/// Error produced when bytes cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// An opcode outside the supported subset.
+    UnknownOpcode {
+        /// The offending opcode byte(s).
+        opcode: u8,
+        /// Address of the instruction.
+        at: u32,
+    },
+    /// The byte stream ended mid-instruction.
+    Truncated {
+        /// Address of the instruction.
+        at: u32,
+    },
+    /// A ModRM/SIB form outside the supported subset (e.g. high-byte
+    /// registers).
+    UnsupportedForm {
+        /// Address of the instruction.
+        at: u32,
+        /// Description of the unsupported feature.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { opcode, at } => {
+                write!(f, "unknown opcode 0x{opcode:02x} at 0x{at:x}")
+            }
+            DecodeError::Truncated { at } => write!(f, "truncated instruction at 0x{at:x}"),
+            DecodeError::UnsupportedForm { at, what } => {
+                write!(f, "unsupported form at 0x{at:x}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    at: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError::Truncated { at: self.at })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut v = [0u8; 4];
+        for b in &mut v {
+            *b = self.u8()?;
+        }
+        Ok(u32::from_le_bytes(v))
+    }
+
+    /// Decodes a ModRM byte (plus SIB/displacement), returning
+    /// `(reg_field, r/m operand)`.
+    fn modrm(&mut self) -> Result<(u8, Operand), DecodeError> {
+        let modrm = self.u8()?;
+        let modbits = modrm >> 6;
+        let reg = (modrm >> 3) & 7;
+        let rm = modrm & 7;
+        if modbits == 0b11 {
+            return Ok((reg, Operand::Reg(Reg::from_code(rm))));
+        }
+        let base;
+        let mut index = None;
+        if rm == 0b100 {
+            let sib = self.u8()?;
+            let scale = 1u8 << (sib >> 6);
+            let idx = (sib >> 3) & 7;
+            let b = sib & 7;
+            if idx != 0b100 {
+                index = Some((Reg::from_code(idx), scale));
+            }
+            if b == 0b101 && modbits == 0b00 {
+                let disp = self.u32()? as i32;
+                return Ok((
+                    reg,
+                    Operand::Mem(Mem {
+                        base: None,
+                        index,
+                        disp,
+                    }),
+                ));
+            }
+            base = Some(Reg::from_code(b));
+        } else if rm == 0b101 && modbits == 0b00 {
+            let disp = self.u32()? as i32;
+            return Ok((reg, Operand::Mem(Mem::abs(disp as u32))));
+        } else {
+            base = Some(Reg::from_code(rm));
+        }
+        let disp = match modbits {
+            0b00 => 0,
+            0b01 => i32::from(self.i8()?),
+            0b10 => self.u32()? as i32,
+            _ => unreachable!(),
+        };
+        Ok((reg, Operand::Mem(Mem { base, index, disp })))
+    }
+
+    fn mem(&mut self) -> Result<(u8, Mem), DecodeError> {
+        match self.modrm()? {
+            (reg, Operand::Mem(m)) => Ok((reg, m)),
+            _ => Err(DecodeError::UnsupportedForm {
+                at: self.at,
+                what: "expected a memory operand",
+            }),
+        }
+    }
+
+    fn reg8(&mut self, code: u8) -> Result<Reg8, DecodeError> {
+        Reg8::from_code(code).ok_or(DecodeError::UnsupportedForm {
+            at: self.at,
+            what: "high-byte registers are not supported",
+        })
+    }
+}
+
+/// Decodes one instruction at `addr` from `bytes`, returning the
+/// instruction and its encoded length.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on unknown opcodes, truncated input, or
+/// unsupported forms.
+///
+/// ```
+/// use leakaudit_x86::{decode, Inst};
+///
+/// let (inst, len) = decode(&[0x83, 0xe0, 0xc0], 0x100)?;
+/// assert_eq!(inst.to_string(), "and eax, 0xffffffc0");
+/// assert_eq!(len, 3);
+/// # Ok::<(), leakaudit_x86::DecodeError>(())
+/// ```
+pub fn decode(bytes: &[u8], addr: u32) -> Result<(Inst, u32), DecodeError> {
+    let mut c = Cursor {
+        bytes,
+        pos: 0,
+        at: addr,
+    };
+    let op = c.u8()?;
+    let inst = match op {
+        0x90 => Inst::Nop,
+        0xf4 => Inst::Hlt,
+        0xc3 => Inst::Ret,
+        0x0f => {
+            let op2 = c.u8()?;
+            match op2 {
+                0xb6 => {
+                    let (reg, rm) = c.modrm()?;
+                    Inst::Movzx {
+                        dst: Reg::from_code(reg),
+                        src: rm,
+                    }
+                }
+                0xaf => {
+                    let (reg, rm) = c.modrm()?;
+                    Inst::Imul {
+                        dst: Reg::from_code(reg),
+                        src: rm,
+                        imm: None,
+                    }
+                }
+                0x40..=0x4f => {
+                    let (reg, rm) = c.modrm()?;
+                    Inst::Cmovcc {
+                        cond: Cond::from_code(op2 - 0x40),
+                        dst: Reg::from_code(reg),
+                        src: rm,
+                    }
+                }
+                0x80..=0x8f => {
+                    let rel = c.u32()? as i32;
+                    let end = addr.wrapping_add(c.pos as u32);
+                    Inst::Jcc {
+                        cond: Cond::from_code(op2 - 0x80),
+                        target: end.wrapping_add(rel as u32),
+                        short: false,
+                    }
+                }
+                0x90..=0x9f => {
+                    let modrm = c.u8()?;
+                    if modrm >> 6 != 0b11 {
+                        return Err(DecodeError::UnsupportedForm {
+                            at: addr,
+                            what: "setcc to memory",
+                        });
+                    }
+                    Inst::Setcc {
+                        cond: Cond::from_code(op2 - 0x90),
+                        dst: c.reg8(modrm & 7)?,
+                    }
+                }
+                _ => return Err(DecodeError::UnknownOpcode { opcode: op2, at: addr }),
+            }
+        }
+        0x88 => {
+            let (reg, m) = c.mem()?;
+            Inst::MovStoreB {
+                dst: m,
+                src: c.reg8(reg)?,
+            }
+        }
+        0x8a => {
+            let (reg, m) = c.mem()?;
+            Inst::MovLoadB {
+                dst: c.reg8(reg)?,
+                src: m,
+            }
+        }
+        0x89 => {
+            let (reg, rm) = c.modrm()?;
+            Inst::Mov {
+                dst: rm,
+                src: Operand::Reg(Reg::from_code(reg)),
+            }
+        }
+        0x8b => {
+            let (reg, rm) = c.modrm()?;
+            Inst::Mov {
+                dst: Operand::Reg(Reg::from_code(reg)),
+                src: rm,
+            }
+        }
+        0x8d => {
+            let (reg, m) = c.mem()?;
+            Inst::Lea {
+                dst: Reg::from_code(reg),
+                src: m,
+            }
+        }
+        0xb8..=0xbf => Inst::Mov {
+            dst: Operand::Reg(Reg::from_code(op - 0xb8)),
+            src: Operand::Imm(c.u32()?),
+        },
+        0xc7 => {
+            let (digit, rm) = c.modrm()?;
+            if digit != 0 {
+                return Err(DecodeError::UnknownOpcode { opcode: op, at: addr });
+            }
+            Inst::Mov {
+                dst: rm,
+                src: Operand::Imm(c.u32()?),
+            }
+        }
+        0x81 | 0x83 => {
+            let (digit, rm) = c.modrm()?;
+            let alu = AluOp::from_code(digit)
+                .ok_or(DecodeError::UnknownOpcode { opcode: op, at: addr })?;
+            let imm = if op == 0x83 {
+                c.i8()? as i32 as u32
+            } else {
+                c.u32()?
+            };
+            Inst::Alu {
+                op: alu,
+                dst: rm,
+                src: Operand::Imm(imm),
+            }
+        }
+        0x85 => {
+            let (reg, rm) = c.modrm()?;
+            Inst::Test {
+                a: rm,
+                b: Operand::Reg(Reg::from_code(reg)),
+            }
+        }
+        0xf7 => {
+            let (digit, rm) = c.modrm()?;
+            match digit {
+                0 => Inst::Test {
+                    a: rm,
+                    b: Operand::Imm(c.u32()?),
+                },
+                2 => Inst::Not { dst: rm },
+                3 => Inst::Neg { dst: rm },
+                _ => return Err(DecodeError::UnknownOpcode { opcode: op, at: addr }),
+            }
+        }
+        0x69 | 0x6b => {
+            let (reg, rm) = c.modrm()?;
+            let imm = if op == 0x6b {
+                i32::from(c.i8()?)
+            } else {
+                c.u32()? as i32
+            };
+            Inst::Imul {
+                dst: Reg::from_code(reg),
+                src: rm,
+                imm: Some(imm),
+            }
+        }
+        0xc1 => {
+            let (digit, rm) = c.modrm()?;
+            let shift = ShiftOp::from_code(digit)
+                .ok_or(DecodeError::UnknownOpcode { opcode: op, at: addr })?;
+            Inst::Shift {
+                op: shift,
+                dst: rm,
+                amount: c.u8()?,
+            }
+        }
+        0x40..=0x47 => Inst::Inc {
+            dst: Reg::from_code(op - 0x40),
+        },
+        0x48..=0x4f => Inst::Dec {
+            dst: Reg::from_code(op - 0x48),
+        },
+        0x50..=0x57 => Inst::Push {
+            src: Operand::Reg(Reg::from_code(op - 0x50)),
+        },
+        0x58..=0x5f => Inst::Pop {
+            dst: Reg::from_code(op - 0x58),
+        },
+        0x68 => Inst::Push {
+            src: Operand::Imm(c.u32()?),
+        },
+        0x6a => Inst::Push {
+            src: Operand::Imm(c.i8()? as i32 as u32),
+        },
+        0xeb => {
+            let rel = i32::from(c.i8()?);
+            let end = addr.wrapping_add(c.pos as u32);
+            Inst::Jmp {
+                target: end.wrapping_add(rel as u32),
+                short: true,
+            }
+        }
+        0xe9 => {
+            let rel = c.u32()? as i32;
+            let end = addr.wrapping_add(c.pos as u32);
+            Inst::Jmp {
+                target: end.wrapping_add(rel as u32),
+                short: false,
+            }
+        }
+        0x70..=0x7f => {
+            let rel = i32::from(c.i8()?);
+            let end = addr.wrapping_add(c.pos as u32);
+            Inst::Jcc {
+                cond: Cond::from_code(op - 0x70),
+                target: end.wrapping_add(rel as u32),
+                short: true,
+            }
+        }
+        0xe8 => {
+            let rel = c.u32()? as i32;
+            let end = addr.wrapping_add(c.pos as u32);
+            Inst::Call {
+                target: end.wrapping_add(rel as u32),
+            }
+        }
+        _ => match alu_from_opcode(op) {
+            Some((alu, form)) => {
+                let (reg, rm) = c.modrm()?;
+                let r = Operand::Reg(Reg::from_code(reg));
+                match form {
+                    1 => Inst::Alu {
+                        op: alu,
+                        dst: rm,
+                        src: r,
+                    },
+                    _ => Inst::Alu {
+                        op: alu,
+                        dst: r,
+                        src: rm,
+                    },
+                }
+            }
+            None => return Err(DecodeError::UnknownOpcode { opcode: op, at: addr }),
+        },
+    };
+    Ok((inst, c.pos as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decodes_example_9_sequence() {
+        // The libgcrypt 1.5.3 snippet of paper Ex. 9.
+        let code: Vec<(u32, Vec<u8>, &str)> = vec![
+            (0x41a90, vec![0x8b, 0x84, 0x24, 0x80, 0x00, 0x00, 0x00], "mov eax, dword [esp+0x80]"),
+            (0x41a97, vec![0x85, 0xc0], "test eax, eax"),
+            (0x41a99, vec![0x75, 0x06], "jne 0x41aa1"),
+            (0x41a9b, vec![0x89, 0xe8], "mov eax, ebp"),
+            (0x41a9d, vec![0x89, 0xfd], "mov ebp, edi"),
+            (0x41a9f, vec![0x89, 0xc7], "mov edi, eax"),
+            (0x41aa1, vec![0x83, 0xea, 0x01], "sub edx, 0x1"),
+        ];
+        for (addr, bytes, text) in code {
+            let (inst, len) = decode(&bytes, addr).unwrap();
+            assert_eq!(inst.to_string(), text);
+            assert_eq!(len as usize, bytes.len());
+            assert_eq!(encode(&inst, addr).unwrap(), bytes, "round trip at {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        assert!(matches!(
+            decode(&[0xcc], 0),
+            Err(DecodeError::UnknownOpcode { opcode: 0xcc, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            decode(&[0x8b], 0x55),
+            Err(DecodeError::Truncated { at: 0x55 })
+        ));
+        assert!(matches!(decode(&[], 0), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn negative_displacement_round_trip() {
+        let inst = Inst::Mov {
+            dst: Operand::Reg(Reg::Esi),
+            src: Operand::Mem(Mem::base_disp(Reg::Ebp, -0x204)),
+        };
+        let bytes = encode(&inst, 0).unwrap();
+        let (decoded, len) = decode(&bytes, 0).unwrap();
+        assert_eq!(decoded, inst);
+        assert_eq!(len as usize, bytes.len());
+    }
+
+    #[test]
+    fn backward_short_jump() {
+        // jmp back by 16: EB F0 at 0x100 targets 0x102 - 16 = 0xf2.
+        let (inst, _) = decode(&[0xeb, 0xf0], 0x100).unwrap();
+        assert_eq!(inst, Inst::Jmp { target: 0xf2, short: true });
+    }
+}

@@ -1,0 +1,542 @@
+//! Instruction encoder: [`Inst`] → machine-code bytes.
+//!
+//! Encodings are canonical (one byte sequence per instruction form) so that
+//! `decode(encode(i)) == i` and code layout is fully deterministic — the
+//! paper's results hinge on exact instruction placement relative to cache
+//! line boundaries (Figs. 9/15).
+
+use std::fmt;
+
+use crate::isa::{AluOp, Inst, Mem, Operand, Reg};
+
+/// Error produced when an instruction cannot be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The operand combination has no encoding (e.g. memory-to-memory mov).
+    InvalidOperands {
+        /// Human-readable description of the offending instruction.
+        inst: String,
+    },
+    /// A short jump's displacement does not fit in 8 bits.
+    JumpOutOfRange {
+        /// Address of the jump instruction.
+        from: u32,
+        /// Jump target.
+        to: u32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::InvalidOperands { inst } => {
+                write!(f, "no encoding for operand combination in {inst:?}")
+            }
+            EncodeError::JumpOutOfRange { from, to } => write!(
+                f,
+                "short jump from 0x{from:x} to 0x{to:x} exceeds 8-bit displacement"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn invalid(inst: &Inst) -> EncodeError {
+    EncodeError::InvalidOperands {
+        inst: inst.to_string(),
+    }
+}
+
+/// Appends the ModRM (and SIB/displacement) bytes for `reg_field` and an
+/// r/m operand.
+fn put_modrm(out: &mut Vec<u8>, reg_field: u8, rm: &Operand, inst: &Inst) -> Result<(), EncodeError> {
+    match rm {
+        Operand::Reg(r) => {
+            out.push(0b11 << 6 | reg_field << 3 | r.code());
+            Ok(())
+        }
+        Operand::Mem(m) => put_modrm_mem(out, reg_field, m),
+        Operand::Imm(_) => Err(invalid(inst)),
+    }
+}
+
+fn put_modrm_mem(out: &mut Vec<u8>, reg_field: u8, m: &Mem) -> Result<(), EncodeError> {
+    let scale_bits = |s: u8| match s {
+        1 => 0u8,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        _ => unreachable!("Mem::sib validates the scale"),
+    };
+    match (m.base, m.index) {
+        (None, None) => {
+            out.push(reg_field << 3 | 0b101);
+            out.extend_from_slice(&(m.disp as u32).to_le_bytes());
+        }
+        (None, Some((idx, s))) => {
+            // SIB with no base: mod=00, base=101, disp32.
+            out.push(reg_field << 3 | 0b100);
+            out.push(scale_bits(s) << 6 | idx.code() << 3 | 0b101);
+            out.extend_from_slice(&(m.disp as u32).to_le_bytes());
+        }
+        (Some(base), index) => {
+            let needs_sib = index.is_some() || base == Reg::Esp;
+            let (modbits, disp_len) = if m.disp == 0 && base != Reg::Ebp {
+                (0b00u8, 0)
+            } else if i8::try_from(m.disp).is_ok() {
+                (0b01, 1)
+            } else {
+                (0b10, 4)
+            };
+            let rm = if needs_sib { 0b100 } else { base.code() };
+            out.push(modbits << 6 | reg_field << 3 | rm);
+            if needs_sib {
+                let (idx_code, s) = match index {
+                    Some((idx, s)) => (idx.code(), scale_bits(s)),
+                    None => (0b100, 0),
+                };
+                out.push(s << 6 | idx_code << 3 | base.code());
+            }
+            match disp_len {
+                1 => out.push(m.disp as u8),
+                4 => out.extend_from_slice(&(m.disp as u32).to_le_bytes()),
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_to(out: &mut Vec<u8>, addr: u32, total_len: u32, target: u32, short: bool) -> Result<(), EncodeError> {
+    let rel = target.wrapping_sub(addr.wrapping_add(total_len)) as i32;
+    if short {
+        if i8::try_from(rel).is_err() {
+            return Err(EncodeError::JumpOutOfRange { from: addr, to: target });
+        }
+        out.push(rel as u8);
+    } else {
+        out.extend_from_slice(&(rel as u32).to_le_bytes());
+    }
+    Ok(())
+}
+
+/// Encodes one instruction placed at `addr`, returning its bytes.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] for operand combinations with no x86 encoding or
+/// short jumps whose displacement exceeds 8 bits.
+///
+/// ```
+/// use leakaudit_x86::{encode, Inst, Operand, Reg};
+///
+/// // The AND of paper Ex. 5: `and eax, 0xffffffc0`.
+/// let bytes = encode(
+///     &Inst::Alu {
+///         op: leakaudit_x86::AluOp::And,
+///         dst: Operand::Reg(Reg::Eax),
+///         src: Operand::Imm(0xffff_ffc0),
+///     },
+///     0,
+/// )?;
+/// assert_eq!(bytes, vec![0x83, 0xe0, 0xc0]);
+/// # Ok::<(), leakaudit_x86::EncodeError>(())
+/// ```
+pub fn encode(inst: &Inst, addr: u32) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(8);
+    match *inst {
+        Inst::Mov { dst, src } => match (dst, src) {
+            (Operand::Reg(d), Operand::Imm(v)) => {
+                out.push(0xb8 + d.code());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            (Operand::Reg(d), Operand::Mem(_)) => {
+                out.push(0x8b);
+                put_modrm(&mut out, d.code(), &src, inst)?;
+            }
+            (_, Operand::Reg(s)) => {
+                out.push(0x89);
+                put_modrm(&mut out, s.code(), &dst, inst)?;
+            }
+            (Operand::Mem(_), Operand::Imm(v)) => {
+                out.push(0xc7);
+                put_modrm(&mut out, 0, &dst, inst)?;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            _ => return Err(invalid(inst)),
+        },
+        Inst::MovStoreB { dst, src } => {
+            out.push(0x88);
+            put_modrm(&mut out, src.code(), &Operand::Mem(dst), inst)?;
+        }
+        Inst::MovLoadB { dst, src } => {
+            out.push(0x8a);
+            put_modrm(&mut out, dst.code(), &Operand::Mem(src), inst)?;
+        }
+        Inst::Movzx { dst, src } => {
+            out.extend_from_slice(&[0x0f, 0xb6]);
+            put_modrm(&mut out, dst.code(), &src, inst)?;
+        }
+        Inst::Lea { dst, src } => {
+            out.push(0x8d);
+            put_modrm(&mut out, dst.code(), &Operand::Mem(src), inst)?;
+        }
+        Inst::Alu { op, dst, src } => match (dst, src) {
+            (_, Operand::Imm(v)) => {
+                let as_i32 = v as i32;
+                if i8::try_from(as_i32).is_ok() {
+                    out.push(0x83);
+                    put_modrm(&mut out, op.code(), &dst, inst)?;
+                    out.push(v as u8);
+                } else {
+                    out.push(0x81);
+                    put_modrm(&mut out, op.code(), &dst, inst)?;
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            (Operand::Reg(d), Operand::Mem(_)) => {
+                out.push(op.code() << 3 | 0x03);
+                put_modrm(&mut out, d.code(), &src, inst)?;
+            }
+            (_, Operand::Reg(s)) => {
+                out.push(op.code() << 3 | 0x01);
+                put_modrm(&mut out, s.code(), &dst, inst)?;
+            }
+            _ => return Err(invalid(inst)),
+        },
+        Inst::Test { a, b } => match b {
+            Operand::Reg(r) => {
+                out.push(0x85);
+                put_modrm(&mut out, r.code(), &a, inst)?;
+            }
+            Operand::Imm(v) => {
+                out.push(0xf7);
+                put_modrm(&mut out, 0, &a, inst)?;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Operand::Mem(_) => return Err(invalid(inst)),
+        },
+        Inst::Imul { dst, src, imm } => match imm {
+            Some(i) => {
+                if i8::try_from(i).is_ok() {
+                    out.push(0x6b);
+                    put_modrm(&mut out, dst.code(), &src, inst)?;
+                    out.push(i as u8);
+                } else {
+                    out.push(0x69);
+                    put_modrm(&mut out, dst.code(), &src, inst)?;
+                    out.extend_from_slice(&(i as u32).to_le_bytes());
+                }
+            }
+            None => {
+                out.extend_from_slice(&[0x0f, 0xaf]);
+                put_modrm(&mut out, dst.code(), &src, inst)?;
+            }
+        },
+        Inst::Shift { op, dst, amount } => {
+            out.push(0xc1);
+            put_modrm(&mut out, op.code(), &dst, inst)?;
+            out.push(amount);
+        }
+        Inst::Not { dst } => {
+            out.push(0xf7);
+            put_modrm(&mut out, 2, &dst, inst)?;
+        }
+        Inst::Neg { dst } => {
+            out.push(0xf7);
+            put_modrm(&mut out, 3, &dst, inst)?;
+        }
+        Inst::Inc { dst } => out.push(0x40 + dst.code()),
+        Inst::Dec { dst } => out.push(0x48 + dst.code()),
+        Inst::Push { src } => match src {
+            Operand::Reg(r) => out.push(0x50 + r.code()),
+            Operand::Imm(v) => {
+                if i8::try_from(v as i32).is_ok() {
+                    out.extend_from_slice(&[0x6a, v as u8]);
+                } else {
+                    out.push(0x68);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Operand::Mem(_) => return Err(invalid(inst)),
+        },
+        Inst::Pop { dst } => out.push(0x58 + dst.code()),
+        Inst::Jmp { target, short } => {
+            if short {
+                out.push(0xeb);
+                rel_to(&mut out, addr, 2, target, true)?;
+            } else {
+                out.push(0xe9);
+                rel_to(&mut out, addr, 5, target, false)?;
+            }
+        }
+        Inst::Jcc { cond, target, short } => {
+            if short {
+                out.push(0x70 + cond.code());
+                rel_to(&mut out, addr, 2, target, true)?;
+            } else {
+                out.extend_from_slice(&[0x0f, 0x80 + cond.code()]);
+                rel_to(&mut out, addr, 6, target, false)?;
+            }
+        }
+        Inst::Call { target } => {
+            out.push(0xe8);
+            rel_to(&mut out, addr, 5, target, false)?;
+        }
+        Inst::Ret => out.push(0xc3),
+        Inst::Setcc { cond, dst } => {
+            out.extend_from_slice(&[0x0f, 0x90 + cond.code()]);
+            out.push(0b11 << 6 | dst.code());
+        }
+        Inst::Cmovcc { cond, dst, src } => {
+            out.extend_from_slice(&[0x0f, 0x40 + cond.code()]);
+            put_modrm(&mut out, dst.code(), &src, inst)?;
+        }
+        Inst::Nop => out.push(0x90),
+        Inst::Hlt => out.push(0xf4),
+    }
+    Ok(out)
+}
+
+/// The encoded length of an instruction at `addr`.
+///
+/// # Errors
+///
+/// Same conditions as [`encode`].
+pub fn encoded_len(inst: &Inst, addr: u32) -> Result<u32, EncodeError> {
+    // Length never depends on addr except for out-of-range short jumps;
+    // encode with a dummy in-range target to measure.
+    let measurable = match *inst {
+        Inst::Jmp { short, .. } => Inst::Jmp { target: addr, short },
+        Inst::Jcc { cond, short, .. } => Inst::Jcc { cond, target: addr, short },
+        Inst::Call { .. } => Inst::Call { target: addr },
+        other => other,
+    };
+    Ok(encode(&measurable, addr)?.len() as u32)
+}
+
+/// Convenience: the ALU opcode-row check used by the decoder.
+pub(crate) fn alu_from_opcode(op: u8) -> Option<(AluOp, u8)> {
+    // Rows 00..3B: op = row*8 + form, form in {1: rm,r  3: r,rm}.
+    let row = op >> 3;
+    let form = op & 7;
+    if matches!(form, 1 | 3) {
+        AluOp::from_code(row).map(|a| (a, form))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Reg8, ShiftOp};
+
+    #[test]
+    fn example_5_align_bytes() {
+        // Paper Ex. 5: AND 0xFFFFFFC0, EAX; ADD 0x40, EAX (gcc -O2 output).
+        let and = encode(
+            &Inst::Alu {
+                op: AluOp::And,
+                dst: Reg::Eax.into(),
+                src: Operand::Imm(0xffff_ffc0),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(and, vec![0x83, 0xe0, 0xc0], "sign-extended imm8 form");
+        let add = encode(
+            &Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::Eax.into(),
+                src: Operand::Imm(0x40),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(add, vec![0x83, 0xc0, 0x40]);
+    }
+
+    #[test]
+    fn example_9_mov_from_stack() {
+        // 41a90: mov 0x80(%esp),%eax — 8b 84 24 80 00 00 00.
+        let mov = encode(
+            &Inst::Mov {
+                dst: Reg::Eax.into(),
+                src: Operand::Mem(Mem::base_disp(Reg::Esp, 0x80)),
+            },
+            0x41a90,
+        )
+        .unwrap();
+        assert_eq!(mov, vec![0x8b, 0x84, 0x24, 0x80, 0x00, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn example_9_test_and_jne() {
+        // test %eax,%eax = 85 c0; jne +6 (short).
+        let test = encode(
+            &Inst::Test {
+                a: Reg::Eax.into(),
+                b: Reg::Eax.into(),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(test, vec![0x85, 0xc0]);
+        let jne = encode(
+            &Inst::Jcc {
+                cond: Cond::Ne,
+                target: 0x41aa1,
+                short: true,
+            },
+            0x41a99,
+        )
+        .unwrap();
+        assert_eq!(jne, vec![0x75, 0x06]);
+    }
+
+    #[test]
+    fn modrm_special_cases() {
+        // [ebp] needs disp8=0; [esp] needs SIB.
+        let ebp = encode(
+            &Inst::Mov {
+                dst: Reg::Eax.into(),
+                src: Operand::Mem(Mem::reg(Reg::Ebp)),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(ebp, vec![0x8b, 0x45, 0x00]);
+        let esp = encode(
+            &Inst::Mov {
+                dst: Reg::Eax.into(),
+                src: Operand::Mem(Mem::reg(Reg::Esp)),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(esp, vec![0x8b, 0x04, 0x24]);
+    }
+
+    #[test]
+    fn sib_with_scaled_index() {
+        // mov eax, [ebx+ecx*4+8]
+        let m = encode(
+            &Inst::Mov {
+                dst: Reg::Eax.into(),
+                src: Operand::Mem(Mem::sib(Reg::Ebx, Reg::Ecx, 4, 8)),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(m, vec![0x8b, 0x44, 0x8b, 0x08]);
+    }
+
+    #[test]
+    fn absolute_and_index_only_addressing() {
+        let abs = encode(
+            &Inst::Mov {
+                dst: Reg::Eax.into(),
+                src: Operand::Mem(Mem::abs(0x80e_b140)),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(abs, vec![0x8b, 0x05, 0x40, 0xb1, 0x0e, 0x08]);
+        let idx = Mem {
+            base: None,
+            index: Some((Reg::Eax, 4)),
+            disp: 0x1000,
+        };
+        let bytes = encode(
+            &Inst::Mov {
+                dst: Reg::Ecx.into(),
+                src: Operand::Mem(idx),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(bytes, vec![0x8b, 0x0c, 0x85, 0x00, 0x10, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn short_jump_out_of_range_errors() {
+        let err = encode(
+            &Inst::Jmp {
+                target: 0x1000,
+                short: true,
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::JumpOutOfRange { .. }));
+    }
+
+    #[test]
+    fn invalid_operands_error() {
+        let err = encode(
+            &Inst::Mov {
+                dst: Operand::Imm(1),
+                src: Operand::Imm(2),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::InvalidOperands { .. }));
+    }
+
+    #[test]
+    fn setcc_and_cmov() {
+        let sete = encode(&Inst::Setcc { cond: Cond::E, dst: Reg8::Al }, 0).unwrap();
+        assert_eq!(sete, vec![0x0f, 0x94, 0xc0]);
+        let cmove = encode(
+            &Inst::Cmovcc {
+                cond: Cond::E,
+                dst: Reg::Eax,
+                src: Reg::Ebx.into(),
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(cmove, vec![0x0f, 0x44, 0xc3]);
+    }
+
+    #[test]
+    fn shifts_and_unaries() {
+        let shl = encode(
+            &Inst::Shift {
+                op: ShiftOp::Shl,
+                dst: Reg::Edx.into(),
+                amount: 3,
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(shl, vec![0xc1, 0xe2, 0x03]);
+        assert_eq!(encode(&Inst::Inc { dst: Reg::Ecx }, 0).unwrap(), vec![0x41]);
+        assert_eq!(encode(&Inst::Hlt, 0).unwrap(), vec![0xf4]);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let insts = [
+            Inst::Nop,
+            Inst::Ret,
+            Inst::Jmp { target: 0x110, short: true },
+            Inst::Jmp { target: 0x12345, short: false },
+            Inst::Call { target: 0x400 },
+            Inst::Mov {
+                dst: Reg::Eax.into(),
+                src: Operand::Imm(7),
+            },
+        ];
+        for i in insts {
+            assert_eq!(
+                encoded_len(&i, 0x100).unwrap(),
+                encode(&i, 0x100).map(|b| b.len() as u32).unwrap_or(0),
+                "{i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! The x86-32 instruction subset: registers, operands, conditions,
+//! instructions.
+//!
+//! The subset matches what the paper's case study needs (§8.2 notes that
+//! CacheAudit, too, supports a subset extended on demand): 32-bit data
+//! movement, byte loads/stores (for `gather`), ALU and shift operations,
+//! `lea`, pointer-comparison loops, conditional and unconditional jumps,
+//! `call`/`ret`, `push`/`pop`, and the branchless selection instructions
+//! (`setcc`/`cmovcc`) that OpenSSL 1.0.2g's defensive gather compiles to.
+
+use std::fmt;
+
+/// A 32-bit general-purpose register, in x86 encoding order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+}
+
+impl Reg {
+    /// All registers in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// The 3-bit encoding.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Register from its 3-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 7`.
+    pub fn from_code(code: u8) -> Reg {
+        Reg::ALL[code as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Reg::Eax => "eax",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Ebx => "ebx",
+            Reg::Esp => "esp",
+            Reg::Ebp => "ebp",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An 8-bit register (low byte registers only; the high-byte forms are not
+/// needed by the case study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Reg8 {
+    Al = 0,
+    Cl = 1,
+    Dl = 2,
+    Bl = 3,
+}
+
+impl Reg8 {
+    /// The 3-bit encoding.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Register from its 3-bit encoding, if it is a low-byte register.
+    pub fn from_code(code: u8) -> Option<Reg8> {
+        match code {
+            0 => Some(Reg8::Al),
+            1 => Some(Reg8::Cl),
+            2 => Some(Reg8::Dl),
+            3 => Some(Reg8::Bl),
+            _ => None,
+        }
+    }
+
+    /// The 32-bit register this is the low byte of.
+    pub fn parent(self) -> Reg {
+        Reg::from_code(self.code())
+    }
+}
+
+impl fmt::Display for Reg8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Reg8::Al => "al",
+            Reg8::Cl => "cl",
+            Reg8::Dl => "dl",
+            Reg8::Bl => "bl",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A memory operand `[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register and scale (1, 2, 4 or 8), if any. The index may not
+    /// be `ESP`.
+    pub index: Option<(Reg, u8)>,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// `[disp]` — absolute addressing.
+    pub fn abs(disp: u32) -> Mem {
+        Mem {
+            base: None,
+            index: None,
+            disp: disp as i32,
+        }
+    }
+
+    /// `[base + disp]`.
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// `[base]`.
+    pub fn reg(base: Reg) -> Mem {
+        Mem::base_disp(base, 0)
+    }
+
+    /// `[base + index*scale + disp]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8 or the index is `ESP`.
+    pub fn sib(base: Reg, index: Reg, scale: u8, disp: i32) -> Mem {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "scale must be 1/2/4/8");
+        assert_ne!(index, Reg::Esp, "ESP cannot be an index register");
+        Mem {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some((i, s)) = self.index {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{s}")?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if first {
+                write!(f, "0x{:x}", self.disp as u32)?;
+            } else if self.disp >= 0 {
+                write!(f, "+0x{:x}", self.disp)?;
+            } else {
+                write!(f, "-0x{:x}", -(self.disp as i64))?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A 32-bit instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate value.
+    Imm(u32),
+    /// A memory location.
+    Mem(Mem),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(v as u32)
+    }
+}
+
+impl From<Mem> for Operand {
+    fn from(m: Mem) -> Self {
+        Operand::Mem(m)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "0x{v:x}"),
+            Operand::Mem(m) => write!(f, "dword {m}"),
+        }
+    }
+}
+
+/// Condition codes, in x86 encoding order (`0F 80+cc` etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    O = 0,
+    No = 1,
+    B = 2,
+    Ae = 3,
+    E = 4,
+    Ne = 5,
+    Be = 6,
+    A = 7,
+    S = 8,
+    Ns = 9,
+    P = 10,
+    Np = 11,
+    L = 12,
+    Ge = 13,
+    Le = 14,
+    G = 15,
+}
+
+impl Cond {
+    /// The 4-bit encoding.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Condition from its 4-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 15`.
+    pub fn from_code(code: u8) -> Cond {
+        use Cond::*;
+        [O, No, B, Ae, E, Ne, Be, A, S, Ns, P, Np, L, Ge, Le, G][code as usize]
+    }
+
+    /// The mnemonic suffix (`e` for equal, `ne` for not-equal, …).
+    pub fn suffix(self) -> &'static str {
+        use Cond::*;
+        match self {
+            O => "o",
+            No => "no",
+            B => "b",
+            Ae => "ae",
+            E => "e",
+            Ne => "ne",
+            Be => "be",
+            A => "a",
+            S => "s",
+            Ns => "ns",
+            P => "p",
+            Np => "np",
+            L => "l",
+            Ge => "ge",
+            Le => "le",
+            G => "g",
+        }
+    }
+}
+
+/// ALU operations sharing the standard x86 opcode pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add = 0,
+    Or = 1,
+    And = 4,
+    Sub = 5,
+    Xor = 6,
+    Cmp = 7,
+}
+
+impl AluOp {
+    /// The `/digit` and opcode-row encoding.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// From the opcode-row encoding.
+    pub fn from_code(code: u8) -> Option<AluOp> {
+        match code {
+            0 => Some(AluOp::Add),
+            1 => Some(AluOp::Or),
+            4 => Some(AluOp::And),
+            5 => Some(AluOp::Sub),
+            6 => Some(AluOp::Xor),
+            7 => Some(AluOp::Cmp),
+            _ => None,
+        }
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+        }
+    }
+}
+
+/// Shift operations (`C1 /digit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ShiftOp {
+    Shl = 4,
+    Shr = 5,
+    Sar = 7,
+}
+
+impl ShiftOp {
+    /// The `/digit` encoding.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// From the `/digit` encoding.
+    pub fn from_code(code: u8) -> Option<ShiftOp> {
+        match code {
+            4 => Some(ShiftOp::Shl),
+            5 => Some(ShiftOp::Shr),
+            7 => Some(ShiftOp::Sar),
+            _ => None,
+        }
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+/// One decoded instruction. Jump targets are stored as absolute addresses
+/// (the decoder resolves relative displacements); `short` records whether
+/// the 8-bit relative form was used, so encoding round-trips byte-exactly
+/// and code layout (which the paper's results depend on!) is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// 32-bit move (register/memory/immediate forms).
+    Mov {
+        /// Destination (register or memory).
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// 8-bit store of a byte register to memory.
+    MovStoreB {
+        /// Destination memory.
+        dst: Mem,
+        /// Source byte register.
+        src: Reg8,
+    },
+    /// 8-bit load of memory into a byte register.
+    MovLoadB {
+        /// Destination byte register.
+        dst: Reg8,
+        /// Source memory.
+        src: Mem,
+    },
+    /// Zero-extending byte load (`movzx r32, r/m8`).
+    Movzx {
+        /// Destination register.
+        dst: Reg,
+        /// Byte source (register or memory).
+        src: Operand,
+    },
+    /// Load effective address.
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Address expression.
+        src: Mem,
+    },
+    /// ALU operation (`add`/`or`/`and`/`sub`/`xor`/`cmp`).
+    Alu {
+        /// Which operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Operand,
+        /// Right operand.
+        src: Operand,
+    },
+    /// `test` (AND discarding the result).
+    Test {
+        /// Left operand (register or memory).
+        a: Operand,
+        /// Right operand (register or immediate).
+        b: Operand,
+    },
+    /// Two/three-operand signed multiply.
+    Imul {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+        /// Optional immediate (three-operand form).
+        imm: Option<i32>,
+    },
+    /// Shift by an immediate amount.
+    Shift {
+        /// Which shift.
+        op: ShiftOp,
+        /// Destination (register or memory).
+        dst: Operand,
+        /// Shift amount.
+        amount: u8,
+    },
+    /// Bitwise complement.
+    Not {
+        /// Destination.
+        dst: Operand,
+    },
+    /// Two's-complement negation.
+    Neg {
+        /// Destination.
+        dst: Operand,
+    },
+    /// Increment a register.
+    Inc {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Decrement a register.
+    Dec {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Push onto the stack.
+    Push {
+        /// Source (register or immediate).
+        src: Operand,
+    },
+    /// Pop from the stack.
+    Pop {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Unconditional jump to an absolute target.
+    Jmp {
+        /// Target address.
+        target: u32,
+        /// Whether the rel8 encoding was/should be used.
+        short: bool,
+    },
+    /// Conditional jump.
+    Jcc {
+        /// Condition.
+        cond: Cond,
+        /// Target address.
+        target: u32,
+        /// Whether the rel8 encoding was/should be used.
+        short: bool,
+    },
+    /// Call (rel32 only).
+    Call {
+        /// Target address.
+        target: u32,
+    },
+    /// Near return.
+    Ret,
+    /// Set a byte register from a condition.
+    Setcc {
+        /// Condition.
+        cond: Cond,
+        /// Destination byte register.
+        dst: Reg8,
+    },
+    /// Conditional 32-bit move.
+    Cmovcc {
+        /// Condition.
+        cond: Cond,
+        /// Destination register.
+        dst: Reg,
+        /// Source (register or memory).
+        src: Operand,
+    },
+    /// No operation.
+    Nop,
+    /// Halt — used as the end-of-region marker for analysis and emulation.
+    Hlt,
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::MovStoreB { dst, src } => write!(f, "mov byte {dst}, {src}"),
+            Inst::MovLoadB { dst, src } => write!(f, "mov {dst}, byte {src}"),
+            Inst::Movzx { dst, src } => match src {
+                Operand::Mem(m) => write!(f, "movzx {dst}, byte {m}"),
+                _ => write!(f, "movzx {dst}, {src}"),
+            },
+            Inst::Lea { dst, src } => write!(f, "lea {dst}, {src}"),
+            Inst::Alu { op, dst, src } => write!(f, "{} {dst}, {src}", op.mnemonic()),
+            Inst::Test { a, b } => write!(f, "test {a}, {b}"),
+            Inst::Imul {
+                dst,
+                src,
+                imm: Some(i),
+            } => write!(f, "imul {dst}, {src}, {i}"),
+            Inst::Imul { dst, src, imm: None } => write!(f, "imul {dst}, {src}"),
+            Inst::Shift { op, dst, amount } => {
+                write!(f, "{} {dst}, {amount}", op.mnemonic())
+            }
+            Inst::Not { dst } => write!(f, "not {dst}"),
+            Inst::Neg { dst } => write!(f, "neg {dst}"),
+            Inst::Inc { dst } => write!(f, "inc {dst}"),
+            Inst::Dec { dst } => write!(f, "dec {dst}"),
+            Inst::Push { src } => write!(f, "push {src}"),
+            Inst::Pop { dst } => write!(f, "pop {dst}"),
+            Inst::Jmp { target, .. } => write!(f, "jmp 0x{target:x}"),
+            Inst::Jcc { cond, target, .. } => write!(f, "j{} 0x{target:x}", cond.suffix()),
+            Inst::Call { target } => write!(f, "call 0x{target:x}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Setcc { cond, dst } => write!(f, "set{} {dst}", cond.suffix()),
+            Inst::Cmovcc { cond, dst, src } => {
+                write!(f, "cmov{} {dst}, {src}", cond.suffix())
+            }
+            Inst::Nop => write!(f, "nop"),
+            Inst::Hlt => write!(f, "hlt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_codes_round_trip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_code(r.code()), r);
+        }
+        for c in 0..4 {
+            assert_eq!(Reg8::from_code(c).unwrap().code(), c);
+        }
+        assert_eq!(Reg8::from_code(5), None);
+        assert_eq!(Reg8::Cl.parent(), Reg::Ecx);
+    }
+
+    #[test]
+    fn cond_codes_round_trip() {
+        for c in 0..16 {
+            assert_eq!(Cond::from_code(c).code(), c);
+        }
+        assert_eq!(Cond::Ne.suffix(), "ne");
+        assert_eq!(Cond::from_code(5), Cond::Ne);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Inst::Mov {
+                dst: Reg::Eax.into(),
+                src: Operand::Mem(Mem::base_disp(Reg::Esp, 0x80)),
+            }
+            .to_string(),
+            "mov eax, dword [esp+0x80]"
+        );
+        assert_eq!(
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: 0x41aa1,
+                short: true
+            }
+            .to_string(),
+            "jne 0x41aa1"
+        );
+        assert_eq!(
+            Inst::Alu {
+                op: AluOp::And,
+                dst: Reg::Eax.into(),
+                src: Operand::Imm(0xffff_ffc0),
+            }
+            .to_string(),
+            "and eax, 0xffffffc0"
+        );
+        assert_eq!(Mem::sib(Reg::Ebx, Reg::Ecx, 4, -8).to_string(), "[ebx+ecx*4-0x8]");
+        assert_eq!(Mem::abs(0x80eb140).to_string(), "[0x80eb140]");
+    }
+
+    #[test]
+    #[should_panic(expected = "ESP cannot be an index")]
+    fn esp_index_rejected() {
+        let _ = Mem::sib(Reg::Eax, Reg::Esp, 1, 0);
+    }
+}

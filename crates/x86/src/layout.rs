@@ -1,0 +1,154 @@
+//! Cache-line layout rendering — regenerates the paper's layout figures.
+//!
+//! Figures 9 and 15 of the paper show executable code annotated with memory
+//! block boundaries to explain *why* a countermeasure leaks under one
+//! compiler flag and not another. [`render_code_layout`] reproduces those
+//! pictures in text form from a decoded binary; [`render_byte_layout`]
+//! renders data layouts such as the scattered tables of Figs. 1/2/13.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::cfg::successors;
+use crate::isa::Inst;
+use crate::program::Program;
+
+/// Renders the instructions of `[start, end)` with memory-block boundaries
+/// drawn every `block_bytes` bytes, marking jump targets (the `◀` arrows
+/// correspond to the paper's jump-target curves).
+///
+/// # Panics
+///
+/// Panics if `block_bytes` is not a power of two.
+pub fn render_code_layout(program: &Program, start: u32, end: u32, block_bytes: u32) -> String {
+    assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    let mut out = String::new();
+    // Collect jump targets within the range for annotation.
+    let mut targets: BTreeSet<u32> = BTreeSet::new();
+    let mut pc = start;
+    while pc < end {
+        match program.decode_at(pc) {
+            Ok((inst, len)) => {
+                if matches!(inst, Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. }) {
+                    let (succs, _) = successors(&inst, pc, len);
+                    for s in succs {
+                        if (start..end).contains(&s) {
+                            targets.insert(s);
+                        }
+                    }
+                }
+                pc = pc.wrapping_add(len);
+            }
+            Err(_) => break,
+        }
+    }
+
+    let mut pc = start;
+    let mut current_block = u32::MAX;
+    while pc < end {
+        let block = pc / block_bytes;
+        if block != current_block {
+            current_block = block;
+            let _ = writeln!(
+                out,
+                "── block 0x{:x} ({}B) {}",
+                block * block_bytes,
+                block_bytes,
+                "─".repeat(40)
+            );
+        }
+        match program.decode_at(pc) {
+            Ok((inst, len)) => {
+                let bytes = program.bytes_at(pc, len as usize);
+                let hex: Vec<String> = bytes.iter().map(|b| format!("{b:02x}")).collect();
+                let marker = if targets.contains(&pc) { "◀" } else { " " };
+                let _ = writeln!(out, "{marker} 0x{pc:x}:  {:<22} {inst}", hex.join(" "));
+                // Straddling instructions matter for I-cache analysis.
+                let last_byte = pc + len - 1;
+                if last_byte / block_bytes != block {
+                    let _ = writeln!(
+                        out,
+                        "  (instruction straddles into block 0x{:x})",
+                        (last_byte / block_bytes) * block_bytes
+                    );
+                    current_block = last_byte / block_bytes;
+                }
+                pc = pc.wrapping_add(len);
+            }
+            Err(_) => {
+                let _ = writeln!(out, "  0x{pc:x}:  ??");
+                pc += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Renders a data range as a grid of `block_bytes`-sized rows whose cells
+/// are labeled by `owner` (e.g. which pre-computed value owns each byte) —
+/// the format of the paper's Figs. 1, 2 and 13.
+///
+/// `owner` maps a byte offset (relative to `base`) to a label character;
+/// `None` renders as `·`.
+pub fn render_byte_layout(
+    base: u32,
+    len: u32,
+    block_bytes: u32,
+    mut owner: impl FnMut(u32) -> Option<char>,
+) -> String {
+    let mut out = String::new();
+    let mut off = 0;
+    while off < len {
+        let _ = write!(out, "0x{:08x} │", base + off);
+        for i in 0..block_bytes.min(len - off) {
+            let c = owner(off + i).unwrap_or('·');
+            let _ = write!(out, "{c}");
+            if (i + 1) % 8 == 0 && i + 1 < block_bytes {
+                let _ = write!(out, " ");
+            }
+        }
+        let _ = writeln!(out, "│");
+        off += block_bytes;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::{Mem, Reg};
+
+    #[test]
+    fn code_layout_marks_blocks_and_targets() {
+        // The Ex. 9 snippet with 32-byte blocks (the Fig. 9 rendering).
+        let mut a = Asm::new(0x41a90);
+        a.mov(Reg::Eax, Mem::base_disp(Reg::Esp, 0x80));
+        a.test(Reg::Eax, Reg::Eax);
+        a.jne("merge");
+        a.mov(Reg::Eax, Reg::Ebp);
+        a.mov(Reg::Ebp, Reg::Edi);
+        a.mov(Reg::Edi, Reg::Eax);
+        a.label("merge");
+        a.sub(Reg::Edx, 1u32);
+        a.hlt();
+        let p = a.assemble().unwrap();
+        let layout = render_code_layout(&p, 0x41a90, 0x41aa8, 32);
+        assert!(layout.contains("block 0x41a80"), "{layout}");
+        assert!(layout.contains("block 0x41aa0"), "{layout}");
+        assert!(layout.contains("◀ 0x41aa1"), "jump target marked: {layout}");
+        assert!(layout.contains("jne 0x41aa1"));
+    }
+
+    #[test]
+    fn byte_layout_grid() {
+        // 2 values of 8 bytes scattered with spacing 2 over 16 bytes.
+        let grid = render_byte_layout(0x80eb140, 16, 8, |off| {
+            Some(char::from_digit(off % 2, 10).unwrap())
+        });
+        assert!(grid.contains("0x080eb140"));
+        assert!(grid.contains("01010101"));
+        let lines: Vec<&str> = grid.lines().collect();
+        assert_eq!(lines.len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! x86-32 substrate for `leakaudit`: assembler, decoder, CFG
+//! reconstruction, emulator, and layout rendering.
+//!
+//! The paper analyzes countermeasures *at the executable level* because
+//! their security depends on compilation details — where instructions fall
+//! relative to cache-line boundaries (Figs. 9/15) and how table lookups are
+//! compiled. This crate provides everything needed to build and inspect
+//! such executables from scratch:
+//!
+//! * [`Asm`] — a two-pass assembler with labels, absolute section
+//!   placement, alignment, and data directives; produces [`Program`]s with
+//!   byte-exact layout control.
+//! * [`encode`]/[`decode`] — canonical machine-code encoding and decoding
+//!   for the supported subset (round-trip tested).
+//! * [`build_cfg`] — control-flow reconstruction by recursive descent.
+//! * [`Emulator`] — a concrete interpreter with full memory-access tracing
+//!   ([`EmuTrace`]), used to validate the static analyzer's bounds
+//!   empirically and to measure instruction counts.
+//! * [`render_code_layout`]/[`render_byte_layout`] — regenerate the
+//!   paper's layout figures.
+//!
+//! # Example
+//!
+//! ```
+//! use leakaudit_x86::{Asm, Emulator, Mem, Reg};
+//!
+//! // align(buf): the pointer-alignment idiom of paper Ex. 5.
+//! let mut a = Asm::new(0x1000);
+//! a.and(Reg::Eax, 0xffff_ffc0u32);
+//! a.add(Reg::Eax, 0x40u32);
+//! a.hlt();
+//! let program = a.assemble()?;
+//!
+//! let mut emu = Emulator::new(&program);
+//! emu.set_reg(Reg::Eax, 0x0804_8123);
+//! emu.run(10)?;
+//! assert_eq!(emu.reg(Reg::Eax), 0x0804_8140); // 64-byte aligned
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod cfg;
+mod decode;
+mod emu;
+mod encode;
+mod isa;
+mod layout;
+mod program;
+
+pub use asm::{Asm, AsmError, TargetArg};
+pub use cfg::{build_cfg, successors, BasicBlock, Cfg};
+pub use decode::{decode, DecodeError};
+pub use emu::{Access, AccessKind, EmuError, EmuTrace, Emulator, Flags};
+pub use encode::{encode, encoded_len, EncodeError};
+pub use isa::{AluOp, Cond, Inst, Mem, Operand, Reg, Reg8, ShiftOp};
+pub use layout::{render_byte_layout, render_code_layout};
+pub use program::{Program, Segment};

@@ -1,0 +1,163 @@
+//! Loaded program images: sparse segments of bytes at absolute addresses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::decode::{decode, DecodeError};
+use crate::isa::Inst;
+
+/// A contiguous run of bytes at an absolute address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Load address of the first byte.
+    pub addr: u32,
+    /// The bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// End address (exclusive).
+    pub fn end(&self) -> u32 {
+        self.addr + self.bytes.len() as u32
+    }
+
+    /// Whether `addr` falls inside this segment.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.addr && addr < self.end()
+    }
+}
+
+/// A program image: code/data segments, an entry point, and the label map
+/// produced by the assembler.
+///
+/// Mirrors the role of the x86 executables in the paper's case study: the
+/// analyzer and the emulator both consume a `Program` by *decoding its
+/// bytes*, never a higher-level representation.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    segments: Vec<Segment>,
+    entry: u32,
+    labels: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Builds a program from segments (sorted and checked for overlap by
+    /// the assembler).
+    pub(crate) fn new(segments: Vec<Segment>, entry: u32, labels: BTreeMap<String, u32>) -> Self {
+        Program {
+            segments,
+            entry,
+            labels,
+        }
+    }
+
+    /// Builds a single-segment program with entry at its base.
+    pub fn from_bytes(addr: u32, bytes: Vec<u8>) -> Self {
+        Program {
+            segments: vec![Segment { addr, bytes }],
+            entry: addr,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// The entry point.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The segments, in address order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The address of a label.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &BTreeMap<String, u32> {
+        &self.labels
+    }
+
+    /// The byte at `addr`, if mapped.
+    pub fn byte_at(&self, addr: u32) -> Option<u8> {
+        self.segments
+            .iter()
+            .find(|s| s.contains(addr))
+            .map(|s| s.bytes[(addr - s.addr) as usize])
+    }
+
+    /// Up to `len` consecutive bytes starting at `addr` (shorter at segment
+    /// ends).
+    pub fn bytes_at(&self, addr: u32, len: usize) -> Vec<u8> {
+        let Some(seg) = self.segments.iter().find(|s| s.contains(addr)) else {
+            return Vec::new();
+        };
+        let off = (addr - seg.addr) as usize;
+        let end = (off + len).min(seg.bytes.len());
+        seg.bytes[off..end].to_vec()
+    }
+
+    /// Decodes the instruction at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if `addr` is unmapped or holds no valid
+    /// instruction.
+    pub fn decode_at(&self, addr: u32) -> Result<(Inst, u32), DecodeError> {
+        let bytes = self.bytes_at(addr, 16);
+        if bytes.is_empty() {
+            return Err(DecodeError::Truncated { at: addr });
+        }
+        decode(&bytes, addr)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Program(entry=0x{:x}", self.entry)?;
+        for s in &self.segments {
+            write!(f, ", [0x{:x}..0x{:x})", s.addr, s.end())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_access_across_segments() {
+        let p = Program::new(
+            vec![
+                Segment {
+                    addr: 0x100,
+                    bytes: vec![0x90, 0xc3],
+                },
+                Segment {
+                    addr: 0x1000,
+                    bytes: vec![0xf4],
+                },
+            ],
+            0x100,
+            BTreeMap::new(),
+        );
+        assert_eq!(p.byte_at(0x100), Some(0x90));
+        assert_eq!(p.byte_at(0x101), Some(0xc3));
+        assert_eq!(p.byte_at(0x102), None);
+        assert_eq!(p.byte_at(0x1000), Some(0xf4));
+        assert_eq!(p.bytes_at(0x100, 10), vec![0x90, 0xc3]);
+        assert!(p.bytes_at(0x500, 4).is_empty());
+    }
+
+    #[test]
+    fn decode_at_entry() {
+        let p = Program::from_bytes(0x41a97, vec![0x85, 0xc0]);
+        let (inst, len) = p.decode_at(0x41a97).unwrap();
+        assert_eq!(inst.to_string(), "test eax, eax");
+        assert_eq!(len, 2);
+        assert!(p.decode_at(0x9999).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based round-trip tests: `decode(encode(inst)) == inst` for
+//! arbitrary well-formed instructions, and emulator sanity against direct
+//! computation.
+
+use leakaudit_x86::{
+    decode, encode, AluOp, Asm, Cond, Emulator, Inst, Mem, Operand, Reg, Reg8, ShiftOp,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    proptest::sample::select(Reg::ALL.to_vec())
+}
+
+fn reg8() -> impl Strategy<Value = Reg8> {
+    proptest::sample::select(vec![Reg8::Al, Reg8::Cl, Reg8::Dl, Reg8::Bl])
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    (0u8..16).prop_map(Cond::from_code)
+}
+
+fn mem() -> impl Strategy<Value = Mem> {
+    (
+        proptest::option::of(reg()),
+        proptest::option::of((reg().prop_filter("no esp index", |r| *r != Reg::Esp),
+            proptest::sample::select(vec![1u8, 2, 4, 8]))),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| Mem { base, index, disp })
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        any::<u32>().prop_map(Operand::Imm),
+        mem().prop_map(Operand::Mem),
+    ]
+}
+
+fn rm_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![reg().prop_map(Operand::Reg), mem().prop_map(Operand::Mem)]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(vec![
+        AluOp::Add,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::Cmp,
+    ])
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Hlt),
+        Just(Inst::Ret),
+        (reg().prop_map(Operand::Reg), operand()).prop_filter_map("mov forms", |(dst, src)| {
+            Some(Inst::Mov { dst, src })
+        }),
+        (mem(), prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)])
+            .prop_map(|(m, src)| Inst::Mov { dst: Operand::Mem(m), src }),
+        (mem(), reg8()).prop_map(|(dst, src)| Inst::MovStoreB { dst, src }),
+        (reg8(), mem()).prop_map(|(dst, src)| Inst::MovLoadB { dst, src }),
+        (reg(), rm_operand()).prop_map(|(dst, src)| Inst::Movzx { dst, src }),
+        (reg(), mem()).prop_map(|(dst, src)| Inst::Lea { dst, src }),
+        (alu_op(), reg().prop_map(Operand::Reg), operand())
+            .prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
+        (alu_op(), mem(), prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)])
+            .prop_map(|(op, m, src)| Inst::Alu { op, dst: Operand::Mem(m), src }),
+        (rm_operand(), prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)])
+            .prop_map(|(a, b)| Inst::Test { a, b }),
+        (reg(), rm_operand(), proptest::option::of(any::<i32>()))
+            .prop_map(|(dst, src, imm)| Inst::Imul { dst, src, imm }),
+        (
+            proptest::sample::select(vec![ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar]),
+            rm_operand(),
+            0u8..32,
+        )
+            .prop_map(|(op, dst, amount)| Inst::Shift { op, dst, amount }),
+        rm_operand().prop_map(|dst| Inst::Not { dst }),
+        rm_operand().prop_map(|dst| Inst::Neg { dst }),
+        reg().prop_map(|dst| Inst::Inc { dst }),
+        reg().prop_map(|dst| Inst::Dec { dst }),
+        prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)]
+            .prop_map(|src| Inst::Push { src }),
+        reg().prop_map(|dst| Inst::Pop { dst }),
+        any::<u32>().prop_map(|target| Inst::Jmp { target, short: false }),
+        (cond(), any::<u32>()).prop_map(|(cond, target)| Inst::Jcc { cond, target, short: false }),
+        any::<u32>().prop_map(|target| Inst::Call { target }),
+        (cond(), reg8()).prop_map(|(cond, dst)| Inst::Setcc { cond, dst }),
+        (cond(), reg(), rm_operand()).prop_map(|(cond, dst, src)| Inst::Cmovcc { cond, dst, src }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_round_trip(i in inst(), addr in any::<u32>()) {
+        let bytes = match encode(&i, addr) {
+            Ok(b) => b,
+            Err(_) => return Ok(()), // e.g. short jump out of range
+        };
+        let (decoded, len) = decode(&bytes, addr).expect("decoder must accept encoder output");
+        prop_assert_eq!(len as usize, bytes.len(), "full length consumed");
+        prop_assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn short_jumps_round_trip(rel in -128i32..=127, addr in any::<u32>(), c in cond()) {
+        let target = addr.wrapping_add(2).wrapping_add(rel as u32);
+        for i in [
+            Inst::Jmp { target, short: true },
+            Inst::Jcc { cond: c, target, short: true },
+        ] {
+            let bytes = encode(&i, addr).unwrap();
+            prop_assert_eq!(bytes.len(), 2);
+            let (decoded, _) = decode(&bytes, addr).unwrap();
+            prop_assert_eq!(decoded, i);
+        }
+    }
+
+    #[test]
+    fn emulator_alu_matches_rust_semantics(
+        a in any::<u32>(),
+        b in any::<u32>(),
+        op in alu_op(),
+    ) {
+        let mut asm = Asm::new(0x1000);
+        asm.mov(Reg::Eax, a);
+        asm.mov(Reg::Ebx, b);
+        match op {
+            AluOp::Add => asm.add(Reg::Eax, Reg::Ebx),
+            AluOp::Sub => asm.sub(Reg::Eax, Reg::Ebx),
+            AluOp::And => asm.and(Reg::Eax, Reg::Ebx),
+            AluOp::Or => asm.or(Reg::Eax, Reg::Ebx),
+            AluOp::Xor => asm.xor(Reg::Eax, Reg::Ebx),
+            AluOp::Cmp => asm.cmp(Reg::Eax, Reg::Ebx),
+        };
+        asm.hlt();
+        let mut emu = Emulator::new(&asm.assemble().unwrap());
+        emu.run(10).unwrap();
+        let expected = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Cmp => a,
+        };
+        prop_assert_eq!(emu.reg(Reg::Eax), expected);
+        match op {
+            AluOp::Cmp | AluOp::Sub => {
+                prop_assert_eq!(emu.flags().zf, a.wrapping_sub(b) == 0);
+                prop_assert_eq!(emu.flags().cf, a < b);
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn emulator_memory_is_byte_accurate(
+        addr in 0x2000u32..0xf000,
+        value in any::<u32>(),
+        byte_off in 0u32..4,
+    ) {
+        let mut asm = Asm::new(0x1000);
+        asm.mov(Reg::Ebx, addr);
+        asm.mov(Mem::reg(Reg::Ebx), value);
+        asm.movzx(Reg::Eax, Mem::base_disp(Reg::Ebx, byte_off as i32));
+        asm.hlt();
+        let mut emu = Emulator::new(&asm.assemble().unwrap());
+        emu.run(10).unwrap();
+        prop_assert_eq!(emu.reg(Reg::Eax), (value >> (8 * byte_off)) & 0xff);
+    }
+}

@@ -1,0 +1,58 @@
+//! CacheBleed and its fix (paper §8.4): the bank-trace observer breaks
+//! scatter/gather (OpenSSL 1.0.2f); defensive gather (1.0.2g) closes the
+//! leak. Shows both the static bounds and actual emulator traces.
+//!
+//! ```sh
+//! cargo run --example cachebleed
+//! ```
+
+use leakaudit::core::Observer;
+use leakaudit::scenarios::{defensive_gather, scatter_gather};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vulnerable = scatter_gather::openssl_102f();
+    let fixed = defensive_gather::openssl_102g();
+
+    println!("static bounds, D-cache:");
+    println!(
+        "  {:<28} {:>10} {:>10} {:>10}",
+        "", "address", "bank4", "block64"
+    );
+    for s in [&vulnerable, &fixed] {
+        let report = s.analyze()?;
+        println!(
+            "  {:<28} {:>10} {:>10} {:>10}",
+            s.name,
+            report.dcache_bits(Observer::address()),
+            report.dcache_bits(Observer::bank()),
+            report.dcache_bits(Observer::block(6)),
+        );
+    }
+
+    // Dynamic evidence: run both binaries with two different secrets and
+    // apply the bank-trace view to the emulated traces.
+    println!("\nemulated bank traces (first 8 data accesses, k=0 vs k=5):");
+    for s in [&vulnerable, &fixed] {
+        let t0 = s.emulate(&s.cases[0])?; // k = 0
+        let t5 = s.emulate(&s.cases[5])?; // k = 5
+        let bank = Observer::bank();
+        let v0 = bank.view_concrete(&t0.data_addresses());
+        let v5 = bank.view_concrete(&t5.data_addresses());
+        println!("  {:<28} k=0: {:?}", s.name, &v0[..8.min(v0.len())]);
+        println!(
+            "  {:<28} k=5: {:?}  -> {}",
+            "",
+            &v5[..8.min(v5.len())],
+            if v0 == v5 {
+                "identical (no bank leak)"
+            } else {
+                "DIFFER (CacheBleed observes this)"
+            }
+        );
+    }
+    println!(
+        "\nThe 1.0.2g gather reads every byte in a constant order: even the\n\
+         full address trace is secret-independent (paper Fig. 14d)."
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The full observer hierarchy of paper §3.2 applied to one unprotected
+//! lookup, plus the cache-simulator view: why block-granular observations
+//! model prime+probe attacks.
+//!
+//! ```sh
+//! cargo run --example observer_hierarchy
+//! ```
+
+use leakaudit::cache::{Cache, CacheConfig, Policy};
+use leakaudit::core::Observer;
+use leakaudit::scenarios::lookup_unprotected;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = lookup_unprotected::libgcrypt_161_o2();
+    let report = scenario.analyze()?;
+
+    println!("libgcrypt 1.6.1 unprotected lookup, D-cache bounds across the");
+    println!("observer hierarchy (coarser units ⇒ weaker adversaries):\n");
+    let hierarchy = [
+        Observer::address(), // b = 0
+        Observer::bank(),    // b = 2   (4-byte banks)
+        Observer::block(6),  // b = 6   (64-byte lines)
+        Observer::page(),    // b = 12  (4-KiB pages)
+    ];
+    for observer in hierarchy {
+        println!(
+            "  unit {:>5} bytes ({:<9}) : {:>5.2} bits",
+            observer.unit_bytes(),
+            observer.to_string(),
+            report.dcache_bits(observer),
+        );
+    }
+
+    // Monotonicity along the hierarchy is a theorem (coarser projections
+    // factor through finer ones); check it on the numbers.
+    let bits: Vec<f64> = hierarchy.iter().map(|o| report.dcache_bits(*o)).collect();
+    assert!(bits.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+    println!("\nbounds are monotone along the hierarchy ✓");
+
+    // Why "block observer" models a cache attacker: a prime+probe round in
+    // the simulator distinguishes exactly the victim's cache set.
+    let mut cache = Cache::new(CacheConfig {
+        sets: 2,
+        ways: 2,
+        line_bytes: 64,
+        policy: Policy::Lru,
+    });
+    for addr in [0x000u64, 0x200, 0x040, 0x240] {
+        cache.access(addr); // prime
+    }
+    cache.access(0x400); // victim access (set 0)
+    println!(
+        "prime+probe demo: after the victim's access, the attacker's line in\n\
+         set 0 {} and the line in set 1 {} — the attacker reads off the\n\
+         victim's cache set, i.e. a block-granular observation.",
+        if cache.probe(0x000) { "survived" } else { "was evicted" },
+        if cache.probe(0x040) { "survived" } else { "was evicted" },
+    );
+    Ok(())
+}

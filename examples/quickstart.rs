@@ -1,0 +1,49 @@
+//! Quickstart: bound the cache leakage of a secret-indexed table lookup.
+//!
+//! Builds a five-instruction binary that loads `table[8·k]` for a secret
+//! `k ∈ {0..7}`, then asks the analyzer what each observer of the paper's
+//! hierarchy (§3.2) can learn.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use leakaudit::analyzer::{Analysis, AnalysisConfig, AnalysisInput, InitState};
+use leakaudit::core::{Observer, ValueSet};
+use leakaudit::x86::{Asm, Mem, Reg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A tiny program: mov eax, [ebx + ecx*8] ; hlt
+    let mut asm = Asm::new(0x1000);
+    asm.mov(Reg::Eax, Mem::sib(Reg::Ebx, Reg::Ecx, 8, 0));
+    asm.hlt();
+    let program = asm.assemble()?;
+
+    // 2. Initial state: ebx points at a 64-byte-aligned table (public),
+    //    ecx holds the secret index k as the set {0..7} (paper §4).
+    let mut init = InitState::new();
+    init.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+    init.set_reg(Reg::Ecx, ValueSet::from_constants(0..8, 32));
+
+    // 3. Analyze and print the observer hierarchy.
+    let report = Analysis::new(AnalysisConfig::default()).run(&AnalysisInput { program, init })?;
+    println!("secret-indexed load  mov eax, [ebx + k*8],  k ∈ {{0..7}}\n");
+    for (observer, note) in [
+        (Observer::address(), "full address trace"),
+        (Observer::bank(), "4-byte cache banks (CacheBleed granularity)"),
+        (Observer::block(6), "64-byte cache lines (prime+probe granularity)"),
+        (Observer::page(), "4-KiB pages"),
+    ] {
+        println!(
+            "  {:<10} observer: {:>4} bits leaked   ({note})",
+            observer.to_string(),
+            report.dcache_bits(observer),
+        );
+    }
+    println!(
+        "\nAll eight addresses fall into one cache line: a line-granular\n\
+         attacker learns nothing, a bank-granular one learns everything —\n\
+         the paper's scatter/gather story in one instruction."
+    );
+    Ok(())
+}

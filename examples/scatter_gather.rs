@@ -1,0 +1,53 @@
+//! The scatter/gather proof (paper §2, Fig. 3, Fig. 14c): analyze OpenSSL
+//! 1.0.2f's gather loop — dynamically allocated buffer, bit-twiddled
+//! alignment, 384 secret-indexed byte loads — and prove the cache-line
+//! trace is secret-independent.
+//!
+//! ```sh
+//! cargo run --example scatter_gather
+//! ```
+
+use leakaudit::core::{apply, BinOp, MaskedSymbol, Observer, SymbolTable};
+use leakaudit::scenarios::scatter_gather;
+use leakaudit::x86::render_byte_layout;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The masked-symbol view of align(buf) — paper Ex. 5/6.
+    let mut table = SymbolTable::new();
+    let buf = MaskedSymbol::symbol(table.fresh("buf"), 32);
+    let low = apply(&mut table, BinOp::And, &buf, &MaskedSymbol::constant(63, 32)).value;
+    let cleared = apply(&mut table, BinOp::Sub, &buf, &low).value;
+    let aligned = apply(&mut table, BinOp::Add, &cleared, &MaskedSymbol::constant(64, 32)).value;
+    println!("align(buf) in the masked-symbol domain (paper Ex. 6):");
+    println!("  buf               = {buf}");
+    println!("  buf & 63          = {low}");
+    println!("  buf - (buf & 63)  = {cleared}");
+    println!("  ... + 64          = {aligned}   <- line-aligned, base unknown\n");
+
+    // The interleaved layout (paper Fig. 2).
+    println!("scattered table layout (first 2 of 48 blocks, digits = value index):");
+    println!("{}", render_byte_layout(0, 128, 64, |off| char::from_digit(off % 8, 10)));
+
+    // The full static analysis of the 1.0.2f binary.
+    let scenario = scatter_gather::openssl_102f();
+    let report = scenario.analyze()?;
+    println!("static bounds for the gather loop ({}):", scenario.name);
+    for observer in [
+        Observer::address(),
+        Observer::bank(),
+        Observer::block(6),
+        Observer::block(6).stuttering(),
+    ] {
+        println!(
+            "  D-cache {:<10} {:>6} bits",
+            observer.to_string(),
+            report.dcache_bits(observer)
+        );
+    }
+    println!(
+        "\n0 bits at cache-line granularity — the first proof of security of\n\
+         this countermeasure (paper §8.4). The 384-bit bank-trace bound is\n\
+         CacheBleed; see `cargo run --example cachebleed` for the fix."
+    );
+    Ok(())
+}
