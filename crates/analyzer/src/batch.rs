@@ -1,0 +1,276 @@
+//! Batch analysis: many targets, analyzed in parallel, with structured
+//! per-target results.
+//!
+//! The paper's evaluation (§8) runs the analyzer over eight
+//! countermeasure binaries, each against the full observer hierarchy of
+//! §3.2. Those runs are completely independent — separate programs,
+//! separate initial states, separate symbol tables — so a service that
+//! answers many analysis requests should never serialize them. This
+//! module is that service seam: [`BatchAnalysis`] fans a set of
+//! [`BatchJob`]s out over scoped worker threads and collects one
+//! [`BatchOutcome`] per job (report or error, plus wall-clock timing).
+//!
+//! Two levels of parallelism compose here. Across jobs, workers pull
+//! from a shared queue (this module). Within one job, the engine's
+//! single abstract-interpretation pass feeds every observer sink of the
+//! suite concurrently (see [`crate::sink`]), and decoded instructions
+//! are shared across all configurations of the run (see
+//! [`crate::scheduler`]). Each job still computes exactly the Theorem 1
+//! bounds a sequential [`Analysis::run`] would: the batch-consistency
+//! integration suite asserts the reports are bit-identical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::{Analysis, AnalysisConfig, AnalysisError, AnalysisTarget, LeakReport};
+
+/// One unit of batch work: a named target plus the architecture
+/// parameters to analyze it under.
+pub struct BatchJob<'a> {
+    /// Label carried through to the outcome (e.g. a scenario name).
+    pub name: String,
+    /// Analyzer configuration for this target.
+    pub config: AnalysisConfig,
+    /// The target to analyze.
+    pub target: &'a (dyn AnalysisTarget + Sync),
+}
+
+impl<'a> BatchJob<'a> {
+    /// A job analyzing `target` under `config`.
+    pub fn new(
+        name: impl Into<String>,
+        config: AnalysisConfig,
+        target: &'a (dyn AnalysisTarget + Sync),
+    ) -> Self {
+        BatchJob {
+            name: name.into(),
+            config,
+            target,
+        }
+    }
+}
+
+/// The result of one batch job.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The job's label.
+    pub name: String,
+    /// The leakage report, or the analyzer error for this target.
+    pub result: Result<LeakReport, AnalysisError>,
+    /// Wall-clock time this job took (analysis only, excluding queueing).
+    pub elapsed: Duration,
+}
+
+/// The results of a whole batch, in job-submission order.
+#[derive(Debug)]
+pub struct BatchReport {
+    outcomes: Vec<BatchOutcome>,
+    wall: Duration,
+}
+
+impl BatchReport {
+    /// Per-job outcomes, in submission order.
+    pub fn outcomes(&self) -> &[BatchOutcome] {
+        &self.outcomes
+    }
+
+    /// Wall-clock time for the whole batch (with parallelism this is
+    /// far less than the sum of the per-job times).
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// The outcome with the given name, if any.
+    pub fn get(&self, name: &str) -> Option<&BatchOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+
+    /// Successful `(name, report)` pairs, in submission order.
+    pub fn reports(&self) -> impl Iterator<Item = (&str, &LeakReport)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| Some((o.name.as_str(), o.result.as_ref().ok()?)))
+    }
+
+    /// Failed `(name, error)` pairs, in submission order.
+    pub fn errors(&self) -> impl Iterator<Item = (&str, &AnalysisError)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| Some((o.name.as_str(), o.result.as_ref().err()?)))
+    }
+}
+
+/// Runs many analysis jobs in parallel over scoped worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct BatchAnalysis {
+    threads: Option<usize>,
+}
+
+impl BatchAnalysis {
+    /// A batch runner sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        BatchAnalysis::default()
+    }
+
+    /// Overrides the worker-thread count (`1` forces sequential runs).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        };
+        self.threads.unwrap_or_else(auto).min(jobs).max(1)
+    }
+
+    /// Analyzes every job, returning outcomes in submission order.
+    ///
+    /// Individual analyzer failures are captured per job and never abort
+    /// the rest of the batch. When more than one worker runs, per-job
+    /// sink threading is turned off: across-job parallelism already
+    /// saturates the cores, and stacking 18 sink threads per concurrent
+    /// job on top would only oversubscribe the machine (results are
+    /// identical either way).
+    pub fn run(&self, jobs: Vec<BatchJob<'_>>) -> BatchReport {
+        let started = Instant::now();
+        let workers = self.worker_count(jobs.len());
+        let mut slots: Vec<Option<BatchOutcome>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+
+        if workers <= 1 {
+            for (slot, job) in slots.iter_mut().zip(&jobs) {
+                *slot = Some(run_job(job, true));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let results = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let outcome = run_job(job, false);
+                        results.lock().expect("batch results poisoned")[i] = Some(outcome);
+                    });
+                }
+            });
+        }
+
+        BatchReport {
+            outcomes: slots
+                .into_iter()
+                .map(|s| s.expect("every job produces an outcome"))
+                .collect(),
+            wall: started.elapsed(),
+        }
+    }
+}
+
+fn run_job(job: &BatchJob<'_>, sink_threads: bool) -> BatchOutcome {
+    let started = Instant::now();
+    let mut config = job.config.clone();
+    config.parallel_sinks = config.parallel_sinks && sink_threads;
+    let result = Analysis::new(config).run(&job.target);
+    BatchOutcome {
+        name: job.name.clone(),
+        result,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalysisInput, InitState};
+    use leakaudit_core::{Observer, ValueSet};
+    use leakaudit_x86::{Asm, Mem, Reg};
+
+    fn secret_load_input(entries: u64) -> AnalysisInput {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::Eax, Mem::sib(Reg::Ebx, Reg::Ecx, 8, 0));
+        a.hlt();
+        let mut init = InitState::new();
+        init.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+        init.set_reg(Reg::Ecx, ValueSet::from_constants(0..entries, 32));
+        AnalysisInput {
+            program: a.assemble().unwrap(),
+            init,
+        }
+    }
+
+    fn diverging_input() -> AnalysisInput {
+        let mut a = Asm::new(0x2000);
+        a.label("spin");
+        a.jmp("spin");
+        AnalysisInput {
+            program: a.assemble().unwrap(),
+            init: InitState::new(),
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_keeps_order() {
+        let inputs: Vec<AnalysisInput> = (2..6).map(secret_load_input).collect();
+        let jobs = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| BatchJob::new(format!("job{i}"), AnalysisConfig::default(), input))
+            .collect();
+        let batch = BatchAnalysis::new().run(jobs);
+        assert_eq!(batch.outcomes().len(), 4);
+        for (i, input) in inputs.iter().enumerate() {
+            let outcome = &batch.outcomes()[i];
+            assert_eq!(outcome.name, format!("job{i}"));
+            let batch_report = outcome.result.as_ref().unwrap();
+            let seq_report = Analysis::new(AnalysisConfig::default()).run(input).unwrap();
+            for (b, s) in batch_report.rows().iter().zip(seq_report.rows()) {
+                assert_eq!(b.spec, s.spec);
+                assert_eq!(b.count, s.count);
+                assert_eq!(b.bits, s.bits);
+            }
+        }
+        // Spot-check a known bound: 4 entries -> 2 bits at the d-cache.
+        let report = batch.get("job2").unwrap().result.as_ref().unwrap();
+        assert_eq!(report.dcache_bits(Observer::address()), 2.0);
+    }
+
+    #[test]
+    fn one_failing_job_does_not_poison_the_batch() {
+        let good = secret_load_input(4);
+        let bad = diverging_input();
+        let config = AnalysisConfig {
+            fuel: 1_000,
+            ..AnalysisConfig::default()
+        };
+        let batch = BatchAnalysis::new().run(vec![
+            BatchJob::new("good", config.clone(), &good),
+            BatchJob::new("bad", config.clone(), &bad),
+            BatchJob::new("good2", config, &good),
+        ]);
+        assert!(batch.get("good").unwrap().result.is_ok());
+        assert!(matches!(
+            batch.get("bad").unwrap().result,
+            Err(AnalysisError::OutOfFuel { .. })
+        ));
+        assert!(batch.get("good2").unwrap().result.is_ok());
+        assert_eq!(batch.errors().count(), 1);
+        assert_eq!(batch.reports().count(), 2);
+    }
+
+    #[test]
+    fn single_thread_override_still_completes() {
+        let input = secret_load_input(8);
+        let batch = BatchAnalysis::new().with_threads(1).run(vec![
+            BatchJob::new("a", AnalysisConfig::default(), &input),
+            BatchJob::new("b", AnalysisConfig::default(), &input),
+        ]);
+        assert_eq!(batch.reports().count(), 2);
+        assert!(batch.wall_time() > Duration::ZERO);
+    }
+}

@@ -1,34 +1,29 @@
-//! The fixpoint engine: configuration scheduling, forking on unknown
-//! branch flags, joins at merge points, and the per-observer trace DAGs.
+//! The fixpoint engine: one abstract-interpretation pass feeding a
+//! pipeline of per-observer trace sinks.
 //!
-//! # Scheduling discipline
+//! This module is a thin orchestrator over two layers that used to be
+//! welded together in a single monolithic loop:
 //!
-//! Live configurations (pc + abstract state + one trace-DAG cursor per
-//! observer) are stepped **lowest-pc-first**. For the structured code of
-//! the case study this makes forked diamonds re-join exactly at their
-//! post-dominator: the fall-through path (lower addresses) catches up with
-//! the taken path, the two configurations meet at the join point, and
-//! their states and trace cursors merge (the paper's §6.4 join). Loop
-//! iterations never merge with each other because a back edge keeps the
-//! looping configuration at lower addresses than any configuration past
-//! the loop; loops terminate abstractly because guards resolve through
-//! concrete counters or the origin/offset rules of §5.4.2 (Ex. 7/8).
+//! * [`crate::scheduler`] owns *control* — the lowest-pc worklist,
+//!   forking on undecided branch flags, §6.4 state joins at merge
+//!   points, and the fuel/configuration resource limits. It publishes
+//!   every trace-relevant action as a [`crate::sink::TraceEvent`].
+//! * [`crate::sink`] owns *observation* — one [`crate::sink::DagSink`]
+//!   per observer spec replays the event stream against its own trace
+//!   DAG and produces the Theorem 1 leakage bound for its observer.
+//!
+//! Because the sinks are mutually independent, the pipeline advances
+//! them on scoped threads while the scheduler keeps interpreting: the
+//! full observer suite (18 specs by default) costs one abstract pass
+//! plus parallel bookkeeping, rather than 18 cursor updates interleaved
+//! into every scheduler step.
 
-use leakaudit_core::{Cursor, TraceDag, ValueSet};
 use leakaudit_x86::Program;
 
-use crate::exec::{execute, Next};
-use crate::report::{Channel, LeakReport, LeakRow};
+use crate::report::LeakReport;
+use crate::sink::{ConfigId, DagSink, ObserverSink};
 use crate::state::InitState;
-use crate::{AnalysisConfig, AnalysisError};
-
-struct Config {
-    pc: u32,
-    state: crate::state::AbsState,
-    /// One trace-DAG cursor per observer; `Option` only so ownership can
-    /// be threaded through the DAG's update/merge API.
-    cursors: Vec<Option<Cursor>>,
-}
+use crate::{scheduler, sink, AnalysisConfig, AnalysisError};
 
 /// Runs the abstract interpretation of `program` from its entry to `hlt`,
 /// bounding the leakage for every observer in the suite.
@@ -37,150 +32,23 @@ pub(crate) fn run(
     program: &Program,
     init: &InitState,
 ) -> Result<LeakReport, AnalysisError> {
-    let specs = config.observer_suite();
-    let mut table = init.table.clone();
-    let mut dags: Vec<TraceDag> = Vec::with_capacity(specs.len());
-    let mut first_cursors = Vec::with_capacity(specs.len());
-    for spec in &specs {
-        let (dag, cursor) = TraceDag::new(spec.observer);
-        dags.push(dag);
-        first_cursors.push(Some(cursor));
-    }
-
-    let mut configs = vec![Config {
-        pc: program.entry(),
-        state: init.state.clone(),
-        cursors: first_cursors,
-    }];
-    let mut finals: Vec<Option<Cursor>> = specs.iter().map(|_| None).collect();
-    let mut fuel = config.fuel;
-
-    while !configs.is_empty() {
-        // Pick the configuration with the minimal pc; join any others that
-        // share it.
-        let min_pc = configs.iter().map(|c| c.pc).min().unwrap();
-        let mut group: Vec<Config> = Vec::new();
-        let mut rest: Vec<Config> = Vec::new();
-        for c in configs.drain(..) {
-            if c.pc == min_pc {
-                group.push(c);
-            } else {
-                rest.push(c);
-            }
-        }
-        configs = rest;
-        let mut current = group.pop().unwrap();
-        for other in group {
-            current.state = current.state.join(&other.state);
-            for (i, cur) in other.cursors.into_iter().enumerate() {
-                let mine = current.cursors[i].take().expect("cursor present");
-                let theirs = cur.expect("cursor present");
-                current.cursors[i] = Some(dags[i].merge_cursors(mine, theirs));
-            }
-        }
-
-        if fuel == 0 {
-            return Err(AnalysisError::OutOfFuel { fuel: config.fuel });
-        }
-        fuel -= 1;
-
-        // Instruction fetch: visible to I-cache and shared observers.
-        let pc_value = ValueSet::constant(u64::from(current.pc), 32);
-        for (i, spec) in specs.iter().enumerate() {
-            if matches!(spec.channel, Channel::Instruction | Channel::Shared) {
-                take_update(&mut dags[i], &mut current.cursors[i], &pc_value);
-            }
-        }
-
-        let effect = execute(&mut table, &mut current.state, program, current.pc)?;
-
-        // Data accesses: visible to D-cache and shared observers.
-        for addr in &effect.data_accesses {
-            for (i, spec) in specs.iter().enumerate() {
-                if matches!(spec.channel, Channel::Data | Channel::Shared) {
-                    take_update(&mut dags[i], &mut current.cursors[i], addr);
-                }
-            }
-        }
-
-        match effect.next {
-            Next::Fall => {
-                current.pc = current.pc.wrapping_add(effect.len);
-                configs.push(current);
-            }
-            Next::Jump(t) => {
-                current.pc = t;
-                configs.push(current);
-            }
-            Next::Fork {
-                taken,
-                refine_taken,
-                refine_fall,
-            } => {
-                let mut forked_cursors = Vec::with_capacity(dags.len());
-                for (i, cur) in current.cursors.iter().enumerate() {
-                    let cur = cur.as_ref().expect("cursor present");
-                    forked_cursors.push(Some(dags[i].clone_cursor(cur)));
-                }
-                let mut forked = Config {
-                    pc: taken,
-                    state: current.state.clone(),
-                    cursors: forked_cursors,
-                };
-                if let Some((r, v)) = refine_taken {
-                    forked.state.refine_reg(r, v);
-                }
-                if let Some((r, v)) = refine_fall {
-                    current.state.refine_reg(r, v);
-                }
-                current.pc = current.pc.wrapping_add(effect.len);
-                configs.push(current);
-                configs.push(forked);
-                if configs.len() > config.max_configs {
-                    return Err(AnalysisError::TooManyConfigs {
-                        limit: config.max_configs,
-                    });
-                }
-            }
-            Next::Halt => {
-                for (i, cur) in current.cursors.into_iter().enumerate() {
-                    let cur = cur.expect("cursor present");
-                    finals[i] = Some(match finals[i].take() {
-                        None => cur,
-                        Some(acc) => dags[i].merge_cursors(acc, cur),
-                    });
-                }
-            }
-        }
-    }
-
-    let mut rows = Vec::with_capacity(specs.len());
-    for (i, spec) in specs.iter().enumerate() {
-        let (count, bits) = match &finals[i] {
-            Some(cur) => (dags[i].count(cur), dags[i].leakage_bits(cur)),
-            // No path reached hlt: zero traces.
-            None => (leakaudit_mpi::Natural::zero(), 0.0),
-        };
-        rows.push(LeakRow {
-            spec: *spec,
-            count,
-            bits,
-        });
-    }
+    let sinks: Vec<Box<dyn ObserverSink>> = config
+        .observer_suite()
+        .into_iter()
+        .map(|spec| Box::new(DagSink::new(spec, ConfigId::ROOT)) as Box<dyn ObserverSink>)
+        .collect();
+    let rows = sink::run_pipeline(sinks, config.parallel_sinks, |bus| {
+        scheduler::drive(config, program, init, bus)
+    })?;
     Ok(LeakReport::new(rows))
-}
-
-fn take_update(dag: &mut TraceDag, slot: &mut Option<Cursor>, addr: &ValueSet) {
-    let owned = slot.take().expect("cursor present");
-    *slot = Some(dag.access(owned, addr));
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::report::LeakReport;
     use crate::state::InitState;
-    use crate::{Analysis, AnalysisConfig, AnalysisInput};
-    use leakaudit_core::Observer;
+    use crate::{Analysis, AnalysisConfig, AnalysisError, AnalysisInput};
+    use leakaudit_core::{Observer, ValueSet};
     use leakaudit_x86::{Asm, Mem, Reg};
 
     fn analyze(setup: impl FnOnce(&mut Asm), init: InitState) -> LeakReport {

@@ -248,6 +248,27 @@ pub fn execute(
     pc: u32,
 ) -> Result<StepEffect, AnalysisError> {
     let (inst, len) = program.decode_at(pc)?;
+    execute_decoded(table, state, program, pc, inst, len)
+}
+
+/// Abstractly executes an already-decoded instruction at `pc`.
+///
+/// The engine's scheduler memoizes decoding across configurations and
+/// loop iterations and calls this directly; [`execute`] is the
+/// decode-then-execute convenience for one-shot use.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when a `ret` cannot be resolved to a unique
+/// concrete return address.
+pub fn execute_decoded(
+    table: &mut SymbolTable,
+    state: &mut AbsState,
+    program: &Program,
+    pc: u32,
+    inst: Inst,
+    len: u32,
+) -> Result<StepEffect, AnalysisError> {
     let next_pc = pc.wrapping_add(len);
     let mut ctx = Ctx {
         table,
@@ -524,9 +545,12 @@ mod tests {
         let buf = init.fresh_heap_pointer("buf");
         init.set_reg(Reg::Eax, ValueSet::singleton(buf));
         // AND 0xFFFFFFC0, EAX
-        let (_, mut st) = exec_one(|a| {
-            a.and(Reg::Eax, 0xffff_ffc0u32);
-        }, &mut init);
+        let (_, mut st) = exec_one(
+            |a| {
+                a.and(Reg::Eax, 0xffff_ffc0u32);
+            },
+            &mut init,
+        );
         let v = st.state.reg(Reg::Eax).as_singleton().unwrap();
         assert_eq!(v.sym(), buf.sym(), "AND keeps the symbol");
         assert_eq!(v.mask().to_string(), "⊤{26}000000");

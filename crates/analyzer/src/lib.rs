@@ -39,9 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod engine;
 mod exec;
 mod report;
+mod scheduler;
+pub mod sink;
 mod state;
 
 use std::fmt;
@@ -49,7 +52,8 @@ use std::fmt;
 use leakaudit_core::Observer;
 use leakaudit_x86::{DecodeError, Program};
 
-pub use exec::{address_of, eval_cond, execute, Next, StepEffect};
+pub use batch::{BatchAnalysis, BatchJob, BatchOutcome, BatchReport};
+pub use exec::{address_of, eval_cond, execute, execute_decoded, Next, StepEffect};
 pub use report::{format_bits, Channel, LeakReport, LeakRow, ObserverSpec};
 pub use state::{AbsState, AbstractMemory, FlagsState, InitState};
 
@@ -121,6 +125,10 @@ pub struct AnalysisConfig {
     pub fuel: u64,
     /// Maximum number of simultaneously live configurations.
     pub max_configs: usize,
+    /// Advance the per-observer trace sinks on scoped threads while the
+    /// scheduler interprets (see [`sink`]). Turning this off forces the
+    /// serial pipeline; results are identical either way.
+    pub parallel_sinks: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -131,6 +139,7 @@ impl Default for AnalysisConfig {
             page_bits: 12,
             fuel: 5_000_000,
             max_configs: 4096,
+            parallel_sinks: true,
         }
     }
 }
@@ -146,6 +155,10 @@ impl AnalysisConfig {
 
     /// The observers analyzed for each channel: address, block, b-block,
     /// bank, b-bank, and page (paper §3.2's hierarchy).
+    ///
+    /// Colliding granularities (e.g. `block_bits == bank_bits`, where the
+    /// block and bank observers are the same function) are deduplicated,
+    /// so no spec is analyzed — or counted — twice.
     pub fn observer_suite(&self) -> Vec<ObserverSpec> {
         let observers = [
             Observer::address(),
@@ -155,10 +168,13 @@ impl AnalysisConfig {
             Observer::block(self.bank_bits).stuttering(),
             Observer::block(self.page_bits),
         ];
-        let mut specs = Vec::new();
+        let mut specs: Vec<ObserverSpec> = Vec::new();
         for channel in [Channel::Instruction, Channel::Data, Channel::Shared] {
             for observer in observers {
-                specs.push(ObserverSpec { channel, observer });
+                let spec = ObserverSpec { channel, observer };
+                if !specs.contains(&spec) {
+                    specs.push(spec);
+                }
             }
         }
         specs
@@ -194,6 +210,16 @@ impl AnalysisTarget for AnalysisInput {
     }
 }
 
+impl<T: AnalysisTarget + ?Sized> AnalysisTarget for &T {
+    fn program(&self) -> &Program {
+        (**self).program()
+    }
+
+    fn init_state(&self) -> InitState {
+        (**self).init_state()
+    }
+}
+
 /// The analyzer entry point.
 #[derive(Debug, Clone, Default)]
 pub struct Analysis {
@@ -221,5 +247,45 @@ impl Analysis {
     pub fn run(&self, target: &impl AnalysisTarget) -> Result<LeakReport, AnalysisError> {
         let init = target.init_state();
         engine::run(&self.config, target.program(), &init)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_covers_six_observers_per_channel() {
+        let specs = AnalysisConfig::default().observer_suite();
+        assert_eq!(specs.len(), 18);
+    }
+
+    #[test]
+    fn observer_suite_dedups_colliding_granularities() {
+        // 4-byte cache lines == 4-byte banks: block and bank observers
+        // coincide, as do their stuttering variants — 4 distinct
+        // observers per channel instead of 6.
+        let config = AnalysisConfig::with_block_bits(2);
+        assert_eq!(config.block_bits, config.bank_bits);
+        let specs = config.observer_suite();
+        assert_eq!(specs.len(), 12, "colliding specs must not double-count");
+        for (i, a) in specs.iter().enumerate() {
+            for b in &specs[i + 1..] {
+                assert_ne!(a, b, "duplicate spec in suite");
+            }
+        }
+    }
+
+    #[test]
+    fn page_collision_also_dedups() {
+        // Degenerate but allowed: every granularity equal.
+        let config = AnalysisConfig {
+            block_bits: 12,
+            bank_bits: 12,
+            page_bits: 12,
+            ..AnalysisConfig::default()
+        };
+        // address, block(12), block(12).stuttering per channel.
+        assert_eq!(config.observer_suite().len(), 9);
     }
 }

@@ -1,0 +1,193 @@
+//! Configuration scheduling: the lowest-pc-first worklist with forking
+//! on undecided branch flags and state joins at merge points.
+//!
+//! # Scheduling discipline
+//!
+//! Live configurations (pc + abstract state) are stepped
+//! **lowest-pc-first**. For the structured code of the case study this
+//! makes forked diamonds re-join exactly at their post-dominator: the
+//! fall-through path (lower addresses) catches up with the taken path,
+//! the two configurations meet at the join point, and their states merge
+//! (the paper's §6.4 join). Loop iterations never merge with each other
+//! because a back edge keeps the looping configuration at lower
+//! addresses than any configuration past the loop; loops terminate
+//! abstractly because guards resolve through concrete counters or the
+//! origin/offset rules of §5.4.2 (Ex. 7/8).
+//!
+//! # Division of labor
+//!
+//! This module owns *control*: which configuration steps next, when
+//! paths fork and join, and the fuel/config-count resource limits. It
+//! knows nothing about observers. Everything trace-related is published
+//! as [`TraceEvent`]s on an [`EventBus`] — fetches and data accesses in
+//! program order, forks, joins, and retirements — and the observer
+//! pipeline in [`crate::sink`] turns that stream into the per-observer
+//! counts of Theorem 1. Decoded instructions are memoized in a
+//! [`DecodeCache`] shared by every configuration of the run, so loop
+//! bodies and code revisited after joins decode once instead of once per
+//! abstract step.
+
+use std::collections::HashMap;
+
+use leakaudit_core::ValueSet;
+use leakaudit_x86::{Inst, Program};
+
+use crate::exec::{execute_decoded, Next};
+use crate::sink::{AccessKind, ConfigId, EventBus, TraceEvent};
+use crate::state::InitState;
+use crate::{AnalysisConfig, AnalysisError};
+
+/// One live configuration: a program point plus the abstract machine
+/// state that reached it. Trace bookkeeping lives in the observer sinks,
+/// keyed by `id` — configurations no longer carry cursors.
+struct Config {
+    id: ConfigId,
+    pc: u32,
+    state: crate::state::AbsState,
+}
+
+/// Memoized instruction decoding, shared across every configuration and
+/// abstract step of one analysis run.
+pub(crate) struct DecodeCache {
+    decoded: HashMap<u32, (Inst, u32)>,
+}
+
+impl DecodeCache {
+    pub(crate) fn new() -> Self {
+        DecodeCache {
+            decoded: HashMap::new(),
+        }
+    }
+
+    fn decode_at(&mut self, program: &Program, pc: u32) -> Result<(Inst, u32), AnalysisError> {
+        if let Some(&hit) = self.decoded.get(&pc) {
+            return Ok(hit);
+        }
+        let decoded = program.decode_at(pc)?;
+        self.decoded.insert(pc, decoded);
+        Ok(decoded)
+    }
+}
+
+/// Runs the abstract interpretation of `program` from its entry to
+/// `hlt`, publishing every trace-relevant action on `bus`.
+///
+/// The initial configuration is [`ConfigId::ROOT`]; sinks seed their
+/// root cursor under the same id (see [`crate::sink::DagSink::new`]).
+pub(crate) fn drive(
+    config: &AnalysisConfig,
+    program: &Program,
+    init: &InitState,
+    bus: &mut dyn EventBus,
+) -> Result<(), AnalysisError> {
+    let mut table = init.table.clone();
+    let mut decode = DecodeCache::new();
+    let mut next_id: u64 = ConfigId::ROOT.0 + 1;
+    let mut configs = vec![Config {
+        id: ConfigId::ROOT,
+        pc: program.entry(),
+        state: init.state.clone(),
+    }];
+    let mut fuel = config.fuel;
+
+    while !configs.is_empty() {
+        // Pick the configuration with the minimal pc; join any others
+        // that share it.
+        let min_pc = configs.iter().map(|c| c.pc).min().unwrap();
+        let mut group: Vec<Config> = Vec::new();
+        let mut rest: Vec<Config> = Vec::new();
+        for c in configs.drain(..) {
+            if c.pc == min_pc {
+                group.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        configs = rest;
+        let mut current = group.pop().unwrap();
+        for other in group {
+            current.state = current.state.join(&other.state);
+            bus.emit(TraceEvent::Merge {
+                into: current.id,
+                from: other.id,
+            });
+        }
+
+        if fuel == 0 {
+            return Err(AnalysisError::OutOfFuel { fuel: config.fuel });
+        }
+        fuel -= 1;
+
+        // Instruction fetch: visible to I-cache and shared observers.
+        bus.emit(TraceEvent::Access {
+            config: current.id,
+            kind: AccessKind::Fetch,
+            addresses: ValueSet::constant(u64::from(current.pc), 32),
+        });
+
+        let (inst, len) = decode.decode_at(program, current.pc)?;
+        let effect = execute_decoded(
+            &mut table,
+            &mut current.state,
+            program,
+            current.pc,
+            inst,
+            len,
+        )?;
+
+        // Data accesses: visible to D-cache and shared observers.
+        for addr in effect.data_accesses {
+            bus.emit(TraceEvent::Access {
+                config: current.id,
+                kind: AccessKind::Data,
+                addresses: addr,
+            });
+        }
+
+        match effect.next {
+            Next::Fall => {
+                current.pc = current.pc.wrapping_add(effect.len);
+                configs.push(current);
+            }
+            Next::Jump(t) => {
+                current.pc = t;
+                configs.push(current);
+            }
+            Next::Fork {
+                taken,
+                refine_taken,
+                refine_fall,
+            } => {
+                let child = ConfigId(next_id);
+                next_id += 1;
+                bus.emit(TraceEvent::Fork {
+                    parent: current.id,
+                    child,
+                });
+                let mut forked = Config {
+                    id: child,
+                    pc: taken,
+                    state: current.state.clone(),
+                };
+                if let Some((r, v)) = refine_taken {
+                    forked.state.refine_reg(r, v);
+                }
+                if let Some((r, v)) = refine_fall {
+                    current.state.refine_reg(r, v);
+                }
+                current.pc = current.pc.wrapping_add(effect.len);
+                configs.push(current);
+                configs.push(forked);
+                if configs.len() > config.max_configs {
+                    return Err(AnalysisError::TooManyConfigs {
+                        limit: config.max_configs,
+                    });
+                }
+            }
+            Next::Halt => {
+                bus.emit(TraceEvent::Retire { config: current.id });
+            }
+        }
+    }
+    Ok(())
+}

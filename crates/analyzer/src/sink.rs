@@ -1,0 +1,476 @@
+//! The observer-sink pipeline: per-observer trace bookkeeping behind a
+//! trait, decoupled from configuration scheduling.
+//!
+//! # Why a pipeline
+//!
+//! The scheduler's fixpoint iteration (see [`crate::scheduler`]) never
+//! inspects trace state: forking, joining, and stepping depend only on
+//! program counters and abstract machine states. Trace bookkeeping is a
+//! pure *consumer* of what the scheduler does. This module exploits that
+//! one-way data flow: the single abstract-interpretation pass emits a
+//! stream of [`TraceEvent`]s, and one [`ObserverSink`] per observer spec
+//! replays the stream against its own [`TraceDag`]. Sinks never
+//! communicate with each other, so the pipeline advances them on scoped
+//! threads — one engine pass feeds the whole observer suite concurrently
+//! instead of interleaving 18 cursor updates into the scheduler loop.
+//!
+//! # Mapping onto the paper
+//!
+//! Each sink implements the per-observer protocol of §6.4 verbatim:
+//! `Fork` duplicates a frontier cursor ([`TraceDag::clone_cursor`]),
+//! `Merge` applies the delayed ε-join ([`TraceDag::merge_cursors`]),
+//! `Access` is the update rule (projection at update time), and `Retire`
+//! folds a halted path into the final frontier. The final count per sink
+//! is `cnt^π(v)` of Theorem 1 / Proposition 2; because every sink sees
+//! the events of *every* abstract path in the order the scheduler
+//! produced them, the per-sink replay is observationally identical to
+//! the old engine that threaded one `Vec<Option<Cursor>>` through every
+//! configuration — bit-for-bit, as the batch-consistency suite checks.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use leakaudit_core::{Cursor, TraceDag, ValueSet};
+use leakaudit_mpi::Natural;
+
+use crate::report::{Channel, LeakRow, ObserverSpec};
+
+/// Identifier of one live configuration (abstract execution path).
+///
+/// Allocated by the scheduler, monotonically increasing; sinks use it to
+/// key their cursor bookkeeping. Replaces the old scheme where every
+/// configuration carried a positionally-indexed `Vec<Option<Cursor>>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfigId(pub(crate) u64);
+
+impl ConfigId {
+    /// The initial configuration every run starts from. The scheduler
+    /// allocates ids upward from here; sinks seed their root cursor
+    /// under this id.
+    pub const ROOT: ConfigId = ConfigId(0);
+}
+
+/// Which kind of memory access an [`TraceEvent::Access`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// An instruction fetch (visible to I-cache and shared observers).
+    Fetch,
+    /// A data access (visible to D-cache and shared observers).
+    Data,
+}
+
+impl AccessKind {
+    /// Whether an observer watching `channel` sees this access.
+    pub fn visible_to(self, channel: Channel) -> bool {
+        match channel {
+            Channel::Instruction => self == AccessKind::Fetch,
+            Channel::Data => self == AccessKind::Data,
+            Channel::Shared => true,
+        }
+    }
+}
+
+/// One scheduler action relevant to trace bookkeeping, in the exact
+/// order the abstract interpretation performed it.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// Configuration `parent` forked; `child` continues on the taken
+    /// branch with a duplicated frontier.
+    Fork {
+        /// The configuration that hit the undecided branch.
+        parent: ConfigId,
+        /// The new configuration for the taken path.
+        child: ConfigId,
+    },
+    /// Configuration `from` reached the same pc as `into` and was joined
+    /// into it (paper §6.4 join; `into`'s cursor is the left operand).
+    Merge {
+        /// The surviving configuration.
+        into: ConfigId,
+        /// The configuration dissolved into it.
+        from: ConfigId,
+    },
+    /// A memory access with the given set of possible addresses.
+    Access {
+        /// The configuration performing the access.
+        config: ConfigId,
+        /// Fetch or data.
+        kind: AccessKind,
+        /// The abstract address set.
+        addresses: ValueSet,
+    },
+    /// The configuration reached `hlt`; its frontier joins the final
+    /// cursor the leakage count is taken from.
+    Retire {
+        /// The halting configuration.
+        config: ConfigId,
+    },
+}
+
+/// Per-observer trace bookkeeping fed by the scheduler's event stream.
+///
+/// Implementations own whatever state one observer needs (for the paper's
+/// analysis: a [`TraceDag`] plus one cursor per live configuration) and
+/// produce one [`LeakRow`] when the stream ends.
+pub trait ObserverSink: Send {
+    /// The channel/observer pair this sink serves.
+    fn spec(&self) -> ObserverSpec;
+
+    /// Consumes one scheduler event.
+    fn absorb(&mut self, event: &TraceEvent);
+
+    /// Finishes the stream: count traces and convert to a leakage bound.
+    fn into_row(self: Box<Self>) -> LeakRow;
+}
+
+/// The standard sink: one [`TraceDag`] per observer spec, cursors keyed
+/// by [`ConfigId`].
+pub struct DagSink {
+    spec: ObserverSpec,
+    dag: TraceDag,
+    cursors: HashMap<ConfigId, Cursor>,
+    finals: Option<Cursor>,
+}
+
+impl DagSink {
+    /// Creates the sink with the root cursor owned by `initial`.
+    pub fn new(spec: ObserverSpec, initial: ConfigId) -> Self {
+        let (dag, cursor) = TraceDag::new(spec.observer);
+        let mut cursors = HashMap::new();
+        cursors.insert(initial, cursor);
+        DagSink {
+            spec,
+            dag,
+            cursors,
+            finals: None,
+        }
+    }
+
+    fn take(&mut self, id: ConfigId) -> Cursor {
+        self.cursors.remove(&id).expect("cursor present for config")
+    }
+}
+
+impl ObserverSink for DagSink {
+    fn spec(&self) -> ObserverSpec {
+        self.spec
+    }
+
+    fn absorb(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Fork { parent, child } => {
+                let cloned = {
+                    let cur = self.cursors.get(parent).expect("cursor present for config");
+                    self.dag.clone_cursor(cur)
+                };
+                self.cursors.insert(*child, cloned);
+            }
+            TraceEvent::Merge { into, from } => {
+                let mine = self.take(*into);
+                let theirs = self.take(*from);
+                let merged = self.dag.merge_cursors(mine, theirs);
+                self.cursors.insert(*into, merged);
+            }
+            TraceEvent::Access {
+                config,
+                kind,
+                addresses,
+            } => {
+                if kind.visible_to(self.spec.channel) {
+                    let cur = self.take(*config);
+                    let cur = self.dag.access(cur, addresses);
+                    self.cursors.insert(*config, cur);
+                }
+            }
+            TraceEvent::Retire { config } => {
+                let cur = self.take(*config);
+                self.finals = Some(match self.finals.take() {
+                    None => cur,
+                    Some(acc) => self.dag.merge_cursors(acc, cur),
+                });
+            }
+        }
+    }
+
+    fn into_row(self: Box<Self>) -> LeakRow {
+        let (count, bits) = match &self.finals {
+            Some(cur) => {
+                let n = self.dag.count(cur);
+                let bits = TraceDag::bits_for_count(&n);
+                (n, bits)
+            }
+            // No path reached hlt: zero traces.
+            None => (Natural::zero(), 0.0),
+        };
+        LeakRow {
+            spec: self.spec,
+            count,
+            bits,
+        }
+    }
+}
+
+/// Where the scheduler publishes its events.
+pub trait EventBus {
+    /// Emits one event to every sink.
+    fn emit(&mut self, event: TraceEvent);
+}
+
+/// Events are batched into chunks of this size before being handed to
+/// sink threads, amortizing channel traffic.
+const CHUNK: usize = 1024;
+
+/// Runs a set of sinks against the event stream produced by `drive`.
+///
+/// With more than one sink (and unless `parallel` is off) each sink gets
+/// its own scoped thread and consumes `Arc`-shared event chunks while
+/// the scheduler keeps producing — interpretation and trace bookkeeping
+/// overlap, and the expensive final counting (big-number arithmetic per
+/// Proposition 2) runs concurrently across observers.
+///
+/// Row order in the result matches sink order. If `drive` errors, the
+/// partial rows are discarded and the error is returned.
+pub fn run_pipeline<E>(
+    sinks: Vec<Box<dyn ObserverSink>>,
+    parallel: bool,
+    drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
+) -> Result<Vec<LeakRow>, E> {
+    if sinks.len() <= 1 || !parallel {
+        let mut bus = SerialBus { sinks };
+        drive(&mut bus).map(|()| bus.sinks.into_iter().map(ObserverSink::into_row).collect())
+    } else {
+        run_threaded(sinks, drive)
+    }
+}
+
+/// Serial fallback: events are applied to every sink inline.
+struct SerialBus {
+    sinks: Vec<Box<dyn ObserverSink>>,
+}
+
+impl EventBus for SerialBus {
+    fn emit(&mut self, event: TraceEvent) {
+        for sink in &mut self.sinks {
+            sink.absorb(&event);
+        }
+    }
+}
+
+/// How many chunks may queue per sink before the scheduler blocks.
+/// Bounds pipeline memory at `CHUNK_QUEUE × CHUNK` events per sink and
+/// gives slow sinks backpressure instead of an unbounded buffer.
+const CHUNK_QUEUE: usize = 64;
+
+/// Threaded pipeline: one consumer thread per sink.
+fn run_threaded<E>(
+    sinks: Vec<Box<dyn ObserverSink>>,
+    drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
+) -> Result<Vec<LeakRow>, E> {
+    std::thread::scope(|scope| {
+        let aborted = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut txs = Vec::with_capacity(sinks.len());
+        let mut handles = Vec::with_capacity(sinks.len());
+        for mut sink in sinks {
+            let (tx, rx) = mpsc::sync_channel::<Arc<Vec<TraceEvent>>>(CHUNK_QUEUE);
+            txs.push(tx);
+            let aborted = Arc::clone(&aborted);
+            handles.push(scope.spawn(move || {
+                while let Ok(chunk) = rx.recv() {
+                    if aborted.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    for event in chunk.iter() {
+                        sink.absorb(event);
+                    }
+                }
+                if aborted.load(std::sync::atomic::Ordering::Relaxed) {
+                    // The driver failed: rows are discarded, so skip the
+                    // (possibly expensive) final counting.
+                    LeakRow {
+                        spec: sink.spec(),
+                        count: Natural::zero(),
+                        bits: 0.0,
+                    }
+                } else {
+                    sink.into_row()
+                }
+            }));
+        }
+
+        let mut bus = ChannelBus {
+            buffer: Vec::with_capacity(CHUNK),
+            txs,
+        };
+        let outcome = drive(&mut bus);
+        if outcome.is_ok() {
+            bus.flush();
+        } else {
+            aborted.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        drop(bus); // close channels so consumers finish
+
+        let rows: Vec<LeakRow> = handles
+            .into_iter()
+            .map(|h| h.join().expect("sink thread panicked"))
+            .collect();
+        outcome.map(|()| rows)
+    })
+}
+
+struct ChannelBus {
+    buffer: Vec<TraceEvent>,
+    txs: Vec<mpsc::SyncSender<Arc<Vec<TraceEvent>>>>,
+}
+
+impl ChannelBus {
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let chunk = Arc::new(std::mem::take(&mut self.buffer));
+        for tx in &self.txs {
+            // A sink thread can only be gone if it panicked; the panic is
+            // propagated by the join above, so a send failure is ignorable.
+            let _ = tx.send(Arc::clone(&chunk));
+        }
+        self.buffer = Vec::with_capacity(CHUNK);
+    }
+}
+
+impl EventBus for ChannelBus {
+    fn emit(&mut self, event: TraceEvent) {
+        self.buffer.push(event);
+        if self.buffer.len() >= CHUNK {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakaudit_core::Observer;
+
+    fn consts(vals: &[u64]) -> ValueSet {
+        ValueSet::from_constants(vals.iter().copied(), 32)
+    }
+
+    /// The Ex. 9 protocol (fork, diverge, merge, continue) through the
+    /// event-stream interface, for both pipeline modes.
+    fn example9_events(bus: &mut dyn EventBus) -> Result<(), std::convert::Infallible> {
+        let (main, taken) = (ConfigId(0), ConfigId(1));
+        for pc in [0x41a90u64, 0x41a97, 0x41a99] {
+            bus.emit(TraceEvent::Access {
+                config: main,
+                kind: AccessKind::Fetch,
+                addresses: consts(&[pc]),
+            });
+        }
+        bus.emit(TraceEvent::Fork {
+            parent: main,
+            child: taken,
+        });
+        for pc in [0x41a9bu64, 0x41a9d, 0x41a9f] {
+            bus.emit(TraceEvent::Access {
+                config: main,
+                kind: AccessKind::Fetch,
+                addresses: consts(&[pc]),
+            });
+        }
+        bus.emit(TraceEvent::Merge {
+            into: main,
+            from: taken,
+        });
+        bus.emit(TraceEvent::Access {
+            config: main,
+            kind: AccessKind::Fetch,
+            addresses: consts(&[0x41aa1]),
+        });
+        bus.emit(TraceEvent::Retire { config: main });
+        Ok(())
+    }
+
+    fn example9_rows(parallel: bool) -> Vec<LeakRow> {
+        let specs = [
+            ObserverSpec {
+                channel: Channel::Instruction,
+                observer: Observer::address(),
+            },
+            ObserverSpec {
+                channel: Channel::Instruction,
+                observer: Observer::block(6).stuttering(),
+            },
+            ObserverSpec {
+                channel: Channel::Data,
+                observer: Observer::address(),
+            },
+        ];
+        let sinks: Vec<Box<dyn ObserverSink>> = specs
+            .iter()
+            .map(|&spec| Box::new(DagSink::new(spec, ConfigId(0))) as Box<dyn ObserverSink>)
+            .collect();
+        run_pipeline(sinks, parallel, example9_events).unwrap()
+    }
+
+    #[test]
+    fn serial_pipeline_reproduces_example9() {
+        let rows = example9_rows(false);
+        assert_eq!(rows[0].count.to_u64(), Some(2), "address observer");
+        assert_eq!(rows[1].count.to_u64(), Some(1), "stuttering block");
+        // The data channel saw no accesses: exactly one (empty) trace.
+        assert_eq!(rows[2].count.to_u64(), Some(1));
+    }
+
+    #[test]
+    fn threaded_pipeline_matches_serial() {
+        let serial = example9_rows(false);
+        let threaded = example9_rows(true);
+        for (s, t) in serial.iter().zip(&threaded) {
+            assert_eq!(s.spec, t.spec);
+            assert_eq!(s.count, t.count);
+            assert_eq!(s.bits, t.bits);
+        }
+    }
+
+    #[test]
+    fn retire_without_access_counts_one_trace() {
+        let spec = ObserverSpec {
+            channel: Channel::Shared,
+            observer: Observer::address(),
+        };
+        let sinks: Vec<Box<dyn ObserverSink>> = vec![Box::new(DagSink::new(spec, ConfigId(0)))];
+        let rows = run_pipeline(
+            sinks,
+            false,
+            |bus| -> Result<(), std::convert::Infallible> {
+                bus.emit(TraceEvent::Retire {
+                    config: ConfigId(0),
+                });
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(rows[0].count.to_u64(), Some(1));
+        assert_eq!(rows[0].bits, 0.0);
+    }
+
+    #[test]
+    fn error_from_driver_discards_rows() {
+        let spec = ObserverSpec {
+            channel: Channel::Shared,
+            observer: Observer::address(),
+        };
+        let sinks: Vec<Box<dyn ObserverSink>> = vec![Box::new(DagSink::new(spec, ConfigId(0)))];
+        let err = run_pipeline(sinks, true, |bus| {
+            bus.emit(TraceEvent::Access {
+                config: ConfigId(0),
+                kind: AccessKind::Data,
+                addresses: consts(&[0x10]),
+            });
+            Err("boom")
+        })
+        .unwrap_err();
+        assert_eq!(err, "boom");
+    }
+}

@@ -31,7 +31,10 @@ fn unresolved_return_is_reported() {
         init,
     )
     .unwrap_err();
-    assert!(matches!(err, AnalysisError::UnresolvedReturn { at: 0x1001 }));
+    assert!(matches!(
+        err,
+        AnalysisError::UnresolvedReturn { at: 0x1001 }
+    ));
     assert!(err.to_string().contains("0x1001"));
 }
 

@@ -1,8 +1,10 @@
 //! §8.1: "our analysis takes between 0 and 4 seconds" per instance — this
 //! bench measures the end-to-end static analysis of each case-study
-//! binary.
+//! binary, plus the full 8-scenario suite as one parallel batch (the
+//! production path: per-instance times bound the batch's critical path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leakaudit_scenarios::analyze_all;
 
 fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis_runtime");
@@ -17,5 +19,23 @@ fn bench_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_analysis);
+fn bench_batch(c: &mut Criterion) {
+    let scenarios = leakaudit_scenarios::all();
+    let mut group = c.benchmark_group("analysis_runtime");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("batch_all_8"),
+        &scenarios,
+        |b, s| {
+            b.iter(|| {
+                let batch = analyze_all(s);
+                assert_eq!(batch.errors().count(), 0);
+                batch
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_batch);
 criterion_main!(benches);

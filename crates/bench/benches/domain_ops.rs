@@ -15,7 +15,13 @@ fn bench_masked_symbol_ops(c: &mut Criterion) {
             let buf = MaskedSymbol::symbol(t.fresh("buf"), 32);
             let low = apply(&mut t, BinOp::And, &buf, &MaskedSymbol::constant(63, 32)).value;
             let cleared = apply(&mut t, BinOp::Sub, &buf, &low).value;
-            apply(&mut t, BinOp::Add, &cleared, &MaskedSymbol::constant(64, 32)).value
+            apply(
+                &mut t,
+                BinOp::Add,
+                &cleared,
+                &MaskedSymbol::constant(64, 32),
+            )
+            .value
         })
     });
 
@@ -39,11 +45,9 @@ fn bench_set_uniform_rule(c: &mut Criterion) {
             let s = t.fresh("buf");
             let aligned = MaskedSymbol::new(s, Mask::top(32).with_low_bits_known(6, 0));
             let k = ValueSet::from_constants(0..8, 32);
-            let (mut ptr, _) =
-                apply_set(&mut t, BinOp::Add, &ValueSet::singleton(aligned), &k);
+            let (mut ptr, _) = apply_set(&mut t, BinOp::Add, &ValueSet::singleton(aligned), &k);
             for _ in 0..384 {
-                let (next, _) =
-                    apply_set(&mut t, BinOp::Add, &ptr, &ValueSet::constant(8, 32));
+                let (next, _) = apply_set(&mut t, BinOp::Add, &ptr, &ValueSet::constant(8, 32));
                 ptr = next;
             }
             ptr
@@ -58,13 +62,11 @@ fn bench_trace_dag(c: &mut Criterion) {
             let s = t.fresh("buf");
             let aligned = MaskedSymbol::new(s, Mask::top(32).with_low_bits_known(6, 0));
             let k = ValueSet::from_constants(0..8, 32);
-            let (mut ptr, _) =
-                apply_set(&mut t, BinOp::Add, &ValueSet::singleton(aligned), &k);
+            let (mut ptr, _) = apply_set(&mut t, BinOp::Add, &ValueSet::singleton(aligned), &k);
             let (mut dag, mut cur) = TraceDag::new(Observer::address());
             for _ in 0..384 {
                 cur = dag.access(cur, &ptr);
-                let (next, _) =
-                    apply_set(&mut t, BinOp::Add, &ptr, &ValueSet::constant(8, 32));
+                let (next, _) = apply_set(&mut t, BinOp::Add, &ptr, &ValueSet::constant(8, 32));
                 ptr = next;
             }
             dag.count(&cur) // 8^384: exercises exact big-number counting

@@ -16,14 +16,11 @@ fn usage() -> ! {
 }
 
 fn leakage_subset(filter: &[&str]) -> String {
-    let mut out = String::new();
-    for s in leakaudit_scenarios::all() {
-        if filter.iter().any(|f| s.paper_ref.contains(f)) {
-            out.push_str(&bench::render_scenario_table(&s));
-            out.push('\n');
-        }
-    }
-    out
+    let subset: Vec<_> = leakaudit_scenarios::all()
+        .into_iter()
+        .filter(|s| filter.iter().any(|f| s.paper_ref.contains(f)))
+        .collect();
+    bench::render_batch_tables(&subset)
 }
 
 fn main() {

@@ -18,12 +18,12 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use leakaudit_analyzer::format_bits;
+use leakaudit_analyzer::{format_bits, LeakReport};
 use leakaudit_core::Observer;
 use leakaudit_crypto::perf::{measure_modexp, measure_retrieval};
-use leakaudit_scenarios::{scatter_gather, Scenario};
+use leakaudit_scenarios::{analyze_all, scatter_gather, Scenario};
 use leakaudit_x86::{render_byte_layout, render_code_layout};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,9 +85,8 @@ pub fn render_fig13() -> String {
 /// analyzer uses.
 pub fn render_fig4() -> String {
     use leakaudit_core::{TraceDag, ValueSet};
-    let mut out = String::from(
-        "Fig. 4 — trace DAGs for the libgcrypt 1.5.3 branch (Ex. 9), DOT format\n\n",
-    );
+    let mut out =
+        String::from("Fig. 4 — trace DAGs for the libgcrypt 1.5.3 branch (Ex. 9), DOT format\n\n");
     for (title, observer) in [
         ("(a) address-trace observer", Observer::address()),
         ("(b) block-trace observer (64B)", Observer::block(6)),
@@ -144,7 +143,12 @@ pub fn render_fig15() -> String {
 pub fn render_scenario_table(s: &Scenario) -> String {
     let started = Instant::now();
     let report = s.analyze().expect("analysis converges");
-    let elapsed = started.elapsed();
+    render_report_table(s, &report, started.elapsed())
+}
+
+/// Renders the paper-style leakage table for an already-computed report
+/// (the batch path: analysis ran elsewhere, possibly in parallel).
+pub fn render_report_table(s: &Scenario, report: &LeakReport, elapsed: Duration) -> String {
     let b = s.block_bits;
     let observers = [
         Observer::address(),
@@ -180,17 +184,34 @@ pub fn render_scenario_table(s: &Scenario) -> String {
     out
 }
 
+/// Renders leakage tables for a set of scenarios, analyzing them in one
+/// parallel batch (the per-table "analysis took" line reports each
+/// scenario's own analysis time inside the batch).
+pub fn render_batch_tables(scenarios: &[Scenario]) -> String {
+    let batch = analyze_all(scenarios);
+    let mut out = String::new();
+    for (s, outcome) in scenarios.iter().zip(batch.outcomes()) {
+        let report = outcome.result.as_ref().expect("analysis converges");
+        out.push_str(&render_report_table(s, report, outcome.elapsed));
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "batch: {} scenarios analyzed in {:.2?} wall-clock",
+        scenarios.len(),
+        batch.wall_time()
+    );
+    out
+}
+
 /// Renders the leakage tables of Figs. 7, 8 and 14 for all eight
-/// case-study instances.
+/// case-study instances, analyzed as one parallel batch.
 pub fn render_leakage_tables() -> String {
     let mut out = String::from(
         "Leakage bounds (bits) — reproduction of Figs. 7, 8, 14\n\
          ======================================================\n\n",
     );
-    for s in leakaudit_scenarios::all() {
-        out.push_str(&render_scenario_table(&s));
-        out.push('\n');
-    }
+    out.push_str(&render_batch_tables(&leakaudit_scenarios::all()));
     out
 }
 

@@ -249,7 +249,11 @@ impl Hierarchy {
     /// Records a data access.
     pub fn data(&mut self, addr: u64) {
         let hit = self.l1d.access(addr);
-        self.cycles += if hit { self.model.l1_hit } else { self.model.miss };
+        self.cycles += if hit {
+            self.model.l1_hit
+        } else {
+            self.model.miss
+        };
     }
 
     /// Accumulated cycle estimate.

@@ -119,12 +119,9 @@ mod tests {
         let mut t = SymbolTable::new();
         let s = t.fresh("buf");
         let aligned = MaskedSymbol::new(s, Mask::top(32).with_low_bits_known(6, 0));
-        let v = ValueSet::from_masked_symbols((0..8).map(|k| {
-            MaskedSymbol::new(
-                s,
-                Mask::top(32).with_low_bits_known(6, k),
-            )
-        }));
+        let v = ValueSet::from_masked_symbols(
+            (0..8).map(|k| MaskedSymbol::new(s, Mask::top(32).with_low_bits_known(6, k))),
+        );
         for bits in [0x0, 0x1234_5678u64, 0xffff_ffff] {
             let mut lambda = Valuation::new();
             lambda.assign(s, bits);

@@ -72,7 +72,7 @@ mod value;
 pub use concrete::Valuation;
 pub use mask::{Mask, MaskBit};
 pub use msym::MaskedSymbol;
-pub use observer::{project_range, Observation, Observer, ObsSet};
+pub use observer::{project_range, ObsSet, Observation, Observer};
 pub use ops::{apply, mul, neg, not, shl, shr, AbstractBool, AbstractFlags, BinOp, OpResult};
 pub use sym::{Provenance, SymId, SymbolTable};
 pub use trace::{Cursor, Label, TraceDag, VertexId};

@@ -305,7 +305,10 @@ mod tests {
 
     #[test]
     fn display_compresses_top_runs() {
-        assert_eq!(Mask::top(32).with_low_bits_known(6, 0).to_string(), "⊤{26}000000");
+        assert_eq!(
+            Mask::top(32).with_low_bits_known(6, 0).to_string(),
+            "⊤{26}000000"
+        );
         assert_eq!(Mask::constant(0b101, 3).to_string(), "101");
         assert_eq!(Mask::top(2).to_string(), "⊤⊤");
     }

@@ -120,9 +120,7 @@ impl Observer {
             ValueSet::Top { width } => ObsSet::Top {
                 bits: width.saturating_sub(self.offset_bits),
             },
-            ValueSet::Set(set) => {
-                ObsSet::Set(set.iter().map(|m| self.project(m)).collect())
-            }
+            ValueSet::Set(set) => ObsSet::Set(set.iter().map(|m| self.project(m)).collect()),
         }
     }
 
@@ -169,11 +167,18 @@ pub fn project_range(m: &MaskedSymbol, lo: u8, hi: u8) -> Observation {
     if bits == 0 {
         return Observation::Concrete { bits: 0, width: 0 };
     }
-    let field = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let field = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let known = (m.mask().known_bits() >> lo) & field;
     let value = (m.mask().known_values() >> lo) & field;
     if known == field {
-        Observation::Concrete { bits: value, width: bits }
+        Observation::Concrete {
+            bits: value,
+            width: bits,
+        }
     } else {
         Observation::Symbolic {
             sym: m.sym(),
@@ -212,7 +217,12 @@ impl fmt::Display for Observation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Observation::Concrete { bits, .. } => write!(f, "0x{bits:x}"),
-            Observation::Symbolic { sym, known, value, width } => {
+            Observation::Symbolic {
+                sym,
+                known,
+                value,
+                width,
+            } => {
                 write!(f, "⟨{sym}:")?;
                 for i in (0..*width).rev() {
                     if known >> i & 1 == 1 {
@@ -312,18 +322,31 @@ mod tests {
         let s = tab.fresh("s");
         let t = tab.fresh("t");
         let u = tab.fresh("u");
-        let m_s = MaskedSymbol::new(s, Mask::from_bits(&[MaskBit::One, MaskBit::Zero, MaskBit::Zero]));
-        let m_t = MaskedSymbol::new(t, Mask::from_bits(&[MaskBit::One, MaskBit::Top, MaskBit::Top]));
-        let m_u = MaskedSymbol::new(u, Mask::from_bits(&[MaskBit::One, MaskBit::One, MaskBit::One]));
+        let m_s = MaskedSymbol::new(
+            s,
+            Mask::from_bits(&[MaskBit::One, MaskBit::Zero, MaskBit::Zero]),
+        );
+        let m_t = MaskedSymbol::new(
+            t,
+            Mask::from_bits(&[MaskBit::One, MaskBit::Top, MaskBit::Top]),
+        );
+        let m_u = MaskedSymbol::new(
+            u,
+            Mask::from_bits(&[MaskBit::One, MaskBit::One, MaskBit::One]),
+        );
 
         // Projection to the two most significant bits: three observations.
-        let top2: BTreeSet<Observation> =
-            [m_s, m_t, m_u].iter().map(|m| project_range(m, 1, 3)).collect();
+        let top2: BTreeSet<Observation> = [m_s, m_t, m_u]
+            .iter()
+            .map(|m| project_range(m, 1, 3))
+            .collect();
         assert_eq!(top2.len(), 3);
 
         // Projection to the least significant bit: a singleton {1}.
-        let low1: BTreeSet<Observation> =
-            [m_s, m_t, m_u].iter().map(|m| project_range(m, 0, 1)).collect();
+        let low1: BTreeSet<Observation> = [m_s, m_t, m_u]
+            .iter()
+            .map(|m| project_range(m, 0, 1))
+            .collect();
         assert_eq!(low1.len(), 1);
         assert_eq!(
             low1.iter().next(),
@@ -399,10 +422,7 @@ mod tests {
             vec![a, b, c, d, c]
         );
         // The exact observer keeps repetitions.
-        assert_eq!(
-            Observer::address().view_concrete(&[a, a, b]),
-            vec![a, a, b]
-        );
+        assert_eq!(Observer::address().view_concrete(&[a, a, b]), vec![a, a, b]);
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl AbstractBool {
     }
 
     /// Logical negation (`⊤` stays `⊤`).
+    #[allow(clippy::should_implement_trait)] // used as a plain fn value (`B::not`)
     pub fn not(self) -> AbstractBool {
         match self {
             AbstractBool::False => AbstractBool::True,
@@ -259,10 +260,9 @@ fn build_result(table: &mut SymbolTable, op: BinOp, bits: &[BitVal], width: u8) 
     if mask.is_fully_known() {
         return MaskedSymbol::new(SymId::CONST, mask);
     }
-    let sym = if must_fresh || keep.is_none() {
-        table.fresh_derived(op.name())
-    } else {
-        keep.unwrap()
+    let sym = match keep {
+        Some(k) if !must_fresh => k,
+        _ => table.fresh_derived(op.name()),
     };
     MaskedSymbol::new(sym, mask)
 }
@@ -313,12 +313,7 @@ fn zf_of(bits: &[BitVal]) -> AbstractBool {
 /// assert_ne!(added.value.sym(), s);
 /// assert_eq!(added.value.mask().to_string(), "⊤{26}000000");
 /// ```
-pub fn apply(
-    table: &mut SymbolTable,
-    op: BinOp,
-    x: &MaskedSymbol,
-    y: &MaskedSymbol,
-) -> OpResult {
+pub fn apply(table: &mut SymbolTable, op: BinOp, x: &MaskedSymbol, y: &MaskedSymbol) -> OpResult {
     assert_eq!(x.width(), y.width(), "operand widths must match");
     let width = x.width();
 
@@ -395,7 +390,11 @@ pub fn apply(
         };
         if let (Some(c), false) = (constant, base.is_constant()) {
             let wrap = Mask::top(width).width_mask();
-            let delta = if op == BinOp::Add { c } else { c.wrapping_neg() & wrap };
+            let delta = if op == BinOp::Add {
+                c
+            } else {
+                c.wrapping_neg() & wrap
+            };
             let (origin, off) = table.origin_of(base);
             let new_off = off.wrapping_add(delta) & wrap;
             if let Some(existing) = table.successor(&origin, new_off) {
@@ -438,7 +437,13 @@ pub fn apply(
 /// Abstract bitwise complement (`NOT` = `XOR` with all ones).
 pub fn not(table: &mut SymbolTable, x: &MaskedSymbol) -> MaskedSymbol {
     let all = Mask::top(x.width()).width_mask();
-    apply(table, BinOp::Xor, x, &MaskedSymbol::constant(all, x.width())).value
+    apply(
+        table,
+        BinOp::Xor,
+        x,
+        &MaskedSymbol::constant(all, x.width()),
+    )
+    .value
 }
 
 /// Abstract negation (`NEG` = `0 - x`).
@@ -606,11 +611,27 @@ mod tests {
         // keeps the symbol (paper §2 walk-through).
         assert_eq!(cleared.sym(), s);
         assert_eq!(cleared.mask().to_string(), "⊤{26}000000");
-        let bumped = apply(&mut t, BinOp::Add, &cleared, &MaskedSymbol::constant(64, 32)).value;
-        assert_ne!(bumped.sym(), s, "ADD 0x40 affects unknown bits: fresh symbol");
+        let bumped = apply(
+            &mut t,
+            BinOp::Add,
+            &cleared,
+            &MaskedSymbol::constant(64, 32),
+        )
+        .value;
+        assert_ne!(
+            bumped.sym(),
+            s,
+            "ADD 0x40 affects unknown bits: fresh symbol"
+        );
         assert_eq!(bumped.mask().to_string(), "⊤{26}000000");
         // Adding 0x3F to the aligned pointer keeps the symbol: same line.
-        let same_line = apply(&mut t, BinOp::Add, &cleared, &MaskedSymbol::constant(0x3f, 32)).value;
+        let same_line = apply(
+            &mut t,
+            BinOp::Add,
+            &cleared,
+            &MaskedSymbol::constant(0x3f, 32),
+        )
+        .value;
         assert_eq!(same_line.sym(), s);
         assert_eq!(same_line.mask().to_string(), "⊤{26}111111");
     }
@@ -642,14 +663,32 @@ mod tests {
     #[test]
     fn or_with_neutral_and_absorbing_constants() {
         let (mut t, s, buf) = setup();
-        let aligned = apply(&mut t, BinOp::And, &buf, &MaskedSymbol::constant(!0x3fu64 & 0xffff_ffff, 32)).value;
+        let aligned = apply(
+            &mut t,
+            BinOp::And,
+            &buf,
+            &MaskedSymbol::constant(!0x3fu64 & 0xffff_ffff, 32),
+        )
+        .value;
         assert_eq!(aligned.sym(), s);
         // OR with a constant inside the known-zero region keeps the symbol.
-        let offset = apply(&mut t, BinOp::Or, &aligned, &MaskedSymbol::constant(0x15, 32)).value;
+        let offset = apply(
+            &mut t,
+            BinOp::Or,
+            &aligned,
+            &MaskedSymbol::constant(0x15, 32),
+        )
+        .value;
         assert_eq!(offset.sym(), s);
         assert_eq!(offset.mask().to_string(), "⊤{26}010101");
         // OR with ones over symbolic bits absorbs them.
-        let all = apply(&mut t, BinOp::Or, &buf, &MaskedSymbol::constant(0xffff_ffff, 32)).value;
+        let all = apply(
+            &mut t,
+            BinOp::Or,
+            &buf,
+            &MaskedSymbol::constant(0xffff_ffff, 32),
+        )
+        .value;
         assert_eq!(all, MaskedSymbol::constant(0xffff_ffff, 32));
     }
 
@@ -676,7 +715,13 @@ mod tests {
         // (s, ⊤...⊤0011) + 1 = (s, ⊤...⊤0100): carries stay below the
         // symbolic bits, symbol kept.
         let (mut t, s, buf) = setup();
-        let low = apply(&mut t, BinOp::And, &buf, &MaskedSymbol::constant(!0xfu64 & 0xffff_ffff, 32)).value;
+        let low = apply(
+            &mut t,
+            BinOp::And,
+            &buf,
+            &MaskedSymbol::constant(!0xfu64 & 0xffff_ffff, 32),
+        )
+        .value;
         let three = apply(&mut t, BinOp::Add, &low, &MaskedSymbol::constant(3, 32)).value;
         assert_eq!(three.sym(), s);
         let four = apply(&mut t, BinOp::Add, &three, &MaskedSymbol::constant(1, 32)).value;
@@ -687,7 +732,13 @@ mod tests {
     #[test]
     fn add_carry_into_symbolic_region_is_fresh() {
         let (mut t, s, buf) = setup();
-        let low = apply(&mut t, BinOp::And, &buf, &MaskedSymbol::constant(!0x3u64 & 0xffff_ffff, 32)).value;
+        let low = apply(
+            &mut t,
+            BinOp::And,
+            &buf,
+            &MaskedSymbol::constant(!0x3u64 & 0xffff_ffff, 32),
+        )
+        .value;
         // low ends in 00; adding 7 = carry into bit 2 region? 00 + 11 = 11
         // no carry; adding 4 sets bit 2 which is symbolic -> fresh.
         let r = apply(&mut t, BinOp::Add, &low, &MaskedSymbol::constant(4, 32)).value;

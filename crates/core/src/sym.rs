@@ -273,7 +273,10 @@ mod tests {
         assert_eq!(t.compare_values(&x, &y), Some(false));
         assert_eq!(t.compare_values(&x, &x), Some(true));
         assert_eq!(t.compare_values(&x, &r), Some(false));
-        assert_eq!(t.offset_between(&x, &y, 32), Some((8u64.wrapping_sub(12)) & 0xffff_ffff));
+        assert_eq!(
+            t.offset_between(&x, &y, 32),
+            Some((8u64.wrapping_sub(12)) & 0xffff_ffff)
+        );
         assert_eq!(t.offset_between(&y, &x, 32), Some(4));
     }
 

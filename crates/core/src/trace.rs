@@ -328,15 +328,21 @@ impl TraceDag {
         total
     }
 
-    /// Leakage bound in bits: `log2(count)` (paper §4). Zero observations
-    /// (dead path) and a single observation both mean 0 bits.
-    pub fn leakage_bits(&self, c: &Cursor) -> f64 {
-        let n = self.count(c);
+    /// Converts an observation count to a leakage bound in bits:
+    /// `log2(count)` (paper §4). Zero observations (dead path) and a
+    /// single observation both mean 0 bits.
+    pub fn bits_for_count(n: &Natural) -> f64 {
         if n.is_zero() {
             0.0
         } else {
             n.log2()
         }
+    }
+
+    /// Leakage bound in bits for the traces ending at this cursor
+    /// ([`TraceDag::bits_for_count`] of [`TraceDag::count`]).
+    pub fn leakage_bits(&self, c: &Cursor) -> f64 {
+        Self::bits_for_count(&self.count(c))
     }
 
     /// Renders the DAG in Graphviz DOT format (Fig. 4-style pictures).

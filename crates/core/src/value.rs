@@ -61,9 +61,7 @@ impl ValueSet {
     /// A set of known constants (a *high* variable in the sense of §4 when
     /// it has more than one element).
     pub fn from_constants(values: impl IntoIterator<Item = u64>, width: u8) -> Self {
-        ValueSet::from_masked_symbols(
-            values.into_iter().map(|v| MaskedSymbol::constant(v, width)),
-        )
+        ValueSet::from_masked_symbols(values.into_iter().map(|v| MaskedSymbol::constant(v, width)))
     }
 
     /// Builds a set from masked symbols, widening to `Top` past
@@ -240,12 +238,15 @@ fn uniform_const_add(
         _ => return None,
     };
     if c == 0 {
-        return Some((ValueSet::Set(a.clone()), AbstractFlags {
-            zf: crate::ops::AbstractBool::Top,
-            cf: crate::ops::AbstractBool::Top,
-            sf: crate::ops::AbstractBool::Top,
-            of: crate::ops::AbstractBool::Top,
-        }));
+        return Some((
+            ValueSet::Set(a.clone()),
+            AbstractFlags {
+                zf: crate::ops::AbstractBool::Top,
+                cf: crate::ops::AbstractBool::Top,
+                sf: crate::ops::AbstractBool::Top,
+                of: crate::ops::AbstractBool::Top,
+            },
+        ));
     }
 
     // All elements must share one non-constant symbol and one contiguous

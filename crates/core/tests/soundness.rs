@@ -16,7 +16,7 @@
 
 use leakaudit_core::{
     apply, apply_set, mul, shl, shr, BinOp, Mask, MaskBit, MaskedSymbol, Observer, SymId,
-    SymbolTable, ValueSet, Valuation,
+    SymbolTable, Valuation, ValueSet,
 };
 use proptest::prelude::*;
 

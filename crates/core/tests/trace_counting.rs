@@ -6,7 +6,7 @@
 
 use std::collections::BTreeSet;
 
-use leakaudit_core::{MaskedSymbol, Observer, SymbolTable, TraceDag, ValueSet, Valuation};
+use leakaudit_core::{MaskedSymbol, Observer, SymbolTable, TraceDag, Valuation, ValueSet};
 use proptest::prelude::*;
 
 /// A tiny trace program: a straight-line prefix, an optional two-way
@@ -25,8 +25,8 @@ fn value_set(table: &SymbolTable) -> impl Strategy<Value = ValueSet> + use<> {
     let _ = table;
     proptest::collection::btree_set(
         prop_oneof![
-            (0u64..4).prop_map(|k| 0x100 + k),       // same 64-byte block
-            (0u64..4).prop_map(|k| 0x100 + 64 * k),  // distinct blocks
+            (0u64..4).prop_map(|k| 0x100 + k),      // same 64-byte block
+            (0u64..4).prop_map(|k| 0x100 + 64 * k), // distinct blocks
             Just(0x2000u64),
         ],
         1..4,
@@ -45,7 +45,11 @@ fn trace_program() -> impl Strategy<Value = TraceProgram> {
         proptest::option::of((accesses(&table), accesses(&table))),
         accesses(&table),
     )
-        .prop_map(|(prefix, fork, suffix)| TraceProgram { prefix, fork, suffix })
+        .prop_map(|(prefix, fork, suffix)| TraceProgram {
+            prefix,
+            fork,
+            suffix,
+        })
 }
 
 /// Builds the DAG exactly as the analysis engine would.

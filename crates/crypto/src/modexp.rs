@@ -43,9 +43,7 @@ impl TableStrategy {
             TableStrategy::Direct => Box::new(DirectTable::new(entries, value_bytes)),
             TableStrategy::AccessAll => Box::new(SecureTable::new(entries, value_bytes)),
             TableStrategy::ScatterGather => Box::new(ScatterGather::new(entries, value_bytes)),
-            TableStrategy::DefensiveGather => {
-                Box::new(DefensiveGather::new(entries, value_bytes))
-            }
+            TableStrategy::DefensiveGather => Box::new(DefensiveGather::new(entries, value_bytes)),
         }
     }
 }
@@ -311,7 +309,9 @@ mod tests {
 
     #[test]
     fn large_operands_512_bits() {
-        let mut limbs: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(0x9e37_79b9) | 1).collect();
+        let mut limbs: Vec<u32> = (0..16u32)
+            .map(|i| i.wrapping_mul(0x9e37_79b9) | 1)
+            .collect();
         limbs[15] |= 0x8000_0000;
         let modulus = Natural::from_limbs(limbs);
         let base = nat("123456789abcdef0fedcba9876543210");
@@ -372,7 +372,12 @@ mod tests {
         let base = nat("12345");
         let exp = nat("ffffffffffffffffffffffffffffff");
         let (_, fixed) = counters::measure(|| {
-            modexp(&base, &exp, &modulus, Algorithm::Windowed(TableStrategy::Direct))
+            modexp(
+                &base,
+                &exp,
+                &modulus,
+                Algorithm::Windowed(TableStrategy::Direct),
+            )
         });
         let (_, sliding) = counters::measure(|| {
             sliding_window(&base, &exp, &modulus, TableStrategy::Direct, WINDOW_BITS)

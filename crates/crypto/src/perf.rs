@@ -67,7 +67,11 @@ pub struct RetrievalMeasurement {
 
 /// Measures the multi-precision-integer retrieval step alone (paper
 /// Fig. 16b compares scatter/gather vs access-all vs defensive gather).
-pub fn measure_retrieval(rng: &mut impl Rng, value_bytes: usize, samples: usize) -> Vec<RetrievalMeasurement> {
+pub fn measure_retrieval(
+    rng: &mut impl Rng,
+    value_bytes: usize,
+    samples: usize,
+) -> Vec<RetrievalMeasurement> {
     let entries = 1 << WINDOW_BITS;
     [
         TableStrategy::ScatterGather,
@@ -116,12 +120,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(16);
         let rows = measure_modexp(&mut rng, 256, 2);
         assert_eq!(rows.len(), 6);
-        let ops = |alg: Algorithm| {
-            rows.iter()
-                .find(|r| r.algorithm == alg)
-                .unwrap()
-                .limb_ops
-        };
+        let ops = |alg: Algorithm| rows.iter().find(|r| r.algorithm == alg).unwrap().limb_ops;
         let sm = ops(Algorithm::SquareAndMultiply);
         let always = ops(Algorithm::SquareAndAlwaysMultiply);
         // Paper Fig. 16a: 90.3M vs 120.6M instructions ≈ 1.33×.
@@ -148,9 +147,8 @@ mod tests {
     fn fig16b_shape_retrieval_cost_ordering() {
         let mut rng = StdRng::seed_from_u64(17);
         let rows = measure_retrieval(&mut rng, 384, 64);
-        let touched = |s: TableStrategy| {
-            rows.iter().find(|r| r.strategy == s).unwrap().bytes_touched
-        };
+        let touched =
+            |s: TableStrategy| rows.iter().find(|r| r.strategy == s).unwrap().bytes_touched;
         // Paper Fig. 16b: 2991 < 8618 < 13040 instructions. Byte touches:
         // 384 < 3072 (with one mask op each) < 3072 (with mask per byte).
         assert_eq!(touched(TableStrategy::ScatterGather), 384);

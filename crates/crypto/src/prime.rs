@@ -123,9 +123,15 @@ mod tests {
     #[test]
     fn mersenne_prime_127() {
         let mut r = rng();
-        let m127 = Natural::one().shl_bits(127).checked_sub(&Natural::one()).unwrap();
+        let m127 = Natural::one()
+            .shl_bits(127)
+            .checked_sub(&Natural::one())
+            .unwrap();
         assert!(is_probable_prime(&m127, 12, &mut r));
-        let m128 = Natural::one().shl_bits(128).checked_sub(&Natural::one()).unwrap();
+        let m128 = Natural::one()
+            .shl_bits(128)
+            .checked_sub(&Natural::one())
+            .unwrap();
         assert!(!is_probable_prime(&m128, 12, &mut r));
     }
 

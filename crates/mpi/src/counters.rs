@@ -110,7 +110,10 @@ mod tests {
         reset();
         let a = Natural::from_hex("ffffffffffffffffffffffff").unwrap();
         let _ = &a * &a;
-        assert!(snapshot().limb_muls >= 9, "3x3 limbs should record >= 9 muls");
+        assert!(
+            snapshot().limb_muls >= 9,
+            "3x3 limbs should record >= 9 muls"
+        );
     }
 
     #[test]

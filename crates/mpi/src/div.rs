@@ -76,9 +76,7 @@ fn knuth_d(n: &[u32], d: &[u32]) -> (Vec<u32>, Vec<u32>) {
         let numerator = (u64::from(un[j + dlen]) << 32) | u64::from(un[j + dlen - 1]);
         let mut qhat = numerator / d_top;
         let mut rhat = numerator % d_top;
-        while qhat >= 1u64 << 32
-            || qhat * d_second > ((rhat << 32) | u64::from(un[j + dlen - 2]))
-        {
+        while qhat >= 1u64 << 32 || qhat * d_second > ((rhat << 32) | u64::from(un[j + dlen - 2])) {
             qhat -= 1;
             rhat += d_top;
             if rhat >= 1u64 << 32 {
@@ -188,8 +186,16 @@ mod tests {
 
     #[test]
     fn large_structured_operands() {
-        let a = Natural::from_limbs((0..97u32).map(|i| i.wrapping_mul(0x1234_5677) | 1).collect());
-        let b = Natural::from_limbs((0..13u32).map(|i| i.wrapping_mul(0x0bad_f00d) | 1).collect());
+        let a = Natural::from_limbs(
+            (0..97u32)
+                .map(|i| i.wrapping_mul(0x1234_5677) | 1)
+                .collect(),
+        );
+        let b = Natural::from_limbs(
+            (0..13u32)
+                .map(|i| i.wrapping_mul(0x0bad_f00d) | 1)
+                .collect(),
+        );
         check(&a, &b);
         check(&(&a * &b), &b);
         let (q, r) = (&a * &b).div_rem(&b);

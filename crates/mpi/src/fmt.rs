@@ -136,14 +136,25 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             assert_eq!(Natural::from_hex(s).unwrap().to_hex(), s);
         }
     }
 
     #[test]
     fn decimal_round_trip() {
-        for s in ["0", "7", "4294967296", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "7",
+            "4294967296",
+            "340282366920938463463374607431768211456",
+        ] {
             assert_eq!(s.parse::<Natural>().unwrap().to_string(), s);
         }
     }

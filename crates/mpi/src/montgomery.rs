@@ -94,11 +94,10 @@ impl Montgomery {
             let ai = u64::from(a_limbs.get(i).copied().unwrap_or(0));
             // t += ai * b
             let mut carry = 0u64;
-            for j in 0..n {
-                let s = u64::from(t[j])
-                    + ai * u64::from(b_limbs.get(j).copied().unwrap_or(0))
-                    + carry;
-                t[j] = s as u32;
+            for (j, tj) in t.iter_mut().enumerate().take(n) {
+                let s =
+                    u64::from(*tj) + ai * u64::from(b_limbs.get(j).copied().unwrap_or(0)) + carry;
+                *tj = s as u32;
                 carry = s >> 32;
             }
             let s = u64::from(t[n]) + carry;
@@ -191,7 +190,9 @@ mod tests {
     #[test]
     fn pow_large_modulus() {
         // 512-bit odd modulus.
-        let mut limbs: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(0x0f1e_2d3c) | 1).collect();
+        let mut limbs: Vec<u32> = (0..16u32)
+            .map(|i| i.wrapping_mul(0x0f1e_2d3c) | 1)
+            .collect();
         limbs[15] |= 0x8000_0000;
         let modulus = Natural::from_limbs(limbs);
         let m = Montgomery::new(modulus.clone()).unwrap();

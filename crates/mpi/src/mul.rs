@@ -99,8 +99,8 @@ fn sub_slices(a: &[u32], b: &[u32]) -> Vec<u32> {
     counters::record_adds(a.len() as u64);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0i64;
-    for i in 0..a.len() {
-        let d = i64::from(a[i]) - i64::from(*b.get(i).unwrap_or(&0)) - borrow;
+    for (i, &ai) in a.iter().enumerate() {
+        let d = i64::from(ai) - i64::from(*b.get(i).unwrap_or(&0)) - borrow;
         if d < 0 {
             out.push((d + (1i64 << 32)) as u32);
             borrow = 1;
@@ -146,8 +146,12 @@ mod tests {
     #[test]
     fn karatsuba_agrees_with_schoolbook() {
         // Two 80-limb operands (above threshold) with a recognizable pattern.
-        let a: Vec<u32> = (0..80u32).map(|i| i.wrapping_mul(0x9e37_79b9) | 1).collect();
-        let b: Vec<u32> = (0..80u32).map(|i| i.wrapping_mul(0x85eb_ca6b) | 1).collect();
+        let a: Vec<u32> = (0..80u32)
+            .map(|i| i.wrapping_mul(0x9e37_79b9) | 1)
+            .collect();
+        let b: Vec<u32> = (0..80u32)
+            .map(|i| i.wrapping_mul(0x85eb_ca6b) | 1)
+            .collect();
         let kara = Natural::from_limbs(karatsuba(&a, &b));
         let school = Natural::from_limbs(schoolbook(&a, &b));
         assert_eq!(kara, school);

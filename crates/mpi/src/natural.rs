@@ -86,11 +86,7 @@ impl Natural {
     /// Serializes to little-endian bytes without trailing zeros
     /// (zero serializes to an empty vector).
     pub fn to_le_bytes(&self) -> Vec<u8> {
-        let mut out: Vec<u8> = self
-            .limbs
-            .iter()
-            .flat_map(|l| l.to_le_bytes())
-            .collect();
+        let mut out: Vec<u8> = self.limbs.iter().flat_map(|l| l.to_le_bytes()).collect();
         while out.last() == Some(&0) {
             out.pop();
         }
@@ -180,8 +176,8 @@ impl Natural {
         counters::record_adds(long.len() as u64);
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let sum = u64::from(long[i]) + u64::from(*short.get(i).unwrap_or(&0)) + carry;
+        for (i, &li) in long.iter().enumerate() {
+            let sum = u64::from(li) + u64::from(*short.get(i).unwrap_or(&0)) + carry;
             out.push(sum as u32);
             carry = sum >> LIMB_BITS;
         }

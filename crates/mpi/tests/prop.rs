@@ -10,11 +10,8 @@ fn nat(v: u128) -> Natural {
 
 /// Strategy for naturals of up to ~20 limbs with interesting bit patterns.
 fn big_natural() -> impl Strategy<Value = Natural> {
-    proptest::collection::vec(
-        prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()],
-        0..20,
-    )
-    .prop_map(Natural::from_limbs)
+    proptest::collection::vec(prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()], 0..20)
+        .prop_map(Natural::from_limbs)
 }
 
 proptest! {

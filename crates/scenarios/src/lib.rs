@@ -41,10 +41,71 @@ pub mod scatter_gather;
 pub mod square_always;
 pub mod square_multiply;
 
+use std::fmt;
+
 use leakaudit_analyzer::{
-    Analysis, AnalysisConfig, AnalysisError, AnalysisTarget, InitState, LeakReport,
+    Analysis, AnalysisConfig, AnalysisError, AnalysisTarget, BatchAnalysis, BatchJob, BatchReport,
+    InitState, LeakReport,
 };
 use leakaudit_x86::{EmuError, EmuTrace, Emulator, Program, Reg};
+
+/// Error produced when running a scenario's concrete cases.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The emulator failed (bad memory access, undecodable code, …).
+    Emu(EmuError),
+    /// The run completed but a functional post-condition does not hold:
+    /// the countermeasure mis-copied.
+    PostCondition {
+        /// The scenario's name.
+        scenario: &'static str,
+        /// The concrete case's label.
+        case: String,
+        /// Base address of the violated `expect_mem` range.
+        addr: u32,
+        /// Offset of the first mismatching byte within the range.
+        offset: usize,
+        /// The byte the countermeasure should have produced.
+        expected: u8,
+        /// The byte actually found in emulated memory.
+        actual: u8,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Emu(e) => write!(f, "emulation failed: {e}"),
+            ScenarioError::PostCondition {
+                scenario,
+                case,
+                addr,
+                offset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{scenario}: {case}: post-condition failed at {addr:#x}+{offset}: \
+                 expected {expected:#04x}, found {actual:#04x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Emu(e) => Some(e),
+            ScenarioError::PostCondition { .. } => None,
+        }
+    }
+}
+
+impl From<EmuError> for ScenarioError {
+    fn from(e: EmuError) -> Self {
+        ScenarioError::Emu(e)
+    }
+}
 
 /// The paper's expected leakage numbers for one scenario, in bits, for the
 /// `[address, block, b-block]` observer columns of Figs. 7/8/14.
@@ -98,6 +159,12 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// The analyzer configuration matching this scenario's architecture
+    /// (cache-line bits, default everything else).
+    pub fn analysis_config(&self) -> AnalysisConfig {
+        AnalysisConfig::with_block_bits(self.block_bits)
+    }
+
     /// Runs the static analysis with this scenario's architecture
     /// parameters.
     ///
@@ -105,20 +172,22 @@ impl Scenario {
     ///
     /// Propagates [`AnalysisError`] from the analyzer.
     pub fn analyze(&self) -> Result<LeakReport, AnalysisError> {
-        Analysis::new(AnalysisConfig::with_block_bits(self.block_bits)).run(self)
+        Analysis::new(self.analysis_config()).run(self)
+    }
+
+    /// This scenario as one unit of batch work (see [`analyze_all`]).
+    pub fn batch_job(&self) -> BatchJob<'_> {
+        BatchJob::new(self.name, self.analysis_config(), self)
     }
 
     /// Runs one concrete case in the emulator, returning its memory trace.
     ///
     /// # Errors
     ///
-    /// Propagates [`EmuError`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a functional post-condition fails (the countermeasure
-    /// mis-copied).
-    pub fn emulate(&self, case: &ConcreteCase) -> Result<EmuTrace, EmuError> {
+    /// Returns [`ScenarioError::Emu`] when emulation fails and
+    /// [`ScenarioError::PostCondition`] when the run completes but the
+    /// countermeasure produced the wrong memory contents.
+    pub fn emulate(&self, case: &ConcreteCase) -> Result<EmuTrace, ScenarioError> {
         let mut emu = Emulator::new(&self.program);
         for &(r, v) in &case.regs {
             emu.set_reg(r, v);
@@ -129,14 +198,17 @@ impl Scenario {
         let trace = emu.run(1_000_000)?;
         for (addr, expected) in &case.expect_mem {
             for (i, &b) in expected.iter().enumerate() {
-                assert_eq!(
-                    emu.read_u8(addr + i as u32),
-                    b,
-                    "{}: {} post-condition failed at {:#x}+{i}",
-                    self.name,
-                    case.label,
-                    addr
-                );
+                let actual = emu.read_u8(addr + i as u32);
+                if actual != b {
+                    return Err(ScenarioError::PostCondition {
+                        scenario: self.name,
+                        case: case.label.clone(),
+                        addr: *addr,
+                        offset: i,
+                        expected: b,
+                        actual,
+                    });
+                }
             }
         }
         Ok(trace)
@@ -144,7 +216,11 @@ impl Scenario {
 
     /// The number of distinct heap layouts covered by [`Scenario::cases`].
     pub fn layout_count(&self) -> usize {
-        self.cases.iter().map(|c| c.layout).max().map_or(0, |m| m + 1)
+        self.cases
+            .iter()
+            .map(|c| c.layout)
+            .max()
+            .map_or(0, |m| m + 1)
     }
 }
 
@@ -172,6 +248,21 @@ pub fn all() -> Vec<Scenario> {
     ]
 }
 
+/// Analyzes a set of scenarios in parallel through
+/// [`leakaudit_analyzer::BatchAnalysis`], each under its own
+/// architecture parameters. Outcomes come back in input order and are
+/// bit-identical to per-scenario [`Scenario::analyze`] calls.
+///
+/// ```
+/// let scenarios = leakaudit_scenarios::all();
+/// let batch = leakaudit_scenarios::analyze_all(&scenarios);
+/// assert_eq!(batch.outcomes().len(), 8);
+/// assert_eq!(batch.errors().count(), 0);
+/// ```
+pub fn analyze_all(scenarios: &[Scenario]) -> BatchReport {
+    BatchAnalysis::new().run(scenarios.iter().map(Scenario::batch_job).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +275,47 @@ mod tests {
             assert!(!s.cases.is_empty(), "{} has no concrete cases", s.name);
             assert!(s.layout_count() >= 2, "{} needs >=2 heap layouts", s.name);
             assert!(s.program.decode_at(s.program.entry()).is_ok());
+        }
+    }
+
+    #[test]
+    fn post_condition_failure_is_an_error_not_a_panic() {
+        let s = scatter_gather::openssl_102f();
+        let mut case = s.cases[0].clone();
+        // First make sure the pristine case passes...
+        s.emulate(&case).expect("pristine case must pass");
+        // ...then corrupt one expected byte and demand a structured error.
+        let (addr, bytes) = case
+            .expect_mem
+            .first_mut()
+            .expect("scatter/gather checks the gathered value");
+        bytes[0] ^= 0xff;
+        let (addr, expected) = (*addr, bytes[0]);
+        match s.emulate(&case) {
+            Err(ScenarioError::PostCondition {
+                scenario,
+                addr: got_addr,
+                offset,
+                expected: got_expected,
+                ..
+            }) => {
+                assert_eq!(scenario, s.name);
+                assert_eq!(got_addr, addr);
+                assert_eq!(offset, 0);
+                assert_eq!(got_expected, expected);
+            }
+            other => panic!("expected PostCondition error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_analyze_all_covers_every_scenario() {
+        let scenarios = all();
+        let batch = analyze_all(&scenarios);
+        assert_eq!(batch.outcomes().len(), scenarios.len());
+        assert_eq!(batch.errors().count(), 0);
+        for (s, outcome) in scenarios.iter().zip(batch.outcomes()) {
+            assert_eq!(outcome.name, s.name);
         }
     }
 

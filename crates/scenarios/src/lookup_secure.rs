@@ -61,7 +61,10 @@ pub fn libgcrypt_163() -> Scenario {
     let r = init.fresh_heap_pointer("r");
     init.set_reg(Reg::Ebx, ValueSet::singleton(p));
     init.set_reg(Reg::Edi, ValueSet::singleton(r));
-    init.set_reg(Reg::Ecx, ValueSet::from_constants(0..u64::from(ENTRIES), 32));
+    init.set_reg(
+        Reg::Ecx,
+        ValueSet::from_constants(0..u64::from(ENTRIES), 32),
+    );
 
     let mut cases = Vec::new();
     for (layout, (p_base, r_base)) in [(0x080e_c000u32, 0x080e_b000u32), (0x0920_0100, 0x0910_0040)]
@@ -84,11 +87,7 @@ pub fn libgcrypt_163() -> Scenario {
             cases.push(ConcreteCase {
                 label: format!("k={k}, layout {layout}"),
                 layout,
-                regs: vec![
-                    (Reg::Ebx, p_base),
-                    (Reg::Edi, r_base),
-                    (Reg::Ecx, k),
-                ],
+                regs: vec![(Reg::Ebx, p_base), (Reg::Edi, r_base), (Reg::Ecx, k)],
                 bytes,
                 expect_mem: vec![(r_base, expected)],
             });

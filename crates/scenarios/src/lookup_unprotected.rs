@@ -186,9 +186,7 @@ mod tests {
         assert!((report.dcache_bits(Observer::address()) - 50f64.log2()).abs() < 1e-9);
         // 1 + 2·2 = 5 observations → 2.32 ≈ "2.3 bit".
         assert!((report.dcache_bits(Observer::block(6)) - 5f64.log2()).abs() < 1e-9);
-        assert!(
-            (report.dcache_bits(Observer::block(6).stuttering()) - 5f64.log2()).abs() < 1e-9
-        );
+        assert!((report.dcache_bits(Observer::block(6).stuttering()) - 5f64.log2()).abs() < 1e-9);
     }
 
     #[test]

@@ -51,12 +51,16 @@ pub fn openssl_102f() -> Scenario {
     let r = init.fresh_heap_pointer("r");
     init.set_reg(Reg::Eax, ValueSet::singleton(buf));
     init.set_reg(Reg::Edi, ValueSet::singleton(r));
-    init.set_reg(Reg::Ecx, ValueSet::from_constants(0..u64::from(SPACING), 32));
+    init.set_reg(
+        Reg::Ecx,
+        ValueSet::from_constants(0..u64::from(SPACING), 32),
+    );
 
     let mut cases = Vec::new();
-    for (layout, (buf_raw, r_base)) in [(0x080e_b0c4u32, 0x080e_a000u32), (0x0910_0011, 0x0920_0100)]
-        .into_iter()
-        .enumerate()
+    for (layout, (buf_raw, r_base)) in
+        [(0x080e_b0c4u32, 0x080e_a000u32), (0x0910_0011, 0x0920_0100)]
+            .into_iter()
+            .enumerate()
     {
         let aligned = buf_raw - (buf_raw & 63) + 64;
         for k in 0..SPACING {
@@ -130,12 +134,16 @@ pub fn openssl_102f_unaligned() -> Scenario {
     let r = init.fresh_heap_pointer("r");
     init.set_reg(Reg::Eax, ValueSet::singleton(buf));
     init.set_reg(Reg::Edi, ValueSet::singleton(r));
-    init.set_reg(Reg::Ecx, ValueSet::from_constants(0..u64::from(SPACING), 32));
+    init.set_reg(
+        Reg::Ecx,
+        ValueSet::from_constants(0..u64::from(SPACING), 32),
+    );
 
     let mut cases = Vec::new();
-    for (layout, (buf_raw, r_base)) in [(0x080e_b0c4u32, 0x080e_a000u32), (0x0910_0011, 0x0920_0100)]
-        .into_iter()
-        .enumerate()
+    for (layout, (buf_raw, r_base)) in
+        [(0x080e_b0c4u32, 0x080e_a000u32), (0x0910_0011, 0x0920_0100)]
+            .into_iter()
+            .enumerate()
     {
         for k in 0..SPACING {
             let mut bytes = Vec::new();

@@ -120,7 +120,7 @@ pub fn libgcrypt_153_o0() -> Scenario {
     a.mov(Reg::Eax, Mem::base_disp(Reg::Ebp, -0x10)); // load e_i from stack
     a.test(Reg::Eax, Reg::Eax);
     a.je("merge"); // e_i = 0: skip the copy
-    // -O0 copy: r <-> tmp through stack slots, crossing into 0x5d060.
+                   // -O0 copy: r <-> tmp through stack slots, crossing into 0x5d060.
     a.mov(Reg::Eax, Mem::base_disp(Reg::Ebp, -0x14));
     a.mov(Mem::base_disp(Reg::Ebp, -0x20), Reg::Eax);
     a.mov(Reg::Eax, Mem::base_disp(Reg::Ebp, -0x18));

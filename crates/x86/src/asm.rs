@@ -103,12 +103,24 @@ impl From<u32> for Target {
 #[derive(Debug, Clone)]
 enum Item {
     Inst(Inst),
-    Jmp { target: Target, short: bool },
-    Jcc { cond: Cond, target: Target, short: bool },
-    Call { target: Target },
+    Jmp {
+        target: Target,
+        short: bool,
+    },
+    Jcc {
+        cond: Cond,
+        target: Target,
+        short: bool,
+    },
+    Call {
+        target: Target,
+    },
     Label(String),
     Bytes(Vec<u8>),
-    Align { to: u32, fill: u8 },
+    Align {
+        to: u32,
+        fill: u8,
+    },
 }
 
 /// The two-pass assembler; see the crate-level example.
@@ -128,7 +140,11 @@ impl Asm {
     }
 
     fn push(&mut self, item: Item) -> &mut Self {
-        self.sections.last_mut().expect("at least one section").1.push(item);
+        self.sections
+            .last_mut()
+            .expect("at least one section")
+            .1
+            .push(item);
         self
     }
 
@@ -312,25 +328,39 @@ impl Asm {
     /// Short unconditional jump to a label or absolute address.
     pub fn jmp<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
         let target = target.into().resolve();
-        self.push(Item::Jmp { target, short: true })
+        self.push(Item::Jmp {
+            target,
+            short: true,
+        })
     }
 
     /// Near (rel32) unconditional jump.
     pub fn jmp_near<'a>(&mut self, target: impl Into<TargetArg<'a>>) -> &mut Self {
         let target = target.into().resolve();
-        self.push(Item::Jmp { target, short: false })
+        self.push(Item::Jmp {
+            target,
+            short: false,
+        })
     }
 
     /// Short conditional jump.
     pub fn jcc<'a>(&mut self, cond: Cond, target: impl Into<TargetArg<'a>>) -> &mut Self {
         let target = target.into().resolve();
-        self.push(Item::Jcc { cond, target, short: true })
+        self.push(Item::Jcc {
+            cond,
+            target,
+            short: true,
+        })
     }
 
     /// Near conditional jump.
     pub fn jcc_near<'a>(&mut self, cond: Cond, target: impl Into<TargetArg<'a>>) -> &mut Self {
         let target = target.into().resolve();
-        self.push(Item::Jcc { cond, target, short: false })
+        self.push(Item::Jcc {
+            cond,
+            target,
+            short: false,
+        })
     }
 
     /// `je target`.
@@ -442,9 +472,19 @@ impl Asm {
                     Item::Inst(i) => bytes.extend(encode(i, addr)?),
                     Item::Jmp { target, short } => {
                         let t = resolve(target)?;
-                        bytes.extend(encode(&Inst::Jmp { target: t, short: *short }, addr)?);
+                        bytes.extend(encode(
+                            &Inst::Jmp {
+                                target: t,
+                                short: *short,
+                            },
+                            addr,
+                        )?);
                     }
-                    Item::Jcc { cond, target, short } => {
+                    Item::Jcc {
+                        cond,
+                        target,
+                        short,
+                    } => {
                         let t = resolve(target)?;
                         bytes.extend(encode(
                             &Inst::Jcc {
@@ -572,7 +612,14 @@ mod tests {
         a.hlt();
         let p = a.assemble().unwrap();
         let (jne, _) = p.decode_at(0x1001).unwrap();
-        assert_eq!(jne, Inst::Jcc { cond: Cond::Ne, target: 0x1000, short: true });
+        assert_eq!(
+            jne,
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: 0x1000,
+                short: true
+            }
+        );
     }
 
     #[test]
@@ -607,7 +654,9 @@ mod tests {
         a.jmp("nowhere");
         assert_eq!(
             a.assemble().unwrap_err(),
-            AsmError::UndefinedLabel { name: "nowhere".to_string() }
+            AsmError::UndefinedLabel {
+                name: "nowhere".to_string()
+            }
         );
     }
 

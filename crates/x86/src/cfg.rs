@@ -25,10 +25,7 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// Address one past the last instruction byte.
     pub fn end(&self) -> u32 {
-        self.insts
-            .last()
-            .map(|&(a, _)| a)
-            .unwrap_or(self.start)
+        self.insts.last().map(|&(a, _)| a).unwrap_or(self.start)
     }
 }
 

@@ -218,7 +218,12 @@ pub fn decode(bytes: &[u8], addr: u32) -> Result<(Inst, u32), DecodeError> {
                         dst: c.reg8(modrm & 7)?,
                     }
                 }
-                _ => return Err(DecodeError::UnknownOpcode { opcode: op2, at: addr }),
+                _ => {
+                    return Err(DecodeError::UnknownOpcode {
+                        opcode: op2,
+                        at: addr,
+                    })
+                }
             }
         }
         0x88 => {
@@ -263,7 +268,10 @@ pub fn decode(bytes: &[u8], addr: u32) -> Result<(Inst, u32), DecodeError> {
         0xc7 => {
             let (digit, rm) = c.modrm()?;
             if digit != 0 {
-                return Err(DecodeError::UnknownOpcode { opcode: op, at: addr });
+                return Err(DecodeError::UnknownOpcode {
+                    opcode: op,
+                    at: addr,
+                });
             }
             Inst::Mov {
                 dst: rm,
@@ -272,8 +280,10 @@ pub fn decode(bytes: &[u8], addr: u32) -> Result<(Inst, u32), DecodeError> {
         }
         0x81 | 0x83 => {
             let (digit, rm) = c.modrm()?;
-            let alu = AluOp::from_code(digit)
-                .ok_or(DecodeError::UnknownOpcode { opcode: op, at: addr })?;
+            let alu = AluOp::from_code(digit).ok_or(DecodeError::UnknownOpcode {
+                opcode: op,
+                at: addr,
+            })?;
             let imm = if op == 0x83 {
                 c.i8()? as i32 as u32
             } else {
@@ -301,7 +311,12 @@ pub fn decode(bytes: &[u8], addr: u32) -> Result<(Inst, u32), DecodeError> {
                 },
                 2 => Inst::Not { dst: rm },
                 3 => Inst::Neg { dst: rm },
-                _ => return Err(DecodeError::UnknownOpcode { opcode: op, at: addr }),
+                _ => {
+                    return Err(DecodeError::UnknownOpcode {
+                        opcode: op,
+                        at: addr,
+                    })
+                }
             }
         }
         0x69 | 0x6b => {
@@ -319,8 +334,10 @@ pub fn decode(bytes: &[u8], addr: u32) -> Result<(Inst, u32), DecodeError> {
         }
         0xc1 => {
             let (digit, rm) = c.modrm()?;
-            let shift = ShiftOp::from_code(digit)
-                .ok_or(DecodeError::UnknownOpcode { opcode: op, at: addr })?;
+            let shift = ShiftOp::from_code(digit).ok_or(DecodeError::UnknownOpcode {
+                opcode: op,
+                at: addr,
+            })?;
             Inst::Shift {
                 op: shift,
                 dst: rm,
@@ -394,7 +411,12 @@ pub fn decode(bytes: &[u8], addr: u32) -> Result<(Inst, u32), DecodeError> {
                     },
                 }
             }
-            None => return Err(DecodeError::UnknownOpcode { opcode: op, at: addr }),
+            None => {
+                return Err(DecodeError::UnknownOpcode {
+                    opcode: op,
+                    at: addr,
+                })
+            }
         },
     };
     Ok((inst, c.pos as u32))
@@ -409,7 +431,11 @@ mod tests {
     fn decodes_example_9_sequence() {
         // The libgcrypt 1.5.3 snippet of paper Ex. 9.
         let code: Vec<(u32, Vec<u8>, &str)> = vec![
-            (0x41a90, vec![0x8b, 0x84, 0x24, 0x80, 0x00, 0x00, 0x00], "mov eax, dword [esp+0x80]"),
+            (
+                0x41a90,
+                vec![0x8b, 0x84, 0x24, 0x80, 0x00, 0x00, 0x00],
+                "mov eax, dword [esp+0x80]",
+            ),
             (0x41a97, vec![0x85, 0xc0], "test eax, eax"),
             (0x41a99, vec![0x75, 0x06], "jne 0x41aa1"),
             (0x41a9b, vec![0x89, 0xe8], "mov eax, ebp"),
@@ -421,7 +447,11 @@ mod tests {
             let (inst, len) = decode(&bytes, addr).unwrap();
             assert_eq!(inst.to_string(), text);
             assert_eq!(len as usize, bytes.len());
-            assert_eq!(encode(&inst, addr).unwrap(), bytes, "round trip at {addr:#x}");
+            assert_eq!(
+                encode(&inst, addr).unwrap(),
+                bytes,
+                "round trip at {addr:#x}"
+            );
         }
     }
 
@@ -458,6 +488,12 @@ mod tests {
     fn backward_short_jump() {
         // jmp back by 16: EB F0 at 0x100 targets 0x102 - 16 = 0xf2.
         let (inst, _) = decode(&[0xeb, 0xf0], 0x100).unwrap();
-        assert_eq!(inst, Inst::Jmp { target: 0xf2, short: true });
+        assert_eq!(
+            inst,
+            Inst::Jmp {
+                target: 0xf2,
+                short: true
+            }
+        );
     }
 }

@@ -731,7 +731,7 @@ mod tests {
             a.mov(Reg::Ebx, 0x8000_0000u32);
             a.shr(Reg::Ebx, 31);
         });
-        assert_eq!(emu.reg(Reg::Eax), 0b1011_000);
+        assert_eq!(emu.reg(Reg::Eax), 0b101_1000);
         assert_eq!(emu.reg(Reg::Ebx), 1);
     }
 
@@ -742,7 +742,10 @@ mod tests {
         a.jmp("spin");
         let p = a.assemble().unwrap();
         let mut emu = Emulator::new(&p);
-        assert!(matches!(emu.run(10), Err(EmuError::OutOfFuel { steps: 10 })));
+        assert!(matches!(
+            emu.run(10),
+            Err(EmuError::OutOfFuel { steps: 10 })
+        ));
     }
 
     #[test]

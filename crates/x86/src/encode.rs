@@ -50,7 +50,12 @@ fn invalid(inst: &Inst) -> EncodeError {
 
 /// Appends the ModRM (and SIB/displacement) bytes for `reg_field` and an
 /// r/m operand.
-fn put_modrm(out: &mut Vec<u8>, reg_field: u8, rm: &Operand, inst: &Inst) -> Result<(), EncodeError> {
+fn put_modrm(
+    out: &mut Vec<u8>,
+    reg_field: u8,
+    rm: &Operand,
+    inst: &Inst,
+) -> Result<(), EncodeError> {
     match rm {
         Operand::Reg(r) => {
             out.push(0b11 << 6 | reg_field << 3 | r.code());
@@ -108,11 +113,20 @@ fn put_modrm_mem(out: &mut Vec<u8>, reg_field: u8, m: &Mem) -> Result<(), Encode
     Ok(())
 }
 
-fn rel_to(out: &mut Vec<u8>, addr: u32, total_len: u32, target: u32, short: bool) -> Result<(), EncodeError> {
+fn rel_to(
+    out: &mut Vec<u8>,
+    addr: u32,
+    total_len: u32,
+    target: u32,
+    short: bool,
+) -> Result<(), EncodeError> {
     let rel = target.wrapping_sub(addr.wrapping_add(total_len)) as i32;
     if short {
         if i8::try_from(rel).is_err() {
-            return Err(EncodeError::JumpOutOfRange { from: addr, to: target });
+            return Err(EncodeError::JumpOutOfRange {
+                from: addr,
+                to: target,
+            });
         }
         out.push(rel as u8);
     } else {
@@ -271,7 +285,11 @@ pub fn encode(inst: &Inst, addr: u32) -> Result<Vec<u8>, EncodeError> {
                 rel_to(&mut out, addr, 5, target, false)?;
             }
         }
-        Inst::Jcc { cond, target, short } => {
+        Inst::Jcc {
+            cond,
+            target,
+            short,
+        } => {
             if short {
                 out.push(0x70 + cond.code());
                 rel_to(&mut out, addr, 2, target, true)?;
@@ -308,8 +326,15 @@ pub fn encoded_len(inst: &Inst, addr: u32) -> Result<u32, EncodeError> {
     // Length never depends on addr except for out-of-range short jumps;
     // encode with a dummy in-range target to measure.
     let measurable = match *inst {
-        Inst::Jmp { short, .. } => Inst::Jmp { target: addr, short },
-        Inst::Jcc { cond, short, .. } => Inst::Jcc { cond, target: addr, short },
+        Inst::Jmp { short, .. } => Inst::Jmp {
+            target: addr,
+            short,
+        },
+        Inst::Jcc { cond, short, .. } => Inst::Jcc {
+            cond,
+            target: addr,
+            short,
+        },
         Inst::Call { .. } => Inst::Call { target: addr },
         other => other,
     };
@@ -488,7 +513,14 @@ mod tests {
 
     #[test]
     fn setcc_and_cmov() {
-        let sete = encode(&Inst::Setcc { cond: Cond::E, dst: Reg8::Al }, 0).unwrap();
+        let sete = encode(
+            &Inst::Setcc {
+                cond: Cond::E,
+                dst: Reg8::Al,
+            },
+            0,
+        )
+        .unwrap();
         assert_eq!(sete, vec![0x0f, 0x94, 0xc0]);
         let cmove = encode(
             &Inst::Cmovcc {
@@ -523,8 +555,14 @@ mod tests {
         let insts = [
             Inst::Nop,
             Inst::Ret,
-            Inst::Jmp { target: 0x110, short: true },
-            Inst::Jmp { target: 0x12345, short: false },
+            Inst::Jmp {
+                target: 0x110,
+                short: true,
+            },
+            Inst::Jmp {
+                target: 0x12345,
+                short: false,
+            },
             Inst::Call { target: 0x400 },
             Inst::Mov {
                 dst: Reg::Eax.into(),

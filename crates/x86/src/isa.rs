@@ -548,7 +548,11 @@ impl fmt::Display for Inst {
                 src,
                 imm: Some(i),
             } => write!(f, "imul {dst}, {src}, {i}"),
-            Inst::Imul { dst, src, imm: None } => write!(f, "imul {dst}, {src}"),
+            Inst::Imul {
+                dst,
+                src,
+                imm: None,
+            } => write!(f, "imul {dst}, {src}"),
             Inst::Shift { op, dst, amount } => {
                 write!(f, "{} {dst}, {amount}", op.mnemonic())
             }
@@ -625,7 +629,10 @@ mod tests {
             .to_string(),
             "and eax, 0xffffffc0"
         );
-        assert_eq!(Mem::sib(Reg::Ebx, Reg::Ecx, 4, -8).to_string(), "[ebx+ecx*4-0x8]");
+        assert_eq!(
+            Mem::sib(Reg::Ebx, Reg::Ecx, 4, -8).to_string(),
+            "[ebx+ecx*4-0x8]"
+        );
         assert_eq!(Mem::abs(0x80eb140).to_string(), "[0x80eb140]");
     }
 

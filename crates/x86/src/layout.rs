@@ -21,7 +21,10 @@ use crate::program::Program;
 ///
 /// Panics if `block_bytes` is not a power of two.
 pub fn render_code_layout(program: &Program, start: u32, end: u32, block_bytes: u32) -> String {
-    assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    assert!(
+        block_bytes.is_power_of_two(),
+        "block size must be a power of two"
+    );
     let mut out = String::new();
     // Collect jump targets within the range for annotation.
     let mut targets: BTreeSet<u32> = BTreeSet::new();
@@ -29,7 +32,10 @@ pub fn render_code_layout(program: &Program, start: u32, end: u32, block_bytes: 
     while pc < end {
         match program.decode_at(pc) {
             Ok((inst, len)) => {
-                if matches!(inst, Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. }) {
+                if matches!(
+                    inst,
+                    Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. }
+                ) {
                     let (succs, _) = successors(&inst, pc, len);
                     for s in succs {
                         if (start..end).contains(&s) {

@@ -22,8 +22,10 @@ fn cond() -> impl Strategy<Value = Cond> {
 fn mem() -> impl Strategy<Value = Mem> {
     (
         proptest::option::of(reg()),
-        proptest::option::of((reg().prop_filter("no esp index", |r| *r != Reg::Esp),
-            proptest::sample::select(vec![1u8, 2, 4, 8]))),
+        proptest::option::of((
+            reg().prop_filter("no esp index", |r| *r != Reg::Esp),
+            proptest::sample::select(vec![1u8, 2, 4, 8]),
+        )),
         any::<i32>(),
     )
         .prop_map(|(base, index, disp)| Mem { base, index, disp })
@@ -57,20 +59,48 @@ fn inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Nop),
         Just(Inst::Hlt),
         Just(Inst::Ret),
-        (reg().prop_map(Operand::Reg), operand()).prop_filter_map("mov forms", |(dst, src)| {
-            Some(Inst::Mov { dst, src })
-        }),
-        (mem(), prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)])
-            .prop_map(|(m, src)| Inst::Mov { dst: Operand::Mem(m), src }),
+        (reg().prop_map(Operand::Reg), operand())
+            .prop_filter_map("mov forms", |(dst, src)| { Some(Inst::Mov { dst, src }) }),
+        (
+            mem(),
+            prop_oneof![
+                reg().prop_map(Operand::Reg),
+                any::<u32>().prop_map(Operand::Imm)
+            ]
+        )
+            .prop_map(|(m, src)| Inst::Mov {
+                dst: Operand::Mem(m),
+                src
+            }),
         (mem(), reg8()).prop_map(|(dst, src)| Inst::MovStoreB { dst, src }),
         (reg8(), mem()).prop_map(|(dst, src)| Inst::MovLoadB { dst, src }),
         (reg(), rm_operand()).prop_map(|(dst, src)| Inst::Movzx { dst, src }),
         (reg(), mem()).prop_map(|(dst, src)| Inst::Lea { dst, src }),
-        (alu_op(), reg().prop_map(Operand::Reg), operand())
-            .prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
-        (alu_op(), mem(), prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)])
-            .prop_map(|(op, m, src)| Inst::Alu { op, dst: Operand::Mem(m), src }),
-        (rm_operand(), prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)])
+        (alu_op(), reg().prop_map(Operand::Reg), operand()).prop_map(|(op, dst, src)| Inst::Alu {
+            op,
+            dst,
+            src
+        }),
+        (
+            alu_op(),
+            mem(),
+            prop_oneof![
+                reg().prop_map(Operand::Reg),
+                any::<u32>().prop_map(Operand::Imm)
+            ]
+        )
+            .prop_map(|(op, m, src)| Inst::Alu {
+                op,
+                dst: Operand::Mem(m),
+                src
+            }),
+        (
+            rm_operand(),
+            prop_oneof![
+                reg().prop_map(Operand::Reg),
+                any::<u32>().prop_map(Operand::Imm)
+            ]
+        )
             .prop_map(|(a, b)| Inst::Test { a, b }),
         (reg(), rm_operand(), proptest::option::of(any::<i32>()))
             .prop_map(|(dst, src, imm)| Inst::Imul { dst, src, imm }),
@@ -84,11 +114,21 @@ fn inst() -> impl Strategy<Value = Inst> {
         rm_operand().prop_map(|dst| Inst::Neg { dst }),
         reg().prop_map(|dst| Inst::Inc { dst }),
         reg().prop_map(|dst| Inst::Dec { dst }),
-        prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)]
-            .prop_map(|src| Inst::Push { src }),
+        prop_oneof![
+            reg().prop_map(Operand::Reg),
+            any::<u32>().prop_map(Operand::Imm)
+        ]
+        .prop_map(|src| Inst::Push { src }),
         reg().prop_map(|dst| Inst::Pop { dst }),
-        any::<u32>().prop_map(|target| Inst::Jmp { target, short: false }),
-        (cond(), any::<u32>()).prop_map(|(cond, target)| Inst::Jcc { cond, target, short: false }),
+        any::<u32>().prop_map(|target| Inst::Jmp {
+            target,
+            short: false
+        }),
+        (cond(), any::<u32>()).prop_map(|(cond, target)| Inst::Jcc {
+            cond,
+            target,
+            short: false
+        }),
         any::<u32>().prop_map(|target| Inst::Call { target }),
         (cond(), reg8()).prop_map(|(cond, dst)| Inst::Setcc { cond, dst }),
         (cond(), reg(), rm_operand()).prop_map(|(cond, dst, src)| Inst::Cmovcc { cond, dst, src }),

@@ -53,8 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "prime+probe demo: after the victim's access, the attacker's line in\n\
          set 0 {} and the line in set 1 {} — the attacker reads off the\n\
          victim's cache set, i.e. a block-granular observation.",
-        if cache.probe(0x000) { "survived" } else { "was evicted" },
-        if cache.probe(0x040) { "survived" } else { "was evicted" },
+        if cache.probe(0x000) {
+            "survived"
+        } else {
+            "was evicted"
+        },
+        if cache.probe(0x040) {
+            "survived"
+        } else {
+            "was evicted"
+        },
     );
     Ok(())
 }

@@ -30,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("secret-indexed load  mov eax, [ebx + k*8],  k ∈ {{0..7}}\n");
     for (observer, note) in [
         (Observer::address(), "full address trace"),
-        (Observer::bank(), "4-byte cache banks (CacheBleed granularity)"),
-        (Observer::block(6), "64-byte cache lines (prime+probe granularity)"),
+        (
+            Observer::bank(),
+            "4-byte cache banks (CacheBleed granularity)",
+        ),
+        (
+            Observer::block(6),
+            "64-byte cache lines (prime+probe granularity)",
+        ),
         (Observer::page(), "4-KiB pages"),
     ] {
         println!(

@@ -15,9 +15,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The masked-symbol view of align(buf) — paper Ex. 5/6.
     let mut table = SymbolTable::new();
     let buf = MaskedSymbol::symbol(table.fresh("buf"), 32);
-    let low = apply(&mut table, BinOp::And, &buf, &MaskedSymbol::constant(63, 32)).value;
+    let low = apply(
+        &mut table,
+        BinOp::And,
+        &buf,
+        &MaskedSymbol::constant(63, 32),
+    )
+    .value;
     let cleared = apply(&mut table, BinOp::Sub, &buf, &low).value;
-    let aligned = apply(&mut table, BinOp::Add, &cleared, &MaskedSymbol::constant(64, 32)).value;
+    let aligned = apply(
+        &mut table,
+        BinOp::Add,
+        &cleared,
+        &MaskedSymbol::constant(64, 32),
+    )
+    .value;
     println!("align(buf) in the masked-symbol domain (paper Ex. 6):");
     println!("  buf               = {buf}");
     println!("  buf & 63          = {low}");
@@ -26,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The interleaved layout (paper Fig. 2).
     println!("scattered table layout (first 2 of 48 blocks, digits = value index):");
-    println!("{}", render_byte_layout(0, 128, 64, |off| char::from_digit(off % 8, 10)));
+    println!(
+        "{}",
+        render_byte_layout(0, 128, 64, |off| char::from_digit(off % 8, 10))
+    );
 
     // The full static analysis of the 1.0.2f binary.
     let scenario = scatter_gather::openssl_102f();

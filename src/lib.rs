@@ -40,6 +40,15 @@
 //! // Scatter/gather is secure at block granularity...
 //! assert_eq!(report.dcache_bits(leakaudit::core::Observer::block(6)), 0.0);
 //! ```
+//!
+//! Or run the paper's whole case study as one parallel batch (the
+//! production path — results are bit-identical to sequential runs):
+//!
+//! ```
+//! let scenarios = leakaudit::scenarios::all();
+//! let batch = leakaudit::scenarios::analyze_all(&scenarios);
+//! assert_eq!(batch.errors().count(), 0);
+//! ```
 
 pub use leakaudit_analyzer as analyzer;
 pub use leakaudit_cache as cache;

@@ -4,10 +4,10 @@
 //! access-pattern behaviour.
 
 use leakaudit::core::Observer;
-use leakaudit::crypto::{modexp, Algorithm, Table as _};
 use leakaudit::crypto::elgamal;
 use leakaudit::crypto::modexp::TableStrategy;
 use leakaudit::crypto::prime::{gen_prime, random_bits};
+use leakaudit::crypto::{modexp, Algorithm, Table as _};
 use leakaudit::mpi::Natural;
 use leakaudit::scenarios::scatter_gather;
 use rand::rngs::StdRng;
@@ -139,14 +139,23 @@ fn table_views_tell_the_papers_story() {
     let mut direct = leakaudit::crypto::DirectTable::new(entries, value_bytes);
     fill(&mut direct);
     let line_views = views(&mut direct, 6);
-    assert!(line_views.windows(2).any(|w| w[0] != w[1]), "direct leaks lines");
+    assert!(
+        line_views.windows(2).any(|w| w[0] != w[1]),
+        "direct leaks lines"
+    );
 
     let mut sg = leakaudit::crypto::ScatterGather::new(entries, value_bytes);
     fill(&mut sg);
     let line_views = views(&mut sg, 6);
-    assert!(line_views.windows(2).all(|w| w[0] == w[1]), "s/g hides lines");
+    assert!(
+        line_views.windows(2).all(|w| w[0] == w[1]),
+        "s/g hides lines"
+    );
     let bank_views = views(&mut sg, 2);
-    assert!(bank_views.windows(2).any(|w| w[0] != w[1]), "s/g leaks banks");
+    assert!(
+        bank_views.windows(2).any(|w| w[0] != w[1]),
+        "s/g leaks banks"
+    );
 
     let mut dg = leakaudit::crypto::DefensiveGather::new(entries, value_bytes);
     fill(&mut dg);

@@ -22,8 +22,14 @@ enum Step {
     AluImm(AluOp, Reg, u32),
     AluReg(AluOp, Reg, Reg),
     Shift(bool, Reg, u8),
-    LoadIndexed { from: Reg, into: Reg },
-    StoreIndexed { from: Reg, index_src: Reg },
+    LoadIndexed {
+        from: Reg,
+        into: Reg,
+    },
+    StoreIndexed {
+        from: Reg,
+        index_src: Reg,
+    },
     /// `test r, r; je +skip-one` — a (possibly secret-dependent) branch
     /// over the following step.
     SkipNextIfZero(Reg),
@@ -34,7 +40,13 @@ fn regs() -> impl Strategy<Value = Reg> {
 }
 
 fn alu_ops() -> impl Strategy<Value = AluOp> {
-    proptest::sample::select(vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor])
+    proptest::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+    ])
 }
 
 fn steps() -> impl Strategy<Value = Vec<Step>> {

@@ -2,16 +2,39 @@
 //! Figs. 7a, 7b, 8, 14a, 14b, 14c, 14d must match, including the
 //! fractional values (5.6 = log2 50, 2.3 = log2 5) and the CacheBleed
 //! bank-trace bounds.
+//!
+//! All reports come out of one parallel `BatchAnalysis` run — the
+//! production path — so this suite doubles as a regression net for the
+//! batch pipeline itself.
 
+use leakaudit::analyzer::LeakReport;
 use leakaudit::core::Observer;
-use leakaudit::scenarios;
+use leakaudit::scenarios::{self, Scenario};
 
 const TOL: f64 = 1e-9;
 
+/// Analyzes the full suite as one parallel batch and pairs each scenario
+/// with its report.
+fn batched_reports() -> Vec<(Scenario, LeakReport)> {
+    let scenarios = scenarios::all();
+    let batch = scenarios::analyze_all(&scenarios);
+    scenarios
+        .into_iter()
+        .zip(batch.outcomes())
+        .map(|(s, outcome)| {
+            let report = outcome
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name))
+                .clone();
+            (s, report)
+        })
+        .collect()
+}
+
 #[test]
 fn every_scenario_matches_its_paper_table() {
-    for s in scenarios::all() {
-        let report = s.analyze().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+    for (s, report) in batched_reports() {
         let b = s.block_bits;
         let observers = [
             Observer::address(),
@@ -50,12 +73,8 @@ fn shared_cache_leakage_is_consistent_with_both() {
     // Paper footnote 5: "the leakage results were consistently the maximum
     // of the I-cache and D-cache leakage results". Our shared bound may
     // exceed the max (it sees the interleaving) but never be below it.
-    for s in scenarios::all() {
-        let report = s.analyze().unwrap();
-        for obs in [
-            Observer::address(),
-            Observer::block(s.block_bits),
-        ] {
+    for (s, report) in batched_reports() {
+        for obs in [Observer::address(), Observer::block(s.block_bits)] {
             let i = report.icache_bits(obs);
             let d = report.dcache_bits(obs);
             let shared = report.shared_bits(obs);
@@ -71,8 +90,7 @@ fn shared_cache_leakage_is_consistent_with_both() {
 #[test]
 fn observer_hierarchy_is_monotone() {
     // Coarser observers can never learn more (§3.2's hierarchy).
-    for s in scenarios::all() {
-        let report = s.analyze().unwrap();
+    for (s, report) in batched_reports() {
         let chain = [
             Observer::address(),
             Observer::bank(),
@@ -93,8 +111,7 @@ fn observer_hierarchy_is_monotone() {
 
 #[test]
 fn stuttering_never_exceeds_exact() {
-    for s in scenarios::all() {
-        let report = s.analyze().unwrap();
+    for (s, report) in batched_reports() {
         let b = s.block_bits;
         assert!(
             report.icache_bits(Observer::block(b)) + 1e-9

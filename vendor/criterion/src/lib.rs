@@ -1,0 +1,209 @@
+//! Offline, in-tree stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of criterion's API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple wall-clock measurement loop. No statistical machinery, no HTML
+//! reports: each benchmark is auto-calibrated to ~25 ms per sample and
+//! the median/min/max over the sample set is printed to stdout.
+//!
+//! `--bench` and benchmark-name filter arguments passed by `cargo bench`
+//! are accepted; a filter restricts which benchmarks run.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one calibrated sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Measurement loop handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: Option<u64>,
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample?
+        let iters = self.iters_per_sample.unwrap_or_else(|| {
+            let started = Instant::now();
+            let mut n = 0u64;
+            while started.elapsed() < TARGET_SAMPLE && n < 1_000_000 {
+                std::hint::black_box(routine());
+                n += 1;
+            }
+            n.max(1)
+        });
+        self.iters_per_sample = Some(iters);
+        for _ in 0..self.samples {
+            let started = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.results.push(started.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_per_sample: None,
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    b.results.sort();
+    if b.results.is_empty() {
+        println!("{name:<50} (no measurement)");
+        return;
+    }
+    let median = b.results[b.results.len() / 2];
+    let min = b.results[0];
+    let max = b.results[b.results.len() - 1];
+    println!(
+        "{name:<50} time: [{min:>10.2?} {median:>10.2?} {max:>10.2?}]  ({} samples × {} iters)",
+        b.results.len(),
+        b.iters_per_sample.unwrap_or(0),
+    );
+}
+
+/// Identifies one benchmark within a group (usually a parameter value).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter's `Display`.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// A function-name + parameter id.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for API compatibility;
+    /// the stand-in keeps its fixed per-sample calibration.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.sample_size, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Runs one unparameterized benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Finishes the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus an optional name filter; keep
+        // the first free-standing argument as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        if self.matches(id) {
+            run_one(id, 20, f);
+        }
+        self
+    }
+}
+
+/// Prevents the compiler from optimizing a value away (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
