@@ -17,19 +17,26 @@ pub enum Next {
     Fall,
     /// Unconditional transfer.
     Jump(u32),
-    /// Branch whose flag could not be decided: fork into the taken target
-    /// and the fall-through, optionally refining a register's value set on
-    /// each path (see [`crate::FlagsState`]'s provenance).
-    Fork {
-        /// The taken target.
-        taken: u32,
-        /// Refinement to install on the taken path.
-        refine_taken: Option<(Reg, ValueSet)>,
-        /// Refinement to install on the fall-through path.
-        refine_fall: Option<(Reg, ValueSet)>,
-    },
+    /// Branch whose flag could not be decided: fork per the boxed plan.
+    /// Forks are rare (one per undecided branch, bounded by the
+    /// configuration limit), so the payload lives behind a box to keep
+    /// the hot `Fall`/`Jump` step effects small.
+    Fork(Box<ForkPlan>),
     /// End of the analyzed region (`hlt`).
     Halt,
+}
+
+/// How to fork on an undecided branch: the taken target plus optional
+/// per-path register refinements (see [`crate::FlagsState`]'s
+/// provenance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForkPlan {
+    /// The taken target.
+    pub taken: u32,
+    /// Refinement to install on the taken path.
+    pub refine_taken: Option<(Reg, ValueSet)>,
+    /// Refinement to install on the fall-through path.
+    pub refine_fall: Option<(Reg, ValueSet)>,
 }
 
 /// The effect of one abstractly executed instruction.
@@ -166,33 +173,30 @@ fn install_flag_source(table: &mut SymbolTable, state: &mut AbsState, reg: Reg, 
 /// Decides how to fork on an undecided `je`/`jne`, pruning paths whose
 /// refined value set would be empty.
 fn plan_fork(state: &AbsState, cond: Cond, target: u32) -> Next {
-    let Some(source) = &state.flags.source else {
-        return Next::Fork {
+    let unrefined = || {
+        Next::Fork(Box::new(ForkPlan {
             taken: target,
             refine_taken: None,
             refine_fall: None,
-        };
+        }))
+    };
+    let Some(source) = &state.flags.source else {
+        return unrefined();
     };
     let (on_zf1, on_zf0) = (source.eq.clone(), source.ne.clone());
     let (taken_set, fall_set) = match cond {
         Cond::E => (on_zf1, on_zf0),
         Cond::Ne => (on_zf0, on_zf1),
-        _ => {
-            return Next::Fork {
-                taken: target,
-                refine_taken: None,
-                refine_fall: None,
-            }
-        }
+        _ => return unrefined(),
     };
     match (taken_set.is_empty(), fall_set.is_empty()) {
         (true, _) => Next::Fall,
         (_, true) => Next::Jump(target),
-        _ => Next::Fork {
+        _ => Next::Fork(Box::new(ForkPlan {
             taken: target,
             refine_taken: Some((source.reg, taken_set)),
             refine_fall: Some((source.reg, fall_set)),
-        },
+        })),
     }
 }
 
@@ -597,7 +601,7 @@ mod tests {
         let mut st = init.clone();
         execute(&mut st.table, &mut st.state, &p, 0x1000).unwrap();
         let eff = execute(&mut st.table, &mut st.state, &p, 0x1002).unwrap();
-        assert!(matches!(eff.next, Next::Fork { .. }));
+        assert!(matches!(eff.next, Next::Fork(_)));
     }
 
     #[test]

@@ -53,7 +53,7 @@ use leakaudit_core::Observer;
 use leakaudit_x86::{DecodeError, Program};
 
 pub use batch::{BatchAnalysis, BatchJob, BatchOutcome, BatchReport};
-pub use exec::{address_of, eval_cond, execute, execute_decoded, Next, StepEffect};
+pub use exec::{address_of, eval_cond, execute, execute_decoded, ForkPlan, Next, StepEffect};
 pub use report::{format_bits, Channel, LeakReport, LeakRow, ObserverSpec};
 pub use state::{AbsState, AbstractMemory, FlagsState, InitState};
 

@@ -27,8 +27,6 @@
 //! bodies and code revisited after joins decode once instead of once per
 //! abstract step.
 
-use std::collections::HashMap;
-
 use leakaudit_core::ValueSet;
 use leakaudit_x86::{Inst, Program};
 
@@ -48,23 +46,46 @@ struct Config {
 
 /// Memoized instruction decoding, shared across every configuration and
 /// abstract step of one analysis run.
+///
+/// Program text is small and contiguous (the segment holding the entry
+/// point), so the cache is a **dense vector indexed by pc offset** — a
+/// bounds check and a load in the inner interpreter loop, no hashing.
+/// The rare fetch outside the entry segment (none of the case studies
+/// does this) falls back to uncached decoding, which stays correct.
 pub(crate) struct DecodeCache {
-    decoded: HashMap<u32, (Inst, u32)>,
+    /// Load address of the entry segment.
+    base: u32,
+    /// One slot per byte offset of the entry segment.
+    decoded: Vec<Option<(Inst, u32)>>,
 }
 
 impl DecodeCache {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(program: &Program) -> Self {
+        let entry = program.entry();
+        let text = program
+            .segments()
+            .iter()
+            .find(|s| s.contains(entry))
+            .map_or((entry, 0), |s| (s.addr, s.bytes.len()));
         DecodeCache {
-            decoded: HashMap::new(),
+            base: text.0,
+            decoded: vec![None; text.1],
         }
     }
 
     fn decode_at(&mut self, program: &Program, pc: u32) -> Result<(Inst, u32), AnalysisError> {
-        if let Some(&hit) = self.decoded.get(&pc) {
-            return Ok(hit);
+        let Some(slot) = pc
+            .checked_sub(self.base)
+            .and_then(|off| self.decoded.get_mut(off as usize))
+        else {
+            // Outside the text segment: decode without caching.
+            return Ok(program.decode_at(pc)?);
+        };
+        if let Some(hit) = slot {
+            return Ok(*hit);
         }
         let decoded = program.decode_at(pc)?;
-        self.decoded.insert(pc, decoded);
+        *slot = Some(decoded);
         Ok(decoded)
     }
 }
@@ -81,7 +102,7 @@ pub(crate) fn drive(
     bus: &mut dyn EventBus,
 ) -> Result<(), AnalysisError> {
     let mut table = init.table.clone();
-    let mut decode = DecodeCache::new();
+    let mut decode = DecodeCache::new(program);
     let mut next_id: u64 = ConfigId::ROOT.0 + 1;
     let mut configs = vec![Config {
         id: ConfigId::ROOT,
@@ -92,26 +113,32 @@ pub(crate) fn drive(
 
     while !configs.is_empty() {
         // Pick the configuration with the minimal pc; join any others
-        // that share it.
-        let min_pc = configs.iter().map(|c| c.pc).min().unwrap();
-        let mut group: Vec<Config> = Vec::new();
-        let mut rest: Vec<Config> = Vec::new();
-        for c in configs.drain(..) {
-            if c.pc == min_pc {
-                group.push(c);
-            } else {
-                rest.push(c);
+        // that share it. Straight-line stretches (a single live
+        // configuration) skip the partition entirely.
+        let mut current = if configs.len() == 1 {
+            configs.pop().unwrap()
+        } else {
+            let min_pc = configs.iter().map(|c| c.pc).min().unwrap();
+            let mut group: Vec<Config> = Vec::new();
+            let mut rest: Vec<Config> = Vec::new();
+            for c in configs.drain(..) {
+                if c.pc == min_pc {
+                    group.push(c);
+                } else {
+                    rest.push(c);
+                }
             }
-        }
-        configs = rest;
-        let mut current = group.pop().unwrap();
-        for other in group {
-            current.state = current.state.join(&other.state);
-            bus.emit(TraceEvent::Merge {
-                into: current.id,
-                from: other.id,
-            });
-        }
+            configs = rest;
+            let mut current = group.pop().unwrap();
+            for other in group {
+                current.state = current.state.join(&other.state);
+                bus.emit(TraceEvent::Merge {
+                    into: current.id,
+                    from: other.id,
+                });
+            }
+            current
+        };
 
         if fuel == 0 {
             return Err(AnalysisError::OutOfFuel { fuel: config.fuel });
@@ -153,11 +180,7 @@ pub(crate) fn drive(
                 current.pc = t;
                 configs.push(current);
             }
-            Next::Fork {
-                taken,
-                refine_taken,
-                refine_fall,
-            } => {
+            Next::Fork(plan) => {
                 let child = ConfigId(next_id);
                 next_id += 1;
                 bus.emit(TraceEvent::Fork {
@@ -166,13 +189,13 @@ pub(crate) fn drive(
                 });
                 let mut forked = Config {
                     id: child,
-                    pc: taken,
+                    pc: plan.taken,
                     state: current.state.clone(),
                 };
-                if let Some((r, v)) = refine_taken {
+                if let Some((r, v)) = plan.refine_taken {
                     forked.state.refine_reg(r, v);
                 }
-                if let Some((r, v)) = refine_fall {
+                if let Some((r, v)) = plan.refine_fall {
                     current.state.refine_reg(r, v);
                 }
                 current.pc = current.pc.wrapping_add(effect.len);

@@ -28,13 +28,60 @@
 //! configuration — bit-for-bit, as the batch-consistency suite checks.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use leakaudit_core::{Cursor, TraceDag, ValueSet};
+use leakaudit_core::{Cursor, MemoKey, ObsSet, TraceDag, ValueSet};
 use leakaudit_mpi::Natural;
 
 use crate::report::{Channel, LeakRow, ObserverSpec};
+
+/// FxHash-style multiply-xor hasher (the rustc/Firefox construction):
+/// [`MemoKey`]s are hashed once per trace event per sink, so SipHash's
+/// per-call setup would dominate the projection cache it guards.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
 
 /// Identifier of one live configuration (abstract execution path).
 ///
@@ -124,31 +171,51 @@ pub trait ObserverSink: Send {
     fn into_row(self: Box<Self>) -> LeakRow;
 }
 
-/// The standard sink: one [`TraceDag`] per observer spec, cursors keyed
-/// by [`ConfigId`].
+/// The standard sink: one [`TraceDag`] per observer spec, cursors kept
+/// in a dense table indexed by [`ConfigId`] (ids are allocated
+/// monotonically from zero, so the table stays small and hash-free).
+///
+/// Each sink memoizes [`leakaudit_core::Observer::project_set`] results
+/// per [`MemoKey`]: a projection is computed once per distinct
+/// (value set, observer) pair per run, instead of once per replayed
+/// event — loops re-fetching the same program counters and re-reading
+/// the same address sets hit the cache on every sink.
 pub struct DagSink {
     spec: ObserverSpec,
     dag: TraceDag,
-    cursors: HashMap<ConfigId, Cursor>,
+    cursors: Vec<Option<Cursor>>,
     finals: Option<Cursor>,
+    proj: HashMap<MemoKey, ObsSet, BuildHasherDefault<FxHasher>>,
 }
 
 impl DagSink {
     /// Creates the sink with the root cursor owned by `initial`.
     pub fn new(spec: ObserverSpec, initial: ConfigId) -> Self {
         let (dag, cursor) = TraceDag::new(spec.observer);
-        let mut cursors = HashMap::new();
-        cursors.insert(initial, cursor);
-        DagSink {
+        let mut sink = DagSink {
             spec,
             dag,
-            cursors,
+            cursors: Vec::new(),
             finals: None,
-        }
+            proj: HashMap::default(),
+        };
+        sink.put(initial, cursor);
+        sink
     }
 
     fn take(&mut self, id: ConfigId) -> Cursor {
-        self.cursors.remove(&id).expect("cursor present for config")
+        self.cursors
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
+            .expect("cursor present for config")
+    }
+
+    fn put(&mut self, id: ConfigId, cursor: Cursor) {
+        let idx = id.0 as usize;
+        if idx >= self.cursors.len() {
+            self.cursors.resize_with(idx + 1, || None);
+        }
+        self.cursors[idx] = Some(cursor);
     }
 }
 
@@ -161,16 +228,18 @@ impl ObserverSink for DagSink {
         match event {
             TraceEvent::Fork { parent, child } => {
                 let cloned = {
-                    let cur = self.cursors.get(parent).expect("cursor present for config");
+                    let cur = self.cursors[parent.0 as usize]
+                        .as_ref()
+                        .expect("cursor present for config");
                     self.dag.clone_cursor(cur)
                 };
-                self.cursors.insert(*child, cloned);
+                self.put(*child, cloned);
             }
             TraceEvent::Merge { into, from } => {
                 let mine = self.take(*into);
                 let theirs = self.take(*from);
                 let merged = self.dag.merge_cursors(mine, theirs);
-                self.cursors.insert(*into, merged);
+                self.put(*into, merged);
             }
             TraceEvent::Access {
                 config,
@@ -179,8 +248,13 @@ impl ObserverSink for DagSink {
             } => {
                 if kind.visible_to(self.spec.channel) {
                     let cur = self.take(*config);
-                    let cur = self.dag.access(cur, addresses);
-                    self.cursors.insert(*config, cur);
+                    let observer = self.dag.observer();
+                    let obs = self
+                        .proj
+                        .entry(addresses.memo_key())
+                        .or_insert_with(|| observer.project_set(addresses));
+                    let cur = self.dag.update(cur, obs);
+                    self.put(*config, cur);
                 }
             }
             TraceEvent::Retire { config } => {
@@ -236,6 +310,10 @@ pub fn run_pipeline<E>(
     parallel: bool,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
 ) -> Result<Vec<LeakRow>, E> {
+    // On a single hardware thread the consumer threads cannot overlap
+    // with the scheduler; the channel traffic would be pure overhead.
+    let parallel =
+        parallel && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1;
     if sinks.len() <= 1 || !parallel {
         let mut bus = SerialBus { sinks };
         drive(&mut bus).map(|()| bus.sinks.into_iter().map(ObserverSink::into_row).collect())

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use leakaudit_core::{AbstractBool, AbstractFlags, MaskedSymbol, SymbolTable, ValueSet};
 use leakaudit_x86::{Program, Reg};
@@ -93,9 +94,17 @@ impl FlagsState {
 /// the program image. This is the paper's heap model (§4): `malloc` draws
 /// from a pool of fresh low addresses. A store through a symbolic pointer
 /// therefore does not invalidate entries under other bases.
+///
+/// # Sharing
+///
+/// The entry map sits behind an [`Arc`]: cloning a memory (every
+/// scheduler fork) is a refcount bump, and the map is copied only when a
+/// forked path actually writes ([`Arc::make_mut`]). Diamond-shaped code
+/// whose branches never touch memory — the common case in the case-study
+/// binaries — never pays for the copy.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AbstractMemory {
-    entries: BTreeMap<MaskedSymbol, (ValueSet, u8)>,
+    entries: Arc<BTreeMap<MaskedSymbol, (ValueSet, u8)>>,
     /// Set once a store through `Top` clobbered everything.
     havocked: bool,
 }
@@ -162,7 +171,7 @@ impl AbstractMemory {
             return;
         }
         if let Some(single) = addrs.as_singleton() {
-            self.entries.insert(single, (value, size));
+            Arc::make_mut(&mut self.entries).insert(single, (value, size));
             return;
         }
         for a in addrs.iter() {
@@ -172,7 +181,7 @@ impl AbstractMemory {
                 } else {
                     ValueSet::top(a.width())
                 };
-                self.entries.insert(*a, (merged, size));
+                Arc::make_mut(&mut self.entries).insert(*a, (merged, size));
             }
             // Absent entries stay absent: absent already means Top.
         }
@@ -180,14 +189,22 @@ impl AbstractMemory {
 
     /// Forgets everything (a store through a completely unknown pointer).
     pub fn havoc(&mut self) {
-        self.entries.clear();
+        self.entries = Arc::new(BTreeMap::new());
         self.havocked = true;
     }
 
     /// Join: keep only entries present and mergeable in both memories.
     pub fn join(&self, other: &AbstractMemory) -> AbstractMemory {
+        let havocked = self.havocked || other.havocked;
+        // Both sides share the same map (fork that never wrote): reuse it.
+        if Arc::ptr_eq(&self.entries, &other.entries) {
+            return AbstractMemory {
+                entries: Arc::clone(&self.entries),
+                havocked,
+            };
+        }
         let mut entries = BTreeMap::new();
-        for (k, (v, s)) in &self.entries {
+        for (k, (v, s)) in self.entries.iter() {
             if let Some((v2, s2)) = other.entries.get(k) {
                 if s == s2 {
                     entries.insert(*k, (v.join(v2), *s));
@@ -195,8 +212,8 @@ impl AbstractMemory {
             }
         }
         AbstractMemory {
-            entries,
-            havocked: self.havocked || other.havocked,
+            entries: Arc::new(entries),
+            havocked,
         }
     }
 }

@@ -1,0 +1,207 @@
+//! `perfbench` — the wall-clock benchmark harness behind the repo's
+//! `BENCH_*.json` performance trajectory.
+//!
+//! Unlike the Criterion benches (statistical, interactive), this binary
+//! produces one small machine-readable JSON file per PR so successive
+//! PRs can be compared on the same machine: it times every case-study
+//! scenario end to end (static analysis only) and the `batch_all_8`
+//! parallel batch — the production path — reporting the **median** of N
+//! timed iterations after a warmup.
+//!
+//! ```text
+//! perfbench [--quick] [--iters N] [--warmup N] [--label STR]
+//!           [--out FILE] [--baseline FILE]
+//! ```
+//!
+//! * `--quick`: 1 iteration, no warmup, print to stdout only (CI mode —
+//!   proves the harness runs, commits nothing).
+//! * `--out FILE`: write the JSON report (default `BENCH_2.json`).
+//! * `--baseline FILE`: embed a previous perfbench report as the
+//!   `baseline` field and compute `speedup_vs_baseline`.
+//!
+//! JSON schema (`leakaudit-perfbench/v1`): `label`, `iters`, `warmup`,
+//! `threads`, `scenarios_ms` (name → median ms), `total_sequential_ms`
+//! (sum of per-scenario medians), `batch_all_8_ms` (median wall time of
+//! the 8-scenario parallel batch), `baseline` (a previous report or
+//! `null`), and `speedup_vs_baseline` (baseline / current, per metric).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use leakaudit_scenarios::{analyze_all, Scenario};
+
+struct Args {
+    iters: usize,
+    warmup: usize,
+    label: String,
+    out: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        iters: 7,
+        warmup: 2,
+        label: String::from("perfbench"),
+        out: Some(String::from("BENCH_2.json")),
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--quick" => {
+                args.iters = 1;
+                args.warmup = 0;
+                args.out = None;
+            }
+            "--iters" => args.iters = value_of("--iters").parse().expect("--iters: integer"),
+            "--warmup" => args.warmup = value_of("--warmup").parse().expect("--warmup: integer"),
+            "--label" => args.label = value_of("--label"),
+            "--out" => args.out = Some(value_of("--out")),
+            "--baseline" => args.baseline = Some(value_of("--baseline")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: perfbench [--quick] [--iters N] [--warmup N] \
+                     [--label STR] [--out FILE] [--baseline FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    assert!(args.iters >= 1, "--iters must be >= 1");
+    args
+}
+
+/// Median of timed milliseconds (interpolated for even lengths).
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    f();
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+fn measure(iters: usize, warmup: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    median_ms((0..iters).map(|_| time_ms(&mut f)).collect())
+}
+
+/// Pulls a numeric field out of a (flat enough) previous report without a
+/// JSON dependency: finds `"key":` at any nesting level *outside* the
+/// embedded `baseline` object by scanning the first occurrence.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args = parse_args();
+    let scenarios: Vec<Scenario> = leakaudit_scenarios::all();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "perfbench: {} scenarios, {} iters (+{} warmup), {} threads",
+        scenarios.len(),
+        args.iters,
+        args.warmup,
+        threads
+    );
+
+    let mut scenario_ms: Vec<(&str, f64)> = Vec::new();
+    for s in &scenarios {
+        let ms = measure(args.iters, args.warmup, || {
+            s.analyze().expect("analysis converges");
+        });
+        println!("  {:<42} {:>9.2} ms", s.name, ms);
+        scenario_ms.push((s.name, ms));
+    }
+    let total_sequential: f64 = scenario_ms.iter().map(|(_, ms)| ms).sum();
+
+    let batch_ms = measure(args.iters, args.warmup, || {
+        let batch = analyze_all(&scenarios);
+        assert_eq!(batch.errors().count(), 0, "batch must converge");
+    });
+    println!("  {:<42} {:>9.2} ms", "batch_all_8 (parallel)", batch_ms);
+    println!(
+        "  {:<42} {:>9.2} ms",
+        "total (sequential sum)", total_sequential
+    );
+
+    let baseline_text = args.baseline.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
+    });
+    if let Some(base) = &baseline_text {
+        if let Some(base_batch) = extract_number(base, "batch_all_8_ms") {
+            println!(
+                "  speedup vs baseline: batch_all_8 {:.2}x, sequential {:.2}x",
+                base_batch / batch_ms,
+                extract_number(base, "total_sequential_ms").unwrap_or(f64::NAN) / total_sequential,
+            );
+        }
+    }
+
+    let Some(out_path) = &args.out else {
+        println!("(--quick: no JSON written)");
+        return;
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v1\",");
+    let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
+    let _ = writeln!(json, "  \"iters\": {},", args.iters);
+    let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"scenarios_ms\": {{");
+    for (i, (name, ms)) in scenario_ms.iter().enumerate() {
+        let comma = if i + 1 < scenario_ms.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {ms:.3}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"total_sequential_ms\": {total_sequential:.3},");
+    let _ = writeln!(json, "  \"batch_all_8_ms\": {batch_ms:.3},");
+    match &baseline_text {
+        Some(base) => {
+            let speedup_batch = extract_number(base, "batch_all_8_ms")
+                .map_or_else(|| "null".into(), |b| format!("{:.3}", b / batch_ms));
+            let speedup_seq = extract_number(base, "total_sequential_ms")
+                .map_or_else(|| "null".into(), |b| format!("{:.3}", b / total_sequential));
+            let indented = base.trim_end().replace('\n', "\n  ");
+            let _ = writeln!(json, "  \"baseline\": {indented},");
+            let _ = writeln!(json, "  \"speedup_vs_baseline\": {{");
+            let _ = writeln!(json, "    \"batch_all_8\": {speedup_batch},");
+            let _ = writeln!(json, "    \"total_sequential\": {speedup_seq}");
+            let _ = writeln!(json, "  }}");
+        }
+        None => {
+            let _ = writeln!(json, "  \"baseline\": null,");
+            let _ = writeln!(json, "  \"speedup_vs_baseline\": null");
+        }
+    }
+    json.push_str("}\n");
+    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -59,10 +59,7 @@ impl Valuation {
     /// `γ^{M♯}_λ` of a value set: the set of concrete words it denotes.
     /// `None` for `Top` (denotes every word).
     pub fn concretize_set(&self, v: &ValueSet) -> Option<BTreeSet<u64>> {
-        match v {
-            ValueSet::Top { .. } => None,
-            ValueSet::Set(s) => Some(s.iter().map(|m| self.concretize(m)).collect()),
-        }
+        Some(v.as_slice()?.iter().map(|m| self.concretize(m)).collect())
     }
 
     /// Checks Proposition 1 for a concrete projection: the number of

@@ -116,11 +116,12 @@ impl Observer {
     /// nothing (paper §1, "the projection may collapse a multi-element set
     /// to a singleton").
     pub fn project_set(&self, v: &ValueSet) -> ObsSet {
-        match v {
-            ValueSet::Top { width } => ObsSet::Top {
-                bits: width.saturating_sub(self.offset_bits),
-            },
-            ValueSet::Set(set) => ObsSet::Set(set.iter().map(|m| self.project(m)).collect()),
+        match v.as_slice() {
+            None => ObsSet::top_bits(v.width().saturating_sub(self.offset_bits)),
+            // Singletons — program counters, strong pointers — project
+            // without touching the heap.
+            Some([m]) => ObsSet::one(self.project(m)),
+            Some(set) => ObsSet::from_observations(set.iter().map(|m| self.project(m))),
         }
     }
 
@@ -246,39 +247,88 @@ impl fmt::Debug for Observation {
 /// The set of observations one access may produce under one observer — a
 /// vertex label of the memory-trace DAG (paper §6.1, with the projection
 /// already applied per the §6.4 implementation notes).
+///
+/// Singleton sets (the overwhelmingly common label: an access whose unit
+/// is secret-independent) are stored inline; larger sets sit behind an
+/// [`Arc`](std::sync::Arc) so the DAG's label clones are refcount bumps.
+/// Construction canonicalizes — a one-element set is always the inline
+/// variant — so derived equality and ordering remain structural.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum ObsSet {
-    /// A finite set of possible observations.
-    Set(BTreeSet<Observation>),
+pub struct ObsSet {
+    repr: ObsRepr,
+}
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum ObsRepr {
+    /// Exactly one possible observation, stored inline.
+    One(Observation),
+    /// Zero or several possible observations (canonical: never one).
+    Many(std::sync::Arc<BTreeSet<Observation>>),
     /// Any of `2^bits` observations (projection of an unknown-high value).
-    Top {
-        /// Number of observable bits.
-        bits: u8,
-    },
+    Top { bits: u8 },
 }
 
 impl ObsSet {
+    /// The singleton observation set.
+    pub fn one(o: Observation) -> Self {
+        ObsSet {
+            repr: ObsRepr::One(o),
+        }
+    }
+
+    /// The set of every `2^bits` observation (an unknown-high access).
+    pub fn top_bits(bits: u8) -> Self {
+        ObsSet {
+            repr: ObsRepr::Top { bits },
+        }
+    }
+
+    /// Collects observations, deduplicating (canonicalizes singletons to
+    /// the inline variant).
+    pub fn from_observations(obs: impl IntoIterator<Item = Observation>) -> Self {
+        let set: BTreeSet<Observation> = obs.into_iter().collect();
+        if set.len() == 1 {
+            return ObsSet::one(*set.iter().next().expect("len checked"));
+        }
+        ObsSet {
+            repr: ObsRepr::Many(std::sync::Arc::new(set)),
+        }
+    }
+
     /// Number of distinct observations this label permits — the factor
     /// `|π(L(v))|` of the counting formula (paper Eq. 3).
     pub fn count(&self) -> Natural {
-        match self {
-            ObsSet::Set(s) => Natural::from(s.len() as u64),
-            ObsSet::Top { bits } => Natural::one().shl_bits(*bits as usize),
+        match &self.repr {
+            ObsRepr::One(_) => Natural::one(),
+            ObsRepr::Many(s) => Natural::from(s.len() as u64),
+            ObsRepr::Top { bits } => Natural::one().shl_bits(*bits as usize),
+        }
+    }
+
+    /// Like [`ObsSet::count`], but `None` when the count overflows `u64`
+    /// (lets callers accumulate in machine words before spilling to
+    /// big-number arithmetic).
+    pub fn count_u64(&self) -> Option<u64> {
+        match &self.repr {
+            ObsRepr::One(_) => Some(1),
+            ObsRepr::Many(s) => Some(s.len() as u64),
+            ObsRepr::Top { bits } => 1u64.checked_shl(u32::from(*bits)),
         }
     }
 
     /// `true` iff exactly one observation is possible (the access leaks
     /// nothing to this observer).
     pub fn is_singleton(&self) -> bool {
-        matches!(self, ObsSet::Set(s) if s.len() == 1)
+        matches!(self.repr, ObsRepr::One(_))
     }
 }
 
 impl fmt::Display for ObsSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ObsSet::Top { bits } => write!(f, "⊤^{bits}"),
-            ObsSet::Set(s) => {
+        match &self.repr {
+            ObsRepr::Top { bits } => write!(f, "⊤^{bits}"),
+            ObsRepr::One(o) => write!(f, "{{{o}}}"),
+            ObsRepr::Many(s) => {
                 write!(f, "{{")?;
                 for (i, o) in s.iter().enumerate() {
                     if i > 0 {

@@ -317,6 +317,14 @@ pub fn apply(table: &mut SymbolTable, op: BinOp, x: &MaskedSymbol, y: &MaskedSym
     assert_eq!(x.width(), y.width(), "operand widths must match");
     let width = x.width();
 
+    // Fast path: two fully-known operands fold concretely, with exact
+    // flags — identical to what the bit algebra below derives (every
+    // result and carry bit comes out `Const`), minus the per-bit loop.
+    // Counted loops (`inc`/`cmp` on concrete counters) live here.
+    if let (Some(a), Some(b)) = (x.as_constant(), y.as_constant()) {
+        return apply_concrete(op, a, b, width);
+    }
+
     // Fast path (§5.4.2 applied to SUB): operands with a common origin
     // subtract to the concrete offset difference.
     if op == BinOp::Sub {
@@ -431,6 +439,32 @@ pub fn apply(table: &mut SymbolTable, op: BinOp, x: &MaskedSymbol, y: &MaskedSym
     OpResult {
         value,
         flags: AbstractFlags { zf, cf, sf, of },
+    }
+}
+
+/// Concrete evaluation of a binary operation with x86 flag semantics
+/// (the constant × constant case of [`apply`]).
+fn apply_concrete(op: BinOp, a: u64, b: u64, width: u8) -> OpResult {
+    let wrap = Mask::top(width).width_mask();
+    let r = op.eval_concrete(a, b, width);
+    let msb = |v: u64| v >> (width - 1) & 1 == 1;
+    let (cf, of) = match op {
+        // x86 defines CF = OF = 0 for logical operations.
+        BinOp::And | BinOp::Or | BinOp::Xor => (false, false),
+        BinOp::Add => (
+            (u128::from(a) + u128::from(b)) >> width & 1 == 1,
+            msb((a ^ r) & (b ^ r) & wrap),
+        ),
+        BinOp::Sub => (a < b, msb((a ^ b) & (a ^ r) & wrap)),
+    };
+    OpResult {
+        value: MaskedSymbol::constant(r, width),
+        flags: AbstractFlags {
+            zf: AbstractBool::from_bool(r == 0),
+            cf: AbstractBool::from_bool(cf),
+            sf: AbstractBool::from_bool(msb(r)),
+            of: AbstractBool::from_bool(of),
+        },
     }
 }
 

@@ -48,22 +48,165 @@ pub enum Label {
     Obs(ObsSet),
 }
 
-impl Label {
-    /// The factor `|π(L(v))|` of the counting formula.
-    fn count(&self) -> Natural {
+/// The repetition-count set `R(v)` of paper §6.1.
+///
+/// Almost every vertex carries a single count (`{1}`, bumped in place on
+/// true repetitions), so the singleton case is stored inline; only
+/// vertices that merged siblings with different counts allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Reps {
+    /// Exactly one possible repetition count.
+    One(u64),
+    /// Several possible counts (canonical: never one).
+    Many(BTreeSet<u64>),
+}
+
+impl Reps {
+    fn one() -> Self {
+        Reps::One(1)
+    }
+
+    /// Number of possible counts — the factor `|R(v)|`.
+    fn len(&self) -> usize {
         match self {
-            Label::Epsilon => Natural::one(),
-            Label::Obs(o) => o.count(),
+            Reps::One(_) => 1,
+            Reps::Many(s) => s.len(),
         }
     }
+
+    /// Adds 1 to every possible count (one more repetition observed).
+    fn bump(&mut self) {
+        match self {
+            Reps::One(r) => *r += 1,
+            Reps::Many(s) => *s = s.iter().map(|r| r + 1).collect(),
+        }
+    }
+
+    /// Unions another repetition set in (sibling merge, §6.4 join rule).
+    fn extend_from(&mut self, other: &Reps) {
+        let mut set = match std::mem::replace(self, Reps::One(0)) {
+            Reps::One(r) => BTreeSet::from([r]),
+            Reps::Many(s) => s,
+        };
+        match other {
+            Reps::One(r) => {
+                set.insert(*r);
+            }
+            Reps::Many(s) => set.extend(s.iter().copied()),
+        }
+        *self = if set.len() == 1 {
+            Reps::One(set.into_iter().next().expect("len checked"))
+        } else {
+            Reps::Many(set)
+        };
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let (one, many) = match self {
+            Reps::One(r) => (Some(*r), None),
+            Reps::Many(s) => (None, Some(s.iter().copied())),
+        };
+        one.into_iter().chain(many.into_iter().flatten())
+    }
+}
+
+/// Predecessor edges of a vertex: almost always exactly one (a chain),
+/// several only for ε-join vertices — kept inline to spare the
+/// per-vertex `Vec` allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Preds {
+    /// The root: no predecessors.
+    None,
+    /// A chain vertex.
+    One(VertexId),
+    /// An ε-join vertex.
+    Many(Vec<VertexId>),
+}
+
+impl Preds {
+    fn as_slice(&self) -> &[VertexId] {
+        match self {
+            Preds::None => &[],
+            Preds::One(v) => std::slice::from_ref(v),
+            Preds::Many(vs) => vs,
+        }
+    }
+}
+
+/// An intermediate trace count: a `u128` while it fits, a [`Natural`]
+/// once it overflows (see [`TraceDag::count`]).
+#[derive(Clone)]
+enum Cnt {
+    Small(u128),
+    Big(Natural),
+}
+
+impl Cnt {
+    fn add(&self, other: &Cnt) -> Cnt {
+        match (self, other) {
+            (Cnt::Small(a), Cnt::Small(b)) => match a.checked_add(*b) {
+                Some(s) => Cnt::Small(s),
+                None => Cnt::Big(natural_from_u128(*a) + natural_from_u128(*b)),
+            },
+            _ => Cnt::Big(self.to_natural() + other.to_natural()),
+        }
+    }
+
+    fn mul(&self, other: &Cnt) -> Cnt {
+        match (self, other) {
+            (Cnt::Small(a), Cnt::Small(b)) => match a.checked_mul(*b) {
+                Some(p) => Cnt::Small(p),
+                None => Cnt::Big(&natural_from_u128(*a) * &natural_from_u128(*b)),
+            },
+            _ => Cnt::Big(&self.to_natural() * &other.to_natural()),
+        }
+    }
+
+    fn mul_u64(&self, factor: u64) -> Cnt {
+        self.mul(&Cnt::Small(u128::from(factor)))
+    }
+
+    fn to_natural(&self) -> Natural {
+        match self {
+            Cnt::Small(n) => natural_from_u128(*n),
+            Cnt::Big(n) => n.clone(),
+        }
+    }
+
+    fn into_natural(self) -> Natural {
+        match self {
+            Cnt::Small(n) => natural_from_u128(n),
+            Cnt::Big(n) => n,
+        }
+    }
+}
+
+fn natural_from_u128(n: u128) -> Natural {
+    Natural::from_limbs(vec![
+        n as u32,
+        (n >> 32) as u32,
+        (n >> 64) as u32,
+        (n >> 96) as u32,
+    ])
+}
+
+/// Outcome of matching one access against one frontier vertex (see
+/// [`TraceDag::update`]).
+enum Step {
+    /// Stuttering observer, same unit: the cursor stays put.
+    Stutter,
+    /// Exclusive same-unit repetition: bump `R(v)` in place.
+    Bump,
+    /// A new vertex must extend the path.
+    Extend,
 }
 
 #[derive(Debug, Clone)]
 struct Vertex {
     label: Label,
     /// Possible repetition counts `R(v)` (paper §6.1).
-    reps: BTreeSet<u64>,
-    preds: Vec<VertexId>,
+    reps: Reps,
+    preds: Preds,
     /// Number of child edges (vertices listing this one as a pred).
     children: u32,
     /// Number of live cursors whose frontier includes this vertex.
@@ -112,8 +255,8 @@ impl TraceDag {
     pub fn new(observer: Observer) -> (Self, Cursor) {
         let root = Vertex {
             label: Label::Epsilon,
-            reps: BTreeSet::from([1]),
-            preds: Vec::new(),
+            reps: Reps::one(),
+            preds: Preds::None,
             children: 0,
             cursor_refs: 1,
             dead: false,
@@ -180,57 +323,75 @@ impl TraceDag {
     /// Records one memory access with the given set of possible addresses.
     pub fn access(&mut self, c: Cursor, addresses: &ValueSet) -> Cursor {
         let obs = self.observer.project_set(addresses);
-        self.update(c, obs)
+        self.update(c, &obs)
     }
 
     /// Records one access with an already-projected observation set
     /// (paper §6.4 update).
-    pub fn update(&mut self, c: Cursor, obs: ObsSet) -> Cursor {
-        let label = Label::Obs(obs.clone());
+    ///
+    /// The observation set is borrowed: the analyzer's sinks replay it
+    /// out of a projection cache, and the stuttering/repetition fast
+    /// paths never need an owned copy.
+    pub fn update(&mut self, c: Cursor, obs: &ObsSet) -> Cursor {
+        // Fast path: a single frontier vertex — the overwhelmingly common
+        // case (straight-line code between forks). Reuses the cursor's
+        // vertex buffer and allocates at most the one new vertex.
+        if let [v] = c.verts[..] {
+            match self.classify(v, obs) {
+                Step::Stutter => return c,
+                Step::Bump => {
+                    self.vertices[v.index()].reps.bump();
+                    return c;
+                }
+                Step::Extend => {
+                    let mut verts = c.verts;
+                    self.vertices[v.index()].cursor_refs -= 1;
+                    self.vertices[v.index()].children += 1;
+                    let child = self.push_vertex(Label::Obs(obs.clone()), Preds::One(v), 1);
+                    verts[0] = child;
+                    return Cursor { verts };
+                }
+            }
+        }
+
         let mut stuttered: Vec<VertexId> = Vec::new();
         let mut pending: Vec<VertexId> = Vec::new();
-
         for v in c.verts {
-            let vert = &self.vertices[v.index()];
-            let same_unit = vert.label == label && obs.is_singleton();
-            if same_unit && self.observer.is_stuttering() {
+            match self.classify(v, obs) {
                 // A stuttering observer cannot see the repetition at all:
                 // the set of (collapsed) views is unchanged, so the cursor
                 // simply stays put. This needs no exclusivity condition —
                 // nothing is mutated — and it is what lets re-converging
                 // paths with equal collapsed views merge at the join
                 // (paper Fig. 15b: the -O1 layout's b-block leak is zero).
-                stuttered.push(v);
-                continue;
-            }
-            // In-place repetition bump is sound only when the label denotes
-            // a *single* masked observation (a true repetition of the same
-            // address unit) and no other path shares or extends this vertex.
-            if same_unit && vert.cursor_refs == 1 && vert.children == 0 {
-                let vert = &mut self.vertices[v.index()];
-                vert.reps = vert.reps.iter().map(|r| r + 1).collect();
-                stuttered.push(v);
-            } else {
-                pending.push(v);
+                Step::Stutter => stuttered.push(v),
+                Step::Bump => {
+                    self.vertices[v.index()].reps.bump();
+                    stuttered.push(v);
+                }
+                Step::Extend => pending.push(v),
             }
         }
 
         let mut new_verts = stuttered;
         if !pending.is_empty() {
             // Materialize the delayed join if several paths remain.
+            // `children` counts actual child edges exactly: the single
+            // parent gets one edge (from the new child), each member of
+            // an ε-join gets one edge (from the ε vertex), and the ε
+            // vertex itself one (from the new child).
             let parent = if pending.len() == 1 {
                 let p = pending[0];
                 self.vertices[p.index()].cursor_refs -= 1;
-                self.vertices[p.index()].children += 1;
                 p
             } else {
                 for &p in &pending {
                     self.vertices[p.index()].cursor_refs -= 1;
                     self.vertices[p.index()].children += 1;
                 }
-                self.push_vertex(Label::Epsilon, pending, 0)
+                self.push_vertex(Label::Epsilon, Preds::Many(pending), 0)
             };
-            let child = self.push_vertex(label, vec![parent], 1);
+            let child = self.push_vertex(Label::Obs(obs.clone()), Preds::One(parent), 1);
             self.vertices[parent.index()].children += 1;
             new_verts.push(child);
         }
@@ -242,11 +403,27 @@ impl TraceDag {
         Cursor { verts: new_verts }
     }
 
-    fn push_vertex(&mut self, label: Label, preds: Vec<VertexId>, cursor_refs: u32) -> VertexId {
+    /// How one frontier vertex reacts to an access labeled `obs`.
+    fn classify(&self, v: VertexId, obs: &ObsSet) -> Step {
+        let vert = &self.vertices[v.index()];
+        let same_unit = obs.is_singleton() && matches!(&vert.label, Label::Obs(o) if o == obs);
+        if same_unit && self.observer.is_stuttering() {
+            return Step::Stutter;
+        }
+        // In-place repetition bump is sound only when the label denotes
+        // a *single* masked observation (a true repetition of the same
+        // address unit) and no other path shares or extends this vertex.
+        if same_unit && vert.cursor_refs == 1 && vert.children == 0 {
+            return Step::Bump;
+        }
+        Step::Extend
+    }
+
+    fn push_vertex(&mut self, label: Label, preds: Preds, cursor_refs: u32) -> VertexId {
         let id = VertexId(self.vertices.len() as u32);
         self.vertices.push(Vertex {
             label,
-            reps: BTreeSet::from([1]),
+            reps: Reps::one(),
             preds,
             children: 0,
             cursor_refs,
@@ -280,9 +457,9 @@ impl TraceDag {
                         continue;
                     }
                 };
-                let reps: Vec<u64> = self.vertices[drop.index()].reps.iter().copied().collect();
-                self.vertices[keep.index()].reps.extend(reps);
-                for p in self.vertices[drop.index()].preds.clone() {
+                let dropped_reps = self.vertices[drop.index()].reps.clone();
+                self.vertices[keep.index()].reps.extend_from(&dropped_reps);
+                for p in self.vertices[drop.index()].preds.clone().as_slice() {
                     self.vertices[p.index()].children -= 1;
                 }
                 self.vertices[drop.index()].dead = true;
@@ -297,35 +474,50 @@ impl TraceDag {
     /// the traces ending at this cursor — `cnt^π` of paper Eq. 3 /
     /// Proposition 2. For stuttering observers the repetition factor
     /// `|R(v)|` is replaced by 1.
+    ///
+    /// Per-vertex counts are accumulated in `u128` machine words and only
+    /// spill into big-number arithmetic once a product overflows: the
+    /// zero-leak case studies (counts staying 1 across tens of thousands
+    /// of vertices) never allocate a single limb vector.
     pub fn count(&self, c: &Cursor) -> Natural {
-        let mut cnt: Vec<Option<Natural>> = vec![None; self.vertices.len()];
+        let mut cnt: Vec<Option<Cnt>> = vec![None; self.vertices.len()];
         for (i, v) in self.vertices.iter().enumerate() {
             if v.dead {
                 continue;
             }
-            let preds_sum = if v.preds.is_empty() {
-                Natural::one()
+            let preds = v.preds.as_slice();
+            let preds_sum = if preds.is_empty() {
+                Cnt::Small(1)
             } else {
-                let mut s = Natural::zero();
-                for p in &v.preds {
-                    s += cnt[p.index()]
-                        .as_ref()
-                        .expect("preds precede children in id order");
+                let mut s = Cnt::Small(0);
+                for p in preds {
+                    s = s.add(
+                        cnt[p.index()]
+                            .as_ref()
+                            .expect("preds precede children in id order"),
+                    );
                 }
                 s
             };
             let rep_factor = if self.observer.is_stuttering() {
-                Natural::one()
+                1
             } else {
-                Natural::from(v.reps.len() as u64)
+                v.reps.len() as u64
             };
-            cnt[i] = Some(&(&rep_factor * &v.label.count()) * &preds_sum);
+            let label_factor = match &v.label {
+                Label::Epsilon => Cnt::Small(1),
+                Label::Obs(o) => match o.count_u64() {
+                    Some(n) => Cnt::Small(u128::from(n)),
+                    None => Cnt::Big(o.count()),
+                },
+            };
+            cnt[i] = Some(preds_sum.mul_u64(rep_factor).mul(&label_factor));
         }
-        let mut total = Natural::zero();
+        let mut total = Cnt::Small(0);
         for &v in &c.verts {
-            total += cnt[v.index()].as_ref().expect("cursor vertex is alive");
+            total = total.add(cnt[v.index()].as_ref().expect("cursor vertex is alive"));
         }
-        total
+        total.into_natural()
     }
 
     /// Converts an observation count to a leakage bound in bits:
@@ -357,7 +549,7 @@ impl TraceDag {
                 Label::Epsilon => "ε".to_string(),
                 Label::Obs(o) => format!("{o}"),
             };
-            let reps: Vec<String> = v.reps.iter().map(u64::to_string).collect();
+            let reps: Vec<String> = v.reps.iter().map(|r| r.to_string()).collect();
             s.push_str(&format!(
                 "  v{} [label=\"{} ×{{{}}}\"];\n",
                 i,
@@ -369,7 +561,7 @@ impl TraceDag {
             if v.dead {
                 continue;
             }
-            for p in &v.preds {
+            for p in v.preds.as_slice() {
                 s.push_str(&format!("  v{} -> v{};\n", p.index(), i));
             }
         }

@@ -8,9 +8,36 @@
 //! *and* which may depend on secrets — e.g. the bytes loaded from a
 //! pre-computed table. Using `Top` as an address charges the adversary with
 //! every observation the projection allows, keeping the analysis sound.
+//!
+//! # Representation
+//!
+//! Cloning a value set is the dominant domain operation: every register
+//! read, every binop operand, and every scheduler fork copies one. The
+//! set is therefore stored as a **sorted slice in one of two layouts**:
+//!
+//! * up to [`INLINE_CAP`] elements live inline in the `ValueSet` itself
+//!   (no heap allocation at all — this covers the constant program
+//!   counters and 1–8-element secret sets that dominate real runs up to
+//!   the inline cap), and
+//! * larger sets live behind an [`Arc`], so cloning is a refcount bump
+//!   and mutation is copy-on-write (sets are immutable once built; every
+//!   operation constructs a fresh set through [`SetBuilder`]).
+//!
+//! Shared sets additionally carry a unique *token* allocated at
+//! construction. [`ValueSet::memo_key`] exposes it (or, for inline sets,
+//! the elements themselves) as a cheap hashable identity, which the
+//! analyzer's observer sinks use to memoize projections: two clones of
+//! the same set share a token, so a projection is computed once per
+//! distinct (set, observer) pair instead of once per trace event.
+//!
+//! Iteration order, equality, widening behavior, and the public
+//! constructors are unchanged from the original `BTreeSet`-backed
+//! representation — sets still iterate in ascending [`MaskedSymbol`]
+//! order and widen to `Top` past [`MAX_CARDINALITY`].
 
-use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::msym::MaskedSymbol;
 use crate::ops::{self, AbstractFlags, BinOp, OpResult};
@@ -18,6 +45,38 @@ use crate::sym::{SymId, SymbolTable};
 
 /// Maximum cardinality a value set may reach before widening to `Top`.
 pub const MAX_CARDINALITY: usize = 4096;
+
+/// Number of elements stored inline (without heap allocation).
+const INLINE_CAP: usize = 4;
+
+/// Filler for unused inline slots, kept canonical so inline arrays of
+/// equal sets compare and hash equal (see [`MemoKey`]).
+const PAD: MaskedSymbol = MaskedSymbol::constant_padding();
+
+/// Source of [`SharedSet`] identity tokens.
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// A heap-allocated, immutable, sorted set shared between clones.
+#[derive(Debug)]
+struct SharedSet {
+    /// Identity token, unique per allocation (see [`ValueSet::memo_key`]).
+    token: u64,
+    /// The elements, ascending and deduplicated.
+    items: Vec<MaskedSymbol>,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// A finite set of at most [`INLINE_CAP`] elements, stored inline.
+    Small {
+        len: u8,
+        items: [MaskedSymbol; INLINE_CAP],
+    },
+    /// A larger finite set, shared by refcount.
+    Shared(Arc<SharedSet>),
+    /// Any value of the given width (possibly secret-dependent).
+    Top { width: u8 },
+}
 
 /// An element of the masked-symbol value domain: a finite set of masked
 /// symbols, or `Top`.
@@ -31,15 +90,33 @@ pub const MAX_CARDINALITY: usize = 4096;
 /// assert_eq!(h.as_constant(), None);
 /// assert_eq!(ValueSet::constant(1, 32).as_constant(), Some(1));
 /// ```
-#[derive(Clone, PartialEq, Eq)]
-pub enum ValueSet {
-    /// A finite set of possible values.
-    Set(BTreeSet<MaskedSymbol>),
-    /// Any value of the given width (possibly secret-dependent).
-    Top {
-        /// Bit width of the unknown word.
-        width: u8,
+#[derive(Clone)]
+pub struct ValueSet {
+    repr: Repr,
+}
+
+/// A cheap hashable identity of a [`ValueSet`], for memoizing per-set
+/// computations (projection caching in the analyzer's observer sinks).
+///
+/// Two sets with equal keys are guaranteed equal; two *equal* sets may
+/// have different keys (two independently built shared sets get distinct
+/// tokens), which merely costs a duplicate cache entry — never a wrong
+/// hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoKey {
+    /// Identity token of an `Arc`-shared set: clones share it.
+    Shared(u64),
+    /// A singleton's sole element (the dominant case: program counters).
+    One(MaskedSymbol),
+    /// The inline elements themselves (2..=[`INLINE_CAP`] of them).
+    Few {
+        /// Number of live elements.
+        len: u8,
+        /// The elements, padded with a canonical filler.
+        items: [MaskedSymbol; INLINE_CAP],
     },
+    /// `Top` of the given width.
+    Top(u8),
 }
 
 impl ValueSet {
@@ -55,7 +132,11 @@ impl ValueSet {
 
     /// A singleton set.
     pub fn singleton(m: MaskedSymbol) -> Self {
-        ValueSet::Set(BTreeSet::from([m]))
+        let mut items = [PAD; INLINE_CAP];
+        items[0] = m;
+        ValueSet {
+            repr: Repr::Small { len: 1, items },
+        }
     }
 
     /// A set of known constants (a *high* variable in the sense of §4 when
@@ -64,89 +145,162 @@ impl ValueSet {
         ValueSet::from_masked_symbols(values.into_iter().map(|v| MaskedSymbol::constant(v, width)))
     }
 
-    /// Builds a set from masked symbols, widening to `Top` past
-    /// [`MAX_CARDINALITY`].
+    /// Builds a set from masked symbols, widening to `Top` once more than
+    /// [`MAX_CARDINALITY`] distinct elements have been collected (the
+    /// oversized set is never materialized).
     ///
     /// # Panics
     ///
     /// Panics if members have inconsistent widths.
     pub fn from_masked_symbols(items: impl IntoIterator<Item = MaskedSymbol>) -> Self {
-        let set: BTreeSet<MaskedSymbol> = items.into_iter().collect();
-        let mut widths = set.iter().map(MaskedSymbol::width);
-        if let Some(w) = widths.next() {
-            assert!(widths.all(|x| x == w), "mixed widths in value set");
-            if set.len() > MAX_CARDINALITY {
-                return ValueSet::Top { width: w };
+        let mut b = SetBuilder::new();
+        for m in items {
+            b.insert(m);
+        }
+        b.finish()
+    }
+
+    /// Builds a set from an already ascending, deduplicated vector.
+    fn from_sorted_vec(items: Vec<MaskedSymbol>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        if items.len() <= INLINE_CAP {
+            let mut inline = [PAD; INLINE_CAP];
+            inline[..items.len()].copy_from_slice(&items);
+            ValueSet {
+                repr: Repr::Small {
+                    len: items.len() as u8,
+                    items: inline,
+                },
+            }
+        } else {
+            ValueSet {
+                repr: Repr::Shared(Arc::new(SharedSet {
+                    token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
+                    items,
+                })),
             }
         }
-        ValueSet::Set(set)
     }
 
     /// The unknown-high element.
     pub fn top(width: u8) -> Self {
-        ValueSet::Top { width }
+        ValueSet {
+            repr: Repr::Top { width },
+        }
     }
 
     /// `true` iff this is `Top`.
     pub fn is_top(&self) -> bool {
-        matches!(self, ValueSet::Top { .. })
+        matches!(self.repr, Repr::Top { .. })
+    }
+
+    /// The members as a sorted slice (`None` for `Top`).
+    pub fn as_slice(&self) -> Option<&[MaskedSymbol]> {
+        match &self.repr {
+            Repr::Small { len, items } => Some(&items[..*len as usize]),
+            Repr::Shared(s) => Some(&s.items),
+            Repr::Top { .. } => None,
+        }
     }
 
     /// Number of elements (`None` for `Top`).
     pub fn len(&self) -> Option<usize> {
-        match self {
-            ValueSet::Set(s) => Some(s.len()),
-            ValueSet::Top { .. } => None,
-        }
+        self.as_slice().map(<[MaskedSymbol]>::len)
     }
 
     /// `true` iff this is the empty set (unreachable code's value).
     pub fn is_empty(&self) -> bool {
-        matches!(self, ValueSet::Set(s) if s.is_empty())
+        self.as_slice().is_some_and(<[MaskedSymbol]>::is_empty)
     }
 
     /// The bit width of the members.
     ///
     /// Empty sets report width 32 (the domain's default word size).
     pub fn width(&self) -> u8 {
-        match self {
-            ValueSet::Set(s) => s.iter().next().map_or(32, MaskedSymbol::width),
-            ValueSet::Top { width } => *width,
+        match &self.repr {
+            Repr::Top { width } => *width,
+            _ => self
+                .as_slice()
+                .and_then(|s| s.first())
+                .map_or(32, MaskedSymbol::width),
         }
     }
 
     /// The concrete value if this is a singleton constant.
     pub fn as_constant(&self) -> Option<u64> {
-        match self {
-            ValueSet::Set(s) if s.len() == 1 => s.iter().next().unwrap().as_constant(),
-            _ => None,
-        }
+        self.as_singleton()?.as_constant()
     }
 
     /// The sole element if this is a singleton.
     pub fn as_singleton(&self) -> Option<MaskedSymbol> {
-        match self {
-            ValueSet::Set(s) if s.len() == 1 => s.iter().next().copied(),
+        match self.as_slice() {
+            Some([m]) => Some(*m),
             _ => None,
         }
     }
 
-    /// Iterates the members (empty for `Top`; check [`ValueSet::is_top`]).
+    /// Iterates the members in ascending order (empty for `Top`; check
+    /// [`ValueSet::is_top`]).
     pub fn iter(&self) -> impl Iterator<Item = &MaskedSymbol> + '_ {
-        match self {
-            ValueSet::Set(s) => itertools_either::Either::Left(s.iter()),
-            ValueSet::Top { .. } => itertools_either::Either::Right(std::iter::empty()),
+        self.as_slice().unwrap_or(&[]).iter()
+    }
+
+    /// A cheap hashable identity for memoization (see [`MemoKey`]).
+    pub fn memo_key(&self) -> MemoKey {
+        match &self.repr {
+            Repr::Small { len: 1, items } => MemoKey::One(items[0]),
+            Repr::Small { len, items } => MemoKey::Few {
+                len: *len,
+                items: *items,
+            },
+            Repr::Shared(s) => MemoKey::Shared(s.token),
+            Repr::Top { width } => MemoKey::Top(*width),
         }
     }
 
     /// Least upper bound (set union, widening past the cardinality cap).
     pub fn join(&self, other: &ValueSet) -> ValueSet {
-        match (self, other) {
-            (ValueSet::Top { width }, _) | (_, ValueSet::Top { width }) => {
-                ValueSet::Top { width: *width }
-            }
-            (ValueSet::Set(a), ValueSet::Set(b)) => {
-                ValueSet::from_masked_symbols(a.iter().chain(b.iter()).copied())
+        match (&self.repr, &other.repr) {
+            (Repr::Top { width }, _) | (_, Repr::Top { width }) => ValueSet::top(*width),
+            (Repr::Shared(a), Repr::Shared(b)) if Arc::ptr_eq(a, b) => self.clone(),
+            _ => {
+                let (a, b) = (
+                    self.as_slice().expect("not top"),
+                    other.as_slice().expect("not top"),
+                );
+                // Each side is internally width-consistent (every
+                // constructor checks), so one cross-check keeps the
+                // invariant the old BTreeSet-rebuilding join enforced.
+                if let (Some(x), Some(y)) = (a.first(), b.first()) {
+                    assert!(x.width() == y.width(), "mixed widths in value set");
+                }
+                // Sorted two-pointer union; both inputs are ascending and
+                // deduplicated, so the output is built in order.
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            out.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend_from_slice(&a[i..]);
+                out.extend_from_slice(&b[j..]);
+                if out.len() > MAX_CARDINALITY {
+                    return ValueSet::top(self.width());
+                }
+                ValueSet::from_sorted_vec(out)
             }
         }
     }
@@ -154,11 +308,133 @@ impl ValueSet {
     /// `true` if every concretization of `self` is one of `other` (set
     /// inclusion; `Top` includes everything).
     pub fn subsumed_by(&self, other: &ValueSet) -> bool {
-        match (self, other) {
-            (_, ValueSet::Top { .. }) => true,
-            (ValueSet::Top { .. }, _) => false,
-            (ValueSet::Set(a), ValueSet::Set(b)) => a.is_subset(b),
+        match (self.as_slice(), other.as_slice()) {
+            (_, None) => true,
+            (None, Some(_)) => false,
+            (Some(a), Some(b)) => {
+                // Sorted-subset walk: advance through `b` once.
+                let mut j = 0;
+                'outer: for m in a {
+                    while j < b.len() {
+                        match b[j].cmp(m) {
+                            std::cmp::Ordering::Less => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                j += 1;
+                                continue 'outer;
+                            }
+                            std::cmp::Ordering::Greater => return false,
+                        }
+                    }
+                    return false;
+                }
+                true
+            }
         }
+    }
+}
+
+impl PartialEq for ValueSet {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Top { width: a }, Repr::Top { width: b }) => a == b,
+            (Repr::Shared(a), Repr::Shared(b)) if Arc::ptr_eq(a, b) => true,
+            _ => match (self.as_slice(), other.as_slice()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl Eq for ValueSet {}
+
+/// Incrementally builds a sorted, deduplicated value set, widening to
+/// `Top` as soon as the distinct-element count exceeds
+/// [`MAX_CARDINALITY`] — the oversized intermediate is never kept.
+pub(crate) struct SetBuilder {
+    items: Vec<MaskedSymbol>,
+    /// `true` while `items` is ascending and deduplicated.
+    sorted: bool,
+    width: Option<u8>,
+    widened: bool,
+}
+
+impl SetBuilder {
+    pub(crate) fn new() -> Self {
+        SetBuilder {
+            items: Vec::new(),
+            sorted: true,
+            width: None,
+            widened: false,
+        }
+    }
+
+    /// Inserts one element, checking width consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m`'s width differs from previously inserted members.
+    pub(crate) fn insert(&mut self, m: MaskedSymbol) {
+        match self.width {
+            None => self.width = Some(m.width()),
+            Some(w) => assert!(w == m.width(), "mixed widths in value set"),
+        }
+        if self.widened {
+            return;
+        }
+        // Results of the pairwise liftings usually arrive ascending;
+        // keep that fast path, and on the first out-of-order element
+        // fall back to append-then-compact (O(n log n) overall, never
+        // the O(n²) of repeated middle insertion).
+        match self.items.last() {
+            Some(last) if self.sorted && *last == m => return,
+            Some(last) if self.sorted && *last > m => {
+                self.sorted = false;
+                self.items.push(m);
+            }
+            _ => self.items.push(m),
+        }
+        // Widen as soon as the distinct count provably exceeds the cap.
+        // While sorted, length *is* the distinct count; once unsorted,
+        // compact at 2× the cap so memory stays bounded without
+        // re-sorting on every near-cap insertion.
+        if self.sorted {
+            if self.items.len() > MAX_CARDINALITY {
+                self.widen();
+            }
+        } else if self.items.len() > 2 * MAX_CARDINALITY {
+            self.compact();
+            if self.items.len() > MAX_CARDINALITY {
+                self.widen();
+            }
+        }
+    }
+
+    fn widen(&mut self) {
+        self.widened = true;
+        self.items = Vec::new();
+    }
+
+    /// Restores the ascending, deduplicated invariant.
+    fn compact(&mut self) {
+        if !self.sorted {
+            self.items.sort_unstable();
+            self.items.dedup();
+            self.sorted = true;
+        }
+    }
+
+    pub(crate) fn finish(mut self) -> ValueSet {
+        if !self.widened {
+            self.compact();
+            if self.items.len() > MAX_CARDINALITY {
+                self.widen();
+            }
+        }
+        if self.widened {
+            return ValueSet::top(self.width.expect("widened sets have a width"));
+        }
+        ValueSet::from_sorted_vec(self.items)
     }
 }
 
@@ -190,15 +466,13 @@ pub fn apply_set(
     y: &ValueSet,
 ) -> (ValueSet, AbstractFlags) {
     let width = x.width();
-    match (x, y) {
-        (ValueSet::Top { .. }, _) | (_, ValueSet::Top { .. }) => {
-            (ValueSet::top(width), AbstractFlags::top())
-        }
-        (ValueSet::Set(a), ValueSet::Set(b)) => {
-            if let Some(result) = uniform_const_add(table, op, a, b) {
+    match (x.as_slice(), y.as_slice()) {
+        (None, _) | (_, None) => (ValueSet::top(width), AbstractFlags::top()),
+        (Some(a), Some(b)) => {
+            if let Some(result) = uniform_const_add(table, op, x, a, b) {
                 return result;
             }
-            let mut out = BTreeSet::new();
+            let mut out = SetBuilder::new();
             let mut flags: Option<AbstractFlags> = None;
             for ma in a {
                 for mb in b {
@@ -210,10 +484,7 @@ pub fn apply_set(
                     });
                 }
             }
-            (
-                ValueSet::from_masked_symbols(out),
-                flags.unwrap_or_else(AbstractFlags::top),
-            )
+            (out.finish(), flags.unwrap_or_else(AbstractFlags::top))
         }
     }
 }
@@ -223,14 +494,15 @@ pub fn apply_set(
 fn uniform_const_add(
     table: &mut SymbolTable,
     op: BinOp,
-    a: &BTreeSet<MaskedSymbol>,
-    b: &BTreeSet<MaskedSymbol>,
+    x: &ValueSet,
+    a: &[MaskedSymbol],
+    b: &[MaskedSymbol],
 ) -> Option<(ValueSet, AbstractFlags)> {
     if a.len() < 2 || b.len() != 1 {
         return None;
     }
-    let c_raw = b.iter().next().unwrap().as_constant()?;
-    let width = a.iter().next().unwrap().width();
+    let c_raw = b[0].as_constant()?;
+    let width = a[0].width();
     let wrap = crate::mask::Mask::top(width).width_mask();
     let c = match op {
         BinOp::Add => c_raw,
@@ -239,7 +511,7 @@ fn uniform_const_add(
     };
     if c == 0 {
         return Some((
-            ValueSet::Set(a.clone()),
+            x.clone(),
             AbstractFlags {
                 zf: crate::ops::AbstractBool::Top,
                 cf: crate::ops::AbstractBool::Top,
@@ -251,11 +523,11 @@ fn uniform_const_add(
 
     // All elements must share one non-constant symbol and one contiguous
     // low known-bit region [0, t).
-    let sym = a.iter().next().unwrap().sym();
+    let sym = a[0].sym();
     if sym == SymId::CONST {
         return None;
     }
-    let known = a.iter().next().unwrap().mask().known_bits();
+    let known = a[0].mask().known_bits();
     let t = known.trailing_ones() as u8;
     if known != (if t == 0 { 0 } else { (1u64 << t) - 1 }) || t >= width {
         return None;
@@ -292,7 +564,7 @@ fn uniform_const_add(
     } else {
         table.fresh_derived(op.name())
     };
-    let mut out = BTreeSet::new();
+    let mut out = SetBuilder::new();
     let mut zf = None;
     for (m, low) in a.iter().zip(&sums) {
         let mask = crate::mask::Mask::top(width).with_low_bits_known(t, *low);
@@ -318,7 +590,7 @@ fn uniform_const_add(
         sf: crate::ops::AbstractBool::Top,
         of: crate::ops::AbstractBool::Top,
     };
-    Some((ValueSet::from_masked_symbols(out), flags))
+    Some((out.finish(), flags))
 }
 
 /// Lifts a unary masked-symbol operation over a value set.
@@ -327,10 +599,10 @@ pub fn map_set(
     x: &ValueSet,
     mut f: impl FnMut(&mut SymbolTable, &MaskedSymbol) -> OpResult,
 ) -> (ValueSet, AbstractFlags) {
-    match x {
-        ValueSet::Top { width } => (ValueSet::top(*width), AbstractFlags::top()),
-        ValueSet::Set(s) => {
-            let mut out = BTreeSet::new();
+    match x.as_slice() {
+        None => (ValueSet::top(x.width()), AbstractFlags::top()),
+        Some(s) => {
+            let mut out = SetBuilder::new();
             let mut flags: Option<AbstractFlags> = None;
             for m in s {
                 let OpResult { value, flags: g } = f(table, m);
@@ -340,19 +612,16 @@ pub fn map_set(
                     Some(acc) => acc.join(g),
                 });
             }
-            (
-                ValueSet::from_masked_symbols(out),
-                flags.unwrap_or_else(AbstractFlags::top),
-            )
+            (out.finish(), flags.unwrap_or_else(AbstractFlags::top))
         }
     }
 }
 
 impl fmt::Display for ValueSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ValueSet::Top { width } => write!(f, "⊤{width}"),
-            ValueSet::Set(s) => {
+        match self.as_slice() {
+            None => write!(f, "⊤{}", self.width()),
+            Some(s) => {
                 write!(f, "{{")?;
                 for (i, m) in s.iter().enumerate() {
                     if i > 0 {
@@ -369,29 +638,6 @@ impl fmt::Display for ValueSet {
 impl fmt::Debug for ValueSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self}")
-    }
-}
-
-/// Tiny private stand-in for `itertools::Either` so the crate stays
-/// dependency-free.
-mod itertools_either {
-    pub enum Either<L, R> {
-        Left(L),
-        Right(R),
-    }
-
-    impl<L, R, T> Iterator for Either<L, R>
-    where
-        L: Iterator<Item = T>,
-        R: Iterator<Item = T>,
-    {
-        type Item = T;
-        fn next(&mut self) -> Option<T> {
-            match self {
-                Either::Left(l) => l.next(),
-                Either::Right(r) => r.next(),
-            }
-        }
     }
 }
 
@@ -496,5 +742,55 @@ mod tests {
         let v = ValueSet::from_constants([1, 2], 32);
         assert_eq!(v.to_string(), "{0x1, 0x2}");
         assert_eq!(ValueSet::top(32).to_string(), "⊤32");
+    }
+
+    #[test]
+    fn iteration_order_is_ascending_regardless_of_insertion_order() {
+        for perm in [
+            [3u64, 1, 2, 9, 5, 0],
+            [0, 1, 2, 3, 5, 9],
+            [9, 5, 3, 2, 1, 0],
+        ] {
+            let v = ValueSet::from_constants(perm, 32);
+            let order: Vec<u64> = v.iter().map(|m| m.as_constant().unwrap()).collect();
+            assert_eq!(order, vec![0, 1, 2, 3, 5, 9]);
+        }
+    }
+
+    #[test]
+    fn inline_and_shared_layouts_compare_equal_by_content() {
+        // 5 elements forces the shared layout; a join dropping to the
+        // same elements still compares equal to a fresh build.
+        let big = ValueSet::from_constants([1, 2, 3, 4, 5], 32);
+        let same = ValueSet::from_constants([5, 4, 3, 2, 1], 32);
+        assert_eq!(big, same);
+        assert_ne!(
+            big.memo_key(),
+            ValueSet::from_constants([1, 2], 32).memo_key()
+        );
+        // Clones share the memo token.
+        assert_eq!(big.memo_key(), big.clone().memo_key());
+        // Inline sets key by content, so equal sets share cache entries.
+        let a = ValueSet::from_constants([7, 9], 32);
+        let b = ValueSet::from_constants([9, 7], 32);
+        assert_eq!(a.memo_key(), b.memo_key());
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let e = ValueSet::from_masked_symbols([]);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), Some(0));
+        assert_eq!(e.width(), 32);
+        assert!(e.subsumed_by(&ValueSet::constant(1, 32)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed widths")]
+    fn mixed_widths_panic() {
+        let _ = ValueSet::from_masked_symbols([
+            MaskedSymbol::constant(1, 32),
+            MaskedSymbol::constant(1, 16),
+        ]);
     }
 }
