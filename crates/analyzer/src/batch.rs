@@ -75,6 +75,13 @@ impl BatchReport {
         &self.outcomes
     }
 
+    /// Consumes the report, yielding the outcomes in submission order
+    /// (lets the sweep service move the reports into shared cache
+    /// entries without cloning them).
+    pub fn into_outcomes(self) -> Vec<BatchOutcome> {
+        self.outcomes
+    }
+
     /// Wall-clock time for the whole batch (with parallelism this is
     /// far less than the sum of the per-job times).
     pub fn wall_time(&self) -> Duration {

@@ -49,7 +49,7 @@ mod state;
 
 use std::fmt;
 
-use leakaudit_core::Observer;
+use leakaudit_core::{CacheKeyed, FingerprintHasher, Observer};
 use leakaudit_x86::{DecodeError, Program};
 
 pub use batch::{BatchAnalysis, BatchJob, BatchOutcome, BatchReport};
@@ -178,6 +178,23 @@ impl AnalysisConfig {
             }
         }
         specs
+    }
+}
+
+impl CacheKeyed for AnalysisConfig {
+    /// Encodes every field that can influence an analysis *result*:
+    /// the three observer granularities (which determine the suite) and
+    /// the resource limits (which determine whether a run converges or
+    /// errors). `parallel_sinks` changes scheduling only — the batch
+    /// consistency suite proves results are bit-identical either way —
+    /// and is deliberately excluded, so serial and threaded runs share
+    /// cache entries.
+    fn key_into(&self, h: &mut FingerprintHasher) {
+        h.write_u8(self.block_bits);
+        h.write_u8(self.bank_bits);
+        h.write_u8(self.page_bits);
+        h.write_u64(self.fuel);
+        h.write_len(self.max_configs);
     }
 }
 

@@ -17,6 +17,28 @@ pub enum Channel {
     Shared,
 }
 
+impl Channel {
+    /// A stable one-byte code for serialization (0 = instruction,
+    /// 1 = data, 2 = shared).
+    pub fn code(self) -> u8 {
+        match self {
+            Channel::Instruction => 0,
+            Channel::Data => 1,
+            Channel::Shared => 2,
+        }
+    }
+
+    /// Inverse of [`Channel::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Channel::Instruction),
+            1 => Some(Channel::Data),
+            2 => Some(Channel::Shared),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -37,7 +59,7 @@ pub struct ObserverSpec {
 }
 
 /// One row of a leakage report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LeakRow {
     /// The channel/observer this row bounds.
     pub spec: ObserverSpec,
@@ -56,6 +78,14 @@ pub struct LeakReport {
 
 impl LeakReport {
     pub(crate) fn new(rows: Vec<LeakRow>) -> Self {
+        LeakReport { rows }
+    }
+
+    /// Reassembles a report from rows — the deserialization path of the
+    /// sweep service's on-disk result cache. Callers are expected to
+    /// provide rows that came out of [`LeakReport::rows`] (same specs,
+    /// same order); nothing is recomputed or checked.
+    pub fn from_rows(rows: Vec<LeakRow>) -> Self {
         LeakReport { rows }
     }
 

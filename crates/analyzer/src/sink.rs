@@ -217,6 +217,25 @@ impl DagSink {
         }
         self.cursors[idx] = Some(cursor);
     }
+
+    /// Reclaim dead DAG vertices once they dominate the table. Joins are
+    /// the only producer of dead vertices, so this runs after `Merge`
+    /// and `Retire` events; fork-heavy runs (defensive copies analyzed
+    /// with thousands of joins) otherwise re-scan an ever-growing
+    /// graveyard in every counting pass.
+    fn maybe_compact(&mut self) {
+        const MIN_DEAD: usize = 1024;
+        if self.dag.dead_vertices() >= MIN_DEAD
+            && self.dag.dead_vertices() * 2 >= self.dag.vertex_count()
+        {
+            self.dag.compact(
+                self.cursors
+                    .iter_mut()
+                    .flatten()
+                    .chain(self.finals.as_mut()),
+            );
+        }
+    }
 }
 
 impl ObserverSink for DagSink {
@@ -240,6 +259,7 @@ impl ObserverSink for DagSink {
                 let theirs = self.take(*from);
                 let merged = self.dag.merge_cursors(mine, theirs);
                 self.put(*into, merged);
+                self.maybe_compact();
             }
             TraceEvent::Access {
                 config,
@@ -263,6 +283,7 @@ impl ObserverSink for DagSink {
                     None => cur,
                     Some(acc) => self.dag.merge_cursors(acc, cur),
                 });
+                self.maybe_compact();
             }
         }
     }

@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use leakaudit_core::{AbstractBool, AbstractFlags, MaskedSymbol, SymbolTable, ValueSet};
+use leakaudit_core::{
+    AbstractBool, AbstractFlags, CacheKeyed, FingerprintHasher, MaskedSymbol, SymbolTable, ValueSet,
+};
 use leakaudit_x86::{Program, Reg};
 
 /// Records which register/partition an undecided ZF came from, so branches
@@ -26,6 +28,14 @@ pub struct FlagSource {
     pub eq: ValueSet,
     /// Elements for which ZF = 0.
     pub ne: ValueSet,
+}
+
+impl CacheKeyed for FlagSource {
+    fn key_into(&self, h: &mut FingerprintHasher) {
+        h.write_u8(self.reg as u8);
+        self.eq.key_into(h);
+        self.ne.key_into(h);
+    }
 }
 
 /// Abstract CPU flags (each three-valued).
@@ -76,6 +86,22 @@ impl FlagsState {
             } else {
                 None
             },
+        }
+    }
+}
+
+impl CacheKeyed for FlagsState {
+    fn key_into(&self, h: &mut FingerprintHasher) {
+        self.zf.key_into(h);
+        self.cf.key_into(h);
+        self.sf.key_into(h);
+        self.of.key_into(h);
+        match &self.source {
+            None => h.write_u8(0),
+            Some(src) => {
+                h.write_u8(1);
+                src.key_into(h);
+            }
         }
     }
 }
@@ -218,6 +244,19 @@ impl AbstractMemory {
     }
 }
 
+impl CacheKeyed for AbstractMemory {
+    fn key_into(&self, h: &mut FingerprintHasher) {
+        h.write_u8(u8::from(self.havocked));
+        h.write_len(self.entries.len());
+        // BTreeMap iteration order is the key order: deterministic.
+        for (addr, (value, size)) in self.entries.iter() {
+            addr.key_into(h);
+            value.key_into(h);
+            h.write_u8(*size);
+        }
+    }
+}
+
 /// The full abstract machine state of one analysis configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AbsState {
@@ -274,6 +313,16 @@ impl AbsState {
 impl Default for AbsState {
     fn default() -> Self {
         AbsState::new()
+    }
+}
+
+impl CacheKeyed for AbsState {
+    fn key_into(&self, h: &mut FingerprintHasher) {
+        for r in &self.regs {
+            r.key_into(h);
+        }
+        self.flags.key_into(h);
+        self.memory.key_into(h);
     }
 }
 
@@ -339,6 +388,16 @@ impl InitState {
             .memory
             .write(&ValueSet::singleton(addr), value, 4);
         self
+    }
+}
+
+impl CacheKeyed for InitState {
+    /// The initial-state half of the sweep service's cache key: the
+    /// symbol table (low-input symbols) plus the full abstract machine
+    /// state (registers, flags, pre-populated memory).
+    fn key_into(&self, h: &mut FingerprintHasher) {
+        self.table.key_into(h);
+        self.state.key_into(h);
     }
 }
 

@@ -11,7 +11,7 @@ fn bench_analysis(c: &mut Criterion) {
     group.sample_size(10);
     for scenario in leakaudit_scenarios::all() {
         group.bench_with_input(
-            BenchmarkId::from_parameter(scenario.name),
+            BenchmarkId::from_parameter(scenario.name.clone()),
             &scenario,
             |b, s| b.iter(|| s.analyze().expect("analysis converges")),
         );

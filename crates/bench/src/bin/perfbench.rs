@@ -15,20 +15,26 @@
 //!
 //! * `--quick`: 1 iteration, no warmup, print to stdout only (CI mode —
 //!   proves the harness runs, commits nothing).
-//! * `--out FILE`: write the JSON report (default `BENCH_2.json`).
+//! * `--out FILE`: write the JSON report (default `BENCH_3.json`).
 //! * `--baseline FILE`: embed a previous perfbench report as the
 //!   `baseline` field and compute `speedup_vs_baseline`.
 //!
-//! JSON schema (`leakaudit-perfbench/v1`): `label`, `iters`, `warmup`,
-//! `threads`, `scenarios_ms` (name → median ms), `total_sequential_ms`
-//! (sum of per-scenario medians), `batch_all_8_ms` (median wall time of
-//! the 8-scenario parallel batch), `baseline` (a previous report or
-//! `null`), and `speedup_vs_baseline` (baseline / current, per metric).
+//! JSON schema (`leakaudit-perfbench/v2` — v1 plus the sweep metrics):
+//! `label`, `iters`, `warmup`, `threads`, `scenarios_ms` (name → median
+//! ms), `total_sequential_ms` (sum of per-scenario medians),
+//! `batch_all_8_ms` (median wall time of the 8-scenario parallel
+//! batch), `sweep_cells` (size of the default registry matrix),
+//! `sweep_cold_ms` (median wall time of a cold default sweep through
+//! the service, fresh cache each iteration), `sweep_warm_ms` (median
+//! wall time of the same sweep answered entirely from the result
+//! cache), `baseline` (a previous report or `null`), and
+//! `speedup_vs_baseline` (baseline / current, per shared metric).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use leakaudit_scenarios::{analyze_all, Scenario};
+use leakaudit_scenarios::{analyze_all, Registry, Scenario};
+use leakaudit_service::SweepEngine;
 
 struct Args {
     iters: usize,
@@ -43,7 +49,7 @@ fn parse_args() -> Args {
         iters: 7,
         warmup: 2,
         label: String::from("perfbench"),
-        out: Some(String::from("BENCH_2.json")),
+        out: Some(String::from("BENCH_3.json")),
         baseline: None,
     };
     let mut it = std::env::args().skip(1);
@@ -137,7 +143,7 @@ fn main() {
             s.analyze().expect("analysis converges");
         });
         println!("  {:<42} {:>9.2} ms", s.name, ms);
-        scenario_ms.push((s.name, ms));
+        scenario_ms.push((s.name.as_str(), ms));
     }
     let total_sequential: f64 = scenario_ms.iter().map(|(_, ms)| ms).sum();
 
@@ -149,6 +155,32 @@ fn main() {
     println!(
         "  {:<42} {:>9.2} ms",
         "total (sequential sum)", total_sequential
+    );
+
+    // The sweep service: a cold default matrix (fresh cache every
+    // iteration) vs the warm re-run answered from the result cache.
+    let registry = Registry::default_sweep();
+    let sweep_cells = registry.len();
+    let sweep_cold_ms = measure(args.iters, args.warmup, || {
+        let engine = SweepEngine::new();
+        let report = engine.run(&registry);
+        assert_eq!(report.computed(), registry.len(), "cold sweep analyzes all");
+    });
+    println!(
+        "  {:<42} {:>9.2} ms",
+        format!("sweep_cold ({sweep_cells} cells)"),
+        sweep_cold_ms
+    );
+    let warm_engine = SweepEngine::new();
+    warm_engine.run(&registry);
+    let sweep_warm_ms = measure(args.iters, args.warmup, || {
+        let report = warm_engine.run(&registry);
+        assert_eq!(report.computed(), 0, "warm sweep is pure cache hits");
+    });
+    println!(
+        "  {:<42} {:>9.2} ms",
+        format!("sweep_warm ({sweep_cells} cells)"),
+        sweep_warm_ms
     );
 
     let baseline_text = args.baseline.as_ref().map(|path| {
@@ -170,7 +202,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v2\",");
     let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
@@ -183,17 +215,27 @@ fn main() {
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"total_sequential_ms\": {total_sequential:.3},");
     let _ = writeln!(json, "  \"batch_all_8_ms\": {batch_ms:.3},");
+    let _ = writeln!(json, "  \"sweep_cells\": {sweep_cells},");
+    let _ = writeln!(json, "  \"sweep_cold_ms\": {sweep_cold_ms:.3},");
+    let _ = writeln!(json, "  \"sweep_warm_ms\": {sweep_warm_ms:.3},");
     match &baseline_text {
         Some(base) => {
-            let speedup_batch = extract_number(base, "batch_all_8_ms")
-                .map_or_else(|| "null".into(), |b| format!("{:.3}", b / batch_ms));
-            let speedup_seq = extract_number(base, "total_sequential_ms")
-                .map_or_else(|| "null".into(), |b| format!("{:.3}", b / total_sequential));
+            let speedup = |key: &str, current: f64| {
+                extract_number(base, key)
+                    .map_or_else(|| "null".into(), |b| format!("{:.3}", b / current))
+            };
+            let speedup_batch = speedup("batch_all_8_ms", batch_ms);
+            let speedup_seq = speedup("total_sequential_ms", total_sequential);
+            // Sweep metrics exist only in v2+ baselines: null against v1.
+            let speedup_cold = speedup("sweep_cold_ms", sweep_cold_ms);
+            let speedup_warm = speedup("sweep_warm_ms", sweep_warm_ms);
             let indented = base.trim_end().replace('\n', "\n  ");
             let _ = writeln!(json, "  \"baseline\": {indented},");
             let _ = writeln!(json, "  \"speedup_vs_baseline\": {{");
             let _ = writeln!(json, "    \"batch_all_8\": {speedup_batch},");
-            let _ = writeln!(json, "    \"total_sequential\": {speedup_seq}");
+            let _ = writeln!(json, "    \"total_sequential\": {speedup_seq},");
+            let _ = writeln!(json, "    \"sweep_cold\": {speedup_cold},");
+            let _ = writeln!(json, "    \"sweep_warm\": {speedup_warm}");
             let _ = writeln!(json, "  }}");
         }
         None => {

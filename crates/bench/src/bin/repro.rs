@@ -10,7 +10,7 @@ use leakaudit_bench as bench;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <all|quick|fig1|fig2|fig4|fig7|fig8|fig9|fig13|fig14|fig15|fig16|runtimes>"
+        "usage: repro <all|quick|fig1|fig2|fig4|fig7|fig8|fig9|fig13|fig14|fig15|fig16|runtimes|sweep>"
     );
     std::process::exit(2);
 }
@@ -40,6 +40,7 @@ fn main() {
         "fig16" => bench::render_fig16(3072, 2),
         "fig16-quick" => bench::render_fig16(512, 2),
         "runtimes" => bench::render_runtimes(),
+        "sweep" => bench::render_sweep(),
         _ => usage(),
     };
     println!("{out}");

@@ -293,6 +293,49 @@ pub fn scatter_gather_scenario() -> Scenario {
     scatter_gather::openssl_102f()
 }
 
+/// Renders the default sweep matrix through the sweep service: a cold
+/// run (every cell analyzed in one parallel batch) followed by a warm
+/// re-run answered entirely from the content-addressed result cache —
+/// the per-cell `source` column shows the provenance.
+pub fn render_sweep() -> String {
+    use leakaudit_scenarios::Registry;
+    use leakaudit_service::SweepEngine;
+
+    let registry = Registry::default_sweep();
+    let engine = SweepEngine::new();
+    let mut out = format!(
+        "Sweep matrix — {} cells over {} countermeasure families\n\
+         =======================================================\n\n\
+         cold run (fresh cache):\n\n",
+        registry.len(),
+        registry.families().len()
+    );
+    let cold = engine.run(&registry);
+    assert_eq!(
+        cold.computed(),
+        registry.len(),
+        "a fresh engine must analyze every cell"
+    );
+    out.push_str(&cold.to_table());
+    out.push_str("\nwarm re-run (same engine, every cell from cache):\n\n");
+    let warm = engine.run(&registry);
+    assert_eq!(
+        warm.computed(),
+        0,
+        "the warm sweep must be answered entirely from the result cache"
+    );
+    out.push_str(&warm.to_table());
+    let stats = engine.memory_stats();
+    let _ = writeln!(
+        out,
+        "\nresult cache: {} entries, {} hits / {} misses",
+        engine.cached_reports(),
+        stats.hits,
+        stats.misses
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,12 +32,36 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// Replacement policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Least-recently-used.
     Lru,
     /// First-in-first-out.
     Fifo,
+    /// Tree-based pseudo-LRU (the policy of most real L1s, including the
+    /// Core 2 generation the paper measured on). Requires a power-of-two
+    /// associativity.
+    Plru,
+}
+
+impl Policy {
+    /// Every policy, for sweeps and comparison tables.
+    pub const ALL: [Policy; 3] = [Policy::Lru, Policy::Fifo, Policy::Plru];
+
+    /// Stable lowercase name (`"lru"`, `"fifo"`, `"plru"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Lru => "lru",
+            Policy::Fifo => "fifo",
+            Policy::Plru => "plru",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Geometry and policy of one cache level.
@@ -109,12 +133,81 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Replacement state of one cache set.
+#[derive(Debug, Clone)]
+enum CacheSet {
+    /// LRU/FIFO: a queue of resident tags, front = next victim.
+    Queue(VecDeque<u64>),
+    /// Tree-PLRU: way-indexed tags plus the decision bits. Bit `n`
+    /// (heap-indexed, root = 1) selects which subtree holds the
+    /// pseudo-least-recently-used way; every access flips the bits on
+    /// its leaf-to-root path away from itself.
+    Tree { ways: Vec<Option<u64>>, bits: u32 },
+}
+
+impl CacheSet {
+    fn new(config: &CacheConfig) -> Self {
+        match config.policy {
+            Policy::Lru | Policy::Fifo => {
+                CacheSet::Queue(VecDeque::with_capacity(config.ways as usize))
+            }
+            Policy::Plru => CacheSet::Tree {
+                ways: vec![None; config.ways as usize],
+                bits: 0,
+            },
+        }
+    }
+
+    fn contains(&self, tag: u64) -> bool {
+        match self {
+            CacheSet::Queue(q) => q.contains(&tag),
+            CacheSet::Tree { ways, .. } => ways.contains(&Some(tag)),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            CacheSet::Queue(q) => q.clear(),
+            CacheSet::Tree { ways, bits } => {
+                ways.fill(None);
+                *bits = 0;
+            }
+        }
+    }
+}
+
+/// Walks the PLRU tree from the root to the victim way: at each inner
+/// node, follow the direction the decision bit points to.
+fn plru_victim(bits: u32, ways: usize) -> usize {
+    let mut node = 1usize;
+    while node < ways {
+        let b = (bits >> node) & 1;
+        node = 2 * node + b as usize;
+    }
+    node - ways
+}
+
+/// Points every decision bit on the accessed way's root path *away* from
+/// it (the way becomes pseudo-most-recently-used).
+fn plru_touch(bits: &mut u32, ways: usize, way: usize) {
+    let mut node = ways + way;
+    while node > 1 {
+        let parent = node / 2;
+        // Came from the left child (2·parent): point right, and vice versa.
+        if node == 2 * parent {
+            *bits |= 1 << parent;
+        } else {
+            *bits &= !(1 << parent);
+        }
+        node = parent;
+    }
+}
+
 /// One set-associative cache level.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// Per set: resident tags, front = next victim under the policy.
-    sets: Vec<VecDeque<u64>>,
+    sets: Vec<CacheSet>,
     stats: CacheStats,
 }
 
@@ -123,8 +216,9 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` or `line_bytes` is not a power of two, or `ways`
-    /// is zero.
+    /// Panics if `sets` or `line_bytes` is not a power of two, if `ways`
+    /// is zero, or if the policy is [`Policy::Plru`] and `ways` is not a
+    /// power of two (the decision tree needs complete levels).
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
         assert!(
@@ -132,9 +226,15 @@ impl Cache {
             "line size must be a power of two"
         );
         assert!(config.ways > 0, "associativity must be positive");
+        if config.policy == Policy::Plru {
+            assert!(
+                config.ways.is_power_of_two() && config.ways <= 32,
+                "PLRU needs a power-of-two associativity (max 32)"
+            );
+        }
         Cache {
             config,
-            sets: vec![VecDeque::with_capacity(config.ways as usize); config.sets as usize],
+            sets: vec![CacheSet::new(&config); config.sets as usize],
             stats: CacheStats::default(),
         }
     }
@@ -160,30 +260,54 @@ impl Cache {
     /// Performs one access; returns `true` on a hit.
     pub fn access(&mut self, addr: u64) -> bool {
         let (set_idx, tag) = self.locate(addr);
-        let set = &mut self.sets[set_idx as usize];
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
-            self.stats.hits += 1;
-            if self.config.policy == Policy::Lru {
-                // Move to the back (most recently used).
-                let t = set.remove(pos).unwrap();
-                set.push_back(t);
+        let capacity = self.config.ways as usize;
+        let policy = self.config.policy;
+        match &mut self.sets[set_idx as usize] {
+            CacheSet::Queue(set) => {
+                if let Some(pos) = set.iter().position(|&t| t == tag) {
+                    self.stats.hits += 1;
+                    if policy == Policy::Lru {
+                        // Move to the back (most recently used).
+                        let t = set.remove(pos).unwrap();
+                        set.push_back(t);
+                    }
+                    true
+                } else {
+                    self.stats.misses += 1;
+                    if set.len() == capacity {
+                        set.pop_front();
+                        self.stats.evictions += 1;
+                    }
+                    set.push_back(tag);
+                    false
+                }
             }
-            true
-        } else {
-            self.stats.misses += 1;
-            if set.len() == self.config.ways as usize {
-                set.pop_front();
-                self.stats.evictions += 1;
+            CacheSet::Tree { ways, bits } => {
+                if let Some(way) = ways.iter().position(|&t| t == Some(tag)) {
+                    self.stats.hits += 1;
+                    plru_touch(bits, capacity, way);
+                    true
+                } else {
+                    self.stats.misses += 1;
+                    let way = match ways.iter().position(Option::is_none) {
+                        Some(empty) => empty,
+                        None => {
+                            self.stats.evictions += 1;
+                            plru_victim(*bits, capacity)
+                        }
+                    };
+                    ways[way] = Some(tag);
+                    plru_touch(bits, capacity, way);
+                    false
+                }
             }
-            set.push_back(tag);
-            false
         }
     }
 
     /// Whether the line containing `addr` is resident (no state change).
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.locate(addr);
-        self.sets[set_idx as usize].contains(&tag)
+        self.sets[set_idx as usize].contains(tag)
     }
 
     /// Empties the cache, keeping statistics.
@@ -313,6 +437,112 @@ mod tests {
         c.access(0x200); // evicts 0x000
         assert!(!c.probe(0x000));
         assert!(c.probe(0x100));
+    }
+
+    fn plru4() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 4,
+            line_bytes: 64,
+            policy: Policy::Plru,
+        })
+    }
+
+    // Set 0 holds even lines; five conflicting addresses for a 4-way set.
+    const A: u64 = 0x000;
+    const B: u64 = 0x080;
+    const C: u64 = 0x100;
+    const D: u64 = 0x180;
+    const E: u64 = 0x200;
+
+    #[test]
+    fn plru_fills_invalid_ways_before_evicting() {
+        let mut c = plru4();
+        for addr in [A, B, C, D] {
+            assert!(!c.access(addr), "cold miss");
+        }
+        assert_eq!(c.stats().evictions, 0, "invalid ways absorb cold misses");
+        for addr in [A, B, C, D] {
+            assert!(c.probe(addr));
+        }
+    }
+
+    #[test]
+    fn plru_sequential_fill_victimizes_the_oldest() {
+        let mut c = plru4();
+        for addr in [A, B, C, D] {
+            c.access(addr);
+        }
+        // After an in-order fill the tree points at way 0 (= A), like LRU.
+        c.access(E);
+        assert!(!c.probe(A), "A is the pseudo-LRU victim");
+        assert!(c.probe(B) && c.probe(C) && c.probe(D) && c.probe(E));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn plru_diverges_from_true_lru_after_a_refresh() {
+        // The classic tree-PLRU artifact: fill A B C D, re-touch A. True
+        // LRU would now evict B; the tree's root points at the *other*
+        // half, so C goes instead.
+        let mut c = plru4();
+        for addr in [A, B, C, D] {
+            c.access(addr);
+        }
+        assert!(c.access(A), "refresh hit");
+        c.access(E);
+        assert!(!c.probe(C), "tree victim is C");
+        assert!(c.probe(B), "true-LRU victim B survives under PLRU");
+        assert!(c.probe(A) && c.probe(D) && c.probe(E));
+    }
+
+    #[test]
+    fn plru_single_way_acts_direct_mapped() {
+        let mut c = Cache::new(CacheConfig {
+            sets: 2,
+            ways: 1,
+            line_bytes: 64,
+            policy: Policy::Plru,
+        });
+        assert!(!c.access(A));
+        assert!(c.access(A));
+        assert!(!c.access(B));
+        assert!(!c.probe(A), "1-way: any conflicting fill evicts");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two associativity")]
+    fn plru_rejects_non_power_of_two_ways() {
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 3,
+            line_bytes: 64,
+            policy: Policy::Plru,
+        });
+    }
+
+    #[test]
+    fn plru_flush_resets_tags_and_tree_bits() {
+        let mut c = plru4();
+        for addr in [A, B, C, D] {
+            c.access(addr);
+        }
+        c.flush();
+        assert!(!c.probe(A));
+        // Post-flush behavior matches a fresh cache exactly.
+        for addr in [A, B, C, D] {
+            assert!(!c.access(addr));
+        }
+        c.access(E);
+        assert!(!c.probe(A) && c.probe(B));
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(Policy::Lru.name(), "lru");
+        assert_eq!(Policy::Fifo.to_string(), "fifo");
+        assert_eq!(Policy::Plru.to_string(), "plru");
+        assert_eq!(Policy::ALL.len(), 3);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod concrete;
+mod fingerprint;
 mod mask;
 mod msym;
 mod observer;
@@ -70,6 +71,7 @@ mod trace;
 mod value;
 
 pub use concrete::Valuation;
+pub use fingerprint::{CacheKeyed, Fingerprint, FingerprintHasher};
 pub use mask::{Mask, MaskBit};
 pub use msym::MaskedSymbol;
 pub use observer::{project_range, ObsSet, Observation, Observer};

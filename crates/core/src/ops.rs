@@ -36,6 +36,16 @@ pub enum AbstractBool {
     Top,
 }
 
+impl crate::fingerprint::CacheKeyed for AbstractBool {
+    fn key_into(&self, h: &mut crate::fingerprint::FingerprintHasher) {
+        h.write_u8(match self {
+            AbstractBool::False => 0,
+            AbstractBool::True => 1,
+            AbstractBool::Top => 2,
+        });
+    }
+}
+
 impl AbstractBool {
     /// Lifts a concrete Boolean.
     pub fn from_bool(b: bool) -> Self {

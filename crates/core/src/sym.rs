@@ -81,6 +81,26 @@ pub struct SymbolTable {
     succ: HashMap<(MaskedSymbol, u64), MaskedSymbol>,
 }
 
+impl crate::fingerprint::CacheKeyed for SymbolTable {
+    /// Encodes the allocated symbols (names and provenance, in id
+    /// order). The `origin`/`succ` memos are *derived* bookkeeping —
+    /// deterministic given the symbols and the analyzed operations — and
+    /// are excluded; an initial-state table has them empty anyway.
+    fn key_into(&self, h: &mut crate::fingerprint::FingerprintHasher) {
+        h.write_len(self.names.len());
+        for (name, prov) in self.names.iter().zip(&self.provenance) {
+            h.write_str(name);
+            match prov {
+                Provenance::Input => h.write_u8(0),
+                Provenance::Derived { op } => {
+                    h.write_u8(1);
+                    h.write_str(op);
+                }
+            }
+        }
+    }
+}
+
 impl SymbolTable {
     /// Creates a table containing only [`SymId::CONST`].
     pub fn new() -> Self {

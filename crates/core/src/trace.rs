@@ -19,6 +19,7 @@
 //! DAG can track how many paths share each frontier vertex — in-place
 //! repetition bumps are only sound for exclusively-owned vertices.
 
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -135,7 +136,7 @@ impl Preds {
 
 /// An intermediate trace count: a `u128` while it fits, a [`Natural`]
 /// once it overflows (see [`TraceDag::count`]).
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 enum Cnt {
     Small(u128),
     Big(Natural),
@@ -248,6 +249,15 @@ pub struct TraceDag {
     observer: Observer,
     vertices: Vec<Vertex>,
     root: VertexId,
+    /// Number of currently dead (unreclaimed) vertices.
+    dead_count: usize,
+    /// Per-vertex memo of the counting pass (see [`TraceDag::count`]).
+    /// Vertex ids are allocated in topological order, so a mutation of
+    /// vertex `i` can only change counts of vertices `>= i`: the memo is
+    /// a valid *prefix*, and `memo_floor` tracks how much of it survives
+    /// the mutations since the last count.
+    memo: RefCell<Vec<Cnt>>,
+    memo_floor: Cell<usize>,
 }
 
 impl TraceDag {
@@ -265,6 +275,9 @@ impl TraceDag {
             observer,
             vertices: vec![root],
             root: VertexId(0),
+            dead_count: 0,
+            memo: RefCell::new(Vec::new()),
+            memo_floor: Cell::new(0),
         };
         let cursor = Cursor {
             verts: vec![VertexId(0)],
@@ -277,9 +290,69 @@ impl TraceDag {
         self.observer
     }
 
-    /// Number of vertices ever allocated (including dead ones).
+    /// Number of vertices in the table (live plus dead-but-unreclaimed;
+    /// see [`TraceDag::compact`]).
     pub fn vertex_count(&self) -> usize {
         self.vertices.len()
+    }
+
+    /// Number of dead vertices awaiting reclamation.
+    pub fn dead_vertices(&self) -> usize {
+        self.dead_count
+    }
+
+    /// Invalidate the count memo from vertex `v` on: the prefix below `v`
+    /// is unaffected by any mutation of `v` (ids are topological).
+    fn touch(&self, v: VertexId) {
+        if v.index() < self.memo_floor.get() {
+            self.memo_floor.set(v.index());
+        }
+    }
+
+    /// Reclaims dead vertices, remapping ids.
+    ///
+    /// Vertices flagged `dead` by sibling merges are never referenced
+    /// again — not by edges (only childless vertices die) and not by
+    /// cursors (they are dropped from the frontier at merge time) — but
+    /// they used to sit in the table forever, scanned by every counting
+    /// pass. This slides the live vertices down (preserving topological
+    /// id order) and rewrites all edges.
+    ///
+    /// **Every live cursor of this DAG must be passed in** so its frontier
+    /// ids can be rewritten; using a cursor that skipped a compaction is
+    /// undefined (panics or wrong counts).
+    pub fn compact<'a>(&mut self, cursors: impl IntoIterator<Item = &'a mut Cursor>) {
+        if self.dead_count == 0 {
+            return;
+        }
+        let mut remap: Vec<Option<VertexId>> = Vec::with_capacity(self.vertices.len());
+        let mut next = 0u32;
+        for v in &self.vertices {
+            if v.dead {
+                remap.push(None);
+            } else {
+                remap.push(Some(VertexId(next)));
+                next += 1;
+            }
+        }
+        let map = |id: VertexId| remap[id.index()].expect("compact: edge to a dead vertex");
+        self.vertices.retain(|v| !v.dead);
+        for v in &mut self.vertices {
+            v.preds = match &v.preds {
+                Preds::None => Preds::None,
+                Preds::One(p) => Preds::One(map(*p)),
+                Preds::Many(ps) => Preds::Many(ps.iter().map(|p| map(*p)).collect()),
+            };
+        }
+        self.root = map(self.root);
+        for c in cursors {
+            for v in &mut c.verts {
+                *v = map(*v);
+            }
+        }
+        self.dead_count = 0;
+        self.memo.borrow_mut().clear();
+        self.memo_floor.set(0);
     }
 
     /// Duplicates a cursor when the analysis forks on an unknown branch.
@@ -341,6 +414,7 @@ impl TraceDag {
                 Step::Stutter => return c,
                 Step::Bump => {
                     self.vertices[v.index()].reps.bump();
+                    self.touch(v);
                     return c;
                 }
                 Step::Extend => {
@@ -367,6 +441,7 @@ impl TraceDag {
                 Step::Stutter => stuttered.push(v),
                 Step::Bump => {
                     self.vertices[v.index()].reps.bump();
+                    self.touch(v);
                     stuttered.push(v);
                 }
                 Step::Extend => pending.push(v),
@@ -459,10 +534,13 @@ impl TraceDag {
                 };
                 let dropped_reps = self.vertices[drop.index()].reps.clone();
                 self.vertices[keep.index()].reps.extend_from(&dropped_reps);
+                self.touch(keep);
                 for p in self.vertices[drop.index()].preds.clone().as_slice() {
                     self.vertices[p.index()].children -= 1;
                 }
                 self.vertices[drop.index()].dead = true;
+                self.dead_count += 1;
+                self.touch(drop);
                 verts[i] = keep;
                 verts.remove(j);
             }
@@ -479,10 +557,23 @@ impl TraceDag {
     /// spill into big-number arithmetic once a product overflows: the
     /// zero-leak case studies (counts staying 1 across tens of thousands
     /// of vertices) never allocate a single limb vector.
+    ///
+    /// The per-vertex counts are **memoized across calls**: because vertex
+    /// ids are topological (predecessors precede children), any mutation
+    /// of vertex `i` — a repetition bump, a sibling merge — leaves the
+    /// counts of vertices `< i` untouched, so each call only recomputes
+    /// from the lowest vertex mutated since the previous one. Repeated
+    /// counting (per-sink rows, incremental service queries) is
+    /// incremental instead of a full re-scan.
     pub fn count(&self, c: &Cursor) -> Natural {
-        let mut cnt: Vec<Option<Cnt>> = vec![None; self.vertices.len()];
-        for (i, v) in self.vertices.iter().enumerate() {
+        let mut memo = self.memo.borrow_mut();
+        memo.truncate(self.memo_floor.get());
+        for i in memo.len()..self.vertices.len() {
+            let v = &self.vertices[i];
             if v.dead {
+                // Placeholder: dead vertices have no children and sit on
+                // no frontier, so this entry is never read.
+                memo.push(Cnt::Small(0));
                 continue;
             }
             let preds = v.preds.as_slice();
@@ -491,11 +582,7 @@ impl TraceDag {
             } else {
                 let mut s = Cnt::Small(0);
                 for p in preds {
-                    s = s.add(
-                        cnt[p.index()]
-                            .as_ref()
-                            .expect("preds precede children in id order"),
-                    );
+                    s = s.add(&memo[p.index()]);
                 }
                 s
             };
@@ -511,11 +598,12 @@ impl TraceDag {
                     None => Cnt::Big(o.count()),
                 },
             };
-            cnt[i] = Some(preds_sum.mul_u64(rep_factor).mul(&label_factor));
+            memo.push(preds_sum.mul_u64(rep_factor).mul(&label_factor));
         }
+        self.memo_floor.set(self.vertices.len());
         let mut total = Cnt::Small(0);
         for &v in &c.verts {
-            total = total.add(cnt[v.index()].as_ref().expect("cursor vertex is alive"));
+            total = total.add(&memo[v.index()]);
         }
         total.into_natural()
     }
@@ -733,6 +821,68 @@ mod tests {
         let (mut dag, cur) = TraceDag::new(Observer::block(6));
         let cur = dag.access(cur, &ValueSet::top(32));
         assert_eq!(dag.leakage_bits(&cur), 26.0);
+    }
+
+    #[test]
+    fn interleaved_counts_stay_correct_under_mutation() {
+        // Exercises the memo's prefix invalidation: count after every
+        // mutation kind (extend, in-place bump, fork, sibling merge) and
+        // check each intermediate value against the closed form.
+        let (mut dag, mut cur) = TraceDag::new(Observer::address());
+        cur = dag.access(cur, &consts(&[0x10]));
+        assert_eq!(dag.count(&cur).to_u64(), Some(1));
+        // In-place repetition bump mutates the just-counted vertex:
+        // R(v) becomes {2}, still one possible count.
+        cur = dag.access(cur, &consts(&[0x10]));
+        assert_eq!(dag.count(&cur).to_u64(), Some(1));
+        cur = dag.access(cur, &consts(&[0x20, 0x30]));
+        assert_eq!(dag.count(&cur).to_u64(), Some(2));
+        // Fork, diverge to the same label, merge: the sibling merge
+        // mutates the surviving vertex after it may have been counted.
+        let other = dag.clone_cursor(&cur);
+        cur = dag.access(cur, &consts(&[0x40]));
+        assert_eq!(dag.count(&cur).to_u64(), Some(2));
+        let other = dag.access(other, &consts(&[0x40]));
+        let merged = dag.merge_cursors(cur, other);
+        let cur = dag.access(merged, &consts(&[0x50]));
+        // Same label, same parent: the sibling paths collapse to one
+        // vertex with R = {1} — no extra factor.
+        assert_eq!(dag.count(&cur).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_vertices_and_preserves_counts() {
+        let (mut dag, mut cur) = TraceDag::new(Observer::address());
+        // Generate dead vertices: fork/merge with equal labels makes the
+        // sibling merge kill one vertex per round.
+        for round in 0..20u64 {
+            cur = dag.access(cur, &consts(&[round]));
+            let other = dag.clone_cursor(&cur);
+            cur = dag.access(cur, &consts(&[0x1000 + round]));
+            let other = dag.access(other, &consts(&[0x1000 + round]));
+            cur = dag.merge_cursors(cur, other);
+        }
+        let before = dag.count(&cur);
+        let dead = dag.dead_vertices();
+        assert!(dead > 0, "the fork/merge rounds must kill siblings");
+        let total_before = dag.vertex_count();
+        dag.compact([&mut cur]);
+        assert_eq!(dag.dead_vertices(), 0);
+        assert_eq!(dag.vertex_count(), total_before - dead);
+        assert_eq!(dag.count(&cur), before, "counts survive the remap");
+        // The DAG remains fully usable after compaction.
+        cur = dag.access(cur, &consts(&[0x9000, 0x9001]));
+        assert_eq!(dag.count(&cur), &before * &Natural::from(2u32));
+    }
+
+    #[test]
+    fn compaction_with_no_dead_vertices_is_a_noop() {
+        let (mut dag, mut cur) = TraceDag::new(Observer::address());
+        cur = dag.access(cur, &consts(&[0x10]));
+        let n = dag.vertex_count();
+        dag.compact([&mut cur]);
+        assert_eq!(dag.vertex_count(), n);
+        assert_eq!(dag.count(&cur).to_u64(), Some(1));
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //! response to CacheBleed: read *every* byte of every interleaved value
 //! and select with a branchless mask, making even the full address trace
 //! secret-independent (paper Fig. 14d: zero everywhere).
+//!
+//! The family shares its interleaving parameters with
+//! [`crate::scatter_gather`]: `spacing` values of `value_bytes` bytes
+//! each, analyzed at a chosen cache-line size.
 
 use leakaudit_analyzer::InitState;
 use leakaudit_core::ValueSet;
@@ -22,15 +26,25 @@ use crate::{ConcreteCase, Expected, Scenario};
 ///
 /// The buffer walk is fully sequential (every byte), `k` only feeds the
 /// `setcc`-based mask — there is no secret-dependent address or branch
-/// left.
-pub fn openssl_102g() -> Scenario {
+/// left, for *any* interleaving width.
+///
+/// # Panics
+///
+/// Panics unless `spacing` is a power of two in `2..=64` and
+/// `value_bytes > 0`.
+pub fn variant(spacing: u32, value_bytes: u32, block_bits: u8) -> Scenario {
+    assert!(
+        spacing.is_power_of_two() && (2..=64).contains(&spacing),
+        "spacing must be a power of two in 2..=64"
+    );
+    assert!(value_bytes > 0, "values must be non-empty");
     let mut a = Asm::new(0x4e000);
     // align(buf), as in 1.0.2f.
     a.and(Reg::Eax, 0xffff_ffc0u32);
     a.add(Reg::Eax, 0x40u32);
     // end-of-r sentinel on the stack (register pressure, like -O2).
     a.mov(Reg::Esi, Reg::Edi);
-    a.add(Reg::Esi, VALUE_BYTES);
+    a.add(Reg::Esi, value_bytes);
     a.push_op(Reg::Esi);
     a.label("outer");
     a.xor(Reg::Ebx, Reg::Ebx); // acc = 0
@@ -45,7 +59,7 @@ pub fn openssl_102g() -> Scenario {
     a.or(Reg::Ebx, Reg::Esi); // acc |= ...
     a.inc(Reg::Eax); // buf cursor (sequential walk)
     a.inc(Reg::Ebp);
-    a.cmp(Reg::Ebp, SPACING);
+    a.cmp(Reg::Ebp, spacing);
     a.jne("inner");
     a.mov_store_b(Mem::reg(Reg::Edi), Reg8::Bl); // r[i] = acc
     a.inc(Reg::Edi);
@@ -62,7 +76,7 @@ pub fn openssl_102g() -> Scenario {
     init.set_reg(Reg::Edi, ValueSet::singleton(r));
     init.set_reg(
         Reg::Ecx,
-        ValueSet::from_constants(0..u64::from(SPACING), 32),
+        ValueSet::from_constants(0..u64::from(spacing), 32),
     );
 
     let mut cases = Vec::new();
@@ -72,14 +86,14 @@ pub fn openssl_102g() -> Scenario {
             .enumerate()
     {
         let aligned = buf_raw - (buf_raw & 63) + 64;
-        for k in 0..SPACING {
+        for k in 0..spacing {
             let mut bytes = Vec::new();
-            for kk in 0..SPACING {
-                for i in 0..VALUE_BYTES {
-                    bytes.push((aligned + kk + i * SPACING, value_byte(kk, i)));
+            for kk in 0..spacing {
+                for i in 0..value_bytes {
+                    bytes.push((aligned + kk + i * spacing, value_byte(kk, i)));
                 }
             }
-            let expected: Vec<u8> = (0..VALUE_BYTES).map(|i| value_byte(k, i)).collect();
+            let expected: Vec<u8> = (0..value_bytes).map(|i| value_byte(k, i)).collect();
             cases.push(ConcreteCase {
                 label: format!("k={k}, layout {layout}"),
                 layout,
@@ -91,18 +105,29 @@ pub fn openssl_102g() -> Scenario {
     }
 
     Scenario {
-        name: "defensive-gather-1.0.2g",
-        paper_ref: "Fig. 14d (leakage), Fig. 12 (code), Fig. 13 (bank layout)",
+        name: format!("defensive-gather[s={spacing},n={value_bytes},b={block_bits}]"),
+        paper_ref: String::from("Fig. 12 family (parameterized interleaving)"),
         program,
         init,
-        block_bits: 6,
-        expected: Expected {
-            icache: [0.0, 0.0, 0.0],
-            dcache: [0.0, 0.0, 0.0],
-            dcache_bank: Some(0.0),
-        },
+        block_bits,
+        expected: Expected::unknown(),
         cases,
     }
+}
+
+/// The paper's instance: 8 interleaved 384-byte values, 64-byte lines,
+/// with the published name and the Fig. 14d expectations (zero
+/// everywhere).
+pub fn openssl_102g() -> Scenario {
+    let mut s = variant(SPACING, VALUE_BYTES, 6);
+    s.name = String::from("defensive-gather-1.0.2g");
+    s.paper_ref = String::from("Fig. 14d (leakage), Fig. 12 (code), Fig. 13 (bank layout)");
+    s.expected = Expected {
+        icache: [0.0, 0.0, 0.0],
+        dcache: [0.0, 0.0, 0.0],
+        dcache_bank: Some(0.0),
+    };
+    s
 }
 
 #[cfg(test)]
@@ -123,6 +148,17 @@ mod tests {
             assert_eq!(report.icache_bits(obs), 0.0, "I {obs}");
             assert_eq!(report.dcache_bits(obs), 0.0, "D {obs}");
         }
+    }
+
+    #[test]
+    fn proof_holds_for_narrow_variants_too() {
+        // 4 values of 64 bytes: the defensive walk is still sequential,
+        // so every observer still sees nothing.
+        let s = variant(4, 64, 6);
+        let report = s.analyze().unwrap();
+        assert_eq!(report.dcache_bits(Observer::address()), 0.0);
+        assert_eq!(report.icache_bits(Observer::address()), 0.0);
+        s.emulate(&s.cases[1]).unwrap();
     }
 
     #[test]

@@ -37,9 +37,12 @@
 pub mod defensive_gather;
 pub mod lookup_secure;
 pub mod lookup_unprotected;
+pub mod registry;
 pub mod scatter_gather;
 pub mod square_always;
 pub mod square_multiply;
+
+pub use registry::{Family, FamilyParams, Opt, Registry, ScenarioSpec};
 
 use std::fmt;
 
@@ -58,7 +61,7 @@ pub enum ScenarioError {
     /// the countermeasure mis-copied.
     PostCondition {
         /// The scenario's name.
-        scenario: &'static str,
+        scenario: String,
         /// The concrete case's label.
         case: String,
         /// Base address of the violated `expect_mem` range.
@@ -120,6 +123,24 @@ pub struct Expected {
     pub dcache_bank: Option<f64>,
 }
 
+impl Expected {
+    /// No paper expectation: the instance is a generated sweep variant,
+    /// not one of the published tables. All entries are `NaN`;
+    /// regression suites skip `NaN` cells.
+    pub fn unknown() -> Self {
+        Expected {
+            icache: [f64::NAN; 3],
+            dcache: [f64::NAN; 3],
+            dcache_bank: None,
+        }
+    }
+
+    /// `true` when this carries published numbers (any non-`NaN` cell).
+    pub fn is_paper(&self) -> bool {
+        self.icache.iter().chain(&self.dcache).any(|b| !b.is_nan())
+    }
+}
+
 /// A fully concrete initialization of one emulator run: one secret value
 /// under one heap layout.
 #[derive(Debug, Clone)]
@@ -142,10 +163,12 @@ pub struct ConcreteCase {
 /// paper expectations, and concrete validation cases.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    /// Short identifier (e.g. `"scatter-gather-1.0.2f"`).
-    pub name: &'static str,
-    /// Which paper table/figure this instance reproduces.
-    pub paper_ref: &'static str,
+    /// Short identifier (e.g. `"scatter-gather-1.0.2f"`, or a generated
+    /// parameter string for sweep variants).
+    pub name: String,
+    /// Which paper table/figure this instance reproduces (or the family
+    /// it was generated from).
+    pub paper_ref: String,
     /// The binary.
     pub program: Program,
     /// Initial abstract state (secrets and heap symbols).
@@ -177,7 +200,7 @@ impl Scenario {
 
     /// This scenario as one unit of batch work (see [`analyze_all`]).
     pub fn batch_job(&self) -> BatchJob<'_> {
-        BatchJob::new(self.name, self.analysis_config(), self)
+        BatchJob::new(self.name.clone(), self.analysis_config(), self)
     }
 
     /// Runs one concrete case in the emulator, returning its memory trace.
@@ -201,7 +224,7 @@ impl Scenario {
                 let actual = emu.read_u8(addr + i as u32);
                 if actual != b {
                     return Err(ScenarioError::PostCondition {
-                        scenario: self.name,
+                        scenario: self.name.clone(),
                         case: case.label.clone(),
                         addr: *addr,
                         offset: i,
@@ -322,7 +345,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let scenarios = all();
-        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), scenarios.len());

@@ -2,19 +2,28 @@
 //! Fig. 10, libgcrypt 1.6.1): `base_u := b_2i3[e0-1]` indexed directly by
 //! the secret window — the classic prime+probe target.
 //!
-//! Data layout: the 7-entry pointer and size tables are placed so each
-//! straddles a 64-byte block boundary (entries 0–3 in one block, 4–6 in
-//! the next). This reproduces the paper's Fig. 14a numbers exactly:
-//! `1 + 7·7 = 50` address observations (5.6 bit) and `1 + 2·2 = 5`
-//! block-trace observations (2.3 bit).
+//! Data layout: the pointer and size tables are placed so that (at the
+//! paper's 7 entries) each straddles a 64-byte block boundary (entries
+//! 0–3 in one block, 4–6 in the next). This reproduces the paper's
+//! Fig. 14a numbers exactly: `1 + 7·7 = 50` address observations
+//! (5.6 bit) and `1 + 2·2 = 5` block-trace observations (2.3 bit).
+//!
+//! The family is parameterized by the compilation layout (`-O2` places
+//! the zero-window branch body in a far cache line, `-O1` keeps both
+//! paths in consecutive lines — paper Figs. 15a/15b), by the window
+//! table size (`entries`), and by the analyzed cache-line size.
 
 use leakaudit_analyzer::InitState;
 use leakaudit_core::ValueSet;
 use leakaudit_x86::{Asm, Mem, Reg};
 
+use crate::registry::Opt;
 use crate::{ConcreteCase, Expected, Scenario};
 
-/// Pointer table `b_2i3`: 7 entries × 4 bytes at offset 48 of its block.
+/// Number of window-table entries in the paper's instance.
+pub const ENTRIES: u32 = 7;
+
+/// Pointer table `b_2i3`: entries × 4 bytes at offset 48 of its block.
 const B2I3: u32 = 0x80e_b0f0;
 /// Size table `b_2i3size`: same straddling placement one block later.
 const B2I3SIZE: u32 = 0x80e_b130;
@@ -22,31 +31,31 @@ const B2I3SIZE: u32 = 0x80e_b130;
 const BP: u32 = 0x80e_b080;
 const BSIZE: u32 = 0x80e_b084;
 
-fn data_section(a: &mut Asm) {
-    // Heap addresses of the 7 pre-computed values (their contents are
+fn data_section(a: &mut Asm, entries: u32) {
+    // Heap addresses of the pre-computed values (their contents are
     // high; only the pointers are data here).
     a.section_at(B2I3);
     a.label("b_2i3");
-    a.dd(&[
-        0x80e_c000, 0x80e_c180, 0x80e_c300, 0x80e_c480, 0x80e_c600, 0x80e_c780, 0x80e_c900,
-    ]);
+    let pointers: Vec<u32> = (0..entries).map(|i| 0x80e_c000 + i * 0x180).collect();
+    a.dd(&pointers);
     a.section_at(B2I3SIZE);
     a.label("b_2i3size");
-    a.dd(&[96, 96, 96, 96, 96, 96, 96]);
+    a.dd(&vec![96u32; entries as usize]);
     a.section_at(BP);
     a.dd(&[0x80e_d000, 96]); // bp, bsize
 }
 
-fn secret_window() -> ValueSet {
-    // e0: the 3-bit window right-shifted by 1 (paper Fig. 10), in {0..7}.
-    ValueSet::from_constants(0..8, 32)
+fn secret_window(entries: u32) -> ValueSet {
+    // e0: the window right-shifted by 1 (paper Fig. 10), in
+    // {0..entries}; 0 takes the power-of-one shortcut.
+    ValueSet::from_constants(0..=u64::from(entries), 32)
 }
 
-fn cases() -> Vec<ConcreteCase> {
+fn cases(entries: u32) -> Vec<ConcreteCase> {
     let mut cases = Vec::new();
     // The tables are in the image; layouts vary the (unused) scratch regs.
     for (layout, scratch) in [0u32, 0x1000].into_iter().enumerate() {
-        for e0 in 0..8u32 {
+        for e0 in 0..=entries {
             cases.push(ConcreteCase {
                 label: format!("e0={e0}, layout {layout}"),
                 layout,
@@ -59,115 +68,145 @@ fn cases() -> Vec<ConcreteCase> {
     cases
 }
 
-/// The `-O2` build (paper Fig. 15a): the `e0 == 0` branch body lives in
-/// the far cache line `0x4ba40` and jumps back — block trace `B·C·B` when
-/// taken vs `B` when not, so every I-cache observer sees 1 bit.
-pub fn libgcrypt_161_o2() -> Scenario {
-    let mut a = Asm::new(0x4b980);
-    a.test(Reg::Eax, Reg::Eax); // e0 == 0?
-    a.jcc_near(leakaudit_x86::Cond::E, "power_of_one");
-    // e0 != 0: the secret-indexed lookups.
-    a.lea(Reg::Esi, Mem::base_disp(Reg::Eax, -1)); // esi = e0 - 1 ∈ {0..6}
-    a.mov(
-        Reg::Ecx,
-        Mem {
-            base: None,
-            index: Some((Reg::Esi, 4)),
-            disp: B2I3 as i32,
-        },
-    ); // base_u = b_2i3[e0-1]
-    a.mov(
-        Reg::Edx,
-        Mem {
-            base: None,
-            index: Some((Reg::Esi, 4)),
-            disp: B2I3SIZE as i32,
-        },
-    ); // base_u_size = b_2i3size[e0-1]
-    a.label("done");
-    a.hlt();
+fn check_entries(entries: u32) {
+    assert!(
+        (1..=15).contains(&entries),
+        "1..=15 entries fit between the b_2i3 and b_2i3size tables"
+    );
+}
 
-    a.section_at(0x4ba40);
-    a.label("power_of_one");
-    a.mov(Reg::Ecx, Mem::abs(BP));
-    a.mov(Reg::Edx, Mem::abs(BSIZE));
-    a.jmp_near("done");
+/// The secret-indexed lookup under a chosen layout and table size.
+///
+/// `-O2` (paper Fig. 15a): the `e0 == 0` branch body lives in the far
+/// cache line `0x4ba40` and jumps back — block trace `B·C·B` when taken
+/// vs `B` when not, so every I-cache observer sees 1 bit. `-O1` (paper
+/// Fig. 15b): both branch bodies fall within the same two consecutive
+/// cache lines, visited in the same order — the stuttering block-trace
+/// leak is eliminated (paper §8.4, first bullet).
+///
+/// # Panics
+///
+/// Panics if `entries` is outside `1..=15` (the tables would collide)
+/// or `opt` is [`Opt::O0`] (the paper documents no -O0 build of this
+/// routine).
+pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
+    check_entries(entries);
+    let (program, init) = match opt {
+        Opt::O2 => {
+            let mut a = Asm::new(0x4b980);
+            a.test(Reg::Eax, Reg::Eax); // e0 == 0?
+            a.jcc_near(leakaudit_x86::Cond::E, "power_of_one");
+            // e0 != 0: the secret-indexed lookups.
+            a.lea(Reg::Esi, Mem::base_disp(Reg::Eax, -1)); // esi = e0 - 1
+            a.mov(
+                Reg::Ecx,
+                Mem {
+                    base: None,
+                    index: Some((Reg::Esi, 4)),
+                    disp: B2I3 as i32,
+                },
+            ); // base_u = b_2i3[e0-1]
+            a.mov(
+                Reg::Edx,
+                Mem {
+                    base: None,
+                    index: Some((Reg::Esi, 4)),
+                    disp: B2I3SIZE as i32,
+                },
+            ); // base_u_size = b_2i3size[e0-1]
+            a.label("done");
+            a.hlt();
 
-    data_section(&mut a);
-    let program = a.assemble().expect("scenario assembles");
+            a.section_at(0x4ba40);
+            a.label("power_of_one");
+            a.mov(Reg::Ecx, Mem::abs(BP));
+            a.mov(Reg::Edx, Mem::abs(BSIZE));
+            a.jmp_near("done");
 
-    let mut init = InitState::new();
-    init.set_reg(Reg::Eax, secret_window());
+            data_section(&mut a, entries);
+            let program = a.assemble().expect("scenario assembles");
+            let mut init = InitState::new();
+            init.set_reg(Reg::Eax, secret_window(entries));
+            (program, init)
+        }
+        Opt::O1 => {
+            let mut a = Asm::new(0x47dc0);
+            a.test(Reg::Eax, Reg::Eax);
+            a.je("power_of_one");
+            a.lea(Reg::Esi, Mem::base_disp(Reg::Eax, -1));
+            a.mov(
+                Reg::Ecx,
+                Mem {
+                    base: None,
+                    index: Some((Reg::Esi, 4)),
+                    disp: B2I3 as i32,
+                },
+            );
+            a.mov(
+                Reg::Edx,
+                Mem {
+                    base: None,
+                    index: Some((Reg::Esi, 4)),
+                    disp: B2I3SIZE as i32,
+                },
+            );
+            a.jmp("done");
+            a.align(64);
+            a.label("power_of_one"); // 0x47e00: the next cache line
+            a.mov(Reg::Ecx, Mem::abs(BP));
+            a.mov(Reg::Edx, Mem::abs(BSIZE));
+            a.align(16);
+            a.label("done"); // 0x47e10: same cache line as power_of_one
+            a.hlt();
+
+            data_section(&mut a, entries);
+            let program = a.assemble().expect("scenario assembles");
+            assert_eq!(program.label("power_of_one"), Some(0x47e00));
+            assert_eq!(program.label("done"), Some(0x47e10));
+            let mut init = InitState::new();
+            init.set_reg(Reg::Eax, secret_window(entries));
+            (program, init)
+        }
+        Opt::O0 => panic!("unprotected lookup: no -O0 layout is documented"),
+    };
 
     Scenario {
-        name: "unprotected-lookup-1.6.1-O2",
-        paper_ref: "Fig. 14a (leakage), Fig. 10 (code), Fig. 15a (layout)",
+        name: format!("unprotected-lookup[{opt},e={entries},b={block_bits}]"),
+        paper_ref: String::from("Fig. 10 family (parameterized layout/table)"),
         program,
         init,
-        block_bits: 6,
-        expected: Expected {
-            icache: [1.0, 1.0, 1.0],
-            dcache: [50f64.log2(), 5f64.log2(), 5f64.log2()],
-            dcache_bank: None,
-        },
-        cases: cases(),
+        block_bits,
+        expected: Expected::unknown(),
+        cases: cases(entries),
     }
 }
 
-/// The `-O1` build (paper Fig. 15b): both branch bodies fall within the
-/// same two consecutive cache lines, visited in the same order — the
-/// stuttering block-trace leak is eliminated (paper §8.4, first bullet).
+/// The paper's `-O2` instance (Figs. 14a/15a), published name and
+/// expectations.
+pub fn libgcrypt_161_o2() -> Scenario {
+    let mut s = variant(Opt::O2, ENTRIES, 6);
+    s.name = String::from("unprotected-lookup-1.6.1-O2");
+    s.paper_ref = String::from("Fig. 14a (leakage), Fig. 10 (code), Fig. 15a (layout)");
+    s.expected = Expected {
+        icache: [1.0, 1.0, 1.0],
+        dcache: [50f64.log2(), 5f64.log2(), 5f64.log2()],
+        dcache_bank: None,
+    };
+    s
+}
+
+/// The paper's `-O1` instance (Fig. 15b), published name and
+/// expectations.
 pub fn libgcrypt_161_o1() -> Scenario {
-    let mut a = Asm::new(0x47dc0);
-    a.test(Reg::Eax, Reg::Eax);
-    a.je("power_of_one");
-    a.lea(Reg::Esi, Mem::base_disp(Reg::Eax, -1));
-    a.mov(
-        Reg::Ecx,
-        Mem {
-            base: None,
-            index: Some((Reg::Esi, 4)),
-            disp: B2I3 as i32,
-        },
-    );
-    a.mov(
-        Reg::Edx,
-        Mem {
-            base: None,
-            index: Some((Reg::Esi, 4)),
-            disp: B2I3SIZE as i32,
-        },
-    );
-    a.jmp("done");
-    a.align(64);
-    a.label("power_of_one"); // 0x47e00: the next cache line
-    a.mov(Reg::Ecx, Mem::abs(BP));
-    a.mov(Reg::Edx, Mem::abs(BSIZE));
-    a.align(16);
-    a.label("done"); // 0x47e10: same cache line as power_of_one
-    a.hlt();
-
-    data_section(&mut a);
-    let program = a.assemble().expect("scenario assembles");
-    assert_eq!(program.label("power_of_one"), Some(0x47e00));
-    assert_eq!(program.label("done"), Some(0x47e10));
-
-    let mut init = InitState::new();
-    init.set_reg(Reg::Eax, secret_window());
-
-    Scenario {
-        name: "unprotected-lookup-1.6.1-O1",
-        paper_ref: "Fig. 15b (layout): I-cache b-block leak eliminated",
-        program,
-        init,
-        block_bits: 6,
-        expected: Expected {
-            icache: [1.0, 1.0, 0.0],
-            dcache: [50f64.log2(), 5f64.log2(), 5f64.log2()],
-            dcache_bank: None,
-        },
-        cases: cases(),
-    }
+    let mut s = variant(Opt::O1, ENTRIES, 6);
+    s.name = String::from("unprotected-lookup-1.6.1-O1");
+    s.paper_ref = String::from("Fig. 15b (layout): I-cache b-block leak eliminated");
+    s.expected = Expected {
+        icache: [1.0, 1.0, 0.0],
+        dcache: [50f64.log2(), 5f64.log2(), 5f64.log2()],
+        dcache_bank: None,
+    };
+    s
 }
 
 #[cfg(test)]
@@ -196,6 +235,16 @@ mod tests {
         assert_eq!(report.icache_bits(Observer::address()), 1.0);
         assert_eq!(report.icache_bits(Observer::block(6)), 1.0);
         assert_eq!(report.icache_bits(Observer::block(6).stuttering()), 0.0);
+    }
+
+    #[test]
+    fn window_size_scales_the_dcache_bound() {
+        // 3 entries: 1 + 3·3 = 10 address observations; 15 entries:
+        // 1 + 15·15 = 226 — the bound is a function of the window size.
+        let small = variant(Opt::O2, 3, 6).analyze().unwrap();
+        assert!((small.dcache_bits(Observer::address()) - 10f64.log2()).abs() < 1e-9);
+        let large = variant(Opt::O2, 15, 6).analyze().unwrap();
+        assert!((large.dcache_bits(Observer::address()) - 226f64.log2()).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! The scenario registry: data-driven generation of case-study variants.
+//!
+//! The paper's evaluation is not eight fixed binaries — it is a *matrix*:
+//! each countermeasure swept across observer granularities (Figs. 7 vs 8:
+//! 64- vs 32-byte lines), code layouts (Figs. 9/15: -O2 vs -O0/-O1),
+//! table shapes (window size, value size) and alignment (the load-bearing
+//! `align` of Fig. 3). This module turns the six builder modules from
+//! one-off constructors into parameterized *families* and enumerates a
+//! default sweep of ≥ 24 variants over them:
+//!
+//! * [`FamilyParams`] — the per-family parameter space;
+//! * [`ScenarioSpec`] — one point of the matrix (family parameters plus
+//!   the architecture's cache-line bits), with [`ScenarioSpec::build`]
+//!   producing the concrete [`Scenario`];
+//! * [`Registry`] — an ordered, unique collection of specs, with
+//!   [`Registry::paper`] (the published eight) and
+//!   [`Registry::default_sweep`] (the full default matrix).
+//!
+//! Specs that coincide with a published instance build the *paper*
+//! scenario — canonical name and expected bounds included — so sweep
+//! reports remain comparable against the paper's tables.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use leakaudit_analyzer::AnalysisConfig;
+
+use crate::{
+    defensive_gather, lookup_secure, lookup_unprotected, scatter_gather, square_always,
+    square_multiply, Scenario,
+};
+
+/// Compiler optimization level of a documented build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opt {
+    /// `gcc -O0` (stack-heavy spills, paper Fig. 9b).
+    O0,
+    /// `gcc -O1` (compact both-paths layout, paper Fig. 15b).
+    O1,
+    /// `gcc -O2` (the common production layout).
+    O2,
+}
+
+impl fmt::Display for Opt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opt::O0 => write!(f, "O0"),
+            Opt::O1 => write!(f, "O1"),
+            Opt::O2 => write!(f, "O2"),
+        }
+    }
+}
+
+/// The countermeasure families of the case study (paper §8.2–§8.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Unprotected square-and-multiply (libgcrypt 1.5.2, Fig. 5).
+    SquareMultiply,
+    /// Square-and-always-multiply (libgcrypt 1.5.3, Fig. 6).
+    SquareAlways,
+    /// Unprotected windowed lookup (libgcrypt 1.6.1, Fig. 10).
+    LookupUnprotected,
+    /// Branchless defensive lookup (libgcrypt 1.6.3, Fig. 11).
+    LookupSecure,
+    /// Scatter/gather interleaving (OpenSSL 1.0.2f, Fig. 3).
+    ScatterGather,
+    /// Defensive gather (OpenSSL 1.0.2g, Fig. 12).
+    DefensiveGather,
+}
+
+impl Family {
+    /// All six families.
+    pub const ALL: [Family; 6] = [
+        Family::SquareMultiply,
+        Family::SquareAlways,
+        Family::LookupUnprotected,
+        Family::LookupSecure,
+        Family::ScatterGather,
+        Family::DefensiveGather,
+    ];
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Family::SquareMultiply => "square-and-multiply",
+            Family::SquareAlways => "square-and-always-multiply",
+            Family::LookupUnprotected => "unprotected-lookup",
+            Family::LookupSecure => "secure-retrieve",
+            Family::ScatterGather => "scatter-gather",
+            Family::DefensiveGather => "defensive-gather",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Family-specific generation parameters (the countermeasure axis of the
+/// sweep matrix). See each builder module's `variant` function for the
+/// precise meaning and accepted range of every parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyParams {
+    /// Parameterized by the code layout of the mpi stubs.
+    SquareMultiply {
+        /// Distance in bytes between consecutive stubs (paper: `0x40`).
+        stub_stride: u32,
+    },
+    /// Parameterized by the compilation strategy.
+    SquareAlways {
+        /// `-O2` (register copy) or `-O0` (stack copy).
+        opt: Opt,
+    },
+    /// Parameterized by layout and window-table size.
+    LookupUnprotected {
+        /// `-O2` (far branch body) or `-O1` (compact layout).
+        opt: Opt,
+        /// Window-table entries (paper: 7).
+        entries: u32,
+    },
+    /// Parameterized by the table shape.
+    LookupSecure {
+        /// Pre-computed values (paper: 7).
+        entries: u32,
+        /// 32-bit words per value (paper: 96).
+        words: u32,
+    },
+    /// Parameterized by interleaving width, value size and alignment.
+    ScatterGather {
+        /// Number of interleaved values (paper: 8).
+        spacing: u32,
+        /// Bytes per value (paper: 384).
+        value_bytes: u32,
+        /// Whether the `align` step runs (the Fig. 3 proof ingredient).
+        aligned: bool,
+    },
+    /// Parameterized by interleaving width and value size.
+    DefensiveGather {
+        /// Number of interleaved values (paper: 8).
+        spacing: u32,
+        /// Bytes per value (paper: 384).
+        value_bytes: u32,
+    },
+}
+
+impl FamilyParams {
+    /// The family this parameter point belongs to.
+    pub fn family(&self) -> Family {
+        match self {
+            FamilyParams::SquareMultiply { .. } => Family::SquareMultiply,
+            FamilyParams::SquareAlways { .. } => Family::SquareAlways,
+            FamilyParams::LookupUnprotected { .. } => Family::LookupUnprotected,
+            FamilyParams::LookupSecure { .. } => Family::LookupSecure,
+            FamilyParams::ScatterGather { .. } => Family::ScatterGather,
+            FamilyParams::DefensiveGather { .. } => Family::DefensiveGather,
+        }
+    }
+}
+
+/// One cell of the sweep matrix: family parameters plus the architecture
+/// axis (cache-line bits for the analysis' block observer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioSpec {
+    /// The countermeasure axis.
+    pub params: FamilyParams,
+    /// Cache-line bits `b` of the analyzed architecture (6 = 64-byte
+    /// lines, the Fig. 7 default; 5 = 32-byte, the Fig. 8 sweep).
+    pub block_bits: u8,
+}
+
+impl ScenarioSpec {
+    /// A spec from its two axes.
+    pub fn new(params: FamilyParams, block_bits: u8) -> Self {
+        ScenarioSpec { params, block_bits }
+    }
+
+    /// The countermeasure family.
+    pub fn family(&self) -> Family {
+        self.params.family()
+    }
+
+    /// A stable identifier derived from the parameters alone — unique
+    /// within any well-formed registry, independent of whether the spec
+    /// happens to build a published paper instance.
+    pub fn id(&self) -> String {
+        let b = self.block_bits;
+        match self.params {
+            FamilyParams::SquareMultiply { stub_stride } => {
+                format!("square-and-multiply[stride={stub_stride:#x},b={b}]")
+            }
+            FamilyParams::SquareAlways { opt } => {
+                format!("square-and-always-multiply[{opt},b={b}]")
+            }
+            FamilyParams::LookupUnprotected { opt, entries } => {
+                format!("unprotected-lookup[{opt},e={entries},b={b}]")
+            }
+            FamilyParams::LookupSecure { entries, words } => {
+                format!("secure-retrieve[e={entries},w={words},b={b}]")
+            }
+            FamilyParams::ScatterGather {
+                spacing,
+                value_bytes,
+                aligned,
+            } => {
+                let tag = if aligned { "aligned" } else { "unaligned" };
+                format!("scatter-gather[s={spacing},n={value_bytes},{tag},b={b}]")
+            }
+            FamilyParams::DefensiveGather {
+                spacing,
+                value_bytes,
+            } => {
+                format!("defensive-gather[s={spacing},n={value_bytes},b={b}]")
+            }
+        }
+    }
+
+    /// The analyzer configuration for this cell's architecture.
+    pub fn analysis_config(&self) -> AnalysisConfig {
+        AnalysisConfig::with_block_bits(self.block_bits)
+    }
+
+    /// Whether this spec coincides with one of the published instances
+    /// (including the documented unaligned ablation). Cheap: a match on
+    /// the parameters, no scenario is built.
+    pub fn is_paper_point(&self) -> bool {
+        self.paper_constructor().is_some()
+    }
+
+    /// The single source of truth for paper-point mapping: the published
+    /// constructor for this parameter point, if any.
+    fn paper_constructor(&self) -> Option<fn() -> Scenario> {
+        Some(match (self.params, self.block_bits) {
+            (FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6) => {
+                square_multiply::libgcrypt_152
+            }
+            (FamilyParams::SquareAlways { opt: Opt::O2 }, 6) => square_always::libgcrypt_153_o2,
+            (FamilyParams::SquareAlways { opt: Opt::O0 }, 5) => square_always::libgcrypt_153_o0,
+            (
+                FamilyParams::LookupUnprotected {
+                    opt: Opt::O2,
+                    entries: 7,
+                },
+                6,
+            ) => lookup_unprotected::libgcrypt_161_o2,
+            (
+                FamilyParams::LookupUnprotected {
+                    opt: Opt::O1,
+                    entries: 7,
+                },
+                6,
+            ) => lookup_unprotected::libgcrypt_161_o1,
+            (
+                FamilyParams::LookupSecure {
+                    entries: 7,
+                    words: 96,
+                },
+                6,
+            ) => lookup_secure::libgcrypt_163,
+            (
+                FamilyParams::ScatterGather {
+                    spacing: 8,
+                    value_bytes: 384,
+                    aligned: true,
+                },
+                6,
+            ) => scatter_gather::openssl_102f,
+            (
+                FamilyParams::ScatterGather {
+                    spacing: 8,
+                    value_bytes: 384,
+                    aligned: false,
+                },
+                6,
+            ) => scatter_gather::openssl_102f_unaligned,
+            (
+                FamilyParams::DefensiveGather {
+                    spacing: 8,
+                    value_bytes: 384,
+                },
+                6,
+            ) => defensive_gather::openssl_102g,
+            _ => return None,
+        })
+    }
+
+    fn paper_scenario(&self) -> Option<Scenario> {
+        self.paper_constructor().map(|build| build())
+    }
+
+    /// Generates the concrete scenario for this cell.
+    ///
+    /// Paper points come back with their canonical names and expected
+    /// bounds; other cells carry a parameter-derived name (equal to
+    /// [`ScenarioSpec::id`]) and [`crate::Expected::unknown`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters are out of the family's documented
+    /// range (see each builder module's `variant`).
+    pub fn build(&self) -> Scenario {
+        if let Some(paper) = self.paper_scenario() {
+            return paper;
+        }
+        let b = self.block_bits;
+        match self.params {
+            FamilyParams::SquareMultiply { stub_stride } => {
+                square_multiply::variant(stub_stride, b)
+            }
+            FamilyParams::SquareAlways { opt } => square_always::variant(opt, b),
+            FamilyParams::LookupUnprotected { opt, entries } => {
+                lookup_unprotected::variant(opt, entries, b)
+            }
+            FamilyParams::LookupSecure { entries, words } => {
+                lookup_secure::variant(entries, words, b)
+            }
+            FamilyParams::ScatterGather {
+                spacing,
+                value_bytes,
+                aligned,
+            } => scatter_gather::variant(spacing, value_bytes, aligned, b),
+            FamilyParams::DefensiveGather {
+                spacing,
+                value_bytes,
+            } => defensive_gather::variant(spacing, value_bytes, b),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// An ordered collection of sweep cells with unique ids.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    specs: Vec<ScenarioSpec>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A registry from explicit specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two specs share an id.
+    pub fn from_specs(specs: Vec<ScenarioSpec>) -> Self {
+        let mut r = Registry::new();
+        for s in specs {
+            r.push(s);
+        }
+        r
+    }
+
+    /// Appends one spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an equal spec is already present.
+    pub fn push(&mut self, spec: ScenarioSpec) {
+        assert!(
+            !self.specs.contains(&spec),
+            "duplicate sweep cell: {}",
+            spec.id()
+        );
+        self.specs.push(spec);
+    }
+
+    /// The eight published instances, in the paper's presentation order
+    /// (the same order and scenarios as [`crate::all`]).
+    pub fn paper() -> Self {
+        Registry::from_specs(vec![
+            ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+            ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
+            ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O0 }, 5),
+            ScenarioSpec::new(
+                FamilyParams::LookupUnprotected {
+                    opt: Opt::O2,
+                    entries: 7,
+                },
+                6,
+            ),
+            ScenarioSpec::new(
+                FamilyParams::LookupUnprotected {
+                    opt: Opt::O1,
+                    entries: 7,
+                },
+                6,
+            ),
+            ScenarioSpec::new(
+                FamilyParams::LookupSecure {
+                    entries: 7,
+                    words: 96,
+                },
+                6,
+            ),
+            ScenarioSpec::new(
+                FamilyParams::ScatterGather {
+                    spacing: 8,
+                    value_bytes: 384,
+                    aligned: true,
+                },
+                6,
+            ),
+            ScenarioSpec::new(
+                FamilyParams::DefensiveGather {
+                    spacing: 8,
+                    value_bytes: 384,
+                },
+                6,
+            ),
+        ])
+    }
+
+    /// The default sweep matrix: the eight paper points plus layout,
+    /// table-shape, alignment and line-size variants of every family —
+    /// 26 cells over all six families.
+    pub fn default_sweep() -> Self {
+        let mut r = Registry::paper();
+        // square-and-multiply: line-size and stub-layout axes.
+        for (stride, b) in [(0x40u32, 5u8), (0x10, 6), (0x80, 6)] {
+            r.push(ScenarioSpec::new(
+                FamilyParams::SquareMultiply {
+                    stub_stride: stride,
+                },
+                b,
+            ));
+        }
+        // square-and-always-multiply: line-size × compilation axes.
+        for (opt, b) in [(Opt::O2, 5u8), (Opt::O2, 7), (Opt::O0, 6)] {
+            r.push(ScenarioSpec::new(FamilyParams::SquareAlways { opt }, b));
+        }
+        // unprotected lookup: window-size and line-size axes.
+        for (entries, b) in [(3u32, 6u8), (15, 6), (7, 5)] {
+            r.push(ScenarioSpec::new(
+                FamilyParams::LookupUnprotected {
+                    opt: Opt::O2,
+                    entries,
+                },
+                b,
+            ));
+        }
+        // secure retrieve: table-shape axes.
+        for (entries, words, b) in [(3u32, 96u32, 6u8), (7, 24, 6), (3, 24, 5)] {
+            r.push(ScenarioSpec::new(
+                FamilyParams::LookupSecure { entries, words },
+                b,
+            ));
+        }
+        // scatter/gather: alignment ablation, interleaving and line-size.
+        for (spacing, value_bytes, aligned, b) in [
+            (8u32, 384u32, false, 6u8), // the documented ablation
+            (4, 64, true, 6),
+            (16, 64, true, 6),
+            (8, 384, true, 5),
+        ] {
+            r.push(ScenarioSpec::new(
+                FamilyParams::ScatterGather {
+                    spacing,
+                    value_bytes,
+                    aligned,
+                },
+                b,
+            ));
+        }
+        // defensive gather: interleaving axes.
+        for (spacing, value_bytes) in [(4u32, 64u32), (16, 64)] {
+            r.push(ScenarioSpec::new(
+                FamilyParams::DefensiveGather {
+                    spacing,
+                    value_bytes,
+                },
+                6,
+            ));
+        }
+        r
+    }
+
+    /// The specs, in insertion order.
+    pub fn specs(&self) -> &[ScenarioSpec] {
+        &self.specs
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when no cells are registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The distinct families covered by the registry.
+    pub fn families(&self) -> BTreeSet<Family> {
+        self.specs.iter().map(ScenarioSpec::family).collect()
+    }
+
+    /// Builds every cell's scenario, in order.
+    pub fn build_all(&self) -> Vec<Scenario> {
+        self.specs.iter().map(ScenarioSpec::build).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_is_a_proper_matrix() {
+        let r = Registry::default_sweep();
+        assert!(r.len() >= 24, "matrix has {} cells, need >= 24", r.len());
+        assert!(
+            r.families().len() >= 5,
+            "matrix covers {} families, need >= 5",
+            r.families().len()
+        );
+        // Ids are unique.
+        let mut ids: Vec<String> = r.specs().iter().map(ScenarioSpec::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), r.len());
+    }
+
+    #[test]
+    fn every_spec_builds_a_valid_scenario() {
+        // The registry round trip: every cell of the default matrix
+        // generates a scenario that assembled, decodes at its entry
+        // point, and ships concrete validation cases over >= 2 layouts.
+        let r = Registry::default_sweep();
+        for (spec, s) in r.specs().iter().zip(r.build_all()) {
+            assert_eq!(s.block_bits, spec.block_bits, "{}", spec.id());
+            assert!(!s.cases.is_empty(), "{}: no concrete cases", spec.id());
+            assert!(s.layout_count() >= 2, "{}: needs >= 2 layouts", spec.id());
+            assert!(
+                s.program.decode_at(s.program.entry()).is_ok(),
+                "{}: undecodable entry",
+                spec.id()
+            );
+            if !spec.is_paper_point() {
+                assert_eq!(s.name, spec.id(), "generated names mirror the spec");
+                assert!(!s.expected.is_paper());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_registry_matches_the_published_eight() {
+        let names: Vec<String> = Registry::paper()
+            .build_all()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        let expected: Vec<String> = crate::all().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, expected);
+        assert!(Registry::paper()
+            .specs()
+            .iter()
+            .all(ScenarioSpec::is_paper_point));
+    }
+
+    #[test]
+    fn paper_points_carry_paper_expectations() {
+        let r = Registry::paper();
+        for s in r.build_all() {
+            assert!(
+                s.expected.is_paper(),
+                "{}: paper point without expectations",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep cell")]
+    fn duplicate_specs_are_rejected() {
+        let spec = ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6);
+        Registry::from_specs(vec![spec, spec]);
+    }
+
+    #[test]
+    fn spec_ids_and_display_agree() {
+        let spec = ScenarioSpec::new(
+            FamilyParams::ScatterGather {
+                spacing: 4,
+                value_bytes: 64,
+                aligned: true,
+            },
+            6,
+        );
+        assert_eq!(spec.to_string(), spec.id());
+        assert_eq!(spec.id(), "scatter-gather[s=4,n=64,aligned,b=6]");
+        assert_eq!(spec.family(), Family::ScatterGather);
+    }
+}

@@ -1,0 +1,294 @@
+//! The content-addressed result cache: a thread-safe in-memory map plus
+//! an optional on-disk JSON store.
+//!
+//! Reports are immutable once computed (the analyzer is deterministic),
+//! so cache entries are `Arc`-shared: a hit hands out the same report
+//! the first computation produced, and "bit-identical" is trivially
+//! true for in-memory hits. Disk entries round-trip through an explicit
+//! JSON encoding whose exactness is pinned by tests (counts as hex
+//! big-numbers, bits as shortest-round-trip floats).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use leakaudit_analyzer::{Channel, LeakReport, LeakRow, ObserverSpec};
+use leakaudit_core::Observer;
+use leakaudit_mpi::Natural;
+
+use crate::key::CacheKey;
+
+/// Schema tag of the on-disk entry format.
+const RESULT_SCHEMA: &str = "leakaudit-result/v1";
+
+/// A store of analysis results addressed by [`CacheKey`].
+pub trait ResultCache {
+    /// Looks a report up.
+    fn get(&self, key: &CacheKey) -> Option<Arc<LeakReport>>;
+
+    /// Stores a report (last write wins; identical content either way).
+    fn put(&self, key: CacheKey, report: Arc<LeakReport>);
+}
+
+/// Hit/miss counters of a cache front-end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+/// The in-memory store: a mutex-guarded hash map of shared reports.
+#[derive(Debug, Default)]
+pub struct MemoryCache {
+    map: Mutex<HashMap<CacheKey, Arc<LeakReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoryCache::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ResultCache for MemoryCache {
+    fn get(&self, key: &CacheKey) -> Option<Arc<LeakReport>> {
+        let found = self.map.lock().expect("cache poisoned").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn put(&self, key: CacheKey, report: Arc<LeakReport>) {
+        self.map.lock().expect("cache poisoned").insert(key, report);
+    }
+}
+
+/// The on-disk store: one `<key-hex>.json` file per entry in a
+/// directory.
+///
+/// Writes are best-effort (a full disk degrades the store to a smaller
+/// cache, never to an error in the sweep); reads treat unparsable files
+/// as misses, so a corrupted entry costs a re-analysis, not a panic.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of (syntactically plausible) entries on disk.
+    pub fn len(&self) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn path_for(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.to_hex()))
+    }
+}
+
+impl ResultCache for DiskCache {
+    fn get(&self, key: &CacheKey) -> Option<Arc<LeakReport>> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        decode_report(&text).map(Arc::new)
+    }
+
+    fn put(&self, key: CacheKey, report: Arc<LeakReport>) {
+        let path = self.path_for(&key);
+        let tmp = path.with_extension("json.tmp");
+        // Atomic-enough: write sideways, then rename over.
+        if std::fs::write(&tmp, encode_report(&report)).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// Encodes a report as the `leakaudit-result/v1` JSON document: one
+/// row object per line, counts as hex big-numbers, bits via the
+/// shortest float representation that round-trips.
+pub fn encode_report(report: &LeakReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{RESULT_SCHEMA}\",");
+    let _ = writeln!(out, "  \"rows\": [");
+    let rows = report.rows();
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"channel\":{},\"offset_bits\":{},\"stuttering\":{},\
+             \"count_hex\":\"{}\",\"bits\":{:?}}}{comma}",
+            row.spec.channel.code(),
+            row.spec.observer.offset_bits(),
+            u8::from(row.spec.observer.is_stuttering()),
+            row.count.to_hex(),
+            row.bits,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Decodes [`encode_report`]'s format. `None` on any structural or
+/// field-level mismatch (treated as a cache miss by callers).
+pub fn decode_report(text: &str) -> Option<LeakReport> {
+    if !text.contains(RESULT_SCHEMA) {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"channel\"") {
+            continue;
+        }
+        let channel = Channel::from_code(field(line, "channel")?.parse().ok()?)?;
+        let offset_bits: u8 = field(line, "offset_bits")?.parse().ok()?;
+        let stuttering = match field(line, "stuttering")? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        let count = Natural::from_hex(field(line, "count_hex")?).ok()?;
+        let bits: f64 = field(line, "bits")?.parse().ok()?;
+        let mut observer = Observer::block(offset_bits);
+        if stuttering {
+            observer = observer.stuttering();
+        }
+        rows.push(LeakRow {
+            spec: ObserverSpec { channel, observer },
+            count,
+            bits,
+        });
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    Some(LeakReport::from_rows(rows))
+}
+
+/// Extracts the raw text of `"key":value` within one flat JSON object
+/// line (quotes stripped).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LeakReport {
+        let s = leakaudit_scenarios::lookup_unprotected::libgcrypt_161_o2();
+        s.analyze().expect("analysis converges")
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_identically() {
+        let report = sample_report();
+        let decoded = decode_report(&encode_report(&report)).expect("decodes");
+        assert_eq!(report.rows().len(), decoded.rows().len());
+        for (a, b) in report.rows().iter().zip(decoded.rows()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.bits.to_bits(), b.bits.to_bits(), "exact f64 identity");
+        }
+    }
+
+    #[test]
+    fn memory_cache_counts_hits_and_misses() {
+        let cache = MemoryCache::new();
+        let key = CacheKey::from_hex(&"0".repeat(32)).unwrap();
+        assert!(cache.get(&key).is_none());
+        cache.put(key, Arc::new(sample_report()));
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_through_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "leakaudit-cache-test-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cache = DiskCache::open(&dir).expect("temp dir");
+        let key = CacheKey::from_hex(&"ab".repeat(16)).unwrap();
+        assert!(cache.get(&key).is_none());
+        let report = Arc::new(sample_report());
+        cache.put(key, Arc::clone(&report));
+        assert_eq!(cache.len(), 1);
+        let loaded = cache.get(&key).expect("entry exists");
+        for (a, b) in report.rows().iter().zip(loaded.rows()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.bits.to_bits(), b.bits.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_entries_read_as_misses() {
+        assert!(decode_report("not json").is_none());
+        assert!(decode_report("{\"schema\": \"leakaudit-result/v1\", \"rows\": []}").is_none());
+        let good = encode_report(&sample_report());
+        let bad = good.replace("\"count_hex\":\"", "\"count_hex\":\"zz");
+        assert!(decode_report(&bad).is_none());
+    }
+}

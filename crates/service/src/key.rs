@@ -1,0 +1,126 @@
+//! Content-addressed cache keys for analysis results.
+
+use std::fmt;
+
+use leakaudit_analyzer::{AnalysisConfig, InitState};
+use leakaudit_core::{CacheKeyed, Fingerprint, FingerprintHasher};
+use leakaudit_scenarios::Scenario;
+use leakaudit_x86::Program;
+
+/// Domain tag of the current key encoding. Bump the version whenever any
+/// participating encoding changes ([`Program::encode_bytes`], the
+/// [`CacheKeyed`] impls of [`InitState`] or [`AnalysisConfig`]): old disk
+/// entries then become unreachable instead of wrong.
+const KEY_DOMAIN: &str = "leakaudit-cachekey/v1";
+
+/// The identity of one analysis request, derived purely from content:
+///
+/// * the **program bytes** (entry point + segments, via
+///   [`Program::encode_bytes`] — labels and other assembler metadata
+///   excluded),
+/// * the **initial abstract state** (symbol table, registers, flags,
+///   pre-populated memory),
+/// * the **analyzer configuration** (observer granularities and resource
+///   limits; scheduling switches excluded).
+///
+/// Two requests with equal keys produce bit-identical [`LeakReport`]s
+/// (the analyzer is deterministic given these inputs — the batch
+/// consistency suite pins that down), so a key hit can substitute the
+/// cached report for a re-analysis.
+///
+/// [`LeakReport`]: leakaudit_analyzer::LeakReport
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(Fingerprint);
+
+impl CacheKey {
+    /// Computes the key for one analysis request.
+    pub fn compute(program: &Program, init: &InitState, config: &AnalysisConfig) -> Self {
+        let mut h = FingerprintHasher::new(KEY_DOMAIN);
+        h.write_blob(&program.encode_bytes());
+        init.key_into(&mut h);
+        config.key_into(&mut h);
+        CacheKey(h.finish())
+    }
+
+    /// The key of a scenario analyzed under its own architecture
+    /// parameters (the sweep engine's per-cell key).
+    pub fn for_scenario(s: &Scenario) -> Self {
+        CacheKey::compute(&s.program, &s.init, &s.analysis_config())
+    }
+
+    /// Fixed-width lowercase hex (32 chars) — the on-disk file stem.
+    pub fn to_hex(self) -> String {
+        self.0.to_hex()
+    }
+
+    /// Parses [`CacheKey::to_hex`] back.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        Fingerprint::from_hex(s).map(CacheKey)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakaudit_scenarios::{registry::Registry, ScenarioSpec};
+
+    #[test]
+    fn keys_are_deterministic_and_distinct_across_the_sweep() {
+        let reg = Registry::default_sweep();
+        let keys: Vec<CacheKey> = reg.build_all().iter().map(CacheKey::for_scenario).collect();
+        // Deterministic: rebuilding gives the same keys.
+        let again: Vec<CacheKey> = reg.build_all().iter().map(CacheKey::for_scenario).collect();
+        assert_eq!(keys, again);
+        // Distinct: no two default cells collide.
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "sweep cells must not collide");
+    }
+
+    #[test]
+    fn parallel_sinks_do_not_change_the_key() {
+        let s = leakaudit_scenarios::scatter_gather::openssl_102f();
+        let mut serial = s.analysis_config();
+        serial.parallel_sinks = false;
+        let mut threaded = s.analysis_config();
+        threaded.parallel_sinks = true;
+        assert_eq!(
+            CacheKey::compute(&s.program, &s.init, &serial),
+            CacheKey::compute(&s.program, &s.init, &threaded),
+            "scheduling switches are not part of result identity"
+        );
+    }
+
+    #[test]
+    fn block_bits_change_the_key() {
+        let spec = ScenarioSpec::new(
+            leakaudit_scenarios::FamilyParams::SquareAlways {
+                opt: leakaudit_scenarios::Opt::O2,
+            },
+            6,
+        );
+        let s6 = spec.build();
+        let s5 = ScenarioSpec::new(spec.params, 5).build();
+        // Identical program bytes, different analysis granularity.
+        assert_eq!(s6.program.encode_bytes(), s5.program.encode_bytes());
+        assert_ne!(
+            CacheKey::for_scenario(&s6),
+            CacheKey::for_scenario(&s5),
+            "the observer suite is part of result identity"
+        );
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let s = leakaudit_scenarios::square_multiply::libgcrypt_152();
+        let key = CacheKey::for_scenario(&s);
+        assert_eq!(CacheKey::from_hex(&key.to_hex()), Some(key));
+    }
+}

@@ -1,0 +1,53 @@
+//! The `leakaudit` sweep service: parameterized scenario sweeps with a
+//! content-addressed result cache.
+//!
+//! The ROADMAP's north star is a system that "serves heavy traffic" of
+//! analysis requests — and analysis requests repeat: the same binaries
+//! under the same configurations, queried again and again. Because the
+//! analyzer is deterministic (given program bytes, initial abstract
+//! state, and configuration), a repeated request need not re-run the
+//! abstract interpretation at all. This crate is that architecture step:
+//!
+//! * [`CacheKey`] — the content identity of one analysis request:
+//!   program bytes × initial state × analyzer config, hashed with a
+//!   stable (cross-process, cross-platform) 128-bit encoding;
+//! * [`MemoryCache`] / [`DiskCache`] — `Arc`-shared in-memory entries
+//!   plus an optional directory of JSON entries surviving the process;
+//! * [`SweepEngine`] — plans a [`Registry`] sweep, deduplicates cells by
+//!   key, answers what it can from the caches, batch-analyzes the rest
+//!   in parallel, and reports per-cell [`Provenance`].
+//!
+//! # Example
+//!
+//! ```
+//! use leakaudit_scenarios::{FamilyParams, Opt, Registry, ScenarioSpec};
+//! use leakaudit_service::{Provenance, SweepEngine};
+//!
+//! let registry = Registry::from_specs(vec![
+//!     ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
+//!     ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 5),
+//! ]);
+//! let engine = SweepEngine::new();
+//! let cold = engine.run(&registry);
+//! assert_eq!(cold.computed(), 2);
+//! // The second sweep is pure cache lookups, bit-identical results.
+//! let warm = engine.run(&registry);
+//! assert_eq!(warm.computed(), 0);
+//! assert!(warm
+//!     .cells()
+//!     .iter()
+//!     .all(|c| c.provenance == Provenance::MemoryHit));
+//! ```
+//!
+//! [`Registry`]: leakaudit_scenarios::Registry
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod key;
+pub mod sweep;
+
+pub use cache::{CacheStats, DiskCache, MemoryCache, ResultCache};
+pub use key::CacheKey;
+pub use sweep::{cycle_estimate, Provenance, SweepCell, SweepEngine, SweepReport};

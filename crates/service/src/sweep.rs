@@ -1,0 +1,552 @@
+//! The sweep engine: plan a scenario matrix, deduplicate work, consult
+//! the result cache, and batch-analyze only what is actually new.
+//!
+//! A sweep is the service-shaped workload of the ROADMAP: many analysis
+//! requests, most of which repeat — across cells of one matrix (two
+//! specs can denote the same program × config), across reruns of the
+//! same matrix, and across processes (via the optional disk store).
+//! The engine answers each cell from the cheapest source and records
+//! *provenance* so reports say where every number came from:
+//!
+//! 1. an identical cell earlier in the same sweep ([`Provenance::Shared`]),
+//! 2. the in-memory cache ([`Provenance::MemoryHit`]),
+//! 3. the on-disk cache ([`Provenance::DiskHit`]),
+//! 4. a fresh parallel analysis ([`Provenance::Computed`]) through
+//!    [`BatchAnalysis`] — the PR-1 fan-out path.
+//!
+//! Cache hits are bit-identical to cold runs: in-memory hits share the
+//! original report (`Arc`), disk hits round-trip through the exact
+//! encoding of [`crate::cache`], and the consistency suite asserts both.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use leakaudit_analyzer::{AnalysisError, BatchAnalysis, BatchJob, LeakReport};
+use leakaudit_cache::{CacheConfig, CycleModel, Hierarchy, Policy};
+use leakaudit_scenarios::{Registry, Scenario, ScenarioSpec};
+
+use crate::cache::{CacheStats, DiskCache, MemoryCache, ResultCache};
+use crate::key::CacheKey;
+
+/// Where one sweep cell's report came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Freshly analyzed in this sweep.
+    Computed,
+    /// Identical to the cell at the given index of the same sweep
+    /// (same cache key — deduplicated before any analysis ran).
+    Shared {
+        /// Index of the cell that owns the work.
+        of: usize,
+    },
+    /// Served from the in-memory cache.
+    MemoryHit,
+    /// Served from the on-disk cache.
+    DiskHit,
+}
+
+impl Provenance {
+    /// Short tag for tables: `computed`, `shared`, `memory`, `disk`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Provenance::Computed => "computed",
+            Provenance::Shared { .. } => "shared",
+            Provenance::MemoryHit => "memory",
+            Provenance::DiskHit => "disk",
+        }
+    }
+}
+
+/// The shared result of one cell: the leakage report, or the analysis
+/// error (both `Arc`-shared across cells with equal content keys).
+pub type CellResult = Result<Arc<LeakReport>, Arc<AnalysisError>>;
+
+/// One answered cell of a sweep: the spec it came from, the content key,
+/// where the report was found, and the report itself.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The matrix cell.
+    pub spec: ScenarioSpec,
+    /// The generated scenario's name (canonical for paper points).
+    pub name: String,
+    /// Content-addressed identity of the underlying analysis request.
+    pub key: CacheKey,
+    /// Where the report came from.
+    pub provenance: Provenance,
+    /// The leakage report, or the analysis error (shared across cells
+    /// with equal keys).
+    pub result: CellResult,
+    /// Analysis wall-clock time for computed cells, zero for hits.
+    pub elapsed: Duration,
+    /// Cycle estimate from the cache simulator, when the engine was
+    /// given a cycle model (see [`SweepEngine::with_cycle_model`]).
+    pub cycles: Option<u64>,
+}
+
+/// The answered sweep, cells in registry order.
+#[derive(Debug)]
+pub struct SweepReport {
+    cells: Vec<SweepCell>,
+    wall: Duration,
+}
+
+impl SweepReport {
+    /// The cells, in submission order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Wall-clock time of the whole sweep (planning + cache + analysis).
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// The cell with the given spec id, if any.
+    pub fn get(&self, id: &str) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| c.spec.id() == id)
+    }
+
+    /// Number of cells that required a fresh analysis.
+    pub fn computed(&self) -> usize {
+        self.count(|p| matches!(p, Provenance::Computed))
+    }
+
+    /// Number of cells answered without analyzing (shared, memory, disk).
+    pub fn reused(&self) -> usize {
+        self.cells.len() - self.computed()
+    }
+
+    fn count(&self, pred: impl Fn(Provenance) -> bool) -> usize {
+        self.cells.iter().filter(|c| pred(c.provenance)).count()
+    }
+
+    /// Renders the sweep as a table: one line per cell with family,
+    /// parameters, provenance, timing, and the headline D-cache bounds.
+    pub fn to_table(&self) -> String {
+        use leakaudit_core::Observer;
+        let mut out = format!(
+            "{:<44} {:>8} {:>9}  {:>12} {:>12}\n",
+            "cell", "source", "time", "D-addr", "D-block"
+        );
+        for cell in &self.cells {
+            let (daddr, dblock) = match &cell.result {
+                Ok(report) => {
+                    let b = cell.spec.block_bits;
+                    (
+                        format!(
+                            "{} bit",
+                            leakaudit_analyzer::format_bits(
+                                report.dcache_bits(Observer::address())
+                            )
+                        ),
+                        format!(
+                            "{} bit",
+                            leakaudit_analyzer::format_bits(report.dcache_bits(Observer::block(b)))
+                        ),
+                    )
+                }
+                Err(e) => (format!("error: {e}"), String::new()),
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>8} {:>8.2?}  {:>12} {:>12}",
+                cell.name,
+                cell.provenance.tag(),
+                cell.elapsed,
+                daddr,
+                dblock
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} cells: {} computed, {} reused, {:.2?} wall",
+            self.cells.len(),
+            self.computed(),
+            self.reused(),
+            self.wall
+        );
+        out
+    }
+}
+
+/// The sweep engine: cache front-ends plus the batch analyzer.
+#[derive(Debug, Default)]
+pub struct SweepEngine {
+    memory: MemoryCache,
+    disk: Option<DiskCache>,
+    threads: Option<usize>,
+    cycle_policy: Option<Policy>,
+    /// Spec → (key, scenario name): building a scenario (assembly plus
+    /// concrete-case generation) just to learn its content key is paid
+    /// once per spec per engine; warm sweeps plan from this memo alone.
+    plan: Mutex<HashMap<ScenarioSpec, (CacheKey, String)>>,
+    /// (key, policy) → cycle estimate: the emulator replay behind the
+    /// cycles column is deterministic, so repeated sweeps reuse it.
+    cycle_memo: Mutex<HashMap<(CacheKey, Policy), Option<u64>>>,
+}
+
+impl SweepEngine {
+    /// An engine with a fresh in-memory cache and no disk store.
+    pub fn new() -> Self {
+        SweepEngine::default()
+    }
+
+    /// Attaches an on-disk JSON store at `dir` (created if missing).
+    /// Disk entries survive the process: a new engine pointed at the
+    /// same directory answers repeated sweeps without re-analyzing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    #[must_use = "builder returns a new engine"]
+    pub fn with_disk_cache(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.disk = Some(DiskCache::open(dir)?);
+        Ok(self)
+    }
+
+    /// Overrides the batch worker-thread count (`1` forces sequential).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Adds a concrete cycle-model column: each cell's first concrete
+    /// case is run in the emulator and its trace replayed through a
+    /// split L1 [`Hierarchy`] under the named replacement policy. The
+    /// estimate is *not* part of the cache key (it is derived from the
+    /// same program content), so naming a different policy re-uses the
+    /// same cached leakage reports.
+    #[must_use]
+    pub fn with_cycle_model(mut self, policy: Policy) -> Self {
+        self.cycle_policy = Some(policy);
+        self
+    }
+
+    /// In-memory cache lookup counters (the warm/cold observability).
+    pub fn memory_stats(&self) -> CacheStats {
+        self.memory.stats()
+    }
+
+    /// Number of entries in the in-memory cache.
+    pub fn cached_reports(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Answers one cell (a "single query" against the service).
+    pub fn query(&self, spec: &ScenarioSpec) -> SweepCell {
+        self.run_specs(std::slice::from_ref(spec))
+            .cells
+            .pop()
+            .expect("one spec yields one cell")
+    }
+
+    /// Plans and answers a whole sweep over a registry.
+    pub fn run(&self, registry: &Registry) -> SweepReport {
+        self.run_specs(registry.specs())
+    }
+
+    /// Plans and answers a sweep over explicit specs (duplicates
+    /// allowed — they are answered once and shared).
+    ///
+    /// Work is deduplicated by content key before anything is analyzed;
+    /// remaining misses run as one parallel batch. Every produced report
+    /// is stored in the in-memory cache (and the disk store, when
+    /// attached), so re-running the same sweep answers every cell from
+    /// cache, bit-identically.
+    pub fn run_specs(&self, specs: &[ScenarioSpec]) -> SweepReport {
+        let started = Instant::now();
+        // Planning pass: content key + display name per cell, via the
+        // spec memo — a warm sweep never builds a scenario at all, and
+        // a cold cell's build is retained for the analysis pass below.
+        let mut fresh: HashMap<usize, Scenario> = HashMap::new();
+        let metas: Vec<(CacheKey, String)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let (meta, built) = self.cell_meta(spec);
+                if let Some(scenario) = built {
+                    fresh.insert(i, scenario);
+                }
+                meta
+            })
+            .collect();
+        let keys: Vec<CacheKey> = metas.iter().map(|(key, _)| *key).collect();
+
+        // Resolution pass: cheapest source per cell, misses scheduled.
+        enum Pending {
+            Done(Provenance, CellResult),
+            /// Same key as an earlier cell; the result is filled in from
+            /// it after the analysis pass (unrepresentable until then).
+            Shared {
+                of: usize,
+            },
+            Analyze,
+        }
+        let mut first_with_key: HashMap<CacheKey, usize> = HashMap::new();
+        let mut resolution: Vec<Pending> = Vec::with_capacity(specs.len());
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(&of) = first_with_key.get(key) {
+                resolution.push(Pending::Shared { of });
+                continue;
+            }
+            first_with_key.insert(*key, i);
+            if let Some(report) = self.memory.get(key) {
+                resolution.push(Pending::Done(Provenance::MemoryHit, Ok(report)));
+            } else if let Some(report) = self.disk.as_ref().and_then(|d| d.get(key)) {
+                // Promote to memory so the next lookup skips the disk.
+                self.memory.put(*key, Arc::clone(&report));
+                resolution.push(Pending::Done(Provenance::DiskHit, Ok(report)));
+            } else {
+                resolution.push(Pending::Analyze);
+            }
+        }
+
+        // Analysis pass: only the misses are batch-analyzed, reusing
+        // the scenarios the planning pass already built.
+        let miss_indices: Vec<usize> = resolution
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| matches!(p, Pending::Analyze).then_some(i))
+            .collect();
+        let miss_scenarios: Vec<Scenario> = miss_indices
+            .iter()
+            .map(|&i| fresh.remove(&i).unwrap_or_else(|| specs[i].build()))
+            .collect();
+        let jobs: Vec<BatchJob<'_>> = miss_scenarios.iter().map(Scenario::batch_job).collect();
+        let mut batch = BatchAnalysis::new();
+        if let Some(threads) = self.threads {
+            batch = batch.with_threads(threads);
+        }
+        let outcomes = batch.run(jobs).into_outcomes();
+
+        // Assembly pass: fold outcomes back in registry order.
+        type Resolved = Option<(Provenance, CellResult)>;
+        let built_for: HashMap<usize, &Scenario> = miss_indices
+            .iter()
+            .zip(&miss_scenarios)
+            .map(|(&i, s)| (i, s))
+            .collect();
+        let mut elapsed: Vec<Duration> = vec![Duration::ZERO; specs.len()];
+        let mut shared_of: Vec<Option<usize>> = vec![None; specs.len()];
+        let mut cells_results: Vec<Resolved> = resolution
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                Pending::Done(prov, res) => Some((prov, res)),
+                Pending::Shared { of } => {
+                    shared_of[i] = Some(of);
+                    None
+                }
+                Pending::Analyze => None,
+            })
+            .collect();
+        for (&i, outcome) in miss_indices.iter().zip(outcomes) {
+            elapsed[i] = outcome.elapsed;
+            let result = match outcome.result {
+                Ok(report) => {
+                    let report = Arc::new(report);
+                    self.memory.put(keys[i], Arc::clone(&report));
+                    if let Some(disk) = &self.disk {
+                        disk.put(keys[i], Arc::clone(&report));
+                    }
+                    Ok(report)
+                }
+                // Errors are not cached: a raised fuel limit or fixed
+                // input should get a fresh run next time.
+                Err(e) => Err(Arc::new(e)),
+            };
+            cells_results[i] = Some((Provenance::Computed, result));
+        }
+        // Fill shared cells from their owning cells.
+        for i in 0..cells_results.len() {
+            if let Some(of) = shared_of[i] {
+                let owned = cells_results[of]
+                    .as_ref()
+                    .expect("owner precedes sharer")
+                    .1
+                    .clone();
+                cells_results[i] = Some((Provenance::Shared { of }, owned));
+            }
+        }
+
+        let cells = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
+                let (provenance, result) = cells_results[i].take().expect("every cell resolved");
+                let built = built_for.get(&i).copied().or_else(|| fresh.get(&i));
+                SweepCell {
+                    spec,
+                    name: metas[i].1.clone(),
+                    key: keys[i],
+                    provenance,
+                    result,
+                    elapsed: elapsed[i],
+                    cycles: self.cycles_for(&spec, keys[i], built),
+                }
+            })
+            .collect();
+
+        SweepReport {
+            cells,
+            wall: started.elapsed(),
+        }
+    }
+
+    /// The (key, name) of one cell. Built at most once per engine: the
+    /// memo answers repeats, and a first-time build is handed back so
+    /// the caller can reuse the scenario instead of rebuilding it.
+    fn cell_meta(&self, spec: &ScenarioSpec) -> ((CacheKey, String), Option<Scenario>) {
+        if let Some(meta) = self.plan.lock().expect("plan poisoned").get(spec) {
+            return (meta.clone(), None);
+        }
+        let scenario = spec.build();
+        let meta = (CacheKey::for_scenario(&scenario), scenario.name.clone());
+        self.plan
+            .lock()
+            .expect("plan poisoned")
+            .insert(*spec, meta.clone());
+        (meta, Some(scenario))
+    }
+
+    /// The cell's cycle estimate under the engine's policy, memoized per
+    /// (key, policy); reuses an already-built scenario when available.
+    fn cycles_for(
+        &self,
+        spec: &ScenarioSpec,
+        key: CacheKey,
+        built: Option<&Scenario>,
+    ) -> Option<u64> {
+        let policy = self.cycle_policy?;
+        if let Some(&cycles) = self
+            .cycle_memo
+            .lock()
+            .expect("cycle memo poisoned")
+            .get(&(key, policy))
+        {
+            return cycles;
+        }
+        let cycles = match built {
+            Some(scenario) => cycle_estimate(scenario, policy),
+            None => cycle_estimate(&spec.build(), policy),
+        };
+        self.cycle_memo
+            .lock()
+            .expect("cycle memo poisoned")
+            .insert((key, policy), cycles);
+        cycles
+    }
+}
+
+/// Runs a scenario's first concrete case in the emulator and replays
+/// its access trace through a split L1 hierarchy under `policy`,
+/// returning the cycle estimate (`None` if the scenario has no cases or
+/// the emulation fails — cycle columns are advisory).
+pub fn cycle_estimate(scenario: &Scenario, policy: Policy) -> Option<u64> {
+    let case = scenario.cases.first()?;
+    let trace = scenario.emulate(case).ok()?;
+    let config = CacheConfig {
+        policy,
+        ..CacheConfig::l1_default()
+    };
+    let mut hierarchy = Hierarchy::new(config, CycleModel::default());
+    for access in &trace.accesses {
+        if access.is_data() {
+            hierarchy.data(u64::from(access.addr));
+        } else {
+            hierarchy.fetch(u64::from(access.addr));
+        }
+    }
+    Some(hierarchy.cycles())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakaudit_scenarios::{FamilyParams, Opt};
+
+    fn small_registry() -> Registry {
+        // Fast cells only: keeps the unit suite quick; the full default
+        // matrix runs in the integration suite.
+        Registry::from_specs(vec![
+            ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+            ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
+            ScenarioSpec::new(
+                FamilyParams::LookupUnprotected {
+                    opt: Opt::O2,
+                    entries: 7,
+                },
+                6,
+            ),
+        ])
+    }
+
+    #[test]
+    fn cold_sweep_computes_warm_sweep_hits() {
+        let engine = SweepEngine::new();
+        let registry = small_registry();
+        let cold = engine.run(&registry);
+        assert_eq!(cold.computed(), registry.len());
+        assert_eq!(cold.reused(), 0);
+
+        let warm = engine.run(&registry);
+        assert_eq!(warm.computed(), 0);
+        assert_eq!(warm.reused(), registry.len());
+        for (a, b) in cold.cells().iter().zip(warm.cells()) {
+            assert_eq!(b.provenance, Provenance::MemoryHit);
+            let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert!(Arc::ptr_eq(ra, rb), "warm hits share the original report");
+        }
+    }
+
+    #[test]
+    fn repeated_specs_are_deduplicated_within_one_sweep() {
+        let engine = SweepEngine::new();
+        let spec = ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6);
+        let report = engine.run_specs(&[spec, spec, spec]);
+        assert_eq!(report.computed(), 1, "one analysis serves all three");
+        assert_eq!(report.cells()[0].provenance, Provenance::Computed);
+        for cell in &report.cells()[1..] {
+            assert_eq!(cell.provenance, Provenance::Shared { of: 0 });
+            assert!(Arc::ptr_eq(
+                report.cells()[0].result.as_ref().unwrap(),
+                cell.result.as_ref().unwrap()
+            ));
+        }
+        // A later single query hits the memory cache.
+        let again = engine.query(&spec);
+        assert_eq!(again.provenance, Provenance::MemoryHit);
+    }
+
+    #[test]
+    fn cycle_model_column_is_policy_sensitive_but_cache_neutral() {
+        let engine = SweepEngine::new().with_cycle_model(Policy::Plru);
+        let spec = ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6);
+        let cell = engine.query(&spec);
+        let cycles = cell.cycles.expect("scenario has concrete cases");
+        assert!(cycles > 0);
+        // Same engine cache, different policy: report comes from cache,
+        // cycles change with the policy model.
+        let scenario = spec.build();
+        let lru = cycle_estimate(&scenario, Policy::Lru).unwrap();
+        let plru = cycle_estimate(&scenario, Policy::Plru).unwrap();
+        // Tiny traces fit in L1: both policies agree here; the estimate
+        // exists and is deterministic either way.
+        assert_eq!(cycle_estimate(&scenario, Policy::Lru), Some(lru));
+        assert_eq!(cycle_estimate(&scenario, Policy::Plru), Some(plru));
+    }
+
+    #[test]
+    fn table_rendering_mentions_provenance() {
+        let engine = SweepEngine::new();
+        let registry = small_registry();
+        engine.run(&registry);
+        let table = engine.run(&registry).to_table();
+        assert!(table.contains("memory"));
+        assert!(table.contains("computed, "));
+        assert!(table.contains("square-and-multiply-1.5.2"));
+    }
+}

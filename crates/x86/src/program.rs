@@ -99,6 +99,35 @@ impl Program {
         seg.bytes[off..end].to_vec()
     }
 
+    /// Serializes the image into a stable, self-delimiting byte string:
+    /// a format version tag, the entry point, and every segment
+    /// (address, length, bytes) in address order. Labels are *not*
+    /// encoded — they are assembler metadata and do not influence what
+    /// the analyzer or the emulator compute from the image.
+    ///
+    /// Two programs with equal `encode_bytes()` are indistinguishable to
+    /// every consumer that decodes bytes (the analyzer, the emulator):
+    /// this is the program half of the sweep service's content-addressed
+    /// cache key.
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            16 + self
+                .segments
+                .iter()
+                .map(|s| s.bytes.len() + 8)
+                .sum::<usize>(),
+        );
+        out.extend_from_slice(b"leakaudit-x86/1\0");
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for s in &self.segments {
+            out.extend_from_slice(&s.addr.to_le_bytes());
+            out.extend_from_slice(&(s.bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&s.bytes);
+        }
+        out
+    }
+
     /// Decodes the instruction at `addr`.
     ///
     /// # Errors
@@ -150,6 +179,28 @@ mod tests {
         assert_eq!(p.byte_at(0x1000), Some(0xf4));
         assert_eq!(p.bytes_at(0x100, 10), vec![0x90, 0xc3]);
         assert!(p.bytes_at(0x500, 4).is_empty());
+    }
+
+    #[test]
+    fn encoding_is_stable_and_content_addressed() {
+        let p1 = Program::from_bytes(0x100, vec![0x90, 0xc3]);
+        let p2 = Program::from_bytes(0x100, vec![0x90, 0xc3]);
+        assert_eq!(p1.encode_bytes(), p2.encode_bytes());
+        // Any semantic difference changes the encoding.
+        let other_bytes = Program::from_bytes(0x100, vec![0x90, 0x90]);
+        let other_addr = Program::from_bytes(0x200, vec![0x90, 0xc3]);
+        assert_ne!(p1.encode_bytes(), other_bytes.encode_bytes());
+        assert_ne!(p1.encode_bytes(), other_addr.encode_bytes());
+        // Labels are metadata: same segments + entry, same encoding.
+        let labeled = Program::new(
+            vec![Segment {
+                addr: 0x100,
+                bytes: vec![0x90, 0xc3],
+            }],
+            0x100,
+            BTreeMap::from([(String::from("loop"), 0x100u32)]),
+        );
+        assert_eq!(p1.encode_bytes(), labeled.encode_bytes());
     }
 
     #[test]

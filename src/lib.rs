@@ -18,6 +18,9 @@
 //! - [`scenarios`] — the eight analyzed countermeasure binaries from the
 //!   paper's case study (libgcrypt 1.5.2/1.5.3/1.6.1/1.6.3, OpenSSL
 //!   1.0.2f/1.0.2g).
+//! - [`service`] — the sweep engine: parameterized scenario registries
+//!   analyzed through a content-addressed result cache (repeated
+//!   queries are lookups, not re-analyses).
 //! - [`crypto`] — runnable modular-exponentiation countermeasures and
 //!   ElGamal, used for the performance experiments (Fig. 16).
 //! - [`mpi`] — multi-precision naturals (also used for exact observation
@@ -56,4 +59,5 @@ pub use leakaudit_core as core;
 pub use leakaudit_crypto as crypto;
 pub use leakaudit_mpi as mpi;
 pub use leakaudit_scenarios as scenarios;
+pub use leakaudit_service as service;
 pub use leakaudit_x86 as x86;

@@ -64,7 +64,7 @@ fn emulator_and_decoder_agree_on_instruction_counts() {
     for s in scenarios::all() {
         let t = s.emulate(&s.cases[0]).unwrap();
         assert!(t.steps > 3, "{}: suspiciously short run", s.name);
-        match s.name {
+        match s.name.as_str() {
             "scatter-gather-1.0.2f" => {
                 // 384 iterations × 5 instructions + prologue.
                 assert!(t.steps > 384 * 5, "{}: {}", s.name, t.steps);
