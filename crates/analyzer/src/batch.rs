@@ -19,8 +19,9 @@
 //! bounds a sequential [`Analysis::run`] would: the batch-consistency
 //! integration suite asserts the reports are bit-identical.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::{Analysis, AnalysisConfig, AnalysisError, AnalysisTarget, LeakReport};
@@ -34,6 +35,9 @@ pub struct BatchJob<'a> {
     pub config: AnalysisConfig,
     /// The target to analyze.
     pub target: &'a (dyn AnalysisTarget + Sync),
+    /// Relative cost estimate used to order work heaviest-first (`0` =
+    /// unknown; ties keep submission order). See [`BatchJob::with_cost_hint`].
+    pub cost_hint: u64,
 }
 
 impl<'a> BatchJob<'a> {
@@ -47,7 +51,19 @@ impl<'a> BatchJob<'a> {
             name: name.into(),
             config,
             target,
+            cost_hint: 0,
         }
+    }
+
+    /// Attaches a relative cost estimate. Workers pull pending jobs
+    /// heaviest-first, so giving the dominant job (e.g. the
+    /// defensive-gather scenario of a sweep) a high hint stops it from
+    /// serializing the tail of the batch. Results are bit-identical for
+    /// any hints — only scheduling changes.
+    #[must_use]
+    pub fn with_cost_hint(mut self, cost_hint: u64) -> Self {
+        self.cost_hint = cost_hint;
+        self
     }
 }
 
@@ -144,6 +160,12 @@ impl BatchAnalysis {
     /// saturates the cores, and stacking 18 sink threads per concurrent
     /// job on top would only oversubscribe the machine (results are
     /// identical either way).
+    ///
+    /// Pending jobs are pulled **heaviest-first** by [`BatchJob::cost_hint`]
+    /// (stable: equal hints keep submission order), so one dominant job
+    /// starts immediately instead of landing on a worker after the cheap
+    /// jobs drained — the batch tail is the dominant job's own tail, not
+    /// the whole dominant job.
     pub fn run(&self, jobs: Vec<BatchJob<'_>>) -> BatchReport {
         let started = Instant::now();
         let workers = self.worker_count(jobs.len());
@@ -155,14 +177,19 @@ impl BatchAnalysis {
                 *slot = Some(run_job(job, true));
             }
         } else {
+            // Heaviest-first pull order over a shared index: any idle
+            // worker takes the costliest pending job (work stealing at
+            // batch granularity).
+            let mut order: Vec<usize> = (0..jobs.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].cost_hint));
             let next = AtomicUsize::new(0);
             let results = Mutex::new(&mut slots);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(i) else { break };
-                        let outcome = run_job(job, false);
+                        let n = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = order.get(n) else { break };
+                        let outcome = run_job(&jobs[i], false);
                         results.lock().expect("batch results poisoned")[i] = Some(outcome);
                     });
                 }
@@ -188,6 +215,418 @@ fn run_job(job: &BatchJob<'_>, sink_threads: bool) -> BatchOutcome {
         name: job.name.clone(),
         result,
         elapsed: started.elapsed(),
+    }
+}
+
+/// An owned, `'static` unit of work for the persistent [`Executor`]
+/// (the daemon path cannot borrow its targets the way scoped
+/// [`BatchAnalysis`] runs do — submissions outlive the submitting call).
+pub struct OwnedJob {
+    /// Label carried through to the outcome.
+    pub name: String,
+    /// Analyzer configuration for this target.
+    pub config: AnalysisConfig,
+    /// Relative cost estimate (see [`BatchJob::with_cost_hint`]).
+    pub cost_hint: u64,
+    /// The shared target to analyze.
+    pub target: Arc<dyn AnalysisTarget + Send + Sync>,
+}
+
+impl OwnedJob {
+    /// A job analyzing `target` under `config`.
+    pub fn new(
+        name: impl Into<String>,
+        config: AnalysisConfig,
+        target: Arc<dyn AnalysisTarget + Send + Sync>,
+    ) -> Self {
+        OwnedJob {
+            name: name.into(),
+            config,
+            cost_hint: 0,
+            target,
+        }
+    }
+
+    /// Attaches a relative cost estimate (heaviest-first scheduling).
+    #[must_use]
+    pub fn with_cost_hint(mut self, cost_hint: u64) -> Self {
+        self.cost_hint = cost_hint;
+        self
+    }
+}
+
+/// Progress of one submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Jobs with a recorded outcome (completed, failed, or cancelled).
+    pub done: usize,
+    /// Jobs in the submission.
+    pub total: usize,
+    /// Whether the batch was cancelled.
+    pub cancelled: bool,
+}
+
+impl Progress {
+    /// `true` once every job has an outcome.
+    pub fn is_complete(&self) -> bool {
+        self.done == self.total
+    }
+}
+
+/// Slot table of one submission, guarded by the mutex the completion
+/// condvar is tied to.
+struct SlotTable {
+    slots: Vec<Option<BatchOutcome>>,
+    done: usize,
+}
+
+/// Shared state of one submission.
+struct BatchState {
+    jobs: Vec<OwnedJob>,
+    table: Mutex<SlotTable>,
+    complete: Condvar,
+    cancelled: AtomicBool,
+    started: Instant,
+}
+
+impl BatchState {
+    fn progress(&self) -> Progress {
+        let table = self.table.lock().expect("batch table poisoned");
+        Progress {
+            done: table.done,
+            total: self.jobs.len(),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, index: usize, outcome: BatchOutcome) {
+        let mut table = self.table.lock().expect("batch table poisoned");
+        debug_assert!(table.slots[index].is_none(), "job ran twice");
+        table.slots[index] = Some(outcome);
+        table.done += 1;
+        if table.done == self.jobs.len() {
+            self.complete.notify_all();
+        }
+    }
+
+    fn cancelled_outcome(&self, index: usize) -> BatchOutcome {
+        BatchOutcome {
+            name: self.jobs[index].name.clone(),
+            result: Err(AnalysisError::Cancelled),
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// A handle on one submitted batch: poll progress, cancel pending work,
+/// or block for the full [`BatchReport`].
+pub struct BatchTicket {
+    state: Arc<BatchState>,
+}
+
+impl std::fmt::Debug for BatchTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchTicket")
+            .field("progress", &self.progress())
+            .finish()
+    }
+}
+
+impl BatchTicket {
+    /// Current progress (never blocks).
+    pub fn progress(&self) -> Progress {
+        self.state.progress()
+    }
+
+    /// A cloneable, read-only progress handle that stays valid after
+    /// the ticket itself is consumed by [`BatchTicket::wait`] — lets a
+    /// server poll a batch another thread is collecting.
+    pub fn probe(&self) -> ProgressProbe {
+        ProgressProbe {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Cancels every job of this batch that no worker has started yet;
+    /// those jobs resolve to [`AnalysisError::Cancelled`]. Jobs already
+    /// running finish normally and keep their results.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until every job has an outcome, returning them in
+    /// submission order (cancelled jobs carry
+    /// [`AnalysisError::Cancelled`]).
+    pub fn wait(self) -> BatchReport {
+        let mut table = self.state.table.lock().expect("batch table poisoned");
+        while table.done < self.state.jobs.len() {
+            table = self
+                .state
+                .complete
+                .wait(table)
+                .expect("batch table poisoned");
+        }
+        let outcomes = table
+            .slots
+            .iter_mut()
+            .map(|s| s.take().expect("every job produces an outcome"))
+            .collect();
+        BatchReport {
+            outcomes,
+            wall: self.state.started.elapsed(),
+        }
+    }
+}
+
+/// A cloneable, read-only view of one batch's progress (see
+/// [`BatchTicket::probe`]).
+#[derive(Clone)]
+pub struct ProgressProbe {
+    state: Arc<BatchState>,
+}
+
+impl ProgressProbe {
+    /// Current progress (never blocks).
+    pub fn progress(&self) -> Progress {
+        self.state.progress()
+    }
+}
+
+impl std::fmt::Debug for ProgressProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressProbe")
+            .field("progress", &self.progress())
+            .finish()
+    }
+}
+
+/// One schedulable queue entry. Ordered cost-descending, then globally
+/// oldest-first (submission sequence, then index within the submission),
+/// so the pop order is deterministic.
+struct WorkItem {
+    cost: u64,
+    seq: u64,
+    index: usize,
+    state: Arc<BatchState>,
+}
+
+impl PartialEq for WorkItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for WorkItem {}
+
+impl PartialOrd for WorkItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorkItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the maximum: highest cost wins; among equal
+        // costs the *lower* (seq, index) — the older item — wins.
+        self.cost
+            .cmp(&other.cost)
+            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+struct JobQueue {
+    heap: BinaryHeap<WorkItem>,
+    shutdown: bool,
+}
+
+/// Shared interior of the executor.
+struct ExecutorShared {
+    queue: Mutex<JobQueue>,
+    work_ready: Condvar,
+    seq: AtomicU64,
+}
+
+/// A persistent worker pool executing [`OwnedJob`]s from a shared,
+/// cost-ordered queue — the daemon's scheduling seam.
+///
+/// Unlike [`BatchAnalysis`] (one scoped fan-out per call), the executor
+/// outlives its submissions: many batches can be in flight, and every
+/// idle worker steals the costliest pending item regardless of which
+/// batch submitted it. Outcomes land in per-submission [`BatchTicket`]s
+/// with progress reporting and queue-drop cancellation. Results are
+/// bit-identical to sequential runs of the same jobs (order only affects
+/// scheduling).
+///
+/// Dropping the executor stops the workers: items still queued resolve
+/// to [`AnalysisError::Cancelled`] (running jobs finish first), so
+/// outstanding [`BatchTicket::wait`] calls return rather than hang.
+pub struct Executor {
+    shared: Arc<ExecutorShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// A pool sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        Executor::with_threads(threads)
+    }
+
+    /// A pool with exactly `threads` workers (`1` = a serial executor).
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(ExecutorShared {
+            queue: Mutex::new(JobQueue {
+                heap: BinaryHeap::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            seq: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                // Single-worker pools keep per-job sink threading (the
+                // machine has idle cores to give one job); larger pools
+                // already saturate the cores across jobs.
+                let sink_threads = threads == 1;
+                std::thread::spawn(move || worker_loop(&shared, sink_threads))
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one batch; its items join the shared queue immediately.
+    pub fn submit(&self, jobs: Vec<OwnedJob>) -> BatchTicket {
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        let total = jobs.len();
+        let state = Arc::new(BatchState {
+            table: Mutex::new(SlotTable {
+                slots: (0..total).map(|_| None).collect(),
+                done: 0,
+            }),
+            complete: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            started: Instant::now(),
+            jobs,
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("job queue poisoned");
+            if queue.shutdown {
+                // Executor is being dropped: resolve everything as
+                // cancelled instead of queueing into the void.
+                for index in 0..total {
+                    state.record(index, state.cancelled_outcome(index));
+                }
+            } else {
+                for (index, job) in state.jobs.iter().enumerate() {
+                    queue.heap.push(WorkItem {
+                        cost: job.cost_hint,
+                        seq,
+                        index,
+                        state: Arc::clone(&state),
+                    });
+                }
+            }
+        }
+        self.shared.work_ready.notify_all();
+        BatchTicket { state }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        let drained: Vec<WorkItem> = {
+            let mut queue = self.shared.queue.lock().expect("job queue poisoned");
+            queue.shutdown = true;
+            queue.heap.drain().collect()
+        };
+        for item in drained {
+            item.state
+                .record(item.index, item.state.cancelled_outcome(item.index));
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("executor worker panicked");
+        }
+    }
+}
+
+/// The panic payload as text, when it was one of the string types
+/// `panic!` produces.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
+fn worker_loop(shared: &ExecutorShared, sink_threads: bool) {
+    loop {
+        let item = {
+            let mut queue = shared.queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(item) = queue.heap.pop() {
+                    break item;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.work_ready.wait(queue).expect("job queue poisoned");
+            }
+        };
+        let outcome = if item.state.cancelled.load(Ordering::Relaxed) {
+            item.state.cancelled_outcome(item.index)
+        } else {
+            let job = &item.state.jobs[item.index];
+            let started = Instant::now();
+            let mut config = job.config.clone();
+            config.parallel_sinks = config.parallel_sinks && sink_threads;
+            // Contain per-job panics: an unwinding worker would never
+            // record an outcome, hanging every wait on the batch and
+            // shrinking the pool. (The scoped `BatchAnalysis` path
+            // propagates panics at scope exit instead — a persistent
+            // pool has no such exit.)
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Analysis::new(config).run(&job.target.as_ref())
+            }))
+            .unwrap_or_else(|payload| {
+                Err(AnalysisError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            });
+            BatchOutcome {
+                name: job.name.clone(),
+                result,
+                elapsed: started.elapsed(),
+            }
+        };
+        item.state.record(item.index, outcome);
     }
 }
 
@@ -268,6 +707,227 @@ mod tests {
         assert!(batch.get("good2").unwrap().result.is_ok());
         assert_eq!(batch.errors().count(), 1);
         assert_eq!(batch.reports().count(), 2);
+    }
+
+    #[test]
+    fn executor_outcomes_match_sequential_analysis() {
+        let inputs: Vec<AnalysisInput> = (2..6).map(secret_load_input).collect();
+        let executor = Executor::with_threads(2);
+        let jobs: Vec<OwnedJob> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                OwnedJob::new(
+                    format!("job{i}"),
+                    AnalysisConfig::default(),
+                    Arc::new(input.clone()),
+                )
+                .with_cost_hint(i as u64)
+            })
+            .collect();
+        let ticket = executor.submit(jobs);
+        let report = ticket.wait();
+        assert_eq!(report.outcomes().len(), 4);
+        for (i, input) in inputs.iter().enumerate() {
+            let outcome = &report.outcomes()[i];
+            assert_eq!(outcome.name, format!("job{i}"), "submission order kept");
+            let got = outcome.result.as_ref().unwrap();
+            let want = Analysis::new(AnalysisConfig::default()).run(input).unwrap();
+            for (g, w) in got.rows().iter().zip(want.rows()) {
+                assert_eq!(g.spec, w.spec);
+                assert_eq!(g.count, w.count);
+                assert_eq!(g.bits.to_bits(), w.bits.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn executor_progress_and_multiple_batches() {
+        let input = secret_load_input(4);
+        let executor = Executor::with_threads(2);
+        let submit = |n: usize| {
+            executor.submit(
+                (0..n)
+                    .map(|i| {
+                        OwnedJob::new(
+                            format!("j{i}"),
+                            AnalysisConfig::default(),
+                            Arc::new(input.clone()) as Arc<dyn AnalysisTarget + Send + Sync>,
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let a = submit(3);
+        let b = submit(2);
+        assert_eq!(a.progress().total, 3);
+        let rb = b.wait();
+        let ra = a.wait();
+        assert_eq!(ra.reports().count(), 3);
+        assert_eq!(rb.reports().count(), 2);
+    }
+
+    #[test]
+    fn cancellation_drops_pending_jobs_without_hanging() {
+        // A single worker pinned on a slow job guarantees the second
+        // batch is still queued when the cancellation arrives.
+        let blocker_input = diverging_input();
+        let quick = secret_load_input(4);
+        let executor = Executor::with_threads(1);
+        let blocker = executor.submit(vec![OwnedJob::new(
+            "blocker",
+            AnalysisConfig {
+                fuel: 100_000,
+                ..AnalysisConfig::default()
+            },
+            Arc::new(blocker_input),
+        )]);
+        let batch = executor.submit(
+            (0..3)
+                .map(|i| {
+                    OwnedJob::new(
+                        format!("q{i}"),
+                        AnalysisConfig::default(),
+                        Arc::new(quick.clone()) as Arc<dyn AnalysisTarget + Send + Sync>,
+                    )
+                })
+                .collect(),
+        );
+        batch.cancel();
+        let report = batch.wait();
+        assert!(report
+            .outcomes()
+            .iter()
+            .all(|o| matches!(o.result, Ok(_) | Err(AnalysisError::Cancelled))));
+        // The worker was busy with the blocker for the whole cancel
+        // window, so at most the first job can have slipped through.
+        assert!(
+            report
+                .outcomes()
+                .iter()
+                .skip(1)
+                .all(|o| matches!(o.result, Err(AnalysisError::Cancelled))),
+            "queued jobs must resolve as cancelled"
+        );
+        assert!(matches!(
+            blocker.wait().outcomes()[0].result,
+            Err(AnalysisError::OutOfFuel { .. })
+        ));
+    }
+
+    #[test]
+    fn dropping_the_executor_resolves_queued_work_as_cancelled() {
+        let executor = Executor::with_threads(1);
+        let blocker_input = diverging_input();
+        let quick = secret_load_input(4);
+        let blocker = executor.submit(vec![OwnedJob::new(
+            "blocker",
+            AnalysisConfig {
+                fuel: 100_000,
+                ..AnalysisConfig::default()
+            },
+            Arc::new(blocker_input),
+        )]);
+        let pending = executor.submit(vec![OwnedJob::new(
+            "pending",
+            AnalysisConfig::default(),
+            Arc::new(quick),
+        )]);
+        drop(executor);
+        // wait() returns (instead of hanging) with a structured outcome.
+        let report = pending.wait();
+        assert!(matches!(
+            report.outcomes()[0].result,
+            Ok(_) | Err(AnalysisError::Cancelled)
+        ));
+        assert_eq!(blocker.wait().outcomes().len(), 1);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_hang_the_batch_or_kill_the_worker() {
+        struct PanickingTarget;
+        impl AnalysisTarget for PanickingTarget {
+            fn program(&self) -> &leakaudit_x86::Program {
+                panic!("target exploded")
+            }
+            fn init_state(&self) -> crate::InitState {
+                crate::InitState::new()
+            }
+        }
+        let executor = Executor::with_threads(1);
+        let good = secret_load_input(4);
+        let ticket = executor.submit(vec![
+            OwnedJob::new("boom", AnalysisConfig::default(), Arc::new(PanickingTarget)),
+            OwnedJob::new(
+                "good",
+                AnalysisConfig::default(),
+                Arc::new(good) as Arc<dyn AnalysisTarget + Send + Sync>,
+            ),
+        ]);
+        // wait() returns instead of hanging; the panic is an outcome …
+        let report = ticket.wait();
+        match &report.get("boom").unwrap().result {
+            Err(AnalysisError::Panicked { message }) => {
+                assert_eq!(message, "target exploded");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // … and the single worker survived to run the next job.
+        assert!(report.get("good").unwrap().result.is_ok());
+        let again = executor.submit(vec![OwnedJob::new(
+            "after",
+            AnalysisConfig::default(),
+            Arc::new(secret_load_input(4)) as Arc<dyn AnalysisTarget + Send + Sync>,
+        )]);
+        assert!(again.wait().get("after").unwrap().result.is_ok());
+    }
+
+    #[test]
+    fn probes_outlive_the_ticket() {
+        let executor = Executor::with_threads(1);
+        let ticket = executor.submit(vec![OwnedJob::new(
+            "job",
+            AnalysisConfig::default(),
+            Arc::new(secret_load_input(4)) as Arc<dyn AnalysisTarget + Send + Sync>,
+        )]);
+        let probe = ticket.probe();
+        assert_eq!(probe.progress().total, 1);
+        ticket.wait();
+        let progress = probe.progress();
+        assert!(progress.is_complete());
+        assert_eq!(progress.done, 1);
+    }
+
+    #[test]
+    fn work_items_pop_heaviest_first_then_oldest() {
+        let state = Arc::new(BatchState {
+            jobs: Vec::new(),
+            table: Mutex::new(SlotTable {
+                slots: Vec::new(),
+                done: 0,
+            }),
+            complete: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let item = |cost, seq, index| WorkItem {
+            cost,
+            seq,
+            index,
+            state: Arc::clone(&state),
+        };
+        let mut heap = BinaryHeap::new();
+        for (cost, seq, index) in [(1, 0, 0), (100, 1, 0), (100, 0, 1), (10, 0, 2)] {
+            heap.push(item(cost, seq, index));
+        }
+        let order: Vec<(u64, u64, usize)> = std::iter::from_fn(|| heap.pop())
+            .map(|i| (i.cost, i.seq, i.index))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(100, 0, 1), (100, 1, 0), (10, 0, 2), (1, 0, 0)],
+            "cost descending, then submission order"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub(crate) fn run(
         .into_iter()
         .map(|spec| Box::new(DagSink::new(spec, ConfigId::ROOT)) as Box<dyn ObserverSink>)
         .collect();
-    let rows = sink::run_pipeline(sinks, config.parallel_sinks, |bus| {
+    let rows = sink::run_pipeline_with(sinks, config.parallel_sinks, config.sink_tuning, |bus| {
         scheduler::drive(config, program, init, bus)
     })?;
     Ok(LeakReport::new(rows))

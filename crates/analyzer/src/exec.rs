@@ -44,11 +44,129 @@ pub struct ForkPlan {
 pub struct StepEffect {
     /// Address sets of the data accesses performed, in program order —
     /// these feed the memory-trace domains.
-    pub data_accesses: Vec<ValueSet>,
+    pub data_accesses: AccessVec,
     /// Control flow.
     pub next: Next,
     /// Encoded instruction length.
     pub len: u32,
+}
+
+/// The data-access list of one instruction, with the first two address
+/// sets stored **inline**.
+///
+/// x86-32 instructions touch memory at most twice (`push m`/`pop m`
+/// forms aside, which this subset does not encode), so the old
+/// `Vec<ValueSet>` bought generality with one heap allocation per
+/// memory-touching instruction — pure overhead in the interpreter's
+/// hottest loop. The inline representation covers every instruction the
+/// decoder produces; a third access (future string ops) spills to a
+/// `Vec` transparently.
+#[derive(Debug, Default)]
+pub struct AccessVec(AccessRepr);
+
+#[derive(Debug, Default)]
+enum AccessRepr {
+    #[default]
+    Empty,
+    One(ValueSet),
+    Two(ValueSet, ValueSet),
+    Spilled(Vec<ValueSet>),
+}
+
+impl AccessVec {
+    /// An empty list (no allocation).
+    pub fn new() -> Self {
+        AccessVec::default()
+    }
+
+    /// Appends one address set (allocation-free up to two elements).
+    pub fn push(&mut self, v: ValueSet) {
+        self.0 = match std::mem::take(&mut self.0) {
+            AccessRepr::Empty => AccessRepr::One(v),
+            AccessRepr::One(a) => AccessRepr::Two(a, v),
+            AccessRepr::Two(a, b) => AccessRepr::Spilled(vec![a, b, v]),
+            AccessRepr::Spilled(mut vec) => {
+                vec.push(v);
+                AccessRepr::Spilled(vec)
+            }
+        };
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            AccessRepr::Empty => 0,
+            AccessRepr::One(_) => 1,
+            AccessRepr::Two(..) => 2,
+            AccessRepr::Spilled(v) => v.len(),
+        }
+    }
+
+    /// `true` when the instruction touched no data memory.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.0, AccessRepr::Empty)
+    }
+
+    /// The `i`-th access, in program order.
+    pub fn get(&self, i: usize) -> Option<&ValueSet> {
+        match (&self.0, i) {
+            (AccessRepr::One(a), 0) | (AccessRepr::Two(a, _), 0) | (AccessRepr::Two(_, a), 1) => {
+                Some(a)
+            }
+            (AccessRepr::Spilled(v), i) => v.get(i),
+            _ => None,
+        }
+    }
+
+    /// Iterates the accesses in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &ValueSet> {
+        (0..self.len()).map_while(|i| self.get(i))
+    }
+}
+
+impl IntoIterator for AccessVec {
+    type Item = ValueSet;
+    type IntoIter = AccessIntoIter;
+
+    fn into_iter(self) -> AccessIntoIter {
+        AccessIntoIter(match self.0 {
+            AccessRepr::Spilled(v) => IterRepr::Spilled(v.into_iter()),
+            inline => IterRepr::Inline(inline),
+        })
+    }
+}
+
+/// Owning iterator over an [`AccessVec`].
+#[derive(Debug)]
+pub struct AccessIntoIter(IterRepr);
+
+// The size gap between the inline payload and the spilled vec iterator
+// is the entire design: boxing the inline variant would reintroduce the
+// per-instruction allocation this type exists to remove.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum IterRepr {
+    Inline(AccessRepr),
+    Spilled(std::vec::IntoIter<ValueSet>),
+}
+
+impl Iterator for AccessIntoIter {
+    type Item = ValueSet;
+
+    fn next(&mut self) -> Option<ValueSet> {
+        match &mut self.0 {
+            IterRepr::Inline(repr) => match std::mem::take(repr) {
+                AccessRepr::Empty => None,
+                AccessRepr::One(a) => Some(a),
+                AccessRepr::Two(a, b) => {
+                    *repr = AccessRepr::One(b);
+                    Some(a)
+                }
+                AccessRepr::Spilled(_) => unreachable!("spilled repr uses the vec iterator"),
+            },
+            IterRepr::Spilled(it) => it.next(),
+        }
+    }
 }
 
 /// Computes the address set of a memory operand:
@@ -204,7 +322,7 @@ struct Ctx<'a> {
     table: &'a mut SymbolTable,
     state: &'a mut AbsState,
     program: &'a Program,
-    accesses: Vec<ValueSet>,
+    accesses: AccessVec,
 }
 
 impl Ctx<'_> {
@@ -278,7 +396,7 @@ pub fn execute_decoded(
         table,
         state,
         program,
-        accesses: Vec::new(),
+        accesses: AccessVec::new(),
     };
     let mut next = Next::Fall;
     match inst {
@@ -544,6 +662,35 @@ mod tests {
     }
 
     #[test]
+    fn access_vec_round_trips_across_the_spill_boundary() {
+        for n in 0..5u64 {
+            let mut acc = AccessVec::new();
+            for k in 0..n {
+                acc.push(ValueSet::constant(0x1000 + k, 32));
+            }
+            assert_eq!(acc.len() as u64, n);
+            assert_eq!(acc.is_empty(), n == 0);
+            for k in 0..n {
+                assert_eq!(
+                    acc.get(k as usize),
+                    Some(&ValueSet::constant(0x1000 + k, 32)),
+                    "get({k}) of {n}"
+                );
+            }
+            assert_eq!(acc.get(n as usize), None);
+            let borrowed: Vec<ValueSet> = acc.iter().cloned().collect();
+            let owned: Vec<ValueSet> = acc.into_iter().collect();
+            assert_eq!(borrowed, owned);
+            assert_eq!(
+                owned,
+                (0..n)
+                    .map(|k| ValueSet::constant(0x1000 + k, 32))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
     fn align_idiom_from_example_5() {
         let mut init = InitState::new();
         let buf = init.fresh_heap_pointer("buf");
@@ -575,8 +722,11 @@ mod tests {
         );
         assert_eq!(eff.data_accesses.len(), 1);
         assert_eq!(
-            eff.data_accesses[0],
-            ValueSet::from_constants((0..7).map(|k| 0x8000 + 4 * k), 32)
+            eff.data_accesses.get(0),
+            Some(&ValueSet::from_constants(
+                (0..7).map(|k| 0x8000 + 4 * k),
+                32
+            ))
         );
     }
 

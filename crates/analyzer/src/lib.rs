@@ -52,8 +52,13 @@ use std::fmt;
 use leakaudit_core::{CacheKeyed, FingerprintHasher, Observer};
 use leakaudit_x86::{DecodeError, Program};
 
-pub use batch::{BatchAnalysis, BatchJob, BatchOutcome, BatchReport};
-pub use exec::{address_of, eval_cond, execute, execute_decoded, ForkPlan, Next, StepEffect};
+pub use batch::{
+    BatchAnalysis, BatchJob, BatchOutcome, BatchReport, BatchTicket, Executor, OwnedJob, Progress,
+    ProgressProbe,
+};
+pub use exec::{
+    address_of, eval_cond, execute, execute_decoded, AccessVec, ForkPlan, Next, StepEffect,
+};
 pub use report::{format_bits, Channel, LeakReport, LeakRow, ObserverSpec};
 pub use state::{AbsState, AbstractMemory, FlagsState, InitState};
 
@@ -77,6 +82,18 @@ pub enum AnalysisError {
         /// The limit.
         limit: usize,
     },
+    /// The job was cancelled before a worker picked it up (see
+    /// [`batch::BatchTicket::cancel`]). Jobs already running when the
+    /// cancellation arrives finish normally — cancellation is a
+    /// queue-drop, not a preemption.
+    Cancelled,
+    /// The job panicked inside an [`batch::Executor`] worker. The panic
+    /// is contained per job: the worker survives and the batch still
+    /// completes (waiters see this error instead of hanging).
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -92,6 +109,8 @@ impl fmt::Display for AnalysisError {
             AnalysisError::TooManyConfigs { limit } => {
                 write!(f, "more than {limit} live configurations")
             }
+            AnalysisError::Cancelled => write!(f, "job cancelled before execution"),
+            AnalysisError::Panicked { message } => write!(f, "job panicked: {message}"),
         }
     }
 }
@@ -129,6 +148,12 @@ pub struct AnalysisConfig {
     /// scheduler interprets (see [`sink`]). Turning this off forces the
     /// serial pipeline; results are identical either way.
     pub parallel_sinks: bool,
+    /// Chunk/queue backpressure sizes and the serial-fallback core
+    /// threshold of the threaded sink pipeline (see
+    /// [`sink::SinkTuning`]). Scheduling only — results are identical
+    /// for any tuning, so, like `parallel_sinks`, it is excluded from
+    /// cache-key identity.
+    pub sink_tuning: sink::SinkTuning,
 }
 
 impl Default for AnalysisConfig {
@@ -140,6 +165,7 @@ impl Default for AnalysisConfig {
             fuel: 5_000_000,
             max_configs: 4096,
             parallel_sinks: true,
+            sink_tuning: sink::SinkTuning::default(),
         }
     }
 }
@@ -185,10 +211,10 @@ impl CacheKeyed for AnalysisConfig {
     /// Encodes every field that can influence an analysis *result*:
     /// the three observer granularities (which determine the suite) and
     /// the resource limits (which determine whether a run converges or
-    /// errors). `parallel_sinks` changes scheduling only — the batch
-    /// consistency suite proves results are bit-identical either way —
-    /// and is deliberately excluded, so serial and threaded runs share
-    /// cache entries.
+    /// errors). `parallel_sinks` and `sink_tuning` change scheduling
+    /// only — the batch consistency suite proves results are
+    /// bit-identical either way — and are deliberately excluded, so
+    /// serial and threaded runs share cache entries.
     fn key_into(&self, h: &mut FingerprintHasher) {
         h.write_u8(self.block_bits);
         h.write_u8(self.bank_bits);

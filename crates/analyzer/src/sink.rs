@@ -312,34 +312,94 @@ pub trait EventBus {
     fn emit(&mut self, event: TraceEvent);
 }
 
-/// Events are batched into chunks of this size before being handed to
-/// sink threads, amortizing channel traffic.
-const CHUNK: usize = 1024;
+/// Backpressure tuning of the threaded sink pipeline.
+///
+/// The fixed constants these fields replace were sized for multicore
+/// machines; `None` lets the pipeline pick per machine (big chunks and
+/// deep queues when cores are plentiful, smaller ones when the sinks
+/// share few cores and buffered chunks are mostly memory pressure).
+/// Like `parallel_sinks`, none of this changes any result — the batch
+/// consistency suite pins serial and threaded rows bit-identical — so
+/// the fields are deliberately **excluded** from cache-key identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkTuning {
+    /// Events per chunk handed to sink threads (`None` = auto by core
+    /// count). Bigger chunks amortize channel traffic; smaller ones cut
+    /// latency to first overlap and per-sink buffer memory.
+    pub chunk: Option<usize>,
+    /// Chunks that may queue per sink before the scheduler blocks
+    /// (`None` = auto). Bounds pipeline memory at `queue × chunk`
+    /// events per sink and gives slow sinks backpressure.
+    pub queue: Option<usize>,
+    /// Minimum hardware threads for the threaded pipeline; below this
+    /// the serial fallback runs. The default of 3 is a retune from the
+    /// original `> 1`: with one core driving the scheduler, the 18
+    /// consumer threads need at least two more to overlap rather than
+    /// time-slice against the producer.
+    pub min_cores: usize,
+}
 
-/// Runs a set of sinks against the event stream produced by `drive`.
-///
-/// With more than one sink (and unless `parallel` is off) each sink gets
-/// its own scoped thread and consumes `Arc`-shared event chunks while
-/// the scheduler keeps producing — interpretation and trace bookkeeping
-/// overlap, and the expensive final counting (big-number arithmetic per
-/// Proposition 2) runs concurrently across observers.
-///
-/// Row order in the result matches sink order. If `drive` errors, the
-/// partial rows are discarded and the error is returned.
+impl Default for SinkTuning {
+    fn default() -> Self {
+        SinkTuning {
+            chunk: None,
+            queue: None,
+            min_cores: 3,
+        }
+    }
+}
+
+impl SinkTuning {
+    /// The `(chunk, queue)` sizes to use on a machine with `cores`
+    /// hardware threads: explicit values win, otherwise `(1024, 64)`
+    /// on ≥ 4 cores (the original multicore sizing) and `(256, 16)`
+    /// below, where deep per-sink buffers are mostly memory pressure.
+    pub fn resolve(&self, cores: usize) -> (usize, usize) {
+        let (auto_chunk, auto_queue) = if cores >= 4 { (1024, 64) } else { (256, 16) };
+        (
+            self.chunk.unwrap_or(auto_chunk).max(1),
+            self.queue.unwrap_or(auto_queue).max(1),
+        )
+    }
+}
+
+/// Runs a set of sinks against the event stream produced by `drive`,
+/// with default [`SinkTuning`]. See [`run_pipeline_with`].
 pub fn run_pipeline<E>(
     sinks: Vec<Box<dyn ObserverSink>>,
     parallel: bool,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
 ) -> Result<Vec<LeakRow>, E> {
-    // On a single hardware thread the consumer threads cannot overlap
+    run_pipeline_with(sinks, parallel, SinkTuning::default(), drive)
+}
+
+/// Runs a set of sinks against the event stream produced by `drive`.
+///
+/// With more than one sink (and unless `parallel` is off or the machine
+/// has fewer than [`SinkTuning::min_cores`] hardware threads) each sink
+/// gets its own scoped thread and consumes `Arc`-shared event chunks
+/// while the scheduler keeps producing — interpretation and trace
+/// bookkeeping overlap, and the expensive final counting (big-number
+/// arithmetic per Proposition 2) runs concurrently across observers.
+///
+/// Row order in the result matches sink order. If `drive` errors, the
+/// partial rows are discarded and the error is returned.
+pub fn run_pipeline_with<E>(
+    sinks: Vec<Box<dyn ObserverSink>>,
+    parallel: bool,
+    tuning: SinkTuning,
+    drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
+) -> Result<Vec<LeakRow>, E> {
+    // With too few hardware threads the consumer threads cannot overlap
     // with the scheduler; the channel traffic would be pure overhead.
-    let parallel =
-        parallel && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let parallel = parallel && cores >= tuning.min_cores;
     if sinks.len() <= 1 || !parallel {
         let mut bus = SerialBus { sinks };
         drive(&mut bus).map(|()| bus.sinks.into_iter().map(ObserverSink::into_row).collect())
     } else {
-        run_threaded(sinks, drive)
+        let (chunk, queue) = tuning.resolve(cores);
+        run_threaded(sinks, chunk, queue, drive)
     }
 }
 
@@ -356,14 +416,13 @@ impl EventBus for SerialBus {
     }
 }
 
-/// How many chunks may queue per sink before the scheduler blocks.
-/// Bounds pipeline memory at `CHUNK_QUEUE × CHUNK` events per sink and
-/// gives slow sinks backpressure instead of an unbounded buffer.
-const CHUNK_QUEUE: usize = 64;
-
-/// Threaded pipeline: one consumer thread per sink.
+/// Threaded pipeline: one consumer thread per sink. `chunk` events are
+/// batched per channel send; `queue` chunks may queue per sink before
+/// the scheduler blocks (see [`SinkTuning`]).
 fn run_threaded<E>(
     sinks: Vec<Box<dyn ObserverSink>>,
+    chunk: usize,
+    queue: usize,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
 ) -> Result<Vec<LeakRow>, E> {
     std::thread::scope(|scope| {
@@ -371,7 +430,7 @@ fn run_threaded<E>(
         let mut txs = Vec::with_capacity(sinks.len());
         let mut handles = Vec::with_capacity(sinks.len());
         for mut sink in sinks {
-            let (tx, rx) = mpsc::sync_channel::<Arc<Vec<TraceEvent>>>(CHUNK_QUEUE);
+            let (tx, rx) = mpsc::sync_channel::<Arc<Vec<TraceEvent>>>(queue);
             txs.push(tx);
             let aborted = Arc::clone(&aborted);
             handles.push(scope.spawn(move || {
@@ -398,7 +457,8 @@ fn run_threaded<E>(
         }
 
         let mut bus = ChannelBus {
-            buffer: Vec::with_capacity(CHUNK),
+            buffer: Vec::with_capacity(chunk),
+            chunk,
             txs,
         };
         let outcome = drive(&mut bus);
@@ -419,6 +479,7 @@ fn run_threaded<E>(
 
 struct ChannelBus {
     buffer: Vec<TraceEvent>,
+    chunk: usize,
     txs: Vec<mpsc::SyncSender<Arc<Vec<TraceEvent>>>>,
 }
 
@@ -433,14 +494,14 @@ impl ChannelBus {
             // propagated by the join above, so a send failure is ignorable.
             let _ = tx.send(Arc::clone(&chunk));
         }
-        self.buffer = Vec::with_capacity(CHUNK);
+        self.buffer = Vec::with_capacity(self.chunk);
     }
 }
 
 impl EventBus for ChannelBus {
     fn emit(&mut self, event: TraceEvent) {
         self.buffer.push(event);
-        if self.buffer.len() >= CHUNK {
+        if self.buffer.len() >= self.chunk {
             self.flush();
         }
     }
@@ -529,6 +590,61 @@ mod tests {
             assert_eq!(s.spec, t.spec);
             assert_eq!(s.count, t.count);
             assert_eq!(s.bits, t.bits);
+        }
+    }
+
+    #[test]
+    fn tuning_resolution_prefers_explicit_values() {
+        let auto = SinkTuning::default();
+        assert_eq!(auto.resolve(8), (1024, 64), "multicore keeps old sizing");
+        assert_eq!(auto.resolve(2), (256, 16), "few cores shrink the buffers");
+        let pinned = SinkTuning {
+            chunk: Some(8),
+            queue: Some(2),
+            min_cores: 1,
+        };
+        assert_eq!(pinned.resolve(1), (8, 2));
+        assert_eq!(pinned.resolve(64), (8, 2));
+        // Degenerate explicit zeroes clamp to 1 instead of panicking.
+        let zeroed = SinkTuning {
+            chunk: Some(0),
+            queue: Some(0),
+            min_cores: 0,
+        };
+        assert_eq!(zeroed.resolve(4), (1, 1));
+    }
+
+    #[test]
+    fn tiny_chunks_through_the_threaded_pipeline_match_serial() {
+        let specs = [
+            ObserverSpec {
+                channel: Channel::Instruction,
+                observer: Observer::address(),
+            },
+            ObserverSpec {
+                channel: Channel::Instruction,
+                observer: Observer::block(6).stuttering(),
+            },
+        ];
+        let run = |tuning: SinkTuning| {
+            let sinks: Vec<Box<dyn ObserverSink>> = specs
+                .iter()
+                .map(|&spec| Box::new(DagSink::new(spec, ConfigId(0))) as Box<dyn ObserverSink>)
+                .collect();
+            run_pipeline_with(sinks, true, tuning, example9_events).unwrap()
+        };
+        // A chunk of 1 with a queue of 1 maximizes channel traffic and
+        // backpressure stalls — rows must still be bit-identical.
+        let tiny = run(SinkTuning {
+            chunk: Some(1),
+            queue: Some(1),
+            min_cores: 1,
+        });
+        let default = run(SinkTuning::default());
+        for (a, b) in tiny.iter().zip(&default) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.bits.to_bits(), b.bits.to_bits());
         }
     }
 

@@ -15,26 +15,34 @@
 //!
 //! * `--quick`: 1 iteration, no warmup, print to stdout only (CI mode —
 //!   proves the harness runs, commits nothing).
-//! * `--out FILE`: write the JSON report (default `BENCH_3.json`).
+//! * `--out FILE`: write the JSON report (default `BENCH_4.json`).
 //! * `--baseline FILE`: embed a previous perfbench report as the
 //!   `baseline` field and compute `speedup_vs_baseline`.
 //!
-//! JSON schema (`leakaudit-perfbench/v2` — v1 plus the sweep metrics):
-//! `label`, `iters`, `warmup`, `threads`, `scenarios_ms` (name → median
-//! ms), `total_sequential_ms` (sum of per-scenario medians),
-//! `batch_all_8_ms` (median wall time of the 8-scenario parallel
-//! batch), `sweep_cells` (size of the default registry matrix),
-//! `sweep_cold_ms` (median wall time of a cold default sweep through
-//! the service, fresh cache each iteration), `sweep_warm_ms` (median
-//! wall time of the same sweep answered entirely from the result
-//! cache), `baseline` (a previous report or `null`), and
-//! `speedup_vs_baseline` (baseline / current, per shared metric).
+//! JSON schema (`leakaudit-perfbench/v3` — v2 plus the daemon and
+//! eviction metrics): `label`, `iters`, `warmup`, `threads`,
+//! `scenarios_ms` (name → median ms), `total_sequential_ms` (sum of
+//! per-scenario medians), `batch_all_8_ms` (median wall time of the
+//! 8-scenario parallel batch), `sweep_cells` (size of the default
+//! registry matrix), `sweep_cold_ms` (median wall time of a cold
+//! default sweep through the service, fresh cache each iteration),
+//! `sweep_warm_ms` (median wall time of the same sweep answered
+//! entirely from the result cache), `sweep_stolen_warm_ms` (the warm
+//! sweep answered through the daemon's JSON-lines protocol — the
+//! work-stealing submit/collect path plus wire encoding, i.e. what a
+//! `leakaudit-serve` client pays per warm query), `evicting_sweep_ms`
+//! (the sweep re-run against a capacity-starved evicting cache, so
+//! every cell pays eviction bookkeeping plus recomputation — the
+//! bounded-memory worst case), `baseline` (a previous report or
+//! `null`), and `speedup_vs_baseline` (baseline / current, per shared
+//! metric).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use leakaudit_cache::Policy;
 use leakaudit_scenarios::{analyze_all, Registry, Scenario};
-use leakaudit_service::SweepEngine;
+use leakaudit_service::{Daemon, Json, SweepEngine};
 
 struct Args {
     iters: usize,
@@ -49,7 +57,7 @@ fn parse_args() -> Args {
         iters: 7,
         warmup: 2,
         label: String::from("perfbench"),
-        out: Some(String::from("BENCH_3.json")),
+        out: Some(String::from("BENCH_4.json")),
         baseline: None,
     };
     let mut it = std::env::args().skip(1);
@@ -183,6 +191,54 @@ fn main() {
         sweep_warm_ms
     );
 
+    // The daemon answer path: the same warm matrix requested through
+    // the JSON-lines protocol (submit_sweep + result per iteration) —
+    // the executor submit/collect machinery plus wire encoding.
+    let daemon = Daemon::new(SweepEngine::new());
+    let submit = r#"{"op":"submit_sweep","registry":"default"}"#;
+    let mut next_job: u64 = 0;
+    let mut daemon_round_trip = || {
+        daemon.handle_line(submit);
+        let result = daemon.handle_line(&format!("{{\"op\":\"result\",\"job\":{next_job}}}"));
+        next_job += 1;
+        let parsed = Json::parse(&result).expect("daemon response is JSON");
+        parsed
+            .get("reused")
+            .and_then(Json::as_u64)
+            .expect("result carries a reused count")
+    };
+    daemon_round_trip(); // cold prime
+    let sweep_stolen_warm_ms = measure(args.iters, args.warmup, || {
+        let reused = daemon_round_trip();
+        assert_eq!(
+            reused as usize, sweep_cells,
+            "warm daemon query is all hits"
+        );
+    });
+    println!(
+        "  {:<42} {:>9.2} ms",
+        format!("sweep_stolen_warm ({sweep_cells} cells, daemon)"),
+        sweep_stolen_warm_ms
+    );
+
+    // The bounded-memory worst case: a cache too small to retain any
+    // report, so every re-run pays eviction bookkeeping + recomputation.
+    let evicting_engine = SweepEngine::new().with_eviction(64, Policy::Lru);
+    evicting_engine.run(&registry); // prime the plan memo like a long-running daemon
+    let evicting_sweep_ms = measure(args.iters, args.warmup, || {
+        let report = evicting_engine.run(&registry);
+        assert_eq!(report.computed(), sweep_cells, "starved cache recomputes");
+    });
+    assert!(
+        evicting_engine.memory_stats().evictions > 0,
+        "the starved engine must be evicting"
+    );
+    println!(
+        "  {:<42} {:>9.2} ms",
+        format!("evicting_sweep ({sweep_cells} cells, starved)"),
+        evicting_sweep_ms
+    );
+
     let baseline_text = args.baseline.as_ref().map(|path| {
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
     });
@@ -202,7 +258,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v3\",");
     let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
@@ -218,6 +274,11 @@ fn main() {
     let _ = writeln!(json, "  \"sweep_cells\": {sweep_cells},");
     let _ = writeln!(json, "  \"sweep_cold_ms\": {sweep_cold_ms:.3},");
     let _ = writeln!(json, "  \"sweep_warm_ms\": {sweep_warm_ms:.3},");
+    let _ = writeln!(
+        json,
+        "  \"sweep_stolen_warm_ms\": {sweep_stolen_warm_ms:.3},"
+    );
+    let _ = writeln!(json, "  \"evicting_sweep_ms\": {evicting_sweep_ms:.3},");
     match &baseline_text {
         Some(base) => {
             let speedup = |key: &str, current: f64| {
@@ -226,16 +287,21 @@ fn main() {
             };
             let speedup_batch = speedup("batch_all_8_ms", batch_ms);
             let speedup_seq = speedup("total_sequential_ms", total_sequential);
-            // Sweep metrics exist only in v2+ baselines: null against v1.
+            // Sweep metrics exist only in v2+ baselines (and the daemon
+            // metrics only in v3+): null against older baselines.
             let speedup_cold = speedup("sweep_cold_ms", sweep_cold_ms);
             let speedup_warm = speedup("sweep_warm_ms", sweep_warm_ms);
+            let speedup_stolen = speedup("sweep_stolen_warm_ms", sweep_stolen_warm_ms);
+            let speedup_evicting = speedup("evicting_sweep_ms", evicting_sweep_ms);
             let indented = base.trim_end().replace('\n', "\n  ");
             let _ = writeln!(json, "  \"baseline\": {indented},");
             let _ = writeln!(json, "  \"speedup_vs_baseline\": {{");
             let _ = writeln!(json, "    \"batch_all_8\": {speedup_batch},");
             let _ = writeln!(json, "    \"total_sequential\": {speedup_seq},");
             let _ = writeln!(json, "    \"sweep_cold\": {speedup_cold},");
-            let _ = writeln!(json, "    \"sweep_warm\": {speedup_warm}");
+            let _ = writeln!(json, "    \"sweep_warm\": {speedup_warm},");
+            let _ = writeln!(json, "    \"sweep_stolen_warm\": {speedup_stolen},");
+            let _ = writeln!(json, "    \"evicting_sweep\": {speedup_evicting}");
             let _ = writeln!(json, "  }}");
         }
         None => {

@@ -293,47 +293,109 @@ pub fn scatter_gather_scenario() -> Scenario {
     scatter_gather::openssl_102f()
 }
 
-/// Renders the default sweep matrix through the sweep service: a cold
-/// run (every cell analyzed in one parallel batch) followed by a warm
-/// re-run answered entirely from the content-addressed result cache —
-/// the per-cell `source` column shows the provenance.
+/// Renders the default sweep matrix by driving the leakage-audit
+/// daemon's JSON-lines protocol **as a client**: two `submit_sweep`
+/// requests for the default registry (cold, then warm) plus `result`
+/// and `stats`, exactly the request strings a remote `leakaudit-serve`
+/// client would send. The warm response must be answered entirely from
+/// the result cache, with every row bit-identical over the wire.
 pub fn render_sweep() -> String {
-    use leakaudit_scenarios::Registry;
-    use leakaudit_service::SweepEngine;
+    use leakaudit_service::{Daemon, Json, SweepEngine};
 
-    let registry = Registry::default_sweep();
-    let engine = SweepEngine::new();
-    let mut out = format!(
-        "Sweep matrix — {} cells over {} countermeasure families\n\
-         =======================================================\n\n\
-         cold run (fresh cache):\n\n",
-        registry.len(),
-        registry.families().len()
-    );
-    let cold = engine.run(&registry);
+    let daemon = Daemon::new(SweepEngine::new());
+    let request = |line: &str| -> Json {
+        let response = daemon.handle_line(line);
+        Json::parse(&response).expect("daemon responses are JSON")
+    };
+    let submit = r#"{"op":"submit_sweep","registry":"default"}"#;
+
+    let submitted = request(submit);
     assert_eq!(
-        cold.computed(),
-        registry.len(),
-        "a fresh engine must analyze every cell"
+        submitted.get("ok"),
+        Some(&Json::Bool(true)),
+        "submit_sweep accepted"
     );
-    out.push_str(&cold.to_table());
-    out.push_str("\nwarm re-run (same engine, every cell from cache):\n\n");
-    let warm = engine.run(&registry);
+    let cells = submitted
+        .get("cells")
+        .and_then(Json::as_u64)
+        .expect("cell count");
+    let cold = request(r#"{"op":"result","job":0}"#);
     assert_eq!(
-        warm.computed(),
-        0,
+        cold.get("computed").and_then(Json::as_u64),
+        Some(cells),
+        "a fresh daemon must analyze every cell"
+    );
+
+    let _ = request(submit);
+    let warm = request(r#"{"op":"result","job":1}"#);
+    assert_eq!(
+        warm.get("computed").and_then(Json::as_u64),
+        Some(0),
         "the warm sweep must be answered entirely from the result cache"
     );
-    out.push_str(&warm.to_table());
-    let stats = engine.memory_stats();
+    assert_eq!(
+        warm.get("reused").and_then(Json::as_u64),
+        Some(cells),
+        "every warm cell is a cache hit"
+    );
+
+    let mut out = format!(
+        "Sweep matrix — {cells} cells through the daemon protocol\n\
+         =======================================================\n\n\
+         {:<44} {:>8} {:>8}   rows bit-identical\n",
+        "cell", "cold", "warm"
+    );
+    let cell_list = |response: &Json| {
+        response
+            .get("cells")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .to_vec()
+    };
+    let (cold_cells, warm_cells) = (cell_list(&cold), cell_list(&warm));
+    for (c, w) in cold_cells.iter().zip(&warm_cells) {
+        let name = c.get("name").and_then(Json::as_str).unwrap_or("?");
+        let tag = |cell: &Json| {
+            cell.get("provenance")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        // The acceptance bar: warm rows textually equal cold rows (the
+        // row encoding is exact, so textual equality is bit identity).
+        assert_eq!(
+            c.get("rows"),
+            w.get("rows"),
+            "{name}: warm rows must be bit-identical over the wire"
+        );
+        let _ = writeln!(out, "{:<44} {:>8} {:>8}   yes", name, tag(c), tag(w));
+    }
+
+    let stats = request(r#"{"op":"stats"}"#);
+    let cache = stats.get("cache").expect("stats carry cache counters");
     let _ = writeln!(
         out,
-        "\nresult cache: {} entries, {} hits / {} misses",
-        engine.cached_reports(),
-        stats.hits,
-        stats.misses
+        "\nresult cache: {} entries ({} bytes), {} hits / {} misses / {} evictions",
+        cache.get("entries").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("bytes").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("hits").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("misses").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("evictions").and_then(Json::as_u64).unwrap_or(0),
+    );
+    let _ = writeln!(
+        out,
+        "cold wall {:.2} ms, warm wall {:.2} ms",
+        wall_ms(&cold),
+        wall_ms(&warm)
     );
     out
+}
+
+fn wall_ms(response: &leakaudit_service::Json) -> f64 {
+    match response.get("wall_ms") {
+        Some(leakaudit_service::Json::Num(n)) => *n,
+        _ => f64::NAN,
+    }
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod scatter_gather;
 pub mod square_always;
 pub mod square_multiply;
 
-pub use registry::{Family, FamilyParams, Opt, Registry, ScenarioSpec};
+pub use registry::{Family, FamilyParams, Opt, ParseSpecError, Registry, ScenarioSpec};
 
 use std::fmt;
 

@@ -217,6 +217,36 @@ impl ScenarioSpec {
         AnalysisConfig::with_block_bits(self.block_bits)
     }
 
+    /// A relative analysis-cost estimate for heaviest-first batch
+    /// scheduling (see `BatchJob::with_cost_hint` in the analyzer).
+    ///
+    /// The constants reflect the observed cost ordering of the paper's
+    /// eight instances — defensive-gather dominates every batch (its
+    /// branchless copy forks per table word), scatter/gather and the
+    /// secure lookup follow, the exponentiation loops are cheap — and
+    /// scale with the table-shape parameters that drive each family's
+    /// fork count. Only scheduling depends on these numbers; results
+    /// are bit-identical for any values.
+    pub fn cost_hint(&self) -> u64 {
+        match self.params {
+            FamilyParams::SquareMultiply { .. } => 20,
+            FamilyParams::SquareAlways { .. } => 30,
+            FamilyParams::LookupUnprotected { entries, .. } => 50 + u64::from(entries),
+            FamilyParams::LookupSecure { entries, words } => {
+                200 + u64::from(entries) * u64::from(words) / 4
+            }
+            FamilyParams::ScatterGather {
+                spacing,
+                value_bytes,
+                ..
+            } => 500 + u64::from(spacing) * u64::from(value_bytes) / 8,
+            FamilyParams::DefensiveGather {
+                spacing,
+                value_bytes,
+            } => 10_000 + u64::from(spacing) * u64::from(value_bytes),
+        }
+    }
+
     /// Whether this spec coincides with one of the published instances
     /// (including the documented unaligned ablation). Cheap: a match on
     /// the parameters, no scenario is built.
@@ -327,6 +357,109 @@ impl ScenarioSpec {
 impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.id())
+    }
+}
+
+/// Error parsing a [`ScenarioSpec`] from its [`ScenarioSpec::id`] form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// The offending input.
+    pub input: String,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario spec {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+/// The inverse of [`ScenarioSpec::id`] — the sweep daemon's wire format
+/// for naming cells, so a client can submit exactly the cell a sweep
+/// table printed. Round-tripping is pinned by tests:
+/// `id().parse() == spec` for every representable spec.
+///
+/// ```
+/// use leakaudit_scenarios::ScenarioSpec;
+/// let spec: ScenarioSpec = "scatter-gather[s=8,n=384,aligned,b=6]".parse().unwrap();
+/// assert_eq!(spec.id(), "scatter-gather[s=8,n=384,aligned,b=6]");
+/// ```
+impl std::str::FromStr for ScenarioSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, ParseSpecError> {
+        let err = |reason: &'static str| ParseSpecError {
+            input: s.to_string(),
+            reason,
+        };
+        let (family, rest) = s.split_once('[').ok_or_else(|| err("missing `[`"))?;
+        let args = rest
+            .strip_suffix(']')
+            .ok_or_else(|| err("missing closing `]`"))?;
+        let mut fields: Vec<&str> = args.split(',').map(str::trim).collect();
+        // Every id ends with the architecture axis `b=<bits>`.
+        let b_field = fields.pop().ok_or_else(|| err("empty parameter list"))?;
+        let block_bits: u8 = b_field
+            .strip_prefix("b=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err("last parameter must be `b=<bits>`"))?;
+
+        let value_of = |key: &str| -> Option<&str> {
+            fields
+                .iter()
+                .find_map(|f| f.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+        };
+        let u32_of = |key: &str, reason: &'static str| -> Result<u32, ParseSpecError> {
+            value_of(key)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(reason))
+        };
+        let opt_of = || -> Result<Opt, ParseSpecError> {
+            match fields.first().copied() {
+                Some("O0") => Ok(Opt::O0),
+                Some("O1") => Ok(Opt::O1),
+                Some("O2") => Ok(Opt::O2),
+                _ => Err(err("expected an optimization level (O0/O1/O2)")),
+            }
+        };
+
+        let params = match family {
+            "square-and-multiply" => {
+                let raw = value_of("stride").ok_or_else(|| err("expected `stride=0x<hex>`"))?;
+                let stub_stride = raw
+                    .strip_prefix("0x")
+                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| err("expected `stride=0x<hex>`"))?;
+                FamilyParams::SquareMultiply { stub_stride }
+            }
+            "square-and-always-multiply" => FamilyParams::SquareAlways { opt: opt_of()? },
+            "unprotected-lookup" => FamilyParams::LookupUnprotected {
+                opt: opt_of()?,
+                entries: u32_of("e", "expected `e=<entries>`")?,
+            },
+            "secure-retrieve" => FamilyParams::LookupSecure {
+                entries: u32_of("e", "expected `e=<entries>`")?,
+                words: u32_of("w", "expected `w=<words>`")?,
+            },
+            "scatter-gather" => FamilyParams::ScatterGather {
+                spacing: u32_of("s", "expected `s=<spacing>`")?,
+                value_bytes: u32_of("n", "expected `n=<value-bytes>`")?,
+                aligned: match fields.last().copied() {
+                    Some("aligned") => true,
+                    Some("unaligned") => false,
+                    _ => return Err(err("expected `aligned` or `unaligned`")),
+                },
+            },
+            "defensive-gather" => FamilyParams::DefensiveGather {
+                spacing: u32_of("s", "expected `s=<spacing>`")?,
+                value_bytes: u32_of("n", "expected `n=<value-bytes>`")?,
+            },
+            _ => return Err(err("unknown family")),
+        };
+        Ok(ScenarioSpec::new(params, block_bits))
     }
 }
 
@@ -579,6 +712,54 @@ mod tests {
     fn duplicate_specs_are_rejected() {
         let spec = ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6);
         Registry::from_specs(vec![spec, spec]);
+    }
+
+    #[test]
+    fn spec_ids_round_trip_through_parsing() {
+        // The wire format: every cell of the default matrix (and the
+        // paper registry inside it) parses back to exactly itself.
+        for spec in Registry::default_sweep().specs() {
+            let parsed: ScenarioSpec = spec.id().parse().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(&parsed, spec, "{}", spec.id());
+            assert_eq!(parsed.id(), spec.id());
+        }
+    }
+
+    #[test]
+    fn spec_parsing_rejects_malformed_input() {
+        for (input, reason_part) in [
+            ("", "missing `[`"),
+            ("unknown-family[b=6]", "unknown family"),
+            ("scatter-gather[s=8,n=384,aligned,b=6", "closing"),
+            ("scatter-gather[s=8,n=384,b=6]", "aligned"),
+            ("secure-retrieve[e=7,b=6]", "w=<words>"),
+            ("square-and-multiply[stride=64,b=6]", "0x<hex>"),
+            ("square-and-always-multiply[O3,b=6]", "optimization"),
+            ("defensive-gather[s=4,n=64]", "b=<bits>"),
+        ] {
+            let got = input.parse::<ScenarioSpec>().unwrap_err();
+            assert!(
+                got.reason.contains(reason_part),
+                "{input:?}: reason {:?} should mention {reason_part:?}",
+                got.reason
+            );
+        }
+    }
+
+    #[test]
+    fn cost_hints_rank_defensive_gather_heaviest() {
+        let r = Registry::paper();
+        let hints: Vec<u64> = r.specs().iter().map(ScenarioSpec::cost_hint).collect();
+        let max = *hints.iter().max().unwrap();
+        let gather = ScenarioSpec::new(
+            FamilyParams::DefensiveGather {
+                spacing: 8,
+                value_bytes: 384,
+            },
+            6,
+        );
+        assert_eq!(max, gather.cost_hint(), "defensive-gather dominates");
+        assert!(hints.iter().all(|&h| h > 0));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The content-addressed result cache: a thread-safe in-memory map plus
-//! an optional on-disk JSON store.
+//! The content-addressed result cache: a sharded, optionally bounded
+//! in-memory store plus a fan-out on-disk JSON store.
 //!
 //! Reports are immutable once computed (the analyzer is deterministic),
 //! so cache entries are `Arc`-shared: a hit hands out the same report
@@ -7,8 +7,23 @@
 //! true for in-memory hits. Disk entries round-trip through an explicit
 //! JSON encoding whose exactness is pinned by tests (counts as hex
 //! big-numbers, bits as shortest-round-trip floats).
+//!
+//! # Sharding and eviction
+//!
+//! A daemon serving many clients cannot live with PR 3's single mutex
+//! and unbounded map: every lookup serialized on one lock, and memory
+//! grew without bound. [`MemoryCache`] now hashes keys across N
+//! mutex-guarded shards (contention drops N-fold; the key's fingerprint
+//! bits pick the shard, no re-hashing) and optionally enforces a byte
+//! budget per shard, evicting through a pluggable [`EvictionPolicy`]
+//! that reuses the `leakaudit-cache` replacement-policy vocabulary
+//! (LRU/FIFO, by bytes). [`DiskCache`] fans entries out into
+//! `ab/cd/<key>.json` subdirectories — flat directories stop scaling
+//! past a few thousand files — while transparently reading (and
+//! re-sharding) entries written in the PR-3 flat layout.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,32 +47,189 @@ pub trait ResultCache {
     fn put(&self, key: CacheKey, report: Arc<LeakReport>);
 }
 
-/// Hit/miss counters of a cache front-end.
+/// Hit/miss/eviction counters of a cache front-end.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the store.
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
+    /// Entries dropped to satisfy the byte budget.
+    pub evictions: u64,
 }
 
-/// The in-memory store: a mutex-guarded hash map of shared reports.
-#[derive(Debug, Default)]
+/// Recency/age metadata of one cached entry, as seen by an
+/// [`EvictionPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct EntryMeta {
+    /// Approximate retained bytes of the entry.
+    pub weight: u64,
+    /// Logical timestamp of the last hit (or the insertion, whichever
+    /// is later). Monotonic across the whole cache.
+    pub last_touch: u64,
+    /// Logical timestamp of the insertion.
+    pub inserted: u64,
+}
+
+/// Chooses which entry a full shard drops.
+///
+/// The vocabulary deliberately mirrors the replacement policies of the
+/// `leakaudit-cache` simulator ([`leakaudit_cache::Policy`]) — the same
+/// names an operator already uses for cache geometry sweeps select the
+/// result store's eviction behavior (see [`eviction_for`]).
+pub trait EvictionPolicy: Send + Sync + fmt::Debug {
+    /// Stable lowercase name (`"lru"`, `"fifo"`).
+    fn name(&self) -> &'static str;
+
+    /// The entry to evict, given every entry of the over-budget shard.
+    /// `None` is only allowed for an empty iterator.
+    fn victim(&self, entries: &mut dyn Iterator<Item = (CacheKey, EntryMeta)>) -> Option<CacheKey>;
+}
+
+/// Evict the least-recently-used entry (by [`EntryMeta::last_touch`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LruBytes;
+
+impl EvictionPolicy for LruBytes {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn victim(&self, entries: &mut dyn Iterator<Item = (CacheKey, EntryMeta)>) -> Option<CacheKey> {
+        entries.min_by_key(|(_, m)| m.last_touch).map(|(k, _)| k)
+    }
+}
+
+/// Evict the oldest entry (by [`EntryMeta::inserted`]), hits ignored.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoBytes;
+
+impl EvictionPolicy for FifoBytes {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn victim(&self, entries: &mut dyn Iterator<Item = (CacheKey, EntryMeta)>) -> Option<CacheKey> {
+        entries.min_by_key(|(_, m)| m.inserted).map(|(k, _)| k)
+    }
+}
+
+/// The eviction policy matching a cache-simulator replacement policy.
+/// Tree-PLRU approximates LRU in hardware because exact recency is
+/// expensive per set; a software byte-weighted store tracks exact
+/// recency anyway, so `Plru` maps to [`LruBytes`].
+pub fn eviction_for(policy: leakaudit_cache::Policy) -> Arc<dyn EvictionPolicy> {
+    match policy {
+        leakaudit_cache::Policy::Fifo => Arc::new(FifoBytes),
+        leakaudit_cache::Policy::Lru | leakaudit_cache::Policy::Plru => Arc::new(LruBytes),
+    }
+}
+
+/// Approximate retained bytes of one report (rows, counts, specs). Used
+/// as the eviction weight; exactness is irrelevant, monotonicity with
+/// actual size is what bounds memory.
+pub fn report_weight(report: &LeakReport) -> u64 {
+    let rows = report.rows();
+    let per_row: u64 = rows
+        .iter()
+        .map(|r| 48 + r.count.to_hex().len() as u64 / 2)
+        .sum();
+    64 + per_row
+}
+
+struct Entry {
+    report: Arc<LeakReport>,
+    meta: EntryMeta,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    bytes: u64,
+}
+
+/// The in-memory store: key-sharded maps of shared reports with an
+/// optional byte budget enforced by an [`EvictionPolicy`].
+///
+/// [`MemoryCache::new`] is unbounded (the PR-3 behavior); bound it with
+/// [`MemoryCache::with_capacity_bytes`]. The budget splits evenly
+/// across shards, so a pathological shard cannot starve the others.
 pub struct MemoryCache {
-    map: Mutex<HashMap<CacheKey, Arc<LeakReport>>>,
+    shards: Vec<Mutex<Shard>>,
+    capacity: Option<u64>,
+    policy: Arc<dyn EvictionPolicy>,
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
+impl fmt::Debug for MemoryCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for MemoryCache {
+    fn default() -> Self {
+        MemoryCache::new()
+    }
+}
+
+/// Default shard count: enough to make lock contention negligible for a
+/// worker pool of typical size, small enough to stay cheap to sum over.
+const DEFAULT_SHARDS: usize = 8;
+
 impl MemoryCache {
-    /// An empty cache.
+    /// An empty, unbounded cache with the default shard count.
     pub fn new() -> Self {
-        MemoryCache::default()
+        MemoryCache::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty, unbounded cache sharded `shards` ways (rounded up to a
+    /// power of two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        MemoryCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity: None,
+            policy: Arc::new(LruBytes),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Bounds the cache at roughly `bytes` retained report bytes
+    /// (estimated via [`report_weight`]); inserting past the budget
+    /// evicts via the configured policy. An entry larger than a whole
+    /// shard's budget is evicted immediately after insertion — the
+    /// cache stays bounded, the caller just recomputes.
+    #[must_use]
+    pub fn with_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.capacity = Some(bytes);
+        self
+    }
+
+    /// Selects the eviction policy (default: [`LruBytes`]).
+    #[must_use]
+    pub fn with_policy(mut self, policy: Arc<dyn EvictionPolicy>) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").map.len())
+            .sum()
     }
 
     /// `true` when nothing is cached.
@@ -65,18 +237,51 @@ impl MemoryCache {
         self.len() == 0
     }
 
-    /// Lookup counters since construction.
+    /// Approximate retained bytes across all shards.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").bytes)
+            .sum()
+    }
+
+    /// Lookup/eviction counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// The configured eviction policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mask = self.shards.len() - 1;
+        &self.shards[(key.low_bits() as usize) & mask]
+    }
+
+    fn shard_budget(&self) -> Option<u64> {
+        self.capacity.map(|c| c / self.shards.len() as u64)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 }
 
 impl ResultCache for MemoryCache {
     fn get(&self, key: &CacheKey) -> Option<Arc<LeakReport>> {
-        let found = self.map.lock().expect("cache poisoned").get(key).cloned();
+        let now = self.tick();
+        let mut shard = self.shard(key).lock().expect("cache poisoned");
+        let found = shard.map.get_mut(key).map(|entry| {
+            entry.meta.last_touch = now;
+            Arc::clone(&entry.report)
+        });
+        drop(shard);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -85,16 +290,47 @@ impl ResultCache for MemoryCache {
     }
 
     fn put(&self, key: CacheKey, report: Arc<LeakReport>) {
-        self.map.lock().expect("cache poisoned").insert(key, report);
+        let now = self.tick();
+        let weight = report_weight(&report);
+        let mut shard = self.shard(&key).lock().expect("cache poisoned");
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                report,
+                meta: EntryMeta {
+                    weight,
+                    last_touch: now,
+                    inserted: now,
+                },
+            },
+        ) {
+            shard.bytes -= old.meta.weight;
+        }
+        shard.bytes += weight;
+        if let Some(budget) = self.shard_budget() {
+            while shard.bytes > budget && !shard.map.is_empty() {
+                let victim = self
+                    .policy
+                    .victim(&mut shard.map.iter().map(|(k, e)| (*k, e.meta)))
+                    .expect("non-empty shard yields a victim");
+                let evicted = shard.map.remove(&victim).expect("victim exists");
+                shard.bytes -= evicted.meta.weight;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
-/// The on-disk store: one `<key-hex>.json` file per entry in a
-/// directory.
+/// The on-disk store: one `ab/cd/<key-hex>.json` file per entry, fanned
+/// out by the first four hex digits of the key.
 ///
 /// Writes are best-effort (a full disk degrades the store to a smaller
 /// cache, never to an error in the sweep); reads treat unparsable files
 /// as misses, so a corrupted entry costs a re-analysis, not a panic.
+/// Entries written by the PR-3 flat layout (`<key-hex>.json` directly
+/// in the directory) stay readable: a flat hit is served, rewritten
+/// into the sharded layout, and the flat file removed — or migrate the
+/// whole store at once with [`DiskCache::migrate`].
 #[derive(Debug)]
 pub struct DiskCache {
     dir: PathBuf,
@@ -117,15 +353,10 @@ impl DiskCache {
         &self.dir
     }
 
-    /// Number of (syntactically plausible) entries on disk.
+    /// Number of (syntactically plausible) entries on disk, flat and
+    /// sharded layouts combined.
     pub fn len(&self) -> usize {
-        let Ok(entries) = std::fs::read_dir(&self.dir) else {
-            return 0;
-        };
-        entries
-            .flatten()
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .count()
+        self.flat_len() + self.sharded_len()
     }
 
     /// `true` when no entries are stored.
@@ -133,19 +364,111 @@ impl DiskCache {
         self.len() == 0
     }
 
-    fn path_for(&self, key: &CacheKey) -> PathBuf {
+    /// Entries still in the PR-3 flat layout.
+    pub fn flat_len(&self) -> usize {
+        count_json(&self.dir)
+    }
+
+    /// Entries in the sharded `ab/cd/` layout.
+    pub fn sharded_len(&self) -> usize {
+        let Ok(level1) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        level1
+            .flatten()
+            .filter(|d| is_shard_dir(&d.path()))
+            .flat_map(|d| std::fs::read_dir(d.path()).into_iter().flatten().flatten())
+            .filter(|d| is_shard_dir(&d.path()))
+            .map(|d| count_json(&d.path()))
+            .sum()
+    }
+
+    /// Moves every flat-layout entry into the sharded layout, returning
+    /// how many were moved. Safe to run on a live store (entry files
+    /// are renamed one by one; readers fall back between layouts).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error; already-moved entries stay moved.
+    pub fn migrate(&self) -> std::io::Result<usize> {
+        let mut moved = 0;
+        for entry in std::fs::read_dir(&self.dir)?.flatten() {
+            let path = entry.path();
+            let Some(key) = key_of_flat_entry(&path) else {
+                continue;
+            };
+            let target = self.sharded_path(&key);
+            std::fs::create_dir_all(target.parent().expect("sharded path has a parent"))?;
+            std::fs::rename(&path, &target)?;
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    fn sharded_path(&self, key: &CacheKey) -> PathBuf {
+        let hex = key.to_hex();
+        self.dir
+            .join(&hex[0..2])
+            .join(&hex[2..4])
+            .join(format!("{hex}.json"))
+    }
+
+    fn flat_path(&self, key: &CacheKey) -> PathBuf {
         self.dir.join(format!("{}.json", key.to_hex()))
     }
 }
 
+/// `true` for the two-hex-digit directories of the sharded layout.
+fn is_shard_dir(path: &Path) -> bool {
+    path.is_dir()
+        && path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.len() == 2 && n.bytes().all(|b| b.is_ascii_hexdigit()))
+}
+
+fn count_json(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| {
+            let p = e.path();
+            p.is_file() && p.extension().is_some_and(|x| x == "json")
+        })
+        .count()
+}
+
+/// The key encoded in a flat-layout entry file name, if this is one.
+fn key_of_flat_entry(path: &Path) -> Option<CacheKey> {
+    if !path.is_file() || path.extension()? != "json" {
+        return None;
+    }
+    CacheKey::from_hex(path.file_stem()?.to_str()?)
+}
+
 impl ResultCache for DiskCache {
     fn get(&self, key: &CacheKey) -> Option<Arc<LeakReport>> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        decode_report(&text).map(Arc::new)
+        if let Ok(text) = std::fs::read_to_string(self.sharded_path(key)) {
+            return decode_report(&text).map(Arc::new);
+        }
+        // Flat-layout fallback: serve the hit, then re-shard it so the
+        // next lookup (and `len`) sees the new layout.
+        let flat = self.flat_path(key);
+        let text = std::fs::read_to_string(&flat).ok()?;
+        let report = decode_report(&text).map(Arc::new)?;
+        self.put(*key, Arc::clone(&report));
+        let _ = std::fs::remove_file(&flat);
+        Some(report)
     }
 
     fn put(&self, key: CacheKey, report: Arc<LeakReport>) {
-        let path = self.path_for(&key);
+        let path = self.sharded_path(&key);
+        let Some(parent) = path.parent() else { return };
+        if std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
         let tmp = path.with_extension("json.tmp");
         // Atomic-enough: write sideways, then rename over.
         if std::fs::write(&tmp, encode_report(&report)).is_ok() {
@@ -164,19 +487,25 @@ pub fn encode_report(report: &LeakReport) -> String {
     let rows = report.rows();
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"channel\":{},\"offset_bits\":{},\"stuttering\":{},\
-             \"count_hex\":\"{}\",\"bits\":{:?}}}{comma}",
-            row.spec.channel.code(),
-            row.spec.observer.offset_bits(),
-            u8::from(row.spec.observer.is_stuttering()),
-            row.count.to_hex(),
-            row.bits,
-        );
+        let _ = writeln!(out, "    {}{comma}", encode_row(row));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Encodes one row as a flat JSON object (the line format of
+/// [`encode_report`], also used verbatim by the wire protocol so
+/// daemon responses are comparable bit-for-bit with disk entries).
+pub fn encode_row(row: &LeakRow) -> String {
+    format!(
+        "{{\"channel\":{},\"offset_bits\":{},\"stuttering\":{},\
+         \"count_hex\":\"{}\",\"bits\":{:?}}}",
+        row.spec.channel.code(),
+        row.spec.observer.offset_bits(),
+        u8::from(row.spec.observer.is_stuttering()),
+        row.count.to_hex(),
+        row.bits,
+    )
 }
 
 /// Decodes [`encode_report`]'s format. `None` on any structural or
@@ -191,29 +520,34 @@ pub fn decode_report(text: &str) -> Option<LeakReport> {
         if !line.starts_with('{') || !line.contains("\"channel\"") {
             continue;
         }
-        let channel = Channel::from_code(field(line, "channel")?.parse().ok()?)?;
-        let offset_bits: u8 = field(line, "offset_bits")?.parse().ok()?;
-        let stuttering = match field(line, "stuttering")? {
-            "0" => false,
-            "1" => true,
-            _ => return None,
-        };
-        let count = Natural::from_hex(field(line, "count_hex")?).ok()?;
-        let bits: f64 = field(line, "bits")?.parse().ok()?;
-        let mut observer = Observer::block(offset_bits);
-        if stuttering {
-            observer = observer.stuttering();
-        }
-        rows.push(LeakRow {
-            spec: ObserverSpec { channel, observer },
-            count,
-            bits,
-        });
+        rows.push(decode_row(line)?);
     }
     if rows.is_empty() {
         return None;
     }
     Some(LeakReport::from_rows(rows))
+}
+
+/// Decodes one [`encode_row`] line. `None` on any mismatch.
+pub fn decode_row(line: &str) -> Option<LeakRow> {
+    let channel = Channel::from_code(field(line, "channel")?.parse().ok()?)?;
+    let offset_bits: u8 = field(line, "offset_bits")?.parse().ok()?;
+    let stuttering = match field(line, "stuttering")? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let count = Natural::from_hex(field(line, "count_hex")?).ok()?;
+    let bits: f64 = field(line, "bits")?.parse().ok()?;
+    let mut observer = Observer::block(offset_bits);
+    if stuttering {
+        observer = observer.stuttering();
+    }
+    Some(LeakRow {
+        spec: ObserverSpec { channel, observer },
+        count,
+        bits,
+    })
 }
 
 /// Extracts the raw text of `"key":value` within one flat JSON object
@@ -235,6 +569,21 @@ mod tests {
         s.analyze().expect("analysis converges")
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "leakaudit-cache-test-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ))
+    }
+
+    fn key_n(n: u64) -> CacheKey {
+        CacheKey::from_hex(&format!("{n:032x}")).unwrap()
+    }
+
     #[test]
     fn encode_decode_round_trips_bit_identically() {
         let report = sample_report();
@@ -250,36 +599,169 @@ mod tests {
     #[test]
     fn memory_cache_counts_hits_and_misses() {
         let cache = MemoryCache::new();
-        let key = CacheKey::from_hex(&"0".repeat(32)).unwrap();
+        let key = key_n(0);
         assert!(cache.get(&key).is_none());
         cache.put(key, Arc::new(sample_report()));
         assert!(cache.get(&key).is_some());
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let cache = MemoryCache::with_shards(4);
+        let report = Arc::new(sample_report());
+        for n in 0..32 {
+            cache.put(key_n(n), Arc::clone(&report));
+        }
+        assert_eq!(cache.len(), 32);
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().map.is_empty())
+            .count();
+        assert!(populated > 1, "sequential keys must not pile on one shard");
+        for n in 0..32 {
+            assert!(cache.get(&key_n(n)).is_some());
+        }
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_first() {
+        let report = Arc::new(sample_report());
+        let weight = report_weight(&report);
+        // One shard, room for ~3 entries.
+        let cache = MemoryCache::with_shards(1)
+            .with_capacity_bytes(3 * weight)
+            .with_policy(Arc::new(LruBytes));
+        for n in 0..3 {
+            cache.put(key_n(n), Arc::clone(&report));
+        }
+        assert_eq!(cache.len(), 3);
+        // Touch key 0 so key 1 is now the least recently used …
+        assert!(cache.get(&key_n(0)).is_some());
+        cache.put(key_n(3), Arc::clone(&report));
+        // … and gets evicted, while 0, 2, 3 survive.
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&key_n(1)).is_none(), "LRU victim evicted");
+        assert!(cache.get(&key_n(0)).is_some());
+        assert!(cache.get(&key_n(2)).is_some());
+        assert!(cache.get(&key_n(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.bytes() <= 3 * weight);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let report = Arc::new(sample_report());
+        let weight = report_weight(&report);
+        let cache = MemoryCache::with_shards(1)
+            .with_capacity_bytes(3 * weight)
+            .with_policy(eviction_for(leakaudit_cache::Policy::Fifo));
+        assert_eq!(cache.policy_name(), "fifo");
+        for n in 0..3 {
+            cache.put(key_n(n), Arc::clone(&report));
+        }
+        assert!(
+            cache.get(&key_n(0)).is_some(),
+            "touching 0 does not save it"
+        );
+        cache.put(key_n(3), Arc::clone(&report));
+        assert!(cache.get(&key_n(0)).is_none(), "FIFO evicts the oldest");
+        assert!(cache.get(&key_n(1)).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_double_count_bytes() {
+        let report = Arc::new(sample_report());
+        let cache = MemoryCache::with_shards(1);
+        cache.put(key_n(7), Arc::clone(&report));
+        let once = cache.bytes();
+        cache.put(key_n(7), Arc::clone(&report));
+        assert_eq!(cache.bytes(), once);
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
-    fn disk_cache_round_trips_through_files() {
-        let dir = std::env::temp_dir().join(format!(
-            "leakaudit-cache-test-{}-{:x}",
-            std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
-        ));
+    fn disk_cache_round_trips_through_sharded_files() {
+        let dir = temp_dir("sharded");
         let cache = DiskCache::open(&dir).expect("temp dir");
         let key = CacheKey::from_hex(&"ab".repeat(16)).unwrap();
         assert!(cache.get(&key).is_none());
         let report = Arc::new(sample_report());
         cache.put(key, Arc::clone(&report));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.sharded_len(), 1);
+        assert_eq!(cache.flat_len(), 0);
+        // The fan-out layout: ab/ab/<key>.json for this key.
+        assert!(dir
+            .join("ab")
+            .join("ab")
+            .join(format!("{}.json", key.to_hex()))
+            .is_file());
         let loaded = cache.get(&key).expect("entry exists");
         for (a, b) in report.rows().iter().zip(loaded.rows()) {
             assert_eq!(a.spec, b.spec);
             assert_eq!(a.count, b.count);
             assert_eq!(a.bits.to_bits(), b.bits.to_bits());
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flat_layout_entries_are_served_and_resharded() {
+        let dir = temp_dir("flat");
+        let cache = DiskCache::open(&dir).expect("temp dir");
+        let key = CacheKey::from_hex(&"cd".repeat(16)).unwrap();
+        let report = sample_report();
+        // Write the PR-3 flat layout by hand.
+        std::fs::write(
+            dir.join(format!("{}.json", key.to_hex())),
+            encode_report(&report),
+        )
+        .unwrap();
+        assert_eq!(cache.flat_len(), 1);
+        let loaded = cache.get(&key).expect("flat entry readable");
+        assert_eq!(loaded.rows().len(), report.rows().len());
+        // Served once, the entry now lives in the sharded layout.
+        assert_eq!(cache.flat_len(), 0);
+        assert_eq!(cache.sharded_len(), 1);
+        assert!(cache.get(&key).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn migrate_moves_every_flat_entry() {
+        let dir = temp_dir("migrate");
+        let cache = DiskCache::open(&dir).expect("temp dir");
+        let report = sample_report();
+        let keys: Vec<CacheKey> = (0..5).map(key_n).collect();
+        for key in &keys {
+            std::fs::write(
+                dir.join(format!("{}.json", key.to_hex())),
+                encode_report(&report),
+            )
+            .unwrap();
+        }
+        // A stray non-entry file must survive untouched.
+        std::fs::write(dir.join("README.txt"), "not a cache entry").unwrap();
+        assert_eq!(cache.flat_len(), 5);
+        assert_eq!(cache.migrate().expect("migration succeeds"), 5);
+        assert_eq!(cache.flat_len(), 0);
+        assert_eq!(cache.sharded_len(), 5);
+        assert_eq!(cache.migrate().expect("idempotent"), 0);
+        for key in &keys {
+            assert!(cache.get(key).is_some(), "{key} readable after migration");
+        }
+        assert!(dir.join("README.txt").is_file());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,496 @@
+//! The leakage-audit daemon: a request handler mapping the JSON-lines
+//! protocol onto a shared [`SweepEngine`].
+//!
+//! One [`Daemon`] owns one engine (one result cache, one worker pool)
+//! and a table of submitted jobs. Front-ends are thin: the
+//! `leakaudit-serve` binary pumps newline-delimited JSON between a
+//! stdio/TCP stream and [`Daemon::handle_line`], and `repro sweep` is
+//! an in-process client of the very same request strings — every
+//! consumer speaks the protocol, so the protocol cannot rot.
+//!
+//! # Protocol
+//!
+//! One request object per line, one response object per line:
+//!
+//! ```text
+//! → {"op":"submit_sweep","registry":"default"}
+//! ← {"ok":true,"job":0,"cells":26}
+//! → {"op":"submit_sweep","specs":["scatter-gather[s=8,n=384,aligned,b=6]"]}
+//! ← {"ok":true,"job":1,"cells":1}
+//! → {"op":"poll","job":0}
+//! ← {"ok":true,"job":0,"state":"running","done":3,"total":26,"cancelled":false}
+//! → {"op":"result","job":0}
+//! ← {"ok":true,"job":0,"computed":26,"reused":0,"wall_ms":…,"cells":[…]}
+//! → {"op":"cancel","job":1}
+//! ← {"ok":true,"job":1,"cancelled":true}
+//! → {"op":"stats"}
+//! ← {"ok":true,"cache":{…},"jobs":2,"workers":…}
+//! → {"op":"shutdown"}
+//! ← {"ok":true,"shutting_down":true}
+//! ```
+//!
+//! Scenario specs travel as their stable id strings
+//! (`ScenarioSpec::id`, parsed back via `FromStr`); leakage rows travel
+//! in the result-cache row encoding (counts as hex big-numbers, bounds
+//! as shortest-round-trip floats), so two responses are bit-comparable
+//! as text. `result` blocks until the job finishes; `poll` never
+//! blocks. Errors come back as `{"ok":false,"error":"…"}` — the
+//! connection stays usable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use leakaudit_scenarios::{Registry, ScenarioSpec};
+
+use crate::proto::Json;
+use crate::sweep::{SweepEngine, SweepProbe, SweepReport, SweepTicket};
+
+/// Completed jobs retained for repeated `result` requests. Above this,
+/// the oldest collected jobs are pruned (their reports stay in the
+/// result cache — only the per-job response bookkeeping goes away), so
+/// a long-running daemon's job table stays bounded.
+const MAX_RETAINED_JOBS: usize = 64;
+
+/// One submitted job: still running (ticket) or collected (report).
+enum JobState {
+    Running(SweepTicket),
+    /// A `result` request is collecting right now (slot lock held by
+    /// the collector only briefly around the state switch).
+    Collecting,
+    Done(Arc<SweepReport>),
+}
+
+struct JobSlot {
+    state: Mutex<JobState>,
+    /// Signalled when `state` becomes `Done`.
+    done: Condvar,
+    /// Progress view that stays live while a collector holds the
+    /// ticket, so `poll` keeps reporting real numbers.
+    probe: SweepProbe,
+}
+
+/// The daemon: one shared engine plus the submitted-job table.
+pub struct Daemon {
+    engine: SweepEngine,
+    jobs: Mutex<HashMap<u64, Arc<JobSlot>>>,
+    next_job: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// A daemon over the given engine (caches, eviction, worker count
+    /// are the engine's configuration).
+    pub fn new(engine: SweepEngine) -> Self {
+        Daemon {
+            engine,
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The underlying engine (stats, cache access).
+    pub fn engine(&self) -> &SweepEngine {
+        &self.engine
+    }
+
+    /// `true` once a `shutdown` request was handled; front-ends stop
+    /// reading and exit.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Handles one request line, returning one response line (no
+    /// trailing newline). Malformed input yields an `ok:false` response
+    /// rather than an error — the stream stays usable.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match Json::parse(line.trim()) {
+            Ok(request) => self.handle(&request),
+            Err(e) => error_response(&format!("invalid JSON: {e}")),
+        };
+        response.to_string()
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, request: &Json) -> Json {
+        let Some(op) = request.get("op").and_then(Json::as_str) else {
+            return error_response("missing \"op\" field");
+        };
+        match op {
+            "submit_sweep" => self.submit_sweep(request),
+            "poll" => self.with_job(request, |id, slot| Ok(poll_response(id, &slot))),
+            "result" => self.with_job(request, |id, slot| self.result_response(id, &slot)),
+            "cancel" => self.with_job(request, |id, slot| {
+                if let JobState::Running(ticket) = &*slot.state.lock().expect("job poisoned") {
+                    ticket.cancel();
+                }
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::num(id)),
+                    ("cancelled", Json::Bool(true)),
+                ]))
+            }),
+            "stats" => self.stats_response(),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::Relaxed);
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("shutting_down", Json::Bool(true)),
+                ])
+            }
+            other => error_response(&format!("unknown op {other:?}")),
+        }
+    }
+
+    fn submit_sweep(&self, request: &Json) -> Json {
+        let specs: Vec<ScenarioSpec> = match (request.get("registry"), request.get("specs")) {
+            (Some(Json::Str(name)), None) => match name.as_str() {
+                "default" => Registry::default_sweep().specs().to_vec(),
+                "paper" => Registry::paper().specs().to_vec(),
+                other => {
+                    return error_response(&format!(
+                        "unknown registry {other:?} (expected \"default\" or \"paper\")"
+                    ))
+                }
+            },
+            (None, Some(Json::Arr(ids))) => {
+                let mut specs = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let Some(text) = id.as_str() else {
+                        return error_response("\"specs\" must be an array of id strings");
+                    };
+                    match text.parse::<ScenarioSpec>() {
+                        Ok(spec) => specs.push(spec),
+                        Err(e) => return error_response(&e.to_string()),
+                    }
+                }
+                specs
+            }
+            _ => {
+                return error_response(
+                    "submit_sweep needs exactly one of \"registry\" or \"specs\"",
+                )
+            }
+        };
+        if specs.is_empty() {
+            return error_response("empty sweep");
+        }
+        let cells = specs.len();
+        let ticket = self.engine.submit(&specs);
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        jobs.insert(
+            id,
+            Arc::new(JobSlot {
+                probe: ticket.probe(),
+                state: Mutex::new(JobState::Running(ticket)),
+                done: Condvar::new(),
+            }),
+        );
+        prune_collected_jobs(&mut jobs);
+        drop(jobs);
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("job", Json::num(id)),
+            ("cells", Json::num(cells as u64)),
+        ])
+    }
+
+    fn with_job(
+        &self,
+        request: &Json,
+        f: impl FnOnce(u64, Arc<JobSlot>) -> Result<Json, String>,
+    ) -> Json {
+        let Some(id) = request.get("job").and_then(Json::as_u64) else {
+            return error_response("missing or invalid \"job\" field");
+        };
+        let slot = self
+            .jobs
+            .lock()
+            .expect("job table poisoned")
+            .get(&id)
+            .cloned();
+        match slot {
+            Some(slot) => f(id, slot).unwrap_or_else(|e| error_response(&e)),
+            None => error_response(&format!("unknown job {id}")),
+        }
+    }
+
+    /// Collects (waiting if needed) and renders a job's report. The
+    /// report is kept, so repeated `result` requests re-serve it.
+    fn result_response(&self, id: u64, slot: &JobSlot) -> Result<Json, String> {
+        let taken = {
+            let mut state = slot.state.lock().expect("job poisoned");
+            match &*state {
+                JobState::Done(report) => return Ok(result_json(id, report)),
+                JobState::Collecting => None,
+                JobState::Running(_) => {
+                    match std::mem::replace(&mut *state, JobState::Collecting) {
+                        JobState::Running(ticket) => Some(ticket),
+                        _ => unreachable!("state matched Running above"),
+                    }
+                }
+            }
+        };
+        match taken {
+            Some(ticket) => {
+                // Wait outside the slot lock so `poll` stays responsive.
+                let report = Arc::new(self.engine.collect(ticket));
+                *slot.state.lock().expect("job poisoned") = JobState::Done(Arc::clone(&report));
+                slot.done.notify_all();
+                Ok(result_json(id, &report))
+            }
+            // Another client is collecting; park on the slot's condvar
+            // until it stores the report (the collect itself happens
+            // exactly once).
+            None => {
+                let mut state = slot.state.lock().expect("job poisoned");
+                loop {
+                    if let JobState::Done(report) = &*state {
+                        return Ok(result_json(id, report));
+                    }
+                    state = slot.done.wait(state).expect("job poisoned");
+                }
+            }
+        }
+    }
+
+    fn stats_response(&self) -> Json {
+        let stats = self.engine.memory_stats();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "cache",
+                Json::obj([
+                    ("entries", Json::num(self.engine.cached_reports() as u64)),
+                    ("bytes", Json::num(self.engine.memory_bytes())),
+                    ("hits", Json::num(stats.hits)),
+                    ("misses", Json::num(stats.misses)),
+                    ("evictions", Json::num(stats.evictions)),
+                ]),
+            ),
+            ("disk_entries", Json::num(self.engine.disk_entries() as u64)),
+            (
+                "jobs",
+                Json::num(self.jobs.lock().expect("job table poisoned").len() as u64),
+            ),
+            ("workers", Json::num(self.engine.workers() as u64)),
+        ])
+    }
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+/// Drops the oldest `Done` jobs above [`MAX_RETAINED_JOBS`]. Running
+/// and currently-collecting jobs are never pruned; their ids are merely
+/// counted against the bound.
+fn prune_collected_jobs(jobs: &mut HashMap<u64, Arc<JobSlot>>) {
+    if jobs.len() <= MAX_RETAINED_JOBS {
+        return;
+    }
+    let mut ids: Vec<u64> = jobs.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        if jobs.len() <= MAX_RETAINED_JOBS {
+            break;
+        }
+        let done = jobs[&id]
+            .state
+            .try_lock()
+            .is_ok_and(|state| matches!(&*state, JobState::Done(_)));
+        if done {
+            jobs.remove(&id);
+        }
+    }
+}
+
+fn poll_response(id: u64, slot: &JobSlot) -> Json {
+    // The probe reads the executor's counters directly, so progress
+    // stays truthful even while a `result` request holds the ticket
+    // (`Collecting`) — a progress bar never regresses to 0/0.
+    let (state, done, total, cancelled) = match &*slot.state.lock().expect("job poisoned") {
+        JobState::Running(_) | JobState::Collecting => {
+            let p = slot.probe.progress();
+            let state = if p.is_complete() { "done" } else { "running" };
+            (state, p.done, p.total, p.cancelled)
+        }
+        JobState::Done(report) => ("done", report.cells().len(), report.cells().len(), false),
+    };
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("job", Json::num(id)),
+        ("state", Json::str(state)),
+        ("done", Json::num(done as u64)),
+        ("total", Json::num(total as u64)),
+        ("cancelled", Json::Bool(cancelled)),
+    ])
+}
+
+fn result_json(id: u64, report: &SweepReport) -> Json {
+    let cells: Vec<Json> = report
+        .cells()
+        .iter()
+        .map(|cell| {
+            let mut fields = vec![
+                ("id".to_string(), Json::str(cell.spec.id())),
+                ("name".to_string(), Json::str(cell.name.clone())),
+                ("key".to_string(), Json::str(cell.key.to_hex())),
+                ("provenance".to_string(), Json::str(cell.provenance.tag())),
+                (
+                    "elapsed_ms".to_string(),
+                    Json::Num(cell.elapsed.as_secs_f64() * 1e3),
+                ),
+            ];
+            match &cell.result {
+                Ok(leak) => {
+                    let rows: Vec<Json> = leak
+                        .rows()
+                        .iter()
+                        .map(|row| {
+                            // The result-cache row encoding, re-parsed into
+                            // the value model: wire rows and disk rows stay
+                            // textually comparable.
+                            Json::parse(&crate::cache::encode_row(row))
+                                .expect("row encoding is valid JSON")
+                        })
+                        .collect();
+                    fields.push(("rows".to_string(), Json::Arr(rows)));
+                }
+                Err(e) => fields.push(("error".to_string(), Json::str(e.to_string()))),
+            }
+            if let Some(cycles) = cell.cycles {
+                fields.push(("cycles".to_string(), Json::num(cycles)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("job", Json::num(id)),
+        ("computed", Json::num(report.computed() as u64)),
+        ("reused", Json::num(report.reused() as u64)),
+        ("wall_ms", Json::Num(report.wall_time().as_secs_f64() * 1e3)),
+        ("cells", Json::Arr(cells)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daemon() -> Daemon {
+        Daemon::new(SweepEngine::new())
+    }
+
+    #[test]
+    fn malformed_requests_yield_structured_errors() {
+        let d = daemon();
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"submit_sweep"}"#,
+            r#"{"op":"submit_sweep","registry":"everything"}"#,
+            r#"{"op":"submit_sweep","specs":["bogus[b=6]"]}"#,
+            r#"{"op":"submit_sweep","specs":[]}"#,
+            r#"{"op":"poll"}"#,
+            r#"{"op":"result","job":999}"#,
+        ] {
+            let response = Json::parse(&d.handle_line(bad)).expect("responses are JSON");
+            assert_eq!(
+                response.get("ok"),
+                Some(&Json::Bool(false)),
+                "{bad} must fail"
+            );
+            assert!(response.get("error").is_some());
+        }
+        assert!(!d.is_shutdown());
+    }
+
+    #[test]
+    fn submit_poll_result_round_trip() {
+        let d = daemon();
+        let submitted = Json::parse(&d.handle_line(
+            r#"{"op":"submit_sweep","specs":["square-and-always-multiply[O2,b=6]","square-and-always-multiply[O2,b=6]"]}"#,
+        ))
+        .unwrap();
+        assert_eq!(submitted.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(submitted.get("job").and_then(Json::as_u64), Some(0));
+        assert_eq!(submitted.get("cells").and_then(Json::as_u64), Some(2));
+
+        let result = Json::parse(&d.handle_line(r#"{"op":"result","job":0}"#)).unwrap();
+        assert_eq!(result.get("computed").and_then(Json::as_u64), Some(1));
+        assert_eq!(result.get("reused").and_then(Json::as_u64), Some(1));
+        let cells = result.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(
+            cells[0].get("provenance").and_then(Json::as_str),
+            Some("computed")
+        );
+        assert_eq!(
+            cells[1].get("provenance").and_then(Json::as_str),
+            Some("shared")
+        );
+        assert!(cells[0].get("rows").and_then(Json::as_arr).is_some());
+
+        // Polling after collection reports done; a repeated result
+        // re-serves the same cells.
+        let poll = Json::parse(&d.handle_line(r#"{"op":"poll","job":0}"#)).unwrap();
+        assert_eq!(poll.get("state").and_then(Json::as_str), Some("done"));
+        let again = Json::parse(&d.handle_line(r#"{"op":"result","job":0}"#)).unwrap();
+        assert_eq!(again.get("cells"), result.get("cells"));
+    }
+
+    #[test]
+    fn collected_jobs_are_pruned_beyond_the_retention_bound() {
+        let d = daemon();
+        let total = MAX_RETAINED_JOBS + 6;
+        for i in 0..total {
+            let submitted = Json::parse(&d.handle_line(
+                r#"{"op":"submit_sweep","specs":["square-and-always-multiply[O2,b=6]"]}"#,
+            ))
+            .unwrap();
+            assert_eq!(
+                submitted.get("job").and_then(Json::as_u64),
+                Some(i as u64),
+                "job ids stay sequential"
+            );
+            let result =
+                Json::parse(&d.handle_line(&format!("{{\"op\":\"result\",\"job\":{i}}}"))).unwrap();
+            assert_eq!(result.get("ok"), Some(&Json::Bool(true)));
+        }
+        let stats = Json::parse(&d.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(
+            stats.get("jobs").and_then(Json::as_u64),
+            Some(MAX_RETAINED_JOBS as u64),
+            "the job table stays bounded"
+        );
+        // The oldest collected jobs are gone; recent ones still serve.
+        let expired = Json::parse(&d.handle_line(r#"{"op":"result","job":0}"#)).unwrap();
+        assert_eq!(expired.get("ok"), Some(&Json::Bool(false)));
+        let recent =
+            Json::parse(&d.handle_line(&format!("{{\"op\":\"result\",\"job\":{}}}", total - 1)))
+                .unwrap();
+        assert_eq!(recent.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn stats_and_shutdown() {
+        let d = daemon();
+        d.handle_line(r#"{"op":"submit_sweep","specs":["square-and-always-multiply[O2,b=6]"]}"#);
+        d.handle_line(r#"{"op":"result","job":0}"#);
+        let stats = Json::parse(&d.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("jobs").and_then(Json::as_u64), Some(1));
+
+        assert!(!d.is_shutdown());
+        let bye = Json::parse(&d.handle_line(r#"{"op":"shutdown"}"#)).unwrap();
+        assert_eq!(bye.get("shutting_down"), Some(&Json::Bool(true)));
+        assert!(d.is_shutdown());
+    }
+}

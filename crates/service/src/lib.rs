@@ -11,11 +11,19 @@
 //! * [`CacheKey`] — the content identity of one analysis request:
 //!   program bytes × initial state × analyzer config, hashed with a
 //!   stable (cross-process, cross-platform) 128-bit encoding;
-//! * [`MemoryCache`] / [`DiskCache`] — `Arc`-shared in-memory entries
-//!   plus an optional directory of JSON entries surviving the process;
+//! * [`MemoryCache`] / [`DiskCache`] — key-sharded `Arc`-shared
+//!   in-memory entries with an optional byte budget and pluggable
+//!   [`EvictionPolicy`], plus a fan-out directory of JSON entries
+//!   surviving the process;
 //! * [`SweepEngine`] — plans a [`Registry`] sweep, deduplicates cells by
-//!   key, answers what it can from the caches, batch-analyzes the rest
-//!   in parallel, and reports per-cell [`Provenance`].
+//!   key, answers what it can from the caches, and schedules the rest
+//!   on a persistent work-stealing worker pool, with per-sweep
+//!   progress/cancellation ([`SweepTicket`]) and per-cell
+//!   [`Provenance`];
+//! * [`Daemon`] — the JSON-lines request handler behind the
+//!   `leakaudit-serve` binary (`submit_sweep` / `poll` / `result` /
+//!   `stats` over stdio or TCP), serving many clients from one warm
+//!   cache.
 //!
 //! # Example
 //!
@@ -45,9 +53,19 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod daemon;
 pub mod key;
+pub mod proto;
 pub mod sweep;
 
-pub use cache::{CacheStats, DiskCache, MemoryCache, ResultCache};
+pub use cache::{
+    eviction_for, CacheStats, DiskCache, EntryMeta, EvictionPolicy, FifoBytes, LruBytes,
+    MemoryCache, ResultCache,
+};
+pub use daemon::Daemon;
 pub use key::CacheKey;
-pub use sweep::{cycle_estimate, Provenance, SweepCell, SweepEngine, SweepReport};
+pub use proto::Json;
+pub use sweep::{
+    cycle_estimate, Provenance, SweepCell, SweepEngine, SweepProbe, SweepProgress, SweepReport,
+    SweepTicket,
+};

@@ -20,14 +20,16 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use leakaudit_analyzer::{AnalysisError, BatchAnalysis, BatchJob, LeakReport};
+use leakaudit_analyzer::{
+    AnalysisError, BatchTicket, Executor, LeakReport, OwnedJob, ProgressProbe,
+};
 use leakaudit_cache::{CacheConfig, CycleModel, Hierarchy, Policy};
 use leakaudit_scenarios::{Registry, Scenario, ScenarioSpec};
 
-use crate::cache::{CacheStats, DiskCache, MemoryCache, ResultCache};
+use crate::cache::{eviction_for, CacheStats, DiskCache, MemoryCache, ResultCache};
 use crate::key::CacheKey;
 
 /// Where one sweep cell's report came from.
@@ -171,7 +173,103 @@ impl SweepReport {
     }
 }
 
-/// The sweep engine: cache front-ends plus the batch analyzer.
+/// Progress of one submitted sweep (see [`SweepEngine::submit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Cells with an answer (cache-resolved at submission, or analyzed
+    /// since).
+    pub done: usize,
+    /// Cells in the sweep.
+    pub total: usize,
+    /// Whether the sweep was cancelled.
+    pub cancelled: bool,
+}
+
+impl SweepProgress {
+    /// `true` once every cell is answered.
+    pub fn is_complete(&self) -> bool {
+        self.done == self.total
+    }
+}
+
+/// A submitted, possibly still-running sweep: poll progress, cancel the
+/// pending analyses, then hand it back to
+/// [`SweepEngine::collect`] for the assembled [`SweepReport`].
+#[derive(Debug)]
+pub struct SweepTicket {
+    specs: Vec<ScenarioSpec>,
+    metas: Vec<(CacheKey, String)>,
+    /// Cells answered at submission time (cache/disk hits).
+    resolved: Vec<Option<(Provenance, CellResult)>>,
+    /// Cells deferring to an earlier identical cell.
+    shared_of: Vec<Option<usize>>,
+    /// Cells submitted to the executor, in job order.
+    miss_indices: Vec<usize>,
+    /// Scenarios built during planning, reused for analysis and the
+    /// cycle column.
+    built: HashMap<usize, Arc<Scenario>>,
+    batch: Option<BatchTicket>,
+    started: Instant,
+}
+
+impl SweepTicket {
+    /// Number of cells in the sweep.
+    pub fn cells(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Current progress (never blocks). Cells answered from cache at
+    /// submission — including intra-sweep duplicates — count as done
+    /// from the start.
+    pub fn progress(&self) -> SweepProgress {
+        self.probe().progress()
+    }
+
+    /// A cloneable progress handle that stays valid after the ticket is
+    /// consumed by [`SweepEngine::collect`] — lets a daemon keep
+    /// answering `poll` with real numbers while another request is
+    /// blocked collecting the same sweep.
+    pub fn probe(&self) -> SweepProbe {
+        SweepProbe {
+            resolved: self.specs.len() - self.miss_indices.len(),
+            total: self.specs.len(),
+            batch: self.batch.as_ref().map(BatchTicket::probe),
+        }
+    }
+
+    /// Cancels the analyses no worker has started yet; those cells
+    /// resolve to [`AnalysisError::Cancelled`] instead of a report.
+    /// Already-answered cells and running analyses are unaffected.
+    pub fn cancel(&self) {
+        if let Some(batch) = &self.batch {
+            batch.cancel();
+        }
+    }
+}
+
+/// A cloneable, read-only view of a submitted sweep's progress (see
+/// [`SweepTicket::probe`]).
+#[derive(Debug, Clone)]
+pub struct SweepProbe {
+    resolved: usize,
+    total: usize,
+    batch: Option<ProgressProbe>,
+}
+
+impl SweepProbe {
+    /// Current progress (never blocks).
+    pub fn progress(&self) -> SweepProgress {
+        let batch = self.batch.as_ref().map(ProgressProbe::progress);
+        SweepProgress {
+            done: self.resolved + batch.map_or(0, |p| p.done),
+            total: self.total,
+            cancelled: batch.is_some_and(|p| p.cancelled),
+        }
+    }
+}
+
+/// The sweep engine: cache front-ends plus a persistent work-stealing
+/// executor for the cells the caches cannot answer.
 #[derive(Debug, Default)]
 pub struct SweepEngine {
     memory: MemoryCache,
@@ -185,6 +283,11 @@ pub struct SweepEngine {
     /// (key, policy) → cycle estimate: the emulator replay behind the
     /// cycles column is deterministic, so repeated sweeps reuse it.
     cycle_memo: Mutex<HashMap<(CacheKey, Policy), Option<u64>>>,
+    /// The worker pool, spawned on first use (an engine that only ever
+    /// answers from cache starts no threads). All sweeps of this engine
+    /// share it: idle workers steal the costliest pending cell across
+    /// concurrent submissions.
+    executor: OnceLock<Executor>,
 }
 
 impl SweepEngine {
@@ -206,10 +309,27 @@ impl SweepEngine {
         Ok(self)
     }
 
-    /// Overrides the batch worker-thread count (`1` forces sequential).
+    /// Overrides the executor worker count (`1` forces sequential
+    /// analysis). Takes effect when the pool spawns, i.e. before the
+    /// first sweep runs — set it at construction time.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Bounds the in-memory result cache at roughly `capacity_bytes`,
+    /// evicting under the named replacement policy (the cache-simulator
+    /// vocabulary: `lru`, `fifo`; `plru` behaves as exact LRU — see
+    /// [`eviction_for`]). Replaces the engine's memory cache, so set it
+    /// at construction time. Eviction never changes results: an evicted
+    /// cell is recomputed bit-identically (pinned by the
+    /// sweep-under-eviction consistency test).
+    #[must_use]
+    pub fn with_eviction(mut self, capacity_bytes: u64, policy: Policy) -> Self {
+        self.memory = MemoryCache::new()
+            .with_capacity_bytes(capacity_bytes)
+            .with_policy(eviction_for(policy));
         self
     }
 
@@ -235,6 +355,28 @@ impl SweepEngine {
         self.memory.len()
     }
 
+    /// Approximate bytes retained by the in-memory cache.
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory.bytes()
+    }
+
+    /// Number of entries in the on-disk store (0 without one).
+    pub fn disk_entries(&self) -> usize {
+        self.disk.as_ref().map_or(0, DiskCache::len)
+    }
+
+    /// The executor worker count (spawning the pool if needed).
+    pub fn workers(&self) -> usize {
+        self.executor().workers()
+    }
+
+    fn executor(&self) -> &Executor {
+        self.executor.get_or_init(|| match self.threads {
+            Some(n) => Executor::with_threads(n),
+            None => Executor::new(),
+        })
+    }
+
     /// Answers one cell (a "single query" against the service).
     pub fn query(&self, spec: &ScenarioSpec) -> SweepCell {
         self.run_specs(std::slice::from_ref(spec))
@@ -249,126 +391,140 @@ impl SweepEngine {
     }
 
     /// Plans and answers a sweep over explicit specs (duplicates
-    /// allowed — they are answered once and shared).
+    /// allowed — they are answered once and shared):
+    /// [`SweepEngine::submit`] + [`SweepEngine::collect`] back to back.
+    pub fn run_specs(&self, specs: &[ScenarioSpec]) -> SweepReport {
+        let ticket = self.submit(specs);
+        self.collect(ticket)
+    }
+
+    /// Plans a sweep and schedules its cache misses on the executor,
+    /// returning without waiting for the analyses.
     ///
     /// Work is deduplicated by content key before anything is analyzed;
-    /// remaining misses run as one parallel batch. Every produced report
-    /// is stored in the in-memory cache (and the disk store, when
-    /// attached), so re-running the same sweep answers every cell from
-    /// cache, bit-identically.
-    pub fn run_specs(&self, specs: &[ScenarioSpec]) -> SweepReport {
+    /// remaining misses join the shared work queue **costliest-first**
+    /// (see [`ScenarioSpec::cost_hint`]), so the dominant cell of an
+    /// uneven mix starts immediately instead of serializing the sweep
+    /// tail. The ticket reports progress and supports cancellation; the
+    /// daemon's `submit_sweep`/`poll`/`result` requests map onto
+    /// submit/progress/collect directly.
+    pub fn submit(&self, specs: &[ScenarioSpec]) -> SweepTicket {
         let started = Instant::now();
         // Planning pass: content key + display name per cell, via the
         // spec memo — a warm sweep never builds a scenario at all, and
         // a cold cell's build is retained for the analysis pass below.
-        let mut fresh: HashMap<usize, Scenario> = HashMap::new();
+        let mut built: HashMap<usize, Arc<Scenario>> = HashMap::new();
         let metas: Vec<(CacheKey, String)> = specs
             .iter()
             .enumerate()
             .map(|(i, spec)| {
-                let (meta, built) = self.cell_meta(spec);
-                if let Some(scenario) = built {
-                    fresh.insert(i, scenario);
+                let (meta, fresh) = self.cell_meta(spec);
+                if let Some(scenario) = fresh {
+                    built.insert(i, Arc::new(scenario));
                 }
                 meta
             })
             .collect();
-        let keys: Vec<CacheKey> = metas.iter().map(|(key, _)| *key).collect();
 
         // Resolution pass: cheapest source per cell, misses scheduled.
-        enum Pending {
-            Done(Provenance, CellResult),
-            /// Same key as an earlier cell; the result is filled in from
-            /// it after the analysis pass (unrepresentable until then).
-            Shared {
-                of: usize,
-            },
-            Analyze,
-        }
         let mut first_with_key: HashMap<CacheKey, usize> = HashMap::new();
-        let mut resolution: Vec<Pending> = Vec::with_capacity(specs.len());
-        for (i, key) in keys.iter().enumerate() {
+        let mut resolved: Vec<Option<(Provenance, CellResult)>> = Vec::with_capacity(specs.len());
+        let mut shared_of: Vec<Option<usize>> = vec![None; specs.len()];
+        let mut miss_indices: Vec<usize> = Vec::new();
+        for (i, (key, _)) in metas.iter().enumerate() {
             if let Some(&of) = first_with_key.get(key) {
-                resolution.push(Pending::Shared { of });
+                // Same key as an earlier cell; the result is filled in
+                // from it at collection (unrepresentable until then).
+                shared_of[i] = Some(of);
+                resolved.push(None);
                 continue;
             }
             first_with_key.insert(*key, i);
             if let Some(report) = self.memory.get(key) {
-                resolution.push(Pending::Done(Provenance::MemoryHit, Ok(report)));
+                resolved.push(Some((Provenance::MemoryHit, Ok(report))));
             } else if let Some(report) = self.disk.as_ref().and_then(|d| d.get(key)) {
                 // Promote to memory so the next lookup skips the disk.
                 self.memory.put(*key, Arc::clone(&report));
-                resolution.push(Pending::Done(Provenance::DiskHit, Ok(report)));
+                resolved.push(Some((Provenance::DiskHit, Ok(report))));
             } else {
-                resolution.push(Pending::Analyze);
+                miss_indices.push(i);
+                resolved.push(None);
             }
         }
 
-        // Analysis pass: only the misses are batch-analyzed, reusing
-        // the scenarios the planning pass already built.
-        let miss_indices: Vec<usize> = resolution
+        // Scheduling pass: only the misses go to the worker pool,
+        // reusing the scenarios the planning pass already built.
+        let jobs: Vec<OwnedJob> = miss_indices
             .iter()
-            .enumerate()
-            .filter_map(|(i, p)| matches!(p, Pending::Analyze).then_some(i))
-            .collect();
-        let miss_scenarios: Vec<Scenario> = miss_indices
-            .iter()
-            .map(|&i| fresh.remove(&i).unwrap_or_else(|| specs[i].build()))
-            .collect();
-        let jobs: Vec<BatchJob<'_>> = miss_scenarios.iter().map(Scenario::batch_job).collect();
-        let mut batch = BatchAnalysis::new();
-        if let Some(threads) = self.threads {
-            batch = batch.with_threads(threads);
-        }
-        let outcomes = batch.run(jobs).into_outcomes();
-
-        // Assembly pass: fold outcomes back in registry order.
-        type Resolved = Option<(Provenance, CellResult)>;
-        let built_for: HashMap<usize, &Scenario> = miss_indices
-            .iter()
-            .zip(&miss_scenarios)
-            .map(|(&i, s)| (i, s))
-            .collect();
-        let mut elapsed: Vec<Duration> = vec![Duration::ZERO; specs.len()];
-        let mut shared_of: Vec<Option<usize>> = vec![None; specs.len()];
-        let mut cells_results: Vec<Resolved> = resolution
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| match p {
-                Pending::Done(prov, res) => Some((prov, res)),
-                Pending::Shared { of } => {
-                    shared_of[i] = Some(of);
-                    None
-                }
-                Pending::Analyze => None,
+            .map(|&i| {
+                let scenario =
+                    Arc::clone(built.entry(i).or_insert_with(|| Arc::new(specs[i].build())));
+                let config = scenario.analysis_config();
+                OwnedJob::new(scenario.name.clone(), config, scenario)
+                    .with_cost_hint(specs[i].cost_hint())
             })
             .collect();
+        let batch = (!jobs.is_empty()).then(|| self.executor().submit(jobs));
+
+        SweepTicket {
+            specs: specs.to_vec(),
+            metas,
+            resolved,
+            shared_of,
+            miss_indices,
+            built,
+            batch,
+            started,
+        }
+    }
+
+    /// Waits for a submitted sweep's analyses and assembles the report,
+    /// storing every fresh result in the caches (memory, and disk when
+    /// attached) so re-running the same sweep answers every cell from
+    /// cache, bit-identically.
+    pub fn collect(&self, ticket: SweepTicket) -> SweepReport {
+        let SweepTicket {
+            specs,
+            metas,
+            mut resolved,
+            shared_of,
+            miss_indices,
+            built,
+            batch,
+            started,
+        } = ticket;
+        let outcomes = batch.map_or_else(Vec::new, |b| b.wait().into_outcomes());
+
+        // Assembly pass: fold outcomes back in submission order.
+        let mut elapsed: Vec<Duration> = vec![Duration::ZERO; specs.len()];
         for (&i, outcome) in miss_indices.iter().zip(outcomes) {
             elapsed[i] = outcome.elapsed;
+            let key = metas[i].0;
             let result = match outcome.result {
                 Ok(report) => {
                     let report = Arc::new(report);
-                    self.memory.put(keys[i], Arc::clone(&report));
+                    self.memory.put(key, Arc::clone(&report));
                     if let Some(disk) = &self.disk {
-                        disk.put(keys[i], Arc::clone(&report));
+                        disk.put(key, Arc::clone(&report));
                     }
                     Ok(report)
                 }
-                // Errors are not cached: a raised fuel limit or fixed
-                // input should get a fresh run next time.
+                // Errors (including cancellations) are not cached: a
+                // raised fuel limit or a resubmitted sweep should get a
+                // fresh run next time.
                 Err(e) => Err(Arc::new(e)),
             };
-            cells_results[i] = Some((Provenance::Computed, result));
+            resolved[i] = Some((Provenance::Computed, result));
         }
         // Fill shared cells from their owning cells.
-        for i in 0..cells_results.len() {
+        for i in 0..resolved.len() {
             if let Some(of) = shared_of[i] {
-                let owned = cells_results[of]
+                let owned = resolved[of]
                     .as_ref()
                     .expect("owner precedes sharer")
                     .1
                     .clone();
-                cells_results[i] = Some((Provenance::Shared { of }, owned));
+                resolved[i] = Some((Provenance::Shared { of }, owned));
             }
         }
 
@@ -376,16 +532,15 @@ impl SweepEngine {
             .iter()
             .enumerate()
             .map(|(i, &spec)| {
-                let (provenance, result) = cells_results[i].take().expect("every cell resolved");
-                let built = built_for.get(&i).copied().or_else(|| fresh.get(&i));
+                let (provenance, result) = resolved[i].take().expect("every cell resolved");
                 SweepCell {
                     spec,
                     name: metas[i].1.clone(),
-                    key: keys[i],
+                    key: metas[i].0,
                     provenance,
                     result,
                     elapsed: elapsed[i],
-                    cycles: self.cycles_for(&spec, keys[i], built),
+                    cycles: self.cycles_for(&spec, metas[i].0, built.get(&i).map(Arc::as_ref)),
                 }
             })
             .collect();

@@ -1,0 +1,104 @@
+//! The daemon acceptance suite: the full default registry submitted
+//! twice through the JSON-lines protocol. The second response must be
+//! answered entirely from the warm cache — 26/26 cache-hit provenance —
+//! with every leakage row bit-identical to the first response *as
+//! wire text* (the row encoding is exact, so textual equality is bit
+//! identity).
+
+use leakaudit_scenarios::Registry;
+use leakaudit_service::{Daemon, Json, SweepEngine};
+
+fn parse(response: &str) -> Json {
+    Json::parse(response).expect("daemon responses are valid JSON")
+}
+
+#[test]
+fn second_wire_submission_is_all_cache_hits_bit_identically() {
+    let cells = Registry::default_sweep().len() as u64;
+    let daemon = Daemon::new(SweepEngine::new());
+    let submit = r#"{"op":"submit_sweep","registry":"default"}"#;
+
+    // Cold pass: submitted, polled, collected over the wire.
+    let submitted = parse(&daemon.handle_line(submit));
+    assert_eq!(submitted.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(submitted.get("cells").and_then(Json::as_u64), Some(cells));
+    let poll = parse(&daemon.handle_line(r#"{"op":"poll","job":0}"#));
+    assert_eq!(poll.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(poll.get("total").and_then(Json::as_u64), Some(cells));
+    let cold = parse(&daemon.handle_line(r#"{"op":"result","job":0}"#));
+    assert_eq!(cold.get("computed").and_then(Json::as_u64), Some(cells));
+    assert_eq!(cold.get("reused").and_then(Json::as_u64), Some(0));
+
+    // Warm pass: identical request, new job id.
+    let resubmitted = parse(&daemon.handle_line(submit));
+    assert_eq!(resubmitted.get("job").and_then(Json::as_u64), Some(1));
+    let warm = parse(&daemon.handle_line(r#"{"op":"result","job":1}"#));
+    assert_eq!(
+        warm.get("computed").and_then(Json::as_u64),
+        Some(0),
+        "warm submission must not analyze anything"
+    );
+    assert_eq!(warm.get("reused").and_then(Json::as_u64), Some(cells));
+
+    let cold_cells = cold.get("cells").and_then(Json::as_arr).unwrap();
+    let warm_cells = warm.get("cells").and_then(Json::as_arr).unwrap();
+    assert_eq!(cold_cells.len(), cells as usize);
+    assert_eq!(warm_cells.len(), cells as usize);
+    for (c, w) in cold_cells.iter().zip(warm_cells) {
+        let id = c.get("id").and_then(Json::as_str).unwrap();
+        assert_eq!(id, w.get("id").and_then(Json::as_str).unwrap());
+        // 26/26 cache-hit provenance: a warm cell is served from memory
+        // (or deduplicated against an identical cell of its own sweep).
+        let provenance = w.get("provenance").and_then(Json::as_str).unwrap();
+        assert!(
+            provenance == "memory" || provenance == "shared",
+            "{id}: warm provenance was {provenance:?}"
+        );
+        assert_eq!(c.get("key"), w.get("key"), "{id}: stable content key");
+        // Bit-identical results over the wire: the exact row text.
+        let (cr, wr) = (c.get("rows").unwrap(), w.get("rows").unwrap());
+        assert_eq!(cr.to_string(), wr.to_string(), "{id}: rows must match");
+        assert!(!cr.as_arr().unwrap().is_empty(), "{id}: rows present");
+    }
+
+    // Stats reflect the warm pass; shutdown flips the flag.
+    let stats = parse(&daemon.handle_line(r#"{"op":"stats"}"#));
+    let cache = stats.get("cache").unwrap();
+    assert!(cache.get("hits").and_then(Json::as_u64).unwrap() >= cells);
+    assert_eq!(cache.get("evictions").and_then(Json::as_u64), Some(0));
+    assert!(!daemon.is_shutdown());
+    parse(&daemon.handle_line(r#"{"op":"shutdown"}"#));
+    assert!(daemon.is_shutdown());
+}
+
+#[test]
+fn cancelled_wire_job_reports_cancellation_and_recovers() {
+    let daemon = Daemon::new(SweepEngine::new().with_threads(1));
+    // Submit, cancel immediately, then collect: cells resolve either
+    // as computed (the worker got there first) or as cancelled errors.
+    let submit = r#"{"op":"submit_sweep","registry":"paper"}"#;
+    parse(&daemon.handle_line(submit));
+    let cancelled = parse(&daemon.handle_line(r#"{"op":"cancel","job":0}"#));
+    assert_eq!(cancelled.get("cancelled"), Some(&Json::Bool(true)));
+    let result = parse(&daemon.handle_line(r#"{"op":"result","job":0}"#));
+    assert_eq!(result.get("ok"), Some(&Json::Bool(true)));
+    for cell in result.get("cells").and_then(Json::as_arr).unwrap() {
+        let has_rows = cell.get("rows").is_some();
+        let error = cell.get("error").and_then(Json::as_str);
+        assert!(
+            has_rows || error == Some("job cancelled before execution"),
+            "cell must carry rows or the cancellation error, got {error:?}"
+        );
+    }
+    // Cancellation never poisons the cache: resubmitting computes the
+    // dropped cells and serves full results.
+    parse(&daemon.handle_line(submit));
+    let retry = parse(&daemon.handle_line(r#"{"op":"result","job":1}"#));
+    for cell in retry.get("cells").and_then(Json::as_arr).unwrap() {
+        assert!(
+            cell.get("rows").is_some(),
+            "{:?}: resubmission must produce rows",
+            cell.get("id")
+        );
+    }
+}

@@ -140,6 +140,117 @@ fn disk_cache_survives_the_process_boundary_bit_identically() {
 }
 
 #[test]
+fn work_stealing_executor_matches_the_sequential_path_bit_identically() {
+    // A cross-family registry with the dominant defensive-gather cell
+    // included, so the heaviest-first queue actually reorders work.
+    let registry = Registry::from_specs(vec![
+        ScenarioSpec::new(
+            FamilyParams::DefensiveGather {
+                spacing: 4,
+                value_bytes: 64,
+            },
+            6,
+        ),
+        ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+        ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
+        ScenarioSpec::new(
+            FamilyParams::ScatterGather {
+                spacing: 4,
+                value_bytes: 64,
+                aligned: true,
+            },
+            6,
+        ),
+    ]);
+    // The PR-3-equivalent sequential path: one worker, submission order.
+    let sequential = SweepEngine::new().with_threads(1).run(&registry);
+    // The pooled executor with cost-ordered stealable work items.
+    let pooled = SweepEngine::new().with_threads(4).run(&registry);
+    assert_eq!(sequential.computed(), registry.len());
+    assert_eq!(pooled.computed(), registry.len());
+    for (s, p) in sequential.cells().iter().zip(pooled.cells()) {
+        assert_cells_identical(s, p);
+    }
+}
+
+#[test]
+fn submitted_tickets_report_progress_and_collect_once() {
+    let engine = SweepEngine::new();
+    // Raw spec lists (unlike registries) may repeat cells; the repeat
+    // is deduplicated at submission.
+    let specs = vec![
+        ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
+        ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
+        ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+    ];
+    let ticket = engine.submit(&specs);
+    assert_eq!(ticket.cells(), 3);
+    let progress = ticket.progress();
+    assert_eq!(progress.total, 3);
+    // The duplicated cell is deduplicated at submission: at most two
+    // analyses are ever pending.
+    assert!(progress.done >= 1, "shared cells count as done up front");
+    let report = engine.collect(ticket);
+    assert_eq!(report.computed(), 2);
+    assert_eq!(report.cells()[1].provenance, Provenance::Shared { of: 0 });
+    // A warm resubmission is already complete at submission time.
+    let warm = engine.submit(&specs);
+    assert!(warm.progress().is_complete());
+    assert_eq!(engine.collect(warm).computed(), 0);
+}
+
+#[test]
+fn eviction_forced_recomputation_stays_bit_identical() {
+    let registry = Registry::from_specs(vec![
+        ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+        ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
+        ScenarioSpec::new(
+            FamilyParams::LookupUnprotected {
+                opt: Opt::O2,
+                entries: 7,
+            },
+            6,
+        ),
+        ScenarioSpec::new(
+            FamilyParams::LookupSecure {
+                entries: 3,
+                words: 24,
+            },
+            6,
+        ),
+    ]);
+    // A cache too small to hold even one report: every warm cell is
+    // recomputed — the worst case for consistency.
+    let starved = SweepEngine::new().with_eviction(64, leakaudit_cache::Policy::Lru);
+    let cold = starved.run(&registry);
+    let warm = starved.run(&registry);
+    assert!(
+        starved.memory_stats().evictions > 0,
+        "the starved cache must have evicted"
+    );
+    assert_eq!(
+        warm.computed(),
+        registry.len(),
+        "evicted cells are recomputed, not wrongly served"
+    );
+    for (c, w) in cold.cells().iter().zip(warm.cells()) {
+        assert_cells_identical(c, w);
+    }
+    // Cross-check against an unbounded engine: eviction and
+    // recomputation never change a single bit of any report.
+    let unbounded = SweepEngine::new();
+    for (c, u) in cold.cells().iter().zip(unbounded.run(&registry).cells()) {
+        assert_cells_identical(c, u);
+    }
+    // A roomy evicting cache behaves like the unbounded one.
+    let roomy = SweepEngine::new().with_eviction(1 << 20, leakaudit_cache::Policy::Lru);
+    roomy.run(&registry);
+    let roomy_warm = roomy.run(&registry);
+    assert_eq!(roomy_warm.computed(), 0, "no spurious eviction under room");
+    assert_eq!(roomy.memory_stats().evictions, 0);
+}
+
+#[test]
 fn single_cell_queries_reuse_sweep_results() {
     let engine = SweepEngine::new();
     let registry = Registry::from_specs(vec![
