@@ -304,9 +304,10 @@ impl BatchState {
         debug_assert!(table.slots[index].is_none(), "job ran twice");
         table.slots[index] = Some(outcome);
         table.done += 1;
-        if table.done == self.jobs.len() {
-            self.complete.notify_all();
-        }
+        // Notify on *every* outcome, not only the last: streaming
+        // consumers park in `take_outcome` waiting for one specific
+        // slot, and `wait` re-checks its own done-count either way.
+        self.complete.notify_all();
     }
 
     fn cancelled_outcome(&self, index: usize) -> BatchOutcome {
@@ -352,6 +353,42 @@ impl BatchTicket {
     /// running finish normally and keep their results.
     pub fn cancel(&self) {
         self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the job at `index` (submission order) has an
+    /// outcome, and takes it — the streaming consumption path: a caller
+    /// walking indices in order sees each outcome as soon as it exists
+    /// instead of waiting for the whole batch.
+    ///
+    /// Each slot can be taken once; mixing `take_outcome` with a later
+    /// [`BatchTicket::wait`] on the same ticket is a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or its outcome was already
+    /// taken.
+    pub fn take_outcome(&self, index: usize) -> BatchOutcome {
+        assert!(index < self.state.jobs.len(), "job index out of range");
+        let mut table = self.state.table.lock().expect("batch table poisoned");
+        loop {
+            if let Some(outcome) = table.slots[index].take() {
+                return outcome;
+            }
+            assert!(
+                table.done < self.state.jobs.len() || table.slots[index].is_some(),
+                "outcome {index} was already taken"
+            );
+            table = self
+                .state
+                .complete
+                .wait(table)
+                .expect("batch table poisoned");
+        }
+    }
+
+    /// Wall-clock time since this batch was submitted.
+    pub fn elapsed(&self) -> Duration {
+        self.state.started.elapsed()
     }
 
     /// Blocks until every job has an outcome, returning them in
@@ -445,6 +482,9 @@ struct ExecutorShared {
     queue: Mutex<JobQueue>,
     work_ready: Condvar,
     seq: AtomicU64,
+    /// Jobs a worker has popped and not yet recorded an outcome for —
+    /// the "currently analyzing" depth a `stats` request reports.
+    in_flight: AtomicUsize,
 }
 
 /// A persistent worker pool executing [`OwnedJob`]s from a shared,
@@ -499,6 +539,7 @@ impl Executor {
             }),
             work_ready: Condvar::new(),
             seq: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -516,6 +557,21 @@ impl Executor {
     /// Number of pool workers.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs queued and not yet picked up by any worker.
+    pub fn pending(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("job queue poisoned")
+            .heap
+            .len()
+    }
+
+    /// Jobs currently being analyzed by a worker.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
     }
 
     /// Submits one batch; its items join the shared queue immediately.
@@ -600,6 +656,7 @@ fn worker_loop(shared: &ExecutorShared, sink_threads: bool) {
                 queue = shared.work_ready.wait(queue).expect("job queue poisoned");
             }
         };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         let outcome = if item.state.cancelled.load(Ordering::Relaxed) {
             item.state.cancelled_outcome(item.index)
         } else {
@@ -627,6 +684,7 @@ fn worker_loop(shared: &ExecutorShared, sink_threads: bool) {
             }
         };
         item.state.record(item.index, outcome);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

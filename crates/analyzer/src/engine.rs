@@ -186,6 +186,101 @@ mod tests {
     }
 
     #[test]
+    fn budget_fuel_trips_before_config_fuel() {
+        use crate::{Budget, BudgetLimit};
+        let mut a = Asm::new(0x1000);
+        a.label("spin");
+        a.jmp("spin");
+        let program = a.assemble().unwrap();
+        let input = AnalysisInput {
+            program,
+            init: InitState::new(),
+        };
+        // The config's own guard is far away; the caller's budget trips
+        // first and is reported as the caller's problem.
+        let err = Analysis::new(AnalysisConfig {
+            fuel: 1_000_000,
+            budget: Budget::with_fuel(50),
+            ..AnalysisConfig::default()
+        })
+        .run(&input)
+        .unwrap_err();
+        match err {
+            AnalysisError::BudgetExhausted { limit, steps } => {
+                assert_eq!(limit, BudgetLimit::Fuel);
+                assert_eq!(steps, 50);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // With the budget above the config guard, OutOfFuel wins.
+        let err = Analysis::new(AnalysisConfig {
+            fuel: 100,
+            budget: Budget::with_fuel(1_000_000),
+            ..AnalysisConfig::default()
+        })
+        .run(&input)
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::OutOfFuel { fuel: 100 }));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        use crate::{Budget, BudgetLimit};
+        let mut a = Asm::new(0x1000);
+        a.label("spin");
+        a.jmp("spin");
+        let program = a.assemble().unwrap();
+        let err = Analysis::new(AnalysisConfig {
+            budget: Budget::with_deadline_ms(0),
+            ..AnalysisConfig::default()
+        })
+        .run(&AnalysisInput {
+            program,
+            init: InitState::new(),
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::BudgetExhausted {
+                limit: BudgetLimit::Deadline,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn a_sufficient_budget_changes_nothing() {
+        use crate::Budget;
+        let mut init = InitState::new();
+        init.set_reg(Reg::Ecx, ValueSet::from_constants(0..8, 32));
+        init.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+        let mut a = Asm::new(0x41a90);
+        a.mov(Reg::Eax, Mem::sib(Reg::Ebx, Reg::Ecx, 8, 0));
+        a.hlt();
+        let input = AnalysisInput {
+            program: a.assemble().unwrap(),
+            init,
+        };
+        let plain = Analysis::new(AnalysisConfig::default())
+            .run(&input)
+            .unwrap();
+        let budgeted = Analysis::new(AnalysisConfig {
+            budget: Budget {
+                fuel: Some(10_000),
+                deadline_ms: Some(60_000),
+            },
+            ..AnalysisConfig::default()
+        })
+        .run(&input)
+        .unwrap();
+        for (a, b) in plain.rows().iter().zip(budgeted.rows()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.bits.to_bits(), b.bits.to_bits());
+        }
+    }
+
+    #[test]
     fn shared_channel_bounds_cover_both() {
         let mut init = InitState::new();
         init.set_reg(Reg::Ecx, ValueSet::from_constants(0..4, 32));

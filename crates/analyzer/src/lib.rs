@@ -62,6 +62,90 @@ pub use exec::{
 pub use report::{format_bits, Channel, LeakReport, LeakRow, ObserverSpec};
 pub use state::{AbsState, AbstractMemory, FlagsState, InitState};
 
+/// Which resource of a per-request [`Budget`] ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetLimit {
+    /// The budget's abstract-step cap tripped.
+    Fuel,
+    /// The budget's wall-clock deadline passed.
+    Deadline,
+}
+
+impl fmt::Display for BudgetLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetLimit::Fuel => f.write_str("fuel"),
+            BudgetLimit::Deadline => f.write_str("deadline"),
+        }
+    }
+}
+
+/// A per-request resource budget, distinct from the analyzer's own
+/// divergence guard ([`AnalysisConfig::fuel`]): the config fuel answers
+/// "is this abstract loop ever going to terminate?", the budget answers
+/// "how long is *this caller* willing to wait?". A budgeted run that
+/// converges is bit-identical to an unbudgeted one (the budget only
+/// decides whether the run is allowed to finish); a run that trips the
+/// budget surfaces [`AnalysisError::BudgetExhausted`] instead of holding
+/// a worker indefinitely.
+///
+/// The budget is part of result identity (a `BudgetExhausted` outcome
+/// depends on it), so [`CacheKeyed`] for [`AnalysisConfig`] folds it
+/// into the cache key — budgeted requests cache separately from
+/// unbudgeted ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Budget {
+    /// Cap on abstractly executed instructions for one job, on top of
+    /// (and typically far below) [`AnalysisConfig::fuel`]. `None` = no
+    /// per-request cap.
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline for one job, in milliseconds, measured from
+    /// the moment a worker starts interpreting (queue time excluded —
+    /// the scheduler cannot refund time the caller spent waiting for a
+    /// worker). `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Budget {
+    /// The unlimited budget (the default).
+    pub const UNLIMITED: Budget = Budget {
+        fuel: None,
+        deadline_ms: None,
+    };
+
+    /// A budget capped at `fuel` abstract steps.
+    pub fn with_fuel(fuel: u64) -> Self {
+        Budget {
+            fuel: Some(fuel),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// A budget with a wall-clock deadline in milliseconds.
+    pub fn with_deadline_ms(ms: u64) -> Self {
+        Budget {
+            deadline_ms: Some(ms),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// `true` when neither resource is capped.
+    pub fn is_unlimited(&self) -> bool {
+        self.fuel.is_none() && self.deadline_ms.is_none()
+    }
+}
+
+impl CacheKeyed for Budget {
+    fn key_into(&self, h: &mut FingerprintHasher) {
+        // Option encoding: presence flag then value, so `None` and
+        // `Some(0)` stay distinct.
+        h.write_u8(u8::from(self.fuel.is_some()));
+        h.write_u64(self.fuel.unwrap_or(0));
+        h.write_u8(u8::from(self.deadline_ms.is_some()));
+        h.write_u64(self.deadline_ms.unwrap_or(0));
+    }
+}
+
 /// Error produced by the analyzer.
 #[derive(Debug)]
 pub enum AnalysisError {
@@ -71,6 +155,16 @@ pub enum AnalysisError {
     OutOfFuel {
         /// The exhausted budget.
         fuel: u64,
+    },
+    /// The caller's per-request [`Budget`] ran out before the analysis
+    /// converged. Unlike [`AnalysisError::OutOfFuel`] (the analyzer's
+    /// own divergence guard), this is the *client's* bound: raise the
+    /// budget and resubmit to get a full run.
+    BudgetExhausted {
+        /// Which budgeted resource tripped.
+        limit: BudgetLimit,
+        /// Abstract steps executed when the budget tripped.
+        steps: u64,
     },
     /// A `ret` whose return address is not a unique concrete value.
     UnresolvedReturn {
@@ -102,6 +196,9 @@ impl fmt::Display for AnalysisError {
             AnalysisError::Decode(e) => write!(f, "decoding failed: {e}"),
             AnalysisError::OutOfFuel { fuel } => {
                 write!(f, "analysis exceeded {fuel} abstract steps")
+            }
+            AnalysisError::BudgetExhausted { limit, steps } => {
+                write!(f, "budget exhausted ({limit}) after {steps} abstract steps")
             }
             AnalysisError::UnresolvedReturn { at } => {
                 write!(f, "unresolved return address at 0x{at:x}")
@@ -142,6 +239,10 @@ pub struct AnalysisConfig {
     pub page_bits: u8,
     /// Maximum number of abstractly executed instructions.
     pub fuel: u64,
+    /// The caller's per-request resource budget (fuel cap and/or
+    /// wall-clock deadline), checked in the scheduler loop alongside
+    /// `fuel`. Unlimited by default; see [`Budget`].
+    pub budget: Budget,
     /// Maximum number of simultaneously live configurations.
     pub max_configs: usize,
     /// Advance the per-observer trace sinks on scoped threads while the
@@ -163,6 +264,7 @@ impl Default for AnalysisConfig {
             bank_bits: 2,
             page_bits: 12,
             fuel: 5_000_000,
+            budget: Budget::UNLIMITED,
             max_configs: 4096,
             parallel_sinks: true,
             sink_tuning: sink::SinkTuning::default(),
@@ -210,16 +312,18 @@ impl AnalysisConfig {
 impl CacheKeyed for AnalysisConfig {
     /// Encodes every field that can influence an analysis *result*:
     /// the three observer granularities (which determine the suite) and
-    /// the resource limits (which determine whether a run converges or
-    /// errors). `parallel_sinks` and `sink_tuning` change scheduling
-    /// only — the batch consistency suite proves results are
-    /// bit-identical either way — and are deliberately excluded, so
-    /// serial and threaded runs share cache entries.
+    /// the resource limits — `fuel`, `max_configs`, and the per-request
+    /// `budget` — which determine whether a run converges or errors.
+    /// `parallel_sinks` and `sink_tuning` change scheduling only — the
+    /// batch consistency suite proves results are bit-identical either
+    /// way — and are deliberately excluded, so serial and threaded runs
+    /// share cache entries.
     fn key_into(&self, h: &mut FingerprintHasher) {
         h.write_u8(self.block_bits);
         h.write_u8(self.bank_bits);
         h.write_u8(self.page_bits);
         h.write_u64(self.fuel);
+        self.budget.key_into(h);
         h.write_len(self.max_configs);
     }
 }

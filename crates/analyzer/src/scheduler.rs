@@ -27,13 +27,21 @@
 //! bodies and code revisited after joins decode once instead of once per
 //! abstract step.
 
+use std::time::{Duration, Instant};
+
 use leakaudit_core::ValueSet;
 use leakaudit_x86::{Inst, Program};
 
 use crate::exec::{execute_decoded, Next};
 use crate::sink::{AccessKind, ConfigId, EventBus, TraceEvent};
 use crate::state::InitState;
-use crate::{AnalysisConfig, AnalysisError};
+use crate::{AnalysisConfig, AnalysisError, BudgetLimit};
+
+/// How often (in abstract steps) the scheduler consults the wall clock
+/// for a budget deadline. A power of two so the check is a mask; at
+/// ~10⁷ abstract steps/s the deadline overshoots by well under a
+/// millisecond.
+const DEADLINE_CHECK_MASK: u64 = 0x3ff;
 
 /// One live configuration: a program point plus the abstract machine
 /// state that reached it. Trace bookkeeping lives in the observer sinks,
@@ -109,7 +117,16 @@ pub(crate) fn drive(
         pc: program.entry(),
         state: init.state.clone(),
     }];
-    let mut fuel = config.fuel;
+    // Resource accounting: `steps` counts abstractly executed
+    // instructions against both the analyzer's own divergence guard
+    // (`config.fuel` → OutOfFuel) and the caller's per-request budget
+    // (`config.budget` → BudgetExhausted). The deadline clock starts
+    // here — when interpretation starts, not when the job was queued.
+    let mut steps: u64 = 0;
+    let deadline: Option<Instant> = config
+        .budget
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
 
     while !configs.is_empty() {
         // Pick the configuration with the minimal pc; join any others
@@ -140,10 +157,26 @@ pub(crate) fn drive(
             current
         };
 
-        if fuel == 0 {
+        if steps >= config.fuel {
             return Err(AnalysisError::OutOfFuel { fuel: config.fuel });
         }
-        fuel -= 1;
+        if let Some(budget_fuel) = config.budget.fuel {
+            if steps >= budget_fuel {
+                return Err(AnalysisError::BudgetExhausted {
+                    limit: BudgetLimit::Fuel,
+                    steps,
+                });
+            }
+        }
+        if let Some(deadline) = deadline {
+            if steps & DEADLINE_CHECK_MASK == 0 && Instant::now() >= deadline {
+                return Err(AnalysisError::BudgetExhausted {
+                    limit: BudgetLimit::Deadline,
+                    steps,
+                });
+            }
+        }
+        steps += 1;
 
         // Instruction fetch: visible to I-cache and shared observers.
         bus.emit(TraceEvent::Access {

@@ -15,27 +15,29 @@
 //!
 //! * `--quick`: 1 iteration, no warmup, print to stdout only (CI mode —
 //!   proves the harness runs, commits nothing).
-//! * `--out FILE`: write the JSON report (default `BENCH_4.json`).
+//! * `--out FILE`: write the JSON report (default `BENCH_5.json`).
 //! * `--baseline FILE`: embed a previous perfbench report as the
 //!   `baseline` field and compute `speedup_vs_baseline`.
 //!
-//! JSON schema (`leakaudit-perfbench/v3` — v2 plus the daemon and
-//! eviction metrics): `label`, `iters`, `warmup`, `threads`,
-//! `scenarios_ms` (name → median ms), `total_sequential_ms` (sum of
-//! per-scenario medians), `batch_all_8_ms` (median wall time of the
-//! 8-scenario parallel batch), `sweep_cells` (size of the default
-//! registry matrix), `sweep_cold_ms` (median wall time of a cold
-//! default sweep through the service, fresh cache each iteration),
-//! `sweep_warm_ms` (median wall time of the same sweep answered
-//! entirely from the result cache), `sweep_stolen_warm_ms` (the warm
-//! sweep answered through the daemon's JSON-lines protocol — the
-//! work-stealing submit/collect path plus wire encoding, i.e. what a
-//! `leakaudit-serve` client pays per warm query), `evicting_sweep_ms`
-//! (the sweep re-run against a capacity-starved evicting cache, so
-//! every cell pays eviction bookkeeping plus recomputation — the
-//! bounded-memory worst case), `baseline` (a previous report or
-//! `null`), and `speedup_vs_baseline` (baseline / current, per shared
-//! metric).
+//! JSON schema (`leakaudit-perfbench/v4` — v3 plus the streaming
+//! metric): `label`, `iters`, `warmup`, `threads`, `scenarios_ms`
+//! (name → median ms), `total_sequential_ms` (sum of per-scenario
+//! medians), `batch_all_8_ms` (median wall time of the 8-scenario
+//! parallel batch), `sweep_cells` (size of the default registry
+//! matrix), `sweep_cold_ms` (median wall time of a cold default sweep
+//! through the service, fresh cache each iteration), `sweep_warm_ms`
+//! (median wall time of the same sweep answered entirely from the
+//! result cache), `sweep_stolen_warm_ms` (the warm sweep answered
+//! through the daemon's JSON-lines protocol — the work-stealing
+//! submit/collect path plus wire encoding, i.e. what a
+//! `leakaudit-serve` client pays per warm blocking query),
+//! `sweep_stream_warm_ms` (the same warm matrix collected through the
+//! `stream` op — per-cell push encoding, the new-client path),
+//! `evicting_sweep_ms` (the sweep re-run against a capacity-starved
+//! evicting cache, so every cell pays eviction bookkeeping plus
+//! recomputation — the bounded-memory worst case), `baseline` (a
+//! previous report or `null`), and `speedup_vs_baseline` (baseline /
+//! current, per shared metric).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -57,7 +59,7 @@ fn parse_args() -> Args {
         iters: 7,
         warmup: 2,
         label: String::from("perfbench"),
-        out: Some(String::from("BENCH_4.json")),
+        out: Some(String::from("BENCH_5.json")),
         baseline: None,
     };
     let mut it = std::env::args().skip(1);
@@ -221,6 +223,41 @@ fn main() {
         sweep_stolen_warm_ms
     );
 
+    // The streaming answer path: the same warm matrix collected through
+    // the `stream` op — per-cell push lines instead of one blocking
+    // cells array. Measures the per-line encoding overhead a streaming
+    // client pays on a warm cache.
+    let mut stream_round_trip = || {
+        daemon.handle_line(submit);
+        let mut lines = 0usize;
+        let mut reused = 0u64;
+        daemon.handle_line_into(
+            &format!("{{\"op\":\"stream\",\"job\":{next_job}}}"),
+            &mut |response| {
+                lines += 1;
+                if response.contains("\"stream_done\":true") {
+                    let parsed = Json::parse(response).expect("summary is JSON");
+                    reused = parsed
+                        .get("reused")
+                        .and_then(Json::as_u64)
+                        .expect("summary carries a reused count");
+                }
+            },
+        );
+        next_job += 1;
+        (lines, reused)
+    };
+    let sweep_stream_warm_ms = measure(args.iters, args.warmup, || {
+        let (lines, reused) = stream_round_trip();
+        assert_eq!(lines, sweep_cells + 1, "one line per cell plus summary");
+        assert_eq!(reused as usize, sweep_cells, "warm stream is all hits");
+    });
+    println!(
+        "  {:<42} {:>9.2} ms",
+        format!("sweep_stream_warm ({sweep_cells} cells, stream)"),
+        sweep_stream_warm_ms
+    );
+
     // The bounded-memory worst case: a cache too small to retain any
     // report, so every re-run pays eviction bookkeeping + recomputation.
     let evicting_engine = SweepEngine::new().with_eviction(64, Policy::Lru);
@@ -258,7 +295,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v4\",");
     let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
@@ -278,6 +315,10 @@ fn main() {
         json,
         "  \"sweep_stolen_warm_ms\": {sweep_stolen_warm_ms:.3},"
     );
+    let _ = writeln!(
+        json,
+        "  \"sweep_stream_warm_ms\": {sweep_stream_warm_ms:.3},"
+    );
     let _ = writeln!(json, "  \"evicting_sweep_ms\": {evicting_sweep_ms:.3},");
     match &baseline_text {
         Some(base) => {
@@ -292,6 +333,9 @@ fn main() {
             let speedup_cold = speedup("sweep_cold_ms", sweep_cold_ms);
             let speedup_warm = speedup("sweep_warm_ms", sweep_warm_ms);
             let speedup_stolen = speedup("sweep_stolen_warm_ms", sweep_stolen_warm_ms);
+            // Stream metric exists only in v4+ baselines: null against
+            // older ones.
+            let speedup_stream = speedup("sweep_stream_warm_ms", sweep_stream_warm_ms);
             let speedup_evicting = speedup("evicting_sweep_ms", evicting_sweep_ms);
             let indented = base.trim_end().replace('\n', "\n  ");
             let _ = writeln!(json, "  \"baseline\": {indented},");
@@ -301,6 +345,7 @@ fn main() {
             let _ = writeln!(json, "    \"sweep_cold\": {speedup_cold},");
             let _ = writeln!(json, "    \"sweep_warm\": {speedup_warm},");
             let _ = writeln!(json, "    \"sweep_stolen_warm\": {speedup_stolen},");
+            let _ = writeln!(json, "    \"sweep_stream_warm\": {speedup_stream},");
             let _ = writeln!(json, "    \"evicting_sweep\": {speedup_evicting}");
             let _ = writeln!(json, "  }}");
         }

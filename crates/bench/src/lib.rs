@@ -295,10 +295,12 @@ pub fn scatter_gather_scenario() -> Scenario {
 
 /// Renders the default sweep matrix by driving the leakage-audit
 /// daemon's JSON-lines protocol **as a client**: two `submit_sweep`
-/// requests for the default registry (cold, then warm) plus `result`
-/// and `stats`, exactly the request strings a remote `leakaudit-serve`
-/// client would send. The warm response must be answered entirely from
-/// the result cache, with every row bit-identical over the wire.
+/// requests for the default registry (cold, then warm) plus `result`,
+/// a `stream` pass, and `stats` — exactly the request strings a remote
+/// `leakaudit-serve` client would send. The warm response must be
+/// answered entirely from the result cache, with every row
+/// bit-identical over the wire, and the streamed per-cell lines must
+/// carry the same row text as the blocking `result` encoding.
 pub fn render_sweep() -> String {
     use leakaudit_service::{Daemon, Json, SweepEngine};
 
@@ -306,6 +308,13 @@ pub fn render_sweep() -> String {
     let request = |line: &str| -> Json {
         let response = daemon.handle_line(line);
         Json::parse(&response).expect("daemon responses are JSON")
+    };
+    let stream = |line: &str| -> Vec<Json> {
+        let mut lines = Vec::new();
+        daemon.handle_line_into(line, &mut |response| {
+            lines.push(Json::parse(response).expect("daemon responses are JSON"));
+        });
+        lines
     };
     let submit = r#"{"op":"submit_sweep","registry":"default"}"#;
 
@@ -339,11 +348,25 @@ pub fn render_sweep() -> String {
         "every warm cell is a cache hit"
     );
 
+    // The streaming op: a third (warm) submission collected cell by
+    // cell; each pushed line must carry exactly the row text the
+    // blocking result produced.
+    let _ = request(submit);
+    let streamed = stream(r#"{"op":"stream","job":2}"#);
+    assert_eq!(
+        streamed.len() as u64,
+        cells + 1,
+        "one line per cell plus the summary"
+    );
+    let summary = streamed.last().expect("summary line");
+    assert_eq!(summary.get("stream_done"), Some(&Json::Bool(true)));
+    assert_eq!(summary.get("reused").and_then(Json::as_u64), Some(cells));
+
     let mut out = format!(
         "Sweep matrix — {cells} cells through the daemon protocol\n\
          =======================================================\n\n\
-         {:<44} {:>8} {:>8}   rows bit-identical\n",
-        "cell", "cold", "warm"
+         {:<52} {:>8} {:>8} {:>8}   rows bit-identical\n",
+        "cell", "cold", "warm", "stream"
     );
     let cell_list = |response: &Json| {
         response
@@ -353,7 +376,7 @@ pub fn render_sweep() -> String {
             .to_vec()
     };
     let (cold_cells, warm_cells) = (cell_list(&cold), cell_list(&warm));
-    for (c, w) in cold_cells.iter().zip(&warm_cells) {
+    for ((c, w), s) in cold_cells.iter().zip(&warm_cells).zip(&streamed) {
         let name = c.get("name").and_then(Json::as_str).unwrap_or("?");
         let tag = |cell: &Json| {
             cell.get("provenance")
@@ -361,14 +384,27 @@ pub fn render_sweep() -> String {
                 .unwrap_or("?")
                 .to_string()
         };
-        // The acceptance bar: warm rows textually equal cold rows (the
-        // row encoding is exact, so textual equality is bit identity).
+        // The acceptance bar: warm rows textually equal cold rows, and
+        // the streamed per-cell line carries the same text (the row
+        // encoding is exact, so textual equality is bit identity).
         assert_eq!(
             c.get("rows"),
             w.get("rows"),
             "{name}: warm rows must be bit-identical over the wire"
         );
-        let _ = writeln!(out, "{:<44} {:>8} {:>8}   yes", name, tag(c), tag(w));
+        assert_eq!(
+            w.get("rows").map(Json::to_string),
+            s.get("rows").map(Json::to_string),
+            "{name}: streamed rows must match the blocking result encoding"
+        );
+        let _ = writeln!(
+            out,
+            "{:<52} {:>8} {:>8} {:>8}   yes",
+            name,
+            tag(c),
+            tag(w),
+            tag(s)
+        );
     }
 
     let stats = request(r#"{"op":"stats"}"#);

@@ -31,16 +31,27 @@ const B2I3SIZE: u32 = 0x80e_b130;
 const BP: u32 = 0x80e_b080;
 const BSIZE: u32 = 0x80e_b084;
 
-fn data_section(a: &mut Asm, entries: u32) {
+fn data_section(a: &mut Asm, entries: u32, stride: u32) {
     // Heap addresses of the pre-computed values (their contents are
-    // high; only the pointers are data here).
+    // high; only the pointers are data here). With a widened stride the
+    // slack words between entries are zero padding, so every entry
+    // still sits at `table + i·stride`.
+    let pad = stride / 4 - 1;
+    let strided = |values: Vec<u32>| -> Vec<u32> {
+        let mut out = Vec::new();
+        for v in values {
+            out.push(v);
+            out.extend(std::iter::repeat_n(0, pad as usize));
+        }
+        out
+    };
     a.section_at(B2I3);
     a.label("b_2i3");
     let pointers: Vec<u32> = (0..entries).map(|i| 0x80e_c000 + i * 0x180).collect();
-    a.dd(&pointers);
+    a.dd(&strided(pointers));
     a.section_at(B2I3SIZE);
     a.label("b_2i3size");
-    a.dd(&vec![96u32; entries as usize]);
+    a.dd(&strided(vec![96u32; entries as usize]));
     a.section_at(BP);
     a.dd(&[0x80e_d000, 96]); // bp, bsize
 }
@@ -68,10 +79,15 @@ fn cases(entries: u32) -> Vec<ConcreteCase> {
     cases
 }
 
-fn check_entries(entries: u32) {
+fn check_shape(entries: u32, stride: u32) {
     assert!(
-        (1..=15).contains(&entries),
-        "1..=15 entries fit between the b_2i3 and b_2i3size tables"
+        stride == 4 || stride == 8,
+        "entry strides of 4 (packed) and 8 (padded) bytes are supported"
+    );
+    assert!(entries >= 1, "the window table cannot be empty");
+    assert!(
+        u64::from(entries) * u64::from(stride) <= u64::from(B2I3SIZE - B2I3),
+        "entries x stride must fit between the b_2i3 and b_2i3size tables"
     );
 }
 
@@ -84,13 +100,20 @@ fn check_entries(entries: u32) {
 /// cache lines, visited in the same order — the stuttering block-trace
 /// leak is eliminated (paper §8.4, first bullet).
 ///
+/// The `stride` parameter spaces the table entries (`4` = the packed
+/// paper layout, `8` = one entry per 8 bytes): widening the stride
+/// doubles the table footprint, so the pointer table spans more blocks
+/// — the block-trace bound grows with the stride while the address
+/// bound stays a function of the window size alone.
+///
 /// # Panics
 ///
-/// Panics if `entries` is outside `1..=15` (the tables would collide)
-/// or `opt` is [`Opt::O0`] (the paper documents no -O0 build of this
-/// routine).
-pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
-    check_entries(entries);
+/// Panics if `entries × stride` exceeds the space between the tables,
+/// `stride` is not 4 or 8, or `opt` is [`Opt::O0`] (the paper documents
+/// no -O0 build of this routine).
+pub fn variant(opt: Opt, entries: u32, stride: u32, block_bits: u8) -> Scenario {
+    check_shape(entries, stride);
+    let scale = stride as u8;
     let (program, init) = match opt {
         Opt::O2 => {
             let mut a = Asm::new(0x4b980);
@@ -102,7 +125,7 @@ pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
                 Reg::Ecx,
                 Mem {
                     base: None,
-                    index: Some((Reg::Esi, 4)),
+                    index: Some((Reg::Esi, scale)),
                     disp: B2I3 as i32,
                 },
             ); // base_u = b_2i3[e0-1]
@@ -110,7 +133,7 @@ pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
                 Reg::Edx,
                 Mem {
                     base: None,
-                    index: Some((Reg::Esi, 4)),
+                    index: Some((Reg::Esi, scale)),
                     disp: B2I3SIZE as i32,
                 },
             ); // base_u_size = b_2i3size[e0-1]
@@ -123,7 +146,7 @@ pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
             a.mov(Reg::Edx, Mem::abs(BSIZE));
             a.jmp_near("done");
 
-            data_section(&mut a, entries);
+            data_section(&mut a, entries, stride);
             let program = a.assemble().expect("scenario assembles");
             let mut init = InitState::new();
             init.set_reg(Reg::Eax, secret_window(entries));
@@ -138,7 +161,7 @@ pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
                 Reg::Ecx,
                 Mem {
                     base: None,
-                    index: Some((Reg::Esi, 4)),
+                    index: Some((Reg::Esi, scale)),
                     disp: B2I3 as i32,
                 },
             );
@@ -146,7 +169,7 @@ pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
                 Reg::Edx,
                 Mem {
                     base: None,
-                    index: Some((Reg::Esi, 4)),
+                    index: Some((Reg::Esi, scale)),
                     disp: B2I3SIZE as i32,
                 },
             );
@@ -159,7 +182,7 @@ pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
             a.label("done"); // 0x47e10: same cache line as power_of_one
             a.hlt();
 
-            data_section(&mut a, entries);
+            data_section(&mut a, entries, stride);
             let program = a.assemble().expect("scenario assembles");
             assert_eq!(program.label("power_of_one"), Some(0x47e00));
             assert_eq!(program.label("done"), Some(0x47e10));
@@ -170,8 +193,13 @@ pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
         Opt::O0 => panic!("unprotected lookup: no -O0 layout is documented"),
     };
 
+    let s = if stride == 4 {
+        String::new()
+    } else {
+        format!(",s={stride}")
+    };
     Scenario {
-        name: format!("unprotected-lookup[{opt},e={entries},b={block_bits}]"),
+        name: format!("unprotected-lookup[{opt},e={entries}{s},b={block_bits}]"),
         paper_ref: String::from("Fig. 10 family (parameterized layout/table)"),
         program,
         init,
@@ -184,7 +212,7 @@ pub fn variant(opt: Opt, entries: u32, block_bits: u8) -> Scenario {
 /// The paper's `-O2` instance (Figs. 14a/15a), published name and
 /// expectations.
 pub fn libgcrypt_161_o2() -> Scenario {
-    let mut s = variant(Opt::O2, ENTRIES, 6);
+    let mut s = variant(Opt::O2, ENTRIES, 4, 6);
     s.name = String::from("unprotected-lookup-1.6.1-O2");
     s.paper_ref = String::from("Fig. 14a (leakage), Fig. 10 (code), Fig. 15a (layout)");
     s.expected = Expected {
@@ -198,7 +226,7 @@ pub fn libgcrypt_161_o2() -> Scenario {
 /// The paper's `-O1` instance (Fig. 15b), published name and
 /// expectations.
 pub fn libgcrypt_161_o1() -> Scenario {
-    let mut s = variant(Opt::O1, ENTRIES, 6);
+    let mut s = variant(Opt::O1, ENTRIES, 4, 6);
     s.name = String::from("unprotected-lookup-1.6.1-O1");
     s.paper_ref = String::from("Fig. 15b (layout): I-cache b-block leak eliminated");
     s.expected = Expected {
@@ -241,10 +269,45 @@ mod tests {
     fn window_size_scales_the_dcache_bound() {
         // 3 entries: 1 + 3·3 = 10 address observations; 15 entries:
         // 1 + 15·15 = 226 — the bound is a function of the window size.
-        let small = variant(Opt::O2, 3, 6).analyze().unwrap();
+        let small = variant(Opt::O2, 3, 4, 6).analyze().unwrap();
         assert!((small.dcache_bits(Observer::address()) - 10f64.log2()).abs() < 1e-9);
-        let large = variant(Opt::O2, 15, 6).analyze().unwrap();
+        let large = variant(Opt::O2, 15, 4, 6).analyze().unwrap();
         assert!((large.dcache_bits(Observer::address()) - 226f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn widened_stride_grows_the_block_footprint_not_the_address_bound() {
+        // At 32-byte lines the packed 28-byte table spans 2 blocks while
+        // the strided 56-byte table spans 3 — the stride axis moves the
+        // block-trace bound without touching the address-trace bound.
+        let packed = variant(Opt::O2, 7, 4, 5).analyze().unwrap();
+        let strided = variant(Opt::O2, 7, 8, 5).analyze().unwrap();
+        // The address bound counts entries, not bytes: identical.
+        assert_eq!(
+            packed.dcache_bits(Observer::address()).to_bits(),
+            strided.dcache_bits(Observer::address()).to_bits()
+        );
+        assert!(
+            strided.dcache_bits(Observer::block(5)) > packed.dcache_bits(Observer::block(5)),
+            "stride widens the block footprint"
+        );
+        // The emulator agrees on where entries landed.
+        let s = variant(Opt::O2, 7, 8, 6);
+        assert_eq!(s.name, "unprotected-lookup[O2,e=7,s=8,b=6]");
+        for case in &s.cases {
+            let e0: u32 = case.regs[0].1;
+            if e0 == 0 {
+                continue;
+            }
+            let data = s.emulate(case).unwrap().data_addresses();
+            assert_eq!(
+                data,
+                vec![
+                    u64::from(B2I3 + 8 * (e0 - 1)),
+                    u64::from(B2I3SIZE + 8 * (e0 - 1))
+                ]
+            );
+        }
     }
 
     #[test]

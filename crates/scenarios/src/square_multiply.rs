@@ -25,10 +25,14 @@ const STUBS: u32 = 0x41b00;
 /// if e_i = 1 then r := mpi_mul(b, r); r := mpi_mod(r, m)
 /// ```
 ///
-/// The exponent bit `e_i` is the secret (`edx ∈ {0, 1}`); `ebp`/`esi` hold
-/// the dynamically allocated `r`/`b`. With the paper's layout the multiply
-/// path fetches code from separate cache lines *and* reads `b` — exactly
-/// the instruction- and data-cache leaks of the paper's Fig. 7a.
+/// The exponent window `e_i` is the secret (`edx`, `secret_bits` wide:
+/// the paper's bitwise loop uses width 1, `edx ∈ {0, 1}`; wider windows
+/// model the sliding-window loops of later libgcrypt versions, where the
+/// multiply is skipped exactly for the all-zero window); `ebp`/`esi`
+/// hold the dynamically allocated `r`/`b`. With the paper's layout the
+/// multiply path fetches code from separate cache lines *and* reads `b`
+/// — exactly the instruction- and data-cache leaks of the paper's
+/// Fig. 7a.
 ///
 /// `stub_stride` is the distance in bytes between consecutive stubs
 /// (`mpi_sqr`, `mpi_mod`, `mpi_mul`); the paper's binary uses `0x40`
@@ -37,9 +41,14 @@ const STUBS: u32 = 0x41b00;
 ///
 /// # Panics
 ///
-/// Panics if `stub_stride < 8` (stubs would overlap).
-pub fn variant(stub_stride: u32, block_bits: u8) -> Scenario {
+/// Panics if `stub_stride < 8` (stubs would overlap) or `secret_bits`
+/// is outside `1..=8`.
+pub fn variant(stub_stride: u32, secret_bits: u32, block_bits: u8) -> Scenario {
     assert!(stub_stride >= 8, "stubs are up to 8 bytes long");
+    assert!(
+        (1..=8).contains(&secret_bits),
+        "secret windows of 1..=8 bits are supported"
+    );
     let sqr = STUBS;
     let modred = STUBS + stub_stride;
     let mul = STUBS + 2 * stub_stride;
@@ -73,27 +82,42 @@ pub fn variant(stub_stride: u32, block_bits: u8) -> Scenario {
     let b = init.fresh_heap_pointer("b");
     init.set_reg(Reg::Ebp, ValueSet::singleton(r));
     init.set_reg(Reg::Esi, ValueSet::singleton(b));
-    // The secret exponent bit.
-    init.set_reg(Reg::Edx, ValueSet::from_constants([0, 1], 32));
+    // The secret exponent window.
+    init.set_reg(
+        Reg::Edx,
+        ValueSet::from_constants(0..1u64 << secret_bits, 32),
+    );
 
     let mut cases = Vec::new();
     for (layout, (r_base, b_base)) in [(0x080e_b000u32, 0x080e_c000u32), (0x0910_0040, 0x0920_0100)]
         .into_iter()
         .enumerate()
     {
-        for bit in 0..2u32 {
+        // Concrete validation covers the boundary windows (0, 1, max);
+        // wider windows take the same two paths as 1.
+        let mut windows = vec![0u32, 1];
+        let max = (1u32 << secret_bits) - 1;
+        if max > 1 {
+            windows.push(max);
+        }
+        for window in windows {
             cases.push(ConcreteCase {
-                label: format!("e_i={bit}, layout {layout}"),
+                label: format!("e_i={window}, layout {layout}"),
                 layout,
-                regs: vec![(Reg::Ebp, r_base), (Reg::Esi, b_base), (Reg::Edx, bit)],
+                regs: vec![(Reg::Ebp, r_base), (Reg::Esi, b_base), (Reg::Edx, window)],
                 bytes: Vec::new(),
                 expect_mem: Vec::new(),
             });
         }
     }
 
+    let w = if secret_bits == 1 {
+        String::new()
+    } else {
+        format!(",w={secret_bits}")
+    };
     Scenario {
-        name: format!("square-and-multiply[stride={stub_stride:#x},b={block_bits}]"),
+        name: format!("square-and-multiply[stride={stub_stride:#x}{w},b={block_bits}]"),
         paper_ref: String::from("Fig. 5 family (parameterized layout)"),
         program,
         init,
@@ -107,7 +131,7 @@ pub fn variant(stub_stride: u32, block_bits: u8) -> Scenario {
 /// with the published name and the Fig. 7a expectations (1 bit
 /// everywhere).
 pub fn libgcrypt_152() -> Scenario {
-    let mut s = variant(0x40, 6);
+    let mut s = variant(0x40, 1, 6);
     s.name = String::from("square-and-multiply-1.5.2");
     s.paper_ref = String::from("Fig. 7a (leakage), Fig. 5 (algorithm)");
     s.expected = Expected {
@@ -159,10 +183,25 @@ mod tests {
         // still *re-enters* the stub line after touching the call-site
         // line, so even the stuttering block observer sees the
         // difference — layout alone cannot fix square-and-multiply.
-        let s = variant(0x10, 6);
+        let s = variant(0x10, 1, 6);
         let report = s.analyze().unwrap();
         assert!(report.icache_bits(Observer::block(6).stuttering()) >= 1.0);
         // The D-cache leak (reading b) is layout-independent.
         assert_eq!(report.dcache_bits(Observer::address()), 1.0);
+    }
+
+    #[test]
+    fn wider_secret_windows_keep_the_one_bit_branch_leak() {
+        // The observable is still the taken/skipped multiply: a 4-bit
+        // window leaks the same 1 bit (zero vs non-zero), not 4.
+        let s = variant(0x40, 4, 6);
+        let report = s.analyze().unwrap();
+        assert_eq!(report.icache_bits(Observer::address()), 1.0);
+        assert_eq!(report.dcache_bits(Observer::address()), 1.0);
+        assert_eq!(s.name, "square-and-multiply[stride=0x40,w=4,b=6]");
+        // Concrete boundary windows emulate cleanly on both paths.
+        let t0 = s.emulate(&s.cases[0]).unwrap();
+        let tmax = s.emulate(s.cases.last().unwrap()).unwrap();
+        assert_ne!(t0.fetch_addresses(), tmax.fetch_addresses());
     }
 }

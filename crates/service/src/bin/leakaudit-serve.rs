@@ -21,14 +21,20 @@
 //! * `migrate`: one-shot move of every flat-layout disk entry into the
 //!   sharded layout, then exit.
 //!
-//! Example session (stdio):
+//! Example session (stdio; `stream` pushes one line per cell as each
+//! analysis lands, `submit_sweep` takes an optional per-request
+//! `config` override — see `leakaudit_service::daemon`):
 //!
 //! ```text
 //! $ printf '%s\n' '{"op":"submit_sweep","registry":"default"}' \
-//!                 '{"op":"result","job":0}' \
+//!                 '{"op":"stream","job":0}' \
+//!                 '{"op":"ack","job":0}' \
 //!                 '{"op":"shutdown"}' | leakaudit-serve
-//! {"ok":true,"job":0,"cells":26}
-//! {"ok":true,"job":0,"computed":26,"reused":0,...}
+//! {"ok":true,"job":0,"cells":42}
+//! {"ok":true,"job":0,"cell":0,"id":"square-and-multiply[stride=0x40,b=6]",...}
+//! ... one line per cell ...
+//! {"ok":true,"job":0,"stream_done":true,"cells":42,"computed":42,"reused":0,...}
+//! {"ok":true,"job":0,"acked":true}
 //! {"ok":true,"shutting_down":true}
 //! ```
 
@@ -154,7 +160,9 @@ fn main() {
 }
 
 /// Pumps requests line by line from stdin to stdout until EOF or a
-/// `shutdown` request.
+/// `shutdown` request. Each response line (a `stream` request pushes
+/// several) is flushed as soon as the daemon emits it, so a streaming
+/// client sees cells while the sweep is still computing.
 fn serve_stdio(daemon: &Daemon) {
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
@@ -163,14 +171,14 @@ fn serve_stdio(daemon: &Daemon) {
         if line.trim().is_empty() {
             continue;
         }
-        let response = daemon.handle_line(&line);
-        if writeln!(stdout, "{response}")
-            .and_then(|()| stdout.flush())
-            .is_err()
-        {
-            break;
-        }
-        if daemon.is_shutdown() {
+        let mut failed = false;
+        daemon.handle_line_into(&line, &mut |response| {
+            failed = failed
+                || writeln!(stdout, "{response}")
+                    .and_then(|()| stdout.flush())
+                    .is_err();
+        });
+        if failed || daemon.is_shutdown() {
             break;
         }
     }
@@ -212,12 +220,17 @@ fn serve_tcp(daemon: &Arc<Daemon>, addr: &str) {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    let response = daemon.handle_line(&line);
-                    let sent = writeln!(writer, "{response}").and_then(|()| writer.flush());
+                    let mut failed = false;
+                    daemon.handle_line_into(&line, &mut |response| {
+                        failed = failed
+                            || writeln!(writer, "{response}")
+                                .and_then(|()| writer.flush())
+                                .is_err();
+                    });
                     if daemon.is_shutdown() {
                         std::process::exit(0);
                     }
-                    if sent.is_err() {
+                    if failed {
                         break;
                     }
                 }

@@ -10,21 +10,31 @@
 //!
 //! # Protocol
 //!
-//! One request object per line, one response object per line:
+//! One request object per line; every op except `stream` answers with
+//! exactly one response line (`stream` pushes one line per cell plus a
+//! summary line):
 //!
 //! ```text
 //! → {"op":"submit_sweep","registry":"default"}
-//! ← {"ok":true,"job":0,"cells":26}
-//! → {"op":"submit_sweep","specs":["scatter-gather[s=8,n=384,aligned,b=6]"]}
+//! ← {"ok":true,"job":0,"cells":42}
+//! → {"op":"submit_sweep","specs":["scatter-gather[s=8,n=384,aligned,b=6]"],
+//!    "config":{"bank_bits":3,"budget":{"fuel":200000,"deadline_ms":5000}}}
 //! ← {"ok":true,"job":1,"cells":1}
 //! → {"op":"poll","job":0}
-//! ← {"ok":true,"job":0,"state":"running","done":3,"total":26,"cancelled":false}
+//! ← {"ok":true,"job":0,"state":"running","done":3,"total":42,"cancelled":false}
 //! → {"op":"result","job":0}
-//! ← {"ok":true,"job":0,"computed":26,"reused":0,"wall_ms":…,"cells":[…]}
+//! ← {"ok":true,"job":0,"computed":42,"reused":0,"wall_ms":…,"cells":[…]}
+//! → {"op":"stream","job":1}
+//! ← {"ok":true,"job":1,"cell":0,"id":…,"provenance":…,"rows":[…]}
+//! ← {"ok":true,"job":1,"stream_done":true,"cells":1,"computed":…,"reused":…}
+//! → {"op":"ack","job":0}
+//! ← {"ok":true,"job":0,"acked":true}
+//! → {"op":"poll","job":0}
+//! ← {"ok":true,"job":0,"state":"expired"}
 //! → {"op":"cancel","job":1}
 //! ← {"ok":true,"job":1,"cancelled":true}
 //! → {"op":"stats"}
-//! ← {"ok":true,"cache":{…},"jobs":2,"workers":…}
+//! ← {"ok":true,"cache":{…},"executor":{…},"jobs":2,"workers":…}
 //! → {"op":"shutdown"}
 //! ← {"ok":true,"shutting_down":true}
 //! ```
@@ -32,19 +42,34 @@
 //! Scenario specs travel as their stable id strings
 //! (`ScenarioSpec::id`, parsed back via `FromStr`); leakage rows travel
 //! in the result-cache row encoding (counts as hex big-numbers, bounds
-//! as shortest-round-trip floats), so two responses are bit-comparable
-//! as text. `result` blocks until the job finishes; `poll` never
-//! blocks. Errors come back as `{"ok":false,"error":"…"}` — the
-//! connection stays usable.
+//! as shortest-round-trip floats), so two responses — and the per-cell
+//! lines of a `stream` — are bit-comparable as text.
+//!
+//! `submit_sweep` takes an optional `config` override object (the
+//! request's [`AuditProfile`]): `block_bits`/`bank_bits`/`page_bits`
+//! select the observer-granularity family, `fuel` moves the divergence
+//! guard, `budget` (`{"fuel":…,"deadline_ms":…}`) bounds each cell of
+//! the job individually, and `cycle_model` (`"lru"`/`"fifo"`/`"plru"`)
+//! adds the cycle column. Overridden results are cached under distinct
+//! keys.
+//!
+//! `result` blocks until the job finishes; `stream` pushes each cell as
+//! its analysis lands; `poll` never blocks. A collected job stays
+//! re-servable until the client `ack`s it (or it is pruned past the
+//! retention bound); requests naming a released job answer with the
+//! distinct `expired` state instead of "unknown job". Errors come back
+//! as `{"ok":false,"error":"…"}` — the connection stays usable.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use leakaudit_analyzer::Budget;
+use leakaudit_cache::Policy;
 use leakaudit_scenarios::{Registry, ScenarioSpec};
 
 use crate::proto::Json;
-use crate::sweep::{SweepEngine, SweepProbe, SweepReport, SweepTicket};
+use crate::sweep::{AuditProfile, SweepCell, SweepEngine, SweepProbe, SweepReport, SweepTicket};
 
 /// Completed jobs retained for repeated `result` requests. Above this,
 /// the oldest collected jobs are pruned (their reports stay in the
@@ -101,26 +126,44 @@ impl Daemon {
         self.shutdown.load(Ordering::Relaxed)
     }
 
-    /// Handles one request line, returning one response line (no
-    /// trailing newline). Malformed input yields an `ok:false` response
-    /// rather than an error — the stream stays usable.
+    /// Handles one request line, returning the response text (no
+    /// trailing newline). Every op answers one line; a `stream` request
+    /// answers several, joined with `'\n'` — transports that can flush
+    /// incrementally should prefer [`Daemon::handle_line_into`].
+    /// Malformed input yields an `ok:false` response rather than an
+    /// error — the stream stays usable.
     pub fn handle_line(&self, line: &str) -> String {
-        let response = match Json::parse(line.trim()) {
-            Ok(request) => self.handle(&request),
-            Err(e) => error_response(&format!("invalid JSON: {e}")),
-        };
-        response.to_string()
+        let mut lines: Vec<String> = Vec::new();
+        self.handle_line_into(line, &mut |response| lines.push(response.to_string()));
+        lines.join("\n")
     }
 
-    /// Handles one parsed request.
+    /// Handles one request line, emitting each response line through
+    /// `emit` as soon as it exists. For every op except `stream` that
+    /// is exactly one call; for `stream` it is one call per cell —
+    /// fired the moment the cell's analysis lands — plus a summary
+    /// line, which is what lets a client render rows while the sweep is
+    /// still running.
+    pub fn handle_line_into(&self, line: &str, emit: &mut dyn FnMut(&str)) {
+        match Json::parse(line.trim()) {
+            Ok(request) => self.handle_into(&request, emit),
+            Err(e) => emit(&error_response(&format!("invalid JSON: {e}")).to_string()),
+        }
+    }
+
+    /// Handles one parsed single-response request (every op except
+    /// `stream`, which needs [`Daemon::handle_line_into`]'s emitter and
+    /// answers an error here).
     pub fn handle(&self, request: &Json) -> Json {
         let Some(op) = request.get("op").and_then(Json::as_str) else {
             return error_response("missing \"op\" field");
         };
         match op {
             "submit_sweep" => self.submit_sweep(request),
-            "poll" => self.with_job(request, |id, slot| Ok(poll_response(id, &slot))),
+            "poll" => self.poll_job(request),
             "result" => self.with_job(request, |id, slot| self.result_response(id, &slot)),
+            "stream" => error_response("stream requires a streaming transport"),
+            "ack" => self.ack_response(request),
             "cancel" => self.with_job(request, |id, slot| {
                 if let JobState::Running(ticket) = &*slot.state.lock().expect("job poisoned") {
                     ticket.cancel();
@@ -140,6 +183,14 @@ impl Daemon {
                 ])
             }
             other => error_response(&format!("unknown op {other:?}")),
+        }
+    }
+
+    fn handle_into(&self, request: &Json, emit: &mut dyn FnMut(&str)) {
+        if request.get("op").and_then(Json::as_str) == Some("stream") {
+            self.stream_response(request, emit);
+        } else {
+            emit(&self.handle(request).to_string());
         }
     }
 
@@ -176,10 +227,21 @@ impl Daemon {
         if specs.is_empty() {
             return error_response("empty sweep");
         }
+        let profile = match request.get("config") {
+            None => AuditProfile::default(),
+            Some(config) => match parse_profile(config) {
+                Ok(profile) => profile,
+                Err(e) => return error_response(&e),
+            },
+        };
         let cells = specs.len();
-        let ticket = self.engine.submit(&specs);
-        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let ticket = self.engine.submit_with(&specs, &profile);
+        // Allocate the id and insert its slot under one jobs-lock
+        // critical section: a concurrent request that observes the
+        // bumped counter must also observe the slot, or it would
+        // misread a just-submitted job as expired.
         let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
         jobs.insert(
             id,
             Arc::new(JobSlot {
@@ -197,6 +259,40 @@ impl Daemon {
         ])
     }
 
+    /// Looks a job slot up. `Err(true)` means the id was issued but its
+    /// slot has been released (acked or pruned — "expired");
+    /// `Err(false)` means the id was never issued. The issued-id
+    /// counter is read under the table lock, and `submit_sweep`
+    /// allocates + inserts under the same lock, so a concurrent
+    /// submission can never make a live job read as expired.
+    fn lookup(&self, id: u64) -> Result<Arc<JobSlot>, bool> {
+        let jobs = self.jobs.lock().expect("job table poisoned");
+        match jobs.get(&id) {
+            Some(slot) => Ok(Arc::clone(slot)),
+            None => Err(id < self.next_job.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// `poll` with the client-visible expiry state: a job id that was
+    /// handed out but whose slot has been released (acked, or pruned
+    /// past the retention bound) answers `state:"expired"` — a client
+    /// driving a progress bar can tell "you waited too long" apart from
+    /// "no such job ever existed".
+    fn poll_job(&self, request: &Json) -> Json {
+        let Some(id) = request.get("job").and_then(Json::as_u64) else {
+            return error_response("missing or invalid \"job\" field");
+        };
+        match self.lookup(id) {
+            Ok(slot) => poll_response(id, &slot),
+            Err(true) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("job", Json::num(id)),
+                ("state", Json::str("expired")),
+            ]),
+            Err(false) => error_response(&format!("unknown job {id}")),
+        }
+    }
+
     fn with_job(
         &self,
         request: &Json,
@@ -205,16 +301,57 @@ impl Daemon {
         let Some(id) = request.get("job").and_then(Json::as_u64) else {
             return error_response("missing or invalid \"job\" field");
         };
-        let slot = self
-            .jobs
-            .lock()
-            .expect("job table poisoned")
-            .get(&id)
-            .cloned();
-        match slot {
-            Some(slot) => f(id, slot).unwrap_or_else(|e| error_response(&e)),
-            None => error_response(&format!("unknown job {id}")),
+        match self.lookup(id) {
+            Ok(slot) => f(id, slot).unwrap_or_else(|e| error_response(&e)),
+            Err(true) => expired_response(id),
+            Err(false) => error_response(&format!("unknown job {id}")),
         }
+    }
+
+    /// `ack`: the client has durably consumed the job's results, so the
+    /// daemon releases its slot (the reports stay in the result cache —
+    /// only the per-job bookkeeping goes away). Acking makes expiry
+    /// *client-driven*: a polite client never relies on the pruning
+    /// bound. Running jobs cannot be acked (cancel them instead).
+    fn ack_response(&self, request: &Json) -> Json {
+        let Some(id) = request.get("job").and_then(Json::as_u64) else {
+            return error_response("missing or invalid \"job\" field");
+        };
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let Some(slot) = jobs.get(&id) else {
+            let expired = id < self.next_job.load(Ordering::Relaxed);
+            drop(jobs);
+            return if expired {
+                expired_response(id)
+            } else {
+                error_response(&format!("unknown job {id}"))
+            };
+        };
+        // A blocking lock: a concurrent `result` holds the state mutex
+        // only briefly (rendering happens outside it for the live path,
+        // and Done re-serving merely clones an Arc), and no path takes
+        // the jobs lock while holding a state lock, so jobs → state is
+        // a safe order. `try_lock` here would spuriously refuse acks
+        // raced by another client's re-read of the same job.
+        let collected = matches!(
+            &*slot.state.lock().expect("job poisoned"),
+            JobState::Done(_)
+        );
+        if !collected {
+            // Note: cancellation alone does not collect a job — the
+            // cells (some resolving as cancelled errors) still have to
+            // be fetched once before the slot can be released.
+            return error_response(&format!(
+                "job {id} is not collected; fetch its result (even if cancelled) before acking"
+            ));
+        }
+        jobs.remove(&id);
+        drop(jobs);
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("job", Json::num(id)),
+            ("acked", Json::Bool(true)),
+        ])
     }
 
     /// Collects (waiting if needed) and renders a job's report. The
@@ -256,6 +393,108 @@ impl Daemon {
         }
     }
 
+    /// `stream`: pushes one line per cell — in submission order, each
+    /// the moment its result exists — then a summary line. The per-cell
+    /// payload is exactly the object `result` would put in its `cells`
+    /// array (plus the `job`/`cell` envelope), so streamed rows are
+    /// textually bit-identical to blocked ones.
+    fn stream_response(&self, request: &Json, emit: &mut dyn FnMut(&str)) {
+        let Some(id) = request.get("job").and_then(Json::as_u64) else {
+            emit(&error_response("missing or invalid \"job\" field").to_string());
+            return;
+        };
+        let slot = match self.lookup(id) {
+            Ok(slot) => slot,
+            Err(expired) => {
+                let response = if expired {
+                    expired_response(id)
+                } else {
+                    error_response(&format!("unknown job {id}"))
+                };
+                emit(&response.to_string());
+                return;
+            }
+        };
+
+        let emit_cell = |emit: &mut dyn FnMut(&str), index: usize, cell: &SweepCell| {
+            let mut fields = vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("job".to_string(), Json::num(id)),
+                ("cell".to_string(), Json::num(index as u64)),
+            ];
+            fields.extend(cell_fields(cell));
+            emit(&Json::Obj(fields).to_string());
+        };
+        let emit_summary = |emit: &mut dyn FnMut(&str), report: &SweepReport| {
+            emit(
+                &Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::num(id)),
+                    ("stream_done", Json::Bool(true)),
+                    ("cells", Json::num(report.cells().len() as u64)),
+                    ("computed", Json::num(report.computed() as u64)),
+                    ("reused", Json::num(report.reused() as u64)),
+                    ("wall_ms", Json::Num(report.wall_time().as_secs_f64() * 1e3)),
+                ])
+                .to_string(),
+            );
+        };
+        let replay = |emit: &mut dyn FnMut(&str), report: &SweepReport| {
+            for (index, cell) in report.cells().iter().enumerate() {
+                emit_cell(emit, index, cell);
+            }
+            emit_summary(emit, report);
+        };
+
+        let taken = {
+            let mut state = slot.state.lock().expect("job poisoned");
+            match &*state {
+                JobState::Done(report) => {
+                    // Already collected: replay the stored cells (still
+                    // line by line, just no longer incremental).
+                    let report = Arc::clone(report);
+                    drop(state);
+                    replay(emit, &report);
+                    return;
+                }
+                JobState::Collecting => None,
+                JobState::Running(_) => {
+                    match std::mem::replace(&mut *state, JobState::Collecting) {
+                        JobState::Running(ticket) => Some(ticket),
+                        _ => unreachable!("state matched Running above"),
+                    }
+                }
+            }
+        };
+        match taken {
+            Some(ticket) => {
+                // The live path: this request owns the collection and
+                // pushes each cell as the engine hands it over.
+                let report = Arc::new(
+                    self.engine
+                        .collect_stream(ticket, &mut |index, cell| emit_cell(emit, index, cell)),
+                );
+                *slot.state.lock().expect("job poisoned") = JobState::Done(Arc::clone(&report));
+                slot.done.notify_all();
+                emit_summary(emit, &report);
+            }
+            None => {
+                // Another client is collecting; park until the report
+                // lands, then replay it.
+                let mut state = slot.state.lock().expect("job poisoned");
+                loop {
+                    if let JobState::Done(report) = &*state {
+                        let report = Arc::clone(report);
+                        drop(state);
+                        replay(emit, &report);
+                        return;
+                    }
+                    state = slot.done.wait(state).expect("job poisoned");
+                }
+            }
+        }
+    }
+
     fn stats_response(&self) -> Json {
         let stats = self.engine.memory_stats();
         Json::obj([
@@ -268,6 +507,14 @@ impl Daemon {
                     ("hits", Json::num(stats.hits)),
                     ("misses", Json::num(stats.misses)),
                     ("evictions", Json::num(stats.evictions)),
+                    ("policy", Json::str(self.engine.memory_policy())),
+                    (
+                        "evictions_by_policy",
+                        Json::Obj(vec![(
+                            self.engine.memory_policy().to_string(),
+                            Json::num(stats.evictions),
+                        )]),
+                    ),
                 ]),
             ),
             ("disk_entries", Json::num(self.engine.disk_entries() as u64)),
@@ -275,13 +522,102 @@ impl Daemon {
                 "jobs",
                 Json::num(self.jobs.lock().expect("job table poisoned").len() as u64),
             ),
+            (
+                "executor",
+                Json::obj([
+                    ("workers", Json::num(self.engine.workers() as u64)),
+                    ("pending", Json::num(self.engine.pending_jobs() as u64)),
+                    ("in_flight", Json::num(self.engine.in_flight_jobs() as u64)),
+                ]),
+            ),
             ("workers", Json::num(self.engine.workers() as u64)),
         ])
     }
 }
 
+/// Parses a `submit_sweep` request's `config` override object into an
+/// [`AuditProfile`]. Unknown fields are rejected (a typo must not
+/// silently run an un-overridden sweep).
+fn parse_profile(config: &Json) -> Result<AuditProfile, String> {
+    let Json::Obj(fields) = config else {
+        return Err("\"config\" must be an object".to_string());
+    };
+    let mut profile = AuditProfile::default();
+    for (key, value) in fields {
+        match key.as_str() {
+            "block_bits" | "bank_bits" | "page_bits" => {
+                let bits = value
+                    .as_u64()
+                    .filter(|&b| (1..=30).contains(&b))
+                    .ok_or_else(|| format!("\"{key}\" must be an integer in 1..=30"))?;
+                let bits = Some(bits as u8);
+                match key.as_str() {
+                    "block_bits" => profile.block_bits = bits,
+                    "bank_bits" => profile.bank_bits = bits,
+                    _ => profile.page_bits = bits,
+                }
+            }
+            "fuel" => {
+                profile.fuel = Some(
+                    value
+                        .as_u64()
+                        .filter(|&f| f > 0)
+                        .ok_or("\"fuel\" must be a positive integer")?,
+                );
+            }
+            "budget" => {
+                let Json::Obj(budget_fields) = value else {
+                    return Err("\"budget\" must be an object".to_string());
+                };
+                let mut budget = Budget::UNLIMITED;
+                for (bkey, bvalue) in budget_fields {
+                    match bkey.as_str() {
+                        "fuel" => {
+                            budget.fuel = Some(
+                                bvalue
+                                    .as_u64()
+                                    .ok_or("\"budget.fuel\" must be a non-negative integer")?,
+                            );
+                        }
+                        "deadline_ms" => {
+                            budget.deadline_ms =
+                                Some(bvalue.as_u64().ok_or(
+                                    "\"budget.deadline_ms\" must be a non-negative integer",
+                                )?);
+                        }
+                        other => return Err(format!("unknown budget field {other:?}")),
+                    }
+                }
+                profile.budget = budget;
+            }
+            "cycle_model" => {
+                profile.cycle_model = Some(match value.as_str() {
+                    Some("lru") => Policy::Lru,
+                    Some("fifo") => Policy::Fifo,
+                    Some("plru") => Policy::Plru,
+                    _ => return Err("\"cycle_model\" must be \"lru\", \"fifo\" or \"plru\"".into()),
+                });
+            }
+            other => return Err(format!("unknown config field {other:?}")),
+        }
+    }
+    Ok(profile)
+}
+
 fn error_response(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+/// The distinct released-job response for result-bearing ops: `ok:false`
+/// (there is nothing to serve) but flagged `expired:true` so clients can
+/// tell retention expiry from a bogus id.
+fn expired_response(id: u64) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("job", Json::num(id)),
+        ("expired", Json::Bool(true)),
+        ("error", Json::str(format!("job {id} expired"))),
+    ])
 }
 
 /// Drops the oldest `Done` jobs above [`MAX_RETAINED_JOBS`]. Running
@@ -329,43 +665,47 @@ fn poll_response(id: u64, slot: &JobSlot) -> Json {
     ])
 }
 
+/// One cell's wire fields — shared verbatim between `result`'s `cells`
+/// array and `stream`'s per-cell lines, so the two encodings are
+/// textually bit-identical.
+fn cell_fields(cell: &SweepCell) -> Vec<(String, Json)> {
+    let mut fields = vec![
+        ("id".to_string(), Json::str(cell.spec.id())),
+        ("name".to_string(), Json::str(cell.name.clone())),
+        ("key".to_string(), Json::str(cell.key.to_hex())),
+        ("provenance".to_string(), Json::str(cell.provenance.tag())),
+        (
+            "elapsed_ms".to_string(),
+            Json::Num(cell.elapsed.as_secs_f64() * 1e3),
+        ),
+    ];
+    match &cell.result {
+        Ok(leak) => {
+            let rows: Vec<Json> = leak
+                .rows()
+                .iter()
+                .map(|row| {
+                    // The result-cache row encoding, re-parsed into
+                    // the value model: wire rows and disk rows stay
+                    // textually comparable.
+                    Json::parse(&crate::cache::encode_row(row)).expect("row encoding is valid JSON")
+                })
+                .collect();
+            fields.push(("rows".to_string(), Json::Arr(rows)));
+        }
+        Err(e) => fields.push(("error".to_string(), Json::str(e.to_string()))),
+    }
+    if let Some(cycles) = cell.cycles {
+        fields.push(("cycles".to_string(), Json::num(cycles)));
+    }
+    fields
+}
+
 fn result_json(id: u64, report: &SweepReport) -> Json {
     let cells: Vec<Json> = report
         .cells()
         .iter()
-        .map(|cell| {
-            let mut fields = vec![
-                ("id".to_string(), Json::str(cell.spec.id())),
-                ("name".to_string(), Json::str(cell.name.clone())),
-                ("key".to_string(), Json::str(cell.key.to_hex())),
-                ("provenance".to_string(), Json::str(cell.provenance.tag())),
-                (
-                    "elapsed_ms".to_string(),
-                    Json::Num(cell.elapsed.as_secs_f64() * 1e3),
-                ),
-            ];
-            match &cell.result {
-                Ok(leak) => {
-                    let rows: Vec<Json> = leak
-                        .rows()
-                        .iter()
-                        .map(|row| {
-                            // The result-cache row encoding, re-parsed into
-                            // the value model: wire rows and disk rows stay
-                            // textually comparable.
-                            Json::parse(&crate::cache::encode_row(row))
-                                .expect("row encoding is valid JSON")
-                        })
-                        .collect();
-                    fields.push(("rows".to_string(), Json::Arr(rows)));
-                }
-                Err(e) => fields.push(("error".to_string(), Json::str(e.to_string()))),
-            }
-            if let Some(cycles) = cell.cycles {
-                fields.push(("cycles".to_string(), Json::num(cycles)));
-            }
-            Json::Obj(fields)
-        })
+        .map(|cell| Json::Obj(cell_fields(cell)))
         .collect();
     Json::obj([
         ("ok", Json::Bool(true)),

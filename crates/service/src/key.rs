@@ -11,7 +11,48 @@ use leakaudit_x86::Program;
 /// participating encoding changes ([`Program::encode_bytes`], the
 /// [`CacheKeyed`] impls of [`InitState`] or [`AnalysisConfig`]): old disk
 /// entries then become unreachable instead of wrong.
-const KEY_DOMAIN: &str = "leakaudit-cachekey/v1";
+///
+/// v2: the key is computed in two stages (a program×state [`BaseKey`]
+/// folded with the configuration), and [`AnalysisConfig`] grew the
+/// per-request `budget` field — both change every key value.
+const KEY_DOMAIN: &str = "leakaudit-cachekey/v2";
+
+/// Domain tag of the [`BaseKey`] stage.
+const BASE_DOMAIN: &str = "leakaudit-basekey/v2";
+
+/// The configuration-independent half of a [`CacheKey`]: program bytes ×
+/// initial abstract state. A sweep engine memoizes one `BaseKey` per
+/// generated scenario and derives a full key per analysis configuration
+/// with [`BaseKey::with_config`] — per-request config overrides (observer
+/// granularities, budgets) never force a scenario rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BaseKey(Fingerprint);
+
+impl BaseKey {
+    /// Computes the program×state fingerprint.
+    pub fn compute(program: &Program, init: &InitState) -> Self {
+        let mut h = FingerprintHasher::new(BASE_DOMAIN);
+        h.write_blob(&program.encode_bytes());
+        init.key_into(&mut h);
+        BaseKey(h.finish())
+    }
+
+    /// The base of a scenario (program bytes plus initial state; no
+    /// configuration).
+    pub fn for_scenario(s: &Scenario) -> Self {
+        BaseKey::compute(&s.program, &s.init)
+    }
+
+    /// Folds an analysis configuration in, yielding the full result
+    /// identity.
+    pub fn with_config(self, config: &AnalysisConfig) -> CacheKey {
+        let mut h = FingerprintHasher::new(KEY_DOMAIN);
+        h.write_u64((self.0 .0 >> 64) as u64);
+        h.write_u64(self.0 .0 as u64);
+        config.key_into(&mut h);
+        CacheKey(h.finish())
+    }
+}
 
 /// The identity of one analysis request, derived purely from content:
 ///
@@ -35,11 +76,7 @@ pub struct CacheKey(Fingerprint);
 impl CacheKey {
     /// Computes the key for one analysis request.
     pub fn compute(program: &Program, init: &InitState, config: &AnalysisConfig) -> Self {
-        let mut h = FingerprintHasher::new(KEY_DOMAIN);
-        h.write_blob(&program.encode_bytes());
-        init.key_into(&mut h);
-        config.key_into(&mut h);
-        CacheKey(h.finish())
+        BaseKey::compute(program, init).with_config(config)
     }
 
     /// The key of a scenario analyzed under its own architecture
@@ -78,16 +115,43 @@ mod tests {
 
     #[test]
     fn keys_are_deterministic_and_distinct_across_the_sweep() {
+        // Each cell's identity is its scenario base folded with the
+        // *spec's* configuration: observer-granularity variants share
+        // program bytes but must not share keys.
+        let key_of = |spec: &ScenarioSpec| -> CacheKey {
+            BaseKey::for_scenario(&spec.build()).with_config(&spec.analysis_config())
+        };
         let reg = Registry::default_sweep();
-        let keys: Vec<CacheKey> = reg.build_all().iter().map(CacheKey::for_scenario).collect();
+        let keys: Vec<CacheKey> = reg.specs().iter().map(key_of).collect();
         // Deterministic: rebuilding gives the same keys.
-        let again: Vec<CacheKey> = reg.build_all().iter().map(CacheKey::for_scenario).collect();
+        let again: Vec<CacheKey> = reg.specs().iter().map(key_of).collect();
         assert_eq!(keys, again);
         // Distinct: no two default cells collide.
         let mut sorted = keys.clone();
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), keys.len(), "sweep cells must not collide");
+    }
+
+    #[test]
+    fn budgets_change_the_key() {
+        use leakaudit_analyzer::Budget;
+        let s = leakaudit_scenarios::square_multiply::libgcrypt_152();
+        let plain = s.analysis_config();
+        let budgeted = leakaudit_analyzer::AnalysisConfig {
+            budget: Budget::with_fuel(10_000),
+            ..s.analysis_config()
+        };
+        assert_ne!(
+            CacheKey::compute(&s.program, &s.init, &plain),
+            CacheKey::compute(&s.program, &s.init, &budgeted),
+            "a budgeted request caches separately from an unbudgeted one"
+        );
+        // Staged and one-shot computation agree.
+        assert_eq!(
+            BaseKey::for_scenario(&s).with_config(&plain),
+            CacheKey::compute(&s.program, &s.init, &plain)
+        );
     }
 
     #[test]

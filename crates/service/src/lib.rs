@@ -15,15 +15,18 @@
 //!   in-memory entries with an optional byte budget and pluggable
 //!   [`EvictionPolicy`], plus a fan-out directory of JSON entries
 //!   surviving the process;
-//! * [`SweepEngine`] — plans a [`Registry`] sweep, deduplicates cells by
-//!   key, answers what it can from the caches, and schedules the rest
-//!   on a persistent work-stealing worker pool, with per-sweep
-//!   progress/cancellation ([`SweepTicket`]) and per-cell
-//!   [`Provenance`];
+//! * [`SweepEngine`] — plans a [`Registry`] sweep under a per-request
+//!   [`AuditProfile`] (observer-granularity overrides, fuel/deadline
+//!   budgets, cycle model — folded into every cell's key), deduplicates
+//!   cells by key, answers what it can from the caches, and schedules
+//!   the rest on a persistent work-stealing worker pool, with per-sweep
+//!   progress/cancellation ([`SweepTicket`]), per-cell [`Provenance`],
+//!   and streaming collection ([`SweepEngine::collect_stream`]);
 //! * [`Daemon`] — the JSON-lines request handler behind the
-//!   `leakaudit-serve` binary (`submit_sweep` / `poll` / `result` /
-//!   `stats` over stdio or TCP), serving many clients from one warm
-//!   cache.
+//!   `leakaudit-serve` binary (`submit_sweep` with config overrides /
+//!   `poll` / `result` / `stream` / `ack` / `cancel` / `stats` over
+//!   stdio or TCP), serving many clients from one warm cache with
+//!   client-visible job expiry.
 //!
 //! # Example
 //!
@@ -63,9 +66,9 @@ pub use cache::{
     MemoryCache, ResultCache,
 };
 pub use daemon::Daemon;
-pub use key::CacheKey;
+pub use key::{BaseKey, CacheKey};
 pub use proto::Json;
 pub use sweep::{
-    cycle_estimate, Provenance, SweepCell, SweepEngine, SweepProbe, SweepProgress, SweepReport,
-    SweepTicket,
+    cycle_estimate, AuditProfile, Provenance, SweepCell, SweepEngine, SweepProbe, SweepProgress,
+    SweepReport, SweepTicket,
 };

@@ -24,13 +24,62 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use leakaudit_analyzer::{
-    AnalysisError, BatchTicket, Executor, LeakReport, OwnedJob, ProgressProbe,
+    AnalysisConfig, AnalysisError, BatchTicket, Budget, Executor, LeakReport, OwnedJob,
+    ProgressProbe,
 };
 use leakaudit_cache::{CacheConfig, CycleModel, Hierarchy, Policy};
 use leakaudit_scenarios::{Registry, Scenario, ScenarioSpec};
 
 use crate::cache::{eviction_for, CacheStats, DiskCache, MemoryCache, ResultCache};
-use crate::key::CacheKey;
+use crate::key::{BaseKey, CacheKey};
+
+/// Per-request analysis overrides: the client-facing half of an audit
+/// profile (the other half being the cells themselves). A profile is
+/// applied on top of each cell's own [`ScenarioSpec::analysis_config`];
+/// `None` fields keep the spec's value. Because the overridden
+/// configuration is folded into each cell's [`CacheKey`], overridden
+/// results are cached under distinct keys — two clients asking the same
+/// cells under different observer suites or budgets never cross-serve
+/// each other's reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditProfile {
+    /// Override for the block observer's cache-line bits.
+    pub block_bits: Option<u8>,
+    /// Override for the bank observer's bits.
+    pub bank_bits: Option<u8>,
+    /// Override for the page observer's bits.
+    pub page_bits: Option<u8>,
+    /// Override for the analyzer's divergence-guard fuel.
+    pub fuel: Option<u64>,
+    /// Per-job resource budget (fuel cap / wall-clock deadline); the
+    /// executor honors it per cell, so one pathological cell returns
+    /// `BudgetExhausted` while its siblings complete normally.
+    pub budget: Budget,
+    /// Request-scoped cycle-model column (overrides the engine-level
+    /// [`SweepEngine::with_cycle_model`] policy for this sweep only).
+    pub cycle_model: Option<Policy>,
+}
+
+impl AuditProfile {
+    /// The effective analyzer configuration for one cell: the spec's
+    /// own configuration with this profile's overrides applied.
+    pub fn configure(&self, mut config: AnalysisConfig) -> AnalysisConfig {
+        if let Some(bits) = self.block_bits {
+            config.block_bits = bits;
+        }
+        if let Some(bits) = self.bank_bits {
+            config.bank_bits = bits;
+        }
+        if let Some(bits) = self.page_bits {
+            config.page_bits = bits;
+        }
+        if let Some(fuel) = self.fuel {
+            config.fuel = fuel;
+        }
+        config.budget = self.budget;
+        config
+    }
+}
 
 /// Where one sweep cell's report came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +257,9 @@ pub struct SweepTicket {
     /// Scenarios built during planning, reused for analysis and the
     /// cycle column.
     built: HashMap<usize, Arc<Scenario>>,
+    /// The effective cycle-model policy for this sweep (request
+    /// override, falling back to the engine default).
+    cycle_policy: Option<Policy>,
     batch: Option<BatchTicket>,
     started: Instant,
 }
@@ -276,10 +328,12 @@ pub struct SweepEngine {
     disk: Option<DiskCache>,
     threads: Option<usize>,
     cycle_policy: Option<Policy>,
-    /// Spec → (key, scenario name): building a scenario (assembly plus
-    /// concrete-case generation) just to learn its content key is paid
-    /// once per spec per engine; warm sweeps plan from this memo alone.
-    plan: Mutex<HashMap<ScenarioSpec, (CacheKey, String)>>,
+    /// Spec → (base key, scenario name): building a scenario (assembly
+    /// plus concrete-case generation) just to learn its content base is
+    /// paid once per spec per engine; warm sweeps — under *any* profile
+    /// — plan from this memo alone, folding the per-request
+    /// configuration into the base without rebuilding anything.
+    plan: Mutex<HashMap<ScenarioSpec, (BaseKey, String)>>,
     /// (key, policy) → cycle estimate: the emulator replay behind the
     /// cycles column is deterministic, so repeated sweeps reuse it.
     cycle_memo: Mutex<HashMap<(CacheKey, Policy), Option<u64>>>,
@@ -350,6 +404,11 @@ impl SweepEngine {
         self.memory.stats()
     }
 
+    /// The in-memory cache's eviction-policy name (`"lru"`, `"fifo"`).
+    pub fn memory_policy(&self) -> &'static str {
+        self.memory.policy_name()
+    }
+
     /// Number of entries in the in-memory cache.
     pub fn cached_reports(&self) -> usize {
         self.memory.len()
@@ -377,6 +436,18 @@ impl SweepEngine {
         })
     }
 
+    /// Jobs queued on the executor and not yet started (0 when the pool
+    /// was never spawned).
+    pub fn pending_jobs(&self) -> usize {
+        self.executor.get().map_or(0, Executor::pending)
+    }
+
+    /// Jobs a worker is analyzing right now (0 when the pool was never
+    /// spawned).
+    pub fn in_flight_jobs(&self) -> usize {
+        self.executor.get().map_or(0, Executor::in_flight)
+    }
+
     /// Answers one cell (a "single query" against the service).
     pub fn query(&self, spec: &ScenarioSpec) -> SweepCell {
         self.run_specs(std::slice::from_ref(spec))
@@ -398,6 +469,12 @@ impl SweepEngine {
         self.collect(ticket)
     }
 
+    /// [`SweepEngine::run_specs`] under a per-request profile.
+    pub fn run_with(&self, specs: &[ScenarioSpec], profile: &AuditProfile) -> SweepReport {
+        let ticket = self.submit_with(specs, profile);
+        self.collect(ticket)
+    }
+
     /// Plans a sweep and schedules its cache misses on the executor,
     /// returning without waiting for the analyses.
     ///
@@ -406,23 +483,35 @@ impl SweepEngine {
     /// (see [`ScenarioSpec::cost_hint`]), so the dominant cell of an
     /// uneven mix starts immediately instead of serializing the sweep
     /// tail. The ticket reports progress and supports cancellation; the
-    /// daemon's `submit_sweep`/`poll`/`result` requests map onto
-    /// submit/progress/collect directly.
+    /// daemon's `submit_sweep`/`poll`/`result`/`stream` requests map
+    /// onto submit/progress/collect directly.
     pub fn submit(&self, specs: &[ScenarioSpec]) -> SweepTicket {
+        self.submit_with(specs, &AuditProfile::default())
+    }
+
+    /// [`SweepEngine::submit`] under a per-request [`AuditProfile`]:
+    /// every cell's configuration gets the profile's overrides, the
+    /// overridden configuration is folded into the cell's cache key,
+    /// and the profile's budget bounds each scheduled job individually.
+    pub fn submit_with(&self, specs: &[ScenarioSpec], profile: &AuditProfile) -> SweepTicket {
         let started = Instant::now();
         // Planning pass: content key + display name per cell, via the
         // spec memo — a warm sweep never builds a scenario at all, and
         // a cold cell's build is retained for the analysis pass below.
         let mut built: HashMap<usize, Arc<Scenario>> = HashMap::new();
+        let mut configs: Vec<AnalysisConfig> = Vec::with_capacity(specs.len());
         let metas: Vec<(CacheKey, String)> = specs
             .iter()
             .enumerate()
             .map(|(i, spec)| {
-                let (meta, fresh) = self.cell_meta(spec);
+                let ((base, name), fresh) = self.cell_meta(spec);
                 if let Some(scenario) = fresh {
                     built.insert(i, Arc::new(scenario));
                 }
-                meta
+                let config = profile.configure(spec.analysis_config());
+                let key = base.with_config(&config);
+                configs.push(config);
+                (key, name)
             })
             .collect();
 
@@ -453,14 +542,16 @@ impl SweepEngine {
         }
 
         // Scheduling pass: only the misses go to the worker pool,
-        // reusing the scenarios the planning pass already built.
+        // reusing the scenarios the planning pass already built. Each
+        // job carries the *effective* (profile-overridden) config, so
+        // the executor enforces the per-job budget and the analysis
+        // matches the key it will be cached under.
         let jobs: Vec<OwnedJob> = miss_indices
             .iter()
             .map(|&i| {
                 let scenario =
                     Arc::clone(built.entry(i).or_insert_with(|| Arc::new(specs[i].build())));
-                let config = scenario.analysis_config();
-                OwnedJob::new(scenario.name.clone(), config, scenario)
+                OwnedJob::new(metas[i].1.clone(), configs[i].clone(), scenario)
                     .with_cost_hint(specs[i].cost_hint())
             })
             .collect();
@@ -473,6 +564,7 @@ impl SweepEngine {
             shared_of,
             miss_indices,
             built,
+            cycle_policy: profile.cycle_model.or(self.cycle_policy),
             batch,
             started,
         }
@@ -483,6 +575,22 @@ impl SweepEngine {
     /// attached) so re-running the same sweep answers every cell from
     /// cache, bit-identically.
     pub fn collect(&self, ticket: SweepTicket) -> SweepReport {
+        self.collect_stream(ticket, &mut |_, _| {})
+    }
+
+    /// [`SweepEngine::collect`] with per-cell push: `on_cell` fires for
+    /// every cell **in submission order, as soon as its result exists**
+    /// — cache hits immediately, computed cells the moment their
+    /// analysis lands — instead of holding everything back until the
+    /// whole sweep is done. The daemon's `stream` op is this callback
+    /// plus wire encoding; the returned report is identical to
+    /// [`SweepEngine::collect`]'s (the consistency suite pins streamed
+    /// cells bit-identical to blocked ones).
+    pub fn collect_stream(
+        &self,
+        ticket: SweepTicket,
+        on_cell: &mut dyn FnMut(usize, &SweepCell),
+    ) -> SweepReport {
         let SweepTicket {
             specs,
             metas,
@@ -490,60 +598,66 @@ impl SweepEngine {
             shared_of,
             miss_indices,
             built,
+            cycle_policy,
             batch,
             started,
         } = ticket;
-        let outcomes = batch.map_or_else(Vec::new, |b| b.wait().into_outcomes());
 
-        // Assembly pass: fold outcomes back in submission order.
-        let mut elapsed: Vec<Duration> = vec![Duration::ZERO; specs.len()];
-        for (&i, outcome) in miss_indices.iter().zip(outcomes) {
-            elapsed[i] = outcome.elapsed;
-            let key = metas[i].0;
-            let result = match outcome.result {
-                Ok(report) => {
-                    let report = Arc::new(report);
-                    self.memory.put(key, Arc::clone(&report));
-                    if let Some(disk) = &self.disk {
-                        disk.put(key, Arc::clone(&report));
-                    }
-                    Ok(report)
-                }
-                // Errors (including cancellations) are not cached: a
-                // raised fuel limit or a resubmitted sweep should get a
-                // fresh run next time.
-                Err(e) => Err(Arc::new(e)),
-            };
-            resolved[i] = Some((Provenance::Computed, result));
-        }
-        // Fill shared cells from their owning cells.
-        for i in 0..resolved.len() {
-            if let Some(of) = shared_of[i] {
-                let owned = resolved[of]
+        let mut cells: Vec<SweepCell> = Vec::with_capacity(specs.len());
+        // `miss_indices` ascends, so walking cells in submission order
+        // consumes executor outcomes in job order.
+        let mut next_miss = 0usize;
+        for (i, &spec) in specs.iter().enumerate() {
+            let (provenance, result, elapsed) = if let Some(of) = shared_of[i] {
+                // The owning cell precedes every sharer.
+                (
+                    Provenance::Shared { of },
+                    cells[of].result.clone(),
+                    Duration::ZERO,
+                )
+            } else if let Some((provenance, result)) = resolved[i].take() {
+                (provenance, result, Duration::ZERO)
+            } else {
+                debug_assert_eq!(miss_indices[next_miss], i, "miss order matches job order");
+                let outcome = batch
                     .as_ref()
-                    .expect("owner precedes sharer")
-                    .1
-                    .clone();
-                resolved[i] = Some((Provenance::Shared { of }, owned));
-            }
+                    .expect("unresolved cells imply a batch")
+                    .take_outcome(next_miss);
+                next_miss += 1;
+                let key = metas[i].0;
+                let result = match outcome.result {
+                    Ok(report) => {
+                        let report = Arc::new(report);
+                        self.memory.put(key, Arc::clone(&report));
+                        if let Some(disk) = &self.disk {
+                            disk.put(key, Arc::clone(&report));
+                        }
+                        Ok(report)
+                    }
+                    // Errors (including cancellations and exhausted
+                    // budgets) are not cached: a raised limit or a
+                    // resubmitted sweep should get a fresh run.
+                    Err(e) => Err(Arc::new(e)),
+                };
+                (Provenance::Computed, result, outcome.elapsed)
+            };
+            let cell = SweepCell {
+                spec,
+                name: metas[i].1.clone(),
+                key: metas[i].0,
+                provenance,
+                result,
+                elapsed,
+                cycles: self.cycles_for(
+                    &spec,
+                    metas[i].0,
+                    built.get(&i).map(Arc::as_ref),
+                    cycle_policy,
+                ),
+            };
+            on_cell(i, &cell);
+            cells.push(cell);
         }
-
-        let cells = specs
-            .iter()
-            .enumerate()
-            .map(|(i, &spec)| {
-                let (provenance, result) = resolved[i].take().expect("every cell resolved");
-                SweepCell {
-                    spec,
-                    name: metas[i].1.clone(),
-                    key: metas[i].0,
-                    provenance,
-                    result,
-                    elapsed: elapsed[i],
-                    cycles: self.cycles_for(&spec, metas[i].0, built.get(&i).map(Arc::as_ref)),
-                }
-            })
-            .collect();
 
         SweepReport {
             cells,
@@ -551,15 +665,15 @@ impl SweepEngine {
         }
     }
 
-    /// The (key, name) of one cell. Built at most once per engine: the
-    /// memo answers repeats, and a first-time build is handed back so
-    /// the caller can reuse the scenario instead of rebuilding it.
-    fn cell_meta(&self, spec: &ScenarioSpec) -> ((CacheKey, String), Option<Scenario>) {
+    /// The (base key, name) of one cell. Built at most once per engine:
+    /// the memo answers repeats, and a first-time build is handed back
+    /// so the caller can reuse the scenario instead of rebuilding it.
+    fn cell_meta(&self, spec: &ScenarioSpec) -> ((BaseKey, String), Option<Scenario>) {
         if let Some(meta) = self.plan.lock().expect("plan poisoned").get(spec) {
             return (meta.clone(), None);
         }
         let scenario = spec.build();
-        let meta = (CacheKey::for_scenario(&scenario), scenario.name.clone());
+        let meta = (BaseKey::for_scenario(&scenario), scenario.name.clone());
         self.plan
             .lock()
             .expect("plan poisoned")
@@ -567,15 +681,17 @@ impl SweepEngine {
         (meta, Some(scenario))
     }
 
-    /// The cell's cycle estimate under the engine's policy, memoized per
-    /// (key, policy); reuses an already-built scenario when available.
+    /// The cell's cycle estimate under the sweep's effective policy,
+    /// memoized per (key, policy); reuses an already-built scenario when
+    /// available.
     fn cycles_for(
         &self,
         spec: &ScenarioSpec,
         key: CacheKey,
         built: Option<&Scenario>,
+        policy: Option<Policy>,
     ) -> Option<u64> {
-        let policy = self.cycle_policy?;
+        let policy = policy?;
         if let Some(&cycles) = self
             .cycle_memo
             .lock()
@@ -627,12 +743,19 @@ mod tests {
         // Fast cells only: keeps the unit suite quick; the full default
         // matrix runs in the integration suite.
         Registry::from_specs(vec![
-            ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+            ScenarioSpec::new(
+                FamilyParams::SquareMultiply {
+                    stub_stride: 0x40,
+                    secret_bits: 1,
+                },
+                6,
+            ),
             ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
             ScenarioSpec::new(
                 FamilyParams::LookupUnprotected {
                     opt: Opt::O2,
                     entries: 7,
+                    stride: 4,
                 },
                 6,
             ),
@@ -679,7 +802,13 @@ mod tests {
     #[test]
     fn cycle_model_column_is_policy_sensitive_but_cache_neutral() {
         let engine = SweepEngine::new().with_cycle_model(Policy::Plru);
-        let spec = ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6);
+        let spec = ScenarioSpec::new(
+            FamilyParams::SquareMultiply {
+                stub_stride: 0x40,
+                secret_bits: 1,
+            },
+            6,
+        );
         let cell = engine.query(&spec);
         let cycles = cell.cycles.expect("scenario has concrete cases");
         assert!(cycles > 0);

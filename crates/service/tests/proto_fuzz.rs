@@ -1,0 +1,212 @@
+//! Fuzz suite for the wire layer: arbitrary input lines must never
+//! panic the JSON parser or the daemon's request handler, and malformed
+//! requests must always come back as structured `{"ok":false,"error":…}`
+//! responses — the connection stays usable no matter what a client
+//! throws at it.
+//!
+//! Two input distributions are generated: raw byte soup (exercises the
+//! parser's lexical edges: truncated escapes, invalid UTF-8, stray
+//! digits) and "JSON-ish" token salads biased toward near-miss protocol
+//! requests (real op names, real field names, wrong shapes), which land
+//! much deeper in the daemon's request validation than random bytes
+//! ever would.
+
+use std::sync::OnceLock;
+
+use leakaudit_service::{Daemon, Json, SweepEngine};
+use proptest::prelude::*;
+
+/// One shared daemon for the whole suite: `handle_line` must stay safe
+/// on a long-lived instance (the production shape), and constructing an
+/// engine per case would only slow the fuzzer down. No generated input
+/// can reach the expensive path: the only way to make this daemon
+/// analyze something is a `submit_sweep` with a *valid* spec id or
+/// registry name, and the token alphabet below contains neither.
+fn daemon() -> &'static Daemon {
+    static DAEMON: OnceLock<Daemon> = OnceLock::new();
+    DAEMON.get_or_init(|| Daemon::new(SweepEngine::new().with_threads(1)))
+}
+
+/// Asserts the daemon's response contract for one input line: at least
+/// one response line, every line valid JSON carrying an `ok` bool, and
+/// `ok:false` lines carrying an `error` string.
+fn assert_response_contract(input: &str) -> Result<(), TestCaseError> {
+    let mut lines: Vec<String> = Vec::new();
+    daemon().handle_line_into(input, &mut |line| lines.push(line.to_string()));
+    prop_assert!(!lines.is_empty(), "no response for {input:?}");
+    for line in &lines {
+        let response = match Json::parse(line) {
+            Ok(response) => response,
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "unparsable response {line:?}: {e}"
+                )))
+            }
+        };
+        match response.get("ok") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                prop_assert!(
+                    response.get("error").and_then(Json::as_str).is_some(),
+                    "ok:false without error: {line:?}"
+                );
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "response without ok bool ({other:?}): {line:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Tokens biased toward the protocol's own vocabulary: op names, field
+/// names, punctuation, and *invalid* spec/registry payloads (never a
+/// valid one — see [`daemon`]).
+fn protocol_token() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec![
+        "{".to_string(),
+        "}".to_string(),
+        "[".to_string(),
+        "]".to_string(),
+        ",".to_string(),
+        ":".to_string(),
+        "\"op\"".to_string(),
+        "\"submit_sweep\"".to_string(),
+        "\"poll\"".to_string(),
+        "\"result\"".to_string(),
+        "\"stream\"".to_string(),
+        "\"ack\"".to_string(),
+        "\"cancel\"".to_string(),
+        "\"stats\"".to_string(),
+        "\"job\"".to_string(),
+        "\"specs\"".to_string(),
+        "\"registry\"".to_string(),
+        "\"config\"".to_string(),
+        "\"budget\"".to_string(),
+        "\"fuel\"".to_string(),
+        "\"deadline_ms\"".to_string(),
+        "\"block_bits\"".to_string(),
+        "\"cycle_model\"".to_string(),
+        "\"everything\"".to_string(),
+        "\"bogus[b=6]\"".to_string(),
+        "\"scatter-gather[s=,aligned]\"".to_string(),
+        "null".to_string(),
+        "true".to_string(),
+        "false".to_string(),
+        "0".to_string(),
+        "7".to_string(),
+        "999999".to_string(),
+        "-1".to_string(),
+        "1e308".to_string(),
+        "0.5".to_string(),
+        " ".to_string(),
+        "\\".to_string(),
+        "\"".to_string(),
+    ])
+}
+
+fn jsonish_line() -> impl Strategy<Value = String> {
+    proptest::collection::vec(protocol_token(), 0..24).prop_map(|tokens| tokens.concat())
+}
+
+/// Spec-shaped ids: a real (or near-miss) family name with a parameter
+/// salad — mostly invalid, occasionally valid-and-cheap. Never an
+/// expensive cell: table sizes above the validation caps are rejected
+/// before any generator runs, and the in-range fragments are tiny.
+fn specish_id() -> impl Strategy<Value = String> {
+    let family = proptest::sample::select(vec![
+        "square-and-multiply",
+        "square-and-always-multiply",
+        "unprotected-lookup",
+        "secure-retrieve",
+        "scatter-gather",
+        "defensive-gather",
+        "scatter-gather-extra",
+        "",
+    ]);
+    let field = proptest::sample::select(vec![
+        "O0",
+        "O1",
+        "O2",
+        "O9",
+        "e=0",
+        "e=7",
+        "e=4000000000",
+        "w=0",
+        "w=2",
+        "w=99",
+        "s=0",
+        "s=3",
+        "s=8",
+        "n=0",
+        "n=64",
+        "p=8",
+        "p=9999999",
+        "stride=0x0",
+        "stride=0x40",
+        "stride=64",
+        "aligned",
+        "unaligned",
+        "bank=0",
+        "bank=31",
+        "page=200",
+        "b=6",
+        "b=0",
+        "b=255",
+        "bogus",
+        "e=",
+        "=7",
+        "",
+    ]);
+    (family, proptest::collection::vec(field, 0..6))
+        .prop_map(|(family, fields)| format!("{family}[{}]", fields.join(",")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn json_parser_never_panics_and_round_trips_what_it_accepts(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(value) = Json::parse(&text) {
+            let reprinted = value.to_string();
+            let again = Json::parse(&reprinted)
+                .map_err(|e| TestCaseError::fail(format!("{reprinted:?}: {e}")))?;
+            prop_assert_eq!(again, value, "accepted input must round-trip");
+        }
+    }
+
+    #[test]
+    fn daemon_survives_raw_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        assert_response_contract(&line)?;
+    }
+
+    #[test]
+    fn daemon_survives_jsonish_token_salad(line in jsonish_line()) {
+        assert_response_contract(&line)?;
+    }
+
+    #[test]
+    fn malformed_specs_and_configs_yield_structured_errors(
+        spec in specish_id(),
+        job in any::<u64>(),
+    ) {
+        // Shaped-but-wrong requests: real family names with hostile
+        // parameter lists (zero-sized tables, undocumented opt levels,
+        // absurd granularities — everything the validation layer must
+        // turn into an error, never a builder panic), and job ids far
+        // beyond anything submitted.
+        let submit = format!(r#"{{"op":"submit_sweep","specs":["{spec}"]}}"#);
+        assert_response_contract(&submit)?;
+        for op in ["poll", "result", "ack", "cancel", "stream"] {
+            assert_response_contract(&format!(r#"{{"op":"{op}","job":{job}}}"#))?;
+        }
+    }
+}

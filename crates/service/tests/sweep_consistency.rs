@@ -86,12 +86,19 @@ fn disk_cache_survives_the_process_boundary_bit_identically() {
     // A small but cross-family matrix keeps this suite quick; the full
     // matrix is covered by the in-memory test above.
     let registry = Registry::from_specs(vec![
-        ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+        ScenarioSpec::new(
+            FamilyParams::SquareMultiply {
+                stub_stride: 0x40,
+                secret_bits: 1,
+            },
+            6,
+        ),
         ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O0 }, 5),
         ScenarioSpec::new(
             FamilyParams::LookupUnprotected {
                 opt: Opt::O1,
                 entries: 7,
+                stride: 4,
             },
             6,
         ),
@@ -99,6 +106,7 @@ fn disk_cache_survives_the_process_boundary_bit_identically() {
             FamilyParams::LookupSecure {
                 entries: 3,
                 words: 24,
+                pad_words: 0,
             },
             6,
         ),
@@ -151,7 +159,13 @@ fn work_stealing_executor_matches_the_sequential_path_bit_identically() {
             },
             6,
         ),
-        ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+        ScenarioSpec::new(
+            FamilyParams::SquareMultiply {
+                stub_stride: 0x40,
+                secret_bits: 1,
+            },
+            6,
+        ),
         ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
         ScenarioSpec::new(
             FamilyParams::ScatterGather {
@@ -181,7 +195,13 @@ fn submitted_tickets_report_progress_and_collect_once() {
     let specs = vec![
         ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
         ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
-        ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+        ScenarioSpec::new(
+            FamilyParams::SquareMultiply {
+                stub_stride: 0x40,
+                secret_bits: 1,
+            },
+            6,
+        ),
     ];
     let ticket = engine.submit(&specs);
     assert_eq!(ticket.cells(), 3);
@@ -202,12 +222,19 @@ fn submitted_tickets_report_progress_and_collect_once() {
 #[test]
 fn eviction_forced_recomputation_stays_bit_identical() {
     let registry = Registry::from_specs(vec![
-        ScenarioSpec::new(FamilyParams::SquareMultiply { stub_stride: 0x40 }, 6),
+        ScenarioSpec::new(
+            FamilyParams::SquareMultiply {
+                stub_stride: 0x40,
+                secret_bits: 1,
+            },
+            6,
+        ),
         ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6),
         ScenarioSpec::new(
             FamilyParams::LookupUnprotected {
                 opt: Opt::O2,
                 entries: 7,
+                stride: 4,
             },
             6,
         ),
@@ -215,6 +242,7 @@ fn eviction_forced_recomputation_stays_bit_identical() {
             FamilyParams::LookupSecure {
                 entries: 3,
                 words: 24,
+                pad_words: 0,
             },
             6,
         ),
