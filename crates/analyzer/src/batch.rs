@@ -230,6 +230,12 @@ pub struct OwnedJob {
     pub cost_hint: u64,
     /// The shared target to analyze.
     pub target: Arc<dyn AnalysisTarget + Send + Sync>,
+    /// Additional interpretation-group member configs. When non-empty,
+    /// the worker runs [`Analysis::run_union`] with `config` as the
+    /// group lead, so the outcome's report carries the union observer
+    /// suite; empty (the default) takes the plain [`Analysis::run`]
+    /// path, byte-for-byte the pre-group behavior.
+    pub members: Vec<AnalysisConfig>,
 }
 
 impl OwnedJob {
@@ -244,6 +250,7 @@ impl OwnedJob {
             config,
             cost_hint: 0,
             target,
+            members: Vec::new(),
         }
     }
 
@@ -251,6 +258,15 @@ impl OwnedJob {
     #[must_use]
     pub fn with_cost_hint(mut self, cost_hint: u64) -> Self {
         self.cost_hint = cost_hint;
+        self
+    }
+
+    /// Attaches interpretation-group members: the worker will run one
+    /// shared pass whose report carries the union of this job's and
+    /// every member's observer suites (see [`Analysis::run_union`]).
+    #[must_use]
+    pub fn with_group(mut self, members: Vec<AnalysisConfig>) -> Self {
+        self.members = members;
         self
     }
 }
@@ -670,7 +686,12 @@ fn worker_loop(shared: &ExecutorShared, sink_threads: bool) {
             // propagates panics at scope exit instead — a persistent
             // pool has no such exit.)
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                Analysis::new(config).run(&job.target.as_ref())
+                let analysis = Analysis::new(config);
+                if job.members.is_empty() {
+                    analysis.run(&job.target.as_ref())
+                } else {
+                    analysis.run_union(&job.members, &job.target.as_ref())
+                }
             }))
             .unwrap_or_else(|payload| {
                 Err(AnalysisError::Panicked {

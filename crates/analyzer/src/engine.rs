@@ -18,10 +18,12 @@
 //! plus parallel bookkeeping, rather than 18 cursor updates interleaved
 //! into every scheduler step.
 
+use std::sync::Arc;
+
 use leakaudit_x86::Program;
 
-use crate::report::LeakReport;
-use crate::sink::{ConfigId, DagSink, ObserverSink};
+use crate::report::{LeakReport, ObserverSpec};
+use crate::sink::{ConfigId, DagSink, ObserverSink, ProjectionMemo};
 use crate::state::InitState;
 use crate::{scheduler, sink, AnalysisConfig, AnalysisError};
 
@@ -39,6 +41,49 @@ pub(crate) fn run(
         .collect();
     let rows = sink::run_pipeline_with(sinks, config.parallel_sinks, config.sink_tuning, |bus| {
         scheduler::drive(config, program, init, bus)
+    })?;
+    Ok(LeakReport::new(rows))
+}
+
+/// Runs one abstract interpretation of `program` for an interpretation
+/// group: `lead` drives the scheduler (its interpretation fields are
+/// shared by every `member` — the service groups cells by exactly those
+/// fields), and the attached sinks are the first-occurrence union of
+/// the lead's observer suite and every member's.
+///
+/// Because the lead's suite comes first and each member suite is itself
+/// deduplicated in a deterministic order, every group config's solo
+/// suite is an in-order subset of the union rows — projecting a
+/// member's report out of the union is pure row selection. The sinks
+/// share one [`ProjectionMemo`], so each distinct address set projects
+/// once per granularity per *pass* instead of once per sink.
+pub(crate) fn run_union(
+    lead: &AnalysisConfig,
+    members: &[AnalysisConfig],
+    program: &Program,
+    init: &InitState,
+) -> Result<LeakReport, AnalysisError> {
+    let mut union: Vec<ObserverSpec> = lead.observer_suite();
+    for member in members {
+        for spec in member.observer_suite() {
+            if !union.contains(&spec) {
+                union.push(spec);
+            }
+        }
+    }
+    let memo = Arc::new(ProjectionMemo::new());
+    let sinks: Vec<Box<dyn ObserverSink>> = union
+        .into_iter()
+        .map(|spec| {
+            Box::new(DagSink::with_shared_memo(
+                spec,
+                ConfigId::ROOT,
+                Arc::clone(&memo),
+            )) as Box<dyn ObserverSink>
+        })
+        .collect();
+    let rows = sink::run_pipeline_with(sinks, lead.parallel_sinks, lead.sink_tuning, |bus| {
+        scheduler::drive(lead, program, init, bus)
     })?;
     Ok(LeakReport::new(rows))
 }

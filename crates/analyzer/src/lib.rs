@@ -307,6 +307,37 @@ impl AnalysisConfig {
         }
         specs
     }
+
+    /// The *observation* half of the config fingerprint: the three
+    /// observer granularities. These determine which sinks watch the
+    /// event stream but never influence the stream itself, so two
+    /// configs differing only here can share one scheduler pass (see
+    /// [`Analysis::run_union`]).
+    pub fn observation_key_into(&self, h: &mut FingerprintHasher) {
+        h.write_u8(self.block_bits);
+        h.write_u8(self.bank_bits);
+        h.write_u8(self.page_bits);
+    }
+
+    /// The *interpretation* half of the config fingerprint: everything
+    /// that shapes the abstract interpretation itself — `fuel`, the
+    /// per-request `budget`, and `max_configs`. Configs that agree here
+    /// (and on the analyzed scenario) produce bit-identical event
+    /// streams; the service groups such cells into one shared pass.
+    pub fn interpretation_key_into(&self, h: &mut FingerprintHasher) {
+        h.write_u64(self.fuel);
+        self.budget.key_into(h);
+        h.write_len(self.max_configs);
+    }
+
+    /// `true` when `other` would drive the scheduler identically: same
+    /// fuel, budget, and configuration cap. Observer granularities are
+    /// deliberately ignored — they only pick sinks.
+    pub fn same_interpretation(&self, other: &AnalysisConfig) -> bool {
+        self.fuel == other.fuel
+            && self.budget == other.budget
+            && self.max_configs == other.max_configs
+    }
 }
 
 impl CacheKeyed for AnalysisConfig {
@@ -318,13 +349,14 @@ impl CacheKeyed for AnalysisConfig {
     /// batch consistency suite proves results are bit-identical either
     /// way — and are deliberately excluded, so serial and threaded runs
     /// share cache entries.
+    ///
+    /// The encoding is the concatenation of the observation half and the
+    /// interpretation half (in that order, byte-for-byte what earlier
+    /// releases wrote), so splitting the fingerprint changed no existing
+    /// cache key.
     fn key_into(&self, h: &mut FingerprintHasher) {
-        h.write_u8(self.block_bits);
-        h.write_u8(self.bank_bits);
-        h.write_u8(self.page_bits);
-        h.write_u64(self.fuel);
-        self.budget.key_into(h);
-        h.write_len(self.max_configs);
+        self.observation_key_into(h);
+        self.interpretation_key_into(h);
     }
 }
 
@@ -394,6 +426,45 @@ impl Analysis {
     pub fn run(&self, target: &impl AnalysisTarget) -> Result<LeakReport, AnalysisError> {
         let init = target.init_state();
         engine::run(&self.config, target.program(), &init)
+    }
+
+    /// Analyzes a target once for a whole *interpretation group*: this
+    /// analysis' own configuration (the group lead) plus `members`,
+    /// which must agree with it on every interpretation field (fuel,
+    /// budget, `max_configs` — see
+    /// [`AnalysisConfig::same_interpretation`]) and may differ only in
+    /// observer granularities.
+    ///
+    /// One scheduler pass drives the union of all member observer
+    /// suites (lead first, then each member's novel specs in order), so
+    /// the returned report contains every member's suite as an in-order
+    /// subset of its rows — each member's solo report can be projected
+    /// out bit-identically without re-running anything. Within the
+    /// pass, sinks share a projection memo, so each distinct
+    /// `ValueSet × offset` projects once per group rather than once per
+    /// sink.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if a member disagrees on an
+    /// interpretation field (callers group by the interpretation key,
+    /// so a mismatch is a planner bug).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Analysis::run`]; an error applies to every member
+    /// of the group.
+    pub fn run_union(
+        &self,
+        members: &[AnalysisConfig],
+        target: &impl AnalysisTarget,
+    ) -> Result<LeakReport, AnalysisError> {
+        debug_assert!(
+            members.iter().all(|m| self.config.same_interpretation(m)),
+            "interpretation-group members must share fuel/budget/max_configs"
+        );
+        let init = target.init_state();
+        engine::run_union(&self.config, members, target.program(), &init)
     }
 }
 

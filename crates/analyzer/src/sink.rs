@@ -28,11 +28,11 @@
 //! configuration — bit-for-bit, as the batch-consistency suite checks.
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use leakaudit_core::{Cursor, MemoKey, ObsSet, TraceDag, ValueSet};
+use leakaudit_core::{Cursor, MemoKey, ObsSet, Observer, TraceDag, ValueSet};
 use leakaudit_mpi::Natural;
 
 use crate::report::{Channel, LeakRow, ObserverSpec};
@@ -171,6 +171,57 @@ pub trait ObserverSink: Send {
     fn into_row(self: Box<Self>) -> LeakRow;
 }
 
+/// A projection memo shared between the sinks of one analysis pass:
+/// [`Observer::project_set`] results keyed by
+/// `(observer offset bits, value-set MemoKey)`.
+///
+/// Projection depends only on the observer's offset bits (stuttering
+/// changes how the DAG *consumes* an observation, never the observation
+/// itself), so every sink watching the same granularity — the block(6)
+/// sink and its stuttering twin, or the same observer on different
+/// channels, or the sinks of *different group members* in a shared
+/// interpretation pass (see `Analysis::run_union`) — shares one entry
+/// per distinct address set. Sinks keep their private per-[`MemoKey`]
+/// cache in front of this map, so the shard locks are touched once per
+/// (sink, distinct key), not once per event.
+pub struct ProjectionMemo {
+    shards: [Mutex<MemoShard>; 16],
+}
+
+/// One lock-sharded slice of the pass-wide projection map.
+type MemoShard = HashMap<(u8, MemoKey), ObsSet, BuildHasherDefault<FxHasher>>;
+
+impl Default for ProjectionMemo {
+    fn default() -> Self {
+        ProjectionMemo {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::default())),
+        }
+    }
+}
+
+impl ProjectionMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        ProjectionMemo::default()
+    }
+
+    /// The memoized projection of `addresses` (whose memo key is `key`)
+    /// under `observer`, computing and publishing it on first use.
+    /// Computation happens under the shard lock: for equal keys the
+    /// projection is deterministic, and paying it once beats racing
+    /// duplicates.
+    pub fn project(&self, observer: Observer, key: MemoKey, addresses: &ValueSet) -> ObsSet {
+        let memo_key = (observer.offset_bits(), key);
+        let mut h = FxHasher::default();
+        memo_key.hash(&mut h);
+        let shard = &self.shards[(h.finish() >> 32) as usize & 15];
+        let mut map = shard.lock().expect("projection memo shard poisoned");
+        map.entry(memo_key)
+            .or_insert_with(|| observer.project_set(addresses))
+            .clone()
+    }
+}
+
 /// The standard sink: one [`TraceDag`] per observer spec, cursors kept
 /// in a dense table indexed by [`ConfigId`] (ids are allocated
 /// monotonically from zero, so the table stays small and hash-free).
@@ -179,13 +230,17 @@ pub trait ObserverSink: Send {
 /// per [`MemoKey`]: a projection is computed once per distinct
 /// (value set, observer) pair per run, instead of once per replayed
 /// event — loops re-fetching the same program counters and re-reading
-/// the same address sets hit the cache on every sink.
+/// the same address sets hit the cache on every sink. With a shared
+/// [`ProjectionMemo`] attached, a local miss consults (and feeds) the
+/// pass-wide map before computing, so same-granularity sinks project
+/// each distinct set once per *pass*.
 pub struct DagSink {
     spec: ObserverSpec,
     dag: TraceDag,
     cursors: Vec<Option<Cursor>>,
     finals: Option<Cursor>,
     proj: HashMap<MemoKey, ObsSet, BuildHasherDefault<FxHasher>>,
+    shared: Option<Arc<ProjectionMemo>>,
 }
 
 impl DagSink {
@@ -198,8 +253,21 @@ impl DagSink {
             cursors: Vec::new(),
             finals: None,
             proj: HashMap::default(),
+            shared: None,
         };
         sink.put(initial, cursor);
+        sink
+    }
+
+    /// Like [`DagSink::new`], but backed by a pass-wide projection memo
+    /// shared with the other sinks of the same analysis.
+    pub fn with_shared_memo(
+        spec: ObserverSpec,
+        initial: ConfigId,
+        memo: Arc<ProjectionMemo>,
+    ) -> Self {
+        let mut sink = DagSink::new(spec, initial);
+        sink.shared = Some(memo);
         sink
     }
 
@@ -269,10 +337,12 @@ impl ObserverSink for DagSink {
                 if kind.visible_to(self.spec.channel) {
                     let cur = self.take(*config);
                     let observer = self.dag.observer();
-                    let obs = self
-                        .proj
-                        .entry(addresses.memo_key())
-                        .or_insert_with(|| observer.project_set(addresses));
+                    let key = addresses.memo_key();
+                    let shared = &self.shared;
+                    let obs = self.proj.entry(key).or_insert_with(|| match shared {
+                        Some(memo) => memo.project(observer, key, addresses),
+                        None => observer.project_set(addresses),
+                    });
                     let cur = self.dag.update(cur, obs);
                     self.put(*config, cur);
                 }

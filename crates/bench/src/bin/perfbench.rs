@@ -15,29 +15,35 @@
 //!
 //! * `--quick`: 1 iteration, no warmup, print to stdout only (CI mode —
 //!   proves the harness runs, commits nothing).
-//! * `--out FILE`: write the JSON report (default `BENCH_5.json`).
+//! * `--out FILE`: write the JSON report (default `BENCH_6.json`).
 //! * `--baseline FILE`: embed a previous perfbench report as the
 //!   `baseline` field and compute `speedup_vs_baseline`.
 //!
-//! JSON schema (`leakaudit-perfbench/v4` — v3 plus the streaming
-//! metric): `label`, `iters`, `warmup`, `threads`, `scenarios_ms`
-//! (name → median ms), `total_sequential_ms` (sum of per-scenario
-//! medians), `batch_all_8_ms` (median wall time of the 8-scenario
-//! parallel batch), `sweep_cells` (size of the default registry
-//! matrix), `sweep_cold_ms` (median wall time of a cold default sweep
-//! through the service, fresh cache each iteration), `sweep_warm_ms`
-//! (median wall time of the same sweep answered entirely from the
-//! result cache), `sweep_stolen_warm_ms` (the warm sweep answered
-//! through the daemon's JSON-lines protocol — the work-stealing
-//! submit/collect path plus wire encoding, i.e. what a
+//! JSON schema (`leakaudit-perfbench/v5` — v4 plus the
+//! interpretation-group metric): `label`, `iters`, `warmup`,
+//! `threads`, `scenarios_ms` (name → median ms), `total_sequential_ms`
+//! (sum of per-scenario medians), `batch_all_8_ms` (median wall time
+//! of the 8-scenario parallel batch), `sweep_cells` (size of the
+//! default registry matrix), `sweep_cold_ms` (median wall time of a
+//! cold default sweep through the service, fresh cache each iteration
+//! — since v5 the cold sweep shares scheduler passes across
+//! granularity variants, so it covers the grouped path),
+//! `sweep_warm_ms` (median wall time of the same sweep answered
+//! entirely from the result cache), `sweep_stolen_warm_ms` (the warm
+//! sweep answered through the daemon's JSON-lines protocol — the
+//! work-stealing submit/collect path plus wire encoding, i.e. what a
 //! `leakaudit-serve` client pays per warm blocking query),
 //! `sweep_stream_warm_ms` (the same warm matrix collected through the
 //! `stream` op — per-cell push encoding, the new-client path),
-//! `evicting_sweep_ms` (the sweep re-run against a capacity-starved
-//! evicting cache, so every cell pays eviction bookkeeping plus
-//! recomputation — the bounded-memory worst case), `baseline` (a
-//! previous report or `null`), and `speedup_vs_baseline` (baseline /
-//! current, per shared metric).
+//! `granularity_group_cold_ms` (a cold sweep of the pure
+//! observer-granularity matrix — every cell a granularity variant of
+//! some other cell, so the interpretation-group planner's best case:
+//! one scheduler pass per distinct binary, extra cells riding along as
+//! sinks), `evicting_sweep_ms` (the sweep re-run against a
+//! capacity-starved evicting cache, so every cell pays eviction
+//! bookkeeping plus recomputation — the bounded-memory worst case),
+//! `baseline` (a previous report or `null`), and
+//! `speedup_vs_baseline` (baseline / current, per shared metric).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -59,7 +65,7 @@ fn parse_args() -> Args {
         iters: 7,
         warmup: 2,
         label: String::from("perfbench"),
-        out: Some(String::from("BENCH_5.json")),
+        out: Some(String::from("BENCH_6.json")),
         baseline: None,
     };
     let mut it = std::env::args().skip(1);
@@ -174,7 +180,11 @@ fn main() {
     let sweep_cold_ms = measure(args.iters, args.warmup, || {
         let engine = SweepEngine::new();
         let report = engine.run(&registry);
-        assert_eq!(report.computed(), registry.len(), "cold sweep analyzes all");
+        assert_eq!(
+            report.computed() + report.shared_pass(),
+            registry.len(),
+            "cold sweep analyzes all — solo or via a shared pass"
+        );
     });
     println!(
         "  {:<42} {:>9.2} ms",
@@ -258,13 +268,42 @@ fn main() {
         sweep_stream_warm_ms
     );
 
+    // The interpretation-group best case: the pure observer-granularity
+    // matrix cold — every cell shares its binary with another, so the
+    // planner folds the whole matrix into one scheduler pass per
+    // distinct binary (extra cells ride along as sinks).
+    let granularity = Registry::granularity_sweep();
+    let granularity_cells = granularity.len();
+    let granularity_group_cold_ms = measure(args.iters, args.warmup, || {
+        let engine = SweepEngine::new();
+        let report = engine.run(&granularity);
+        assert_eq!(
+            report.computed() + report.shared_pass(),
+            granularity.len(),
+            "cold granularity sweep analyzes all"
+        );
+        assert!(
+            report.shared_pass() > 0,
+            "granularity variants must share scheduler passes"
+        );
+    });
+    println!(
+        "  {:<42} {:>9.2} ms",
+        format!("granularity_group_cold ({granularity_cells} cells)"),
+        granularity_group_cold_ms
+    );
+
     // The bounded-memory worst case: a cache too small to retain any
     // report, so every re-run pays eviction bookkeeping + recomputation.
     let evicting_engine = SweepEngine::new().with_eviction(64, Policy::Lru);
     evicting_engine.run(&registry); // prime the plan memo like a long-running daemon
     let evicting_sweep_ms = measure(args.iters, args.warmup, || {
         let report = evicting_engine.run(&registry);
-        assert_eq!(report.computed(), sweep_cells, "starved cache recomputes");
+        assert_eq!(
+            report.computed() + report.shared_pass(),
+            sweep_cells,
+            "starved cache recomputes"
+        );
     });
     assert!(
         evicting_engine.memory_stats().evictions > 0,
@@ -295,7 +334,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v4\",");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v5\",");
     let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
@@ -319,6 +358,11 @@ fn main() {
         json,
         "  \"sweep_stream_warm_ms\": {sweep_stream_warm_ms:.3},"
     );
+    let _ = writeln!(json, "  \"granularity_cells\": {granularity_cells},");
+    let _ = writeln!(
+        json,
+        "  \"granularity_group_cold_ms\": {granularity_group_cold_ms:.3},"
+    );
     let _ = writeln!(json, "  \"evicting_sweep_ms\": {evicting_sweep_ms:.3},");
     match &baseline_text {
         Some(base) => {
@@ -333,9 +377,11 @@ fn main() {
             let speedup_cold = speedup("sweep_cold_ms", sweep_cold_ms);
             let speedup_warm = speedup("sweep_warm_ms", sweep_warm_ms);
             let speedup_stolen = speedup("sweep_stolen_warm_ms", sweep_stolen_warm_ms);
-            // Stream metric exists only in v4+ baselines: null against
-            // older ones.
+            // Stream metric exists only in v4+ baselines, the
+            // granularity-group metric only in v5+: null against older
+            // ones.
             let speedup_stream = speedup("sweep_stream_warm_ms", sweep_stream_warm_ms);
+            let speedup_group = speedup("granularity_group_cold_ms", granularity_group_cold_ms);
             let speedup_evicting = speedup("evicting_sweep_ms", evicting_sweep_ms);
             let indented = base.trim_end().replace('\n', "\n  ");
             let _ = writeln!(json, "  \"baseline\": {indented},");
@@ -346,6 +392,7 @@ fn main() {
             let _ = writeln!(json, "    \"sweep_warm\": {speedup_warm},");
             let _ = writeln!(json, "    \"sweep_stolen_warm\": {speedup_stolen},");
             let _ = writeln!(json, "    \"sweep_stream_warm\": {speedup_stream},");
+            let _ = writeln!(json, "    \"granularity_group_cold\": {speedup_group},");
             let _ = writeln!(json, "    \"evicting_sweep\": {speedup_evicting}");
             let _ = writeln!(json, "  }}");
         }

@@ -329,10 +329,12 @@ pub fn render_sweep() -> String {
         .and_then(Json::as_u64)
         .expect("cell count");
     let cold = request(r#"{"op":"result","job":0}"#);
+    let cold_computed = cold.get("computed").and_then(Json::as_u64).unwrap_or(0);
+    let cold_shared = cold.get("shared_pass").and_then(Json::as_u64).unwrap_or(0);
     assert_eq!(
-        cold.get("computed").and_then(Json::as_u64),
-        Some(cells),
-        "a fresh daemon must analyze every cell"
+        cold_computed + cold_shared,
+        cells,
+        "a fresh daemon must analyze every cell — solo or via a shared pass"
     );
 
     let _ = request(submit);

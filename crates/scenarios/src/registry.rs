@@ -306,6 +306,20 @@ impl ScenarioSpec {
         }
     }
 
+    /// The spec's *observation* parameters — `(block, bank, page)`
+    /// bits. Everything a `ScenarioSpec` contributes to its analysis
+    /// configuration is observation: the bits select which observers
+    /// watch the event stream but never alter the abstract
+    /// interpretation itself, whose *interpretation* parameters (fuel,
+    /// budget, configuration cap) come from `AnalysisConfig` defaults
+    /// or per-request profile overrides. Two specs over the same
+    /// binary that differ only in these bits therefore share one
+    /// scheduler pass in a sweep (the service's interpretation-group
+    /// planner keys on exactly this split).
+    pub fn observation_bits(&self) -> (u8, u8, u8) {
+        (self.block_bits, self.bank_bits, self.page_bits)
+    }
+
     /// A relative analysis-cost estimate for heaviest-first batch
     /// scheduling (see `BatchJob::with_cost_hint` in the analyzer).
     ///
@@ -905,6 +919,23 @@ impl Registry {
         // sweepable. The scenario bytes are identical to the base
         // cells; only the observer suite (and thus result identity)
         // changes.
+        for spec in Registry::granularity_sweep().specs() {
+            r.push(*spec);
+        }
+        r
+    }
+
+    /// The observer-granularity variants of the default sweep on their
+    /// own: the same binaries under coarser banks and smaller pages.
+    /// Each cell differs from some other default-sweep cell only in
+    /// observation parameters — never in interpretation — so submitting
+    /// this matrix cold exercises the interpretation-group planner
+    /// maximally: the sweep engine runs one shared scheduler pass per
+    /// distinct binary and demultiplexes the rest as
+    /// `Provenance::SharedPass`. The perfbench `granularity_group_cold`
+    /// metric times exactly this submission.
+    pub fn granularity_sweep() -> Self {
+        let mut r = Registry::new();
         let sg = FamilyParams::ScatterGather {
             spacing: 8,
             value_bytes: 384,

@@ -405,6 +405,35 @@ impl DiskCache {
         Ok(moved)
     }
 
+    /// Stores a whole collected sweep in two phases: every entry is
+    /// first written to its sideways `.json.tmp` file, then all the
+    /// renames happen back to back. The visible effect is identical to
+    /// calling [`ResultCache::put`] per entry, but the metadata churn
+    /// (directory creation, rename barriers) batches at the end of the
+    /// sweep instead of interleaving with result collection — and a
+    /// crash mid-batch leaves only ignorable `.tmp` litter, never a
+    /// torn entry. Best-effort like `put`: errors degrade to a smaller
+    /// cache.
+    pub fn put_many<'a>(&self, entries: impl IntoIterator<Item = (CacheKey, &'a LeakReport)>) {
+        let mut staged: Vec<(PathBuf, PathBuf)> = Vec::new();
+        for (key, report) in entries {
+            let path = self.sharded_path(&key);
+            let Some(parent) = path.parent() else {
+                continue;
+            };
+            if std::fs::create_dir_all(parent).is_err() {
+                continue;
+            }
+            let tmp = path.with_extension("json.tmp");
+            if std::fs::write(&tmp, encode_report(report)).is_ok() {
+                staged.push((tmp, path));
+            }
+        }
+        for (tmp, path) in staged {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
     fn sharded_path(&self, key: &CacheKey) -> PathBuf {
         let hex = key.to_hex();
         self.dir

@@ -23,7 +23,7 @@
 //! → {"op":"poll","job":0}
 //! ← {"ok":true,"job":0,"state":"running","done":3,"total":42,"cancelled":false}
 //! → {"op":"result","job":0}
-//! ← {"ok":true,"job":0,"computed":42,"reused":0,"wall_ms":…,"cells":[…]}
+//! ← {"ok":true,"job":0,"computed":26,"reused":0,"shared_pass":16,"wall_ms":…,"cells":[…]}
 //! → {"op":"stream","job":1}
 //! ← {"ok":true,"job":1,"cell":0,"id":…,"provenance":…,"rows":[…]}
 //! ← {"ok":true,"job":1,"stream_done":true,"cells":1,"computed":…,"reused":…}
@@ -79,7 +79,7 @@ const MAX_RETAINED_JOBS: usize = 64;
 
 /// One submitted job: still running (ticket) or collected (report).
 enum JobState {
-    Running(SweepTicket),
+    Running(Box<SweepTicket>),
     /// A `result` request is collecting right now (slot lock held by
     /// the collector only briefly around the state switch).
     Collecting,
@@ -246,7 +246,7 @@ impl Daemon {
             id,
             Arc::new(JobSlot {
                 probe: ticket.probe(),
-                state: Mutex::new(JobState::Running(ticket)),
+                state: Mutex::new(JobState::Running(Box::new(ticket))),
                 done: Condvar::new(),
             }),
         );
@@ -373,7 +373,7 @@ impl Daemon {
         match taken {
             Some(ticket) => {
                 // Wait outside the slot lock so `poll` stays responsive.
-                let report = Arc::new(self.engine.collect(ticket));
+                let report = Arc::new(self.engine.collect(*ticket));
                 *slot.state.lock().expect("job poisoned") = JobState::Done(Arc::clone(&report));
                 slot.done.notify_all();
                 Ok(result_json(id, &report))
@@ -434,6 +434,7 @@ impl Daemon {
                     ("cells", Json::num(report.cells().len() as u64)),
                     ("computed", Json::num(report.computed() as u64)),
                     ("reused", Json::num(report.reused() as u64)),
+                    ("shared_pass", Json::num(report.shared_pass() as u64)),
                     ("wall_ms", Json::Num(report.wall_time().as_secs_f64() * 1e3)),
                 ])
                 .to_string(),
@@ -472,7 +473,7 @@ impl Daemon {
                 // pushes each cell as the engine hands it over.
                 let report = Arc::new(
                     self.engine
-                        .collect_stream(ticket, &mut |index, cell| emit_cell(emit, index, cell)),
+                        .collect_stream(*ticket, &mut |index, cell| emit_cell(emit, index, cell)),
                 );
                 *slot.state.lock().expect("job poisoned") = JobState::Done(Arc::clone(&report));
                 slot.done.notify_all();
@@ -712,6 +713,7 @@ fn result_json(id: u64, report: &SweepReport) -> Json {
         ("job", Json::num(id)),
         ("computed", Json::num(report.computed() as u64)),
         ("reused", Json::num(report.reused() as u64)),
+        ("shared_pass", Json::num(report.shared_pass() as u64)),
         ("wall_ms", Json::Num(report.wall_time().as_secs_f64() * 1e3)),
         ("cells", Json::Arr(cells)),
     ])

@@ -20,6 +20,11 @@ const KEY_DOMAIN: &str = "leakaudit-cachekey/v2";
 /// Domain tag of the [`BaseKey`] stage.
 const BASE_DOMAIN: &str = "leakaudit-basekey/v2";
 
+/// Domain tag of the [`GroupKey`] stage. Group keys are scheduling
+/// identity only (they never reach a cache), so bumping this version
+/// invalidates nothing.
+const GROUP_DOMAIN: &str = "leakaudit-groupkey/v1";
+
 /// The configuration-independent half of a [`CacheKey`]: program bytes ×
 /// initial abstract state. A sweep engine memoizes one `BaseKey` per
 /// generated scenario and derives a full key per analysis configuration
@@ -52,7 +57,34 @@ impl BaseKey {
         config.key_into(&mut h);
         CacheKey(h.finish())
     }
+
+    /// Folds in only the *interpretation* half of a configuration
+    /// (fuel, budget, configuration cap — see
+    /// [`AnalysisConfig::interpretation_key_into`]), yielding the
+    /// identity of the scheduler pass this cell needs. Cells with equal
+    /// group keys differ at most in observer granularities and can be
+    /// served by one shared pass; cells with equal [`CacheKey`]s always
+    /// have equal group keys.
+    pub fn interpretation_group(self, config: &AnalysisConfig) -> GroupKey {
+        let mut h = FingerprintHasher::new(GROUP_DOMAIN);
+        h.write_u64((self.0 .0 >> 64) as u64);
+        h.write_u64(self.0 .0 as u64);
+        config.interpretation_key_into(&mut h);
+        GroupKey(h.finish())
+    }
 }
+
+/// The identity of one *scheduler pass*: program bytes × initial state
+/// × the interpretation half of the configuration (fuel, budget,
+/// `max_configs`). Unlike a [`CacheKey`] it deliberately omits the
+/// observer granularities — those select sinks on the event stream but
+/// never change the stream — so the sweep planner uses it to partition
+/// pending cells into groups that one `Analysis::run_union` pass can
+/// serve. Never persisted: results are still cached per [`CacheKey`].
+///
+/// [`Analysis::run_union`]: leakaudit_analyzer::Analysis::run_union
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupKey(Fingerprint);
 
 /// The identity of one analysis request, derived purely from content:
 ///
@@ -185,6 +217,69 @@ mod tests {
             CacheKey::for_scenario(&s5),
             "the observer suite is part of result identity"
         );
+    }
+
+    #[test]
+    fn observer_granularities_share_a_group_but_not_a_key() {
+        // The tentpole invariant: bank/page (and even block) variants of
+        // one scenario are distinct *results* but one *scheduler pass*.
+        let spec = ScenarioSpec::new(
+            leakaudit_scenarios::FamilyParams::SquareAlways {
+                opt: leakaudit_scenarios::Opt::O2,
+            },
+            6,
+        );
+        let coarse = spec.with_observer_bits(3, 10);
+        let b5 = ScenarioSpec::new(spec.params, 5);
+        let base = BaseKey::for_scenario(&spec.build());
+        assert_eq!(base, BaseKey::for_scenario(&coarse.build()));
+        assert_eq!(base, BaseKey::for_scenario(&b5.build()));
+        let group = base.interpretation_group(&spec.analysis_config());
+        assert_eq!(
+            group,
+            base.interpretation_group(&coarse.analysis_config()),
+            "bank/page variants share the scheduler pass"
+        );
+        assert_eq!(
+            group,
+            base.interpretation_group(&b5.analysis_config()),
+            "block bits pick sinks, not scheduling"
+        );
+        assert_ne!(
+            base.with_config(&spec.analysis_config()),
+            base.with_config(&coarse.analysis_config()),
+            "shared pass or not, the results cache separately"
+        );
+    }
+
+    #[test]
+    fn interpretation_fields_split_the_group() {
+        use leakaudit_analyzer::Budget;
+        let s = leakaudit_scenarios::square_multiply::libgcrypt_152();
+        let base = BaseKey::for_scenario(&s);
+        let plain = s.analysis_config();
+        let group = base.interpretation_group(&plain);
+        let fueled = AnalysisConfig {
+            fuel: plain.fuel / 2,
+            ..plain.clone()
+        };
+        assert_ne!(group, base.interpretation_group(&fueled));
+        let budgeted = AnalysisConfig {
+            budget: Budget::with_fuel(10_000),
+            ..plain.clone()
+        };
+        assert_ne!(group, base.interpretation_group(&budgeted));
+        let capped = AnalysisConfig {
+            max_configs: 16,
+            ..plain.clone()
+        };
+        assert_ne!(group, base.interpretation_group(&capped));
+        // Scheduling switches stay outside group identity too.
+        let serial = AnalysisConfig {
+            parallel_sinks: false,
+            ..plain
+        };
+        assert_eq!(group, base.interpretation_group(&serial));
     }
 
     #[test]

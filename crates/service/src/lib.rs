@@ -18,8 +18,11 @@
 //! * [`SweepEngine`] — plans a [`Registry`] sweep under a per-request
 //!   [`AuditProfile`] (observer-granularity overrides, fuel/deadline
 //!   budgets, cycle model — folded into every cell's key), deduplicates
-//!   cells by key, answers what it can from the caches, and schedules
-//!   the rest on a persistent work-stealing worker pool, with per-sweep
+//!   cells by key, answers what it can from the caches, partitions the
+//!   rest into interpretation groups ([`GroupKey`] — cells differing
+//!   only in observer granularity share one scheduler pass, surfaced
+//!   as [`Provenance::SharedPass`]) and schedules one job per group on
+//!   a persistent work-stealing worker pool, with per-sweep
 //!   progress/cancellation ([`SweepTicket`]), per-cell [`Provenance`],
 //!   and streaming collection ([`SweepEngine::collect_stream`]);
 //! * [`Daemon`] — the JSON-lines request handler behind the
@@ -40,7 +43,12 @@
 //! ]);
 //! let engine = SweepEngine::new();
 //! let cold = engine.run(&registry);
-//! assert_eq!(cold.computed(), 2);
+//! // The two cells differ only in observer granularity (cache-line
+//! // bits), so they form one interpretation group: a single abstract
+//! // interpretation serves both, the second cell riding along as
+//! // extra sinks ([`Provenance::SharedPass`]).
+//! assert_eq!(cold.computed(), 1);
+//! assert_eq!(cold.shared_pass(), 1);
 //! // The second sweep is pure cache lookups, bit-identical results.
 //! let warm = engine.run(&registry);
 //! assert_eq!(warm.computed(), 0);
@@ -66,7 +74,7 @@ pub use cache::{
     MemoryCache, ResultCache,
 };
 pub use daemon::Daemon;
-pub use key::{BaseKey, CacheKey};
+pub use key::{BaseKey, CacheKey, GroupKey};
 pub use proto::Json;
 pub use sweep::{
     cycle_estimate, AuditProfile, Provenance, SweepCell, SweepEngine, SweepProbe, SweepProgress,

@@ -12,7 +12,16 @@
 //! 2. the in-memory cache ([`Provenance::MemoryHit`]),
 //! 3. the on-disk cache ([`Provenance::DiskHit`]),
 //! 4. a fresh parallel analysis ([`Provenance::Computed`]) through
-//!    [`BatchAnalysis`] — the PR-1 fan-out path.
+//!    [`BatchAnalysis`] — the PR-1 fan-out path,
+//! 5. the shared scheduler pass of another computed cell
+//!    ([`Provenance::SharedPass`]): cells that differ only in observer
+//!    granularity are partitioned into *interpretation groups* (by
+//!    [`BaseKey`] × the interpretation half of the config — see
+//!    [`crate::key::GroupKey`]) and analyzed as **one** abstract
+//!    interpretation with the union of all member observer suites
+//!    attached as sinks. The group lead is `Computed`; every other
+//!    member's report is projected out of the union rows, bit-identical
+//!    to a solo run of that cell.
 //!
 //! Cache hits are bit-identical to cold runs: in-memory hits share the
 //! original report (`Arc`), disk hits round-trip through the exact
@@ -31,7 +40,7 @@ use leakaudit_cache::{CacheConfig, CycleModel, Hierarchy, Policy};
 use leakaudit_scenarios::{Registry, Scenario, ScenarioSpec};
 
 use crate::cache::{eviction_for, CacheStats, DiskCache, MemoryCache, ResultCache};
-use crate::key::{BaseKey, CacheKey};
+use crate::key::{BaseKey, CacheKey, GroupKey};
 
 /// Per-request analysis overrides: the client-facing half of an audit
 /// profile (the other half being the cells themselves). A profile is
@@ -92,6 +101,18 @@ pub enum Provenance {
         /// Index of the cell that owns the work.
         of: usize,
     },
+    /// Served by the shared scheduler pass of the cell at the given
+    /// index: this cell's interpretation (program, initial state, fuel,
+    /// budget, configuration cap) is identical to the group lead's, so
+    /// its observer suite rode along as extra sinks on the lead's
+    /// single abstract-interpretation pass and its report was projected
+    /// out of the union rows — a distinct *result* (own cache key, own
+    /// rows), but no scheduler pass of its own.
+    SharedPass {
+        /// Index of the group lead ([`Provenance::Computed`]) whose
+        /// pass carried this cell's sinks.
+        of: usize,
+    },
     /// Served from the in-memory cache.
     MemoryHit,
     /// Served from the on-disk cache.
@@ -99,11 +120,13 @@ pub enum Provenance {
 }
 
 impl Provenance {
-    /// Short tag for tables: `computed`, `shared`, `memory`, `disk`.
+    /// Short tag for tables: `computed`, `shared`, `shared-pass`,
+    /// `memory`, `disk`.
     pub fn tag(&self) -> &'static str {
         match self {
             Provenance::Computed => "computed",
             Provenance::Shared { .. } => "shared",
+            Provenance::SharedPass { .. } => "shared-pass",
             Provenance::MemoryHit => "memory",
             Provenance::DiskHit => "disk",
         }
@@ -159,14 +182,23 @@ impl SweepReport {
         self.cells.iter().find(|c| c.spec.id() == id)
     }
 
-    /// Number of cells that required a fresh analysis.
+    /// Number of cells that required a scheduler pass of their own —
+    /// one per interpretation group of the pending work.
     pub fn computed(&self) -> usize {
         self.count(|p| matches!(p, Provenance::Computed))
     }
 
+    /// Number of cells served by another cell's scheduler pass
+    /// ([`Provenance::SharedPass`]): fresh results (they were analyzed
+    /// this sweep, under their own cache keys) that cost only extra
+    /// sinks, not an extra abstract interpretation.
+    pub fn shared_pass(&self) -> usize {
+        self.count(|p| matches!(p, Provenance::SharedPass { .. }))
+    }
+
     /// Number of cells answered without analyzing (shared, memory, disk).
     pub fn reused(&self) -> usize {
-        self.cells.len() - self.computed()
+        self.cells.len() - self.computed() - self.shared_pass()
     }
 
     fn count(&self, pred: impl Fn(Provenance) -> bool) -> usize {
@@ -212,9 +244,10 @@ impl SweepReport {
         }
         let _ = writeln!(
             out,
-            "{} cells: {} computed, {} reused, {:.2?} wall",
+            "{} cells: {} computed, {} shared-pass, {} reused, {:.2?} wall",
             self.cells.len(),
             self.computed(),
+            self.shared_pass(),
             self.reused(),
             self.wall
         );
@@ -248,12 +281,18 @@ impl SweepProgress {
 pub struct SweepTicket {
     specs: Vec<ScenarioSpec>,
     metas: Vec<(CacheKey, String)>,
+    /// Each cell's effective (profile-overridden) configuration; the
+    /// collection pass projects a grouped cell's observer suite out of
+    /// its job's union report with it.
+    configs: Vec<AnalysisConfig>,
     /// Cells answered at submission time (cache/disk hits).
     resolved: Vec<Option<(Provenance, CellResult)>>,
     /// Cells deferring to an earlier identical cell.
     shared_of: Vec<Option<usize>>,
-    /// Cells submitted to the executor, in job order.
-    miss_indices: Vec<usize>,
+    /// One entry per executor job: the member cells of that job's
+    /// interpretation group, ascending, lead first. Solo groups take
+    /// the plain analysis path; larger ones run one union-suite pass.
+    jobs: Vec<Vec<usize>>,
     /// Scenarios built during planning, reused for analysis and the
     /// cycle column.
     built: HashMap<usize, Arc<Scenario>>,
@@ -282,9 +321,11 @@ impl SweepTicket {
     /// answering `poll` with real numbers while another request is
     /// blocked collecting the same sweep.
     pub fn probe(&self) -> SweepProbe {
+        let scheduled = self.jobs.iter().map(Vec::len).sum::<usize>();
         SweepProbe {
-            resolved: self.specs.len() - self.miss_indices.len(),
+            resolved: self.specs.len() - scheduled,
             total: self.specs.len(),
+            scheduled,
             batch: self.batch.as_ref().map(BatchTicket::probe),
         }
     }
@@ -305,15 +346,29 @@ impl SweepTicket {
 pub struct SweepProbe {
     resolved: usize,
     total: usize,
+    /// Cells covered by executor jobs (≥ the job count: a grouped job
+    /// answers every member of its interpretation group).
+    scheduled: usize,
     batch: Option<ProgressProbe>,
 }
 
 impl SweepProbe {
-    /// Current progress (never blocks).
+    /// Current progress (never blocks). A finished *job* may answer
+    /// several grouped cells at once; mid-flight the estimate counts
+    /// each done job as one cell (a deliberate undercount — progress
+    /// stays monotone and lands exactly on `total` at completion).
     pub fn progress(&self) -> SweepProgress {
         let batch = self.batch.as_ref().map(ProgressProbe::progress);
+        let done = self.resolved
+            + batch.map_or(0, |p| {
+                if p.done == p.total {
+                    self.scheduled
+                } else {
+                    p.done.min(self.scheduled)
+                }
+            });
         SweepProgress {
-            done: self.resolved + batch.map_or(0, |p| p.done),
+            done,
             total: self.total,
             cancelled: batch.is_some_and(|p| p.cancelled),
         }
@@ -500,6 +555,7 @@ impl SweepEngine {
         // a cold cell's build is retained for the analysis pass below.
         let mut built: HashMap<usize, Arc<Scenario>> = HashMap::new();
         let mut configs: Vec<AnalysisConfig> = Vec::with_capacity(specs.len());
+        let mut bases: Vec<BaseKey> = Vec::with_capacity(specs.len());
         let metas: Vec<(CacheKey, String)> = specs
             .iter()
             .enumerate()
@@ -511,6 +567,7 @@ impl SweepEngine {
                 let config = profile.configure(spec.analysis_config());
                 let key = base.with_config(&config);
                 configs.push(config);
+                bases.push(base);
                 (key, name)
             })
             .collect();
@@ -541,18 +598,57 @@ impl SweepEngine {
             }
         }
 
-        // Scheduling pass: only the misses go to the worker pool,
-        // reusing the scenarios the planning pass already built. Each
-        // job carries the *effective* (profile-overridden) config, so
-        // the executor enforces the per-job budget and the analysis
-        // matches the key it will be cached under.
-        let jobs: Vec<OwnedJob> = miss_indices
+        // Grouping pass: pending cells that share program bytes,
+        // initial state, *and* interpretation config (fuel, budget,
+        // `max_configs` — the [`GroupKey`]) need only one scheduler
+        // pass between them; their observer granularities merely pick
+        // different sinks on the same event stream. First pending cell
+        // of a group leads it; the rest ride along as extra suites.
+        let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
+        let mut grouped: Vec<Vec<usize>> = Vec::new();
+        for &i in &miss_indices {
+            let group = bases[i].interpretation_group(&configs[i]);
+            match group_index.get(&group) {
+                Some(&job) => grouped[job].push(i),
+                None => {
+                    group_index.insert(group, grouped.len());
+                    grouped.push(vec![i]);
+                }
+            }
+        }
+
+        // Scheduling pass: one executor job per interpretation group,
+        // reusing the scenarios the planning pass already built — and
+        // hash-consing them per BaseKey, so groups over the same
+        // program × state (e.g. block-bit variants planned as separate
+        // specs) share one `Arc`'d scenario instead of rebuilding the
+        // initial abstract memory per job. Each job carries the lead's
+        // *effective* (profile-overridden) config, so the executor
+        // enforces the per-job budget and the analysis matches the key
+        // it will be cached under; member configs ride along for the
+        // union suite. The cost hint grows mildly with group size —
+        // extra sinks cost far less than extra passes.
+        let mut by_base: HashMap<BaseKey, Arc<Scenario>> = HashMap::new();
+        let jobs: Vec<OwnedJob> = grouped
             .iter()
-            .map(|&i| {
-                let scenario =
-                    Arc::clone(built.entry(i).or_insert_with(|| Arc::new(specs[i].build())));
-                OwnedJob::new(metas[i].1.clone(), configs[i].clone(), scenario)
-                    .with_cost_hint(specs[i].cost_hint())
+            .map(|members| {
+                let lead = members[0];
+                let scenario = Arc::clone(by_base.entry(bases[lead]).or_insert_with(|| {
+                    Arc::clone(
+                        built
+                            .entry(lead)
+                            .or_insert_with(|| Arc::new(specs[lead].build())),
+                    )
+                }));
+                let hint = specs[lead].cost_hint();
+                let extra = (members.len() as u64).saturating_sub(1);
+                let mut job = OwnedJob::new(metas[lead].1.clone(), configs[lead].clone(), scenario)
+                    .with_cost_hint(hint + hint * extra / 8);
+                if members.len() > 1 {
+                    job =
+                        job.with_group(members[1..].iter().map(|&m| configs[m].clone()).collect());
+                }
+                job
             })
             .collect();
         let batch = (!jobs.is_empty()).then(|| self.executor().submit(jobs));
@@ -560,9 +656,10 @@ impl SweepEngine {
         SweepTicket {
             specs: specs.to_vec(),
             metas,
+            configs,
             resolved,
             shared_of,
-            miss_indices,
+            jobs: grouped,
             built,
             cycle_policy: profile.cycle_model.or(self.cycle_policy),
             batch,
@@ -594,19 +691,34 @@ impl SweepEngine {
         let SweepTicket {
             specs,
             metas,
+            configs,
             mut resolved,
             shared_of,
-            miss_indices,
+            jobs,
             built,
             cycle_policy,
             batch,
             started,
         } = ticket;
 
+        // Group members are ascending and the lead is the smallest, so
+        // walking cells in submission order reaches each job at its
+        // lead first; taking that outcome resolves the whole group into
+        // `demuxed` at once and later members pop from it.
+        let mut job_of: HashMap<usize, usize> = HashMap::new();
+        for (job, members) in jobs.iter().enumerate() {
+            for &m in members {
+                job_of.insert(m, job);
+            }
+        }
+        let mut demuxed: HashMap<usize, (Provenance, CellResult, Duration)> = HashMap::new();
+        // Fresh reports headed for the disk store; written in one
+        // batched `put_many` after collection instead of a
+        // write+rename per cell inside the streaming loop. (Memory
+        // inserts stay inline so concurrent sweeps hit them at once.)
+        let mut disk_batch: Vec<(CacheKey, Arc<LeakReport>)> = Vec::new();
+
         let mut cells: Vec<SweepCell> = Vec::with_capacity(specs.len());
-        // `miss_indices` ascends, so walking cells in submission order
-        // consumes executor outcomes in job order.
-        let mut next_miss = 0usize;
         for (i, &spec) in specs.iter().enumerate() {
             let (provenance, result, elapsed) = if let Some(of) = shared_of[i] {
                 // The owning cell precedes every sharer.
@@ -618,28 +730,23 @@ impl SweepEngine {
             } else if let Some((provenance, result)) = resolved[i].take() {
                 (provenance, result, Duration::ZERO)
             } else {
-                debug_assert_eq!(miss_indices[next_miss], i, "miss order matches job order");
-                let outcome = batch
-                    .as_ref()
-                    .expect("unresolved cells imply a batch")
-                    .take_outcome(next_miss);
-                next_miss += 1;
-                let key = metas[i].0;
-                let result = match outcome.result {
-                    Ok(report) => {
-                        let report = Arc::new(report);
-                        self.memory.put(key, Arc::clone(&report));
-                        if let Some(disk) = &self.disk {
-                            disk.put(key, Arc::clone(&report));
-                        }
-                        Ok(report)
-                    }
-                    // Errors (including cancellations and exhausted
-                    // budgets) are not cached: a raised limit or a
-                    // resubmitted sweep should get a fresh run.
-                    Err(e) => Err(Arc::new(e)),
-                };
-                (Provenance::Computed, result, outcome.elapsed)
+                if !demuxed.contains_key(&i) {
+                    let job = job_of[&i];
+                    debug_assert_eq!(jobs[job][0], i, "first unresolved member is the lead");
+                    let outcome = batch
+                        .as_ref()
+                        .expect("unresolved cells imply a batch")
+                        .take_outcome(job);
+                    self.demux_outcome(
+                        &jobs[job],
+                        &metas,
+                        &configs,
+                        outcome,
+                        &mut demuxed,
+                        &mut disk_batch,
+                    );
+                }
+                demuxed.remove(&i).expect("demux covered every member")
             };
             let cell = SweepCell {
                 spec,
@@ -659,9 +766,84 @@ impl SweepEngine {
             cells.push(cell);
         }
 
+        if let Some(disk) = &self.disk {
+            disk.put_many(disk_batch.iter().map(|(k, r)| (*k, r.as_ref())));
+        }
+
         SweepReport {
             cells,
             wall: started.elapsed(),
+        }
+    }
+
+    /// Splits one executor outcome back into per-cell results. A solo
+    /// group's report passes through untouched (the worker ran the
+    /// plain analysis path, so its rows *are* the cell's suite); a
+    /// grouped outcome carries the union suite, and each member's solo
+    /// suite is projected out by row selection — nothing is recomputed,
+    /// so grouped rows are byte-for-byte what a solo run yields. The
+    /// lead is `Computed` with the pass's wall time; other members are
+    /// [`Provenance::SharedPass`] at zero elapsed. Errors (including
+    /// cancellations) apply to every member and, like solo errors, are
+    /// never cached.
+    fn demux_outcome(
+        &self,
+        members: &[usize],
+        metas: &[(CacheKey, String)],
+        configs: &[AnalysisConfig],
+        outcome: leakaudit_analyzer::BatchOutcome,
+        demuxed: &mut HashMap<usize, (Provenance, CellResult, Duration)>,
+        disk_batch: &mut Vec<(CacheKey, Arc<LeakReport>)>,
+    ) {
+        let lead = members[0];
+        match outcome.result {
+            Ok(union) => {
+                let union = Arc::new(union);
+                for (pos, &m) in members.iter().enumerate() {
+                    let report = if members.len() == 1 {
+                        Arc::clone(&union)
+                    } else {
+                        let rows = configs[m]
+                            .observer_suite()
+                            .into_iter()
+                            .map(|spec| {
+                                union
+                                    .rows()
+                                    .iter()
+                                    .find(|row| row.spec == spec)
+                                    .expect("union suite covers every member suite")
+                                    .clone()
+                            })
+                            .collect();
+                        Arc::new(LeakReport::from_rows(rows))
+                    };
+                    let key = metas[m].0;
+                    self.memory.put(key, Arc::clone(&report));
+                    if self.disk.is_some() {
+                        disk_batch.push((key, Arc::clone(&report)));
+                    }
+                    let (provenance, elapsed) = if pos == 0 {
+                        (Provenance::Computed, outcome.elapsed)
+                    } else {
+                        (Provenance::SharedPass { of: lead }, Duration::ZERO)
+                    };
+                    demuxed.insert(m, (provenance, Ok(report), elapsed));
+                }
+            }
+            // Errors (including cancellations and exhausted budgets)
+            // are not cached: a raised limit or a resubmitted sweep
+            // should get a fresh run.
+            Err(e) => {
+                let e = Arc::new(e);
+                for (pos, &m) in members.iter().enumerate() {
+                    let (provenance, elapsed) = if pos == 0 {
+                        (Provenance::Computed, outcome.elapsed)
+                    } else {
+                        (Provenance::SharedPass { of: lead }, Duration::ZERO)
+                    };
+                    demuxed.insert(m, (provenance, Err(Arc::clone(&e)), elapsed));
+                }
+            }
         }
     }
 

@@ -1,9 +1,9 @@
 //! The daemon acceptance suite: the full default registry submitted
 //! twice through the JSON-lines protocol. The second response must be
-//! answered entirely from the warm cache — 26/26 cache-hit provenance —
-//! with every leakage row bit-identical to the first response *as
-//! wire text* (the row encoding is exact, so textual equality is bit
-//! identity).
+//! answered entirely from the warm cache — cache-hit provenance on
+//! every cell — with every leakage row bit-identical to the first
+//! response *as wire text* (the row encoding is exact, so textual
+//! equality is bit identity).
 
 use leakaudit_scenarios::Registry;
 use leakaudit_service::{Daemon, Json, SweepEngine};
@@ -26,7 +26,13 @@ fn second_wire_submission_is_all_cache_hits_bit_identically() {
     assert_eq!(poll.get("ok"), Some(&Json::Bool(true)));
     assert_eq!(poll.get("total").and_then(Json::as_u64), Some(cells));
     let cold = parse(&daemon.handle_line(r#"{"op":"result","job":0}"#));
-    assert_eq!(cold.get("computed").and_then(Json::as_u64), Some(cells));
+    let cold_computed = cold.get("computed").and_then(Json::as_u64).unwrap();
+    let cold_shared = cold.get("shared_pass").and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        cold_computed + cold_shared,
+        cells,
+        "every cold cell is analyzed, solo or via a shared pass"
+    );
     assert_eq!(cold.get("reused").and_then(Json::as_u64), Some(0));
 
     // Warm pass: identical request, new job id.
@@ -47,8 +53,8 @@ fn second_wire_submission_is_all_cache_hits_bit_identically() {
     for (c, w) in cold_cells.iter().zip(warm_cells) {
         let id = c.get("id").and_then(Json::as_str).unwrap();
         assert_eq!(id, w.get("id").and_then(Json::as_str).unwrap());
-        // 26/26 cache-hit provenance: a warm cell is served from memory
-        // (or deduplicated against an identical cell of its own sweep).
+        // Cache-hit provenance on every warm cell: served from memory,
+        // or deduplicated against an identical cell of its own sweep.
         let provenance = w.get("provenance").and_then(Json::as_str).unwrap();
         assert!(
             provenance == "memory" || provenance == "shared",

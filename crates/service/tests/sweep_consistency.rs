@@ -48,9 +48,13 @@ fn warm_sweep_hits_the_cache_for_every_cell_bit_identically() {
     let engine = SweepEngine::new();
     let cold = engine.run(&registry);
     assert_eq!(
-        cold.computed(),
+        cold.computed() + cold.shared_pass(),
         registry.len(),
-        "a fresh engine computes every cell"
+        "a fresh engine analyzes every cell — solo or via a shared pass"
+    );
+    assert!(
+        cold.shared_pass() > 0,
+        "the default sweep has granularity variants that must group"
     );
     for cell in cold.cells() {
         assert!(
