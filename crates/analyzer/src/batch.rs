@@ -26,6 +26,22 @@ use std::time::{Duration, Instant};
 
 use crate::{Analysis, AnalysisConfig, AnalysisError, AnalysisTarget, LeakReport};
 
+/// Cumulative per-phase analysis time across every job an [`Executor`]'s
+/// workers completed successfully — the daemon-lifetime counterpart of
+/// one run's [`crate::PhaseTimings`]. Purely observability: totals are
+/// monotone counters with relaxed ordering, never part of any result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Successfully analyzed jobs that contributed to the totals.
+    pub runs: u64,
+    /// Total abstract-interpretation (scheduler) time.
+    pub interpret: Duration,
+    /// Total sink replay time.
+    pub replay: Duration,
+    /// Total Proposition 2 counting time.
+    pub count: Duration,
+}
+
 /// One unit of batch work: a named target plus the architecture
 /// parameters to analyze it under.
 pub struct BatchJob<'a> {
@@ -501,6 +517,27 @@ struct ExecutorShared {
     /// Jobs a worker has popped and not yet recorded an outcome for —
     /// the "currently analyzing" depth a `stats` request reports.
     in_flight: AtomicUsize,
+    /// Completed analyses contributing to the phase totals below.
+    runs: AtomicU64,
+    /// Cumulative interpretation time, in nanoseconds.
+    interpret_ns: AtomicU64,
+    /// Cumulative sink replay time, in nanoseconds.
+    replay_ns: AtomicU64,
+    /// Cumulative counting time, in nanoseconds.
+    count_ns: AtomicU64,
+}
+
+impl ExecutorShared {
+    fn record_timings(&self, report: &LeakReport) {
+        let t = report.timings();
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.interpret_ns
+            .fetch_add(t.interpret.as_nanos() as u64, Ordering::Relaxed);
+        self.replay_ns
+            .fetch_add(t.replay.as_nanos() as u64, Ordering::Relaxed);
+        self.count_ns
+            .fetch_add(t.count.as_nanos() as u64, Ordering::Relaxed);
+    }
 }
 
 /// A persistent worker pool executing [`OwnedJob`]s from a shared,
@@ -556,6 +593,10 @@ impl Executor {
             work_ready: Condvar::new(),
             seq: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
+            runs: AtomicU64::new(0),
+            interpret_ns: AtomicU64::new(0),
+            replay_ns: AtomicU64::new(0),
+            count_ns: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -588,6 +629,18 @@ impl Executor {
     /// Jobs currently being analyzed by a worker.
     pub fn in_flight(&self) -> usize {
         self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative per-phase analysis time over this executor's lifetime
+    /// (successful runs only; cancelled, failed, and cache-served work
+    /// contributes nothing).
+    pub fn phase_totals(&self) -> PhaseTotals {
+        PhaseTotals {
+            runs: self.shared.runs.load(Ordering::Relaxed),
+            interpret: Duration::from_nanos(self.shared.interpret_ns.load(Ordering::Relaxed)),
+            replay: Duration::from_nanos(self.shared.replay_ns.load(Ordering::Relaxed)),
+            count: Duration::from_nanos(self.shared.count_ns.load(Ordering::Relaxed)),
+        }
     }
 
     /// Submits one batch; its items join the shared queue immediately.
@@ -698,6 +751,9 @@ fn worker_loop(shared: &ExecutorShared, sink_threads: bool) {
                     message: panic_message(payload.as_ref()),
                 })
             });
+            if let Ok(report) = &result {
+                shared.record_timings(report);
+            }
             BatchOutcome {
                 name: job.name.clone(),
                 result,
@@ -959,6 +1015,24 @@ mod tests {
             Arc::new(secret_load_input(4)) as Arc<dyn AnalysisTarget + Send + Sync>,
         )]);
         assert!(again.wait().get("after").unwrap().result.is_ok());
+    }
+
+    #[test]
+    fn executor_accumulates_phase_totals() {
+        let executor = Executor::with_threads(1);
+        assert_eq!(executor.phase_totals(), PhaseTotals::default());
+        let ticket = executor.submit(vec![OwnedJob::new(
+            "job",
+            AnalysisConfig::default(),
+            Arc::new(secret_load_input(8)) as Arc<dyn AnalysisTarget + Send + Sync>,
+        )]);
+        ticket.wait();
+        let totals = executor.phase_totals();
+        assert_eq!(totals.runs, 1);
+        assert!(
+            totals.interpret + totals.replay + totals.count > Duration::ZERO,
+            "a completed run leaves nonzero phase time"
+        );
     }
 
     #[test]

@@ -18,14 +18,56 @@
 //! plus parallel bookkeeping, rather than 18 cursor updates interleaved
 //! into every scheduler step.
 
-use std::sync::Arc;
-
 use leakaudit_x86::Program;
 
-use crate::report::{LeakReport, ObserverSpec};
-use crate::sink::{ConfigId, DagSink, ObserverSink, ProjectionMemo};
+use crate::report::{LeakReport, LeakRow, ObserverSpec};
+use crate::sink::{ConfigId, DagSink, ObserverSink};
 use crate::state::InitState;
 use crate::{scheduler, sink, AnalysisConfig, AnalysisError};
+
+/// Groups an observer suite into its offset-bits equivalence classes —
+/// first-occurrence class order, in-class spec order preserved — and
+/// builds one [`DagSink`] per class. Replay front-end work then scales
+/// with the number of *granularities* (4 for the default 18-spec
+/// suite), not the number of specs: each class derives the memo key and
+/// resolves the projection once per event and fans the observation out
+/// to the member lanes whose channel sees the access. Because every
+/// granularity resolves each distinct address set exactly once, the
+/// sinks need no pass-wide [`ProjectionMemo`].
+fn class_sinks(suite: &[ObserverSpec]) -> Vec<Box<dyn ObserverSink>> {
+    let mut classes: Vec<(u8, Vec<ObserverSpec>)> = Vec::new();
+    for &spec in suite {
+        let key = spec.observer.offset_bits();
+        match classes.iter_mut().find(|(b, _)| *b == key) {
+            Some((_, members)) => members.push(spec),
+            None => classes.push((key, vec![spec])),
+        }
+    }
+    classes
+        .into_iter()
+        .map(|(_, members)| {
+            Box::new(DagSink::for_class(&members, ConfigId::ROOT, None)) as Box<dyn ObserverSink>
+        })
+        .collect()
+}
+
+/// Restores flattened class-sink rows to exact suite order. The sweep
+/// service's row-selection demux and the cache row encoding both rely on
+/// report rows matching suite order, so class grouping must not leak
+/// into row order. Quadratic, but suites are tens of specs.
+fn reorder_rows(mut rows: Vec<LeakRow>, suite: &[ObserverSpec]) -> Vec<LeakRow> {
+    debug_assert_eq!(rows.len(), suite.len(), "one row per suite spec");
+    suite
+        .iter()
+        .map(|spec| {
+            let idx = rows
+                .iter()
+                .position(|r| r.spec == *spec)
+                .expect("row for every suite spec");
+            rows.swap_remove(idx)
+        })
+        .collect()
+}
 
 /// Runs the abstract interpretation of `program` from its entry to `hlt`,
 /// bounding the leakage for every observer in the suite.
@@ -34,15 +76,13 @@ pub(crate) fn run(
     program: &Program,
     init: &InitState,
 ) -> Result<LeakReport, AnalysisError> {
-    let sinks: Vec<Box<dyn ObserverSink>> = config
-        .observer_suite()
-        .into_iter()
-        .map(|spec| Box::new(DagSink::new(spec, ConfigId::ROOT)) as Box<dyn ObserverSink>)
-        .collect();
-    let rows = sink::run_pipeline_with(sinks, config.parallel_sinks, config.sink_tuning, |bus| {
-        scheduler::drive(config, program, init, bus)
-    })?;
-    Ok(LeakReport::new(rows))
+    let suite = config.observer_suite();
+    let sinks = class_sinks(&suite);
+    let (rows, timings) =
+        sink::run_pipeline_with(sinks, config.parallel_sinks, config.sink_tuning, |bus| {
+            scheduler::drive(config, program, init, bus)
+        })?;
+    Ok(LeakReport::new(reorder_rows(rows, &suite)).with_timings(timings))
 }
 
 /// Runs one abstract interpretation of `program` for an interpretation
@@ -54,9 +94,10 @@ pub(crate) fn run(
 /// Because the lead's suite comes first and each member suite is itself
 /// deduplicated in a deterministic order, every group config's solo
 /// suite is an in-order subset of the union rows — projecting a
-/// member's report out of the union is pure row selection. The sinks
-/// share one [`ProjectionMemo`], so each distinct address set projects
-/// once per granularity per *pass* instead of once per sink.
+/// member's report out of the union is pure row selection. Because the
+/// union's sinks are grouped per granularity, each distinct address set
+/// projects once per granularity per *pass*, however many member suites
+/// requested it.
 pub(crate) fn run_union(
     lead: &AnalysisConfig,
     members: &[AnalysisConfig],
@@ -71,21 +112,12 @@ pub(crate) fn run_union(
             }
         }
     }
-    let memo = Arc::new(ProjectionMemo::new());
-    let sinks: Vec<Box<dyn ObserverSink>> = union
-        .into_iter()
-        .map(|spec| {
-            Box::new(DagSink::with_shared_memo(
-                spec,
-                ConfigId::ROOT,
-                Arc::clone(&memo),
-            )) as Box<dyn ObserverSink>
-        })
-        .collect();
-    let rows = sink::run_pipeline_with(sinks, lead.parallel_sinks, lead.sink_tuning, |bus| {
-        scheduler::drive(lead, program, init, bus)
-    })?;
-    Ok(LeakReport::new(rows))
+    let sinks = class_sinks(&union);
+    let (rows, timings) =
+        sink::run_pipeline_with(sinks, lead.parallel_sinks, lead.sink_tuning, |bus| {
+            scheduler::drive(lead, program, init, bus)
+        })?;
+    Ok(LeakReport::new(reorder_rows(rows, &union)).with_timings(timings))
 }
 
 #[cfg(test)]

@@ -53,13 +53,13 @@ use leakaudit_core::{CacheKeyed, FingerprintHasher, Observer};
 use leakaudit_x86::{DecodeError, Program};
 
 pub use batch::{
-    BatchAnalysis, BatchJob, BatchOutcome, BatchReport, BatchTicket, Executor, OwnedJob, Progress,
-    ProgressProbe,
+    BatchAnalysis, BatchJob, BatchOutcome, BatchReport, BatchTicket, Executor, OwnedJob,
+    PhaseTotals, Progress, ProgressProbe,
 };
 pub use exec::{
     address_of, eval_cond, execute, execute_decoded, AccessVec, ForkPlan, Next, StepEffect,
 };
-pub use report::{format_bits, Channel, LeakReport, LeakRow, ObserverSpec};
+pub use report::{format_bits, Channel, LeakReport, LeakRow, ObserverSpec, PhaseTimings};
 pub use state::{AbsState, AbstractMemory, FlagsState, InitState};
 
 /// Which resource of a per-request [`Budget`] ran out.

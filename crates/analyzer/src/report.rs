@@ -2,9 +2,46 @@
 //! paper's result tables (Figs. 7, 8, 14).
 
 use std::fmt;
+use std::time::Duration;
 
 use leakaudit_core::Observer;
 use leakaudit_mpi::Natural;
+
+/// Where one analysis run spent its time, split by pipeline phase.
+///
+/// Instrumentation only: timings are **not** part of result identity —
+/// they never enter cache keys or serialized rows, are zeroed when a
+/// report is decoded from cache, and two bit-identical reports may carry
+/// different timings. On the serial sink pipeline the three phases are a
+/// disjoint wall-clock partition of the run; on the threaded pipeline
+/// `interpret` is the producer's wall time while `replay` and `count`
+/// are CPU time summed across sink threads (the phases overlap).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Abstract interpretation: the scheduler's fixpoint loop (decode,
+    /// transfer functions, merge planning, event emission).
+    pub interpret: Duration,
+    /// Trace replay: sinks consuming events (cursor updates, DAG
+    /// maintenance, projections).
+    pub replay: Duration,
+    /// Final counting: Proposition 2 big-number arithmetic and row
+    /// conversion.
+    pub count: Duration,
+}
+
+impl PhaseTimings {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.interpret + self.replay + self.count
+    }
+
+    /// Accumulates another run's timings into this one.
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.interpret += other.interpret;
+        self.replay += other.replay;
+        self.count += other.count;
+    }
+}
 
 /// Which cache an observer watches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -74,24 +111,42 @@ pub struct LeakRow {
 #[derive(Debug, Clone, Default)]
 pub struct LeakReport {
     rows: Vec<LeakRow>,
+    timings: PhaseTimings,
 }
 
 impl LeakReport {
     pub(crate) fn new(rows: Vec<LeakRow>) -> Self {
-        LeakReport { rows }
+        LeakReport {
+            rows,
+            timings: PhaseTimings::default(),
+        }
+    }
+
+    /// Attaches phase timings (builder style, used by the analysis
+    /// entry points). Timings are informational only — see
+    /// [`PhaseTimings`] for the identity rules.
+    pub(crate) fn with_timings(mut self, timings: PhaseTimings) -> Self {
+        self.timings = timings;
+        self
     }
 
     /// Reassembles a report from rows — the deserialization path of the
     /// sweep service's on-disk result cache. Callers are expected to
     /// provide rows that came out of [`LeakReport::rows`] (same specs,
-    /// same order); nothing is recomputed or checked.
+    /// same order); nothing is recomputed or checked. Timings are zero:
+    /// a cache hit did not run the pipeline.
     pub fn from_rows(rows: Vec<LeakRow>) -> Self {
-        LeakReport { rows }
+        LeakReport::new(rows)
     }
 
     /// All rows.
     pub fn rows(&self) -> &[LeakRow] {
         &self.rows
+    }
+
+    /// Where this run spent its time (zero for cache-decoded reports).
+    pub fn timings(&self) -> PhaseTimings {
+        self.timings
     }
 
     /// The leakage bound in bits for a channel/observer pair.

@@ -52,43 +52,72 @@ struct Config {
     state: crate::state::AbsState,
 }
 
+/// One segment's decode slots: `Some((instruction, length))` once the
+/// byte at that offset has been decoded as an instruction start.
+type DecodeSlots = Vec<Option<(Inst, u32)>>;
+
 /// Memoized instruction decoding, shared across every configuration and
 /// abstract step of one analysis run.
 ///
-/// Program text is small and contiguous (the segment holding the entry
-/// point), so the cache is a **dense vector indexed by pc offset** — a
-/// bounds check and a load in the inner interpreter loop, no hashing.
-/// The rare fetch outside the entry segment (none of the case studies
-/// does this) falls back to uncached decoding, which stays correct.
+/// Program text is small and contiguous per segment, so the cache is a
+/// **dense vector per segment, indexed by pc offset** — a bounds check
+/// and a load in the inner interpreter loop, no hashing. All segments
+/// are covered (a `Program` has no executable flag, and caching a data
+/// segment nobody fetches from costs only its `Option` slots), so
+/// multi-segment programs — the coming crypto families with tables and
+/// code in separate segments — never fall back to uncached decode in
+/// the loop. Fetches outside every segment still decode uncached, which
+/// stays correct (they error inside `decode_at` either way).
 pub(crate) struct DecodeCache {
-    /// Load address of the entry segment.
-    base: u32,
-    /// One slot per byte offset of the entry segment.
-    decoded: Vec<Option<(Inst, u32)>>,
+    /// One `(load address, slots)` dense cache per program segment, in
+    /// segment order.
+    segments: Vec<(u32, DecodeSlots)>,
+    /// Index of the segment the last fetch hit: runs fetch from one
+    /// segment at a time, so the segment scan almost always resolves on
+    /// its first probe.
+    last: usize,
 }
 
 impl DecodeCache {
     pub(crate) fn new(program: &Program) -> Self {
-        let entry = program.entry();
-        let text = program
+        let segments = program
             .segments()
             .iter()
-            .find(|s| s.contains(entry))
-            .map_or((entry, 0), |s| (s.addr, s.bytes.len()));
-        DecodeCache {
-            base: text.0,
-            decoded: vec![None; text.1],
-        }
+            .map(|s| (s.addr, vec![None; s.bytes.len()]))
+            .collect::<Vec<_>>();
+        // Start the hot-segment hint on the segment holding the entry.
+        let entry = program.entry();
+        let last = program
+            .segments()
+            .iter()
+            .position(|s| s.contains(entry))
+            .unwrap_or(0);
+        DecodeCache { segments, last }
+    }
+
+    /// The `(segment index, byte offset)` of `pc`, trying the
+    /// last-fetched segment first.
+    fn locate(&self, pc: u32) -> Option<(usize, usize)> {
+        let probe = |i: usize| {
+            let (base, slots) = self.segments.get(i)?;
+            let off = pc.checked_sub(*base)? as usize;
+            (off < slots.len()).then_some((i, off))
+        };
+        probe(self.last).or_else(|| {
+            (0..self.segments.len())
+                .filter(|&i| i != self.last)
+                .find_map(probe)
+        })
     }
 
     fn decode_at(&mut self, program: &Program, pc: u32) -> Result<(Inst, u32), AnalysisError> {
-        let Some(slot) = pc
-            .checked_sub(self.base)
-            .and_then(|off| self.decoded.get_mut(off as usize))
-        else {
-            // Outside the text segment: decode without caching.
+        let Some((seg, off)) = self.locate(pc) else {
+            // Outside every segment: decode without caching (errors out
+            // with the same diagnostic the cached path would).
             return Ok(program.decode_at(pc)?);
         };
+        self.last = seg;
+        let slot = &mut self.segments[seg].1[off];
         if let Some(hit) = slot {
             return Ok(*hit);
         }
@@ -179,11 +208,11 @@ pub(crate) fn drive(
         steps += 1;
 
         // Instruction fetch: visible to I-cache and shared observers.
-        bus.emit(TraceEvent::Access {
-            config: current.id,
-            kind: AccessKind::Fetch,
-            addresses: ValueSet::constant(u64::from(current.pc), 32),
-        });
+        bus.emit(TraceEvent::access(
+            current.id,
+            AccessKind::Fetch,
+            ValueSet::constant(u64::from(current.pc), 32),
+        ));
 
         let (inst, len) = decode.decode_at(program, current.pc)?;
         let effect = execute_decoded(
@@ -197,11 +226,7 @@ pub(crate) fn drive(
 
         // Data accesses: visible to D-cache and shared observers.
         for addr in effect.data_accesses {
-            bus.emit(TraceEvent::Access {
-                config: current.id,
-                kind: AccessKind::Data,
-                addresses: addr,
-            });
+            bus.emit(TraceEvent::access(current.id, AccessKind::Data, addr));
         }
 
         match effect.next {
@@ -246,4 +271,85 @@ pub(crate) fn drive(
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Analysis, AnalysisConfig, AnalysisInput, InitState};
+    use leakaudit_core::{Observer, ValueSet};
+    use leakaudit_x86::{Asm, Mem, Reg};
+
+    /// A program with code split across two far-apart sections plus a
+    /// data section: entry stub in the low segment, the actual loop in
+    /// a high one, a constant table in between.
+    fn split_program() -> Program {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::Edx, 0u32);
+        a.jmp_near("far");
+        a.section_at(0x4000);
+        a.dd(&[0xdead_beef, 0x1234_5678]);
+        a.section_at(0x9000);
+        a.label("far");
+        a.mov(Reg::Eax, Mem::sib(Reg::Ebx, Reg::Ecx, 8, 0));
+        a.hlt();
+        a.assemble().expect("split program assembles")
+    }
+
+    #[test]
+    fn decode_cache_serves_every_code_segment() {
+        let program = split_program();
+        assert!(program.segments().len() >= 3, "three sections expected");
+        let mut cache = DecodeCache::new(&program);
+
+        // Walk each segment's instruction stream twice — the second
+        // pass reads the populated slots — and pin every cached decode
+        // to the uncached oracle. Data bytes (the 0x4000 section) fail
+        // to decode identically on both paths.
+        for _ in 0..2 {
+            for seg in program.segments() {
+                let mut pc = seg.addr;
+                while seg.contains(pc) {
+                    match program.decode_at(pc) {
+                        Ok(want) => {
+                            let got = cache.decode_at(&program, pc).expect("cached decode");
+                            assert_eq!(got, want, "cached decode at {pc:#x}");
+                            pc = pc.wrapping_add(want.1).max(pc + 1);
+                        }
+                        Err(_) => {
+                            assert!(
+                                cache.decode_at(&program, pc).is_err(),
+                                "cached decode at {pc:#x} must fail like the oracle"
+                            );
+                            pc += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Outside every segment the cache falls through to the oracle.
+        assert!(cache.locate(0x2_0000).is_none());
+        assert!(cache.decode_at(&program, 0x2_0000).is_err());
+    }
+
+    #[test]
+    fn cross_segment_control_flow_analyzes_exactly() {
+        // The entry stub jumps into the high segment, whose
+        // secret-indexed load must come out at the usual 3 bits for
+        // `address()` and 0 for `block(6)` — the decode cache hands the
+        // scheduler instructions from both code segments.
+        let mut init = InitState::new();
+        init.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+        init.set_reg(Reg::Ecx, ValueSet::from_constants(0..8, 32));
+        let report = Analysis::new(AnalysisConfig::default())
+            .run(&AnalysisInput {
+                program: split_program(),
+                init,
+            })
+            .expect("cross-segment analysis converges");
+        assert_eq!(report.dcache_bits(Observer::address()), 3.0);
+        assert_eq!(report.dcache_bits(Observer::block(6)), 0.0);
+        assert_eq!(report.icache_bits(Observer::address()), 0.0);
+    }
 }

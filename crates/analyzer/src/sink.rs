@@ -31,11 +31,14 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use leakaudit_core::{Cursor, MemoKey, ObsSet, Observer, TraceDag, ValueSet};
+use leakaudit_core::{
+    Cursor, MaskedSymbol, MemoKey, ObsSet, Observer, TraceDag, ValueSet, VertexId,
+};
 use leakaudit_mpi::Natural;
 
-use crate::report::{Channel, LeakRow, ObserverSpec};
+use crate::report::{Channel, LeakRow, ObserverSpec, PhaseTimings};
 
 /// FxHash-style multiply-xor hasher (the rustc/Firefox construction):
 /// [`MemoKey`]s are hashed once per trace event per sink, so SipHash's
@@ -96,6 +99,14 @@ impl ConfigId {
     /// allocates ids upward from here; sinks seed their root cursor
     /// under this id.
     pub const ROOT: ConfigId = ConfigId(0);
+
+    /// Build a configuration id from a raw value. External drivers (and the
+    /// replay property tests) use this to synthesise event streams without
+    /// going through the scheduler's allocator; ids only need to be unique
+    /// among the configurations live at any given moment.
+    pub fn from_raw(id: u64) -> ConfigId {
+        ConfigId(id)
+    }
 }
 
 /// Which kind of memory access an [`TraceEvent::Access`] describes.
@@ -120,6 +131,12 @@ impl AccessKind {
 
 /// One scheduler action relevant to trace bookkeeping, in the exact
 /// order the abstract interpretation performed it.
+///
+/// `Access` dwarfs the bookkeeping variants (it carries the address set
+/// inline), but it is also the overwhelming majority of the stream —
+/// boxing it to shrink the enum would buy nothing and cost a heap
+/// allocation per access on the hottest path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum TraceEvent {
     /// Configuration `parent` forked; `child` continues on the taken
@@ -144,7 +161,10 @@ pub enum TraceEvent {
         config: ConfigId,
         /// Fetch or data.
         kind: AccessKind,
-        /// The abstract address set.
+        /// The abstract address set. Its [`MemoKey`] is *not* carried in
+        /// the event — inline keys would double the event size and every
+        /// event is moved through buffers on the hot path; the consuming
+        /// class sinks derive it once per visible event instead.
         addresses: ValueSet,
     },
     /// The configuration reached `hlt`; its frontier joins the final
@@ -155,20 +175,45 @@ pub enum TraceEvent {
     },
 }
 
-/// Per-observer trace bookkeeping fed by the scheduler's event stream.
+impl TraceEvent {
+    /// Builds an [`TraceEvent::Access`].
+    pub fn access(config: ConfigId, kind: AccessKind, addresses: ValueSet) -> Self {
+        TraceEvent::Access {
+            config,
+            kind,
+            addresses,
+        }
+    }
+}
+
+/// Trace bookkeeping for one *equivalence class* of observers fed by the
+/// scheduler's event stream.
 ///
-/// Implementations own whatever state one observer needs (for the paper's
-/// analysis: a [`TraceDag`] plus one cursor per live configuration) and
-/// produce one [`LeakRow`] when the stream ends.
+/// Implementations own whatever state their observers need (for the
+/// paper's analysis: one [`TraceDag`] plus one cursor per live
+/// configuration, per observer) and produce one [`LeakRow`] per served
+/// spec when the stream ends. Most sinks serve a single spec; the class
+/// sink built by [`DagSink::for_class`] serves every spec of one
+/// (channel, offset-bits) class from a shared per-event front end.
 pub trait ObserverSink: Send {
-    /// The channel/observer pair this sink serves.
-    fn spec(&self) -> ObserverSpec;
+    /// The channel/observer pairs this sink serves, in row order.
+    fn specs(&self) -> Vec<ObserverSpec>;
 
     /// Consumes one scheduler event.
     fn absorb(&mut self, event: &TraceEvent);
 
-    /// Finishes the stream: count traces and convert to a leakage bound.
-    fn into_row(self: Box<Self>) -> LeakRow;
+    /// Consumes a batch of events. The default forwards to
+    /// [`ObserverSink::absorb`]; the chunked serial bus calls this so a
+    /// sink's per-chunk setup (if any) runs once per chunk.
+    fn absorb_chunk(&mut self, events: &[TraceEvent]) {
+        for event in events {
+            self.absorb(event);
+        }
+    }
+
+    /// Finishes the stream: count traces and convert to leakage bounds,
+    /// one row per spec, in [`ObserverSink::specs`] order.
+    fn into_rows(self: Box<Self>) -> Vec<LeakRow>;
 }
 
 /// A projection memo shared between the sinks of one analysis pass:
@@ -222,53 +267,55 @@ impl ProjectionMemo {
     }
 }
 
-/// The standard sink: one [`TraceDag`] per observer spec, cursors kept
-/// in a dense table indexed by [`ConfigId`] (ids are allocated
-/// monotonically from zero, so the table stays small and hash-free).
-///
-/// Each sink memoizes [`leakaudit_core::Observer::project_set`] results
-/// per [`MemoKey`]: a projection is computed once per distinct
-/// (value set, observer) pair per run, instead of once per replayed
-/// event — loops re-fetching the same program counters and re-reading
-/// the same address sets hit the cache on every sink. With a shared
-/// [`ProjectionMemo`] attached, a local miss consults (and feeds) the
-/// pass-wide map before computing, so same-granularity sinks project
-/// each distinct set once per *pass*.
-pub struct DagSink {
+/// Associativity of a lane's transition memo: direct-mapped table of
+/// [`TRANS_WAYS`] entries indexed by the low bits of the frontier vertex
+/// id. Hot loops sit on one or a few vertices at a time, so a tiny table
+/// captures nearly all repeats without hashing.
+const TRANS_WAYS: usize = 8;
+
+/// One memoized cursor transition: "at frontier vertex `vertex`, an
+/// access to exactly the address `sym` compares to the vertex label as
+/// `same_unit`". Sound because live vertex labels are immutable and ids
+/// are never reused between compactions (the table is cleared on
+/// compact), and because an equal singleton address implies an equal
+/// projection. Only singleton address sets ([`MemoKey::One`] — the
+/// dominant case: program counters and concrete loads) are memoized:
+/// carrying a full [`MemoKey`] would make the entry 140 bytes and put a
+/// memcpy on every install, while non-singleton sets recompute the
+/// (cheap) comparison directly. The *step* taken (stutter/bump/extend)
+/// is **not** memoized: it also depends on cursor refcounts and child
+/// counts, which [`TraceDag::update_memoized`] reads live.
+#[derive(Clone, Copy)]
+struct TransEntry {
+    vertex: VertexId,
+    sym: MaskedSymbol,
+    same_unit: bool,
+}
+
+/// One observer's replay state inside a [`DagSink`]: its own DAG, its
+/// cursor table (dense, indexed by [`ConfigId`] — ids are allocated
+/// monotonically from zero, so the table stays small and hash-free),
+/// and its private transition memo.
+struct Lane {
     spec: ObserverSpec,
     dag: TraceDag,
     cursors: Vec<Option<Cursor>>,
     finals: Option<Cursor>,
-    proj: HashMap<MemoKey, ObsSet, BuildHasherDefault<FxHasher>>,
-    shared: Option<Arc<ProjectionMemo>>,
+    trans: [Option<TransEntry>; TRANS_WAYS],
 }
 
-impl DagSink {
-    /// Creates the sink with the root cursor owned by `initial`.
-    pub fn new(spec: ObserverSpec, initial: ConfigId) -> Self {
+impl Lane {
+    fn new(spec: ObserverSpec, initial: ConfigId) -> Self {
         let (dag, cursor) = TraceDag::new(spec.observer);
-        let mut sink = DagSink {
+        let mut lane = Lane {
             spec,
             dag,
             cursors: Vec::new(),
             finals: None,
-            proj: HashMap::default(),
-            shared: None,
+            trans: [None; TRANS_WAYS],
         };
-        sink.put(initial, cursor);
-        sink
-    }
-
-    /// Like [`DagSink::new`], but backed by a pass-wide projection memo
-    /// shared with the other sinks of the same analysis.
-    pub fn with_shared_memo(
-        spec: ObserverSpec,
-        initial: ConfigId,
-        memo: Arc<ProjectionMemo>,
-    ) -> Self {
-        let mut sink = DagSink::new(spec, initial);
-        sink.shared = Some(memo);
-        sink
+        lane.put(initial, cursor);
+        lane
     }
 
     fn take(&mut self, id: ConfigId) -> Cursor {
@@ -286,11 +333,71 @@ impl DagSink {
         self.cursors[idx] = Some(cursor);
     }
 
+    fn fork(&mut self, parent: ConfigId, child: ConfigId) {
+        let cloned = {
+            let cur = self.cursors[parent.0 as usize]
+                .as_ref()
+                .expect("cursor present for config");
+            self.dag.clone_cursor(cur)
+        };
+        self.put(child, cloned);
+    }
+
+    fn merge(&mut self, into: ConfigId, from: ConfigId) {
+        let mine = self.take(into);
+        let theirs = self.take(from);
+        let merged = self.dag.merge_cursors(mine, theirs);
+        self.put(into, merged);
+        self.maybe_compact();
+    }
+
+    /// Advances `config`'s cursor by one observation, through the
+    /// transition memo when the frontier is a single vertex (the
+    /// overwhelmingly common shape: straight-line code and loop bodies).
+    fn access(&mut self, config: ConfigId, key: &MemoKey, obs: &ObsSet) {
+        let cur = self.take(config);
+        let cur = match cur.vertices() {
+            &[v] => {
+                let same_unit = match key {
+                    MemoKey::One(sym) => {
+                        let slot = v.index() & (TRANS_WAYS - 1);
+                        match self.trans[slot] {
+                            Some(e) if e.vertex == v && e.sym == *sym => e.same_unit,
+                            _ => {
+                                let same_unit = self.dag.same_unit(v, obs);
+                                self.trans[slot] = Some(TransEntry {
+                                    vertex: v,
+                                    sym: *sym,
+                                    same_unit,
+                                });
+                                same_unit
+                            }
+                        }
+                    }
+                    _ => self.dag.same_unit(v, obs),
+                };
+                self.dag.update_memoized(cur, obs, same_unit)
+            }
+            _ => self.dag.update(cur, obs),
+        };
+        self.put(config, cur);
+    }
+
+    fn retire(&mut self, config: ConfigId) {
+        let cur = self.take(config);
+        self.finals = Some(match self.finals.take() {
+            None => cur,
+            Some(acc) => self.dag.merge_cursors(acc, cur),
+        });
+        self.maybe_compact();
+    }
+
     /// Reclaim dead DAG vertices once they dominate the table. Joins are
     /// the only producer of dead vertices, so this runs after `Merge`
     /// and `Retire` events; fork-heavy runs (defensive copies analyzed
     /// with thousands of joins) otherwise re-scan an ever-growing
-    /// graveyard in every counting pass.
+    /// graveyard in every counting pass. Compaction remaps vertex ids,
+    /// so the transition memo is invalidated wholesale.
     fn maybe_compact(&mut self) {
         const MIN_DEAD: usize = 1024;
         if self.dag.dead_vertices() >= MIN_DEAD
@@ -302,63 +409,11 @@ impl DagSink {
                     .flatten()
                     .chain(self.finals.as_mut()),
             );
-        }
-    }
-}
-
-impl ObserverSink for DagSink {
-    fn spec(&self) -> ObserverSpec {
-        self.spec
-    }
-
-    fn absorb(&mut self, event: &TraceEvent) {
-        match event {
-            TraceEvent::Fork { parent, child } => {
-                let cloned = {
-                    let cur = self.cursors[parent.0 as usize]
-                        .as_ref()
-                        .expect("cursor present for config");
-                    self.dag.clone_cursor(cur)
-                };
-                self.put(*child, cloned);
-            }
-            TraceEvent::Merge { into, from } => {
-                let mine = self.take(*into);
-                let theirs = self.take(*from);
-                let merged = self.dag.merge_cursors(mine, theirs);
-                self.put(*into, merged);
-                self.maybe_compact();
-            }
-            TraceEvent::Access {
-                config,
-                kind,
-                addresses,
-            } => {
-                if kind.visible_to(self.spec.channel) {
-                    let cur = self.take(*config);
-                    let observer = self.dag.observer();
-                    let key = addresses.memo_key();
-                    let shared = &self.shared;
-                    let obs = self.proj.entry(key).or_insert_with(|| match shared {
-                        Some(memo) => memo.project(observer, key, addresses),
-                        None => observer.project_set(addresses),
-                    });
-                    let cur = self.dag.update(cur, obs);
-                    self.put(*config, cur);
-                }
-            }
-            TraceEvent::Retire { config } => {
-                let cur = self.take(*config);
-                self.finals = Some(match self.finals.take() {
-                    None => cur,
-                    Some(acc) => self.dag.merge_cursors(acc, cur),
-                });
-                self.maybe_compact();
-            }
+            self.trans = [None; TRANS_WAYS];
         }
     }
 
-    fn into_row(self: Box<Self>) -> LeakRow {
+    fn into_row(self) -> LeakRow {
         let (count, bits) = match &self.finals {
             Some(cur) => {
                 let n = self.dag.count(cur);
@@ -373,6 +428,153 @@ impl ObserverSink for DagSink {
             count,
             bits,
         }
+    }
+}
+
+/// The standard sink: the replay state of one offset-bits equivalence
+/// class of observers, one [`Lane`] per member spec behind a shared
+/// per-event front end.
+///
+/// Every lane of a class projects addresses identically — projection
+/// depends only on the offset bits; neither the channel (which decides
+/// *visibility*, filtered per lane) nor stuttering (which changes how a
+/// lane's DAG consumes an observation, never the observation itself)
+/// enters it. So the class sink derives the [`MemoKey`] and resolves
+/// the projection **once per event**, then fans the resolved [`ObsSet`]
+/// out to the lanes whose channel sees the access. Grouping by offset
+/// alone (rather than per (channel, offset) pair) matters on the hot
+/// path: a fetch used to be keyed, hashed, and resolved separately by
+/// the instruction-channel and shared-channel sinks of every
+/// granularity; now each granularity pays once. Lanes are *not* merged
+/// into one DAG: stuttering and exact observers build structurally
+/// different DAGs (a stutter keeps the cursor on a vertex an exact
+/// observer would have extended past), so sharing a DAG across them
+/// would change counts.
+///
+/// Projection resolution is two-tiered: the class-local per-[`MemoKey`]
+/// map, and optionally a [`ProjectionMemo`] shared with other sinks of
+/// the same granularity (useful for externally-built sink sets; the
+/// engine's own pipelines hold one sink per granularity and need none),
+/// consulted and fed on local misses.
+pub struct DagSink {
+    lanes: Vec<Lane>,
+    /// Whether any lane sees (fetches, data accesses) — lets the front
+    /// end skip key derivation and projection for invisible kinds.
+    sees: (bool, bool),
+    proj: HashMap<MemoKey, ObsSet, BuildHasherDefault<FxHasher>>,
+    shared: Option<Arc<ProjectionMemo>>,
+}
+
+impl DagSink {
+    /// Creates a single-spec sink with the root cursor owned by
+    /// `initial`.
+    pub fn new(spec: ObserverSpec, initial: ConfigId) -> Self {
+        DagSink::for_class(std::slice::from_ref(&spec), initial, None)
+    }
+
+    /// Like [`DagSink::new`], but backed by a pass-wide projection memo
+    /// shared with the other sinks of the same analysis.
+    pub fn with_shared_memo(
+        spec: ObserverSpec,
+        initial: ConfigId,
+        memo: Arc<ProjectionMemo>,
+    ) -> Self {
+        DagSink::for_class(std::slice::from_ref(&spec), initial, Some(memo))
+    }
+
+    /// Creates one sink serving a whole offset-bits equivalence class,
+    /// one lane per spec in the given row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or the specs disagree on offset bits
+    /// (they would not project identically).
+    pub fn for_class(
+        specs: &[ObserverSpec],
+        initial: ConfigId,
+        shared: Option<Arc<ProjectionMemo>>,
+    ) -> Self {
+        let first = specs.first().expect("class has at least one spec");
+        assert!(
+            specs
+                .iter()
+                .all(|s| s.observer.offset_bits() == first.observer.offset_bits()),
+            "class specs must share offset bits"
+        );
+        DagSink {
+            lanes: specs.iter().map(|&s| Lane::new(s, initial)).collect(),
+            sees: (
+                specs
+                    .iter()
+                    .any(|s| AccessKind::Fetch.visible_to(s.channel)),
+                specs.iter().any(|s| AccessKind::Data.visible_to(s.channel)),
+            ),
+            proj: HashMap::default(),
+            shared,
+        }
+    }
+}
+
+impl ObserverSink for DagSink {
+    fn specs(&self) -> Vec<ObserverSpec> {
+        self.lanes.iter().map(|lane| lane.spec).collect()
+    }
+
+    fn absorb(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Fork { parent, child } => {
+                for lane in &mut self.lanes {
+                    lane.fork(*parent, *child);
+                }
+            }
+            TraceEvent::Merge { into, from } => {
+                for lane in &mut self.lanes {
+                    lane.merge(*into, *from);
+                }
+            }
+            TraceEvent::Access {
+                config,
+                kind,
+                addresses,
+            } => {
+                // The memo key is derived and the projection resolved
+                // once per class; all lanes project identically, so
+                // lane 0's observer stands in for the class. The
+                // observation is *borrowed* out of the projection map
+                // for the lane fan-out — cloning it per event would
+                // put an allocation on the hottest path for every
+                // multi-element address set. Visibility is a per-lane
+                // channel filter.
+                let visible = match kind {
+                    AccessKind::Fetch => self.sees.0,
+                    AccessKind::Data => self.sees.1,
+                };
+                if !visible {
+                    return;
+                }
+                let key = addresses.memo_key();
+                let observer = self.lanes[0].dag.observer();
+                let shared = &self.shared;
+                let obs = self.proj.entry(key).or_insert_with(|| match shared {
+                    Some(memo) => memo.project(observer, key, addresses),
+                    None => observer.project_set(addresses),
+                });
+                for lane in &mut self.lanes {
+                    if kind.visible_to(lane.spec.channel) {
+                        lane.access(*config, &key, obs);
+                    }
+                }
+            }
+            TraceEvent::Retire { config } => {
+                for lane in &mut self.lanes {
+                    lane.retire(*config);
+                }
+            }
+        }
+    }
+
+    fn into_rows(self: Box<Self>) -> Vec<LeakRow> {
+        self.lanes.into_iter().map(Lane::into_row).collect()
     }
 }
 
@@ -434,13 +636,14 @@ impl SinkTuning {
 }
 
 /// Runs a set of sinks against the event stream produced by `drive`,
-/// with default [`SinkTuning`]. See [`run_pipeline_with`].
+/// with default [`SinkTuning`], discarding phase timings. See
+/// [`run_pipeline_with`].
 pub fn run_pipeline<E>(
     sinks: Vec<Box<dyn ObserverSink>>,
     parallel: bool,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
 ) -> Result<Vec<LeakRow>, E> {
-    run_pipeline_with(sinks, parallel, SinkTuning::default(), drive)
+    run_pipeline_with(sinks, parallel, SinkTuning::default(), drive).map(|(rows, _)| rows)
 }
 
 /// Runs a set of sinks against the event stream produced by `drive`.
@@ -452,36 +655,89 @@ pub fn run_pipeline<E>(
 /// bookkeeping overlap, and the expensive final counting (big-number
 /// arithmetic per Proposition 2) runs concurrently across observers.
 ///
-/// Row order in the result matches sink order. If `drive` errors, the
-/// partial rows are discarded and the error is returned.
+/// Row order in the result is sink order, flattened over each sink's
+/// [`ObserverSink::specs`]. If `drive` errors, the partial rows are
+/// discarded and the error is returned.
+///
+/// The returned [`PhaseTimings`] split the run into interpretation
+/// (scheduler fixpoint), replay (sink event consumption), and counting
+/// (Proposition 2 arithmetic). On the serial path the three are a
+/// disjoint wall-clock partition; on the threaded path `interpret` is
+/// the producer's wall time while `replay`/`count` are CPU time summed
+/// across sink threads (the phases overlap by design).
 pub fn run_pipeline_with<E>(
     sinks: Vec<Box<dyn ObserverSink>>,
     parallel: bool,
     tuning: SinkTuning,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
-) -> Result<Vec<LeakRow>, E> {
+) -> Result<(Vec<LeakRow>, PhaseTimings), E> {
     // With too few hardware threads the consumer threads cannot overlap
     // with the scheduler; the channel traffic would be pure overhead.
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let parallel = parallel && cores >= tuning.min_cores;
     if sinks.len() <= 1 || !parallel {
-        let mut bus = SerialBus { sinks };
-        drive(&mut bus).map(|()| bus.sinks.into_iter().map(ObserverSink::into_row).collect())
+        // Chunked even in serial mode: buffering `chunk` events and
+        // looping sinks over the batch keeps each sink's working set hot
+        // per chunk, and needs only two clock reads per (chunk, sink)
+        // instead of per event to attribute replay time.
+        let (chunk, _) = tuning.resolve(cores);
+        let mut bus = SerialBus {
+            sinks,
+            buffer: Vec::with_capacity(chunk),
+            chunk,
+            replay: Duration::ZERO,
+        };
+        let started = Instant::now();
+        drive(&mut bus).map(|()| {
+            bus.flush();
+            let interpret = started.elapsed().saturating_sub(bus.replay);
+            let counting = Instant::now();
+            let rows: Vec<LeakRow> = bus
+                .sinks
+                .into_iter()
+                .flat_map(ObserverSink::into_rows)
+                .collect();
+            let timings = PhaseTimings {
+                interpret,
+                replay: bus.replay,
+                count: counting.elapsed(),
+            };
+            (rows, timings)
+        })
     } else {
         let (chunk, queue) = tuning.resolve(cores);
         run_threaded(sinks, chunk, queue, drive)
     }
 }
 
-/// Serial fallback: events are applied to every sink inline.
+/// Serial fallback: events are buffered and applied to every sink in
+/// chunk-sized batches (see [`run_pipeline_with`] for why).
 struct SerialBus {
     sinks: Vec<Box<dyn ObserverSink>>,
+    buffer: Vec<TraceEvent>,
+    chunk: usize,
+    replay: Duration,
+}
+
+impl SerialBus {
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        for sink in &mut self.sinks {
+            sink.absorb_chunk(&self.buffer);
+        }
+        self.replay += started.elapsed();
+        self.buffer.clear();
+    }
 }
 
 impl EventBus for SerialBus {
     fn emit(&mut self, event: TraceEvent) {
-        for sink in &mut self.sinks {
-            sink.absorb(&event);
+        self.buffer.push(event);
+        if self.buffer.len() >= self.chunk {
+            self.flush();
         }
     }
 }
@@ -494,7 +750,7 @@ fn run_threaded<E>(
     chunk: usize,
     queue: usize,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
-) -> Result<Vec<LeakRow>, E> {
+) -> Result<(Vec<LeakRow>, PhaseTimings), E> {
     std::thread::scope(|scope| {
         let aborted = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let mut txs = Vec::with_capacity(sinks.len());
@@ -504,24 +760,32 @@ fn run_threaded<E>(
             txs.push(tx);
             let aborted = Arc::clone(&aborted);
             handles.push(scope.spawn(move || {
+                let mut replay = Duration::ZERO;
                 while let Ok(chunk) = rx.recv() {
                     if aborted.load(std::sync::atomic::Ordering::Relaxed) {
                         break;
                     }
-                    for event in chunk.iter() {
-                        sink.absorb(event);
-                    }
+                    let started = Instant::now();
+                    sink.absorb_chunk(&chunk);
+                    replay += started.elapsed();
                 }
                 if aborted.load(std::sync::atomic::Ordering::Relaxed) {
                     // The driver failed: rows are discarded, so skip the
                     // (possibly expensive) final counting.
-                    LeakRow {
-                        spec: sink.spec(),
-                        count: Natural::zero(),
-                        bits: 0.0,
-                    }
+                    let rows = sink
+                        .specs()
+                        .into_iter()
+                        .map(|spec| LeakRow {
+                            spec,
+                            count: Natural::zero(),
+                            bits: 0.0,
+                        })
+                        .collect::<Vec<_>>();
+                    (rows, replay, Duration::ZERO)
                 } else {
-                    sink.into_row()
+                    let counting = Instant::now();
+                    let rows = sink.into_rows();
+                    (rows, replay, counting.elapsed())
                 }
             }));
         }
@@ -531,7 +795,9 @@ fn run_threaded<E>(
             chunk,
             txs,
         };
+        let started = Instant::now();
         let outcome = drive(&mut bus);
+        let interpret = started.elapsed();
         if outcome.is_ok() {
             bus.flush();
         } else {
@@ -539,11 +805,18 @@ fn run_threaded<E>(
         }
         drop(bus); // close channels so consumers finish
 
-        let rows: Vec<LeakRow> = handles
-            .into_iter()
-            .map(|h| h.join().expect("sink thread panicked"))
-            .collect();
-        outcome.map(|()| rows)
+        let mut rows = Vec::new();
+        let mut timings = PhaseTimings {
+            interpret,
+            ..PhaseTimings::default()
+        };
+        for handle in handles {
+            let (sink_rows, replay, count) = handle.join().expect("sink thread panicked");
+            rows.extend(sink_rows);
+            timings.replay += replay;
+            timings.count += count;
+        }
+        outcome.map(|()| (rows, timings))
     })
 }
 
@@ -591,32 +864,24 @@ mod tests {
     fn example9_events(bus: &mut dyn EventBus) -> Result<(), std::convert::Infallible> {
         let (main, taken) = (ConfigId(0), ConfigId(1));
         for pc in [0x41a90u64, 0x41a97, 0x41a99] {
-            bus.emit(TraceEvent::Access {
-                config: main,
-                kind: AccessKind::Fetch,
-                addresses: consts(&[pc]),
-            });
+            bus.emit(TraceEvent::access(main, AccessKind::Fetch, consts(&[pc])));
         }
         bus.emit(TraceEvent::Fork {
             parent: main,
             child: taken,
         });
         for pc in [0x41a9bu64, 0x41a9d, 0x41a9f] {
-            bus.emit(TraceEvent::Access {
-                config: main,
-                kind: AccessKind::Fetch,
-                addresses: consts(&[pc]),
-            });
+            bus.emit(TraceEvent::access(main, AccessKind::Fetch, consts(&[pc])));
         }
         bus.emit(TraceEvent::Merge {
             into: main,
             from: taken,
         });
-        bus.emit(TraceEvent::Access {
-            config: main,
-            kind: AccessKind::Fetch,
-            addresses: consts(&[0x41aa1]),
-        });
+        bus.emit(TraceEvent::access(
+            main,
+            AccessKind::Fetch,
+            consts(&[0x41aa1]),
+        ));
         bus.emit(TraceEvent::Retire { config: main });
         Ok(())
     }
@@ -664,6 +929,39 @@ mod tests {
     }
 
     #[test]
+    fn class_sink_matches_solo_sinks_bit_for_bit() {
+        let specs = [
+            ObserverSpec {
+                channel: Channel::Instruction,
+                observer: Observer::block(6),
+            },
+            ObserverSpec {
+                channel: Channel::Instruction,
+                observer: Observer::block(6).stuttering(),
+            },
+        ];
+        let solo: Vec<LeakRow> = specs
+            .iter()
+            .map(|&spec| {
+                let sinks: Vec<Box<dyn ObserverSink>> =
+                    vec![Box::new(DagSink::new(spec, ConfigId(0)))];
+                run_pipeline(sinks, false, example9_events)
+                    .unwrap()
+                    .remove(0)
+            })
+            .collect();
+        let class: Vec<Box<dyn ObserverSink>> =
+            vec![Box::new(DagSink::for_class(&specs, ConfigId(0), None))];
+        let grouped = run_pipeline(class, false, example9_events).unwrap();
+        assert_eq!(grouped.len(), specs.len(), "one row per lane");
+        for (s, g) in solo.iter().zip(&grouped) {
+            assert_eq!(s.spec, g.spec);
+            assert_eq!(s.count, g.count);
+            assert_eq!(s.bits.to_bits(), g.bits.to_bits());
+        }
+    }
+
+    #[test]
     fn tuning_resolution_prefers_explicit_values() {
         let auto = SinkTuning::default();
         assert_eq!(auto.resolve(8), (1024, 64), "multicore keeps old sizing");
@@ -701,7 +999,8 @@ mod tests {
                 .iter()
                 .map(|&spec| Box::new(DagSink::new(spec, ConfigId(0))) as Box<dyn ObserverSink>)
                 .collect();
-            run_pipeline_with(sinks, true, tuning, example9_events).unwrap()
+            let (rows, _) = run_pipeline_with(sinks, true, tuning, example9_events).unwrap();
+            rows
         };
         // A chunk of 1 with a queue of 1 maximizes channel traffic and
         // backpressure stalls — rows must still be bit-identical.
@@ -748,11 +1047,11 @@ mod tests {
         };
         let sinks: Vec<Box<dyn ObserverSink>> = vec![Box::new(DagSink::new(spec, ConfigId(0)))];
         let err = run_pipeline(sinks, true, |bus| {
-            bus.emit(TraceEvent::Access {
-                config: ConfigId(0),
-                kind: AccessKind::Data,
-                addresses: consts(&[0x10]),
-            });
+            bus.emit(TraceEvent::access(
+                ConfigId(0),
+                AccessKind::Data,
+                consts(&[0x10]),
+            ));
             Err("boom")
         })
         .unwrap_err();

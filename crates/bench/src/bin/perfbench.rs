@@ -19,9 +19,16 @@
 //! * `--baseline FILE`: embed a previous perfbench report as the
 //!   `baseline` field and compute `speedup_vs_baseline`.
 //!
-//! JSON schema (`leakaudit-perfbench/v5` — v4 plus the
-//! interpretation-group metric): `label`, `iters`, `warmup`,
-//! `threads`, `scenarios_ms` (name → median ms), `total_sequential_ms`
+//! JSON schema (`leakaudit-perfbench/v6` — v5 plus the host
+//! calibration number and per-scenario phase timings): `label`,
+//! `iters`, `warmup`, `threads`, `host_calib_ms` (median wall time of
+//! a fixed synthetic integer workload — identical instructions on every
+//! PR and build, so reports recorded on different boots can be
+//! normalized by this number instead of re-documenting machine shifts),
+//! `scenarios_ms` (name → median ms), `scenario_phases_ms` (name →
+//! `{interpret, replay, count}` in ms for the last timed iteration:
+//! where each scenario's milliseconds went — scheduler fixpoint, sink
+//! replay, or Proposition 2 counting), `total_sequential_ms`
 //! (sum of per-scenario medians), `batch_all_8_ms` (median wall time
 //! of the 8-scenario parallel batch), `sweep_cells` (size of the
 //! default registry matrix), `sweep_cold_ms` (median wall time of a
@@ -48,6 +55,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use leakaudit_analyzer::PhaseTimings;
 use leakaudit_cache::Policy;
 use leakaudit_scenarios::{analyze_all, Registry, Scenario};
 use leakaudit_service::{Daemon, Json, SweepEngine};
@@ -65,7 +73,7 @@ fn parse_args() -> Args {
         iters: 7,
         warmup: 2,
         label: String::from("perfbench"),
-        out: Some(String::from("BENCH_6.json")),
+        out: Some(String::from("BENCH_7.json")),
         baseline: None,
     };
     let mut it = std::env::args().skip(1);
@@ -140,6 +148,40 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// A fixed synthetic calibration workload: 2×10⁷ xorshift64 steps of
+/// pure register arithmetic — no allocation, no analyzer code, the same
+/// instruction stream on every PR and every build. Its median wall time
+/// is recorded as `host_calib_ms` in every report so numbers from
+/// different boots can be normalized (`metric / host_calib`) instead of
+/// hand-annotating machine shifts in the roadmap.
+fn host_calibration_ms() -> f64 {
+    fn spin() -> u64 {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut acc = 0u64;
+        for _ in 0..20_000_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        acc
+    }
+    median_ms(
+        (0..5)
+            .map(|_| {
+                let started = Instant::now();
+                std::hint::black_box(spin());
+                started.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    )
+}
+
+/// Milliseconds of one phase duration, for report fields.
+fn phase_ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
 fn main() {
     let args = parse_args();
     let scenarios: Vec<Scenario> = leakaudit_scenarios::all();
@@ -153,13 +195,28 @@ fn main() {
         threads
     );
 
+    let host_calib_ms = host_calibration_ms();
+    println!(
+        "  {:<42} {:>9.2} ms",
+        "host_calib (synthetic)", host_calib_ms
+    );
+
     let mut scenario_ms: Vec<(&str, f64)> = Vec::new();
+    let mut scenario_phases: Vec<(&str, PhaseTimings)> = Vec::new();
     for s in &scenarios {
+        let mut phases = PhaseTimings::default();
         let ms = measure(args.iters, args.warmup, || {
-            s.analyze().expect("analysis converges");
+            phases = s.analyze().expect("analysis converges").timings();
         });
         println!("  {:<42} {:>9.2} ms", s.name, ms);
+        println!(
+            "      phases: interpret {:.2} ms | replay {:.2} ms | count {:.2} ms",
+            phase_ms(phases.interpret),
+            phase_ms(phases.replay),
+            phase_ms(phases.count),
+        );
         scenario_ms.push((s.name.as_str(), ms));
+        scenario_phases.push((s.name.as_str(), phases));
     }
     let total_sequential: f64 = scenario_ms.iter().map(|(_, ms)| ms).sum();
 
@@ -334,15 +391,32 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v5\",");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v6\",");
     let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"host_calib_ms\": {host_calib_ms:.3},");
     let _ = writeln!(json, "  \"scenarios_ms\": {{");
     for (i, (name, ms)) in scenario_ms.iter().enumerate() {
         let comma = if i + 1 < scenario_ms.len() { "," } else { "" };
         let _ = writeln!(json, "    \"{name}\": {ms:.3}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"scenario_phases_ms\": {{");
+    for (i, (name, phases)) in scenario_phases.iter().enumerate() {
+        let comma = if i + 1 < scenario_phases.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"interpret\": {:.3}, \"replay\": {:.3}, \"count\": {:.3}}}{comma}",
+            phase_ms(phases.interpret),
+            phase_ms(phases.replay),
+            phase_ms(phases.count),
+        );
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"total_sequential_ms\": {total_sequential:.3},");

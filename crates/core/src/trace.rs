@@ -20,7 +20,6 @@
 //! repetition bumps are only sound for exclusively-owned vertices.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeSet;
 use std::fmt;
 
 use leakaudit_mpi::Natural;
@@ -58,8 +57,12 @@ pub enum Label {
 enum Reps {
     /// Exactly one possible repetition count.
     One(u64),
-    /// Several possible counts (canonical: never one).
-    Many(BTreeSet<u64>),
+    /// Several possible counts (canonical: sorted, deduplicated, and
+    /// never a singleton). A sorted `Vec` beats a `BTreeSet` here: the
+    /// sets are tiny (one entry per distinct trip count that merged),
+    /// and the hot operation is [`Reps::bump`], which only shifts every
+    /// element — in place for a `Vec`, a full rebuild for a tree.
+    Many(Vec<u64>),
 }
 
 impl Reps {
@@ -76,36 +79,35 @@ impl Reps {
     }
 
     /// Adds 1 to every possible count (one more repetition observed).
+    /// Shifting preserves sortedness and distinctness, so this never
+    /// re-canonicalizes.
     fn bump(&mut self) {
         match self {
             Reps::One(r) => *r += 1,
-            Reps::Many(s) => *s = s.iter().map(|r| r + 1).collect(),
+            Reps::Many(v) => {
+                for r in v {
+                    *r += 1;
+                }
+            }
         }
     }
 
     /// Unions another repetition set in (sibling merge, §6.4 join rule).
     fn extend_from(&mut self, other: &Reps) {
-        let mut set = match std::mem::replace(self, Reps::One(0)) {
-            Reps::One(r) => BTreeSet::from([r]),
-            Reps::Many(s) => s,
-        };
-        match other {
-            Reps::One(r) => {
-                set.insert(*r);
-            }
-            Reps::Many(s) => set.extend(s.iter().copied()),
-        }
-        *self = if set.len() == 1 {
-            Reps::One(set.into_iter().next().expect("len checked"))
+        let mut v: Vec<u64> = self.iter().chain(other.iter()).collect();
+        v.sort_unstable();
+        v.dedup();
+        *self = if v.len() == 1 {
+            Reps::One(v[0])
         } else {
-            Reps::Many(set)
+            Reps::Many(v)
         };
     }
 
     fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         let (one, many) = match self {
             Reps::One(r) => (Some(*r), None),
-            Reps::Many(s) => (None, Some(s.iter().copied())),
+            Reps::Many(v) => (None, Some(v.iter().copied())),
         };
         one.into_iter().chain(many.into_iter().flatten())
     }
@@ -215,6 +217,110 @@ struct Vertex {
     dead: bool,
 }
 
+/// Log2 of the vertex-arena chunk size.
+const ARENA_SHIFT: u32 = 10;
+/// Vertices per arena chunk (power of two: indexing is shift + mask).
+const ARENA_CHUNK: usize = 1 << ARENA_SHIFT;
+
+/// Append-only chunked vertex table.
+///
+/// A flat `Vec<Vertex>` spends a measurable slice of heavy-scenario
+/// replay inside `realloc`: tens of thousands of ~100-byte vertices per
+/// lane get memcpy'd again at every capacity doubling. Fixed-size
+/// chunks never move a vertex once written — push is amortized O(1)
+/// with no relocation and indexing is a shift and a mask. Only the
+/// first chunk grows by doubling (up to the chunk size), so tiny DAGs
+/// allocate nothing beyond what a `Vec` would.
+///
+/// Invariant: every chunk except the last holds exactly
+/// [`ARENA_CHUNK`] vertices, so index `i` lives in chunk
+/// `i >> ARENA_SHIFT` at slot `i & (ARENA_CHUNK - 1)`.
+#[derive(Debug)]
+struct VertexArena {
+    chunks: Vec<Vec<Vertex>>,
+    len: usize,
+}
+
+impl VertexArena {
+    fn new(root: Vertex) -> Self {
+        VertexArena {
+            chunks: vec![vec![root]],
+            len: 1,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn push(&mut self, v: Vertex) {
+        let last = self
+            .chunks
+            .last_mut()
+            .expect("arena has at least one chunk");
+        if last.len() < last.capacity() {
+            last.push(v);
+        } else {
+            self.push_grow(v);
+        }
+        self.len += 1;
+    }
+
+    /// Out-of-line growth: double the first chunk (up to the chunk
+    /// size), then open a fresh full-size chunk.
+    #[cold]
+    fn push_grow(&mut self, v: Vertex) {
+        let last = self
+            .chunks
+            .last_mut()
+            .expect("arena has at least one chunk");
+        if last.len() < ARENA_CHUNK {
+            last.push(v);
+        } else {
+            let mut chunk = Vec::with_capacity(ARENA_CHUNK);
+            chunk.push(v);
+            self.chunks.push(chunk);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Vertex> {
+        self.chunks.iter().flatten()
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = &mut Vertex> {
+        self.chunks.iter_mut().flatten()
+    }
+
+    /// Drops dead vertices, sliding the live ones down in order (the
+    /// arena analogue of `Vec::retain`).
+    fn retain_live(&mut self) {
+        let old = std::mem::take(&mut self.chunks);
+        self.len = 0;
+        self.chunks.push(Vec::new());
+        for v in old.into_iter().flatten() {
+            if !v.dead {
+                self.push(v);
+            }
+        }
+    }
+}
+
+impl std::ops::Index<usize> for VertexArena {
+    type Output = Vertex;
+    #[inline]
+    fn index(&self, i: usize) -> &Vertex {
+        &self.chunks[i >> ARENA_SHIFT][i & (ARENA_CHUNK - 1)]
+    }
+}
+
+impl std::ops::IndexMut<usize> for VertexArena {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut Vertex {
+        &mut self.chunks[i >> ARENA_SHIFT][i & (ARENA_CHUNK - 1)]
+    }
+}
+
 /// The frontier of one abstract execution path in a [`TraceDag`].
 ///
 /// Holds one or more vertices when joins are pending (delayed-join
@@ -247,7 +353,7 @@ impl Cursor {
 #[derive(Debug)]
 pub struct TraceDag {
     observer: Observer,
-    vertices: Vec<Vertex>,
+    vertices: VertexArena,
     root: VertexId,
     /// Number of currently dead (unreclaimed) vertices.
     dead_count: usize,
@@ -273,7 +379,7 @@ impl TraceDag {
         };
         let dag = TraceDag {
             observer,
-            vertices: vec![root],
+            vertices: VertexArena::new(root),
             root: VertexId(0),
             dead_count: 0,
             memo: RefCell::new(Vec::new()),
@@ -327,7 +433,7 @@ impl TraceDag {
         }
         let mut remap: Vec<Option<VertexId>> = Vec::with_capacity(self.vertices.len());
         let mut next = 0u32;
-        for v in &self.vertices {
+        for v in self.vertices.iter() {
             if v.dead {
                 remap.push(None);
             } else {
@@ -336,8 +442,8 @@ impl TraceDag {
             }
         }
         let map = |id: VertexId| remap[id.index()].expect("compact: edge to a dead vertex");
-        self.vertices.retain(|v| !v.dead);
-        for v in &mut self.vertices {
+        self.vertices.retain_live();
+        for v in self.vertices.iter_mut() {
             v.preds = match &v.preds {
                 Preds::None => Preds::None,
                 Preds::One(p) => Preds::One(map(*p)),
@@ -410,24 +516,72 @@ impl TraceDag {
         // case (straight-line code between forks). Reuses the cursor's
         // vertex buffer and allocates at most the one new vertex.
         if let [v] = c.verts[..] {
-            match self.classify(v, obs) {
-                Step::Stutter => return c,
-                Step::Bump => {
-                    self.vertices[v.index()].reps.bump();
-                    self.touch(v);
-                    return c;
-                }
-                Step::Extend => {
-                    let mut verts = c.verts;
-                    self.vertices[v.index()].cursor_refs -= 1;
-                    self.vertices[v.index()].children += 1;
-                    let child = self.push_vertex(Label::Obs(obs.clone()), Preds::One(v), 1);
-                    verts[0] = child;
-                    return Cursor { verts };
-                }
+            let same_unit = self.same_unit(v, obs);
+            return self.update_singleton(c, v, obs, same_unit);
+        }
+        self.update_frontier(c, obs)
+    }
+
+    /// Whether `obs` denotes exactly the unit of `v`'s label — the
+    /// label-comparison half of the transition classification. The
+    /// answer depends only on the (immutable) label of a live vertex
+    /// and on `obs`, so the analyzer's sinks memoize it per
+    /// `(frontier vertex, address-set key)` pair and replay hot loop
+    /// bodies without re-deriving it (see `update_memoized`).
+    pub fn same_unit(&self, v: VertexId, obs: &ObsSet) -> bool {
+        obs.is_singleton() && matches!(&self.vertices[v.index()].label, Label::Obs(o) if o == obs)
+    }
+
+    /// [`TraceDag::update`] with the `same_unit` comparison supplied by
+    /// the caller's transition memo instead of recomputed. The memoized
+    /// answer is only valid for a **singleton** frontier whose vertex
+    /// survived since the memo entry was recorded (vertex ids are never
+    /// reused between compactions, so any live id qualifies); callers
+    /// with a multi-vertex frontier must take [`TraceDag::update`].
+    ///
+    /// Every mutation goes through the same code path as the
+    /// unmemoized update, so a memo hit is bit-identical by
+    /// construction — the debug assertion pins the remaining input.
+    pub fn update_memoized(&mut self, c: Cursor, obs: &ObsSet, same_unit: bool) -> Cursor {
+        debug_assert_eq!(
+            c.verts.len(),
+            1,
+            "memoized transitions are singleton-frontier"
+        );
+        let v = c.verts[0];
+        debug_assert_eq!(same_unit, self.same_unit(v, obs), "stale transition memo");
+        self.update_singleton(c, v, obs, same_unit)
+    }
+
+    /// The singleton-frontier update: classification (from the supplied
+    /// label comparison plus the live exclusivity state) and mutation.
+    fn update_singleton(
+        &mut self,
+        c: Cursor,
+        v: VertexId,
+        obs: &ObsSet,
+        same_unit: bool,
+    ) -> Cursor {
+        match self.step_for(v, same_unit) {
+            Step::Stutter => c,
+            Step::Bump => {
+                self.vertices[v.index()].reps.bump();
+                self.touch(v);
+                c
+            }
+            Step::Extend => {
+                let mut verts = c.verts;
+                self.vertices[v.index()].cursor_refs -= 1;
+                self.vertices[v.index()].children += 1;
+                let child = self.push_vertex(Label::Obs(obs.clone()), Preds::One(v), 1);
+                verts[0] = child;
+                Cursor { verts }
             }
         }
+    }
 
+    /// The general (multi-vertex frontier) update path.
+    fn update_frontier(&mut self, c: Cursor, obs: &ObsSet) -> Cursor {
         let mut stuttered: Vec<VertexId> = Vec::new();
         let mut pending: Vec<VertexId> = Vec::new();
         for v in c.verts {
@@ -480,20 +634,28 @@ impl TraceDag {
 
     /// How one frontier vertex reacts to an access labeled `obs`.
     fn classify(&self, v: VertexId, obs: &ObsSet) -> Step {
-        let vert = &self.vertices[v.index()];
-        let same_unit = obs.is_singleton() && matches!(&vert.label, Label::Obs(o) if o == obs);
+        self.step_for(v, self.same_unit(v, obs))
+    }
+
+    /// The classification given the (possibly memoized) label
+    /// comparison. Exclusivity is always read live: `cursor_refs` and
+    /// `children` change as paths fork and extend, so only the label
+    /// half of the decision is cacheable.
+    fn step_for(&self, v: VertexId, same_unit: bool) -> Step {
         if same_unit && self.observer.is_stuttering() {
             return Step::Stutter;
         }
         // In-place repetition bump is sound only when the label denotes
         // a *single* masked observation (a true repetition of the same
         // address unit) and no other path shares or extends this vertex.
+        let vert = &self.vertices[v.index()];
         if same_unit && vert.cursor_refs == 1 && vert.children == 0 {
             return Step::Bump;
         }
         Step::Extend
     }
 
+    #[inline]
     fn push_vertex(&mut self, label: Label, preds: Preds, cursor_refs: u32) -> VertexId {
         let id = VertexId(self.vertices.len() as u32);
         self.vertices.push(Vertex {
@@ -568,6 +730,8 @@ impl TraceDag {
     pub fn count(&self, c: &Cursor) -> Natural {
         let mut memo = self.memo.borrow_mut();
         memo.truncate(self.memo_floor.get());
+        let missing = self.vertices.len() - memo.len();
+        memo.reserve(missing);
         for i in memo.len()..self.vertices.len() {
             let v = &self.vertices[i];
             if v.dead {
@@ -598,7 +762,14 @@ impl TraceDag {
                     None => Cnt::Big(o.count()),
                 },
             };
-            memo.push(preds_sum.mul_u64(rep_factor).mul(&label_factor));
+            // The dominant zero-leak shape — single-count vertex, single
+            // observation — multiplies by 1 twice; skip both.
+            let entry = match (rep_factor, &label_factor) {
+                (1, Cnt::Small(1)) => preds_sum,
+                (1, _) => preds_sum.mul(&label_factor),
+                _ => preds_sum.mul_u64(rep_factor).mul(&label_factor),
+            };
+            memo.push(entry);
         }
         self.memo_floor.set(self.vertices.len());
         let mut total = Cnt::Small(0);

@@ -531,6 +531,25 @@ impl Daemon {
                     ("in_flight", Json::num(self.engine.in_flight_jobs() as u64)),
                 ]),
             ),
+            (
+                // Daemon-lifetime phase-time counters (microseconds):
+                // where analysis time went across every computed cell.
+                // Cache hits don't run the pipeline and contribute
+                // nothing — warm daemons show flat counters.
+                "timings",
+                {
+                    let totals = self.engine.phase_totals();
+                    Json::obj([
+                        ("analyzed", Json::num(totals.runs)),
+                        (
+                            "interpret_us",
+                            Json::num(totals.interpret.as_micros() as u64),
+                        ),
+                        ("replay_us", Json::num(totals.replay.as_micros() as u64)),
+                        ("count_us", Json::num(totals.count.as_micros() as u64)),
+                    ])
+                },
+            ),
             ("workers", Json::num(self.engine.workers() as u64)),
         ])
     }
@@ -829,6 +848,16 @@ mod tests {
         let cache = stats.get("cache").unwrap();
         assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("jobs").and_then(Json::as_u64), Some(1));
+
+        // Phase-timing counters: the computed sweep ran the pipeline, so
+        // exactly one analysis contributed and some phase is nonzero.
+        let timings = stats.get("timings").unwrap();
+        assert_eq!(timings.get("analyzed").and_then(Json::as_u64), Some(1));
+        let phase_us: u64 = ["interpret_us", "replay_us", "count_us"]
+            .iter()
+            .map(|k| timings.get(k).and_then(Json::as_u64).unwrap())
+            .sum();
+        assert!(phase_us > 0, "computed cell leaves nonzero phase time");
 
         assert!(!d.is_shutdown());
         let bye = Json::parse(&d.handle_line(r#"{"op":"shutdown"}"#)).unwrap();

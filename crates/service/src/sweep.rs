@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use leakaudit_analyzer::{
     AnalysisConfig, AnalysisError, BatchTicket, Budget, Executor, LeakReport, OwnedJob,
-    ProgressProbe,
+    PhaseTotals, ProgressProbe,
 };
 use leakaudit_cache::{CacheConfig, CycleModel, Hierarchy, Policy};
 use leakaudit_scenarios::{Registry, Scenario, ScenarioSpec};
@@ -501,6 +501,15 @@ impl SweepEngine {
     /// spawned).
     pub fn in_flight_jobs(&self) -> usize {
         self.executor.get().map_or(0, Executor::in_flight)
+    }
+
+    /// Cumulative interpret/replay/count phase time across every
+    /// analysis this engine's executor completed (zero when the pool
+    /// was never spawned; cache hits contribute nothing).
+    pub fn phase_totals(&self) -> PhaseTotals {
+        self.executor
+            .get()
+            .map_or_else(PhaseTotals::default, Executor::phase_totals)
     }
 
     /// Answers one cell (a "single query" against the service).

@@ -181,6 +181,61 @@ fn mixed_interpretations_split_groups_but_not_results() {
 }
 
 #[test]
+fn phase_timings_ride_along_without_touching_identity() {
+    use leakaudit_analyzer::PhaseTimings;
+    use std::time::Duration;
+
+    // A computed cell's report carries a real phase split: interpret is
+    // the scheduler's wall time and is never zero for a real binary.
+    let sa = ScenarioSpec::new(FamilyParams::SquareAlways { opt: Opt::O2 }, 6);
+    let engine = SweepEngine::new();
+    let cold = engine.query(&sa);
+    assert_eq!(cold.provenance, Provenance::Computed);
+    let timings = cold.result.as_ref().unwrap().timings();
+    assert!(timings.interpret > Duration::ZERO);
+    assert!(timings.total() >= timings.interpret);
+
+    // The executor folds the same run into its lifetime totals.
+    let totals = engine.phase_totals();
+    assert_eq!(totals.runs, 1);
+    assert!(totals.interpret + totals.replay + totals.count > Duration::ZERO);
+
+    // None of it is part of result identity: an independent engine's run
+    // of the same cell has its own wall-clock split, yet every wire row
+    // matches the first run byte for byte.
+    let rerun = SweepEngine::new().query(&sa);
+    assert_eq!(rendered_rows(&rerun), rendered_rows(&cold));
+
+    // Warm hits share the cold report Arc, timings included; shared-pass
+    // members view the pass through a demuxed report whose split is
+    // zero — a view did not pay for the pass. The lead's pass is still
+    // accounted once in the executor totals.
+    let warm = engine.query(&sa);
+    assert_eq!(warm.provenance, Provenance::MemoryHit);
+    assert_eq!(warm.result.as_ref().unwrap().timings(), timings);
+    assert_eq!(engine.phase_totals().runs, 1, "a cache hit runs nothing");
+
+    let registry = Registry::granularity_sweep();
+    let grouped_engine = SweepEngine::new();
+    let grouped = grouped_engine.run(&registry);
+    for cell in grouped.cells() {
+        if let Provenance::SharedPass { .. } = cell.provenance {
+            assert_eq!(
+                cell.result.as_ref().unwrap().timings(),
+                PhaseTimings::default(),
+                "{}: a shared-pass view carries no split of its own",
+                cell.spec.id()
+            );
+        }
+    }
+    assert_eq!(
+        grouped_engine.phase_totals().runs,
+        grouped.computed() as u64,
+        "one timed run per scheduler pass"
+    );
+}
+
+#[test]
 fn daemon_stream_carries_shared_pass_provenance_bit_identically() {
     // The granularity matrix through the wire: solo baselines first,
     // then a cold daemon `stream` of the same cells — every streamed
