@@ -525,6 +525,11 @@ struct ExecutorShared {
     replay_ns: AtomicU64,
     /// Cumulative counting time, in nanoseconds.
     count_ns: AtomicU64,
+    /// Cumulative interpreter-memo counters (see [`crate::MemoStats`]).
+    transfer_hits: AtomicU64,
+    transfer_misses: AtomicU64,
+    script_replays: AtomicU64,
+    script_steps: AtomicU64,
 }
 
 impl ExecutorShared {
@@ -537,6 +542,15 @@ impl ExecutorShared {
             .fetch_add(t.replay.as_nanos() as u64, Ordering::Relaxed);
         self.count_ns
             .fetch_add(t.count.as_nanos() as u64, Ordering::Relaxed);
+        let m = report.memo_stats();
+        self.transfer_hits
+            .fetch_add(m.transfer_hits, Ordering::Relaxed);
+        self.transfer_misses
+            .fetch_add(m.transfer_misses, Ordering::Relaxed);
+        self.script_replays
+            .fetch_add(m.script_replays, Ordering::Relaxed);
+        self.script_steps
+            .fetch_add(m.script_steps, Ordering::Relaxed);
     }
 }
 
@@ -597,6 +611,10 @@ impl Executor {
             interpret_ns: AtomicU64::new(0),
             replay_ns: AtomicU64::new(0),
             count_ns: AtomicU64::new(0),
+            transfer_hits: AtomicU64::new(0),
+            transfer_misses: AtomicU64::new(0),
+            script_replays: AtomicU64::new(0),
+            script_steps: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -640,6 +658,18 @@ impl Executor {
             interpret: Duration::from_nanos(self.shared.interpret_ns.load(Ordering::Relaxed)),
             replay: Duration::from_nanos(self.shared.replay_ns.load(Ordering::Relaxed)),
             count: Duration::from_nanos(self.shared.count_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Cumulative interpreter-memo counters over this executor's
+    /// lifetime — same scope as [`Executor::phase_totals`] (successful
+    /// runs only; cache-served work contributes nothing).
+    pub fn memo_totals(&self) -> crate::MemoStats {
+        crate::MemoStats {
+            transfer_hits: self.shared.transfer_hits.load(Ordering::Relaxed),
+            transfer_misses: self.shared.transfer_misses.load(Ordering::Relaxed),
+            script_replays: self.shared.script_replays.load(Ordering::Relaxed),
+            script_steps: self.shared.script_steps.load(Ordering::Relaxed),
         }
     }
 

@@ -20,7 +20,7 @@
 
 use leakaudit_x86::Program;
 
-use crate::report::{LeakReport, LeakRow, ObserverSpec};
+use crate::report::{LeakReport, LeakRow, MemoStats, ObserverSpec};
 use crate::sink::{ConfigId, DagSink, ObserverSink};
 use crate::state::InitState;
 use crate::{scheduler, sink, AnalysisConfig, AnalysisError};
@@ -78,11 +78,14 @@ pub(crate) fn run(
 ) -> Result<LeakReport, AnalysisError> {
     let suite = config.observer_suite();
     let sinks = class_sinks(&suite);
+    let mut memo = MemoStats::default();
     let (rows, timings) =
         sink::run_pipeline_with(sinks, config.parallel_sinks, config.sink_tuning, |bus| {
-            scheduler::drive(config, program, init, bus)
+            scheduler::drive(config, program, init, bus, &mut memo)
         })?;
-    Ok(LeakReport::new(reorder_rows(rows, &suite)).with_timings(timings))
+    Ok(LeakReport::new(reorder_rows(rows, &suite))
+        .with_timings(timings)
+        .with_memo(memo))
 }
 
 /// Runs one abstract interpretation of `program` for an interpretation
@@ -113,11 +116,14 @@ pub(crate) fn run_union(
         }
     }
     let sinks = class_sinks(&union);
+    let mut memo = MemoStats::default();
     let (rows, timings) =
         sink::run_pipeline_with(sinks, lead.parallel_sinks, lead.sink_tuning, |bus| {
-            scheduler::drive(lead, program, init, bus)
+            scheduler::drive(lead, program, init, bus, &mut memo)
         })?;
-    Ok(LeakReport::new(reorder_rows(rows, &union)).with_timings(timings))
+    Ok(LeakReport::new(reorder_rows(rows, &union))
+        .with_timings(timings)
+        .with_memo(memo))
 }
 
 #[cfg(test)]

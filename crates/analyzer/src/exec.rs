@@ -39,6 +39,231 @@ pub struct ForkPlan {
     pub refine_fall: Option<(Reg, ValueSet)>,
 }
 
+/// Which flags an instruction's transfer reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlagsRead {
+    /// No flag dependence.
+    No,
+    /// Only CF (`inc`/`dec` preserve it across the flag assignment).
+    Cf,
+    /// The full flag state, including branch-refinement provenance.
+    All,
+}
+
+/// The static read/write footprint of one decoded instruction: which
+/// registers/flags/memory its abstract transfer consumes and produces.
+///
+/// Derived once per decoded instruction (see [`rw_sets`]) and used by the
+/// interpreter memo to key a cached transfer on *exactly* the inputs it
+/// reads and to snapshot *exactly* the outputs it writes. The enumeration
+/// mirrors [`execute_decoded`] case by case; the proptest suite
+/// (`interp_memo_props.rs`) pins the correspondence.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RwSets {
+    /// Bitmask of registers read (bit = `Reg as u8`). Includes registers
+    /// feeding memory-operand address computation.
+    pub reads: u8,
+    /// Bitmask of registers written.
+    pub writes: u8,
+    /// Flag-state dependence.
+    pub flags_read: FlagsRead,
+    /// `true` when the transfer assigns the flag state.
+    pub flags_written: bool,
+    /// `true` when the transfer reads data memory (or, for `pop`/`ret`,
+    /// the stack).
+    pub mem_read: bool,
+    /// `true` when the transfer writes data memory.
+    pub mem_written: bool,
+}
+
+impl RwSets {
+    const NONE: RwSets = RwSets {
+        reads: 0,
+        writes: 0,
+        flags_read: FlagsRead::No,
+        flags_written: false,
+        mem_read: false,
+        mem_written: false,
+    };
+
+    fn read_reg(&mut self, r: Reg) {
+        self.reads |= 1 << (r as u8);
+    }
+
+    fn write_reg(&mut self, r: Reg) {
+        self.writes |= 1 << (r as u8);
+    }
+
+    /// Address computation reads the base/index registers (no data access).
+    fn mem_regs(&mut self, m: &Mem) {
+        if let Some(b) = m.base {
+            self.read_reg(b);
+        }
+        if let Some((i, _)) = m.index {
+            self.read_reg(i);
+        }
+    }
+
+    fn read_op(&mut self, op: &Operand) {
+        match op {
+            Operand::Reg(r) => self.read_reg(*r),
+            Operand::Imm(_) => {}
+            Operand::Mem(m) => {
+                self.mem_regs(m);
+                self.mem_read = true;
+            }
+        }
+    }
+
+    fn write_op(&mut self, op: &Operand) {
+        match op {
+            Operand::Reg(r) => self.write_reg(*r),
+            Operand::Mem(m) => {
+                self.mem_regs(m);
+                self.mem_written = true;
+            }
+            Operand::Imm(_) => unreachable!("encoder rejects immediate destinations"),
+        }
+    }
+}
+
+/// Derives the read/write footprint of a decoded instruction.
+///
+/// Must stay in lockstep with [`execute_decoded`]: every abstract-state
+/// input the transfer consumes appears in the read set, every output in
+/// the write set. Over-approximation on either side is safe (spurious
+/// memo misses / spurious snapshot entries), under-approximation is not.
+pub(crate) fn rw_sets(inst: &Inst) -> RwSets {
+    let mut rw = RwSets::NONE;
+    match inst {
+        Inst::Nop | Inst::Hlt | Inst::Jmp { .. } => {}
+        Inst::Mov { dst, src } => {
+            rw.read_op(src);
+            rw.write_op(dst);
+        }
+        Inst::MovStoreB { dst, src } => {
+            rw.read_reg(src.parent());
+            rw.mem_regs(dst);
+            rw.mem_written = true;
+        }
+        Inst::MovLoadB { dst, src } => {
+            rw.mem_regs(src);
+            rw.mem_read = true;
+            // The load merges into the parent's high bytes.
+            rw.read_reg(dst.parent());
+            rw.write_reg(dst.parent());
+        }
+        Inst::Movzx { dst, src } => {
+            rw.read_op(src);
+            rw.write_reg(*dst);
+        }
+        Inst::Lea { dst, src } => {
+            rw.mem_regs(src);
+            rw.write_reg(*dst);
+        }
+        Inst::Alu { op, dst, src } => {
+            // Mirror the zeroing-idiom early return: `xor r, r` /
+            // `sub r, r` read nothing, not even r.
+            if matches!(op, AluOp::Xor | AluOp::Sub) && dst == src {
+                if let Operand::Reg(r) = dst {
+                    rw.write_reg(*r);
+                    rw.flags_written = true;
+                    return rw;
+                }
+            }
+            rw.read_op(dst);
+            rw.read_op(src);
+            rw.flags_written = true;
+            // `cmp` only sets flags (the flag-source partition it installs
+            // is derived from the already-read dst register).
+            if *op != AluOp::Cmp {
+                rw.write_op(dst);
+            }
+        }
+        Inst::Test { a, b } => {
+            rw.read_op(a);
+            rw.read_op(b);
+            rw.flags_written = true;
+        }
+        Inst::Imul { dst, src, imm } => {
+            rw.read_op(src);
+            if imm.is_none() {
+                rw.read_reg(*dst);
+            }
+            rw.write_reg(*dst);
+            rw.flags_written = true;
+        }
+        Inst::Shift { dst, .. } => {
+            rw.read_op(dst);
+            rw.write_op(dst);
+            rw.flags_written = true;
+        }
+        Inst::Not { dst } => {
+            rw.read_op(dst);
+            rw.write_op(dst);
+            // NOT does not touch flags.
+        }
+        Inst::Neg { dst } => {
+            rw.read_op(dst);
+            rw.write_op(dst);
+            rw.flags_written = true;
+        }
+        Inst::Inc { dst } | Inst::Dec { dst } => {
+            rw.read_reg(*dst);
+            // CF is preserved across the flag assignment — a read.
+            rw.flags_read = FlagsRead::Cf;
+            rw.write_reg(*dst);
+            rw.flags_written = true;
+        }
+        Inst::Push { src } => {
+            rw.read_op(src);
+            rw.read_reg(Reg::Esp);
+            rw.write_reg(Reg::Esp);
+            rw.mem_written = true;
+        }
+        Inst::Pop { dst } => {
+            rw.read_reg(Reg::Esp);
+            rw.mem_read = true;
+            rw.write_reg(Reg::Esp);
+            rw.write_reg(*dst);
+        }
+        Inst::Jcc { .. } => {
+            // `eval_cond` plus `plan_fork`'s provenance refinement.
+            rw.flags_read = FlagsRead::All;
+        }
+        Inst::Call { .. } => {
+            rw.read_reg(Reg::Esp);
+            rw.write_reg(Reg::Esp);
+            rw.mem_written = true;
+        }
+        Inst::Ret => {
+            rw.read_reg(Reg::Esp);
+            rw.mem_read = true;
+            rw.write_reg(Reg::Esp);
+        }
+        Inst::Setcc { dst, .. } => {
+            rw.flags_read = FlagsRead::All;
+            rw.read_reg(dst.parent());
+            rw.write_reg(dst.parent());
+        }
+        Inst::Cmovcc { dst, src, .. } => {
+            rw.read_op(src);
+            rw.read_reg(*dst);
+            rw.flags_read = FlagsRead::All;
+            rw.write_reg(*dst);
+        }
+    }
+    rw
+}
+
+/// Side-channel log of the memory writes a transfer performed, captured
+/// while recording a memo entry so replay can re-issue them verbatim
+/// (`(addresses, value, size)` triples, in program order).
+#[derive(Debug, Default)]
+pub(crate) struct EffectLog {
+    pub mem_writes: Vec<(ValueSet, ValueSet, u8)>,
+}
+
 /// The effect of one abstractly executed instruction.
 #[derive(Debug)]
 pub struct StepEffect {
@@ -323,6 +548,8 @@ struct Ctx<'a> {
     state: &'a mut AbsState,
     program: &'a Program,
     accesses: AccessVec,
+    /// When recording a memo entry, memory writes are also logged here.
+    log: Option<&'a mut EffectLog>,
 }
 
 impl Ctx<'_> {
@@ -339,13 +566,22 @@ impl Ctx<'_> {
         }
     }
 
+    /// The single data-memory write path: logs (when recording), writes,
+    /// and records the access — in that order, at every write site.
+    fn write_mem(&mut self, addr: ValueSet, v: ValueSet, size: u8) {
+        if let Some(log) = &mut self.log {
+            log.mem_writes.push((addr.clone(), v.clone(), size));
+        }
+        self.state.memory.write(&addr, v, size);
+        self.accesses.push(addr);
+    }
+
     fn write_operand(&mut self, op: &Operand, v: ValueSet, size: u8) {
         match op {
             Operand::Reg(r) => self.state.set_reg(*r, v),
             Operand::Mem(m) => {
                 let addr = address_of(self.table, self.state, m);
-                self.state.memory.write(&addr, v, size);
-                self.accesses.push(addr);
+                self.write_mem(addr, v, size);
             }
             Operand::Imm(_) => unreachable!("encoder rejects immediate destinations"),
         }
@@ -391,12 +627,27 @@ pub fn execute_decoded(
     inst: Inst,
     len: u32,
 ) -> Result<StepEffect, AnalysisError> {
+    execute_logged(table, state, program, pc, inst, len, None)
+}
+
+/// [`execute_decoded`] with an optional memory-write log, used by the
+/// interpreter memo while recording a transfer.
+pub(crate) fn execute_logged(
+    table: &mut SymbolTable,
+    state: &mut AbsState,
+    program: &Program,
+    pc: u32,
+    inst: Inst,
+    len: u32,
+    log: Option<&mut EffectLog>,
+) -> Result<StepEffect, AnalysisError> {
     let next_pc = pc.wrapping_add(len);
     let mut ctx = Ctx {
         table,
         state,
         program,
         accesses: AccessVec::new(),
+        log,
     };
     let mut next = Next::Fall;
     match inst {
@@ -567,8 +818,7 @@ pub fn execute_decoded(
             let esp = ctx.state.reg(Reg::Esp).clone();
             let (new_esp, _) = apply_set(ctx.table, BinOp::Sub, &esp, &ValueSet::constant(4, 32));
             ctx.state.set_reg(Reg::Esp, new_esp.clone());
-            ctx.state.memory.write(&new_esp, v, 4);
-            ctx.accesses.push(new_esp);
+            ctx.write_mem(new_esp, v, 4);
         }
         Inst::Pop { dst } => {
             let esp = ctx.state.reg(Reg::Esp).clone();
@@ -590,10 +840,7 @@ pub fn execute_decoded(
             let esp = ctx.state.reg(Reg::Esp).clone();
             let (new_esp, _) = apply_set(ctx.table, BinOp::Sub, &esp, &ValueSet::constant(4, 32));
             ctx.state.set_reg(Reg::Esp, new_esp.clone());
-            ctx.state
-                .memory
-                .write(&new_esp, ValueSet::constant(u64::from(next_pc), 32), 4);
-            ctx.accesses.push(new_esp);
+            ctx.write_mem(new_esp, ValueSet::constant(u64::from(next_pc), 32), 4);
             next = Next::Jump(target);
         }
         Inst::Ret => {

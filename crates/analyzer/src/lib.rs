@@ -42,6 +42,7 @@
 pub mod batch;
 mod engine;
 mod exec;
+mod memo;
 mod report;
 mod scheduler;
 pub mod sink;
@@ -59,7 +60,9 @@ pub use batch::{
 pub use exec::{
     address_of, eval_cond, execute, execute_decoded, AccessVec, ForkPlan, Next, StepEffect,
 };
-pub use report::{format_bits, Channel, LeakReport, LeakRow, ObserverSpec, PhaseTimings};
+pub use report::{
+    format_bits, Channel, LeakReport, LeakRow, MemoStats, ObserverSpec, PhaseTimings,
+};
 pub use state::{AbsState, AbstractMemory, FlagsState, InitState};
 
 /// Which resource of a per-request [`Budget`] ran out.
@@ -255,6 +258,14 @@ pub struct AnalysisConfig {
     /// for any tuning, so, like `parallel_sinks`, it is excluded from
     /// cache-key identity.
     pub sink_tuning: sink::SinkTuning,
+    /// Memoize abstract transfers per pc and replay repeated
+    /// straight-line runs as superblock scripts (see `crate::memo`).
+    /// Results are bit-identical either way — the memo layer only skips
+    /// recomputation, pinned by the `interp_memo_props` suite — so,
+    /// like `parallel_sinks`, this is excluded from cache-key identity.
+    /// On by default; turn off to run the naive interpreter (the
+    /// reference the property suite compares against).
+    pub interp_memo: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -268,6 +279,7 @@ impl Default for AnalysisConfig {
             max_configs: 4096,
             parallel_sinks: true,
             sink_tuning: sink::SinkTuning::default(),
+            interp_memo: true,
         }
     }
 }
@@ -345,10 +357,11 @@ impl CacheKeyed for AnalysisConfig {
     /// the three observer granularities (which determine the suite) and
     /// the resource limits — `fuel`, `max_configs`, and the per-request
     /// `budget` — which determine whether a run converges or errors.
-    /// `parallel_sinks` and `sink_tuning` change scheduling only — the
-    /// batch consistency suite proves results are bit-identical either
-    /// way — and are deliberately excluded, so serial and threaded runs
-    /// share cache entries.
+    /// `parallel_sinks`, `sink_tuning`, and `interp_memo` change
+    /// scheduling only — the batch consistency and interpreter-memo
+    /// property suites prove results are bit-identical either way — and
+    /// are deliberately excluded, so serial/threaded and
+    /// memoized/naive runs share cache entries.
     ///
     /// The encoding is the concatenation of the observation half and the
     /// interpretation half (in that order, byte-for-byte what earlier
@@ -426,6 +439,29 @@ impl Analysis {
     pub fn run(&self, target: &impl AnalysisTarget) -> Result<LeakReport, AnalysisError> {
         let init = target.init_state();
         engine::run(&self.config, target.program(), &init)
+    }
+
+    /// Drives one abstract interpretation of `target`, publishing the
+    /// raw trace-event stream on `bus` instead of counting it into a
+    /// report. Returns the run's interpreter-memo counters.
+    ///
+    /// This is the bit-identity test surface: two `interpret` calls
+    /// whose configs differ only in [`AnalysisConfig::interp_memo`]
+    /// must produce byte-identical event streams (and identical
+    /// errors), which the `interp_memo_props` suite pins.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Analysis::run`].
+    pub fn interpret(
+        &self,
+        target: &impl AnalysisTarget,
+        bus: &mut dyn sink::EventBus,
+    ) -> Result<MemoStats, AnalysisError> {
+        let init = target.init_state();
+        let mut stats = MemoStats::default();
+        scheduler::drive(&self.config, target.program(), &init, bus, &mut stats)?;
+        Ok(stats)
     }
 
     /// Analyzes a target once for a whole *interpretation group*: this

@@ -1,0 +1,566 @@
+//! The interpreter memo: per-pc transfer memos and straight-line
+//! superblock scripts.
+//!
+//! PR 7 taught the *observation* side to pay once per distinct input and
+//! replay the rest; this module applies the same discipline to the
+//! *interpretation* side. Loop bodies run the same abstract transfer on
+//! identical inputs thousands of times — the transfer's outputs are a
+//! pure function of the inputs it reads, so each decode slot carries a
+//! small memo keyed on exactly those inputs (the instruction's
+//! [`RwSets`] footprint) and replays the recorded effect on a hit.
+//!
+//! # Why replay is bit-identical
+//!
+//! * **Keys imply equal inputs.** A [`MemoKey`] token equality implies
+//!   value-set content equality (shared tokens are globally unique), a
+//!   [`KeyTok::Stamp`] equality implies memory-content equality (see
+//!   [`crate::state::AbstractMemory::stamp`]), and flag tokens encode
+//!   the three-valued flags plus the branch-refinement provenance
+//!   verbatim. Unstable (`Top`-widened) inputs bypass the memo.
+//! * **The symbol table only grows monotonically.** A transfer that
+//!   allocates fresh symbols is never recorded (the recording gate
+//!   compares `SymbolTable::len` before/after). Offset recordings
+//!   (`record_offset`) *are* journaled and replayed — they are
+//!   idempotent, and a naive re-execution at replay time would take the
+//!   `succ` hit installed by the recording run, producing the same
+//!   derived value either way.
+//! * **Writes replay verbatim.** Register post-values are re-installed
+//!   through `set_reg` (reproducing flag-provenance clearing against the
+//!   *current* flags, so pre-flags need not be keyed for transfers that
+//!   do not read them), the post-flag state overwrites when the transfer
+//!   writes flags, and memory writes re-issue the recorded
+//!   `(addresses, value, size)` calls in order — a weak update joins
+//!   against the current memory exactly as the naive path would.
+//!
+//! # Superblock scripts
+//!
+//! When a straight-line pc run (single live configuration, every
+//! transfer memo hitting) repeats, the per-step probe itself becomes the
+//! overhead. A [`ScriptEntry`] records the whole run — fetch sets,
+//! per-step effects — keyed on the *block live-ins*: the registers,
+//! flags, and memory stamp read before being written inside the block.
+//! Replay emits the recorded events and applies the recorded effects
+//! step by step, advancing the step counter by the block length; the
+//! scheduler only replays a script when the whole block fits under both
+//! fuel limits, so budget exhaustion fires at the same step index as the
+//! naive path (which checks before every step). Scripts are disabled
+//! under wall-clock deadlines: the deadline probe samples the clock at
+//! masked step indices, and skipping those samples could not be
+//! bit-pinned.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use leakaudit_core::{AbstractBool, MemoKey, OffsetRecord, SymbolTable, ValueSet};
+use leakaudit_x86::Reg;
+
+use crate::exec::{FlagsRead, Next, RwSets};
+use crate::state::{AbsState, FlagsState};
+
+/// FxHash-style multiply-xor hasher (same construction as the sink
+/// projection memo): transfer keys are hashed once per abstract step, so
+/// SipHash's per-call setup would eat the win.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// One token of a transfer-memo key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum KeyTok {
+    /// A read register's value-set identity.
+    Set(MemoKey),
+    /// Packed three-valued flags (2 bits each: zf, cf, sf, of — or just
+    /// cf for `FlagsRead::Cf` transfers; the token shape per slot is
+    /// fixed by the instruction, so the encodings cannot collide).
+    Flags(u8),
+    /// Flag provenance present: the compared register (followed by two
+    /// `Set` tokens for the eq/ne partitions).
+    SourceReg(u8),
+    /// No flag provenance installed.
+    NoSource,
+    /// Memory-content identity (see `AbstractMemory::stamp`).
+    Stamp(u64),
+}
+
+/// Upper bound on key length: 8 register tokens + flags + provenance
+/// (tag + eq + ne) + memory stamp.
+const KEY_CAP: usize = 13;
+
+/// A transfer-memo key: the [`KeyTok`]s of exactly the inputs one
+/// instruction reads, in footprint order.
+///
+/// Token storage is heap-backed — a `KeyTok` is wide (a [`MemoKey`]
+/// carries inline set elements), so an inline `[KeyTok; KEY_CAP]` made
+/// the buffer ~1.8 KB and dragged every step of the interpreter loop
+/// through multi-KB stack moves (and every decode slot to ~14 KB).
+/// With a `Vec`, a `KeyBuf` is pointer-sized in flight: the scheduler
+/// derives each step's key into one **reused scratch buffer** (no
+/// allocation after the first step) and clones an owned copy only when
+/// priming a way — bounded by the cooldown, not the step count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct KeyBuf {
+    toks: Vec<KeyTok>,
+}
+
+impl KeyBuf {
+    pub(crate) fn new() -> Self {
+        KeyBuf {
+            toks: Vec::with_capacity(KEY_CAP),
+        }
+    }
+
+    fn push(&mut self, tok: KeyTok) {
+        debug_assert!(self.toks.len() < KEY_CAP, "key capacity exceeded");
+        self.toks.push(tok);
+    }
+
+    /// The way index this key maps to (direct-mapped, [`WAYS`] ways).
+    pub(crate) fn way(&self) -> usize {
+        let mut h = FxHasher::default();
+        self.toks.hash(&mut h);
+        (h.finish() & (WAYS as u64 - 1)) as usize
+    }
+}
+
+fn encode_bool(b: AbstractBool) -> u8 {
+    match b {
+        AbstractBool::False => 0,
+        AbstractBool::True => 1,
+        AbstractBool::Top => 2,
+    }
+}
+
+fn packed_flags(f: &FlagsState) -> u8 {
+    encode_bool(f.zf)
+        | (encode_bool(f.cf) << 2)
+        | (encode_bool(f.sf) << 4)
+        | (encode_bool(f.of) << 6)
+}
+
+/// Derives the transfer-memo key for an instruction with footprint `rw`
+/// in `state` into `key` (cleared first), returning `false` when any
+/// read input's identity is unstable (`Top`-widened value sets) — the
+/// bypass rule. Filling a caller-owned buffer keeps the per-step path
+/// allocation-free: the scheduler passes the same scratch every step.
+pub(crate) fn key_for(rw: &RwSets, state: &AbsState, key: &mut KeyBuf) -> bool {
+    key.toks.clear();
+    let mut regs = rw.reads;
+    while regs != 0 {
+        let code = regs.trailing_zeros() as u8;
+        regs &= regs - 1;
+        let k = state.reg(Reg::from_code(code)).memo_key();
+        if !k.is_stable() {
+            return false;
+        }
+        key.push(KeyTok::Set(k));
+    }
+    match rw.flags_read {
+        FlagsRead::No => {}
+        FlagsRead::Cf => key.push(KeyTok::Flags(encode_bool(state.flags.cf))),
+        FlagsRead::All => {
+            key.push(KeyTok::Flags(packed_flags(&state.flags)));
+            match &state.flags.source {
+                None => key.push(KeyTok::NoSource),
+                Some(src) => {
+                    let (eq, ne) = (src.eq.memo_key(), src.ne.memo_key());
+                    if !eq.is_stable() || !ne.is_stable() {
+                        return false;
+                    }
+                    key.push(KeyTok::SourceReg(src.reg.code()));
+                    key.push(KeyTok::Set(eq));
+                    key.push(KeyTok::Set(ne));
+                }
+            }
+        }
+    }
+    if rw.mem_read {
+        key.push(KeyTok::Stamp(state.memory.stamp()));
+    }
+    true
+}
+
+/// The recorded outcome of one abstract transfer: everything needed to
+/// reproduce its state mutation, events, and control flow without
+/// touching the abstract operations.
+#[derive(Debug)]
+pub(crate) struct TransferEffect {
+    /// Post-values of every register in the write footprint.
+    pub reg_writes: Vec<(Reg, ValueSet)>,
+    /// Post-flag state, when the transfer writes flags.
+    pub flags: Option<FlagsState>,
+    /// Memory writes, as issued: `(addresses, value, size)` in order.
+    pub mem_writes: Vec<(ValueSet, ValueSet, u8)>,
+    /// Journaled `record_offset` calls (idempotent on replay).
+    pub journal: Vec<OffsetRecord>,
+    /// Data-access address sets, in program order (for events).
+    pub accesses: Vec<ValueSet>,
+    /// Control flow.
+    pub next: Next,
+}
+
+impl TransferEffect {
+    /// Replays the recorded mutation onto the current state/table.
+    ///
+    /// Register writes go through `set_reg` (reproducing flag-provenance
+    /// clearing), the flag overwrite comes after (it carries the final
+    /// provenance when present), memory writes re-issue in order, and
+    /// journal entries re-record (idempotently).
+    pub(crate) fn apply(&self, table: &mut SymbolTable, state: &mut AbsState) {
+        for (r, v) in &self.reg_writes {
+            state.set_reg(*r, v.clone());
+        }
+        if let Some(flags) = &self.flags {
+            state.flags = flags.clone();
+        }
+        for (addrs, v, size) in &self.mem_writes {
+            state.memory.write(addrs, v.clone(), *size);
+        }
+        for (derived, origin, offset) in &self.journal {
+            table.record_offset(*derived, *origin, *offset);
+        }
+    }
+}
+
+/// Ways per transfer memo. Inner loops cycle a handful of live input
+/// identities per pc (e.g. an induction variable sweeping 0..8), so one
+/// entry per slot would thrash exactly where the memo matters most.
+pub(crate) const WAYS: usize = 8;
+
+/// One transfer-memo way: a key seen once (`effect: None` — primed) or
+/// a recorded transfer ready to replay. Recording costs a journaled,
+/// logged execution plus effect clones, so a key must miss *twice*
+/// before the scheduler pays it — steps whose inputs never repeat
+/// (counter-driven loop heads, once-through code) then cost only the
+/// key derivation, not a recording nobody replays.
+#[derive(Debug)]
+pub(crate) struct MemoEntry {
+    pub key: KeyBuf,
+    pub effect: Option<Arc<TransferEffect>>,
+}
+
+/// One live-in token of a superblock script, re-evaluated against the
+/// current state on every probe.
+#[derive(Debug, PartialEq)]
+pub(crate) enum PreTok {
+    /// Register (by code) read before written inside the block.
+    Reg(u8, MemoKey),
+    /// Pre-block CF (blocks whose only flag dependence is `inc`/`dec`).
+    Cf(u8),
+    /// Full pre-block flags and provenance identity.
+    Flags {
+        packed: u8,
+        source: Option<(u8, MemoKey, MemoKey)>,
+    },
+    /// Pre-block memory-content identity.
+    Stamp(u64),
+}
+
+impl PreTok {
+    fn matches(&self, state: &AbsState) -> bool {
+        match self {
+            PreTok::Reg(code, k) => state.reg(Reg::from_code(*code)).memo_key() == *k,
+            PreTok::Cf(c) => encode_bool(state.flags.cf) == *c,
+            PreTok::Flags { packed, source } => {
+                packed_flags(&state.flags) == *packed
+                    && match (source, &state.flags.source) {
+                        (None, None) => true,
+                        (Some((reg, eq, ne)), Some(src)) => {
+                            src.reg.code() == *reg
+                                && src.eq.memo_key() == *eq
+                                && src.ne.memo_key() == *ne
+                        }
+                        _ => false,
+                    }
+            }
+            PreTok::Stamp(s) => state.memory.stamp() == *s,
+        }
+    }
+}
+
+/// One step of a recorded script: the cached fetch set to emit plus the
+/// transfer effect to apply.
+#[derive(Debug)]
+pub(crate) struct ScriptStep {
+    pub fetch: ValueSet,
+    pub effect: Arc<TransferEffect>,
+}
+
+/// A recorded straight-line superblock: live-in tokens, the steps, and
+/// the pc execution resumes at.
+#[derive(Debug)]
+pub(crate) struct ScriptEntry {
+    toks: Vec<PreTok>,
+    pub steps: Vec<ScriptStep>,
+    pub end_pc: u32,
+}
+
+impl ScriptEntry {
+    fn matches(&self, state: &AbsState) -> bool {
+        self.toks.iter().all(|t| t.matches(state))
+    }
+}
+
+/// The scripts recorded for one start pc, with round-robin replacement.
+#[derive(Debug, Default)]
+pub(crate) struct ScriptSet {
+    entries: Vec<ScriptEntry>,
+    victim: u8,
+}
+
+impl ScriptSet {
+    /// The first entry whose live-ins match the current state.
+    pub(crate) fn probe(&self, state: &AbsState) -> Option<&ScriptEntry> {
+        self.entries.iter().find(|e| e.matches(state))
+    }
+
+    pub(crate) fn insert(&mut self, entry: ScriptEntry) {
+        if self.entries.len() < WAYS {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.victim as usize] = entry;
+            self.victim = (self.victim + 1) % WAYS as u8;
+        }
+    }
+}
+
+/// Which flags a block under recording reads before writing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlagsLive {
+    None,
+    Cf,
+    All,
+}
+
+/// Maximum steps per script. Backstop against unbounded straight-line
+/// recordings (e.g. a long unrolled region); real loop bodies are far
+/// shorter.
+const SCRIPT_CAP: usize = 4096;
+
+/// Minimum steps for a script to be worth storing: shorter runs replay
+/// about as fast through the per-step memo.
+const SCRIPT_MIN: usize = 3;
+
+/// Records a straight-line superblock while its steps hit the transfer
+/// memo, tracking block live-ins (first-read-before-write registers,
+/// flags, and the pre-block memory stamp).
+#[derive(Debug)]
+pub(crate) struct ScriptRecorder {
+    pub start_pc: u32,
+    pre_stamp: u64,
+    pre_flags: FlagsState,
+    written_regs: u8,
+    flags_written: bool,
+    flags_live: FlagsLive,
+    need_stamp: bool,
+    reg_toks: Vec<(u8, MemoKey)>,
+    steps: Vec<ScriptStep>,
+}
+
+impl ScriptRecorder {
+    /// Starts recording at `start_pc`; `state` is the pre-block state.
+    pub(crate) fn new(start_pc: u32, state: &AbsState) -> Self {
+        ScriptRecorder {
+            start_pc,
+            pre_stamp: state.memory.stamp(),
+            pre_flags: state.flags.clone(),
+            written_regs: 0,
+            flags_written: false,
+            flags_live: FlagsLive::None,
+            need_stamp: false,
+            reg_toks: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// `true` once the script reached its length cap (finalize now).
+    pub(crate) fn full(&self) -> bool {
+        self.steps.len() >= SCRIPT_CAP
+    }
+
+    /// Observes one memo-hit step: `state` is the *pre-step* state,
+    /// `fetch` the step's fetch set, `effect` its recorded transfer.
+    /// Returns `false` when a live-in identity is unstable — the caller
+    /// must abort the recording.
+    pub(crate) fn observe(
+        &mut self,
+        rw: &RwSets,
+        state: &AbsState,
+        fetch: ValueSet,
+        effect: &Arc<TransferEffect>,
+    ) -> bool {
+        // Registers read before any in-block write still hold their
+        // pre-block values here, so their current identity *is* the
+        // live-in identity.
+        let mut reads = rw.reads & !self.written_regs;
+        while reads != 0 {
+            let code = reads.trailing_zeros() as u8;
+            reads &= reads - 1;
+            if !self.reg_toks.iter().any(|(c, _)| *c == code) {
+                let k = state.reg(Reg::from_code(code)).memo_key();
+                if !k.is_stable() {
+                    return false;
+                }
+                self.reg_toks.push((code, k));
+            }
+        }
+        if !self.flags_written {
+            match rw.flags_read {
+                FlagsRead::No => {}
+                FlagsRead::Cf => {
+                    if self.flags_live == FlagsLive::None {
+                        self.flags_live = FlagsLive::Cf;
+                    }
+                }
+                FlagsRead::All => self.flags_live = FlagsLive::All,
+            }
+        }
+        if rw.mem_read {
+            // Even after in-block writes, the read is determined by the
+            // pre-block contents plus the (identically replayed) writes.
+            self.need_stamp = true;
+        }
+        self.written_regs |= rw.writes;
+        self.flags_written |= rw.flags_written;
+        self.steps.push(ScriptStep {
+            fetch,
+            effect: Arc::clone(effect),
+        });
+        true
+    }
+
+    /// Finalizes the recording into a storable script ending at
+    /// `end_pc`, or `None` when too short or a flag live-in is
+    /// unstable.
+    pub(crate) fn finish(self, end_pc: u32) -> Option<ScriptEntry> {
+        if self.steps.len() < SCRIPT_MIN {
+            return None;
+        }
+        let mut toks = Vec::with_capacity(self.reg_toks.len() + 2);
+        for (code, k) in self.reg_toks {
+            toks.push(PreTok::Reg(code, k));
+        }
+        match self.flags_live {
+            FlagsLive::None => {}
+            FlagsLive::Cf => toks.push(PreTok::Cf(encode_bool(self.pre_flags.cf))),
+            FlagsLive::All => {
+                let source = match &self.pre_flags.source {
+                    None => None,
+                    Some(src) => {
+                        let (eq, ne) = (src.eq.memo_key(), src.ne.memo_key());
+                        if !eq.is_stable() || !ne.is_stable() {
+                            return None;
+                        }
+                        Some((src.reg.code(), eq, ne))
+                    }
+                };
+                toks.push(PreTok::Flags {
+                    packed: packed_flags(&self.pre_flags),
+                    source,
+                });
+            }
+        }
+        if self.need_stamp {
+            toks.push(PreTok::Stamp(self.pre_stamp));
+        }
+        Some(ScriptEntry {
+            toks,
+            steps: self.steps,
+            end_pc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::rw_sets;
+    use leakaudit_x86::{Inst, Mem, Operand};
+
+    /// Owned-key convenience over the fill-a-scratch `key_for`.
+    fn derive(rw: &RwSets, state: &AbsState) -> Option<KeyBuf> {
+        let mut key = KeyBuf::new();
+        key_for(rw, state, &mut key).then_some(key)
+    }
+
+    #[test]
+    fn key_tokens_follow_the_read_footprint() {
+        let state = AbsState::new();
+        // `mov eax, [ebx + ecx*4]` reads ebx, ecx, memory — but both are
+        // Top in a fresh state, so the key bypasses.
+        let rw = rw_sets(&Inst::Mov {
+            dst: Operand::Reg(Reg::Eax),
+            src: Operand::Mem(Mem::sib(Reg::Ebx, Reg::Ecx, 4, 0)),
+        });
+        assert!(rw.mem_read);
+        assert!(derive(&rw, &state).is_none(), "Top inputs bypass");
+
+        let mut state = state;
+        state.set_reg(Reg::Ebx, ValueSet::constant(0x8000, 32));
+        state.set_reg(Reg::Ecx, ValueSet::from_constants(0..4, 32));
+        let key = derive(&rw, &state).expect("stable inputs key");
+        // ebx, ecx, stamp.
+        assert_eq!(key.toks.len(), 3);
+        assert!(matches!(key.toks[2], KeyTok::Stamp(_)));
+
+        // `push eax` writes memory but reads none: no stamp token.
+        let rw = rw_sets(&Inst::Push {
+            src: Operand::Reg(Reg::Eax),
+        });
+        assert!(rw.mem_written && !rw.mem_read);
+        state.set_reg(Reg::Eax, ValueSet::constant(7, 32));
+        let key = derive(&rw, &state).expect("eax and esp known");
+        assert_eq!(key.toks.len(), 2, "eax + esp, no stamp");
+    }
+
+    #[test]
+    fn distinct_inputs_yield_distinct_keys() {
+        let rw = rw_sets(&Inst::Inc { dst: Reg::Eax });
+        let mut a = AbsState::new();
+        a.set_reg(Reg::Eax, ValueSet::constant(1, 32));
+        let ka = derive(&rw, &a).unwrap();
+        let mut b = a.clone();
+        b.set_reg(Reg::Eax, ValueSet::constant(2, 32));
+        let kb = derive(&rw, &b).unwrap();
+        assert_ne!(ka, kb);
+        // Same value, different CF: still distinct (inc reads CF).
+        let mut c = a.clone();
+        c.flags.cf = AbstractBool::True;
+        let kc = derive(&rw, &c).unwrap();
+        assert_ne!(ka, kc);
+        // Equal state: equal key and way.
+        let kd = derive(&rw, &a.clone()).unwrap();
+        assert_eq!(ka, kd);
+        assert_eq!(ka.way(), kd.way());
+    }
+}

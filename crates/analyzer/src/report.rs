@@ -43,6 +43,36 @@ impl PhaseTimings {
     }
 }
 
+/// Interpreter-memo counters for one analysis run.
+///
+/// Instrumentation only, like [`PhaseTimings`]: never part of result
+/// identity, zeroed for cache-decoded reports. `script_steps` counts
+/// abstract steps covered by superblock replays (each also counted in
+/// `transfer_hits`-equivalent work avoided, but *not* in
+/// `transfer_hits` — a scripted step skips the per-step probe
+/// entirely).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Per-pc transfer memo hits (recorded effect replayed).
+    pub transfer_hits: u64,
+    /// Transfer memo misses and bypasses (naive transfer executed).
+    pub transfer_misses: u64,
+    /// Superblock script replays.
+    pub script_replays: u64,
+    /// Abstract steps covered by script replays.
+    pub script_steps: u64,
+}
+
+impl MemoStats {
+    /// Accumulates another run's counters into this one.
+    pub fn accumulate(&mut self, other: &MemoStats) {
+        self.transfer_hits += other.transfer_hits;
+        self.transfer_misses += other.transfer_misses;
+        self.script_replays += other.script_replays;
+        self.script_steps += other.script_steps;
+    }
+}
+
 /// Which cache an observer watches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Channel {
@@ -112,6 +142,7 @@ pub struct LeakRow {
 pub struct LeakReport {
     rows: Vec<LeakRow>,
     timings: PhaseTimings,
+    memo: MemoStats,
 }
 
 impl LeakReport {
@@ -119,6 +150,7 @@ impl LeakReport {
         LeakReport {
             rows,
             timings: PhaseTimings::default(),
+            memo: MemoStats::default(),
         }
     }
 
@@ -127,6 +159,13 @@ impl LeakReport {
     /// [`PhaseTimings`] for the identity rules.
     pub(crate) fn with_timings(mut self, timings: PhaseTimings) -> Self {
         self.timings = timings;
+        self
+    }
+
+    /// Attaches interpreter-memo counters (informational only, same
+    /// identity rules as timings).
+    pub(crate) fn with_memo(mut self, memo: MemoStats) -> Self {
+        self.memo = memo;
         self
     }
 
@@ -147,6 +186,11 @@ impl LeakReport {
     /// Where this run spent its time (zero for cache-decoded reports).
     pub fn timings(&self) -> PhaseTimings {
         self.timings
+    }
+
+    /// Interpreter-memo counters (zero for cache-decoded reports).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo
     }
 
     /// The leakage bound in bits for a channel/observer pair.

@@ -22,20 +22,37 @@
 //! as [`TraceEvent`]s on an [`EventBus`] — fetches and data accesses in
 //! program order, forks, joins, and retirements — and the observer
 //! pipeline in [`crate::sink`] turns that stream into the per-observer
-//! counts of Theorem 1. Decoded instructions are memoized in a
-//! [`DecodeCache`] shared by every configuration of the run, so loop
-//! bodies and code revisited after joins decode once instead of once per
-//! abstract step.
+//! counts of Theorem 1.
+//!
+//! # The decode cache and the interpreter memo
+//!
+//! Decoded instructions are memoized in a [`DecodeCache`] shared by
+//! every configuration of the run, so loop bodies and code revisited
+//! after joins decode once instead of once per abstract step. Each
+//! populated slot additionally carries the per-pc *transfer memo* and
+//! any recorded *superblock scripts* of [`crate::memo`]: a step whose
+//! input identities match a recorded entry replays the recorded effect
+//! instead of re-running the abstract transfer, and a straight-line run
+//! whose block live-ins match a recorded script replays the whole block
+//! as one unit. Both layers are bit-identical by construction (see the
+//! [`crate::memo`] module docs for the argument) and can be switched
+//! off wholesale via [`AnalysisConfig::interp_memo`] — the memo-off
+//! path is the naive interpreter, which the property suite pins the
+//! memoized path against.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use leakaudit_core::ValueSet;
 use leakaudit_x86::{Inst, Program};
 
-use crate::exec::{execute_decoded, Next};
+use crate::exec::{execute_decoded, execute_logged, rw_sets, EffectLog, Next, RwSets};
+use crate::memo::{self, MemoEntry, ScriptRecorder, ScriptSet, TransferEffect, WAYS};
+use crate::report::MemoStats;
 use crate::sink::{AccessKind, ConfigId, EventBus, TraceEvent};
 use crate::state::InitState;
 use crate::{AnalysisConfig, AnalysisError, BudgetLimit};
+use leakaudit_x86::Reg;
 
 /// How often (in abstract steps) the scheduler consults the wall clock
 /// for a budget deadline. A power of two so the check is a mask; at
@@ -52,9 +69,55 @@ struct Config {
     state: crate::state::AbsState,
 }
 
-/// One segment's decode slots: `Some((instruction, length))` once the
-/// byte at that offset has been decoded as an instruction start.
-type DecodeSlots = Vec<Option<(Inst, u32)>>;
+/// Everything the run knows about one decoded instruction start: the
+/// decoded instruction, its cached fetch set (the same
+/// `ValueSet::constant(pc)` every visit would otherwise rebuild), its
+/// read/write footprint, the direct-mapped transfer memo, and any
+/// superblock scripts starting here.
+pub(crate) struct Slot {
+    decoded: (Inst, u32),
+    fetch: ValueSet,
+    rw: RwSets,
+    ways: [Option<MemoEntry>; WAYS],
+    scripts: Option<Box<ScriptSet>>,
+    /// Consecutive keyed misses with no hit. Once it reaches
+    /// [`COLD_CAP`] the slot stops deriving keys: a pc whose inputs
+    /// never recur (counter-driven steps, once-through code) pays the
+    /// key derivation a bounded number of times instead of on every
+    /// visit. A hit resets the count, and a throttled slot still
+    /// retries periodically, so cross-configuration reuse (sibling
+    /// fork paths replaying each other's recordings) recovers even
+    /// when the first path ran the slot cold. The count is deliberately
+    /// *not* per configuration: configuration ids name forks, and forks
+    /// alternate at the same pc under the lowest-pc-first order, so a
+    /// per-id reset would re-pay the derivation for every sibling while
+    /// buying no additional hits (keys depend on the abstract state,
+    /// not on which path carries it). Purely a cost throttle — replay
+    /// equivalence does not depend on which steps are memoized.
+    cold: u8,
+}
+
+/// Keyed misses in a row before a slot's memo is switched off for the
+/// missing configuration.
+const COLD_CAP: u8 = 12;
+
+impl Slot {
+    fn new(pc: u32, decoded: (Inst, u32)) -> Self {
+        Slot {
+            fetch: ValueSet::constant(u64::from(pc), 32),
+            rw: rw_sets(&decoded.0),
+            decoded,
+            ways: Default::default(),
+            scripts: None,
+            cold: 0,
+        }
+    }
+}
+
+/// One segment's decode slots: populated once the byte at that offset
+/// has been decoded as an instruction start. Boxed so an empty slot is
+/// one pointer wide — most offsets are instruction interiors or data.
+type DecodeSlots = Vec<Option<Box<Slot>>>;
 
 /// Memoized instruction decoding, shared across every configuration and
 /// abstract step of one analysis run.
@@ -64,10 +127,10 @@ type DecodeSlots = Vec<Option<(Inst, u32)>>;
 /// and a load in the inner interpreter loop, no hashing. All segments
 /// are covered (a `Program` has no executable flag, and caching a data
 /// segment nobody fetches from costs only its `Option` slots), so
-/// multi-segment programs — the coming crypto families with tables and
-/// code in separate segments — never fall back to uncached decode in
-/// the loop. Fetches outside every segment still decode uncached, which
-/// stays correct (they error inside `decode_at` either way).
+/// multi-segment programs — the crypto families with tables and code in
+/// separate segments — never fall back to uncached decode in the loop.
+/// Fetches outside every segment still decode uncached, which stays
+/// correct (they error inside `decode_at` either way).
 pub(crate) struct DecodeCache {
     /// One `(load address, slots)` dense cache per program segment, in
     /// segment order.
@@ -83,7 +146,7 @@ impl DecodeCache {
         let segments = program
             .segments()
             .iter()
-            .map(|s| (s.addr, vec![None; s.bytes.len()]))
+            .map(|s| (s.addr, (0..s.bytes.len()).map(|_| None).collect()))
             .collect::<Vec<_>>();
         // Start the hot-segment hint on the segment holding the entry.
         let entry = program.entry();
@@ -110,25 +173,83 @@ impl DecodeCache {
         })
     }
 
-    fn decode_at(&mut self, program: &Program, pc: u32) -> Result<(Inst, u32), AnalysisError> {
-        let Some((seg, off)) = self.locate(pc) else {
-            // Outside every segment: decode without caching (errors out
-            // with the same diagnostic the cached path would).
-            return Ok(program.decode_at(pc)?);
-        };
-        self.last = seg;
-        let slot = &mut self.segments[seg].1[off];
-        if let Some(hit) = slot {
-            return Ok(*hit);
+    /// `locate`, also updating the hot-segment hint. The step loop's
+    /// single resolution point: everything downstream (script probe,
+    /// fetch event, decode, memo probe, memo store) indexes directly
+    /// via the returned `(segment, offset)`.
+    fn locate_hot(&mut self, pc: u32) -> Option<(usize, usize)> {
+        let loc = self.locate(pc);
+        if let Some((seg, _)) = loc {
+            self.last = seg;
         }
-        let decoded = program.decode_at(pc)?;
-        *slot = Some(decoded);
-        Ok(decoded)
+        loc
+    }
+
+    /// The slot for `pc`, decoding and populating it on first visit.
+    /// `Ok(None)` for pcs outside every segment (the caller decodes
+    /// uncached); decode failures surface exactly as the uncached
+    /// path's would.
+    #[cfg(test)]
+    fn slot_at(&mut self, program: &Program, pc: u32) -> Result<Option<&mut Slot>, AnalysisError> {
+        let Some((seg, off)) = self.locate_hot(pc) else {
+            return Ok(None);
+        };
+        let slot = &mut self.segments[seg].1[off];
+        if slot.is_none() {
+            let decoded = program.decode_at(pc)?;
+            *slot = Some(Box::new(Slot::new(pc, decoded)));
+        }
+        Ok(slot.as_deref_mut())
+    }
+
+    /// The already-populated slot for `pc`, if any — never decodes, so
+    /// probing here cannot reorder a decode error ahead of the fetch
+    /// event.
+    fn existing_slot(&mut self, pc: u32) -> Option<&mut Slot> {
+        let (seg, off) = self.locate_hot(pc)?;
+        self.segments[seg].1[off].as_deref_mut()
+    }
+
+    /// The cached fetch set for `pc` (populated slots only).
+    #[cfg(test)]
+    fn cached_fetch(&self, pc: u32) -> Option<ValueSet> {
+        let (seg, off) = self.locate(pc)?;
+        self.segments[seg].1[off].as_ref().map(|s| s.fetch.clone())
+    }
+
+    /// Cached decode. `drive` resolves full slots via `slot_at`; this
+    /// remains the plain decode view (and the decode-correctness tests'
+    /// entry point).
+    #[cfg(test)]
+    fn decode_at(&mut self, program: &Program, pc: u32) -> Result<(Inst, u32), AnalysisError> {
+        match self.slot_at(program, pc)? {
+            Some(slot) => Ok(slot.decoded),
+            None => Ok(program.decode_at(pc)?),
+        }
+    }
+
+    /// Stores a finalized script under its start pc.
+    fn store_script(&mut self, start_pc: u32, entry: memo::ScriptEntry) {
+        if let Some(slot) = self.existing_slot(start_pc) {
+            slot.scripts.get_or_insert_with(Box::default).insert(entry);
+        }
+    }
+}
+
+/// Finalizes an active script recording (if any) as ending at `end_pc`,
+/// storing it when long enough to be worth replaying.
+fn finalize_script(recorder: &mut Option<ScriptRecorder>, decode: &mut DecodeCache, end_pc: u32) {
+    if let Some(rec) = recorder.take() {
+        let start = rec.start_pc;
+        if let Some(entry) = rec.finish(end_pc) {
+            decode.store_script(start, entry);
+        }
     }
 }
 
 /// Runs the abstract interpretation of `program` from its entry to
-/// `hlt`, publishing every trace-relevant action on `bus`.
+/// `hlt`, publishing every trace-relevant action on `bus` and
+/// accumulating interpreter-memo counters into `stats`.
 ///
 /// The initial configuration is [`ConfigId::ROOT`]; sinks seed their
 /// root cursor under the same id (see [`crate::sink::DagSink::new`]).
@@ -137,6 +258,7 @@ pub(crate) fn drive(
     program: &Program,
     init: &InitState,
     bus: &mut dyn EventBus,
+    stats: &mut MemoStats,
 ) -> Result<(), AnalysisError> {
     let mut table = init.table.clone();
     let mut decode = DecodeCache::new(program);
@@ -156,6 +278,23 @@ pub(crate) fn drive(
         .budget
         .deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let memo_on = config.interp_memo;
+    // Scripts skip the per-step loop, so they are disabled under a
+    // wall-clock deadline: the deadline probe samples the clock at
+    // masked step indices and those samples cannot be bit-pinned away.
+    // The per-step transfer memo leaves the loop structure (and thus
+    // every deadline sample) intact, so it stays on.
+    let scripts_on = memo_on && deadline.is_none();
+    let mut recorder: Option<ScriptRecorder> = None;
+    // Per-run key scratch: `key_for` fills this in place every keyed
+    // step, so the loop never allocates or copies token arrays; an
+    // owned clone is taken only when priming a way.
+    let mut key_scratch = memo::KeyBuf::new();
+    // Persistent partition buffers: the multi-config merge path reuses
+    // these across iterations instead of allocating two fresh vectors
+    // per step.
+    let mut group: Vec<Config> = Vec::new();
+    let mut rest: Vec<Config> = Vec::new();
 
     while !configs.is_empty() {
         // Pick the configuration with the minimal pc; join any others
@@ -165,8 +304,13 @@ pub(crate) fn drive(
             configs.pop().unwrap()
         } else {
             let min_pc = configs.iter().map(|c| c.pc).min().unwrap();
-            let mut group: Vec<Config> = Vec::new();
-            let mut rest: Vec<Config> = Vec::new();
+            debug_assert!(group.is_empty() && rest.is_empty());
+            #[cfg(debug_assertions)]
+            let expect: Vec<ConfigId> = configs
+                .iter()
+                .filter(|c| c.pc == min_pc)
+                .map(|c| c.id)
+                .collect();
             for c in configs.drain(..) {
                 if c.pc == min_pc {
                     group.push(c);
@@ -174,9 +318,18 @@ pub(crate) fn drive(
                     rest.push(c);
                 }
             }
-            configs = rest;
+            // `configs` is drained empty; the swap keeps both buffers
+            // (and their capacity) live for the next iteration.
+            std::mem::swap(&mut configs, &mut rest);
+            // Bit-identity guard: buffer reuse must not perturb merge
+            // order — `group` holds the min-pc configs in arrival order.
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                group.iter().map(|c| c.id).eq(expect.iter().copied()),
+                "merge group must preserve arrival order"
+            );
             let mut current = group.pop().unwrap();
-            for other in group {
+            for other in group.drain(..) {
                 current.state = current.state.join(&other.state);
                 bus.emit(TraceEvent::Merge {
                     into: current.id,
@@ -185,6 +338,13 @@ pub(crate) fn drive(
             }
             current
         };
+        let lone = configs.is_empty();
+        if !lone {
+            // Forks finalize their recording at the fork step, so no
+            // recorder survives into a multi-config iteration.
+            debug_assert!(recorder.is_none());
+            recorder = None;
+        }
 
         if steps >= config.fuel {
             return Err(AnalysisError::OutOfFuel { fuel: config.fuel });
@@ -205,33 +365,284 @@ pub(crate) fn drive(
                 });
             }
         }
-        steps += 1;
 
-        // Instruction fetch: visible to I-cache and shared observers.
-        bus.emit(TraceEvent::access(
-            current.id,
-            AccessKind::Fetch,
-            ValueSet::constant(u64::from(current.pc), 32),
-        ));
+        // One location resolution per step: the script probe, the
+        // fetch event, the decode, the memo probe, and the memo store
+        // all share it, so the segment scan runs once per step instead
+        // of once per concern.
+        let pc = current.pc;
+        let loc = decode.locate_hot(pc);
 
-        let (inst, len) = decode.decode_at(program, current.pc)?;
-        let effect = execute_decoded(
-            &mut table,
-            &mut current.state,
-            program,
-            current.pc,
-            inst,
-            len,
-        )?;
-
-        // Data accesses: visible to D-cache and shared observers.
-        for addr in effect.data_accesses {
-            bus.emit(TraceEvent::access(current.id, AccessKind::Data, addr));
+        // Superblock replay: a recorded straight-line run whose block
+        // live-ins match the current state replays as one unit.
+        if scripts_on && lone && recorder.is_none() {
+            if let Some((seg, off)) = loc {
+                if let Some(slot) = decode.segments[seg].1[off].as_deref() {
+                    if let Some(entry) = slot.scripts.as_ref().and_then(|s| s.probe(&current.state))
+                    {
+                        let l = entry.steps.len() as u64;
+                        // Replay only when every scripted step clears both
+                        // fuel limits: the naive loop checks before each
+                        // step, so `steps + l` within the limit means all
+                        // `l` per-step checks would have passed. Otherwise
+                        // fall through and let the per-step path trip the
+                        // error at the exact same step index as the naive
+                        // interpreter.
+                        if steps + l <= config.fuel
+                            && config.budget.fuel.is_none_or(|bf| steps + l <= bf)
+                        {
+                            for step in &entry.steps {
+                                bus.emit(TraceEvent::access(
+                                    current.id,
+                                    AccessKind::Fetch,
+                                    step.fetch.clone(),
+                                ));
+                                step.effect.apply(&mut table, &mut current.state);
+                                for a in &step.effect.accesses {
+                                    bus.emit(TraceEvent::access(
+                                        current.id,
+                                        AccessKind::Data,
+                                        a.clone(),
+                                    ));
+                                }
+                            }
+                            steps += l;
+                            stats.script_replays += 1;
+                            stats.script_steps += l;
+                            current.pc = entry.end_pc;
+                            configs.push(current);
+                            continue;
+                        }
+                    }
+                }
+            }
         }
 
-        match effect.next {
+        steps += 1;
+
+        // Resolve the decode slot, emitting the instruction-fetch event
+        // (visible to I-cache and shared observers) *before* any decode
+        // error can surface — matching the naive path's event/error
+        // order. The fetch set is the cached per-pc constant once the
+        // slot exists, a fresh set otherwise (identical contents).
+        let resolved = match loc {
+            Some((seg, off)) => {
+                let slot_ref = &mut decode.segments[seg].1[off];
+                match slot_ref.as_deref() {
+                    Some(slot) => bus.emit(TraceEvent::access(
+                        current.id,
+                        AccessKind::Fetch,
+                        slot.fetch.clone(),
+                    )),
+                    None => {
+                        bus.emit(TraceEvent::access(
+                            current.id,
+                            AccessKind::Fetch,
+                            ValueSet::constant(u64::from(pc), 32),
+                        ));
+                        let decoded = program.decode_at(pc)?;
+                        *slot_ref = Some(Box::new(Slot::new(pc, decoded)));
+                    }
+                }
+                let slot = slot_ref.as_deref_mut().expect("populated above");
+                let (inst, len) = slot.decoded;
+                let rw = slot.rw;
+                // Cold bookkeeping, key derivation, and the way probe
+                // exist only with the memo on: the naive path reads the
+                // decoded slot and moves on.
+                let mut way = None;
+                let mut hit = None;
+                let mut primed = false;
+                if memo_on {
+                    // A cold slot still retries every 16th visit —
+                    // inputs that stabilize late (accumulators reaching
+                    // a fixpoint, stores quiescing) must be able to warm
+                    // back up; a one-way door would freeze the slot
+                    // unkeyed forever.
+                    let keyed = slot.cold < COLD_CAP || slot.cold & 0x0F == 0;
+                    if !keyed {
+                        slot.cold = slot.cold.checked_add(1).unwrap_or(COLD_CAP);
+                    }
+                    // Probe: a full entry replays; a primed entry (same
+                    // key seen once, no effect yet) licenses recording
+                    // on this second miss.
+                    if keyed && memo::key_for(&rw, &current.state, &mut key_scratch) {
+                        let w = key_scratch.way();
+                        way = Some(w);
+                        if let Some(entry) = &slot.ways[w] {
+                            if entry.key == key_scratch {
+                                match &entry.effect {
+                                    Some(effect) => hit = Some(Arc::clone(effect)),
+                                    None => primed = true,
+                                }
+                            }
+                        }
+                        if hit.is_some() {
+                            slot.cold = 0;
+                        }
+                    }
+                }
+                let rec_fetch = (scripts_on && lone && hit.is_some()).then(|| slot.fetch.clone());
+                Some((inst, len, rw, way, hit, primed, rec_fetch))
+            }
+            None => {
+                // Outside every segment: fresh fetch set, uncached
+                // decode below.
+                bus.emit(TraceEvent::access(
+                    current.id,
+                    AccessKind::Fetch,
+                    ValueSet::constant(u64::from(pc), 32),
+                ));
+                None
+            }
+        };
+
+        let (next, len) = match resolved {
+            Some((_inst, len, rw, _way, Some(effect), _primed, rec_fetch)) => {
+                // Transfer memo hit: replay the recorded effect.
+                stats.transfer_hits += 1;
+                if scripts_on && lone {
+                    match &effect.next {
+                        Next::Fall | Next::Jump(_) => {
+                            let rec = recorder
+                                .get_or_insert_with(|| ScriptRecorder::new(pc, &current.state));
+                            let fetch = rec_fetch.expect("cloned for recording");
+                            if !rec.observe(&rw, &current.state, fetch, &effect) {
+                                recorder = None;
+                            }
+                        }
+                        // A fork or halt ends the straight-line run
+                        // *before* this step.
+                        _ => finalize_script(&mut recorder, &mut decode, pc),
+                    }
+                }
+                effect.apply(&mut table, &mut current.state);
+                for a in &effect.accesses {
+                    bus.emit(TraceEvent::access(current.id, AccessKind::Data, a.clone()));
+                }
+                (effect.next.clone(), len)
+            }
+            Some((inst, len, rw, way, None, primed, _)) => {
+                // Miss or bypass: run the real transfer. A script needs
+                // an unbroken run of memo hits, so any recording ends
+                // here (excluding this step).
+                stats.transfer_misses += 1;
+                finalize_script(&mut recorder, &mut decode, pc);
+                let effect = if let (Some(way), true) = (way, primed) {
+                    // Second miss on the same key: journal symbol-table
+                    // mutations and log memory writes so the effect can
+                    // be recorded and every later visit replays it.
+                    let pre_syms = table.len();
+                    table.begin_journal();
+                    let mut log = EffectLog::default();
+                    let result = execute_logged(
+                        &mut table,
+                        &mut current.state,
+                        program,
+                        pc,
+                        inst,
+                        len,
+                        Some(&mut log),
+                    );
+                    let journal = table.end_journal();
+                    let effect = result?;
+                    // The recording gate: a transfer that allocated
+                    // fresh symbols is not replayable (a replay must
+                    // observe the allocation), so only record when the
+                    // table did not grow. Offset recordings are fine —
+                    // they are journaled and idempotent.
+                    if table.len() == pre_syms {
+                        let mut reg_writes = Vec::with_capacity(rw.writes.count_ones() as usize);
+                        let mut w = rw.writes;
+                        while w != 0 {
+                            let code = w.trailing_zeros() as u8;
+                            w &= w - 1;
+                            let r = Reg::from_code(code);
+                            reg_writes.push((r, current.state.reg(r).clone()));
+                        }
+                        let stored = Arc::new(TransferEffect {
+                            reg_writes,
+                            flags: rw.flags_written.then(|| current.state.flags.clone()),
+                            mem_writes: log.mem_writes,
+                            journal,
+                            accesses: effect.data_accesses.iter().cloned().collect(),
+                            next: effect.next.clone(),
+                        });
+                        let (seg, off) = loc.expect("keyed step resolved a slot");
+                        if let Some(slot) = decode.segments[seg].1[off].as_deref_mut() {
+                            // The primed entry matched this step's key
+                            // at probe time and nothing else ran since;
+                            // fill its effect in place.
+                            if let Some(entry) = &mut slot.ways[way] {
+                                debug_assert!(entry.key == key_scratch);
+                                entry.effect = Some(stored);
+                            }
+                            slot.cold = slot.cold.saturating_add(1);
+                        }
+                    }
+                    effect
+                } else {
+                    let effect =
+                        execute_decoded(&mut table, &mut current.state, program, pc, inst, len)?;
+                    // First miss on a stable key: prime the way so a
+                    // repeat of these inputs records. No journal, no
+                    // logging — a step whose inputs never recur costs
+                    // only the key derivation plus this one clone.
+                    if let Some(way) = way {
+                        let (seg, off) = loc.expect("keyed step resolved a slot");
+                        if let Some(slot) = decode.segments[seg].1[off].as_deref_mut() {
+                            slot.ways[way] = Some(MemoEntry {
+                                key: key_scratch.clone(),
+                                effect: None,
+                            });
+                            slot.cold = slot.cold.saturating_add(1);
+                        }
+                    }
+                    effect
+                };
+                // Data accesses: visible to D-cache and shared observers.
+                for addr in effect.data_accesses {
+                    bus.emit(TraceEvent::access(current.id, AccessKind::Data, addr));
+                }
+                (effect.next, len)
+            }
+            None => {
+                // Outside every segment: the fully uncached naive path.
+                stats.transfer_misses += 1;
+                finalize_script(&mut recorder, &mut decode, pc);
+                let (inst, len) = program.decode_at(pc)?;
+                let effect =
+                    execute_decoded(&mut table, &mut current.state, program, pc, inst, len)?;
+                for addr in effect.data_accesses {
+                    bus.emit(TraceEvent::access(current.id, AccessKind::Data, addr));
+                }
+                (effect.next, len)
+            }
+        };
+
+        // Close out a recording that looped back to its start (the
+        // back-edge case — a whole loop body becomes one script) or hit
+        // its length cap.
+        if recorder.is_some() {
+            let new_pc = match &next {
+                Next::Fall => Some(pc.wrapping_add(len)),
+                Next::Jump(t) => Some(*t),
+                _ => None,
+            };
+            match new_pc {
+                Some(np) => {
+                    let rec = recorder.as_ref().expect("checked above");
+                    if np == rec.start_pc || rec.full() {
+                        finalize_script(&mut recorder, &mut decode, np);
+                    }
+                }
+                None => recorder = None,
+            }
+        }
+
+        match next {
             Next::Fall => {
-                current.pc = current.pc.wrapping_add(effect.len);
+                current.pc = pc.wrapping_add(len);
                 configs.push(current);
             }
             Next::Jump(t) => {
@@ -256,7 +667,7 @@ pub(crate) fn drive(
                 if let Some((r, v)) = plan.refine_fall {
                     current.state.refine_reg(r, v);
                 }
-                current.pc = current.pc.wrapping_add(effect.len);
+                current.pc = pc.wrapping_add(len);
                 configs.push(current);
                 configs.push(forked);
                 if configs.len() > config.max_configs {
@@ -331,6 +742,25 @@ mod tests {
         // Outside every segment the cache falls through to the oracle.
         assert!(cache.locate(0x2_0000).is_none());
         assert!(cache.decode_at(&program, 0x2_0000).is_err());
+    }
+
+    #[test]
+    fn populated_slots_cache_fetch_sets_and_footprints() {
+        let program = split_program();
+        let mut cache = DecodeCache::new(&program);
+        let entry = program.entry();
+        assert!(
+            cache.existing_slot(entry).is_none(),
+            "no slot before first decode"
+        );
+        assert!(cache.cached_fetch(entry).is_none());
+        cache.decode_at(&program, entry).expect("entry decodes");
+        let fetch = cache.cached_fetch(entry).expect("slot populated");
+        assert_eq!(fetch, ValueSet::constant(u64::from(entry), 32));
+        let slot = cache.existing_slot(entry).expect("slot populated");
+        // `mov edx, 0` writes edx, reads nothing.
+        assert_eq!(slot.rw.writes, 1 << Reg::Edx.code());
+        assert_eq!(slot.rw.reads, 0);
     }
 
     #[test]

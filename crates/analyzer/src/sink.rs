@@ -137,7 +137,7 @@ impl AccessKind {
 /// boxing it to shrink the enum would buy nothing and cost a heap
 /// allocation per access on the hottest path.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// Configuration `parent` forked; `child` continues on the taken
     /// branch with a duplicated frontier.

@@ -128,17 +128,52 @@ impl CacheKeyed for FlagsState {
 /// forked path actually writes ([`Arc::make_mut`]). Diamond-shaped code
 /// whose branches never touch memory — the common case in the case-study
 /// binaries — never pays for the copy.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AbstractMemory {
     entries: Arc<BTreeMap<MaskedSymbol, (ValueSet, u8)>>,
     /// Set once a store through `Top` clobbered everything.
     havocked: bool,
+    /// Content-identity stamp for the interpreter memo (see
+    /// [`AbstractMemory::stamp`]). Not part of equality.
+    stamp: u64,
 }
+
+/// Process-global allocator for memory stamps. Stamp `0` is reserved for
+/// fresh ([`Default`]) memories — which are all content-equal (empty, not
+/// havocked) — so the counter starts at 1.
+fn fresh_stamp() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Equality is over *contents* (entries and the havoc flag); the memo
+/// stamp is bookkeeping and deliberately excluded.
+impl PartialEq for AbstractMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.havocked == other.havocked && self.entries == other.entries
+    }
+}
+
+impl Eq for AbstractMemory {}
 
 impl AbstractMemory {
     /// Empty memory (all-high, program image visible).
     pub fn new() -> Self {
         AbstractMemory::default()
+    }
+
+    /// Content-identity stamp for the interpreter memo.
+    ///
+    /// Invariant: two memories (from the same process) with equal stamps
+    /// have equal contents — stamp values are allocated once per mutation
+    /// from a process-global counter and then propagated only along
+    /// content-preserving paths (clone, and the `ptr_eq` join fast path
+    /// when the havoc flag is unchanged). The converse does *not* hold:
+    /// differing stamps say nothing, so a memo keyed on the stamp can
+    /// miss but never wrongly hit.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Number of tracked entries.
@@ -196,6 +231,7 @@ impl AbstractMemory {
             self.havoc();
             return;
         }
+        self.stamp = fresh_stamp();
         if let Some(single) = addrs.as_singleton() {
             Arc::make_mut(&mut self.entries).insert(single, (value, size));
             return;
@@ -217,6 +253,7 @@ impl AbstractMemory {
     pub fn havoc(&mut self) {
         self.entries = Arc::new(BTreeMap::new());
         self.havocked = true;
+        self.stamp = fresh_stamp();
     }
 
     /// Join: keep only entries present and mergeable in both memories.
@@ -227,6 +264,13 @@ impl AbstractMemory {
             return AbstractMemory {
                 entries: Arc::clone(&self.entries),
                 havocked,
+                // The result has self's contents iff the havoc flag is
+                // unchanged; otherwise it is a new content identity.
+                stamp: if havocked == self.havocked {
+                    self.stamp
+                } else {
+                    fresh_stamp()
+                },
             };
         }
         let mut entries = BTreeMap::new();
@@ -240,6 +284,7 @@ impl AbstractMemory {
         AbstractMemory {
             entries: Arc::new(entries),
             havocked,
+            stamp: fresh_stamp(),
         }
     }
 }

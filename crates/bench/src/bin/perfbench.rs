@@ -15,12 +15,18 @@
 //!
 //! * `--quick`: 1 iteration, no warmup, print to stdout only (CI mode —
 //!   proves the harness runs, commits nothing).
-//! * `--out FILE`: write the JSON report (default `BENCH_6.json`).
+//! * `--out FILE`: write the JSON report (default `BENCH_8.json`).
 //! * `--baseline FILE`: embed a previous perfbench report as the
 //!   `baseline` field and compute `speedup_vs_baseline`.
 //!
-//! JSON schema (`leakaudit-perfbench/v6` — v5 plus the host
-//! calibration number and per-scenario phase timings): `label`,
+//! JSON schema (`leakaudit-perfbench/v7` — v6 plus the interpreter-memo
+//! run totals (`interp_memo`: cumulative transfer-memo hit/miss and
+//! superblock-script counters over one analysis of every scenario) and,
+//! when a v6+ baseline is given, `phase_speedup_vs_baseline` — the
+//! per-scenario interpret/replay/count phase ratios, extracted *scoped*
+//! to each scenario's own object inside the baseline's
+//! `scenario_phases_ms` so identical field names in sibling scenarios
+//! or the embedded baseline-of-the-baseline can't bleed in): `label`,
 //! `iters`, `warmup`, `threads`, `host_calib_ms` (median wall time of
 //! a fixed synthetic integer workload — identical instructions on every
 //! PR and build, so reports recorded on different boots can be
@@ -55,7 +61,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use leakaudit_analyzer::PhaseTimings;
+use leakaudit_analyzer::{MemoStats, PhaseTimings};
 use leakaudit_cache::Policy;
 use leakaudit_scenarios::{analyze_all, Registry, Scenario};
 use leakaudit_service::{Daemon, Json, SweepEngine};
@@ -73,7 +79,7 @@ fn parse_args() -> Args {
         iters: 7,
         warmup: 2,
         label: String::from("perfbench"),
-        out: Some(String::from("BENCH_7.json")),
+        out: Some(String::from("BENCH_8.json")),
         baseline: None,
     };
     let mut it = std::env::args().skip(1);
@@ -144,6 +150,23 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts `field` from the `name`-keyed object inside the named
+/// top-level `section` of a previous report. [`extract_number`] is a
+/// first-occurrence scan — fine for globally-unique keys, wrong for
+/// per-scenario phase fields whose names (`interpret`, `replay`,
+/// `count`) repeat in every sibling object *and* in the embedded
+/// baseline-of-the-baseline. This narrows the scan to the scenario's
+/// own `{...}` before extracting.
+fn extract_scoped(json: &str, section: &str, name: &str, field: &str) -> Option<f64> {
+    let sec_needle = format!("\"{section}\":");
+    let body = &json[json.find(&sec_needle)? + sec_needle.len()..];
+    let obj_needle = format!("\"{name}\":");
+    let obj = &body[body.find(&obj_needle)? + obj_needle.len()..];
+    let open = obj.find('{')?;
+    let close = obj[open..].find('}')? + open;
+    extract_number(&obj[open..=close], field)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -203,10 +226,14 @@ fn main() {
 
     let mut scenario_ms: Vec<(&str, f64)> = Vec::new();
     let mut scenario_phases: Vec<(&str, PhaseTimings)> = Vec::new();
+    let mut memo_totals = MemoStats::default();
     for s in &scenarios {
         let mut phases = PhaseTimings::default();
+        let mut memo = MemoStats::default();
         let ms = measure(args.iters, args.warmup, || {
-            phases = s.analyze().expect("analysis converges").timings();
+            let report = s.analyze().expect("analysis converges");
+            phases = report.timings();
+            memo = report.memo_stats();
         });
         println!("  {:<42} {:>9.2} ms", s.name, ms);
         println!(
@@ -217,8 +244,16 @@ fn main() {
         );
         scenario_ms.push((s.name.as_str(), ms));
         scenario_phases.push((s.name.as_str(), phases));
+        memo_totals.accumulate(&memo);
     }
     let total_sequential: f64 = scenario_ms.iter().map(|(_, ms)| ms).sum();
+    println!(
+        "  interp memo: {} transfer hits / {} misses, {} script replays covering {} steps",
+        memo_totals.transfer_hits,
+        memo_totals.transfer_misses,
+        memo_totals.script_replays,
+        memo_totals.script_steps,
+    );
 
     let batch_ms = measure(args.iters, args.warmup, || {
         let batch = analyze_all(&scenarios);
@@ -383,6 +418,25 @@ fn main() {
                 extract_number(base, "total_sequential_ms").unwrap_or(f64::NAN) / total_sequential,
             );
         }
+        // Per-phase ratios, scoped to each scenario's own object in the
+        // baseline's `scenario_phases_ms` (absent for pre-v6 baselines).
+        let ratio = |name: &str, field: &str, current_ms: f64| -> String {
+            match extract_scoped(base, "scenario_phases_ms", name, field) {
+                Some(b) if current_ms > 0.0 => format!("{:.2}x", b / current_ms),
+                _ => "n/a".into(),
+            }
+        };
+        for (name, phases) in &scenario_phases {
+            let interpret = ratio(name, "interpret", phase_ms(phases.interpret));
+            if interpret == "n/a" {
+                continue;
+            }
+            println!(
+                "  phase speedup vs baseline: {name} interpret {interpret} | replay {} | count {}",
+                ratio(name, "replay", phase_ms(phases.replay)),
+                ratio(name, "count", phase_ms(phases.count)),
+            );
+        }
     }
 
     let Some(out_path) = &args.out else {
@@ -391,7 +445,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v6\",");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v7\",");
     let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
@@ -419,6 +473,15 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"interp_memo\": {{\"transfer_hits\": {}, \"transfer_misses\": {}, \
+         \"script_replays\": {}, \"script_steps\": {}}},",
+        memo_totals.transfer_hits,
+        memo_totals.transfer_misses,
+        memo_totals.script_replays,
+        memo_totals.script_steps,
+    );
     let _ = writeln!(json, "  \"total_sequential_ms\": {total_sequential:.3},");
     let _ = writeln!(json, "  \"batch_all_8_ms\": {batch_ms:.3},");
     let _ = writeln!(json, "  \"sweep_cells\": {sweep_cells},");
@@ -457,6 +520,29 @@ fn main() {
             let speedup_stream = speedup("sweep_stream_warm_ms", sweep_stream_warm_ms);
             let speedup_group = speedup("granularity_group_cold_ms", granularity_group_cold_ms);
             let speedup_evicting = speedup("evicting_sweep_ms", evicting_sweep_ms);
+            // Scoped per-scenario phase ratios (null per-field when the
+            // baseline predates scenario_phases_ms or a phase is zero).
+            let phase_speedup = |name: &str, field: &str, current_ms: f64| {
+                extract_scoped(base, "scenario_phases_ms", name, field)
+                    .filter(|_| current_ms > 0.0)
+                    .map_or_else(|| "null".into(), |b| format!("{:.3}", b / current_ms))
+            };
+            let _ = writeln!(json, "  \"phase_speedup_vs_baseline\": {{");
+            for (i, (name, phases)) in scenario_phases.iter().enumerate() {
+                let comma = if i + 1 < scenario_phases.len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    json,
+                    "    \"{name}\": {{\"interpret\": {}, \"replay\": {}, \"count\": {}}}{comma}",
+                    phase_speedup(name, "interpret", phase_ms(phases.interpret)),
+                    phase_speedup(name, "replay", phase_ms(phases.replay)),
+                    phase_speedup(name, "count", phase_ms(phases.count)),
+                );
+            }
+            let _ = writeln!(json, "  }},");
             let indented = base.trim_end().replace('\n', "\n  ");
             let _ = writeln!(json, "  \"baseline\": {indented},");
             let _ = writeln!(json, "  \"speedup_vs_baseline\": {{");

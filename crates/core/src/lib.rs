@@ -76,6 +76,6 @@ pub use mask::{Mask, MaskBit};
 pub use msym::MaskedSymbol;
 pub use observer::{project_range, ObsSet, Observation, Observer};
 pub use ops::{apply, mul, neg, not, shl, shr, AbstractBool, AbstractFlags, BinOp, OpResult};
-pub use sym::{Provenance, SymId, SymbolTable};
+pub use sym::{OffsetRecord, Provenance, SymId, SymbolTable};
 pub use trace::{Cursor, Label, TraceDag, VertexId};
 pub use value::{apply_set, map_set, MemoKey, ValueSet, MAX_CARDINALITY};

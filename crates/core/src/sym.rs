@@ -79,7 +79,16 @@ pub struct SymbolTable {
     origin: HashMap<MaskedSymbol, (MaskedSymbol, u64)>,
     /// `succ(origin, offset)` memo of §5.4.2.
     succ: HashMap<(MaskedSymbol, u64), MaskedSymbol>,
+    /// When journaling (see [`SymbolTable::begin_journal`]), every
+    /// [`SymbolTable::record_offset`] call that passes the early-return
+    /// guard is also appended here, so a memo layer can replay the
+    /// table mutations of a recorded transfer verbatim.
+    journal: Option<Vec<OffsetRecord>>,
 }
+
+/// One journaled [`SymbolTable::record_offset`] call:
+/// `(derived, origin, offset)`.
+pub type OffsetRecord = (MaskedSymbol, MaskedSymbol, u64);
 
 impl crate::fingerprint::CacheKeyed for SymbolTable {
     /// Encodes the allocated symbols (names and provenance, in id
@@ -109,7 +118,25 @@ impl SymbolTable {
             provenance: vec![Provenance::Input],
             origin: HashMap::new(),
             succ: HashMap::new(),
+            journal: None,
         }
+    }
+
+    /// Starts journaling [`SymbolTable::record_offset`] calls.
+    ///
+    /// While a journal is active, every effective `record_offset`
+    /// (one that passes the `derived == origin || offset == 0` guard)
+    /// is appended to the journal in call order. Used by the
+    /// interpreter memo to capture the table mutations of a recorded
+    /// transfer; replaying them is idempotent because `record_offset`
+    /// is (insert into `origin`, `or_insert` into `succ`).
+    pub fn begin_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Stops journaling and returns the recorded calls.
+    pub fn end_journal(&mut self) -> Vec<OffsetRecord> {
+        self.journal.take().unwrap_or_default()
     }
 
     /// Allocates a fresh *input* symbol (an element of `Sym_lo`).
@@ -180,6 +207,9 @@ impl SymbolTable {
     pub fn record_offset(&mut self, derived: MaskedSymbol, origin: MaskedSymbol, offset: u64) {
         if derived == origin || offset == 0 {
             return;
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.push((derived, origin, offset));
         }
         self.origin.insert(derived, (origin, offset));
         self.succ.entry((origin, offset)).or_insert(derived);

@@ -119,6 +119,18 @@ pub enum MemoKey {
     Top(u8),
 }
 
+impl MemoKey {
+    /// `true` when the key is worth memoizing on. `Top` keys are
+    /// *unstable*: an oversized set widened to `Top` carries no identity
+    /// beyond its width, and the abstract transfers consuming `Top`
+    /// inputs are already cheap early-out paths (`Top` in, `Top` out),
+    /// so memo layers bypass rather than cache them — caching would only
+    /// churn ways that precise inputs could use.
+    pub fn is_stable(&self) -> bool {
+        !matches!(self, MemoKey::Top(_))
+    }
+}
+
 impl ValueSet {
     /// The singleton set of a known constant.
     pub fn constant(value: u64, width: u8) -> Self {

@@ -49,9 +49,11 @@
 //! request's [`AuditProfile`]): `block_bits`/`bank_bits`/`page_bits`
 //! select the observer-granularity family, `fuel` moves the divergence
 //! guard, `budget` (`{"fuel":…,"deadline_ms":…}`) bounds each cell of
-//! the job individually, and `cycle_model` (`"lru"`/`"fifo"`/`"plru"`)
-//! adds the cycle column. Overridden results are cached under distinct
-//! keys.
+//! the job individually, `cycle_model` (`"lru"`/`"fifo"`/`"plru"`)
+//! adds the cycle column, and `interp_memo` (boolean) toggles the
+//! interpreter's memo layer (diagnostics only — results are identical
+//! either way and cache under the same keys). Other overridden results
+//! are cached under distinct keys.
 //!
 //! `result` blocks until the job finishes; `stream` pushes each cell as
 //! its analysis lands; `poll` never blocks. A collected job stays
@@ -550,6 +552,22 @@ impl Daemon {
                     ])
                 },
             ),
+            (
+                // Daemon-lifetime interpreter-memo counters: how often
+                // the per-pc transfer memo and the superblock scripts
+                // short-circuited the abstract interpreter. Same scope
+                // as `timings` — cache-served cells contribute nothing.
+                "interp_memo",
+                {
+                    let memo = self.engine.memo_totals();
+                    Json::obj([
+                        ("transfer_hits", Json::num(memo.transfer_hits)),
+                        ("transfer_misses", Json::num(memo.transfer_misses)),
+                        ("script_replays", Json::num(memo.script_replays)),
+                        ("script_steps", Json::num(memo.script_steps)),
+                    ])
+                },
+            ),
             ("workers", Json::num(self.engine.workers() as u64)),
         ])
     }
@@ -609,6 +627,12 @@ fn parse_profile(config: &Json) -> Result<AuditProfile, String> {
                     }
                 }
                 profile.budget = budget;
+            }
+            "interp_memo" => {
+                profile.interp_memo = Some(match value {
+                    Json::Bool(b) => *b,
+                    _ => return Err("\"interp_memo\" must be a boolean".into()),
+                });
             }
             "cycle_model" => {
                 profile.cycle_model = Some(match value.as_str() {
@@ -841,7 +865,11 @@ mod tests {
     #[test]
     fn stats_and_shutdown() {
         let d = daemon();
-        d.handle_line(r#"{"op":"submit_sweep","specs":["square-and-always-multiply[O2,b=6]"]}"#);
+        // defensive-gather revisits its gather loop with recurring input
+        // identities, so the interpreter-memo counters below are
+        // guaranteed to move (square-and-multiply runs are too short
+        // and counter-dependent to hit the memo).
+        d.handle_line(r#"{"op":"submit_sweep","specs":["defensive-gather[s=8,n=384,b=6]"]}"#);
         d.handle_line(r#"{"op":"result","job":0}"#);
         let stats = Json::parse(&d.handle_line(r#"{"op":"stats"}"#)).unwrap();
         assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
@@ -858,6 +886,20 @@ mod tests {
             .map(|k| timings.get(k).and_then(Json::as_u64).unwrap())
             .sum();
         assert!(phase_us > 0, "computed cell leaves nonzero phase time");
+
+        // Interpreter-memo counters ride beside the timings block: the
+        // square-and-multiply loop revisits its body thousands of
+        // times, so the transfer memo must have hit, and every step is
+        // either a hit, a miss, or covered by a script replay.
+        let memo = stats.get("interp_memo").unwrap();
+        let hits = memo.get("transfer_hits").and_then(Json::as_u64).unwrap();
+        let misses = memo.get("transfer_misses").and_then(Json::as_u64).unwrap();
+        let replays = memo.get("script_replays").and_then(Json::as_u64).unwrap();
+        let scripted = memo.get("script_steps").and_then(Json::as_u64).unwrap();
+        assert!(hits > 0, "loop bodies must hit the transfer memo");
+        assert!(misses > 0, "first visits always miss");
+        assert!(replays > 0, "the gather loop repeats as a superblock");
+        assert!(scripted >= replays, "a replay covers at least one step");
 
         assert!(!d.is_shutdown());
         let bye = Json::parse(&d.handle_line(r#"{"op":"shutdown"}"#)).unwrap();

@@ -33,7 +33,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use leakaudit_analyzer::{
-    AnalysisConfig, AnalysisError, BatchTicket, Budget, Executor, LeakReport, OwnedJob,
+    AnalysisConfig, AnalysisError, BatchTicket, Budget, Executor, LeakReport, MemoStats, OwnedJob,
     PhaseTotals, ProgressProbe,
 };
 use leakaudit_cache::{CacheConfig, CycleModel, Hierarchy, Policy};
@@ -67,6 +67,11 @@ pub struct AuditProfile {
     /// Request-scoped cycle-model column (overrides the engine-level
     /// [`SweepEngine::with_cycle_model`] policy for this sweep only).
     pub cycle_model: Option<Policy>,
+    /// Override for the interpreter's memo layer (`Some(false)` forces
+    /// the naive reference path). Not part of result identity — memoized
+    /// and naive runs are bit-identical by construction, so flipping
+    /// this never changes a cache key or a row.
+    pub interp_memo: Option<bool>,
 }
 
 impl AuditProfile {
@@ -84,6 +89,9 @@ impl AuditProfile {
         }
         if let Some(fuel) = self.fuel {
             config.fuel = fuel;
+        }
+        if let Some(memo) = self.interp_memo {
+            config.interp_memo = memo;
         }
         config.budget = self.budget;
         config
@@ -510,6 +518,15 @@ impl SweepEngine {
         self.executor
             .get()
             .map_or_else(PhaseTotals::default, Executor::phase_totals)
+    }
+
+    /// Cumulative interpreter-memo hit/miss counters across every
+    /// analysis this engine's executor completed (zero when the pool
+    /// was never spawned; cache hits contribute nothing).
+    pub fn memo_totals(&self) -> MemoStats {
+        self.executor
+            .get()
+            .map_or_else(MemoStats::default, Executor::memo_totals)
     }
 
     /// Answers one cell (a "single query" against the service).

@@ -181,6 +181,59 @@ fn mixed_interpretations_split_groups_but_not_results() {
 }
 
 #[test]
+fn memo_off_union_pass_is_byte_identical_and_key_identical() {
+    // The interpreter's memo layer is a pure accelerator: a grouped
+    // (union-pass) granularity sweep with the memo forced off must
+    // produce the same groups, the same cache keys (the flag is not
+    // part of result identity), and the same wire bytes in every row
+    // as the default memoized sweep. Fresh engines on both sides so
+    // nothing is served from cache.
+    use leakaudit_service::AuditProfile;
+    let registry = Registry::granularity_sweep();
+
+    let memo_on = SweepEngine::new().run(&registry);
+    assert!(memo_on.shared_pass() > 0, "groups must form");
+
+    let naive_profile = AuditProfile {
+        interp_memo: Some(false),
+        ..AuditProfile::default()
+    };
+    let naive_engine = SweepEngine::new();
+    let memo_off = naive_engine.run_with(registry.specs(), &naive_profile);
+    assert_eq!(memo_off.computed(), memo_on.computed());
+    assert_eq!(memo_off.shared_pass(), memo_on.shared_pass());
+
+    for (on, off) in memo_on.cells().iter().zip(memo_off.cells()) {
+        assert_eq!(on.spec.id(), off.spec.id());
+        assert_eq!(
+            on.key,
+            off.key,
+            "{}: the memo flag must not enter result identity",
+            on.spec.id()
+        );
+        assert_eq!(
+            on.provenance,
+            off.provenance,
+            "{}: grouping must not depend on the memo",
+            on.spec.id()
+        );
+        assert_eq!(
+            rendered_rows(on),
+            rendered_rows(off),
+            "{}: naive union-pass rows must be byte-identical",
+            on.spec.id()
+        );
+    }
+
+    // The naive engine really did take the naive path: its lifetime
+    // memo counters show misses and not a single hit or script step.
+    let stats = naive_engine.memo_totals();
+    assert_eq!(stats.transfer_hits, 0, "memo off must never hit");
+    assert_eq!(stats.script_steps, 0, "memo off must never script");
+    assert!(stats.transfer_misses > 0, "naive steps count as misses");
+}
+
+#[test]
 fn phase_timings_ride_along_without_touching_identity() {
     use leakaudit_analyzer::PhaseTimings;
     use std::time::Duration;
