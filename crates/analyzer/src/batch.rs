@@ -529,6 +529,8 @@ struct ExecutorShared {
     transfer_hits: AtomicU64,
     transfer_misses: AtomicU64,
     script_replays: AtomicU64,
+    script_replays_lone: AtomicU64,
+    script_replays_forked: AtomicU64,
     script_steps: AtomicU64,
 }
 
@@ -549,6 +551,10 @@ impl ExecutorShared {
             .fetch_add(m.transfer_misses, Ordering::Relaxed);
         self.script_replays
             .fetch_add(m.script_replays, Ordering::Relaxed);
+        self.script_replays_lone
+            .fetch_add(m.script_replays_lone, Ordering::Relaxed);
+        self.script_replays_forked
+            .fetch_add(m.script_replays_forked, Ordering::Relaxed);
         self.script_steps
             .fetch_add(m.script_steps, Ordering::Relaxed);
     }
@@ -614,6 +620,8 @@ impl Executor {
             transfer_hits: AtomicU64::new(0),
             transfer_misses: AtomicU64::new(0),
             script_replays: AtomicU64::new(0),
+            script_replays_lone: AtomicU64::new(0),
+            script_replays_forked: AtomicU64::new(0),
             script_steps: AtomicU64::new(0),
         });
         let workers = (0..threads)
@@ -669,6 +677,8 @@ impl Executor {
             transfer_hits: self.shared.transfer_hits.load(Ordering::Relaxed),
             transfer_misses: self.shared.transfer_misses.load(Ordering::Relaxed),
             script_replays: self.shared.script_replays.load(Ordering::Relaxed),
+            script_replays_lone: self.shared.script_replays_lone.load(Ordering::Relaxed),
+            script_replays_forked: self.shared.script_replays_forked.load(Ordering::Relaxed),
             script_steps: self.shared.script_steps.load(Ordering::Relaxed),
         }
     }

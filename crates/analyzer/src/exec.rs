@@ -39,15 +39,62 @@ pub struct ForkPlan {
     pub refine_fall: Option<(Reg, ValueSet)>,
 }
 
-/// Which flags an instruction's transfer reads.
+/// Flag-bit masks for [`FlagsRead::mask`], in canonical (zf, cf, sf, of)
+/// order — the packing order of the memo's flag key tokens.
+pub(crate) const FLAG_ZF: u8 = 1 << 0;
+/// Carry flag bit.
+pub(crate) const FLAG_CF: u8 = 1 << 1;
+/// Sign flag bit.
+pub(crate) const FLAG_SF: u8 = 1 << 2;
+/// Overflow flag bit.
+pub(crate) const FLAG_OF: u8 = 1 << 3;
+
+/// Which flag inputs an instruction's transfer consults — per *bit*, not
+/// all-or-nothing. This is the dead-input side of the memo key: a `je`
+/// reads only ZF, so sibling configurations differing in CF/SF/OF (or in
+/// stale branch-refinement provenance) still share a key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum FlagsRead {
+pub(crate) struct FlagsRead {
+    /// Consulted flag bits ([`FLAG_ZF`] | [`FLAG_CF`] | [`FLAG_SF`] |
+    /// [`FLAG_OF`]). Unconsulted bits are dead inputs and never keyed.
+    pub mask: u8,
+    /// `true` when the transfer consults the ZF refinement provenance
+    /// ([`crate::state::FlagSource`]) — only `je`/`jne`, and only when
+    /// ZF is undecided (`plan_fork` is unreachable otherwise), which the
+    /// memo key can see because ZF itself is always in `mask` here.
+    pub provenance: bool,
+}
+
+impl FlagsRead {
     /// No flag dependence.
-    No,
-    /// Only CF (`inc`/`dec` preserve it across the flag assignment).
-    Cf,
-    /// The full flag state, including branch-refinement provenance.
-    All,
+    pub(crate) const NO: FlagsRead = FlagsRead {
+        mask: 0,
+        provenance: false,
+    };
+
+    fn bits(mask: u8) -> FlagsRead {
+        FlagsRead {
+            mask,
+            provenance: false,
+        }
+    }
+}
+
+/// The flag bits [`eval_cond`] consults for `cond` — exactly the live
+/// inputs of a `jcc`/`setcc`/`cmovcc` transfer. Must stay in lockstep
+/// with `eval_cond` case by case.
+pub(crate) fn cond_flags(cond: Cond) -> u8 {
+    match cond {
+        Cond::O | Cond::No => FLAG_OF,
+        Cond::B | Cond::Ae => FLAG_CF,
+        Cond::E | Cond::Ne => FLAG_ZF,
+        Cond::Be | Cond::A => FLAG_CF | FLAG_ZF,
+        Cond::S | Cond::Ns => FLAG_SF,
+        // Parity is not tracked abstractly: always `Top`, no flag read.
+        Cond::P | Cond::Np => 0,
+        Cond::L | Cond::Ge => FLAG_SF | FLAG_OF,
+        Cond::Le | Cond::G => FLAG_ZF | FLAG_SF | FLAG_OF,
+    }
 }
 
 /// The static read/write footprint of one decoded instruction: which
@@ -80,7 +127,7 @@ impl RwSets {
     const NONE: RwSets = RwSets {
         reads: 0,
         writes: 0,
-        flags_read: FlagsRead::No,
+        flags_read: FlagsRead::NO,
         flags_written: false,
         mem_read: false,
         mem_written: false,
@@ -133,6 +180,13 @@ impl RwSets {
 /// input the transfer consumes appears in the read set, every output in
 /// the write set. Over-approximation on either side is safe (spurious
 /// memo misses / spurious snapshot entries), under-approximation is not.
+///
+/// The read sets are *minimal* — dead inputs are deliberately absent, so
+/// the memo key widens across states that differ only in dead state.
+/// Register reads are exact per instruction (an operand register that is
+/// only overwritten, like `pop`'s destination, is never listed), and the
+/// flag reads are per-bit ([`FlagsRead::mask`]) with the `je`/`jne`
+/// refinement provenance tracked separately ([`FlagsRead::provenance`]).
 pub(crate) fn rw_sets(inst: &Inst) -> RwSets {
     let mut rw = RwSets::NONE;
     match inst {
@@ -211,7 +265,7 @@ pub(crate) fn rw_sets(inst: &Inst) -> RwSets {
         Inst::Inc { dst } | Inst::Dec { dst } => {
             rw.read_reg(*dst);
             // CF is preserved across the flag assignment — a read.
-            rw.flags_read = FlagsRead::Cf;
+            rw.flags_read = FlagsRead::bits(FLAG_CF);
             rw.write_reg(*dst);
             rw.flags_written = true;
         }
@@ -227,9 +281,14 @@ pub(crate) fn rw_sets(inst: &Inst) -> RwSets {
             rw.write_reg(Reg::Esp);
             rw.write_reg(*dst);
         }
-        Inst::Jcc { .. } => {
-            // `eval_cond` plus `plan_fork`'s provenance refinement.
-            rw.flags_read = FlagsRead::All;
+        Inst::Jcc { cond, .. } => {
+            // `eval_cond` consults only the condition's flag bits;
+            // `plan_fork`'s provenance refinement is consulted only for
+            // `je`/`jne` (and only reachable when ZF is undecided).
+            rw.flags_read = FlagsRead {
+                mask: cond_flags(*cond),
+                provenance: matches!(cond, Cond::E | Cond::Ne),
+            };
         }
         Inst::Call { .. } => {
             rw.read_reg(Reg::Esp);
@@ -241,15 +300,17 @@ pub(crate) fn rw_sets(inst: &Inst) -> RwSets {
             rw.mem_read = true;
             rw.write_reg(Reg::Esp);
         }
-        Inst::Setcc { dst, .. } => {
-            rw.flags_read = FlagsRead::All;
+        Inst::Setcc { cond, dst } => {
+            // Only `eval_cond` — never the refinement provenance.
+            rw.flags_read = FlagsRead::bits(cond_flags(*cond));
             rw.read_reg(dst.parent());
             rw.write_reg(dst.parent());
         }
-        Inst::Cmovcc { dst, src, .. } => {
+        Inst::Cmovcc { cond, dst, src } => {
             rw.read_op(src);
             rw.read_reg(*dst);
-            rw.flags_read = FlagsRead::All;
+            // Only `eval_cond` — never the refinement provenance.
+            rw.flags_read = FlagsRead::bits(cond_flags(*cond));
             rw.write_reg(*dst);
         }
     }

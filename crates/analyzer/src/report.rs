@@ -57,8 +57,13 @@ pub struct MemoStats {
     pub transfer_hits: u64,
     /// Transfer memo misses and bypasses (naive transfer executed).
     pub transfer_misses: u64,
-    /// Superblock script replays.
+    /// Superblock script replays (lone + forked).
     pub script_replays: u64,
+    /// Script replays taken while a single configuration was live.
+    pub script_replays_lone: u64,
+    /// Script replays taken while fork siblings were live — the
+    /// fork-coverage counter; always ≤ `script_replays`.
+    pub script_replays_forked: u64,
     /// Abstract steps covered by script replays.
     pub script_steps: u64,
 }
@@ -69,6 +74,8 @@ impl MemoStats {
         self.transfer_hits += other.transfer_hits;
         self.transfer_misses += other.transfer_misses;
         self.script_replays += other.script_replays;
+        self.script_replays_lone += other.script_replays_lone;
+        self.script_replays_forked += other.script_replays_forked;
         self.script_steps += other.script_steps;
     }
 }

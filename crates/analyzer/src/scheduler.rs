@@ -47,7 +47,7 @@ use leakaudit_core::ValueSet;
 use leakaudit_x86::{Inst, Program};
 
 use crate::exec::{execute_decoded, execute_logged, rw_sets, EffectLog, Next, RwSets};
-use crate::memo::{self, MemoEntry, ScriptRecorder, ScriptSet, TransferEffect, WAYS};
+use crate::memo::{self, ScriptRecorder, ScriptSet, TransferEffect, WayProbe, WaySet};
 use crate::report::MemoStats;
 use crate::sink::{AccessKind, ConfigId, EventBus, TraceEvent};
 use crate::state::InitState;
@@ -78,7 +78,7 @@ pub(crate) struct Slot {
     decoded: (Inst, u32),
     fetch: ValueSet,
     rw: RwSets,
-    ways: [Option<MemoEntry>; WAYS],
+    ways: WaySet,
     scripts: Option<Box<ScriptSet>>,
     /// Consecutive keyed misses with no hit. Once it reaches
     /// [`COLD_CAP`] the slot stops deriving keys: a pc whose inputs
@@ -107,7 +107,7 @@ impl Slot {
             fetch: ValueSet::constant(u64::from(pc), 32),
             rw: rw_sets(&decoded.0),
             decoded,
-            ways: Default::default(),
+            ways: WaySet::default(),
             scripts: None,
             cold: 0,
         }
@@ -236,13 +236,63 @@ impl DecodeCache {
     }
 }
 
-/// Finalizes an active script recording (if any) as ending at `end_pc`,
-/// storing it when long enough to be worth replaying.
-fn finalize_script(recorder: &mut Option<ScriptRecorder>, decode: &mut DecodeCache, end_pc: u32) {
-    if let Some(rec) = recorder.take() {
-        let start = rec.start_pc;
-        if let Some(entry) = rec.finish(end_pc) {
-            decode.store_script(start, entry);
+/// Most simultaneously-active script recordings. Purely a cost
+/// throttle: replay equivalence does not depend on which runs are
+/// recorded, and fork trees deep enough to exceed this keep their
+/// hottest recordings (the ones started first) alive.
+const RECORDER_CAP: usize = 8;
+
+/// The active script recordings, one per live configuration (PR 8 kept
+/// a single recorder and required a lone configuration; per-config
+/// recorders are what lets fork siblings record and replay each other's
+/// straight-line blocks). A handful of entries at most, so lookups are
+/// linear scans.
+#[derive(Default)]
+struct Recorders {
+    active: Vec<(ConfigId, ScriptRecorder)>,
+}
+
+impl Recorders {
+    fn get(&self, id: ConfigId) -> Option<&ScriptRecorder> {
+        self.active.iter().find(|(i, _)| *i == id).map(|(_, r)| r)
+    }
+
+    /// `true` when `id` may observe steps: it already records, or a
+    /// recorder slot is free.
+    fn may_record(&self, id: ConfigId) -> bool {
+        self.active.len() < RECORDER_CAP || self.get(id).is_some()
+    }
+
+    /// The recorder for `id`, started at `pc` if absent (the caller
+    /// checked `may_record`).
+    fn entry(
+        &mut self,
+        id: ConfigId,
+        pc: u32,
+        state: &crate::state::AbsState,
+    ) -> &mut ScriptRecorder {
+        if let Some(i) = self.active.iter().position(|(i, _)| *i == id) {
+            return &mut self.active[i].1;
+        }
+        self.active.push((id, ScriptRecorder::new(pc, state)));
+        &mut self.active.last_mut().expect("just pushed").1
+    }
+
+    /// Drops `id`'s recording without storing it (a live-in went
+    /// unstable, or control left the straight line without a pc).
+    fn drop_id(&mut self, id: ConfigId) {
+        self.active.retain(|(i, _)| *i != id);
+    }
+
+    /// Finalizes `id`'s recording (if any) as ending at `end_pc`,
+    /// storing it when long enough to be worth replaying.
+    fn finalize(&mut self, id: ConfigId, decode: &mut DecodeCache, end_pc: u32) {
+        if let Some(i) = self.active.iter().position(|(i, _)| *i == id) {
+            let (_, rec) = self.active.swap_remove(i);
+            let start = rec.start_pc;
+            if let Some(entry) = rec.finish(end_pc) {
+                decode.store_script(start, entry);
+            }
         }
     }
 }
@@ -285,7 +335,7 @@ pub(crate) fn drive(
     // The per-step transfer memo leaves the loop structure (and thus
     // every deadline sample) intact, so it stays on.
     let scripts_on = memo_on && deadline.is_none();
-    let mut recorder: Option<ScriptRecorder> = None;
+    let mut recorders = Recorders::default();
     // Per-run key scratch: `key_for` fills this in place every keyed
     // step, so the loop never allocates or copies token arrays; an
     // owned clone is taken only when priming a way.
@@ -329,7 +379,15 @@ pub(crate) fn drive(
                 "merge group must preserve arrival order"
             );
             let mut current = group.pop().unwrap();
+            if !group.is_empty() {
+                // A merge joins states discontinuously: every involved
+                // recording ends here. The steps recorded *before* the
+                // merge still form a valid straight-line block ending at
+                // this pc, so they finalize rather than abort.
+                recorders.finalize(current.id, &mut decode, min_pc);
+            }
             for other in group.drain(..) {
+                recorders.finalize(other.id, &mut decode, min_pc);
                 current.state = current.state.join(&other.state);
                 bus.emit(TraceEvent::Merge {
                     into: current.id,
@@ -339,12 +397,6 @@ pub(crate) fn drive(
             current
         };
         let lone = configs.is_empty();
-        if !lone {
-            // Forks finalize their recording at the fork step, so no
-            // recorder survives into a multi-config iteration.
-            debug_assert!(recorder.is_none());
-            recorder = None;
-        }
 
         if steps >= config.fuel {
             return Err(AnalysisError::OutOfFuel { fuel: config.fuel });
@@ -375,12 +427,21 @@ pub(crate) fn drive(
 
         // Superblock replay: a recorded straight-line run whose block
         // live-ins match the current state replays as one unit.
-        if scripts_on && lone && recorder.is_none() {
+        if scripts_on && recorders.get(current.id).is_none() {
             if let Some((seg, off)) = loc {
                 if let Some(slot) = decode.segments[seg].1[off].as_deref() {
                     if let Some(entry) = slot.scripts.as_ref().and_then(|s| s.probe(&current.state))
                     {
                         let l = entry.steps.len() as u64;
+                        // With siblings live, replay must also preserve
+                        // the lowest-pc-first event order: the naive
+                        // loop would step this configuration `l` times
+                        // in a row only if it stays the strict minimum
+                        // throughout — an interior re-entry pc equal to
+                        // a sibling's pc would have merged mid-block,
+                        // and one above would have let the sibling step
+                        // first.
+                        let order_ok = lone || configs.iter().all(|c| entry.max_interior_pc < c.pc);
                         // Replay only when every scripted step clears both
                         // fuel limits: the naive loop checks before each
                         // step, so `steps + l` within the limit means all
@@ -388,7 +449,8 @@ pub(crate) fn drive(
                         // fall through and let the per-step path trip the
                         // error at the exact same step index as the naive
                         // interpreter.
-                        if steps + l <= config.fuel
+                        if order_ok
+                            && steps + l <= config.fuel
                             && config.budget.fuel.is_none_or(|bf| steps + l <= bf)
                         {
                             for step in &entry.steps {
@@ -409,6 +471,11 @@ pub(crate) fn drive(
                             steps += l;
                             stats.script_replays += 1;
                             stats.script_steps += l;
+                            if lone {
+                                stats.script_replays_lone += 1;
+                            } else {
+                                stats.script_replays_forked += 1;
+                            }
                             current.pc = entry.end_pc;
                             configs.push(current);
                             continue;
@@ -450,9 +517,9 @@ pub(crate) fn drive(
                 // Cold bookkeeping, key derivation, and the way probe
                 // exist only with the memo on: the naive path reads the
                 // decoded slot and moves on.
-                let mut way = None;
                 let mut hit = None;
-                let mut primed = false;
+                let mut primed = None;
+                let mut vacant = false;
                 if memo_on {
                     // A cold slot still retries every 16th visit —
                     // inputs that stabilize late (accumulators reaching
@@ -465,25 +532,22 @@ pub(crate) fn drive(
                     }
                     // Probe: a full entry replays; a primed entry (same
                     // key seen once, no effect yet) licenses recording
-                    // on this second miss.
+                    // on this second miss; a vacant probe primes after
+                    // executing.
                     if keyed && memo::key_for(&rw, &current.state, &mut key_scratch) {
-                        let w = key_scratch.way();
-                        way = Some(w);
-                        if let Some(entry) = &slot.ways[w] {
-                            if entry.key == key_scratch {
-                                match &entry.effect {
-                                    Some(effect) => hit = Some(Arc::clone(effect)),
-                                    None => primed = true,
-                                }
+                        match slot.ways.probe(&key_scratch) {
+                            WayProbe::Hit(effect) => {
+                                hit = Some(effect);
+                                slot.cold = 0;
                             }
-                        }
-                        if hit.is_some() {
-                            slot.cold = 0;
+                            WayProbe::Primed(i) => primed = Some(i),
+                            WayProbe::Vacant => vacant = true,
                         }
                     }
                 }
-                let rec_fetch = (scripts_on && lone && hit.is_some()).then(|| slot.fetch.clone());
-                Some((inst, len, rw, way, hit, primed, rec_fetch))
+                let recording = scripts_on && recorders.may_record(current.id);
+                let rec_fetch = (recording && hit.is_some()).then(|| slot.fetch.clone());
+                Some((inst, len, rw, hit, primed, vacant, rec_fetch))
             }
             None => {
                 // Outside every segment: fresh fetch set, uncached
@@ -498,22 +562,20 @@ pub(crate) fn drive(
         };
 
         let (next, len) = match resolved {
-            Some((_inst, len, rw, _way, Some(effect), _primed, rec_fetch)) => {
+            Some((_inst, len, rw, Some(effect), _primed, _vacant, rec_fetch)) => {
                 // Transfer memo hit: replay the recorded effect.
                 stats.transfer_hits += 1;
-                if scripts_on && lone {
+                if let Some(fetch) = rec_fetch {
                     match &effect.next {
                         Next::Fall | Next::Jump(_) => {
-                            let rec = recorder
-                                .get_or_insert_with(|| ScriptRecorder::new(pc, &current.state));
-                            let fetch = rec_fetch.expect("cloned for recording");
-                            if !rec.observe(&rw, &current.state, fetch, &effect) {
-                                recorder = None;
+                            let rec = recorders.entry(current.id, pc, &current.state);
+                            if !rec.observe(pc, &rw, &current.state, fetch, &effect) {
+                                recorders.drop_id(current.id);
                             }
                         }
                         // A fork or halt ends the straight-line run
                         // *before* this step.
-                        _ => finalize_script(&mut recorder, &mut decode, pc),
+                        _ => recorders.finalize(current.id, &mut decode, pc),
                     }
                 }
                 effect.apply(&mut table, &mut current.state);
@@ -522,13 +584,13 @@ pub(crate) fn drive(
                 }
                 (effect.next.clone(), len)
             }
-            Some((inst, len, rw, way, None, primed, _)) => {
+            Some((inst, len, rw, None, primed, vacant, _)) => {
                 // Miss or bypass: run the real transfer. A script needs
                 // an unbroken run of memo hits, so any recording ends
                 // here (excluding this step).
                 stats.transfer_misses += 1;
-                finalize_script(&mut recorder, &mut decode, pc);
-                let effect = if let (Some(way), true) = (way, primed) {
+                recorders.finalize(current.id, &mut decode, pc);
+                let effect = if let Some(way) = primed {
                     // Second miss on the same key: journal symbol-table
                     // mutations and log memory writes so the effect can
                     // be recorded and every later visit replays it.
@@ -573,10 +635,7 @@ pub(crate) fn drive(
                             // The primed entry matched this step's key
                             // at probe time and nothing else ran since;
                             // fill its effect in place.
-                            if let Some(entry) = &mut slot.ways[way] {
-                                debug_assert!(entry.key == key_scratch);
-                                entry.effect = Some(stored);
-                            }
+                            slot.ways.record(way, &key_scratch, stored);
                             slot.cold = slot.cold.saturating_add(1);
                         }
                     }
@@ -584,17 +643,14 @@ pub(crate) fn drive(
                 } else {
                     let effect =
                         execute_decoded(&mut table, &mut current.state, program, pc, inst, len)?;
-                    // First miss on a stable key: prime the way so a
+                    // First miss on a stable key: prime a way so a
                     // repeat of these inputs records. No journal, no
                     // logging — a step whose inputs never recur costs
                     // only the key derivation plus this one clone.
-                    if let Some(way) = way {
+                    if vacant {
                         let (seg, off) = loc.expect("keyed step resolved a slot");
                         if let Some(slot) = decode.segments[seg].1[off].as_deref_mut() {
-                            slot.ways[way] = Some(MemoEntry {
-                                key: key_scratch.clone(),
-                                effect: None,
-                            });
+                            slot.ways.prime(key_scratch.clone());
                             slot.cold = slot.cold.saturating_add(1);
                         }
                     }
@@ -609,7 +665,7 @@ pub(crate) fn drive(
             None => {
                 // Outside every segment: the fully uncached naive path.
                 stats.transfer_misses += 1;
-                finalize_script(&mut recorder, &mut decode, pc);
+                recorders.finalize(current.id, &mut decode, pc);
                 let (inst, len) = program.decode_at(pc)?;
                 let effect =
                     execute_decoded(&mut table, &mut current.state, program, pc, inst, len)?;
@@ -623,7 +679,7 @@ pub(crate) fn drive(
         // Close out a recording that looped back to its start (the
         // back-edge case — a whole loop body becomes one script) or hit
         // its length cap.
-        if recorder.is_some() {
+        if let Some(rec) = recorders.get(current.id) {
             let new_pc = match &next {
                 Next::Fall => Some(pc.wrapping_add(len)),
                 Next::Jump(t) => Some(*t),
@@ -631,12 +687,11 @@ pub(crate) fn drive(
             };
             match new_pc {
                 Some(np) => {
-                    let rec = recorder.as_ref().expect("checked above");
                     if np == rec.start_pc || rec.full() {
-                        finalize_script(&mut recorder, &mut decode, np);
+                        recorders.finalize(current.id, &mut decode, np);
                     }
                 }
-                None => recorder = None,
+                None => recorders.drop_id(current.id),
             }
         }
 

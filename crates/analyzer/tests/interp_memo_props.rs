@@ -376,6 +376,39 @@ fn assemble(pieces: &[Piece], far_split: Option<u8>) -> leakaudit_x86::Program {
     a.assemble().expect("generated program assembles")
 }
 
+/// Assembles a fork-dense program: each block guards a counted loop
+/// behind a conditional branch whose flags come from comparing a (often
+/// secret-seeded) register — an undecided condition forks, parking the
+/// taken configuration at the skip label *after* the loop while the
+/// fall-through configuration records and replays scripts inside it,
+/// with the sibling live the whole time. Blocks merge at their skip
+/// labels, so configuration counts stay bounded across blocks.
+fn assemble_fork_dense(blocks: &[(u8, u8, u32, Vec<Op>, u8)]) -> leakaudit_x86::Program {
+    let mut a = Asm::new(0x1000);
+    for (i, (c, reg, imm, body, count)) in blocks.iter().enumerate() {
+        let skip = format!("k{i}");
+        let top = format!("f{i}");
+        a.cmp(scratch(*reg), *imm % 16);
+        a.jcc_near(cond(*c), &*skip);
+        a.mov(Reg::Ecx, 0u32);
+        a.label(&top);
+        for op in body {
+            emit_op(&mut a, op);
+        }
+        a.inc(Reg::Ecx);
+        a.cmp(Reg::Ecx, u32::from(count % 5 + 2));
+        a.jne(&*top);
+        a.label(&skip);
+    }
+    a.hlt();
+    a.section_at(0x8000);
+    let words: Vec<u32> = (0..64u32)
+        .map(|i| i.wrapping_mul(0x01010101) ^ 0xbeef)
+        .collect();
+    a.dd(&words);
+    a.assemble().expect("fork-dense program assembles")
+}
+
 /// How one scratch register starts out.
 #[derive(Debug, Clone, Copy)]
 enum Seed {
@@ -547,6 +580,89 @@ proptest! {
                 m.transfer_hits + m.transfer_misses + m.script_steps,
                 n.transfer_misses
             );
+            // Every script replay is taken either lone or with fork
+            // siblings live — the split partitions the total.
+            prop_assert_eq!(
+                m.script_replays_lone + m.script_replays_forked,
+                m.script_replays
+            );
+        }
+    }
+
+    /// Fork-dense programs: every block guards a scripted loop behind a
+    /// secret-dependent branch, so undecided conditions fork before (and
+    /// while) loops record and replay scripts, and sibling
+    /// configurations wait at the skip label ahead. Event streams,
+    /// outcomes, and the lone/forked replay partition must all match
+    /// the naive interpreter.
+    #[test]
+    fn fork_dense_programs_match_naive(
+        blocks in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u32>(), ops(6), any::<u8>()),
+            1..5,
+        ),
+        seeds in (seed(), seed(), seed(), seed(), seed()),
+    ) {
+        let input = AnalysisInput {
+            program: assemble_fork_dense(&blocks),
+            init: init_state(&seeds),
+        };
+        let (naive_events, naive_out) = interpret(&config(false, None), &input);
+        let (memo_events, memo_out) = interpret(&config(true, None), &input);
+        prop_assert_eq!(memo_out.as_ref().err(), naive_out.as_ref().err());
+        prop_assert_eq!(memo_events, naive_events);
+        if let Ok(m) = &memo_out {
+            prop_assert_eq!(
+                m.script_replays_lone + m.script_replays_forked,
+                m.script_replays
+            );
+        }
+    }
+
+    /// Budget truncation on fork-dense programs: the boundary must trip
+    /// at the identical step index even when it lands inside a script
+    /// replayed with fork siblings live.
+    #[test]
+    fn fork_dense_budgets_trip_identically(
+        blocks in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u32>(), ops(4), any::<u8>()),
+            1..4,
+        ),
+        seeds in (seed(), seed(), seed(), seed(), seed()),
+        budget in 1u64..300,
+    ) {
+        let input = AnalysisInput {
+            program: assemble_fork_dense(&blocks),
+            init: init_state(&seeds),
+        };
+        let (naive_events, naive_out) = interpret(&config(false, Some(budget)), &input);
+        let (memo_events, memo_out) = interpret(&config(true, Some(budget)), &input);
+        prop_assert_eq!(memo_out.err(), naive_out.err());
+        prop_assert_eq!(memo_events, naive_events);
+    }
+
+    /// Fork-dense reports through the full engine path (sinks, counting)
+    /// are bit-identical with the memo on.
+    #[test]
+    fn fork_dense_reports_are_bit_identical(
+        blocks in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u32>(), ops(5), any::<u8>()),
+            1..4,
+        ),
+        seeds in (seed(), seed(), seed(), seed(), seed()),
+    ) {
+        let input = AnalysisInput {
+            program: assemble_fork_dense(&blocks),
+            init: init_state(&seeds),
+        };
+        let naive = Analysis::new(config(false, None)).run(&input);
+        let memo = Analysis::new(config(true, None)).run(&input);
+        match (naive, memo) {
+            (Ok(n), Ok(m)) => prop_assert_eq!(n.rows(), m.rows()),
+            (n, m) => prop_assert_eq!(
+                n.err().map(|e| format!("{e:?}")),
+                m.err().map(|e| format!("{e:?}"))
+            ),
         }
     }
 
@@ -684,6 +800,61 @@ fn every_budget_boundary_is_exact_on_the_scripted_loop() {
             );
         }
     }
+}
+
+/// A fixed program where script replays happen *with a fork sibling
+/// live*: a secret-dependent `je` forks, the taken configuration parks
+/// at `done` (past the loop), and the fall-through configuration runs a
+/// script-friendly loop whose every pc sits below `done` — so the
+/// forked-replay order guard passes and the replays count as forked.
+#[test]
+fn forked_script_replays_are_counted_and_bit_identical() {
+    let mut a = Asm::new(0x1000);
+    a.cmp(Reg::Esi, 3u32); // esi is a secret set: ZF undecided, forks.
+    a.jcc_near(Cond::E, "done");
+    a.mov(Reg::Ecx, 0u32);
+    a.label("loop");
+    // The body re-establishes its inputs each iteration, so iterations
+    // 2+ hit the transfer memo and the run records as a script.
+    a.mov(Reg::Eax, 3u32);
+    a.mov(Reg::Ebx, Mem::sib(Reg::Ebp, Reg::Edi, 4, 0));
+    a.add(Reg::Eax, Reg::Ebx);
+    a.xor(Reg::Eax, 0x55u32);
+    a.inc(Reg::Ecx);
+    a.cmp(Reg::Ecx, 30u32);
+    a.jne("loop");
+    a.label("done");
+    a.hlt();
+    a.section_at(0x8000);
+    a.dd(&[1, 2, 3, 4, 5, 6, 7, 8]);
+    let mut init = InitState::new();
+    init.set_reg(Reg::Ebp, ValueSet::constant(0x8000, 32));
+    init.set_reg(Reg::Esi, ValueSet::from_constants(0..6, 32));
+    init.set_reg(Reg::Edi, ValueSet::from_constants(0..4, 32));
+    let input = AnalysisInput {
+        program: a.assemble().expect("forked loop assembles"),
+        init,
+    };
+
+    let (naive_events, naive_out) = interpret(&config(false, None), &input);
+    let (memo_events, memo_out) = interpret(&config(true, None), &input);
+    assert_eq!(memo_events, naive_events, "events must not depend on memo");
+    naive_out.expect("naive run converges");
+    let stats = memo_out.expect("memoized run converges");
+    assert!(
+        stats.script_replays_forked > 0,
+        "the loop must replay scripts while the forked sibling waits at \
+         `done`: {stats:?}"
+    );
+    assert_eq!(
+        stats.script_replays_lone + stats.script_replays_forked,
+        stats.script_replays,
+        "the lone/forked split partitions the replay total"
+    );
+
+    let naive = Analysis::new(config(false, None)).run(&input).unwrap();
+    let memo = Analysis::new(config(true, None)).run(&input).unwrap();
+    assert_eq!(naive.rows(), memo.rows(), "reports are bit-identical");
 }
 
 /// The analyzer's own divergence guard (`config.fuel` → `OutOfFuel`)

@@ -9,17 +9,29 @@
 //! timed iterations after a warmup.
 //!
 //! ```text
-//! perfbench [--quick] [--iters N] [--warmup N] [--label STR]
+//! perfbench [--quick] [--ab] [--iters N] [--warmup N] [--label STR]
 //!           [--out FILE] [--baseline FILE]
 //! ```
 //!
 //! * `--quick`: 1 iteration, no warmup, print to stdout only (CI mode —
 //!   proves the harness runs, commits nothing).
-//! * `--out FILE`: write the JSON report (default `BENCH_8.json`).
+//! * `--ab`: interleaved memo A/B — each scenario is timed with the
+//!   interpreter memo on and off in strict alternation within the same
+//!   process, so the on/off ratio is a same-boot paired control (the
+//!   ROADMAP machine-shift caveat as a flag, not a hand-run ritual).
+//!   Results print per scenario and land in `ab_memo_ms` when a JSON
+//!   report is written.
+//! * `--out FILE`: write the JSON report (default `BENCH_9.json`).
 //! * `--baseline FILE`: embed a previous perfbench report as the
 //!   `baseline` field and compute `speedup_vs_baseline`.
 //!
-//! JSON schema (`leakaudit-perfbench/v7` — v6 plus the interpreter-memo
+//! JSON schema (`leakaudit-perfbench/v8` — v7 plus per-scenario
+//! interpreter-memo counter splits (`scenario_interp_memo`: name →
+//! hit/miss/replay counters for one analysis of that scenario, where v7
+//! had only run totals), the lone/forked script-replay split inside
+//! every `interp_memo` object, and the optional `ab_memo_ms` section
+//! (name → `{on, off}` median ms) when `--ab` is given. Inherited from
+//! v7: the interpreter-memo
 //! run totals (`interp_memo`: cumulative transfer-memo hit/miss and
 //! superblock-script counters over one analysis of every scenario) and,
 //! when a v6+ baseline is given, `phase_speedup_vs_baseline` — the
@@ -61,7 +73,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use leakaudit_analyzer::{MemoStats, PhaseTimings};
+use leakaudit_analyzer::{Analysis, MemoStats, PhaseTimings};
 use leakaudit_cache::Policy;
 use leakaudit_scenarios::{analyze_all, Registry, Scenario};
 use leakaudit_service::{Daemon, Json, SweepEngine};
@@ -72,6 +84,7 @@ struct Args {
     label: String,
     out: Option<String>,
     baseline: Option<String>,
+    ab: bool,
 }
 
 fn parse_args() -> Args {
@@ -79,8 +92,9 @@ fn parse_args() -> Args {
         iters: 7,
         warmup: 2,
         label: String::from("perfbench"),
-        out: Some(String::from("BENCH_8.json")),
+        out: Some(String::from("BENCH_9.json")),
         baseline: None,
+        ab: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -94,6 +108,7 @@ fn parse_args() -> Args {
                 args.warmup = 0;
                 args.out = None;
             }
+            "--ab" => args.ab = true,
             "--iters" => args.iters = value_of("--iters").parse().expect("--iters: integer"),
             "--warmup" => args.warmup = value_of("--warmup").parse().expect("--warmup: integer"),
             "--label" => args.label = value_of("--label"),
@@ -101,7 +116,7 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = Some(value_of("--baseline")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: perfbench [--quick] [--iters N] [--warmup N] \
+                    "usage: perfbench [--quick] [--ab] [--iters N] [--warmup N] \
                      [--label STR] [--out FILE] [--baseline FILE]"
                 );
                 std::process::exit(0);
@@ -226,6 +241,7 @@ fn main() {
 
     let mut scenario_ms: Vec<(&str, f64)> = Vec::new();
     let mut scenario_phases: Vec<(&str, PhaseTimings)> = Vec::new();
+    let mut scenario_memo: Vec<(&str, MemoStats)> = Vec::new();
     let mut memo_totals = MemoStats::default();
     for s in &scenarios {
         let mut phases = PhaseTimings::default();
@@ -242,18 +258,68 @@ fn main() {
             phase_ms(phases.replay),
             phase_ms(phases.count),
         );
+        println!(
+            "      memo: {} hits / {} misses | {} replays ({} lone + {} forked) over {} steps",
+            memo.transfer_hits,
+            memo.transfer_misses,
+            memo.script_replays,
+            memo.script_replays_lone,
+            memo.script_replays_forked,
+            memo.script_steps,
+        );
         scenario_ms.push((s.name.as_str(), ms));
         scenario_phases.push((s.name.as_str(), phases));
+        scenario_memo.push((s.name.as_str(), memo));
         memo_totals.accumulate(&memo);
     }
     let total_sequential: f64 = scenario_ms.iter().map(|(_, ms)| ms).sum();
     println!(
-        "  interp memo: {} transfer hits / {} misses, {} script replays covering {} steps",
+        "  interp memo: {} transfer hits / {} misses, {} script replays \
+         ({} lone + {} forked) covering {} steps",
         memo_totals.transfer_hits,
         memo_totals.transfer_misses,
         memo_totals.script_replays,
+        memo_totals.script_replays_lone,
+        memo_totals.script_replays_forked,
         memo_totals.script_steps,
     );
+
+    // Interleaved memo A/B: on and off alternate within the same loop,
+    // so both sides see the same thermal/frequency environment — the
+    // ratio is meaningful even when absolute numbers drift across boots.
+    let mut ab_memo: Vec<(&str, f64, f64)> = Vec::new();
+    if args.ab {
+        println!("  interleaved memo A/B (on vs off):");
+        for s in &scenarios {
+            let cfg_on = s.analysis_config();
+            let mut cfg_off = s.analysis_config();
+            cfg_off.interp_memo = false;
+            let mut on_samples = Vec::with_capacity(args.iters);
+            let mut off_samples = Vec::with_capacity(args.iters);
+            for _ in 0..args.warmup {
+                Analysis::new(cfg_on.clone()).run(s).expect("ab warmup");
+                Analysis::new(cfg_off.clone()).run(s).expect("ab warmup");
+            }
+            for _ in 0..args.iters {
+                on_samples.push(time_ms(|| {
+                    Analysis::new(cfg_on.clone()).run(s).expect("ab memo-on");
+                }));
+                off_samples.push(time_ms(|| {
+                    Analysis::new(cfg_off.clone()).run(s).expect("ab memo-off");
+                }));
+            }
+            let on = median_ms(on_samples);
+            let off = median_ms(off_samples);
+            println!(
+                "    {:<40} on {:>8.2} ms | off {:>8.2} ms | off/on {:.2}x",
+                s.name,
+                on,
+                off,
+                off / on
+            );
+            ab_memo.push((s.name.as_str(), on, off));
+        }
+    }
 
     let batch_ms = measure(args.iters, args.warmup, || {
         let batch = analyze_all(&scenarios);
@@ -445,7 +511,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v7\",");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v8\",");
     let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
@@ -473,15 +539,37 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  }},");
-    let _ = writeln!(
-        json,
-        "  \"interp_memo\": {{\"transfer_hits\": {}, \"transfer_misses\": {}, \
-         \"script_replays\": {}, \"script_steps\": {}}},",
-        memo_totals.transfer_hits,
-        memo_totals.transfer_misses,
-        memo_totals.script_replays,
-        memo_totals.script_steps,
-    );
+    let memo_obj = |m: &MemoStats| {
+        format!(
+            "{{\"transfer_hits\": {}, \"transfer_misses\": {}, \
+             \"script_replays\": {}, \"script_replays_lone\": {}, \
+             \"script_replays_forked\": {}, \"script_steps\": {}}}",
+            m.transfer_hits,
+            m.transfer_misses,
+            m.script_replays,
+            m.script_replays_lone,
+            m.script_replays_forked,
+            m.script_steps,
+        )
+    };
+    let _ = writeln!(json, "  \"scenario_interp_memo\": {{");
+    for (i, (name, memo)) in scenario_memo.iter().enumerate() {
+        let comma = if i + 1 < scenario_memo.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {}{comma}", memo_obj(memo));
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"interp_memo\": {},", memo_obj(&memo_totals));
+    if args.ab {
+        let _ = writeln!(json, "  \"ab_memo_ms\": {{");
+        for (i, (name, on, off)) in ab_memo.iter().enumerate() {
+            let comma = if i + 1 < ab_memo.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    \"{name}\": {{\"on\": {on:.3}, \"off\": {off:.3}}}{comma}"
+            );
+        }
+        let _ = writeln!(json, "  }},");
+    }
     let _ = writeln!(json, "  \"total_sequential_ms\": {total_sequential:.3},");
     let _ = writeln!(json, "  \"batch_all_8_ms\": {batch_ms:.3},");
     let _ = writeln!(json, "  \"sweep_cells\": {sweep_cells},");

@@ -62,6 +62,7 @@
 
 mod concrete;
 mod fingerprint;
+mod hash;
 mod mask;
 mod msym;
 mod observer;
@@ -72,6 +73,7 @@ mod value;
 
 pub use concrete::Valuation;
 pub use fingerprint::{CacheKeyed, Fingerprint, FingerprintHasher};
+pub use hash::{FxBuildHasher, FxHasher};
 pub use mask::{Mask, MaskBit};
 pub use msym::MaskedSymbol;
 pub use observer::{project_range, ObsSet, Observation, Observer};

@@ -353,18 +353,79 @@ pub fn apply(table: &mut SymbolTable, op: BinOp, x: &MaskedSymbol, y: &MaskedSym
         }
     }
 
-    let mut bits = Vec::with_capacity(width as usize);
+    // Fast path: adding or subtracting a nonzero constant to a value
+    // with *no* known bits. The bit algebra below degenerates fully:
+    // the low result bits up to the constant's lowest set bit stay
+    // tracked but non-constant, everything above collapses to `Top`, so
+    // the result is a fresh (or successor-memoized) symbol with an
+    // all-`Top` mask and all-`Top` flags — except the `Sub` ZF rule of
+    // §5.4.3, which resolves against a same-origin constant operand.
+    // Pointer increments in loop bodies are exactly this shape, and the
+    // 2·width `BitVal` evaluations they skip dominate interpreter time.
+    if matches!(op, BinOp::Add | BinOp::Sub) {
+        let (base, constant) = if y.is_constant() {
+            (x, y.as_constant())
+        } else if x.is_constant() && op == BinOp::Add {
+            (y, x.as_constant())
+        } else {
+            (x, None)
+        };
+        if let Some(c) = constant {
+            let wrap = Mask::top(width).width_mask();
+            let delta = if op == BinOp::Add {
+                c & wrap
+            } else {
+                c.wrapping_neg() & wrap
+            };
+            if delta != 0 && !base.is_constant() && base.mask().known_bits() == 0 {
+                let (origin, off) = table.origin_of(base);
+                let new_off = off.wrapping_add(delta) & wrap;
+                let value = match table.successor(&origin, new_off) {
+                    Some(existing) => existing,
+                    None => {
+                        let fresh =
+                            MaskedSymbol::new(table.fresh_derived(op.name()), Mask::top(width));
+                        table.record_offset(fresh, origin, new_off);
+                        fresh
+                    }
+                };
+                // `compare_values(x, y)` specialized: `y` is constant
+                // (never a recorded origin), `x` is symbolic, so only
+                // the same-origin-different-offset rule can fire.
+                let zf = if op == BinOp::Sub && origin == *y && off != 0 {
+                    AbstractBool::False
+                } else {
+                    AbstractBool::Top
+                };
+                return OpResult {
+                    value,
+                    flags: AbstractFlags {
+                        zf,
+                        cf: AbstractBool::Top,
+                        sf: AbstractBool::Top,
+                        of: AbstractBool::Top,
+                    },
+                };
+            }
+        }
+    }
+
+    // Bit evaluation into a stack buffer: `apply` runs on every
+    // symbolic ALU step, so the result bits must not cost a heap
+    // allocation each call.
+    let mut bits_buf = [BitVal::Const(false); 64];
+    let bits = &mut bits_buf[..width as usize];
     let (mut carry_in_msb, mut carry_out) = (BitVal::Const(false), BitVal::Const(false));
     match op {
         BinOp::And | BinOp::Or | BinOp::Xor => {
             for i in 0..width {
                 let (a, b) = (bit_of(x, i), bit_of(y, i));
-                bits.push(match op {
+                bits[i as usize] = match op {
                     BinOp::And => a.and(b),
                     BinOp::Or => a.or(b),
                     BinOp::Xor => a.xor(b),
                     _ => unreachable!(),
-                });
+                };
             }
         }
         BinOp::Add => {
@@ -374,7 +435,7 @@ pub fn apply(table: &mut SymbolTable, op: BinOp, x: &MaskedSymbol, y: &MaskedSym
                 if i == width - 1 {
                     carry_in_msb = carry;
                 }
-                bits.push(a.xor(b).xor(carry));
+                bits[i as usize] = a.xor(b).xor(carry);
                 carry = BitVal::maj(a, b, carry);
             }
             carry_out = carry;
@@ -386,18 +447,22 @@ pub fn apply(table: &mut SymbolTable, op: BinOp, x: &MaskedSymbol, y: &MaskedSym
                 if i == width - 1 {
                     carry_in_msb = borrow;
                 }
-                bits.push(a.xor(b).xor(borrow));
+                bits[i as usize] = a.xor(b).xor(borrow);
                 borrow = BitVal::maj(a.not(), b, borrow);
             }
             carry_out = borrow;
         }
     }
 
-    let mut value = build_result(table, op, &bits, width);
-
     // Offset tracking (§5.4.2): additions/subtractions of a constant are
     // memoized per (origin, offset) so repeated derivations yield the same
-    // masked symbol, enabling pointer-equality reasoning (Ex. 7/8).
+    // masked symbol, enabling pointer-equality reasoning (Ex. 7/8). The
+    // successor lookup runs *before* [`build_result`] so a memo hit skips
+    // the fresh-symbol allocation entirely — revisited pointer steps (the
+    // inner loop of a nested scan, re-walked per outer iteration) neither
+    // pay for nor grow the symbol table.
+    let mut pending_offset = None;
+    let mut value = None;
     if matches!(op, BinOp::Add | BinOp::Sub) {
         let (base, constant) = if y.is_constant() {
             (x, y.as_constant())
@@ -415,22 +480,31 @@ pub fn apply(table: &mut SymbolTable, op: BinOp, x: &MaskedSymbol, y: &MaskedSym
             };
             let (origin, off) = table.origin_of(base);
             let new_off = off.wrapping_add(delta) & wrap;
-            if let Some(existing) = table.successor(&origin, new_off) {
-                value = existing;
-            } else if !value.is_constant() {
-                table.record_offset(value, origin, new_off);
+            match table.successor(&origin, new_off) {
+                Some(existing) => value = Some(existing),
+                None => pending_offset = Some((origin, new_off)),
             }
         }
     }
+    let value = match value {
+        Some(v) => v,
+        None => {
+            let v = build_result(table, op, bits, width);
+            if let (Some((origin, new_off)), false) = (pending_offset, v.is_constant()) {
+                table.record_offset(v, origin, new_off);
+            }
+            v
+        }
+    };
 
     let zf = match op {
         // §5.4.3: CMP/SUB may resolve ZF through value comparison even when
         // the result bits do not.
         BinOp::Sub => match table.compare_values(x, y) {
             Some(eq) => AbstractBool::from_bool(eq),
-            None => zf_of(&bits),
+            None => zf_of(bits),
         },
-        _ => zf_of(&bits),
+        _ => zf_of(bits),
     };
     let sf = bits
         .last()

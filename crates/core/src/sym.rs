@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::hash::FxBuildHasher;
 use crate::msym::MaskedSymbol;
 
 /// Identifier of a symbol (`s ∈ Sym` in the paper).
@@ -55,6 +56,21 @@ pub enum Provenance {
     },
 }
 
+/// Per-symbol metadata, one entry per allocated id.
+///
+/// Input symbols carry their user-supplied name; derived symbols store only
+/// the producing operation — their display name `"{op}#{id}"` is rendered on
+/// demand by [`SymbolTable::name`]. Abstract pointer arithmetic allocates a
+/// derived symbol per step, so keeping allocation free of `format!` (and of
+/// a second parallel `Vec` push) matters for interpreter throughput.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SymInfo {
+    /// Part of the low initial state, with its display name.
+    Input(Box<str>),
+    /// Introduced by abstract operation `op`.
+    Derived(&'static str),
+}
+
 /// Allocator and metadata store for symbols.
 ///
 /// Beyond allocation, the table implements the offset-tracking mechanism of
@@ -73,12 +89,11 @@ pub enum Provenance {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
-    names: Vec<String>,
-    provenance: Vec<Provenance>,
+    syms: Vec<SymInfo>,
     /// `orig`/`off` of §5.4.2, keyed by derived masked symbol.
-    origin: HashMap<MaskedSymbol, (MaskedSymbol, u64)>,
+    origin: HashMap<MaskedSymbol, (MaskedSymbol, u64), FxBuildHasher>,
     /// `succ(origin, offset)` memo of §5.4.2.
-    succ: HashMap<(MaskedSymbol, u64), MaskedSymbol>,
+    succ: HashMap<(MaskedSymbol, u64), MaskedSymbol, FxBuildHasher>,
     /// When journaling (see [`SymbolTable::begin_journal`]), every
     /// [`SymbolTable::record_offset`] call that passes the early-return
     /// guard is also appended here, so a memo layer can replay the
@@ -96,12 +111,14 @@ impl crate::fingerprint::CacheKeyed for SymbolTable {
     /// deterministic given the symbols and the analyzed operations — and
     /// are excluded; an initial-state table has them empty anyway.
     fn key_into(&self, h: &mut crate::fingerprint::FingerprintHasher) {
-        h.write_len(self.names.len());
-        for (name, prov) in self.names.iter().zip(&self.provenance) {
-            h.write_str(name);
-            match prov {
-                Provenance::Input => h.write_u8(0),
-                Provenance::Derived { op } => {
+        h.write_len(self.syms.len());
+        for info in &self.syms {
+            match info {
+                SymInfo::Input(name) => {
+                    h.write_u8(0);
+                    h.write_str(name);
+                }
+                SymInfo::Derived(op) => {
                     h.write_u8(1);
                     h.write_str(op);
                 }
@@ -114,10 +131,9 @@ impl SymbolTable {
     /// Creates a table containing only [`SymId::CONST`].
     pub fn new() -> Self {
         SymbolTable {
-            names: vec!["·".to_string()],
-            provenance: vec![Provenance::Input],
-            origin: HashMap::new(),
-            succ: HashMap::new(),
+            syms: vec![SymInfo::Input("·".into())],
+            origin: HashMap::default(),
+            succ: HashMap::default(),
             journal: None,
         }
     }
@@ -141,29 +157,31 @@ impl SymbolTable {
 
     /// Allocates a fresh *input* symbol (an element of `Sym_lo`).
     pub fn fresh(&mut self, name: &str) -> SymId {
-        self.alloc(name.to_string(), Provenance::Input)
-    }
-
-    /// Allocates a fresh symbol introduced by abstract operation `op`.
-    pub fn fresh_derived(&mut self, op: &'static str) -> SymId {
-        let name = format!("{}#{}", op, self.names.len());
-        self.alloc(name, Provenance::Derived { op })
-    }
-
-    fn alloc(&mut self, name: String, provenance: Provenance) -> SymId {
-        let id = SymId(self.names.len() as u32);
-        self.names.push(name);
-        self.provenance.push(provenance);
+        let id = SymId(self.syms.len() as u32);
+        self.syms.push(SymInfo::Input(name.into()));
         id
     }
 
-    /// The display name of a symbol.
+    /// Allocates a fresh symbol introduced by abstract operation `op`.
+    ///
+    /// Allocation is a single `Vec` push: the display name `"{op}#{id}"` is
+    /// rendered lazily by [`SymbolTable::name`], never stored.
+    pub fn fresh_derived(&mut self, op: &'static str) -> SymId {
+        let id = SymId(self.syms.len() as u32);
+        self.syms.push(SymInfo::Derived(op));
+        id
+    }
+
+    /// The display name of a symbol (`"{op}#{id}"` for derived symbols).
     ///
     /// # Panics
     ///
     /// Panics if the symbol was not allocated by this table.
-    pub fn name(&self, sym: SymId) -> &str {
-        &self.names[sym.index()]
+    pub fn name(&self, sym: SymId) -> String {
+        match &self.syms[sym.index()] {
+            SymInfo::Input(name) => name.to_string(),
+            SymInfo::Derived(op) => format!("{}#{}", op, sym.index()),
+        }
     }
 
     /// The provenance of a symbol.
@@ -171,18 +189,21 @@ impl SymbolTable {
     /// # Panics
     ///
     /// Panics if the symbol was not allocated by this table.
-    pub fn provenance(&self, sym: SymId) -> &Provenance {
-        &self.provenance[sym.index()]
+    pub fn provenance(&self, sym: SymId) -> Provenance {
+        match self.syms[sym.index()] {
+            SymInfo::Input(_) => Provenance::Input,
+            SymInfo::Derived(op) => Provenance::Derived { op },
+        }
     }
 
     /// Number of allocated symbols (including [`SymId::CONST`]).
     pub fn len(&self) -> usize {
-        self.names.len()
+        self.syms.len()
     }
 
     /// `true` iff only [`SymId::CONST`] exists.
     pub fn is_empty(&self) -> bool {
-        self.names.len() <= 1
+        self.syms.len() <= 1
     }
 
     /// The origin and offset of a masked symbol (§5.4.2).
@@ -282,8 +303,9 @@ mod tests {
         let mut t = SymbolTable::new();
         let i = t.fresh("heap");
         let d = t.fresh_derived("add");
-        assert_eq!(*t.provenance(i), Provenance::Input);
-        assert_eq!(*t.provenance(d), Provenance::Derived { op: "add" });
+        assert_eq!(t.provenance(i), Provenance::Input);
+        assert_eq!(t.provenance(d), Provenance::Derived { op: "add" });
+        assert_eq!(t.name(d), format!("add#{}", d.index()));
     }
 
     #[test]

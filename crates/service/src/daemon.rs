@@ -564,6 +564,11 @@ impl Daemon {
                         ("transfer_hits", Json::num(memo.transfer_hits)),
                         ("transfer_misses", Json::num(memo.transfer_misses)),
                         ("script_replays", Json::num(memo.script_replays)),
+                        ("script_replays_lone", Json::num(memo.script_replays_lone)),
+                        (
+                            "script_replays_forked",
+                            Json::num(memo.script_replays_forked),
+                        ),
                         ("script_steps", Json::num(memo.script_steps)),
                     ])
                 },
@@ -895,10 +900,19 @@ mod tests {
         let hits = memo.get("transfer_hits").and_then(Json::as_u64).unwrap();
         let misses = memo.get("transfer_misses").and_then(Json::as_u64).unwrap();
         let replays = memo.get("script_replays").and_then(Json::as_u64).unwrap();
+        let lone = memo
+            .get("script_replays_lone")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let forked = memo
+            .get("script_replays_forked")
+            .and_then(Json::as_u64)
+            .unwrap();
         let scripted = memo.get("script_steps").and_then(Json::as_u64).unwrap();
         assert!(hits > 0, "loop bodies must hit the transfer memo");
         assert!(misses > 0, "first visits always miss");
         assert!(replays > 0, "the gather loop repeats as a superblock");
+        assert_eq!(lone + forked, replays, "replay split must sum to total");
         assert!(scripted >= replays, "a replay covers at least one step");
 
         assert!(!d.is_shutdown());
