@@ -33,7 +33,7 @@ use crate::{scheduler, sink, AnalysisConfig, AnalysisError};
 /// resolves the projection once per event and fans the observation out
 /// to the member lanes whose channel sees the access. Because every
 /// granularity resolves each distinct address set exactly once, the
-/// sinks need no pass-wide [`ProjectionMemo`].
+/// sinks need no pass-wide projection sharing.
 fn class_sinks(suite: &[ObserverSpec]) -> Vec<Box<dyn ObserverSink>> {
     let mut classes: Vec<(u8, Vec<ObserverSpec>)> = Vec::new();
     for &spec in suite {
@@ -46,7 +46,7 @@ fn class_sinks(suite: &[ObserverSpec]) -> Vec<Box<dyn ObserverSink>> {
     classes
         .into_iter()
         .map(|(_, members)| {
-            Box::new(DagSink::for_class(&members, ConfigId::ROOT, None)) as Box<dyn ObserverSink>
+            Box::new(DagSink::for_class(&members, ConfigId::ROOT)) as Box<dyn ObserverSink>
         })
         .collect()
 }
@@ -79,10 +79,11 @@ pub(crate) fn run(
     let suite = config.observer_suite();
     let sinks = class_sinks(&suite);
     let mut memo = MemoStats::default();
-    let (rows, timings) =
+    let (rows, timings, sink_memo) =
         sink::run_pipeline_with(sinks, config.parallel_sinks, config.sink_tuning, |bus| {
             scheduler::drive(config, program, init, bus, &mut memo)
         })?;
+    memo.accumulate(&sink_memo);
     Ok(LeakReport::new(reorder_rows(rows, &suite))
         .with_timings(timings)
         .with_memo(memo))
@@ -117,10 +118,11 @@ pub(crate) fn run_union(
     }
     let sinks = class_sinks(&union);
     let mut memo = MemoStats::default();
-    let (rows, timings) =
+    let (rows, timings, sink_memo) =
         sink::run_pipeline_with(sinks, lead.parallel_sinks, lead.sink_tuning, |bus| {
             scheduler::drive(lead, program, init, bus, &mut memo)
         })?;
+    memo.accumulate(&sink_memo);
     Ok(LeakReport::new(reorder_rows(rows, &union))
         .with_timings(timings)
         .with_memo(memo))

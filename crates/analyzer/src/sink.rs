@@ -28,17 +28,17 @@
 //! configuration — bit-for-bit, as the batch-consistency suite checks.
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use leakaudit_core::{
-    Cursor, MaskedSymbol, MemoKey, ObsSet, Observer, TraceDag, ValueSet, VertexId,
+    Cursor, DagStep, Label, MaskedSymbol, MemoKey, ObsSet, TraceDag, ValueSet, VertexId,
 };
 use leakaudit_mpi::Natural;
 
-use crate::report::{Channel, LeakRow, ObserverSpec, PhaseTimings};
+use crate::report::{Channel, LeakRow, MemoStats, ObserverSpec, PhaseTimings};
 
 /// FxHash-style multiply-xor hasher (the rustc/Firefox construction):
 /// [`MemoKey`]s are hashed once per trace event per sink, so SipHash's
@@ -173,6 +173,26 @@ pub enum TraceEvent {
         /// The halting configuration.
         config: ConfigId,
     },
+    /// A script token: the next `events` events on the bus are the
+    /// `Access` events of one replay of interpreter script `script` for
+    /// configuration `config`, emitted back to back (the scheduler
+    /// replays a script synchronously, so no other event can interleave
+    /// and markers never nest). Purely an announcement — the access
+    /// events that follow are complete on their own, so sinks without a
+    /// script memo simply ignore it. [`DagSink`] uses the token to
+    /// memoize the run's net DAG delta per lane and, once recorded,
+    /// apply it in bulk instead of replaying the run event by event.
+    Script {
+        /// The configuration whose script is replaying.
+        config: ConfigId,
+        /// Run-unique script id (see the interpreter's decode cache).
+        script: u32,
+        /// Number of `Access` events one replay emits.
+        events: u32,
+        /// Whether fork siblings were live during the replay (the
+        /// lone/forked split of the sink hit counters).
+        forked: bool,
+    },
 }
 
 impl TraceEvent {
@@ -214,56 +234,13 @@ pub trait ObserverSink: Send {
     /// Finishes the stream: count traces and convert to leakage bounds,
     /// one row per spec, in [`ObserverSink::specs`] order.
     fn into_rows(self: Box<Self>) -> Vec<LeakRow>;
-}
 
-/// A projection memo shared between the sinks of one analysis pass:
-/// [`Observer::project_set`] results keyed by
-/// `(observer offset bits, value-set MemoKey)`.
-///
-/// Projection depends only on the observer's offset bits (stuttering
-/// changes how the DAG *consumes* an observation, never the observation
-/// itself), so every sink watching the same granularity — the block(6)
-/// sink and its stuttering twin, or the same observer on different
-/// channels, or the sinks of *different group members* in a shared
-/// interpretation pass (see `Analysis::run_union`) — shares one entry
-/// per distinct address set. Sinks keep their private per-[`MemoKey`]
-/// cache in front of this map, so the shard locks are touched once per
-/// (sink, distinct key), not once per event.
-pub struct ProjectionMemo {
-    shards: [Mutex<MemoShard>; 16],
-}
-
-/// One lock-sharded slice of the pass-wide projection map.
-type MemoShard = HashMap<(u8, MemoKey), ObsSet, BuildHasherDefault<FxHasher>>;
-
-impl Default for ProjectionMemo {
-    fn default() -> Self {
-        ProjectionMemo {
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::default())),
-        }
-    }
-}
-
-impl ProjectionMemo {
-    /// An empty memo.
-    pub fn new() -> Self {
-        ProjectionMemo::default()
-    }
-
-    /// The memoized projection of `addresses` (whose memo key is `key`)
-    /// under `observer`, computing and publishing it on first use.
-    /// Computation happens under the shard lock: for equal keys the
-    /// projection is deterministic, and paying it once beats racing
-    /// duplicates.
-    pub fn project(&self, observer: Observer, key: MemoKey, addresses: &ValueSet) -> ObsSet {
-        let memo_key = (observer.offset_bits(), key);
-        let mut h = FxHasher::default();
-        memo_key.hash(&mut h);
-        let shard = &self.shards[(h.finish() >> 32) as usize & 15];
-        let mut map = shard.lock().expect("projection memo shard poisoned");
-        map.entry(memo_key)
-            .or_insert_with(|| observer.project_set(addresses))
-            .clone()
+    /// The memo counters this sink accumulated (sink-side script
+    /// replay). The default reports none; the pipeline reads this just
+    /// before [`ObserverSink::into_rows`] and folds it into the run's
+    /// [`MemoStats`].
+    fn memo_stats(&self) -> MemoStats {
+        MemoStats::default()
     }
 }
 
@@ -292,6 +269,84 @@ struct TransEntry {
     same_unit: bool,
 }
 
+/// Consecutive failed bulk-apply guards (or broken recordings) before a
+/// lane stops re-recording a script's delta, mirroring the interpreter
+/// memo's cooldown: a script whose entry context never stabilizes pays
+/// the journaling a bounded number of times, with a periodic retry
+/// (every 16th sight) so late-stabilizing contexts can warm back up.
+const SCRIPT_COLD_CAP: u8 = 12;
+
+/// One lane's memo slot for one interpreter script.
+struct LaneScript {
+    state: ScriptState,
+    /// Consecutive guard failures / broken recordings (see
+    /// [`SCRIPT_COLD_CAP`]).
+    cold: u8,
+}
+
+/// The two-touch lifecycle of a lane's script delta: the first sight of
+/// a script merely primes the slot (scripts that replay once cost no
+/// journaling), the second records the per-event steps, the third and
+/// later apply the recorded delta in bulk whenever the guard passes.
+enum ScriptState {
+    /// Seen once: journal on the next sight.
+    Primed,
+    /// Recorded: apply in bulk when the guard passes.
+    Ready(ScriptDelta),
+}
+
+/// The net cursor transition of one script run through one lane: the
+/// frontier ("entry") vertex context it was journaled against, the
+/// in-place repetition bumps it applies to that vertex, and the chain of
+/// appended vertices. Deliberately free of vertex ids — labels and
+/// observations only — so a delta survives DAG compaction, unlike the
+/// id-keyed transition memo.
+///
+/// Validity argument: every vertex the chain appends is fresh, so its
+/// step decisions depend only on the (fixed) script observation
+/// sequence and the lane's stuttering flag. The only live state a
+/// replay consults is the entry vertex — its label (stutter/bump vs
+/// extend) and its exclusivity (bump vs extend) — which is exactly what
+/// the guard pins. Projection is deterministic per address set, so the
+/// same script yields the same observations every run.
+struct ScriptDelta {
+    /// Label of the entry vertex at journal time.
+    entry_label: Label,
+    /// Whether the entry vertex was exclusively owned at journal time.
+    entry_exclusive: bool,
+    /// Bump steps taken on the entry vertex before the first extend.
+    entry_bumps: u64,
+    /// Appended vertices: one `(observation, repetitions)` link per
+    /// extend, with the following bumps folded into the count.
+    chain: Vec<(ObsSet, u64)>,
+    /// Whether this lane consumed any event of the run at all. An
+    /// untouched delta (channel-invisible script) replays as a no-op
+    /// under *any* frontier, so the guard skips the entry checks — a
+    /// data lane must not veto a fetch-only script over an unrelated
+    /// frontier change.
+    touched: bool,
+    /// The journaled run broke the singleton-frontier shape (or the bus
+    /// contract) mid-script: discard instead of storing at finish.
+    broken: bool,
+}
+
+impl ScriptDelta {
+    /// A journal opened against the given entry context (`None` when the
+    /// frontier was not a singleton — recorded as already broken).
+    fn open(entry: Option<(Label, bool)>) -> ScriptDelta {
+        let broken = entry.is_none();
+        let (entry_label, entry_exclusive) = entry.unwrap_or((Label::Epsilon, false));
+        ScriptDelta {
+            entry_label,
+            entry_exclusive,
+            entry_bumps: 0,
+            chain: Vec::new(),
+            touched: false,
+            broken,
+        }
+    }
+}
+
 /// One observer's replay state inside a [`DagSink`]: its own DAG, its
 /// cursor table (dense, indexed by [`ConfigId`] — ids are allocated
 /// monotonically from zero, so the table stays small and hash-free),
@@ -302,6 +357,18 @@ struct Lane {
     cursors: Vec<Option<Cursor>>,
     finals: Option<Cursor>,
     trans: [Option<TransEntry>; TRANS_WAYS],
+    /// Per-script delta memo, indexed by the run-unique script id. The
+    /// decode cache allocates ids densely from zero, so a flat table
+    /// replaces two hash probes per marker per lane with direct loads —
+    /// markers outnumber the events they elide only a few to one, so
+    /// per-marker cost decides whether the script memo pays for itself.
+    /// Unlike `trans`, entries survive compaction (no vertex ids
+    /// inside).
+    scripts: Vec<Option<LaneScript>>,
+    /// The journal of the script run currently replaying per event
+    /// through this lane: `(script id, replaying config, delta so far)`.
+    /// Moved into `scripts` when the sink sees the run's last event.
+    journal: Option<(u32, ConfigId, ScriptDelta)>,
 }
 
 impl Lane {
@@ -313,6 +380,8 @@ impl Lane {
             cursors: Vec::new(),
             finals: None,
             trans: [None; TRANS_WAYS],
+            scripts: Vec::new(),
+            journal: None,
         };
         lane.put(initial, cursor);
         lane
@@ -358,6 +427,7 @@ impl Lane {
         let cur = self.take(config);
         let cur = match cur.vertices() {
             &[v] => {
+                let entry = v;
                 let same_unit = match key {
                     MemoKey::One(sym) => {
                         let slot = v.index() & (TRANS_WAYS - 1);
@@ -376,11 +446,183 @@ impl Lane {
                     }
                     _ => self.dag.same_unit(v, obs),
                 };
-                self.dag.update_memoized(cur, obs, same_unit)
+                // A live journal records the step this event takes (the
+                // mutation path is shared, so observing cannot change it).
+                let cur = match self.journal.as_mut() {
+                    Some((_, jc, delta)) if *jc == config && !delta.broken => {
+                        delta.touched = true;
+                        let (cur, step) = self.dag.update_memoized_observed(cur, obs, same_unit);
+                        match step {
+                            DagStep::Stutter => {}
+                            DagStep::Bump => match delta.chain.last_mut() {
+                                Some(link) => link.1 += 1,
+                                None => delta.entry_bumps += 1,
+                            },
+                            DagStep::Extend => delta.chain.push((obs.clone(), 1)),
+                        }
+                        cur
+                    }
+                    _ => self.dag.update_memoized(cur, obs, same_unit),
+                };
+                // An extend that kept the frontier id is a tail collapse:
+                // the vertex was relabeled in place, so any transition
+                // memo entry recorded against it is stale.
+                if !same_unit && cur.vertices() == [entry] {
+                    self.forget_vertex(entry);
+                }
+                cur
             }
-            _ => self.dag.update(cur, obs),
+            _ => {
+                // A multi-vertex frontier mid-script cannot be captured
+                // by the singleton-shaped delta: poison the journal.
+                if let Some((_, jc, delta)) = self.journal.as_mut() {
+                    if *jc == config {
+                        delta.touched = true;
+                        delta.broken = true;
+                    }
+                }
+                self.dag.update(cur, obs)
+            }
         };
         self.put(config, cur);
+    }
+
+    /// Drops the transition memo entry for `v` (all of a vertex's
+    /// entries live in its one direct-mapped slot). Called when a tail
+    /// collapse relabeled `v` in place — the memoized `same_unit` answer
+    /// no longer describes the live label.
+    fn forget_vertex(&mut self, v: VertexId) {
+        let slot = v.index() & (TRANS_WAYS - 1);
+        if self.trans[slot].is_some_and(|e| e.vertex == v) {
+            self.trans[slot] = None;
+        }
+    }
+
+    /// Whether the recorded delta for `script` may be applied in bulk to
+    /// `config`'s cursor right now: the slot is ready and the live entry
+    /// context matches the journaled one (vacuously for a delta this
+    /// lane never saw an event of).
+    fn script_ready(&self, script: u32, config: ConfigId) -> bool {
+        let Some(Some(LaneScript {
+            state: ScriptState::Ready(delta),
+            ..
+        })) = self.scripts.get(script as usize)
+        else {
+            return false;
+        };
+        if !delta.touched {
+            return true;
+        }
+        match self.cursors.get(config.0 as usize).and_then(Option::as_ref) {
+            Some(cur) => match cur.vertices() {
+                &[v] => {
+                    *self.dag.label(v) == delta.entry_label
+                        && self.dag.is_exclusive(v) == delta.entry_exclusive
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Applies the recorded delta for `script` in bulk. Caller must have
+    /// checked [`Lane::script_ready`].
+    fn apply_script(&mut self, script: u32, config: ConfigId) {
+        let slot = self.scripts[script as usize]
+            .as_mut()
+            .expect("checked ready");
+        slot.cold = 0;
+        let ScriptState::Ready(delta) = &slot.state else {
+            unreachable!("checked ready")
+        };
+        if !delta.touched {
+            return;
+        }
+        let chain_nonempty = !delta.chain.is_empty();
+        let cur = self.cursors[config.0 as usize]
+            .take()
+            .expect("cursor present for config");
+        let entry = cur.vertices()[0];
+        let cur = self
+            .dag
+            .apply_script_delta(cur, delta.entry_bumps, &delta.chain);
+        self.cursors[config.0 as usize] = Some(cur);
+        // The bulk apply may have tail-collapsed the entry vertex in
+        // place (relabeling it), so any memoized transition against it
+        // is suspect; clearing when it pushed instead is harmless.
+        if chain_nonempty {
+            self.forget_vertex(entry);
+        }
+    }
+
+    /// Script marker on the per-event fallback path: advance this lane's
+    /// memo state for `script`, opening a journal when this sight should
+    /// record (second sight, or a guard-failed re-record within the
+    /// cooldown). `self_ready` says this lane's own guard passed — a
+    /// sibling lane forced the fallback — so its delta is kept as is
+    /// (re-journaling would record the identical delta).
+    fn script_fallback(&mut self, script: u32, config: ConfigId, self_ready: bool) {
+        let idx = script as usize;
+        if idx >= self.scripts.len() {
+            self.scripts.resize_with(idx + 1, || None);
+        }
+        let slot = match &mut self.scripts[idx] {
+            vacant @ None => {
+                *vacant = Some(LaneScript {
+                    state: ScriptState::Primed,
+                    cold: 0,
+                });
+                return;
+            }
+            Some(slot) => slot,
+        };
+        let record = match &slot.state {
+            ScriptState::Primed => true,
+            ScriptState::Ready(_) if self_ready => false,
+            ScriptState::Ready(_) => {
+                slot.cold = slot.cold.saturating_add(1);
+                true
+            }
+        };
+        if !record || (slot.cold >= SCRIPT_COLD_CAP && slot.cold & 0x0F != 0) {
+            return;
+        }
+        let entry = self
+            .cursors
+            .get(config.0 as usize)
+            .and_then(Option::as_ref)
+            .and_then(|cur| match cur.vertices() {
+                &[v] => Some((self.dag.label(v).clone(), self.dag.is_exclusive(v))),
+                _ => None,
+            });
+        self.journal = Some((script, config, ScriptDelta::open(entry)));
+    }
+
+    /// Ends the journaling window for `script`: a clean journal becomes
+    /// the ready delta, a broken one bumps the cooldown and leaves the
+    /// previous state in place.
+    fn finish_script(&mut self, script: u32) {
+        let Some((journaled, _, delta)) = self.journal.take() else {
+            return;
+        };
+        debug_assert_eq!(journaled, script, "journal crosses script windows");
+        let Some(Some(slot)) = self.scripts.get_mut(script as usize) else {
+            return;
+        };
+        if delta.broken {
+            slot.cold = slot.cold.saturating_add(1);
+        } else {
+            slot.state = ScriptState::Ready(delta);
+        }
+    }
+
+    /// Marks the open journal (if any) unusable — the bus contract was
+    /// violated mid-window, so whatever was journaled is not one clean
+    /// script run.
+    fn poison_journal(&mut self) {
+        if let Some((_, _, delta)) = self.journal.as_mut() {
+            delta.broken = true;
+        }
     }
 
     fn retire(&mut self, config: ConfigId) {
@@ -451,35 +693,41 @@ impl Lane {
 /// observer would have extended past), so sharing a DAG across them
 /// would change counts.
 ///
-/// Projection resolution is two-tiered: the class-local per-[`MemoKey`]
-/// map, and optionally a [`ProjectionMemo`] shared with other sinks of
-/// the same granularity (useful for externally-built sink sets; the
-/// engine's own pipelines hold one sink per granularity and need none),
-/// consulted and fed on local misses.
+/// The sink also consumes [`TraceEvent::Script`] markers: a script whose
+/// delta every lane has recorded (and whose guards pass) is applied as
+/// one bulk DAG mutation per lane, and the run's events are skipped
+/// wholesale. The application is all-or-nothing across lanes so the skip
+/// counter stays a single per-sink scalar; any lane falling back sends
+/// the whole run down the per-event path, which doubles as the journaling
+/// pass that records (or refreshes) the lane deltas.
 pub struct DagSink {
     lanes: Vec<Lane>,
     /// Whether any lane sees (fetches, data accesses) — lets the front
     /// end skip key derivation and projection for invisible kinds.
     sees: (bool, bool),
     proj: HashMap<MemoKey, ObsSet, BuildHasherDefault<FxHasher>>,
-    shared: Option<Arc<ProjectionMemo>>,
+    /// Events left to skip after a script delta was applied in bulk
+    /// (sink state, so it spans chunk boundaries).
+    skip: u32,
+    /// The script run currently replaying per event (lanes journal it).
+    recording: Option<ScriptRun>,
+    /// Sink-side script counters, folded into the run's [`MemoStats`].
+    stats: MemoStats,
+}
+
+/// A script window being consumed per event: countdown bookkeeping for
+/// the journaling fallback path.
+struct ScriptRun {
+    script: u32,
+    config: ConfigId,
+    remaining: u32,
 }
 
 impl DagSink {
     /// Creates a single-spec sink with the root cursor owned by
     /// `initial`.
     pub fn new(spec: ObserverSpec, initial: ConfigId) -> Self {
-        DagSink::for_class(std::slice::from_ref(&spec), initial, None)
-    }
-
-    /// Like [`DagSink::new`], but backed by a pass-wide projection memo
-    /// shared with the other sinks of the same analysis.
-    pub fn with_shared_memo(
-        spec: ObserverSpec,
-        initial: ConfigId,
-        memo: Arc<ProjectionMemo>,
-    ) -> Self {
-        DagSink::for_class(std::slice::from_ref(&spec), initial, Some(memo))
+        DagSink::for_class(std::slice::from_ref(&spec), initial)
     }
 
     /// Creates one sink serving a whole offset-bits equivalence class,
@@ -489,11 +737,7 @@ impl DagSink {
     ///
     /// Panics if `specs` is empty or the specs disagree on offset bits
     /// (they would not project identically).
-    pub fn for_class(
-        specs: &[ObserverSpec],
-        initial: ConfigId,
-        shared: Option<Arc<ProjectionMemo>>,
-    ) -> Self {
+    pub fn for_class(specs: &[ObserverSpec], initial: ConfigId) -> Self {
         let first = specs.first().expect("class has at least one spec");
         assert!(
             specs
@@ -510,17 +754,59 @@ impl DagSink {
                 specs.iter().any(|s| AccessKind::Data.visible_to(s.channel)),
             ),
             proj: HashMap::default(),
-            shared,
+            skip: 0,
+            recording: None,
+            stats: MemoStats::default(),
         }
     }
-}
 
-impl ObserverSink for DagSink {
-    fn specs(&self) -> Vec<ObserverSpec> {
-        self.lanes.iter().map(|lane| lane.spec).collect()
+    /// Handles a [`TraceEvent::Script`] marker: bulk-apply when every
+    /// lane's delta is ready and guarded, otherwise fall back to
+    /// per-event replay with the lanes journaling.
+    fn script_marker(&mut self, config: ConfigId, script: u32, events: u32, forked: bool) {
+        if events == 0 {
+            return;
+        }
+        if self.recording.is_some() {
+            // A marker inside another marker's window violates the bus
+            // contract; poison the open journals rather than record lies.
+            self.recording = None;
+            for lane in &mut self.lanes {
+                lane.journal = None;
+            }
+        }
+        if self
+            .lanes
+            .iter()
+            .all(|lane| lane.script_ready(script, config))
+        {
+            for lane in &mut self.lanes {
+                lane.apply_script(script, config);
+            }
+            self.skip = events;
+            self.stats.sink_script_hits += 1;
+            if forked {
+                self.stats.sink_script_hits_forked += 1;
+            } else {
+                self.stats.sink_script_hits_lone += 1;
+            }
+            self.stats.sink_script_events += u64::from(events);
+        } else {
+            for i in 0..self.lanes.len() {
+                let ready = self.lanes[i].script_ready(script, config);
+                self.lanes[i].script_fallback(script, config, ready);
+            }
+            self.recording = Some(ScriptRun {
+                script,
+                config,
+                remaining: events,
+            });
+        }
     }
 
-    fn absorb(&mut self, event: &TraceEvent) {
+    /// The pre-script per-event dispatch (everything but
+    /// [`TraceEvent::Script`] handling and window bookkeeping).
+    fn dispatch(&mut self, event: &TraceEvent) {
         match event {
             TraceEvent::Fork { parent, child } => {
                 for lane in &mut self.lanes {
@@ -554,11 +840,10 @@ impl ObserverSink for DagSink {
                 }
                 let key = addresses.memo_key();
                 let observer = self.lanes[0].dag.observer();
-                let shared = &self.shared;
-                let obs = self.proj.entry(key).or_insert_with(|| match shared {
-                    Some(memo) => memo.project(observer, key, addresses),
-                    None => observer.project_set(addresses),
-                });
+                let obs = self
+                    .proj
+                    .entry(key)
+                    .or_insert_with(|| observer.project_set(addresses));
                 for lane in &mut self.lanes {
                     if kind.visible_to(lane.spec.channel) {
                         lane.access(*config, &key, obs);
@@ -570,11 +855,79 @@ impl ObserverSink for DagSink {
                     lane.retire(*config);
                 }
             }
+            TraceEvent::Script { .. } => unreachable!("handled before dispatch"),
+        }
+    }
+}
+
+impl ObserverSink for DagSink {
+    fn specs(&self) -> Vec<ObserverSpec> {
+        self.lanes.iter().map(|lane| lane.spec).collect()
+    }
+
+    fn absorb_chunk(&mut self, events: &[TraceEvent]) {
+        // Runs of events covered by an applied script delta are skipped
+        // in one stride instead of one decrement per event.
+        let mut i = 0;
+        while i < events.len() {
+            if self.skip > 0 {
+                let stride = (self.skip as usize).min(events.len() - i);
+                self.skip -= stride as u32;
+                i += stride;
+                continue;
+            }
+            self.absorb(&events[i]);
+            i += 1;
+        }
+    }
+
+    fn absorb(&mut self, event: &TraceEvent) {
+        // Events covered by an applied script delta: already accounted
+        // for in bulk, skip them wholesale.
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        if let TraceEvent::Script {
+            config,
+            script,
+            events,
+            forked,
+        } = event
+        {
+            self.script_marker(*config, *script, *events, *forked);
+            return;
+        }
+        // Inside a journaling window: count the run's events down and
+        // sanity-check the bus contract (only the replaying config's
+        // access events may appear; anything else poisons the journals).
+        let finish = match &mut self.recording {
+            Some(run) => {
+                if !matches!(event, TraceEvent::Access { config, .. } if *config == run.config) {
+                    for lane in &mut self.lanes {
+                        lane.poison_journal();
+                    }
+                }
+                run.remaining -= 1;
+                (run.remaining == 0).then_some(run.script)
+            }
+            None => None,
+        };
+        self.dispatch(event);
+        if let Some(script) = finish {
+            self.recording = None;
+            for lane in &mut self.lanes {
+                lane.finish_script(script);
+            }
         }
     }
 
     fn into_rows(self: Box<Self>) -> Vec<LeakRow> {
         self.lanes.into_iter().map(Lane::into_row).collect()
+    }
+
+    fn memo_stats(&self) -> MemoStats {
+        self.stats
     }
 }
 
@@ -582,6 +935,16 @@ impl ObserverSink for DagSink {
 pub trait EventBus {
     /// Emits one event to every sink.
     fn emit(&mut self, event: TraceEvent);
+
+    /// Announces that the next `events` access events for `config` are
+    /// one replay of interpreter script `script`. The default is a
+    /// no-op: the events that follow are complete on their own, so
+    /// buses feeding plain collectors (tests, external drivers) never
+    /// surface script identity and their raw streams stay unchanged.
+    /// The pipeline buses forward a [`TraceEvent::Script`] marker.
+    fn emit_script(&mut self, config: ConfigId, script: u32, events: u32, forked: bool) {
+        let _ = (config, script, events, forked);
+    }
 }
 
 /// Backpressure tuning of the threaded sink pipeline.
@@ -643,7 +1006,7 @@ pub fn run_pipeline<E>(
     parallel: bool,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
 ) -> Result<Vec<LeakRow>, E> {
-    run_pipeline_with(sinks, parallel, SinkTuning::default(), drive).map(|(rows, _)| rows)
+    run_pipeline_with(sinks, parallel, SinkTuning::default(), drive).map(|(rows, _, _)| rows)
 }
 
 /// Runs a set of sinks against the event stream produced by `drive`.
@@ -665,12 +1028,16 @@ pub fn run_pipeline<E>(
 /// disjoint wall-clock partition; on the threaded path `interpret` is
 /// the producer's wall time while `replay`/`count` are CPU time summed
 /// across sink threads (the phases overlap by design).
+///
+/// The returned [`MemoStats`] are the sinks' own counters (sink-side
+/// script replay), summed across sinks; the caller folds them into the
+/// interpreter's.
 pub fn run_pipeline_with<E>(
     sinks: Vec<Box<dyn ObserverSink>>,
     parallel: bool,
     tuning: SinkTuning,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
-) -> Result<(Vec<LeakRow>, PhaseTimings), E> {
+) -> Result<(Vec<LeakRow>, PhaseTimings, MemoStats), E> {
     // With too few hardware threads the consumer threads cannot overlap
     // with the scheduler; the channel traffic would be pure overhead.
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -691,6 +1058,10 @@ pub fn run_pipeline_with<E>(
         drive(&mut bus).map(|()| {
             bus.flush();
             let interpret = started.elapsed().saturating_sub(bus.replay);
+            let mut memo = MemoStats::default();
+            for sink in &bus.sinks {
+                memo.accumulate(&sink.memo_stats());
+            }
             let counting = Instant::now();
             let rows: Vec<LeakRow> = bus
                 .sinks
@@ -702,7 +1073,7 @@ pub fn run_pipeline_with<E>(
                 replay: bus.replay,
                 count: counting.elapsed(),
             };
-            (rows, timings)
+            (rows, timings, memo)
         })
     } else {
         let (chunk, queue) = tuning.resolve(cores);
@@ -740,6 +1111,15 @@ impl EventBus for SerialBus {
             self.flush();
         }
     }
+
+    fn emit_script(&mut self, config: ConfigId, script: u32, events: u32, forked: bool) {
+        self.emit(TraceEvent::Script {
+            config,
+            script,
+            events,
+            forked,
+        });
+    }
 }
 
 /// Threaded pipeline: one consumer thread per sink. `chunk` events are
@@ -750,7 +1130,7 @@ fn run_threaded<E>(
     chunk: usize,
     queue: usize,
     drive: impl FnOnce(&mut dyn EventBus) -> Result<(), E>,
-) -> Result<(Vec<LeakRow>, PhaseTimings), E> {
+) -> Result<(Vec<LeakRow>, PhaseTimings, MemoStats), E> {
     std::thread::scope(|scope| {
         let aborted = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let mut txs = Vec::with_capacity(sinks.len());
@@ -781,11 +1161,12 @@ fn run_threaded<E>(
                             bits: 0.0,
                         })
                         .collect::<Vec<_>>();
-                    (rows, replay, Duration::ZERO)
+                    (rows, MemoStats::default(), replay, Duration::ZERO)
                 } else {
+                    let memo = sink.memo_stats();
                     let counting = Instant::now();
                     let rows = sink.into_rows();
-                    (rows, replay, counting.elapsed())
+                    (rows, memo, replay, counting.elapsed())
                 }
             }));
         }
@@ -806,17 +1187,20 @@ fn run_threaded<E>(
         drop(bus); // close channels so consumers finish
 
         let mut rows = Vec::new();
+        let mut memo = MemoStats::default();
         let mut timings = PhaseTimings {
             interpret,
             ..PhaseTimings::default()
         };
         for handle in handles {
-            let (sink_rows, replay, count) = handle.join().expect("sink thread panicked");
+            let (sink_rows, sink_memo, replay, count) =
+                handle.join().expect("sink thread panicked");
             rows.extend(sink_rows);
+            memo.accumulate(&sink_memo);
             timings.replay += replay;
             timings.count += count;
         }
-        outcome.map(|()| (rows, timings))
+        outcome.map(|()| (rows, timings, memo))
     })
 }
 
@@ -847,6 +1231,15 @@ impl EventBus for ChannelBus {
         if self.buffer.len() >= self.chunk {
             self.flush();
         }
+    }
+
+    fn emit_script(&mut self, config: ConfigId, script: u32, events: u32, forked: bool) {
+        self.emit(TraceEvent::Script {
+            config,
+            script,
+            events,
+            forked,
+        });
     }
 }
 
@@ -951,7 +1344,7 @@ mod tests {
             })
             .collect();
         let class: Vec<Box<dyn ObserverSink>> =
-            vec![Box::new(DagSink::for_class(&specs, ConfigId(0), None))];
+            vec![Box::new(DagSink::for_class(&specs, ConfigId(0)))];
         let grouped = run_pipeline(class, false, example9_events).unwrap();
         assert_eq!(grouped.len(), specs.len(), "one row per lane");
         for (s, g) in solo.iter().zip(&grouped) {
@@ -999,7 +1392,7 @@ mod tests {
                 .iter()
                 .map(|&spec| Box::new(DagSink::new(spec, ConfigId(0))) as Box<dyn ObserverSink>)
                 .collect();
-            let (rows, _) = run_pipeline_with(sinks, true, tuning, example9_events).unwrap();
+            let (rows, _, _) = run_pipeline_with(sinks, true, tuning, example9_events).unwrap();
             rows
         };
         // A chunk of 1 with a queue of 1 maximizes channel traffic and

@@ -1,33 +1,32 @@
-//! Property tests pinning the memoized class-sink replay bit-identical
-//! to a naive, memo-free replay of the same event stream.
+//! Property tests pinning the sink-side *script* memo bit-identical to
+//! a naive, memo-free replay of the same event stream.
 //!
-//! The production sinks ([`DagSink`]) layer several caches over trace
-//! replay: the per-lane transition memo (skipping the `same_unit` label
-//! comparison on repeated (vertex, address-key) pairs), the per-class
-//! projection map with its one-entry hot cache, and the per-lane script
-//! delta memo (bulk-applying whole scripted runs). None of those may
-//! change a single bit of the resulting counts. The reference
-//! implementation here replays the identical event stream straight
-//! through the public [`TraceDag`] API — one `project_set` and one
-//! `update` per event, no memo of any kind, no compaction — and the
-//! properties assert that counts and bits agree exactly for every spec,
-//! over random fork/merge/retire salads, repeated loop-like accesses
-//! (the memo's hot path), stuttering and exact observers, and arbitrary
-//! serial chunk sizes.
+//! The script memo is the sharpest-edged cache in the sink: on a hit it
+//! skips the per-event replay entirely and applies a recorded DAG delta
+//! in bulk, trusting its entry guard (singleton frontier, same entry
+//! label, same exclusivity) to justify the shortcut. These properties
+//! drive randomized fork/merge/retire salads *interleaved with
+//! well-formed scripted runs* — the `Script` marker followed by exactly
+//! the announced run of access events, same script id always carrying
+//! the same access template, exactly as the scheduler emits them — and
+//! assert that every spec's count matches the reference replay bit for
+//! bit, for any serial chunk size. The deterministic fixtures then pin
+//! that the memo actually *fires* (a stream that never hits would make
+//! the properties vacuous) and that the lone/forked counters partition
+//! the hits.
 
 use std::collections::HashMap;
 
 use leakaudit_analyzer::sink::{
     run_pipeline_with, AccessKind, ConfigId, DagSink, ObserverSink, SinkTuning, TraceEvent,
 };
-use leakaudit_analyzer::{Channel, LeakRow, ObserverSpec};
+use leakaudit_analyzer::{Channel, LeakRow, MemoStats, ObserverSpec};
 use leakaudit_core::{Cursor, Observer, TraceDag, ValueSet};
 use leakaudit_mpi::Natural;
 use proptest::prelude::*;
 
 /// The observer suite under test: exact and stuttering lanes at several
-/// granularities on every channel, so classes mix lane kinds and the
-/// projection memo is shared across channels of equal offset bits.
+/// granularities on every channel, the same class mix the engine runs.
 fn suite() -> Vec<ObserverSpec> {
     let spec = |channel, observer| ObserverSpec { channel, observer };
     vec![
@@ -42,12 +41,9 @@ fn suite() -> Vec<ObserverSpec> {
     ]
 }
 
-/// A small fixed pool of address sets, built once per stream so that
-/// cloned entries share [`leakaudit_core::MemoKey`] identity — repeats
-/// from the pool are exactly what the transition and projection memos
-/// exist to capture. Entry 4 crosses the block(6) boundary, entry 3
-/// stays inside one block (same-unit for coarse observers, distinct for
-/// `address()`).
+/// A small fixed pool of address sets (shared `MemoKey` identity across
+/// repeats). Entry 4 crosses the block(6) boundary; entry 3 stays
+/// inside one block (same-unit for coarse observers).
 fn address_pool() -> Vec<ValueSet> {
     vec![
         ValueSet::constant(0x1000, 32),
@@ -59,21 +55,37 @@ fn address_pool() -> Vec<ValueSet> {
     ]
 }
 
-/// One abstract script step. Raw indices are reduced modulo the live
-/// set when the script is lowered to events, so every generated script
-/// is a well-formed stream: events only ever reference live
-/// configurations, forks allocate fresh monotone ids, merges and
-/// retires consume.
+/// The fixed access template of script `id`: the scheduler's invariant
+/// that one script always replays one instruction sequence means the
+/// same id always announces the same run of events.
+fn script_template(id: u32) -> Vec<(AccessKind, usize)> {
+    let len = 2 + (id as usize % 3);
+    (0..len)
+        .map(|i| {
+            let kind = if (id as usize + i).is_multiple_of(2) {
+                AccessKind::Fetch
+            } else {
+                AccessKind::Data
+            };
+            (kind, (id as usize * 3 + i) % 6)
+        })
+        .collect()
+}
+
+/// One abstract step of the generated stream. Raw indices are reduced
+/// modulo the live set at lowering time, so every generated stream is
+/// well-formed — including the bus contract on `Script` markers.
 #[derive(Debug, Clone)]
 enum RawOp {
-    /// `reps` identical accesses in a row — a loop body revisiting one
-    /// address, the memo's hot path (and the stuttering observers' too).
+    /// `reps` identical unscripted accesses in a row.
     Access {
         cfg: u8,
         fetch: bool,
         addr: u8,
         reps: u8,
     },
+    /// A scripted run: the marker followed by script `id`'s template.
+    Scripted { cfg: u8, script: u8, forked: bool },
     /// Clone a live cursor mid-stream.
     Fork { parent: u8 },
     /// Join two distinct live configurations.
@@ -84,8 +96,11 @@ enum RawOp {
 
 fn raw_op() -> impl Strategy<Value = RawOp> {
     prop_oneof![
-        5 => (any::<u8>(), any::<bool>(), any::<u8>(), 0u8..4).prop_map(|(cfg, fetch, addr, reps)| {
+        4 => (any::<u8>(), any::<bool>(), any::<u8>(), 0u8..4).prop_map(|(cfg, fetch, addr, reps)| {
             RawOp::Access { cfg, fetch, addr, reps }
+        }),
+        4 => (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(cfg, script, forked)| {
+            RawOp::Scripted { cfg, script, forked }
         }),
         1 => any::<u8>().prop_map(|parent| RawOp::Fork { parent }),
         1 => (any::<u8>(), any::<u8>()).prop_map(|(into, from)| RawOp::Merge { into, from }),
@@ -94,7 +109,7 @@ fn raw_op() -> impl Strategy<Value = RawOp> {
 }
 
 /// Lowers a raw script to a well-formed event stream, retiring every
-/// still-live configuration at the end so each lane has a finals cursor.
+/// still-live configuration at the end.
 fn build_events(ops: &[RawOp]) -> Vec<TraceEvent> {
     let pool = address_pool();
     let mut live: Vec<u64> = vec![0];
@@ -120,6 +135,29 @@ fn build_events(ops: &[RawOp]) -> Vec<TraceEvent> {
                 let set = &pool[addr as usize % pool.len()];
                 for _ in 0..=reps {
                     events.push(TraceEvent::access(id, kind, set.clone()));
+                }
+            }
+            RawOp::Scripted {
+                cfg,
+                script,
+                forked,
+            } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = ConfigId::from_raw(live[cfg as usize % live.len()]);
+                // A small id pool so the same script recurs often
+                // enough to prime and then hit.
+                let sid = u32::from(script % 5);
+                let template = script_template(sid);
+                events.push(TraceEvent::Script {
+                    config: id,
+                    script: sid,
+                    events: template.len() as u32,
+                    forked,
+                });
+                for (kind, addr) in template {
+                    events.push(TraceEvent::access(id, kind, pool[addr].clone()));
                 }
             }
             RawOp::Fork { parent } => {
@@ -170,9 +208,9 @@ fn build_events(ops: &[RawOp]) -> Vec<TraceEvent> {
     events
 }
 
-/// The reference replayer: one spec, one DAG, no memo of any kind. Every
-/// visible access pays a fresh `project_set` and goes through the
-/// general [`TraceDag::update`] path; no compaction ever runs.
+/// The reference replayer: one spec, one DAG, no memo of any kind, and
+/// script markers ignored — the access events that follow a marker are
+/// complete on their own.
 struct Naive {
     channel: Channel,
     observer: Observer,
@@ -227,8 +265,6 @@ impl Naive {
                     Some(acc) => self.dag.merge_cursors(acc, cur),
                 });
             }
-            // Script markers are pure announcements: the access events
-            // that follow are complete on their own.
             TraceEvent::Script { .. } => {}
         }
     }
@@ -265,35 +301,57 @@ fn class_sinks(suite: &[ObserverSpec]) -> Vec<Box<dyn ObserverSink>> {
 }
 
 /// Runs the memoized production pipeline (serial, explicit chunk size)
-/// over the events and returns rows keyed by spec.
-fn memoized_rows(events: &[TraceEvent], chunk: usize) -> Vec<LeakRow> {
+/// over the events, returning rows and the accumulated memo counters.
+fn memoized_rows(events: &[TraceEvent], chunk: usize) -> (Vec<LeakRow>, MemoStats) {
     let suite = suite();
     let tuning = SinkTuning {
         chunk: Some(chunk),
         queue: Some(1),
         min_cores: usize::MAX, // force the serial path regardless of host
     };
-    let (rows, _, _) = run_pipeline_with(class_sinks(&suite), false, tuning, |bus| {
+    let (rows, _, stats) = run_pipeline_with(class_sinks(&suite), false, tuning, |bus| {
         for event in events {
             bus.emit(event.clone());
         }
         Ok::<(), std::convert::Infallible>(())
     })
     .expect("infallible drive");
-    rows
+    (rows, stats)
+}
+
+fn assert_rows_match_naive(events: &[TraceEvent], rows: &[LeakRow]) {
+    for spec in suite() {
+        let row = rows
+            .iter()
+            .find(|r| r.spec == spec)
+            .expect("one row per suite spec");
+        let mut naive = Naive::new(spec);
+        for event in events {
+            naive.absorb(event);
+        }
+        let (count, bits) = naive.row();
+        assert_eq!(row.count, count, "count mismatch for {spec:?}");
+        assert_eq!(
+            row.bits.to_bits(),
+            bits.to_bits(),
+            "bits mismatch for {spec:?}"
+        );
+    }
 }
 
 proptest! {
-    /// The flagship property: over random event salads, every spec's
-    /// memoized class-sink count equals the naive replay bit for bit,
-    /// for any serial chunk size.
+    /// The flagship property: over random salads of scripted runs,
+    /// unscripted accesses, forks, merges and retires, every spec's
+    /// script-memoized count equals the naive replay bit for bit, for
+    /// any serial chunk size — and whenever the memo did fire, the
+    /// lone/forked counters partition the hits.
     #[test]
-    fn memoized_class_replay_matches_naive_replay(
+    fn script_memoized_replay_matches_naive_replay(
         ops in proptest::collection::vec(raw_op(), 0..120),
         chunk in 1usize..10,
     ) {
         let events = build_events(&ops);
-        let rows = memoized_rows(&events, chunk);
+        let (rows, stats) = memoized_rows(&events, chunk);
         for spec in suite() {
             let row = rows
                 .iter()
@@ -312,85 +370,89 @@ proptest! {
                 spec
             );
         }
-    }
-
-    /// Solo memoized sinks (one spec each, no class sharing, no shared
-    /// projection memo) agree with the class layout — the two
-    /// production configurations may never diverge from each other.
-    #[test]
-    fn solo_sinks_match_class_sinks(ops in proptest::collection::vec(raw_op(), 0..80)) {
-        let events = build_events(&ops);
-        let class_rows = memoized_rows(&events, 256);
-        let solo_sinks: Vec<Box<dyn ObserverSink>> = suite()
-            .into_iter()
-            .map(|spec| Box::new(DagSink::new(spec, ConfigId::ROOT)) as Box<dyn ObserverSink>)
-            .collect();
-        let (solo_rows, _, _) =
-            run_pipeline_with(solo_sinks, false, SinkTuning::default(), |bus| {
-                for event in &events {
-                    bus.emit(event.clone());
-                }
-                Ok::<(), std::convert::Infallible>(())
-            })
-            .expect("infallible drive");
-        for solo in &solo_rows {
-            let class = class_rows
-                .iter()
-                .find(|r| r.spec == solo.spec)
-                .expect("one row per suite spec");
-            prop_assert_eq!(&class.count, &solo.count);
-            prop_assert_eq!(class.bits.to_bits(), solo.bits.to_bits());
-        }
+        prop_assert_eq!(
+            stats.sink_script_hits_lone + stats.sink_script_hits_forked,
+            stats.sink_script_hits
+        );
     }
 }
 
-/// A deterministic worst case for the transition memo: a long loop on
-/// one address (maximal memo hits) punctuated by forks and merges that
-/// move the frontier (forcing re-validation), checked against the naive
-/// replay. Kept outside `proptest!` so it always runs with this exact
-/// shape regardless of generator drift.
+/// A deterministic hot loop of one script id: the third and every later
+/// occurrence must hit (two-touch priming), events must be accounted,
+/// and the result must still match the naive replay exactly.
 #[test]
-fn loop_heavy_stream_matches_naive_replay() {
+fn repeated_script_hits_after_priming_and_matches_naive() {
     let pool = address_pool();
-    let mut events = Vec::new();
     let root = ConfigId::ROOT;
-    let side = ConfigId::from_raw(1);
-    for round in 0..20u64 {
-        for _ in 0..8 {
-            events.push(TraceEvent::access(root, AccessKind::Fetch, pool[0].clone()));
-            events.push(TraceEvent::access(root, AccessKind::Data, pool[3].clone()));
-        }
-        if round % 3 == 0 {
-            events.push(TraceEvent::Fork {
-                parent: root,
-                child: side,
-            });
-            events.push(TraceEvent::access(
-                side,
-                AccessKind::Data,
-                pool[round as usize % pool.len()].clone(),
-            ));
-            events.push(TraceEvent::Merge {
-                into: root,
-                from: side,
-            });
+    let mut events = Vec::new();
+    let template = script_template(2);
+    let occurrences = 10u64;
+    for _ in 0..occurrences {
+        events.push(TraceEvent::Script {
+            config: root,
+            script: 2,
+            events: template.len() as u32,
+            forked: false,
+        });
+        for &(kind, addr) in &template {
+            events.push(TraceEvent::access(root, kind, pool[addr].clone()));
         }
     }
     events.push(TraceEvent::Retire { config: root });
 
-    let rows = memoized_rows(&events, 7);
-    for spec in suite() {
-        let row = rows.iter().find(|r| r.spec == spec).expect("row for spec");
-        let mut naive = Naive::new(spec);
-        for event in &events {
-            naive.absorb(event);
+    let (rows, stats) = memoized_rows(&events, 7);
+    assert_rows_match_naive(&events, &rows);
+    // Occurrence 1 primes, occurrence 2 records, 3..=10 hit.
+    assert!(
+        stats.sink_script_hits >= occurrences - 2,
+        "expected >= {} hits, got {stats:?}",
+        occurrences - 2
+    );
+    assert_eq!(stats.sink_script_hits_forked, 0, "stream is all lone");
+    assert_eq!(stats.sink_script_hits_lone, stats.sink_script_hits);
+    assert_eq!(
+        stats.sink_script_events,
+        stats.sink_script_hits * template.len() as u64,
+        "every hit must account its whole run"
+    );
+}
+
+/// The forked flavor: scripted runs announced with `forked: true` while
+/// a sibling configuration is live land in the forked counter, and the
+/// counts still match the naive replay.
+#[test]
+fn forked_script_hits_are_counted_forked_and_match_naive() {
+    let pool = address_pool();
+    let root = ConfigId::ROOT;
+    let side = ConfigId::from_raw(1);
+    let mut events = Vec::new();
+    let template = script_template(4);
+    events.push(TraceEvent::Fork {
+        parent: root,
+        child: side,
+    });
+    for _ in 0..8 {
+        events.push(TraceEvent::Script {
+            config: root,
+            script: 4,
+            events: template.len() as u32,
+            forked: true,
+        });
+        for &(kind, addr) in &template {
+            events.push(TraceEvent::access(root, kind, pool[addr].clone()));
         }
-        let (count, bits) = naive.row();
-        assert_eq!(row.count, count, "count mismatch for {spec:?}");
-        assert_eq!(
-            row.bits.to_bits(),
-            bits.to_bits(),
-            "bits mismatch for {spec:?}"
-        );
+        // The sibling wanders between scripted runs so the entry guard
+        // re-validates against a moving DAG.
+        events.push(TraceEvent::access(side, AccessKind::Data, pool[5].clone()));
     }
+    events.push(TraceEvent::Retire { config: side });
+    events.push(TraceEvent::Retire { config: root });
+
+    let (rows, stats) = memoized_rows(&events, 3);
+    assert_rows_match_naive(&events, &rows);
+    assert!(
+        stats.sink_script_hits_forked > 0,
+        "forked scripted runs never hit: {stats:?}"
+    );
+    assert_eq!(stats.sink_script_hits_lone, 0, "stream is all forked");
 }

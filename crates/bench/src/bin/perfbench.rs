@@ -21,17 +21,23 @@
 //!   ROADMAP machine-shift caveat as a flag, not a hand-run ritual).
 //!   Results print per scenario and land in `ab_memo_ms` when a JSON
 //!   report is written.
-//! * `--out FILE`: write the JSON report (default `BENCH_9.json`).
+//! * `--out FILE`: write the JSON report (default `BENCH_10.json`).
 //! * `--baseline FILE`: embed a previous perfbench report as the
 //!   `baseline` field and compute `speedup_vs_baseline`.
 //!
-//! JSON schema (`leakaudit-perfbench/v8` — v7 plus per-scenario
-//! interpreter-memo counter splits (`scenario_interp_memo`: name →
-//! hit/miss/replay counters for one analysis of that scenario, where v7
-//! had only run totals), the lone/forked script-replay split inside
-//! every `interp_memo` object, and the optional `ab_memo_ms` section
-//! (name → `{on, off}` median ms) when `--ab` is given. Inherited from
-//! v7: the interpreter-memo
+//! JSON schema (`leakaudit-perfbench/v9` — v8 plus the sink-side
+//! script-memo counters (`sink_script_hits`, with the lone/forked
+//! split, and `sink_script_events`) inside every `interp_memo` object,
+//! and `replay` inside `speedup_vs_baseline`: the combined
+//! replay-phase ratio over the heavy cells (every `secure-retrieve`,
+//! `scatter-gather` and `defensive-gather` scenario) — the headline
+//! number of the sink-side script-replay optimization. Inherited from
+//! v8: per-scenario interpreter-memo counter splits
+//! (`scenario_interp_memo`: name → hit/miss/replay counters for one
+//! analysis of that scenario, where v7 had only run totals), the
+//! lone/forked script-replay split inside every `interp_memo` object,
+//! and the optional `ab_memo_ms` section (name → `{on, off}` median
+//! ms) when `--ab` is given. Inherited from v7: the interpreter-memo
 //! run totals (`interp_memo`: cumulative transfer-memo hit/miss and
 //! superblock-script counters over one analysis of every scenario) and,
 //! when a v6+ baseline is given, `phase_speedup_vs_baseline` — the
@@ -92,7 +98,7 @@ fn parse_args() -> Args {
         iters: 7,
         warmup: 2,
         label: String::from("perfbench"),
-        out: Some(String::from("BENCH_9.json")),
+        out: Some(String::from("BENCH_10.json")),
         baseline: None,
         ab: false,
     };
@@ -215,6 +221,29 @@ fn host_calibration_ms() -> f64 {
     )
 }
 
+/// The combined replay-phase speedup over the *heavy* cells — every
+/// `secure-retrieve`, `scatter-gather` and `defensive-gather` scenario,
+/// where the sink-replay tail of the pipeline lives. `None` when the
+/// baseline predates `scenario_phases_ms` (pre-v6) or the current
+/// combined replay time is zero.
+fn heavy_replay_speedup(base: &str, scenario_phases: &[(&str, PhaseTimings)]) -> Option<f64> {
+    let heavy = |name: &str| {
+        ["secure-retrieve", "scatter-gather", "defensive-gather"]
+            .iter()
+            .any(|p| name.starts_with(p))
+    };
+    let mut now = 0.0;
+    let mut then = 0.0;
+    for (name, phases) in scenario_phases {
+        if !heavy(name) {
+            continue;
+        }
+        now += phase_ms(phases.replay);
+        then += extract_scoped(base, "scenario_phases_ms", name, "replay")?;
+    }
+    (now > 0.0).then(|| then / now)
+}
+
 /// Milliseconds of one phase duration, for report fields.
 fn phase_ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -267,6 +296,13 @@ fn main() {
             memo.script_replays_forked,
             memo.script_steps,
         );
+        println!(
+            "      sink: {} script hits ({} lone + {} forked) covering {} events",
+            memo.sink_script_hits,
+            memo.sink_script_hits_lone,
+            memo.sink_script_hits_forked,
+            memo.sink_script_events,
+        );
         scenario_ms.push((s.name.as_str(), ms));
         scenario_phases.push((s.name.as_str(), phases));
         scenario_memo.push((s.name.as_str(), memo));
@@ -282,6 +318,13 @@ fn main() {
         memo_totals.script_replays_lone,
         memo_totals.script_replays_forked,
         memo_totals.script_steps,
+    );
+    println!(
+        "  sink memo: {} script hits ({} lone + {} forked) covering {} events",
+        memo_totals.sink_script_hits,
+        memo_totals.sink_script_hits_lone,
+        memo_totals.sink_script_hits_forked,
+        memo_totals.sink_script_events,
     );
 
     // Interleaved memo A/B: on and off alternate within the same loop,
@@ -484,6 +527,9 @@ fn main() {
                 extract_number(base, "total_sequential_ms").unwrap_or(f64::NAN) / total_sequential,
             );
         }
+        if let Some(r) = heavy_replay_speedup(base, &scenario_phases) {
+            println!("  heavy-cell replay speedup vs baseline: {r:.2}x");
+        }
         // Per-phase ratios, scoped to each scenario's own object in the
         // baseline's `scenario_phases_ms` (absent for pre-v6 baselines).
         let ratio = |name: &str, field: &str, current_ms: f64| -> String {
@@ -511,7 +557,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v8\",");
+    let _ = writeln!(json, "  \"schema\": \"leakaudit-perfbench/v9\",");
     let _ = writeln!(json, "  \"label\": \"{}\",", json_escape(&args.label));
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
@@ -543,13 +589,19 @@ fn main() {
         format!(
             "{{\"transfer_hits\": {}, \"transfer_misses\": {}, \
              \"script_replays\": {}, \"script_replays_lone\": {}, \
-             \"script_replays_forked\": {}, \"script_steps\": {}}}",
+             \"script_replays_forked\": {}, \"script_steps\": {}, \
+             \"sink_script_hits\": {}, \"sink_script_hits_lone\": {}, \
+             \"sink_script_hits_forked\": {}, \"sink_script_events\": {}}}",
             m.transfer_hits,
             m.transfer_misses,
             m.script_replays,
             m.script_replays_lone,
             m.script_replays_forked,
             m.script_steps,
+            m.sink_script_hits,
+            m.sink_script_hits_lone,
+            m.sink_script_hits_forked,
+            m.sink_script_events,
         )
     };
     let _ = writeln!(json, "  \"scenario_interp_memo\": {{");
@@ -608,6 +660,10 @@ fn main() {
             let speedup_stream = speedup("sweep_stream_warm_ms", sweep_stream_warm_ms);
             let speedup_group = speedup("granularity_group_cold_ms", granularity_group_cold_ms);
             let speedup_evicting = speedup("evicting_sweep_ms", evicting_sweep_ms);
+            // The headline ratio of the sink-side script-replay work:
+            // combined replay phase over the heavy cells.
+            let speedup_replay = heavy_replay_speedup(base, &scenario_phases)
+                .map_or_else(|| "null".into(), |r| format!("{r:.3}"));
             // Scoped per-scenario phase ratios (null per-field when the
             // baseline predates scenario_phases_ms or a phase is zero).
             let phase_speedup = |name: &str, field: &str, current_ms: f64| {
@@ -641,7 +697,8 @@ fn main() {
             let _ = writeln!(json, "    \"sweep_stolen_warm\": {speedup_stolen},");
             let _ = writeln!(json, "    \"sweep_stream_warm\": {speedup_stream},");
             let _ = writeln!(json, "    \"granularity_group_cold\": {speedup_group},");
-            let _ = writeln!(json, "    \"evicting_sweep\": {speedup_evicting}");
+            let _ = writeln!(json, "    \"evicting_sweep\": {speedup_evicting},");
+            let _ = writeln!(json, "    \"replay\": {speedup_replay}");
             let _ = writeln!(json, "  }}");
         }
         None => {

@@ -82,11 +82,18 @@ impl Reps {
     /// Shifting preserves sortedness and distinctness, so this never
     /// re-canonicalizes.
     fn bump(&mut self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to every possible count — `n` bumps applied at once (the
+    /// bulk half of a script delta). A uniform shift preserves
+    /// sortedness and distinctness exactly like [`Reps::bump`].
+    fn add(&mut self, n: u64) {
         match self {
-            Reps::One(r) => *r += 1,
+            Reps::One(r) => *r += n,
             Reps::Many(v) => {
                 for r in v {
-                    *r += 1;
+                    *r += n;
                 }
             }
         }
@@ -194,8 +201,12 @@ fn natural_from_u128(n: u128) -> Natural {
 }
 
 /// Outcome of matching one access against one frontier vertex (see
-/// [`TraceDag::update`]).
-enum Step {
+/// [`TraceDag::update`]). Public so the analyzer's sinks can journal
+/// the steps a script replay takes (via
+/// [`TraceDag::update_memoized_observed`]) and later re-apply the whole
+/// run in bulk with [`TraceDag::apply_script_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagStep {
     /// Stuttering observer, same unit: the cursor stays put.
     Stutter,
     /// Exclusive same-unit repetition: bump `R(v)` in place.
@@ -514,7 +525,9 @@ impl TraceDag {
     pub fn update(&mut self, c: Cursor, obs: &ObsSet) -> Cursor {
         // Fast path: a single frontier vertex — the overwhelmingly common
         // case (straight-line code between forks). Reuses the cursor's
-        // vertex buffer and allocates at most the one new vertex.
+        // vertex buffer and allocates at most one new vertex — usually
+        // none at all, because an extend from a count-transparent private
+        // tail overwrites it in place (see `collapse_target`).
         if let [v] = c.verts[..] {
             let same_unit = self.same_unit(v, obs);
             return self.update_singleton(c, v, obs, same_unit);
@@ -524,10 +537,12 @@ impl TraceDag {
 
     /// Whether `obs` denotes exactly the unit of `v`'s label — the
     /// label-comparison half of the transition classification. The
-    /// answer depends only on the (immutable) label of a live vertex
-    /// and on `obs`, so the analyzer's sinks memoize it per
-    /// `(frontier vertex, address-set key)` pair and replay hot loop
-    /// bodies without re-deriving it (see `update_memoized`).
+    /// answer depends only on `v`'s label and on `obs`, so the
+    /// analyzer's sinks memoize it per `(frontier vertex, address-set
+    /// key)` pair and replay hot loop bodies without re-deriving it (see
+    /// `update_memoized`). A label only changes under a tail collapse —
+    /// an extend that kept the frontier id — which is exactly the signal
+    /// those memos use to invalidate.
     pub fn same_unit(&self, v: VertexId, obs: &ObsSet) -> bool {
         obs.is_singleton() && matches!(&self.vertices[v.index()].label, Label::Obs(o) if o == obs)
     }
@@ -535,9 +550,12 @@ impl TraceDag {
     /// [`TraceDag::update`] with the `same_unit` comparison supplied by
     /// the caller's transition memo instead of recomputed. The memoized
     /// answer is only valid for a **singleton** frontier whose vertex
-    /// survived since the memo entry was recorded (vertex ids are never
-    /// reused between compactions, so any live id qualifies); callers
-    /// with a multi-vertex frontier must take [`TraceDag::update`].
+    /// kept its label since the memo entry was recorded — ids are never
+    /// reused between compactions, and the one in-place label change (a
+    /// tail collapse) keeps the frontier id, so callers detect it by
+    /// "extend returned the same frontier vertex" and drop their entry.
+    /// Callers with a multi-vertex frontier must take
+    /// [`TraceDag::update`].
     ///
     /// Every mutation goes through the same code path as the
     /// unmemoized update, so a memo hit is bit-identical by
@@ -553,6 +571,137 @@ impl TraceDag {
         self.update_singleton(c, v, obs, same_unit)
     }
 
+    /// [`TraceDag::update_memoized`], additionally reporting which
+    /// transition was taken. The analyzer's sinks journal these steps
+    /// while recording a sink-side script delta (see
+    /// [`TraceDag::apply_script_delta`]); the mutation goes through the
+    /// exact same path as the unreported update, so observing a step can
+    /// never change it.
+    pub fn update_memoized_observed(
+        &mut self,
+        c: Cursor,
+        obs: &ObsSet,
+        same_unit: bool,
+    ) -> (Cursor, DagStep) {
+        debug_assert_eq!(
+            c.verts.len(),
+            1,
+            "memoized transitions are singleton-frontier"
+        );
+        let v = c.verts[0];
+        debug_assert_eq!(same_unit, self.same_unit(v, obs), "stale transition memo");
+        let step = self.step_for(v, same_unit);
+        (self.apply_singleton(c, v, obs, step), step)
+    }
+
+    /// The label of a live vertex. Labels are immutable while a vertex is
+    /// live, so sink-side script deltas key their applicability on label
+    /// equality rather than on (compaction-remapped) vertex ids.
+    pub fn label(&self, v: VertexId) -> &Label {
+        &self.vertices[v.index()].label
+    }
+
+    /// Whether `v` is exclusively owned: exactly one cursor holds it and
+    /// nothing extends it — the live half of the [`DagStep`]
+    /// classification. Script deltas record it at journal time and
+    /// require it unchanged at bulk-apply time.
+    pub fn is_exclusive(&self, v: VertexId) -> bool {
+        let vert = &self.vertices[v.index()];
+        vert.cursor_refs == 1 && vert.children == 0
+    }
+
+    /// Whether an extend from frontier vertex `v` may *overwrite* `v` in
+    /// place instead of appending a child — the tail-collapse rule that
+    /// keeps chain-shaped DAGs bounded by their branch structure instead
+    /// of their event count.
+    ///
+    /// A vertex is count-transparent when its repetition factor and its
+    /// label factor are both 1 (a singleton repetition set and a
+    /// singleton observation): its memoized count equals its
+    /// predecessor's, so removing it from the path cannot change any
+    /// trace count. Overwriting additionally requires that nothing else
+    /// can ever observe `v`'s identity:
+    ///
+    /// - `cursor_refs == 1 && children == 0`: only this cursor holds the
+    ///   vertex and nothing extends it (the exclusivity condition of the
+    ///   in-place bump).
+    /// - its single predecessor has `children == 1` and no cursor: no
+    ///   sibling shares (or can ever come to share — a childless interior
+    ///   vertex with no cursor can never gain either) the predecessor
+    ///   edge, so the §6.4 sibling merge can never compare `v`'s `preds`
+    ///   against an equal one. This keeps the DAG's merge behaviour —
+    ///   and therefore every count — bit-identical to the append-only
+    ///   shape: the first vertex after a fork point survives as the
+    ///   path's anchor, and only the private chain behind it collapses.
+    fn collapse_target(&self, v: VertexId) -> bool {
+        let vert = &self.vertices[v.index()];
+        if vert.cursor_refs != 1
+            || vert.children != 0
+            || vert.reps.len() != 1
+            || !matches!(&vert.label, Label::Obs(o) if o.is_singleton())
+        {
+            return false;
+        }
+        match vert.preds {
+            Preds::One(p) => {
+                let pred = &self.vertices[p.index()];
+                pred.children == 1 && pred.cursor_refs == 0
+            }
+            _ => false,
+        }
+    }
+
+    /// Applies a recorded script delta in bulk: `entry_bumps` in-place
+    /// repetition bumps on the (singleton) frontier vertex, then one
+    /// chain step per `(observation, repetitions)` link.
+    ///
+    /// Bit-identical to replaying the journaled per-event steps: the
+    /// bumps shift `R(entry)` exactly `entry_bumps` times, and each
+    /// chain link reproduces the extend-then-bump^(r-1) transition the
+    /// per-event path takes — collapsing onto the tail exactly when the
+    /// per-event extend would (the collapse decision is re-derived from
+    /// live state per link, never journaled), appending a fresh vertex
+    /// with repetition set `{r}` otherwise. Stutters journal as nothing
+    /// and replay as nothing. The caller guarantees the recorded guard
+    /// (singleton frontier, entry label and exclusivity equal to the
+    /// journal-time ones); appended vertices are fresh and collapsed
+    /// tails are exclusively owned, so no other path can observe the
+    /// difference.
+    pub fn apply_script_delta(
+        &mut self,
+        c: Cursor,
+        entry_bumps: u64,
+        chain: &[(ObsSet, u64)],
+    ) -> Cursor {
+        debug_assert_eq!(c.verts.len(), 1, "script deltas are singleton-frontier");
+        let mut verts = c.verts;
+        let v = verts[0];
+        if entry_bumps > 0 {
+            debug_assert!(self.is_exclusive(v), "entry bumps need exclusivity");
+            self.vertices[v.index()].reps.add(entry_bumps);
+            self.touch(v);
+        }
+        let mut tail = v;
+        for (obs, reps) in chain {
+            if self.collapse_target(tail) {
+                let vert = &mut self.vertices[tail.index()];
+                vert.label = Label::Obs(obs.clone());
+                vert.reps = Reps::One(*reps);
+                self.touch(tail);
+            } else {
+                self.vertices[tail.index()].cursor_refs -= 1;
+                self.vertices[tail.index()].children += 1;
+                let child = self.push_vertex(Label::Obs(obs.clone()), Preds::One(tail), 1);
+                if *reps > 1 {
+                    self.vertices[child.index()].reps = Reps::One(*reps);
+                }
+                tail = child;
+            }
+        }
+        verts[0] = tail;
+        Cursor { verts }
+    }
+
     /// The singleton-frontier update: classification (from the supplied
     /// label comparison plus the live exclusivity state) and mutation.
     fn update_singleton(
@@ -562,14 +711,33 @@ impl TraceDag {
         obs: &ObsSet,
         same_unit: bool,
     ) -> Cursor {
-        match self.step_for(v, same_unit) {
-            Step::Stutter => c,
-            Step::Bump => {
+        let step = self.step_for(v, same_unit);
+        self.apply_singleton(c, v, obs, step)
+    }
+
+    /// Mutation half of the singleton-frontier update.
+    fn apply_singleton(&mut self, c: Cursor, v: VertexId, obs: &ObsSet, step: DagStep) -> Cursor {
+        match step {
+            DagStep::Stutter => c,
+            DagStep::Bump => {
                 self.vertices[v.index()].reps.bump();
                 self.touch(v);
                 c
             }
-            Step::Extend => {
+            DagStep::Extend => {
+                // Tail collapse: a count-transparent private tail is
+                // overwritten in place — the chain stays one hot vertex
+                // long instead of growing per event. Callers memoizing
+                // per-vertex-id state must treat a label change under an
+                // unchanged frontier id as an invalidation (see
+                // [`TraceDag::collapse_target`]).
+                if self.collapse_target(v) {
+                    let vert = &mut self.vertices[v.index()];
+                    vert.label = Label::Obs(obs.clone());
+                    vert.reps = Reps::one();
+                    self.touch(v);
+                    return c;
+                }
                 let mut verts = c.verts;
                 self.vertices[v.index()].cursor_refs -= 1;
                 self.vertices[v.index()].children += 1;
@@ -592,13 +760,13 @@ impl TraceDag {
                 // nothing is mutated — and it is what lets re-converging
                 // paths with equal collapsed views merge at the join
                 // (paper Fig. 15b: the -O1 layout's b-block leak is zero).
-                Step::Stutter => stuttered.push(v),
-                Step::Bump => {
+                DagStep::Stutter => stuttered.push(v),
+                DagStep::Bump => {
                     self.vertices[v.index()].reps.bump();
                     self.touch(v);
                     stuttered.push(v);
                 }
-                Step::Extend => pending.push(v),
+                DagStep::Extend => pending.push(v),
             }
         }
 
@@ -633,7 +801,7 @@ impl TraceDag {
     }
 
     /// How one frontier vertex reacts to an access labeled `obs`.
-    fn classify(&self, v: VertexId, obs: &ObsSet) -> Step {
+    fn classify(&self, v: VertexId, obs: &ObsSet) -> DagStep {
         self.step_for(v, self.same_unit(v, obs))
     }
 
@@ -641,18 +809,18 @@ impl TraceDag {
     /// comparison. Exclusivity is always read live: `cursor_refs` and
     /// `children` change as paths fork and extend, so only the label
     /// half of the decision is cacheable.
-    fn step_for(&self, v: VertexId, same_unit: bool) -> Step {
+    fn step_for(&self, v: VertexId, same_unit: bool) -> DagStep {
         if same_unit && self.observer.is_stuttering() {
-            return Step::Stutter;
+            return DagStep::Stutter;
         }
         // In-place repetition bump is sound only when the label denotes
         // a *single* masked observation (a true repetition of the same
         // address unit) and no other path shares or extends this vertex.
         let vert = &self.vertices[v.index()];
         if same_unit && vert.cursor_refs == 1 && vert.children == 0 {
-            return Step::Bump;
+            return DagStep::Bump;
         }
-        Step::Extend
+        DagStep::Extend
     }
 
     #[inline]
@@ -869,6 +1037,64 @@ mod tests {
         let mut cur = dag.merge_cursors(cur, taken);
         cur = dag.access(cur, &consts(&[0x41aa1]));
         dag.count(&cur)
+    }
+
+    /// Journals one run of a repeated "script" with
+    /// `update_memoized_observed`, replays the next run through
+    /// `apply_script_delta`, and checks the DAG counts the same trace set
+    /// as the fully per-event reference — the core soundness argument of
+    /// the analyzer's sink-side script replay.
+    fn check_script_delta(observer: Observer, addrs: &[u64]) {
+        const RUNS: usize = 3;
+        let obs_seq: Vec<ObsSet> = addrs
+            .iter()
+            .map(|a| observer.project_set(&consts(&[*a])))
+            .collect();
+
+        // Per-event reference: RUNS identical runs.
+        let (mut ref_dag, mut ref_cur) = TraceDag::new(observer);
+        for _ in 0..RUNS {
+            for obs in &obs_seq {
+                ref_cur = ref_dag.update(ref_cur, obs);
+            }
+        }
+        let expect = ref_dag.count(&ref_cur);
+
+        // Memoized path: run 1 per-event, run 2 journaled, run 3 bulk.
+        let (mut dag, mut cur) = TraceDag::new(observer);
+        for obs in &obs_seq {
+            cur = dag.update(cur, obs);
+        }
+        let mut entry_bumps = 0u64;
+        let mut chain: Vec<(ObsSet, u64)> = Vec::new();
+        for obs in &obs_seq {
+            let same = dag.same_unit(cur.vertices()[0], obs);
+            let (next, step) = dag.update_memoized_observed(cur, obs, same);
+            cur = next;
+            match step {
+                DagStep::Stutter => {}
+                DagStep::Bump => match chain.last_mut() {
+                    Some(link) => link.1 += 1,
+                    None => entry_bumps += 1,
+                },
+                DagStep::Extend => chain.push((obs.clone(), 1)),
+            }
+        }
+        cur = dag.apply_script_delta(cur, entry_bumps, &chain);
+        assert_eq!(dag.count(&cur), expect);
+    }
+
+    #[test]
+    fn script_delta_matches_per_event_replay() {
+        // Plain chain with in-script repetitions.
+        check_script_delta(Observer::block(6), &[0x100, 0x100, 0x140, 0x180, 0x180]);
+        // Script ends where it starts: the journal opens with entry bumps.
+        check_script_delta(Observer::block(6), &[0x180, 0x180, 0x100, 0x140, 0x180]);
+        // Stuttering observer: same-unit steps journal as nothing.
+        check_script_delta(
+            Observer::block(6).stuttering(),
+            &[0x180, 0x180, 0x100, 0x140],
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod branchy_gather;
 pub mod defensive_gather;
 pub mod lookup_secure;
 pub mod lookup_unprotected;

@@ -6,7 +6,7 @@
 //! table shapes (window size, value size, entry stride), alignment (the
 //! load-bearing `align` of Fig. 3), secret-window widths, and the
 //! bank/page observer granularities (Fig. 13's CacheBleed axis). This
-//! module turns the six builder modules from one-off constructors into
+//! module turns the builder modules from one-off constructors into
 //! parameterized *families* and enumerates a default sweep of ≥ 40
 //! variants over them:
 //!
@@ -29,8 +29,8 @@ use std::fmt::Write as _;
 use leakaudit_analyzer::AnalysisConfig;
 
 use crate::{
-    defensive_gather, lookup_secure, lookup_unprotected, scatter_gather, square_always,
-    square_multiply, Scenario,
+    branchy_gather, defensive_gather, lookup_secure, lookup_unprotected, scatter_gather,
+    square_always, square_multiply, Scenario,
 };
 
 /// Compiler optimization level of a documented build.
@@ -69,17 +69,21 @@ pub enum Family {
     ScatterGather,
     /// Defensive gather (OpenSSL 1.0.2g, Fig. 12).
     DefensiveGather,
+    /// Secret-guarded gather loop (the Figs. 11/12 anti-pattern; the
+    /// registry's fork-dense hot-loop stress family).
+    BranchyGather,
 }
 
 impl Family {
-    /// All six families.
-    pub const ALL: [Family; 6] = [
+    /// All seven families.
+    pub const ALL: [Family; 7] = [
         Family::SquareMultiply,
         Family::SquareAlways,
         Family::LookupUnprotected,
         Family::LookupSecure,
         Family::ScatterGather,
         Family::DefensiveGather,
+        Family::BranchyGather,
     ];
 }
 
@@ -92,6 +96,7 @@ impl fmt::Display for Family {
             Family::LookupSecure => "secure-retrieve",
             Family::ScatterGather => "scatter-gather",
             Family::DefensiveGather => "defensive-gather",
+            Family::BranchyGather => "branchy-gather",
         };
         f.write_str(name)
     }
@@ -152,6 +157,13 @@ pub enum FamilyParams {
         /// Bytes per value (paper: 384).
         value_bytes: u32,
     },
+    /// Parameterized by secret range and loop trip count.
+    BranchyGather {
+        /// Secret index candidates (each forks one loop trip).
+        entries: u32,
+        /// Loop trip count (`>= entries`; the excess trips stay lone).
+        rounds: u32,
+    },
 }
 
 impl FamilyParams {
@@ -164,6 +176,7 @@ impl FamilyParams {
             FamilyParams::LookupSecure { .. } => Family::LookupSecure,
             FamilyParams::ScatterGather { .. } => Family::ScatterGather,
             FamilyParams::DefensiveGather { .. } => Family::DefensiveGather,
+            FamilyParams::BranchyGather { .. } => Family::BranchyGather,
         }
     }
 }
@@ -283,6 +296,9 @@ impl ScenarioSpec {
             } => {
                 format!("defensive-gather[s={spacing},n={value_bytes}")
             }
+            FamilyParams::BranchyGather { entries, rounds } => {
+                format!("branchy-gather[e={entries},r={rounds}")
+            }
         };
         let mut out = family;
         if self.bank_bits != DEFAULT_BANK_BITS {
@@ -349,6 +365,11 @@ impl ScenarioSpec {
                 spacing,
                 value_bytes,
             } => 10_000 + u64::from(spacing) * u64::from(value_bytes),
+            // Fork count scales with the candidate prefix; the lone
+            // tail is nearly free.
+            FamilyParams::BranchyGather { entries, rounds } => {
+                100 + u64::from(entries) * u64::from(rounds)
+            }
         }
     }
 
@@ -423,6 +444,14 @@ impl ScenarioSpec {
                 }
                 if !(1..=4096).contains(&value_bytes) {
                     return Err("value bytes must be in 1..=4096");
+                }
+            }
+            FamilyParams::BranchyGather { entries, rounds } => {
+                if !(1..=64).contains(&entries) {
+                    return Err("branchy-gather entries must be in 1..=64");
+                }
+                if !(1..=4096).contains(&rounds) || rounds < entries {
+                    return Err("branchy-gather rounds must be in entries..=4096");
                 }
             }
         }
@@ -552,6 +581,9 @@ impl ScenarioSpec {
                 spacing,
                 value_bytes,
             } => defensive_gather::variant(spacing, value_bytes, b),
+            FamilyParams::BranchyGather { entries, rounds } => {
+                branchy_gather::variant(entries, rounds, b)
+            }
         };
         // The spec is the name authority: builders do not know the
         // observer-granularity axes, so a bank/page variant would
@@ -694,6 +726,10 @@ impl std::str::FromStr for ScenarioSpec {
                 spacing: u32_of("s", "expected `s=<spacing>`")?,
                 value_bytes: u32_of("n", "expected `n=<value-bytes>`")?,
             },
+            "branchy-gather" => FamilyParams::BranchyGather {
+                entries: u32_of("e", "expected `e=<entries>`")?,
+                rounds: u32_of("r", "expected `r=<rounds>`")?,
+            },
             _ => return Err(err("unknown family")),
         };
         // Strictness: every remaining field must be one this family
@@ -709,6 +745,7 @@ impl std::str::FromStr for ScenarioSpec {
             "secure-retrieve" => (&["e", "w", "p"], &[]),
             "scatter-gather" => (&["s", "n"], &["aligned", "unaligned"]),
             "defensive-gather" => (&["s", "n"], &[]),
+            "branchy-gather" => (&["e", "r"], &[]),
             _ => unreachable!("unknown families were rejected above"),
         };
         for field in &fields {
@@ -826,8 +863,8 @@ impl Registry {
 
     /// The default sweep matrix: the eight paper points plus layout,
     /// table-shape, alignment, line-size, secret-width, lookup-stride
-    /// and observer-granularity variants of every family — 42 cells
-    /// over all six families.
+    /// and observer-granularity variants of every family — 45 cells
+    /// over all seven families.
     pub fn default_sweep() -> Self {
         let mut r = Registry::paper();
         // square-and-multiply: line-size, stub-layout and secret-width
@@ -911,6 +948,16 @@ impl Registry {
                     value_bytes,
                 },
                 6,
+            ));
+        }
+        // branchy gather: the fork-dense hot-loop stress axis — secret
+        // range × loop length, including a lone straight-line tail
+        // (rounds > entries) so scripted loop bodies replay both forked
+        // and lone at scale.
+        for (entries, rounds, b) in [(8u32, 12u32, 6u8), (16, 24, 6), (8, 32, 5)] {
+            r.push(ScenarioSpec::new(
+                FamilyParams::BranchyGather { entries, rounds },
+                b,
             ));
         }
         // Observer-granularity families: the same binaries analyzed
@@ -1152,6 +1199,8 @@ mod tests {
             ("square-and-multiply[stride=0x40,w=9,b=6]", "1..=8"),
             ("scatter-gather[s=3,n=384,aligned,b=6]", "power of two"),
             ("defensive-gather[s=8,n=0,b=6]", "1..=4096"),
+            ("branchy-gather[e=0,r=12,b=6]", "1..=64"),
+            ("branchy-gather[e=16,r=8,b=6]", "entries..=4096"),
             ("square-and-always-multiply[O2,b=77]", "at most 30 bits"),
             (
                 "square-and-always-multiply[O2,bank=31,b=6]",
